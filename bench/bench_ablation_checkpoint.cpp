@@ -1,0 +1,152 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Ablation **A3**: stop-and-restart fault tolerance via output checkpointing
+// (paper §3, Challenge 8, limitation (3)). A pipeline of N stages crashes at
+// the last stage and is resubmitted. Without checkpoints, the restart re-runs
+// everything; with them, completed stages restore from persistent media. The
+// trade: checkpoint write overhead on the healthy path vs re-execution saved
+// on restart.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rts/checkpoint.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow::bench {
+namespace {
+
+using dataflow::Job;
+using dataflow::TaskContext;
+using dataflow::TaskId;
+
+constexpr int kStages = 8;
+constexpr std::uint64_t kStageBytes = MiB(4);
+constexpr double kStageWork = 3e6;
+
+// An N-stage pipeline; stage `poison_stage` fails (once) if >= 0.
+Job MakePipeline(const char* name, int poison_stage) {
+  Job job(name);
+  TaskId prev;
+  for (int s = 0; s < kStages; ++s) {
+    dataflow::TaskProperties props;
+    props.output_bytes = kStageBytes;
+    props.base_work = kStageWork;
+    props.parallel_fraction = 0.7;
+    const bool poisoned = s == poison_stage;
+    const TaskId t = job.AddTask(
+        "stage" + std::to_string(s), props, [poisoned](TaskContext& ctx) -> Status {
+          if (poisoned) {
+            return Unavailable("injected failure");
+          }
+          // Touch inputs, produce the next stage's buffer.
+          if (!ctx.inputs().empty()) {
+            MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor in,
+                                     ctx.OpenAsync(ctx.inputs().front()));
+            std::vector<std::uint8_t> data(in.size());
+            in.EnqueueRead(0, data.data(), data.size());
+            MEMFLOW_ASSIGN_OR_RETURN(SimDuration rc, in.Drain());
+            ctx.Charge(rc);
+          }
+          MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(kStageBytes));
+          MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor oa, ctx.OpenAsync(out));
+          std::vector<std::uint8_t> payload(kStageBytes, 0x5a);
+          oa.EnqueueWrite(0, payload.data(), payload.size());
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration wc, oa.Drain());
+          ctx.Charge(wc);
+          ctx.ChargeCompute(kStageWork);
+          return OkStatus();
+        });
+    if (s > 0) {
+      MEMFLOW_CHECK(job.Connect(prev, t).ok());
+    }
+    prev = t;
+  }
+  return job;
+}
+
+SimDuration RunOnce(simhw::Cluster& cluster, Job job) {
+  rts::RuntimeOptions options;
+  options.max_task_attempts = 1;
+  rts::Runtime rt(cluster, options);
+  auto report = rt.SubmitAndRun(std::move(job));
+  MEMFLOW_CHECK(report.ok());
+  return report->Makespan();
+}
+
+void PrintArtifact() {
+  PrintHeader("Ablation A3 — checkpoint/restart fault tolerance (Challenge 8)",
+              "8-stage pipeline (4 MiB/stage) crashes at the final stage and is\n"
+              "resubmitted. Checkpointed runs restore completed stages from PMem\n"
+              "instead of re-executing them.");
+
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+
+  // Healthy-path overhead.
+  const SimDuration plain_healthy = RunOnce(*host.cluster, MakePipeline("plain", -1));
+  SimDuration ckpt_healthy;
+  {
+    rts::JobCheckpointer ckpt(*host.cluster, host.pmem);
+    ckpt_healthy = RunOnce(*host.cluster, ckpt.Instrument(MakePipeline("ck-h", -1)));
+  }
+
+  // Crash-at-the-end and restart: total time to a successful completion.
+  const SimDuration plain_crashed =
+      RunOnce(*host.cluster, MakePipeline("plain-crash", kStages - 1));
+  const SimDuration plain_restart = RunOnce(*host.cluster, MakePipeline("plain-crash", -1));
+  const SimDuration plain_total = plain_crashed + plain_restart;
+
+  SimDuration ckpt_crashed;
+  SimDuration ckpt_restart;
+  std::uint64_t restored = 0;
+  {
+    rts::JobCheckpointer ckpt(*host.cluster, host.pmem);
+    ckpt_crashed =
+        RunOnce(*host.cluster, ckpt.Instrument(MakePipeline("ck-crash", kStages - 1)));
+    ckpt_restart = RunOnce(*host.cluster, ckpt.Instrument(MakePipeline("ck-crash", -1)));
+    restored = ckpt.stats().tasks_restored;
+  }
+  const SimDuration ckpt_total = ckpt_crashed + ckpt_restart;
+
+  TextTable table({"Strategy", "Healthy run", "Failed run", "Restart",
+                   "Total (crash+restart)"});
+  table.AddRow({"no checkpoints (full re-run)", HumanDuration(plain_healthy),
+                HumanDuration(plain_crashed), HumanDuration(plain_restart),
+                HumanDuration(plain_total)});
+  table.AddRow({"output checkpoints on PMem", HumanDuration(ckpt_healthy),
+                HumanDuration(ckpt_crashed), HumanDuration(ckpt_restart),
+                HumanDuration(ckpt_total)});
+  std::printf("%s\n", table.Render().c_str());
+
+  const double overhead = static_cast<double>(ckpt_healthy.ns) /
+                          static_cast<double>(plain_healthy.ns);
+  const double recovery_speedup =
+      static_cast<double>(plain_restart.ns) / static_cast<double>(ckpt_restart.ns);
+  std::printf("healthy-path overhead %.2fx; restart %.1fx faster (%llu stages restored)\n",
+              overhead, recovery_speedup, static_cast<unsigned long long>(restored));
+  std::printf("check: restart speedup > overhead, total-with-crash lower -> %s\n\n",
+              (recovery_speedup > overhead && ckpt_total.ns < plain_total.ns) ? "PASS"
+                                                                              : "FAIL");
+}
+
+void BM_CheckpointedPipeline(benchmark::State& state) {
+  const bool with_ckpt = state.range(0) != 0;
+  for (auto _ : state) {
+    simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+    if (with_ckpt) {
+      rts::JobCheckpointer ckpt(*host.cluster, host.pmem);
+      benchmark::DoNotOptimize(
+          RunOnce(*host.cluster, ckpt.Instrument(MakePipeline("bm", -1))));
+    } else {
+      benchmark::DoNotOptimize(RunOnce(*host.cluster, MakePipeline("bm", -1)));
+    }
+  }
+}
+BENCHMARK(BM_CheckpointedPipeline)->Arg(0)->Arg(1)->ArgNames({"ckpt"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace memflow::bench
+
+MEMFLOW_BENCH_MAIN(memflow::bench::PrintArtifact)

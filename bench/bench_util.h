@@ -1,0 +1,60 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Shared scaffolding for the benchmark harness. Every bench binary
+// regenerates one artifact of the paper (a table, a figure, or a quantified
+// claim): it first prints the reproduced artifact from a deterministic
+// simulation, then runs google-benchmark timers over the runtime's own
+// (wall-clock) overheads.
+
+#ifndef MEMFLOW_BENCH_BENCH_UTIL_H_
+#define MEMFLOW_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace memflow::bench {
+
+inline void PrintHeader(const char* artifact, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("Reproduction: %s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("================================================================\n\n");
+}
+
+// "3.1x" style ratio cell.
+inline std::string Ratio(double num, double den) {
+  if (den <= 0) {
+    return "-";
+  }
+  return FormatDouble(num / den, 2) + "x";
+}
+
+inline std::string GbPerSec(std::uint64_t bytes, SimDuration d) {
+  if (d.ns <= 0) {
+    return "-";
+  }
+  return FormatDouble(static_cast<double>(bytes) / static_cast<double>(d.ns), 1);
+}
+
+// Standard main for bench binaries: artifact first, then timers.
+#define MEMFLOW_BENCH_MAIN(print_artifact_fn)                  \
+  int main(int argc, char** argv) {                            \
+    print_artifact_fn();                                       \
+    ::benchmark::Initialize(&argc, argv);                      \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                \
+    }                                                          \
+    ::benchmark::RunSpecifiedBenchmarks();                     \
+    ::benchmark::Shutdown();                                   \
+    return 0;                                                  \
+  }
+
+}  // namespace memflow::bench
+
+#endif  // MEMFLOW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,304 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "apps/dbms.h"
+
+#include <bit>
+#include <cmath>
+
+#include "apps/util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace memflow::apps::dbms {
+
+namespace {
+
+// Serialized open-addressing hash index slot (Global Scratch layout).
+struct IndexSlot {
+  std::uint64_t key_plus_one = 0;  // 0 = empty
+  double value = 0;
+};
+static_assert(std::is_trivially_copyable_v<IndexSlot>);
+
+struct IndexHeader {
+  std::uint64_t capacity = 0;
+};
+
+std::uint64_t IndexCapacity(std::uint64_t entries) {
+  return std::bit_ceil(std::max<std::uint64_t>(entries * 2, 16));
+}
+
+}  // namespace
+
+Row MakeRow(const TableSpec& spec, std::uint64_t index) {
+  std::uint64_t state = spec.seed ^ MixU64(index);
+  const std::uint64_t r = SplitMix64(state);
+  Row row;
+  row.key = index;
+  row.group = static_cast<std::uint32_t>(r % spec.groups);
+  row.value = static_cast<double>((r >> 20) % 10000) / 100.0;
+  return row;
+}
+
+bool KeepRow(const Row& row, double selectivity) {
+  return static_cast<double>(MixU64(row.key) % 100000) < selectivity * 100000.0;
+}
+
+std::uint64_t JoinScratchBytes(const TableSpec& dim) {
+  return sizeof(IndexHeader) + IndexCapacity(dim.rows) * sizeof(IndexSlot);
+}
+
+// --- Scan + aggregate -----------------------------------------------------------
+
+dataflow::Job BuildScanAggregateJob(const TableSpec& spec, double selectivity) {
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);  // operator latches (Table 3, DBMS row)
+  dataflow::Job job("dbms-scan-agg", jopts);
+
+  dataflow::TaskProperties gen_props;
+  gen_props.output_bytes = spec.rows * sizeof(Row);
+  gen_props.base_work = static_cast<double>(spec.rows) * 2;
+  gen_props.parallel_fraction = 0.8;
+  const dataflow::TaskId gen = job.AddTask(
+      "generate", gen_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        std::vector<Row> rows(spec.rows);
+        for (std::uint64_t i = 0; i < spec.rows; ++i) {
+          rows[i] = MakeRow(spec, i);
+        }
+        ctx.ChargeCompute(static_cast<double>(spec.rows) * 2);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<Row>(ctx, rows, {1.0, 0.0, 1.0}));
+        (void)out;
+        return OkStatus();
+      });
+
+  dataflow::TaskProperties scan_props;
+  scan_props.output_bytes_per_input_byte = selectivity;
+  scan_props.work_per_byte = 0.1;
+  scan_props.parallel_fraction = 0.9;
+  const dataflow::TaskId scan = job.AddTask(
+      "filter-scan", scan_props, [selectivity](dataflow::TaskContext& ctx) -> Status {
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                 ReadAll<Row>(ctx, ctx.inputs().front()));
+        std::vector<Row> kept;
+        kept.reserve(rows.size());
+        for (const Row& row : rows) {
+          if (KeepRow(row, selectivity)) {
+            kept.push_back(row);
+          }
+        }
+        ctx.ChargeCompute(static_cast<double>(rows.size()) * 0.5);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<Row>(ctx, kept));
+        (void)out;
+        return OkStatus();
+      });
+
+  dataflow::TaskProperties agg_props;
+  agg_props.output_bytes = spec.groups * sizeof(double);
+  agg_props.scratch_bytes = spec.groups * sizeof(double) * 2;  // group hash table
+  agg_props.work_per_byte = 0.2;
+  agg_props.parallel_fraction = 0.6;
+  const dataflow::TaskId agg = job.AddTask(
+      "hash-aggregate", agg_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        // Latch in Global State around the (conceptually shared) catalog.
+        {
+          MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor state,
+                                   ctx.OpenSync(ctx.global_state()));
+          const std::uint64_t locked = 1;
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration c1, state.Store(0, locked));
+          ctx.Charge(c1);
+        }
+        std::vector<Row> rows;
+        if (!ctx.inputs().empty()) {
+          MEMFLOW_ASSIGN_OR_RETURN(rows, ReadAll<Row>(ctx, ctx.inputs().front()));
+        }
+        // Operator state: the per-group table lives in Private Scratch.
+        MEMFLOW_ASSIGN_OR_RETURN(
+            region::RegionId scratch,
+            ctx.AllocatePrivateScratch(spec.groups * sizeof(double), {0.2, 0.5, 2.0}));
+        std::vector<double> sums(spec.groups, 0.0);
+        for (const Row& row : rows) {
+          sums[row.group] += row.value;
+        }
+        ctx.ChargeCompute(static_cast<double>(rows.size()));
+        // Materialize the table into scratch (random-access writes).
+        MEMFLOW_RETURN_IF_ERROR(WriteAll<double>(ctx, scratch, sums));
+        {
+          MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor state,
+                                   ctx.OpenSync(ctx.global_state()));
+          const std::uint64_t unlocked = 0;
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration c2, state.Store(0, unlocked));
+          ctx.Charge(c2);
+        }
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<double>(ctx, sums));
+        (void)out;
+        return OkStatus();
+      });
+
+  MEMFLOW_CHECK(job.Connect(gen, scan).ok());
+  MEMFLOW_CHECK(job.Connect(scan, agg).ok());
+  return job;
+}
+
+std::vector<double> ExpectedScanAggregate(const TableSpec& spec, double selectivity) {
+  std::vector<double> sums(spec.groups, 0.0);
+  for (std::uint64_t i = 0; i < spec.rows; ++i) {
+    const Row row = MakeRow(spec, i);
+    if (KeepRow(row, selectivity)) {
+      sums[row.group] += row.value;
+    }
+  }
+  return sums;
+}
+
+// --- Join -------------------------------------------------------------------------
+
+dataflow::Job BuildJoinJob(const TableSpec& fact, const TableSpec& dim) {
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);
+  jopts.global_scratch_bytes = JoinScratchBytes(dim);  // the reusable index
+  dataflow::Job job("dbms-join", jopts);
+
+  // Build the dim-side hash index into Global Scratch.
+  dataflow::TaskProperties build_props;
+  build_props.output_bytes = 8;  // ordering token
+  build_props.base_work = static_cast<double>(dim.rows) * 3;
+  build_props.parallel_fraction = 0.5;
+  const dataflow::TaskId build = job.AddTask(
+      "build-index", build_props, [dim](dataflow::TaskContext& ctx) -> Status {
+        const std::uint64_t capacity = IndexCapacity(dim.rows);
+        std::vector<IndexSlot> slots(capacity);
+        for (std::uint64_t i = 0; i < dim.rows; ++i) {
+          const Row row = MakeRow(dim, i);
+          std::uint64_t pos = MixU64(row.key) & (capacity - 1);
+          while (slots[pos].key_plus_one != 0) {
+            pos = (pos + 1) & (capacity - 1);
+          }
+          slots[pos] = IndexSlot{row.key + 1, row.value};
+        }
+        ctx.ChargeCompute(static_cast<double>(dim.rows) * 3);
+
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor scratch,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        const IndexHeader header{capacity};
+        scratch.EnqueueWrite(0, &header, sizeof(header));
+        scratch.EnqueueWrite(sizeof(header), slots.data(), slots.size() * sizeof(IndexSlot));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, scratch.Drain());
+        ctx.Charge(cost);
+
+        const std::uint64_t token = 1;
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<std::uint64_t>(ctx, {&token, 1}));
+        (void)out;
+        return OkStatus();
+      });
+
+  dataflow::TaskProperties gen_props;
+  gen_props.output_bytes = fact.rows * sizeof(Row);
+  gen_props.base_work = static_cast<double>(fact.rows) * 2;
+  gen_props.parallel_fraction = 0.8;
+  const dataflow::TaskId gen = job.AddTask(
+      "generate-fact", gen_props, [fact](dataflow::TaskContext& ctx) -> Status {
+        std::vector<Row> rows(fact.rows);
+        for (std::uint64_t i = 0; i < fact.rows; ++i) {
+          rows[i] = MakeRow(fact, i);
+        }
+        ctx.ChargeCompute(static_cast<double>(fact.rows) * 2);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<Row>(ctx, rows));
+        (void)out;
+        return OkStatus();
+      });
+
+  dataflow::TaskProperties probe_props;
+  probe_props.output_bytes = sizeof(double);
+  probe_props.work_per_byte = 0.3;
+  probe_props.scratch_bytes_per_input_byte = 0.1;
+  probe_props.parallel_fraction = 0.8;
+  const dataflow::TaskId probe = job.AddTask(
+      "probe-join", probe_props, [](dataflow::TaskContext& ctx) -> Status {
+        // Latch the shared catalog while the probe pipeline runs.
+        {
+          MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor state,
+                                   ctx.OpenSync(ctx.global_state()));
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration lc, state.Store<std::uint64_t>(0, 1));
+          ctx.Charge(lc);
+        }
+        // Find the fact input (the bigger one; the other is the 8-byte token).
+        region::RegionId fact_region;
+        std::uint64_t best = 0;
+        for (const region::RegionId in : ctx.inputs()) {
+          auto info = ctx.regions().Info(in);
+          if (info.ok() && info->size > best) {
+            best = info->size;
+            fact_region = in;
+          }
+        }
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<Row> rows, ReadAll<Row>(ctx, fact_region));
+
+        // Load the index from Global Scratch.
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor scratch,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        IndexHeader header;
+        scratch.EnqueueRead(0, &header, sizeof(header));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration hc, scratch.Drain());
+        ctx.Charge(hc);
+        std::vector<IndexSlot> slots(header.capacity);
+        scratch.EnqueueRead(sizeof(header), slots.data(), slots.size() * sizeof(IndexSlot));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration sc, scratch.Drain());
+        ctx.Charge(sc);
+
+        // Probe-side batch buffer: operator state in Private Scratch.
+        if (!rows.empty()) {
+          MEMFLOW_ASSIGN_OR_RETURN(
+              region::RegionId batch,
+              ctx.AllocatePrivateScratch(std::min<std::uint64_t>(rows.size() * sizeof(Row),
+                                                                 MiB(1))));
+          MEMFLOW_RETURN_IF_ERROR(WriteAll<Row>(
+              ctx, batch,
+              {rows.data(), std::min<std::size_t>(rows.size(), MiB(1) / sizeof(Row))}));
+        }
+        double sum = 0;
+        for (const Row& row : rows) {
+          const auto key = static_cast<std::uint64_t>(row.group);
+          std::uint64_t pos = MixU64(key) & (header.capacity - 1);
+          while (slots[pos].key_plus_one != 0) {
+            if (slots[pos].key_plus_one == key + 1) {
+              sum += row.value * slots[pos].value;
+              break;
+            }
+            pos = (pos + 1) & (header.capacity - 1);
+          }
+        }
+        ctx.ChargeCompute(static_cast<double>(rows.size()) * 3);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<double>(ctx, {&sum, 1}));
+        (void)out;
+        return OkStatus();
+      });
+
+  MEMFLOW_CHECK(job.Connect(build, probe).ok());
+  MEMFLOW_CHECK(job.Connect(gen, probe).ok());
+  return job;
+}
+
+double ExpectedJoin(const TableSpec& fact, const TableSpec& dim) {
+  std::vector<double> dim_value(dim.rows);
+  std::vector<bool> present(dim.rows, false);
+  for (std::uint64_t i = 0; i < dim.rows; ++i) {
+    const Row row = MakeRow(dim, i);
+    if (row.key < dim.rows) {
+      dim_value[row.key] = row.value;
+      present[row.key] = true;
+    }
+  }
+  double sum = 0;
+  for (std::uint64_t i = 0; i < fact.rows; ++i) {
+    const Row row = MakeRow(fact, i);
+    if (row.group < dim.rows && present[row.group]) {
+      sum += row.value * dim_value[row.group];
+    }
+  }
+  return sum;
+}
+
+}  // namespace memflow::apps::dbms

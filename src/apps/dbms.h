@@ -1,0 +1,69 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Mini relational engine on the memflow programming model (Table 3, row
+// "DBMS"): queries are jobs whose operators are tasks; operator state (hash
+// tables) lives in Private Scratch, synchronization in Global State, and
+// reusable artifacts (a serialized hash index) in Global Scratch.
+//
+// All operators compute real results over deterministic synthetic tables, so
+// every query's output is verifiable against a host-side reference
+// implementation.
+
+#ifndef MEMFLOW_APPS_DBMS_H_
+#define MEMFLOW_APPS_DBMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/job.h"
+
+namespace memflow::apps::dbms {
+
+// One tuple. Trivially copyable: tables are arrays of Row inside regions.
+struct Row {
+  std::uint64_t key;
+  std::uint32_t group;
+  double value;
+};
+static_assert(std::is_trivially_copyable_v<Row>);
+
+struct TableSpec {
+  std::uint64_t rows = 100000;
+  std::uint32_t groups = 64;  // distinct group ids
+  std::uint64_t seed = 1;
+};
+
+// Deterministic row generator (shared by tasks and reference computations).
+Row MakeRow(const TableSpec& spec, std::uint64_t index);
+
+// Filter predicate used by scans: keeps ~selectivity of rows, deterministic.
+bool KeepRow(const Row& row, double selectivity);
+
+// --- Query 1: SELECT group, SUM(value) WHERE <filter> GROUP BY group ----------
+
+// Job shape: generate -> filter-scan -> hash-aggregate(sink).
+// The sink output region holds `groups` doubles (sum per group id).
+dataflow::Job BuildScanAggregateJob(const TableSpec& spec, double selectivity);
+
+// Host-side reference for the same query.
+std::vector<double> ExpectedScanAggregate(const TableSpec& spec, double selectivity);
+
+// --- Query 2: SELECT SUM(f.value * d.value) FROM fact f JOIN dim d ------------
+//               ON f.group = d.key
+
+// Job shape:
+//   build-index (dim scan -> hash index serialized into Global Scratch)
+//   generate-fact -> probe-join (reads the index from Global Scratch) -> sink
+// The sink output holds one double. This exercises the paper's Global
+// Scratch reuse pattern ("a hash join might re-use a hash index created by
+// an aggregation operator").
+dataflow::Job BuildJoinJob(const TableSpec& fact, const TableSpec& dim);
+
+double ExpectedJoin(const TableSpec& fact, const TableSpec& dim);
+
+// Global Scratch sizing the join job needs (index for `dim.rows` entries).
+std::uint64_t JoinScratchBytes(const TableSpec& dim);
+
+}  // namespace memflow::apps::dbms
+
+#endif  // MEMFLOW_APPS_DBMS_H_

@@ -1,0 +1,368 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "apps/hospital.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "apps/util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace memflow::apps::hospital {
+
+namespace {
+
+constexpr std::uint64_t kFrameMagic = 0x4f5043414d455241ULL;  // "OPCAMERA"
+
+std::uint64_t FrameChecksum(std::uint32_t minute, std::uint32_t direction,
+                            std::uint64_t feature) {
+  return HashCombine(HashCombine(HashCombine(kFrameMagic, minute), direction), feature);
+}
+
+struct Visit {
+  std::uint32_t enter;
+  std::optional<std::uint32_t> exit;  // nullopt: still inside at the horizon
+};
+
+std::vector<Visit> VisitsFor(const HospitalSpec& spec, std::uint32_t person) {
+  Rng rng(spec.seed ^ MixU64(person + 0x9e3779b9ULL));
+  std::vector<Visit> visits;
+  const auto horizon = static_cast<std::uint32_t>(spec.minutes);
+  std::uint32_t t = static_cast<std::uint32_t>(rng.Below(horizon / 2));
+  const int n = 1 + static_cast<int>(rng.Below(2));
+  for (int k = 0; k < n; ++k) {
+    if (t + 2 >= horizon) {
+      break;
+    }
+    const std::uint32_t enter = t;
+    const auto duration = static_cast<std::uint32_t>(30 + rng.Below(240));
+    const std::uint32_t exit = enter + duration;
+    if (exit >= horizon) {
+      visits.push_back(Visit{enter, std::nullopt});
+      break;
+    }
+    visits.push_back(Visit{enter, exit});
+    t = exit + 10 + static_cast<std::uint32_t>(rng.Below(120));
+  }
+  return visits;
+}
+
+// Registry entry serialized into Global Scratch.
+struct RegistryEntry {
+  std::uint64_t feature;
+  std::uint32_t person;
+  std::uint32_t is_staff;
+};
+static_assert(std::is_trivially_copyable_v<RegistryEntry>);
+
+std::vector<RegistryEntry> BuildRegistry(const HospitalSpec& spec) {
+  const auto total = static_cast<std::uint32_t>(spec.staff + spec.patients);
+  std::vector<RegistryEntry> registry(total);
+  for (std::uint32_t p = 0; p < total; ++p) {
+    registry[p] = RegistryEntry{FaceFeature(spec, p), p,
+                                p < static_cast<std::uint32_t>(spec.staff) ? 1u : 0u};
+  }
+  return registry;
+}
+
+std::vector<Frame> CleanFrames(const std::vector<Frame>& raw) {
+  std::vector<Frame> valid;
+  valid.reserve(raw.size());
+  for (const Frame& f : raw) {
+    if (f.checksum == FrameChecksum(f.minute, f.direction, f.feature)) {
+      valid.push_back(f);
+    }
+  }
+  return valid;
+}
+
+std::vector<Recognized> Recognize(const std::vector<RegistryEntry>& registry,
+                                  const std::vector<Frame>& frames) {
+  std::map<std::uint64_t, const RegistryEntry*> by_feature;
+  for (const RegistryEntry& e : registry) {
+    by_feature[e.feature] = &e;
+  }
+  std::vector<Recognized> out;
+  out.reserve(frames.size());
+  for (const Frame& f : frames) {
+    auto it = by_feature.find(f.feature);
+    if (it == by_feature.end()) {
+      continue;  // visitor not in the registry
+    }
+    out.push_back(Recognized{f.minute, f.direction, it->second->person,
+                             it->second->is_staff});
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> TrackHours(const HospitalSpec& spec,
+                                      const std::vector<Recognized>& events) {
+  std::vector<std::uint64_t> minutes(static_cast<std::size_t>(spec.staff), 0);
+  std::vector<std::int64_t> entered(static_cast<std::size_t>(spec.staff), -1);
+  for (const Recognized& e : events) {
+    if (e.is_staff == 0) {
+      continue;
+    }
+    if (e.direction == 0) {
+      entered[e.person] = e.minute;
+    } else if (entered[e.person] >= 0) {
+      minutes[e.person] += e.minute - static_cast<std::uint64_t>(entered[e.person]);
+      entered[e.person] = -1;
+    }
+  }
+  for (std::size_t p = 0; p < minutes.size(); ++p) {
+    if (entered[p] >= 0) {
+      minutes[p] += static_cast<std::uint64_t>(spec.minutes) -
+                    static_cast<std::uint64_t>(entered[p]);
+    }
+  }
+  return minutes;
+}
+
+std::vector<std::uint32_t> Utilization(const HospitalSpec& spec,
+                                       const std::vector<Recognized>& events) {
+  const int hours = spec.minutes / 60;
+  std::vector<std::uint32_t> per_hour(static_cast<std::size_t>(hours), 0);
+  std::uint32_t occupancy = 0;
+  std::size_t next = 0;
+  for (int h = 0; h < hours; ++h) {
+    const auto boundary = static_cast<std::uint32_t>((h + 1) * 60);
+    while (next < events.size() && events[next].minute < boundary) {
+      if (events[next].direction == 0) {
+        occupancy++;
+      } else if (occupancy > 0) {
+        occupancy--;
+      }
+      next++;
+    }
+    per_hour[static_cast<std::size_t>(h)] = occupancy;
+  }
+  return per_hour;
+}
+
+std::vector<std::uint32_t> Alerts(const HospitalSpec& spec,
+                                  const std::vector<Recognized>& events) {
+  // A patient whose last observed event is an exit, with at least
+  // grace_minutes of horizon after it, has gone missing (Figure 2's T5).
+  std::map<std::uint32_t, const Recognized*> last_event;
+  for (const Recognized& e : events) {
+    if (e.is_staff == 0) {
+      last_event[e.person] = &e;
+    }
+  }
+  std::vector<std::uint32_t> alerts;
+  for (const auto& [person, event] : last_event) {
+    if (event->direction == 1 &&
+        event->minute + static_cast<std::uint32_t>(spec.grace_minutes) <=
+            static_cast<std::uint32_t>(spec.minutes)) {
+      alerts.push_back(person);
+    }
+  }
+  std::sort(alerts.begin(), alerts.end());
+  return alerts;
+}
+
+}  // namespace
+
+std::uint64_t FaceFeature(const HospitalSpec& spec, std::uint32_t person) {
+  return MixU64(spec.seed ^ (0xfacef00dULL + person));
+}
+
+std::uint64_t RegistryBytes(const HospitalSpec& spec) {
+  return static_cast<std::uint64_t>(spec.staff + spec.patients) * sizeof(RegistryEntry);
+}
+
+std::vector<Frame> GenerateFrames(const HospitalSpec& spec) {
+  std::vector<Frame> frames;
+  const auto total = static_cast<std::uint32_t>(spec.staff + spec.patients);
+  for (std::uint32_t p = 0; p < total; ++p) {
+    const std::uint64_t feature = FaceFeature(spec, p);
+    for (const Visit& v : VisitsFor(spec, p)) {
+      frames.push_back(Frame{v.enter, 0, feature, FrameChecksum(v.enter, 0, feature)});
+      if (v.exit.has_value()) {
+        frames.push_back(Frame{*v.exit, 1, feature, FrameChecksum(*v.exit, 1, feature)});
+      }
+    }
+  }
+  // Corrupted frames the preprocessing stage must reject.
+  Rng rng(spec.seed ^ 0xbadc0ffeULL);
+  const auto garbage =
+      static_cast<std::size_t>(static_cast<double>(frames.size()) * spec.garbage_rate);
+  for (std::size_t g = 0; g < garbage; ++g) {
+    Frame junk;
+    junk.minute = static_cast<std::uint32_t>(rng.Below(static_cast<std::uint64_t>(spec.minutes)));
+    junk.direction = static_cast<std::uint32_t>(rng.Below(2));
+    junk.feature = rng.Next();
+    junk.checksum = rng.Next();  // wrong with probability ~1
+    frames.push_back(junk);
+  }
+  std::sort(frames.begin(), frames.end(), [](const Frame& a, const Frame& b) {
+    if (a.minute != b.minute) {
+      return a.minute < b.minute;
+    }
+    if (a.feature != b.feature) {
+      return a.feature < b.feature;
+    }
+    return a.direction < b.direction;
+  });
+  return frames;
+}
+
+HospitalExpectation ExpectedHospital(const HospitalSpec& spec) {
+  const std::vector<Frame> frames = CleanFrames(GenerateFrames(spec));
+  const std::vector<Recognized> events = Recognize(BuildRegistry(spec), frames);
+  HospitalExpectation expect;
+  expect.staff_minutes = TrackHours(spec, events);
+  expect.hourly_utilization = Utilization(spec, events);
+  expect.alerts = Alerts(spec, events);
+  return expect;
+}
+
+dataflow::Job BuildHospitalJob(const HospitalSpec& spec) {
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);
+  jopts.global_scratch_bytes = RegistryBytes(spec);
+  jopts.confidential = true;  // the registry is patient data
+  dataflow::Job job("hospital", jopts);
+
+  // T0: load the employee/patient database into Global Scratch.
+  dataflow::TaskProperties registry_props;
+  registry_props.confidential = true;  // the registry is sensitive
+  registry_props.output_bytes = 8;
+  registry_props.base_work = static_cast<double>(spec.staff + spec.patients);
+  const dataflow::TaskId registry_task = job.AddTask(
+      "load-registry", registry_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        const std::vector<RegistryEntry> registry = BuildRegistry(spec);
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor scratch,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        scratch.EnqueueWrite(0, registry.data(), registry.size() * sizeof(RegistryEntry));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, scratch.Drain());
+        ctx.Charge(cost);
+        const std::uint64_t token = 1;
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<std::uint64_t>(ctx, {&token, 1}));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T1: preprocessing on the GPU — decode frames, drop corrupted ones.
+  dataflow::TaskProperties t1;
+  t1.compute_device = simhw::ComputeDeviceKind::kGPU;
+  t1.confidential = true;
+  t1.mem_latency = region::LatencyClass::kLow;
+  t1.parallel_fraction = 0.95;
+  t1.base_work = 1e5;
+  t1.output_bytes = 4096;  // rough estimate; actual set at runtime
+  const dataflow::TaskId preprocess = job.AddTask(
+      "preprocess", t1, [spec](dataflow::TaskContext& ctx) -> Status {
+        const std::vector<Frame> raw = GenerateFrames(spec);  // the camera feed
+        const std::vector<Frame> valid = CleanFrames(raw);
+        ctx.ChargeCompute(static_cast<double>(raw.size()) * 20);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<Frame>(ctx, valid));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T2: GPU face recognition against the registry.
+  dataflow::TaskProperties t2;
+  t2.compute_device = simhw::ComputeDeviceKind::kGPU;
+  t2.confidential = true;
+  t2.mem_latency = region::LatencyClass::kLow;
+  t2.parallel_fraction = 0.98;
+  t2.work_per_byte = 5.0;
+  t2.output_bytes_per_input_byte = 0.7;
+  const dataflow::TaskId recognize = job.AddTask(
+      "face-recognition", t2, [spec](dataflow::TaskContext& ctx) -> Status {
+        region::RegionId frames_region;
+        std::uint64_t biggest = 0;
+        for (const region::RegionId in : ctx.inputs()) {
+          auto info = ctx.regions().Info(in);
+          if (info.ok() && info->size > biggest) {
+            biggest = info->size;
+            frames_region = in;
+          }
+        }
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<Frame> frames,
+                                 ReadAll<Frame>(ctx, frames_region));
+        std::vector<RegistryEntry> registry(
+            static_cast<std::size_t>(spec.staff + spec.patients));
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor scratch,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        scratch.EnqueueRead(0, registry.data(), registry.size() * sizeof(RegistryEntry));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, scratch.Drain());
+        ctx.Charge(cost);
+
+        const std::vector<Recognized> events = Recognize(registry, frames);
+        ctx.ChargeCompute(static_cast<double>(frames.size()) * 50);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<Recognized>(ctx, events));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T3: track staff working hours (CPU, confidential).
+  dataflow::TaskProperties t3;
+  t3.compute_device = simhw::ComputeDeviceKind::kCPU;
+  t3.confidential = true;
+  t3.mem_latency = region::LatencyClass::kLow;
+  t3.work_per_byte = 0.5;
+  const dataflow::TaskId hours = job.AddTask(
+      "track-hours", t3, [spec](dataflow::TaskContext& ctx) -> Status {
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<Recognized> events,
+                                 ReadAll<Recognized>(ctx, ctx.inputs().front()));
+        const std::vector<std::uint64_t> minutes = TrackHours(spec, events);
+        ctx.ChargeCompute(static_cast<double>(events.size()) * 3);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<std::uint64_t>(ctx, minutes));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T4: public ward-utilization feed (CPU, not confidential, latency "–").
+  dataflow::TaskProperties t4;
+  t4.compute_device = simhw::ComputeDeviceKind::kCPU;
+  t4.confidential = false;
+  t4.mem_latency = region::LatencyClass::kAny;
+  t4.work_per_byte = 0.2;
+  const dataflow::TaskId utilization = job.AddTask(
+      "compute-utilization", t4, [spec](dataflow::TaskContext& ctx) -> Status {
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<Recognized> events,
+                                 ReadAll<Recognized>(ctx, ctx.inputs().front()));
+        const std::vector<std::uint32_t> per_hour = Utilization(spec, events);
+        ctx.ChargeCompute(static_cast<double>(events.size()));
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<std::uint32_t>(ctx, per_hour));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T5: alert caregivers about missing patients (CPU, confidential,
+  // persistent — a crash must not forget them).
+  dataflow::TaskProperties t5;
+  t5.compute_device = simhw::ComputeDeviceKind::kCPU;
+  t5.confidential = true;
+  t5.persistent = true;
+  t5.mem_latency = region::LatencyClass::kLow;
+  t5.work_per_byte = 0.5;
+  const dataflow::TaskId alerts = job.AddTask(
+      "alert-caregivers", t5, [spec](dataflow::TaskContext& ctx) -> Status {
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<Recognized> events,
+                                 ReadAll<Recognized>(ctx, ctx.inputs().front()));
+        const std::vector<std::uint32_t> missing = Alerts(spec, events);
+        ctx.ChargeCompute(static_cast<double>(events.size()) * 2);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<std::uint32_t>(ctx, missing));
+        (void)out;
+        return OkStatus();
+      });
+
+  MEMFLOW_CHECK(job.Connect(registry_task, recognize).ok());
+  MEMFLOW_CHECK(job.Connect(preprocess, recognize).ok());
+  MEMFLOW_CHECK(job.Connect(recognize, hours).ok());
+  MEMFLOW_CHECK(job.Connect(recognize, utilization).ok());
+  MEMFLOW_CHECK(job.Connect(recognize, alerts).ok());
+  return job;
+}
+
+}  // namespace memflow::apps::hospital

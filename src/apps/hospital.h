@@ -1,0 +1,78 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// The paper's running example (Figure 2): a hospital's CCTV dataflow.
+//
+//   T1 preprocessing       {GPU, confidential, low latency}
+//   T2 face recognition    {GPU, confidential, low latency}
+//   T3 track working hours {CPU, confidential, low latency}
+//   T4 compute utilization {CPU, public}
+//   T5 alert caregivers    {CPU, confidential, persistent, low latency}
+//
+// T1 cleans raw camera frames (drops corrupted ones via checksum), T2 matches
+// face features against the employee/patient registry (kept in Global
+// Scratch), and T3/T4/T5 consume T2's recognized events through a shared
+// (fanned-out) region. Everything is generated deterministically from the
+// spec seed, so every output is verifiable host-side.
+
+#ifndef MEMFLOW_APPS_HOSPITAL_H_
+#define MEMFLOW_APPS_HOSPITAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/job.h"
+
+namespace memflow::apps::hospital {
+
+struct HospitalSpec {
+  int minutes = 24 * 60;     // observation horizon
+  int staff = 20;
+  int patients = 40;
+  int grace_minutes = 30;    // T5: alert if gone longer than this
+  double garbage_rate = 0.1; // fraction of corrupted camera frames
+  std::uint64_t seed = 1337;
+};
+
+// A raw camera frame: a face feature sighting plus an integrity checksum.
+struct Frame {
+  std::uint32_t minute;
+  std::uint32_t direction;  // 0 = enter, 1 = exit
+  std::uint64_t feature;    // face feature hash
+  std::uint64_t checksum;   // Fnv-style; garbage frames fail it
+};
+static_assert(std::is_trivially_copyable_v<Frame>);
+
+// A recognized event after T2.
+struct Recognized {
+  std::uint32_t minute;
+  std::uint32_t direction;
+  std::uint32_t person;     // registry id: [0, staff) staff, then patients
+  std::uint32_t is_staff;
+};
+static_assert(std::is_trivially_copyable_v<Recognized>);
+
+// Face feature of a registry person (deterministic).
+std::uint64_t FaceFeature(const HospitalSpec& spec, std::uint32_t person);
+
+// The raw frame stream the camera produces (with garbage mixed in),
+// chronologically ordered.
+std::vector<Frame> GenerateFrames(const HospitalSpec& spec);
+
+struct HospitalExpectation {
+  std::vector<std::uint64_t> staff_minutes;      // per staff id
+  std::vector<std::uint32_t> hourly_utilization; // max occupancy per hour
+  std::vector<std::uint32_t> alerts;             // patient ids, ascending
+};
+
+HospitalExpectation ExpectedHospital(const HospitalSpec& spec);
+
+// Builds the Figure 2 job. The three sinks (T3, T4, T5) retain outputs:
+// report.outputs holds them in task order [hours, utilization, alerts].
+dataflow::Job BuildHospitalJob(const HospitalSpec& spec);
+
+// Global Scratch bytes needed by the registry.
+std::uint64_t RegistryBytes(const HospitalSpec& spec);
+
+}  // namespace memflow::apps::hospital
+
+#endif  // MEMFLOW_APPS_HOSPITAL_H_

@@ -1,0 +1,119 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "apps/hpc.h"
+
+#include <cmath>
+
+#include "apps/util.h"
+
+namespace memflow::apps::hpc {
+
+namespace {
+
+std::vector<double> InitialGrid(const StencilSpec& spec) {
+  std::vector<double> grid(static_cast<std::size_t>(spec.nx) * spec.ny, 0.0);
+  for (int x = 0; x < spec.nx; ++x) {
+    grid[static_cast<std::size_t>(x)] = spec.boundary;  // top row (y == 0)
+  }
+  return grid;
+}
+
+// One Jacobi sweep; boundary cells stay fixed.
+std::vector<double> Sweep(const StencilSpec& spec, const std::vector<double>& in) {
+  std::vector<double> out = in;
+  for (int y = 1; y < spec.ny - 1; ++y) {
+    for (int x = 1; x < spec.nx - 1; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * spec.nx + x;
+      out[i] = 0.25 * (in[i - 1] + in[i + 1] + in[i - static_cast<std::size_t>(spec.nx)] +
+                       in[i + static_cast<std::size_t>(spec.nx)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> ReferenceStencil(const StencilSpec& spec) {
+  std::vector<double> grid = InitialGrid(spec);
+  for (int s = 0; s < spec.sweeps; ++s) {
+    grid = Sweep(spec, grid);
+  }
+  return grid;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  MEMFLOW_CHECK(a.size() == b.size());
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+dataflow::Job BuildStencilJob(const StencilSpec& spec) {
+  const std::uint64_t grid_bytes =
+      static_cast<std::uint64_t>(spec.nx) * spec.ny * sizeof(double);
+
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);       // iteration counter + residual
+  jopts.global_scratch_bytes = grid_bytes; // object/blob storage (Table 3)
+  dataflow::Job job("hpc-stencil", jopts);
+
+  dataflow::TaskProperties init_props;
+  init_props.output_bytes = grid_bytes;
+  init_props.base_work = static_cast<double>(spec.nx) * spec.ny;
+  init_props.parallel_fraction = 0.9;
+  dataflow::TaskId prev = job.AddTask(
+      "init", init_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        const std::vector<double> grid = InitialGrid(spec);
+        ctx.ChargeCompute(static_cast<double>(grid.size()));
+        // Archive the initial field to the job's blob storage (Table 3's
+        // "object/blob storage" use of Global Scratch).
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor blob,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        blob.EnqueueWrite(0, grid.data(), grid.size() * sizeof(double));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration bc, blob.Drain());
+        ctx.Charge(bc);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<double>(ctx, grid));
+        (void)out;
+        return OkStatus();
+      });
+
+  for (int s = 0; s < spec.sweeps; ++s) {
+    dataflow::TaskProperties sweep_props;
+    sweep_props.output_bytes = grid_bytes;
+    sweep_props.scratch_bytes = grid_bytes;  // node-local working memory
+    sweep_props.work_per_byte = 0.6;
+    sweep_props.parallel_fraction = 0.95;
+    const dataflow::TaskId sweep = job.AddTask(
+        "sweep" + std::to_string(s), sweep_props,
+        [spec, s](dataflow::TaskContext& ctx) -> Status {
+          MEMFLOW_ASSIGN_OR_RETURN(std::vector<double> grid,
+                                   ReadAll<double>(ctx, ctx.inputs().front()));
+          // Working copy staged through node-local scratch.
+          MEMFLOW_ASSIGN_OR_RETURN(region::RegionId work,
+                                   ctx.AllocatePrivateScratch(grid.size() * sizeof(double)));
+          std::vector<double> next = Sweep(spec, grid);
+          MEMFLOW_RETURN_IF_ERROR(WriteAll<double>(ctx, work, next));
+          ctx.ChargeCompute(static_cast<double>(grid.size()) * 5);
+
+          // Publish progress + residual to Global State.
+          MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor state,
+                                   ctx.OpenSync(ctx.global_state()));
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration c1,
+                                   state.Store<std::uint64_t>(0, static_cast<std::uint64_t>(s + 1)));
+          const double residual = MaxAbsDiff(grid, next);
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration c2, state.Store(1, residual));
+          ctx.Charge(c1 + c2);
+
+          MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<double>(ctx, next));
+          (void)out;
+          return OkStatus();
+        });
+    MEMFLOW_CHECK(job.Connect(prev, sweep).ok());
+    prev = sweep;
+  }
+  return job;
+}
+
+}  // namespace memflow::apps::hpc

@@ -1,0 +1,39 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// HPC stencil workload (Table 3, row "HPC"): a Jacobi heat-diffusion solver
+// whose grid moves through the task chain by *ownership transfer* — each
+// sweep task takes the grid region from its predecessor, updates it using
+// node-local working memory (Private Scratch), and hands it on. Job metadata
+// (iteration counter, residual) lives in Global State; the final field is the
+// sink output ("object/blob storage").
+
+#ifndef MEMFLOW_APPS_HPC_H_
+#define MEMFLOW_APPS_HPC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/job.h"
+
+namespace memflow::apps::hpc {
+
+struct StencilSpec {
+  int nx = 64;
+  int ny = 64;
+  int sweeps = 8;          // one task per sweep
+  double boundary = 100.0; // fixed temperature on the top edge
+};
+
+// Host-side reference: the grid after `sweeps` Jacobi iterations.
+std::vector<double> ReferenceStencil(const StencilSpec& spec);
+
+// Job shape: init -> sweep x N (ownership-transferred grid) -> sink returns
+// the final grid (nx*ny doubles).
+dataflow::Job BuildStencilJob(const StencilSpec& spec);
+
+// Residual between two fields (max abs diff), for convergence checks.
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace memflow::apps::hpc
+
+#endif  // MEMFLOW_APPS_HPC_H_

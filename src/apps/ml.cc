@@ -1,0 +1,200 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "apps/ml.h"
+
+#include <cmath>
+
+#include "apps/util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace memflow::apps::ml {
+
+namespace {
+
+// Raw "on-disk" example: integer sensor readings plus a scaled label; the
+// parse stage converts them to floats, the transform stage normalizes.
+struct RawExample {
+  std::int32_t readings[16];  // first `features` entries used
+  std::int64_t label_milli;
+};
+static_assert(std::is_trivially_copyable_v<RawExample>);
+
+RawExample MakeRaw(const MlSpec& spec, std::uint64_t index) {
+  std::uint64_t state = spec.seed ^ MixU64(index);
+  RawExample raw{};
+  double label = 0;
+  for (int f = 0; f < spec.features; ++f) {
+    const auto v = static_cast<std::int32_t>(SplitMix64(state) % 2000) - 1000;
+    raw.readings[f] = v;
+    label += TrueWeight(f) * (static_cast<double>(v) / 1000.0);
+  }
+  // Small deterministic noise.
+  label += (static_cast<double>(SplitMix64(state) % 100) - 50.0) / 5000.0;
+  raw.label_milli = static_cast<std::int64_t>(label * 1000.0);
+  return raw;
+}
+
+}  // namespace
+
+double TrueWeight(int feature) { return (feature + 1) * 0.5; }
+
+std::uint64_t CacheBytes(const MlSpec& spec) {
+  return spec.examples * (static_cast<std::uint64_t>(spec.features) + 1) * sizeof(double);
+}
+
+TrainedModel DecodeModel(const std::vector<double>& raw, int features) {
+  MEMFLOW_CHECK(raw.size() >= static_cast<std::size_t>(features) + 2);
+  TrainedModel model;
+  model.weights.assign(raw.begin(), raw.begin() + features);
+  model.initial_loss = raw[static_cast<std::size_t>(features)];
+  model.final_loss = raw[static_cast<std::size_t>(features) + 1];
+  return model;
+}
+
+dataflow::Job BuildTrainingJob(const MlSpec& spec, bool persist_weights) {
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);  // dispatcher/worker state (Cachew)
+  jopts.global_scratch_bytes = CacheBytes(spec);
+  dataflow::Job job("ml-training", jopts);
+
+  // T1: parse raw examples into floats.
+  dataflow::TaskProperties parse_props;
+  parse_props.output_bytes = spec.examples * sizeof(RawExample);
+  parse_props.base_work = static_cast<double>(spec.examples) * 4;
+  parse_props.parallel_fraction = 0.7;
+  const dataflow::TaskId parse = job.AddTask(
+      "parse", parse_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        std::vector<RawExample> raw(spec.examples);
+        for (std::uint64_t i = 0; i < spec.examples; ++i) {
+          raw[i] = MakeRaw(spec, i);
+        }
+        ctx.ChargeCompute(static_cast<double>(spec.examples) * 4);
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<RawExample>(ctx, raw));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T2: transform/normalize; cache the transformed matrix in Global Scratch.
+  dataflow::TaskProperties transform_props;
+  transform_props.output_bytes = 8;  // cache-ready token
+  transform_props.work_per_byte = 0.2;
+  transform_props.parallel_fraction = 0.9;
+  const dataflow::TaskId transform = job.AddTask(
+      "transform", transform_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        MEMFLOW_ASSIGN_OR_RETURN(std::vector<RawExample> raw,
+                                 ReadAll<RawExample>(ctx, ctx.inputs().front()));
+        const auto stride = static_cast<std::size_t>(spec.features) + 1;
+        std::vector<double> matrix(raw.size() * stride);
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+          for (int f = 0; f < spec.features; ++f) {
+            matrix[i * stride + static_cast<std::size_t>(f)] =
+                static_cast<double>(raw[i].readings[f]) / 1000.0;
+          }
+          matrix[i * stride + static_cast<std::size_t>(spec.features)] =
+              static_cast<double>(raw[i].label_milli) / 1000.0;
+        }
+        ctx.ChargeCompute(static_cast<double>(matrix.size()));
+        // Worker state (Cachew dispatcher): publish transform progress.
+        {
+          MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor state,
+                                   ctx.OpenSync(ctx.global_state()));
+          MEMFLOW_ASSIGN_OR_RETURN(
+              SimDuration sc, state.Store<std::uint64_t>(0, raw.size()));
+          ctx.Charge(sc);
+        }
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor cache,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        cache.EnqueueWrite(0, matrix.data(), matrix.size() * sizeof(double));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, cache.Drain());
+        ctx.Charge(cost);
+        const std::uint64_t token = 1;
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                 EmitOutput<std::uint64_t>(ctx, {&token, 1}));
+        (void)out;
+        return OkStatus();
+      });
+
+  // T3: train on the accelerator, reading the cached matrix.
+  dataflow::TaskProperties train_props;
+  train_props.compute_device = simhw::ComputeDeviceKind::kGPU;
+  train_props.parallel_fraction = 0.98;
+  train_props.base_work =
+      static_cast<double>(spec.examples) * spec.features * spec.epochs * 2;
+  train_props.scratch_bytes = static_cast<std::uint64_t>(spec.features) * sizeof(double) * 4;
+  train_props.output_bytes = (static_cast<std::uint64_t>(spec.features) + 2) * sizeof(double);
+  train_props.persistent = persist_weights;
+  train_props.mem_latency = region::LatencyClass::kAny;
+  const dataflow::TaskId train = job.AddTask(
+      "train", train_props, [spec](dataflow::TaskContext& ctx) -> Status {
+        const auto stride = static_cast<std::size_t>(spec.features) + 1;
+        std::vector<double> matrix(spec.examples * stride);
+        MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor cache,
+                                 ctx.OpenAsync(ctx.global_scratch()));
+        cache.EnqueueRead(0, matrix.data(), matrix.size() * sizeof(double));
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, cache.Drain());
+        ctx.Charge(cost);
+
+        // Training state in Private Scratch (per Table 3).
+        MEMFLOW_ASSIGN_OR_RETURN(
+            region::RegionId state,
+            ctx.AllocatePrivateScratch(static_cast<std::uint64_t>(spec.features) *
+                                       sizeof(double) * 2));
+
+        std::vector<double> weights(static_cast<std::size_t>(spec.features), 0.0);
+        const auto loss_of = [&](const std::vector<double>& w) {
+          double total = 0;
+          for (std::uint64_t i = 0; i < spec.examples; ++i) {
+            double pred = 0;
+            for (int f = 0; f < spec.features; ++f) {
+              pred += w[static_cast<std::size_t>(f)] *
+                      matrix[i * stride + static_cast<std::size_t>(f)];
+            }
+            const double err = pred - matrix[i * stride + static_cast<std::size_t>(spec.features)];
+            total += err * err;
+          }
+          return total / static_cast<double>(spec.examples);
+        };
+
+        const double initial_loss = loss_of(weights);
+        std::vector<double> grad(static_cast<std::size_t>(spec.features));
+        for (int epoch = 0; epoch < spec.epochs; ++epoch) {
+          std::fill(grad.begin(), grad.end(), 0.0);
+          for (std::uint64_t i = 0; i < spec.examples; ++i) {
+            double pred = 0;
+            for (int f = 0; f < spec.features; ++f) {
+              pred += weights[static_cast<std::size_t>(f)] *
+                      matrix[i * stride + static_cast<std::size_t>(f)];
+            }
+            const double err =
+                pred - matrix[i * stride + static_cast<std::size_t>(spec.features)];
+            for (int f = 0; f < spec.features; ++f) {
+              grad[static_cast<std::size_t>(f)] +=
+                  2.0 * err * matrix[i * stride + static_cast<std::size_t>(f)];
+            }
+          }
+          for (int f = 0; f < spec.features; ++f) {
+            weights[static_cast<std::size_t>(f)] -=
+                spec.learning_rate * grad[static_cast<std::size_t>(f)] /
+                static_cast<double>(spec.examples);
+          }
+          // Checkpoint epoch weights into scratch.
+          MEMFLOW_RETURN_IF_ERROR(WriteAll<double>(ctx, state, weights));
+        }
+        ctx.ChargeCompute(static_cast<double>(spec.examples) * spec.features *
+                          spec.epochs * 2);
+
+        std::vector<double> out_vec = weights;
+        out_vec.push_back(initial_loss);
+        out_vec.push_back(loss_of(weights));
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, EmitOutput<double>(ctx, out_vec));
+        (void)out;
+        return OkStatus();
+      });
+
+  MEMFLOW_CHECK(job.Connect(parse, transform).ok());
+  MEMFLOW_CHECK(job.Connect(transform, train).ok());
+  return job;
+}
+
+}  // namespace memflow::apps::ml

@@ -1,0 +1,52 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// ML input pipeline + training in the style of Cachew (Table 3, row "ML/AI";
+// §2.4): parse -> transform (cached in Global Scratch) -> train on an
+// accelerator (Private Scratch for training state), weights as a persistent
+// output. Training really runs (gradient descent on a synthetic linear
+// regression), so convergence is verifiable.
+
+#ifndef MEMFLOW_APPS_ML_H_
+#define MEMFLOW_APPS_ML_H_
+
+#include <cstdint>
+
+#include "dataflow/job.h"
+
+namespace memflow::apps::ml {
+
+struct MlSpec {
+  std::uint64_t examples = 20000;
+  int features = 8;
+  int epochs = 5;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 7;
+};
+
+// Ground-truth weights the synthetic data is generated from: weight[f] of
+// feature f is (f + 1) * 0.5. Training should approach these.
+double TrueWeight(int feature);
+
+// Layout of the trained output region: [features x double weights,
+// initial_loss, final_loss].
+struct TrainedModel {
+  std::vector<double> weights;
+  double initial_loss = 0;
+  double final_loss = 0;
+};
+
+// Job shape: parse -> transform (writes the transformed matrix into Global
+// Scratch as a cache) -> train (GPU-preferred, reads the cache). The job's
+// Global Scratch must hold examples*(features+1) doubles; use
+// CacheBytes(spec) for JobOptions::global_scratch_bytes (BuildTrainingJob
+// sets it for you).
+dataflow::Job BuildTrainingJob(const MlSpec& spec, bool persist_weights = true);
+
+std::uint64_t CacheBytes(const MlSpec& spec);
+
+// Decodes a training job's sink output region contents.
+TrainedModel DecodeModel(const std::vector<double>& raw, int features);
+
+}  // namespace memflow::apps::ml
+
+#endif  // MEMFLOW_APPS_ML_H_

@@ -1,0 +1,48 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Streaming analytics (Table 3, row "Streaming"): a source emits sensor
+// events, a windowing operator keeps send/receive buffers in Private Scratch
+// and cluster/worker state in Global State, and per-window aggregates land in
+// the result cache (the sink output). Deterministic input makes the window
+// sums verifiable.
+
+#ifndef MEMFLOW_APPS_STREAMING_H_
+#define MEMFLOW_APPS_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/job.h"
+
+namespace memflow::apps::streaming {
+
+struct StreamSpec {
+  std::uint64_t events = 100000;
+  std::uint32_t sensors = 16;
+  std::uint64_t window_events = 10000;  // tumbling window size, in events
+  std::uint64_t seed = 21;
+};
+
+struct Event {
+  std::uint64_t sequence;
+  std::uint32_t sensor;
+  float reading;
+};
+static_assert(std::is_trivially_copyable_v<Event>);
+
+Event MakeEvent(const StreamSpec& spec, std::uint64_t sequence);
+
+// Per (window, sensor) mean reading; layout windows x sensors row-major.
+std::vector<double> ExpectedWindowMeans(const StreamSpec& spec);
+
+inline std::uint64_t NumWindows(const StreamSpec& spec) {
+  return (spec.events + spec.window_events - 1) / spec.window_events;
+}
+
+// Job shape: source -> window-aggregate -> sink(result cache). The sink
+// output region holds NumWindows x sensors doubles.
+dataflow::Job BuildStreamingJob(const StreamSpec& spec);
+
+}  // namespace memflow::apps::streaming
+
+#endif  // MEMFLOW_APPS_STREAMING_H_

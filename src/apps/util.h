@@ -1,0 +1,61 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Shared helpers for the example applications: whole-region typed reads and
+// writes through the async interface, with costs charged to the task.
+
+#ifndef MEMFLOW_APPS_UTIL_H_
+#define MEMFLOW_APPS_UTIL_H_
+
+#include <span>
+#include <vector>
+
+#include "dataflow/context.h"
+
+namespace memflow::apps {
+
+// Reads the entire region as a vector of T (region size must be a multiple
+// of sizeof(T); trailing partial elements are dropped).
+template <typename T>
+Result<std::vector<T>> ReadAll(dataflow::TaskContext& ctx, region::RegionId id) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(id));
+  std::vector<T> out(acc.size() / sizeof(T));
+  if (!out.empty()) {
+    acc.EnqueueRead(0, out.data(), out.size() * sizeof(T));
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+  }
+  return out;
+}
+
+template <typename T>
+Status WriteAll(dataflow::TaskContext& ctx, region::RegionId id, std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (data.empty()) {
+    return OkStatus();
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(id));
+  acc.EnqueueWrite(0, data.data(), data.size() * sizeof(T));
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+  ctx.Charge(cost);
+  return OkStatus();
+}
+
+// Allocates the task's output region sized for `data` and writes it.
+// Empty data produces no output (returns an invalid id); downstream tasks
+// must tolerate missing inputs.
+template <typename T>
+Result<region::RegionId> EmitOutput(dataflow::TaskContext& ctx, std::span<const T> data,
+                                    region::AccessHint hint = {}) {
+  if (data.empty()) {
+    return region::RegionId{};
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                           ctx.AllocateOutput(data.size() * sizeof(T), hint));
+  MEMFLOW_RETURN_IF_ERROR(WriteAll<T>(ctx, out, data));
+  return out;
+}
+
+}  // namespace memflow::apps
+
+#endif  // MEMFLOW_APPS_UTIL_H_

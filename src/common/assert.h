@@ -1,0 +1,46 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Internal invariant checking. MEMFLOW_CHECK is always on (it guards runtime
+// invariants whose violation means memory corruption or a programming error in
+// the runtime itself); MEMFLOW_DCHECK compiles out in NDEBUG builds.
+
+#ifndef MEMFLOW_COMMON_ASSERT_H_
+#define MEMFLOW_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memflow::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "memflow: CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace memflow::detail
+
+#define MEMFLOW_CHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::memflow::detail::CheckFailed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                  \
+  } while (false)
+
+#define MEMFLOW_CHECK_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::memflow::detail::CheckFailed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define MEMFLOW_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define MEMFLOW_DCHECK(expr) MEMFLOW_CHECK(expr)
+#endif
+
+#endif  // MEMFLOW_COMMON_ASSERT_H_

@@ -1,0 +1,46 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Non-cryptographic hashing used by the mini-DBMS operators, region id maps,
+// and the feature-hash "face recognition" of the hospital example.
+
+#ifndef MEMFLOW_COMMON_HASH_H_
+#define MEMFLOW_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace memflow {
+
+// 64-bit FNV-1a over raw bytes.
+constexpr std::uint64_t Fnv1a64(const char* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+// Strong 64-bit integer mixer (Murmur3 finalizer). Good enough to use an
+// integer key directly in open-addressing tables.
+constexpr std::uint64_t MixU64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Boost-style combine for composite keys.
+constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (MixU64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_HASH_H_

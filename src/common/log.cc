@@ -1,0 +1,65 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace memflow {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+// Strip directories: "src/rts/scheduler.cc" -> "scheduler.cc".
+std::string_view Basename(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+
+void LogWrite(LogLevel level, std::string_view file, int line, std::string_view msg) {
+  if (static_cast<int>(level) < g_level.load()) {
+    return;
+  }
+  std::string out;
+  out.reserve(msg.size() + 48);
+  out += '[';
+  out += LevelTag(level);
+  out += ' ';
+  out += Basename(file);
+  out += ':';
+  out += std::to_string(line);
+  out += "] ";
+  out += msg;
+  out += '\n';
+  std::fputs(out.c_str(), stderr);
+}
+
+}  // namespace detail
+
+}  // namespace memflow

@@ -1,0 +1,59 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Minimal leveled logging. The runtime logs placement decisions, migrations,
+// and fault events at kDebug/kInfo; tests raise the threshold to kWarn to keep
+// output quiet. Not thread-buffered: messages are formatted into one string and
+// written with a single fputs, so concurrent logs do not interleave mid-line.
+
+#ifndef MEMFLOW_COMMON_LOG_H_
+#define MEMFLOW_COMMON_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace memflow {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Default kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+
+void LogWrite(LogLevel level, std::string_view file, int line, std::string_view msg);
+
+// Stream collector used by the MEMFLOW_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogWrite(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define MEMFLOW_LOG(level)                                            \
+  if (static_cast<int>(::memflow::LogLevel::level) <                  \
+      static_cast<int>(::memflow::GetLogLevel())) {                   \
+  } else                                                              \
+    ::memflow::detail::LogMessage(::memflow::LogLevel::level,         \
+                                  __FILE__, __LINE__)                 \
+        .stream()
+
+#define MEMFLOW_VLOG() MEMFLOW_LOG(kDebug)
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_LOG_H_

@@ -1,0 +1,139 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Deterministic, seedable random number generation. Everything random in
+// memflow (workload generators, fault schedules, sampling) goes through Rng so
+// that simulations and tests are exactly reproducible from a seed.
+//
+// Core generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+
+#ifndef MEMFLOW_COMMON_RNG_H_
+#define MEMFLOW_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace memflow {
+
+// SplitMix64: used for seeding and for cheap stateless mixing.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** PRNG. Not cryptographic; fast and high quality for simulation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d2c5680f1aa42ddULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // rejection to avoid modulo bias.
+  std::uint64_t Below(std::uint64_t bound) {
+    MEMFLOW_DCHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    MEMFLOW_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (for inter-arrival times).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+// Zipf-distributed values in [0, n): rank 0 is the hottest item. Used by the
+// tiering and placement benchmarks to model skewed access streams. Uses the
+// classic inverse-CDF table (O(n) setup, O(log n) sample).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n) {
+    MEMFLOW_CHECK(n > 0);
+    cdf_.reserve(n);
+    double sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_.push_back(sum);
+    }
+    for (auto& c : cdf_) {
+      c /= sum;
+    }
+  }
+
+  std::uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = n_ - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_RNG_H_

@@ -1,0 +1,71 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "common/status.h"
+
+namespace memflow {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+Status Unavailable(std::string msg) { return Status(StatusCode::kUnavailable, std::move(msg)); }
+Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+}  // namespace memflow

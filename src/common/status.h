@@ -1,0 +1,144 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Error handling for the memflow runtime. The runtime never throws on the hot
+// path; fallible operations return Status or Result<T>. This mirrors the error
+// model of comparable systems runtimes (absl::Status / zx_status_t): a small
+// closed set of codes plus a human-readable message.
+
+#ifndef MEMFLOW_COMMON_STATUS_H_
+#define MEMFLOW_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace memflow {
+
+// Closed set of error categories used across all memflow subsystems.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something malformed
+  kNotFound,           // id/name does not resolve
+  kAlreadyExists,      // duplicate registration
+  kFailedPrecondition, // object in the wrong state (e.g. region not owned)
+  kResourceExhausted,  // out of capacity on every candidate device
+  kPermissionDenied,   // confidentiality / ownership violation
+  kUnavailable,        // device or node faulted; retry may succeed
+  kDataLoss,           // non-recoverable loss (crash without persistence/FT)
+  kUnimplemented,
+  kInternal,           // invariant violation inside the runtime
+};
+
+// Returns a stable lowercase name, e.g. "resource_exhausted".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type status: code + message. Cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  // OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status PermissionDenied(std::string msg);
+Status Unavailable(std::string msg);
+Status DataLoss(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+
+// Result<T>: either a value or a non-OK Status. Accessing value() on an error
+// aborts (it is a programming error, like dereferencing an empty optional).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value and from error status, so functions can
+  // `return value;` / `return NotFound(...)`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    MEMFLOW_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                      "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk{};
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    MEMFLOW_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    MEMFLOW_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    MEMFLOW_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // value_or for recoverable paths.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(repr_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagate errors: `MEMFLOW_RETURN_IF_ERROR(DoThing());`
+#define MEMFLOW_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::memflow::Status _mf_status = (expr);     \
+    if (!_mf_status.ok()) {                    \
+      return _mf_status;                       \
+    }                                          \
+  } while (false)
+
+// Assign-or-propagate: `MEMFLOW_ASSIGN_OR_RETURN(auto v, Compute());`
+#define MEMFLOW_ASSIGN_OR_RETURN(decl, expr)             \
+  auto MEMFLOW_CONCAT_(_mf_result_, __LINE__) = (expr);  \
+  if (!MEMFLOW_CONCAT_(_mf_result_, __LINE__).ok()) {    \
+    return MEMFLOW_CONCAT_(_mf_result_, __LINE__).status(); \
+  }                                                      \
+  decl = std::move(MEMFLOW_CONCAT_(_mf_result_, __LINE__)).value()
+
+#define MEMFLOW_CONCAT_INNER_(a, b) a##b
+#define MEMFLOW_CONCAT_(a, b) MEMFLOW_CONCAT_INNER_(a, b)
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_STATUS_H_

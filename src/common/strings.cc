@@ -1,0 +1,78 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "common/strings.h"
+
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace memflow {
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string WithThousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::vector<std::string_view> SplitString(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanBytes(std::uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return FormatDouble(static_cast<double>(bytes) / static_cast<double>(kGiB), 2) + " GiB";
+  }
+  if (bytes >= kMiB) {
+    return FormatDouble(static_cast<double>(bytes) / static_cast<double>(kMiB), 2) + " MiB";
+  }
+  if (bytes >= kKiB) {
+    return FormatDouble(static_cast<double>(bytes) / static_cast<double>(kKiB), 2) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string HumanDuration(SimDuration d) {
+  const double ns = static_cast<double>(d.ns);
+  if (ns >= 1e9) {
+    return FormatDouble(ns / 1e9, 3) + " s";
+  }
+  if (ns >= 1e6) {
+    return FormatDouble(ns / 1e6, 3) + " ms";
+  }
+  if (ns >= 1e3) {
+    return FormatDouble(ns / 1e3, 3) + " us";
+  }
+  return FormatDouble(ns, 0) + " ns";
+}
+
+}  // namespace memflow

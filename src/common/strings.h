@@ -1,0 +1,30 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Small string helpers shared by logs, bench tables, and examples.
+
+#ifndef MEMFLOW_COMMON_STRINGS_H_
+#define MEMFLOW_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memflow {
+
+// printf-style double with fixed decimals, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double v, int decimals);
+
+// "12,345,678" — thousands separators for counters in reports.
+std::string WithThousands(std::uint64_t v);
+
+// Split on a single character; keeps empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+// True if `s` starts with `prefix` (C++20 has starts_with; kept for symmetry
+// with the codebase's string_view-first style).
+bool HasPrefix(std::string_view s, std::string_view prefix);
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_STRINGS_H_

@@ -1,0 +1,63 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace memflow {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MEMFLOW_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  MEMFLOW_CHECK_MSG(cells.size() == header_.size(), "row width != header width");
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += "| ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string rule;
+  for (const std::size_t w : widths) {
+    rule += "+";
+    rule.append(w + 2, '-');
+  }
+  rule += "+\n";
+
+  std::string out = rule + render_line(header_) + rule;
+  for (const Row& row : rows_) {
+    if (row.rule_before) {
+      out += rule;
+    }
+    out += render_line(row.cells);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace memflow

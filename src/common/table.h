@@ -1,0 +1,45 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// ASCII table renderer used by the benchmark harness to print the paper's
+// tables and figure data series in a uniform format.
+
+#ifndef MEMFLOW_COMMON_TABLE_H_
+#define MEMFLOW_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace memflow {
+
+// Column-aligned ASCII table. Usage:
+//   TextTable t({"Name", "Bw.", "Lat."});
+//   t.AddRow({"DRAM", "+", "+"});
+//   std::cout << t.Render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  // Renders with a box-drawing-free layout safe for any terminal/log.
+  std::string Render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_TABLE_H_

@@ -1,0 +1,83 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Strongly-typed units used throughout the simulator and runtime: byte sizes
+// and virtual time. Virtual time is the currency of the discrete-event engine:
+// every memory access and compute step charges SimDuration to a VirtualClock.
+
+#ifndef MEMFLOW_COMMON_UNITS_H_
+#define MEMFLOW_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace memflow {
+
+// --- Byte sizes -------------------------------------------------------------
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * kKiB; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n * kMiB; }
+constexpr std::uint64_t GiB(std::uint64_t n) { return n * kGiB; }
+
+// "1.5 GiB", "640 KiB", "17 B" — for logs and bench tables.
+std::string HumanBytes(std::uint64_t bytes);
+
+// --- Virtual time -----------------------------------------------------------
+
+// A point or span on the simulated timeline, in nanoseconds. A plain strong
+// typedef (struct) so it cannot be silently mixed with wall-clock time.
+struct SimDuration {
+  std::int64_t ns = 0;
+
+  constexpr SimDuration() = default;
+  explicit constexpr SimDuration(std::int64_t nanos) : ns(nanos) {}
+
+  static constexpr SimDuration Nanos(std::int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration Micros(std::int64_t u) { return SimDuration(u * 1000); }
+  static constexpr SimDuration Millis(std::int64_t m) { return SimDuration(m * 1000000); }
+  static constexpr SimDuration Seconds(std::int64_t s) { return SimDuration(s * 1000000000); }
+
+  constexpr double ToMicros() const { return static_cast<double>(ns) / 1e3; }
+  constexpr double ToMillis() const { return static_cast<double>(ns) / 1e6; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns) / 1e9; }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns + b.ns);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns - b.ns);
+  }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) {
+    return SimDuration(a.ns * k);
+  }
+  SimDuration& operator+=(SimDuration o) {
+    ns += o.ns;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimDuration a, SimDuration b) = default;
+};
+
+// A timestamp on the virtual timeline.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  constexpr SimTime() = default;
+  explicit constexpr SimTime(std::int64_t nanos) : ns(nanos) {}
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime(t.ns + d.ns); }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration(a.ns - b.ns);
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+  friend constexpr bool operator==(SimTime a, SimTime b) = default;
+};
+
+// "12.3 us", "4.56 ms" — for logs and bench tables.
+std::string HumanDuration(SimDuration d);
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_UNITS_H_

@@ -1,0 +1,94 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "dataflow/context.h"
+
+namespace memflow::dataflow {
+
+TaskContext::TaskContext(Init init) : init_(std::move(init)), rng_(init_.rng_seed) {
+  MEMFLOW_CHECK(init_.regions != nullptr);
+}
+
+simhw::ComputeDeviceKind TaskContext::device_kind() const {
+  return init_.regions->cluster().compute(init_.device).kind();
+}
+
+std::uint64_t TaskContext::input_bytes() const {
+  std::uint64_t total = 0;
+  for (const region::RegionId id : init_.inputs) {
+    auto info = init_.regions->Info(id);
+    if (info.ok()) {
+      total += info->size;
+    }
+  }
+  return total;
+}
+
+region::Properties TaskContext::ScratchProperties() const {
+  region::Properties props = region::Properties::PrivateScratch();
+  if (init_.props.mem_latency != region::LatencyClass::kAny) {
+    props.latency = init_.props.mem_latency;
+  }
+  props.confidential = init_.props.confidential;
+  return props;
+}
+
+region::Properties TaskContext::OutputProperties() const {
+  region::Properties props;
+  // Output must be reachable by the consumer; latency follows the task's
+  // declared requirement, persistence/confidentiality follow its properties.
+  // When the output must be persistent, persistence dominates: the latency
+  // class is dropped, since no persistent media is load-latency class and a
+  // persistent result is a *store*, not working memory (Figure 2's T5 needs
+  // low-latency scratch but durable alerts).
+  props.latency = init_.props.persistent ? region::LatencyClass::kAny
+                                         : init_.props.mem_latency;
+  props.persistent = init_.props.persistent;
+  props.confidential = init_.props.confidential;
+  return props;
+}
+
+Result<region::RegionId> TaskContext::AllocatePrivateScratch(std::uint64_t size,
+                                                             region::AccessHint hint) {
+  region::RegionManager::AllocRequest request;
+  request.size = size;
+  request.props = ScratchProperties();
+  request.hint = hint;
+  request.observer = init_.device;
+  request.owner = init_.self;
+  MEMFLOW_ASSIGN_OR_RETURN(region::RegionId id, init_.regions->Allocate(request));
+  scratch_.push_back(id);
+  return id;
+}
+
+Result<region::RegionId> TaskContext::AllocateOutput(std::uint64_t size,
+                                                     region::AccessHint hint) {
+  if (output_.valid()) {
+    return FailedPrecondition("task already allocated its output region");
+  }
+  region::RegionManager::AllocRequest request;
+  request.size = size;
+  request.props = OutputProperties();
+  request.hint = hint;
+  // Key trick (Figure 4): allocate where the *consumer* can use it, so the
+  // handover is an ownership transfer, not a copy.
+  request.observer = init_.output_observer;
+  request.owner = init_.self;
+  MEMFLOW_ASSIGN_OR_RETURN(region::RegionId id, init_.regions->Allocate(request));
+  output_ = id;
+  return id;
+}
+
+Result<region::SyncAccessor> TaskContext::OpenSync(region::RegionId id) {
+  return init_.regions->OpenSync(id, init_.self, init_.device);
+}
+
+Result<region::AsyncAccessor> TaskContext::OpenAsync(region::RegionId id) {
+  return init_.regions->OpenAsync(id, init_.self, init_.device);
+}
+
+void TaskContext::ChargeCompute(double work) {
+  const simhw::ComputeDevice& dev = init_.regions->cluster().compute(init_.device);
+  charged_ += dev.ComputeTime(work, init_.props.parallel_fraction);
+}
+
+}  // namespace memflow::dataflow

@@ -1,0 +1,112 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// TaskContext: the window through which a task body touches memory (§2.3).
+// It exposes exactly the paper's programming model —
+//
+//   * inputs()            regions whose ownership was transferred in,
+//   * AllocatePrivateScratch()  thread-local working memory,
+//   * AllocateOutput()    the region handed to the successor on completion,
+//   * global_state() / global_scratch()  the job-wide shared regions,
+//   * OpenSync()/OpenAsync()   the two access interfaces,
+//
+// and accumulates the simulated cost of everything the body does. The
+// executor constructs one context per task attempt and finalizes ownership
+// handovers afterwards.
+
+#ifndef MEMFLOW_DATAFLOW_CONTEXT_H_
+#define MEMFLOW_DATAFLOW_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dataflow/task.h"
+#include "region/region_manager.h"
+
+namespace memflow::dataflow {
+
+class TaskContext {
+ public:
+  // Wiring filled in by the executor.
+  struct Init {
+    region::RegionManager* regions = nullptr;
+    region::Principal self;
+    simhw::ComputeDeviceId device;              // where this task runs
+    simhw::ComputeDeviceId output_observer;     // where the consumer will run
+    TaskProperties props;
+    std::vector<region::RegionId> inputs;
+    region::RegionId global_state;              // invalid if job declared none
+    region::RegionId global_scratch;
+    std::uint64_t rng_seed = 0;
+  };
+
+  explicit TaskContext(Init init);
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
+
+  // --- identity ----------------------------------------------------------------
+
+  region::Principal self() const { return init_.self; }
+  simhw::ComputeDeviceId device() const { return init_.device; }
+  simhw::ComputeDeviceKind device_kind() const;
+  const TaskProperties& props() const { return init_.props; }
+  region::RegionManager& regions() { return *init_.regions; }
+
+  // --- memory regions ----------------------------------------------------------
+
+  const std::vector<region::RegionId>& inputs() const { return init_.inputs; }
+
+  // Total size of all inputs (for sizing scratch/output).
+  std::uint64_t input_bytes() const;
+
+  // Private Scratch (Table 2): thread-local, sync, freed when the task ends.
+  Result<region::RegionId> AllocatePrivateScratch(std::uint64_t size,
+                                                  region::AccessHint hint = {});
+
+  // The task's output region. Allocated relative to the *consumer's* device
+  // so that completion handover is a pure ownership transfer (Figure 4). At
+  // most one output per task; its ownership moves to the successor(s).
+  Result<region::RegionId> AllocateOutput(std::uint64_t size, region::AccessHint hint = {});
+
+  region::RegionId output() const { return output_; }
+  region::RegionId global_state() const { return init_.global_state; }
+  region::RegionId global_scratch() const { return init_.global_scratch; }
+
+  // --- access ------------------------------------------------------------------
+
+  Result<region::SyncAccessor> OpenSync(region::RegionId id);
+  Result<region::AsyncAccessor> OpenAsync(region::RegionId id);
+
+  // --- cost accounting ----------------------------------------------------------
+
+  // Adds simulated time spent in memory accesses (accessor results).
+  void Charge(SimDuration d) { charged_ += d; }
+
+  // Adds simulated compute time for `work` units on this task's device,
+  // split by the task's declared parallel fraction.
+  void ChargeCompute(double work);
+
+  SimDuration charged() const { return charged_; }
+
+  // Deterministic per-task randomness for workload generators.
+  Rng& rng() { return rng_; }
+
+  // Executor-side: regions to free when the task completes.
+  const std::vector<region::RegionId>& scratch_regions() const { return scratch_; }
+
+ private:
+  region::Properties ScratchProperties() const;
+  region::Properties OutputProperties() const;
+
+  Init init_;
+  region::RegionId output_;
+  std::vector<region::RegionId> scratch_;
+  SimDuration charged_{};
+  Rng rng_;
+};
+
+}  // namespace memflow::dataflow
+
+#endif  // MEMFLOW_DATAFLOW_CONTEXT_H_

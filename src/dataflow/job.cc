@@ -1,0 +1,143 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "dataflow/job.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace memflow::dataflow {
+
+Job::Job(std::string name, JobOptions options)
+    : name_(std::move(name)), options_(options) {}
+
+TaskId Job::AddTask(std::string name, TaskProperties props, TaskFn fn) {
+  const auto id = TaskId(static_cast<std::uint32_t>(tasks_.size()));
+  tasks_.push_back(TaskSpec{std::move(name), props, std::move(fn)});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+Status Job::Connect(TaskId from, TaskId to) {
+  if (from.value >= tasks_.size() || to.value >= tasks_.size()) {
+    return InvalidArgument("unknown task id");
+  }
+  if (from == to) {
+    return InvalidArgument("self-loop on task '" + tasks_[from.value].name + "'");
+  }
+  auto& successors = succ_[from.value];
+  if (std::find(successors.begin(), successors.end(), to) != successors.end()) {
+    return AlreadyExists("duplicate edge " + tasks_[from.value].name + " -> " +
+                         tasks_[to.value].name);
+  }
+  successors.push_back(to);
+  pred_[to.value].push_back(from);
+  return OkStatus();
+}
+
+Status Job::Validate() const {
+  if (tasks_.empty()) {
+    return InvalidArgument("job '" + name_ + "' has no tasks");
+  }
+  for (const TaskSpec& spec : tasks_) {
+    if (!spec.fn) {
+      return InvalidArgument("task '" + spec.name + "' has no body");
+    }
+  }
+  // Kahn's algorithm: if we cannot consume every task, there is a cycle.
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    indegree[i] = pred_[i].size();
+  }
+  std::queue<std::uint32_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) {
+      ready.push(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const std::uint32_t t = ready.front();
+    ready.pop();
+    ++seen;
+    for (const TaskId s : succ_[t]) {
+      if (--indegree[s.value] == 0) {
+        ready.push(s.value);
+      }
+    }
+  }
+  if (seen != tasks_.size()) {
+    return InvalidArgument("job '" + name_ + "' contains a cycle");
+  }
+  return OkStatus();
+}
+
+std::vector<TaskId> Job::TopologicalOrder() const {
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    indegree[i] = pred_[i].size();
+  }
+  // Min-id tiebreak keeps the order deterministic and source-stable.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>, std::greater<>> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) {
+      ready.push(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const std::uint32_t t = ready.top();
+    ready.pop();
+    order.push_back(TaskId(t));
+    for (const TaskId s : succ_[t]) {
+      if (--indegree[s.value] == 0) {
+        ready.push(s.value);
+      }
+    }
+  }
+  MEMFLOW_CHECK_MSG(order.size() == tasks_.size(), "TopologicalOrder on a cyclic job");
+  return order;
+}
+
+const TaskSpec& Job::task(TaskId id) const {
+  MEMFLOW_CHECK(id.value < tasks_.size());
+  return tasks_[id.value];
+}
+
+TaskSpec& Job::task(TaskId id) {
+  MEMFLOW_CHECK(id.value < tasks_.size());
+  return tasks_[id.value];
+}
+
+const std::vector<TaskId>& Job::successors(TaskId id) const {
+  MEMFLOW_CHECK(id.value < succ_.size());
+  return succ_[id.value];
+}
+
+const std::vector<TaskId>& Job::predecessors(TaskId id) const {
+  MEMFLOW_CHECK(id.value < pred_.size());
+  return pred_[id.value];
+}
+
+std::vector<TaskId> Job::Sources() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (pred_[i].empty()) {
+      out.push_back(TaskId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> Job::Sinks() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (succ_[i].empty()) {
+      out.push_back(TaskId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace memflow::dataflow

@@ -1,0 +1,73 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// A Job is a DAG of tasks (Figure 2a/2b). The builder API collects tasks and
+// dataflow edges; Validate() checks the graph is acyclic and well-formed;
+// TopologicalOrder() is what the scheduler consumes.
+
+#ifndef MEMFLOW_DATAFLOW_JOB_H_
+#define MEMFLOW_DATAFLOW_JOB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/task.h"
+
+namespace memflow::dataflow {
+
+// Job-wide shared memory demands: the Global State and Global Scratch of
+// Table 2, sized by the application.
+struct JobOptions {
+  std::uint64_t global_state_bytes = 0;
+  std::uint64_t global_scratch_bytes = 0;
+  // If true, the job's Global State and Global Scratch are confidential:
+  // encrypted at rest and invisible to other jobs.
+  bool confidential = false;
+  // Priority for admission ordering (higher first among ready jobs).
+  int priority = 0;
+};
+
+class Job {
+ public:
+  explicit Job(std::string name, JobOptions options = {});
+
+  // Adds a task; returns its id (dense, 0-based within the job).
+  TaskId AddTask(std::string name, TaskProperties props, TaskFn fn);
+
+  // Declares a dataflow edge: `from`'s output becomes (part of) `to`'s input.
+  Status Connect(TaskId from, TaskId to);
+
+  // Checks the DAG: ids valid, no self-loops or duplicate edges (done at
+  // Connect time), acyclic, every task has a body.
+  Status Validate() const;
+
+  // Kahn topological order; Validate() must pass first.
+  std::vector<TaskId> TopologicalOrder() const;
+
+  // --- accessors ---------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  const JobOptions& options() const { return options_; }
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const TaskSpec& task(TaskId id) const;
+  TaskSpec& task(TaskId id);
+
+  const std::vector<TaskId>& successors(TaskId id) const;
+  const std::vector<TaskId>& predecessors(TaskId id) const;
+
+  // Tasks with no predecessors / successors.
+  std::vector<TaskId> Sources() const;
+  std::vector<TaskId> Sinks() const;
+
+ private:
+  std::string name_;
+  JobOptions options_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+};
+
+}  // namespace memflow::dataflow
+
+#endif  // MEMFLOW_DATAFLOW_JOB_H_

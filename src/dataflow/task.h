@@ -1,0 +1,81 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tasks and their declarative properties (Figure 2). A task is a unit of
+// computation in a job's DAG; the developer attaches *what* the task needs —
+// compute device class, confidentiality, persistence, memory latency — and
+// the runtime decides *how* and *where* it runs.
+
+#ifndef MEMFLOW_DATAFLOW_TASK_H_
+#define MEMFLOW_DATAFLOW_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "region/properties.h"
+#include "simhw/compute.h"
+#include "simhw/ids.h"
+
+namespace memflow::dataflow {
+
+struct TaskTag {};
+using TaskId = simhw::StrongId<TaskTag>;
+
+struct JobTag {};
+using JobId = simhw::StrongId<JobTag>;
+
+// The property sheet of Figure 2c, plus the execution profile the cost model
+// needs (how much work, how parallel).
+struct TaskProperties {
+  // Requirement: the task only runs on this device class (e.g. the face-
+  // recognition kernel needs a GPU). Unset = any device.
+  std::optional<simhw::ComputeDeviceKind> compute_device;
+
+  // The task handles sensitive data: all its regions are encrypted at rest
+  // and inaccessible to other jobs.
+  bool confidential = false;
+
+  // The task's output must survive crashes (placed on persistent media).
+  bool persistent = false;
+
+  // Latency requirement for the task's working memory. kAny = "–" in Fig. 2c.
+  region::LatencyClass mem_latency = region::LatencyClass::kAny;
+
+  // --- execution profile (for the scheduler's cost model) --------------------
+
+  // Fixed work units executed regardless of input size.
+  double base_work = 0.0;
+  // Additional work units per input byte.
+  double work_per_byte = 0.0;
+  // Fraction of the work that is data-parallel (Amdahl split across the
+  // device's parallel vs. scalar throughput).
+  double parallel_fraction = 0.5;
+
+  // Expected output size. `output_bytes` fixed part + per-input-byte part;
+  // used by the runtime to pre-plan placement so handover is zero-copy.
+  std::uint64_t output_bytes = 0;
+  double output_bytes_per_input_byte = 0.0;
+
+  // Private scratch demand, same shape.
+  std::uint64_t scratch_bytes = 0;
+  double scratch_bytes_per_input_byte = 0.0;
+};
+
+class TaskContext;
+
+// A task body: reads its inputs, uses scratch, produces output, returns OK or
+// an error that fails the job. Bodies are pure dataflow logic; all memory
+// comes from the TaskContext.
+using TaskFn = std::function<Status(TaskContext&)>;
+
+struct TaskSpec {
+  std::string name;
+  TaskProperties props;
+  TaskFn fn;
+};
+
+}  // namespace memflow::dataflow
+
+#endif  // MEMFLOW_DATAFLOW_TASK_H_

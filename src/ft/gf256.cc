@@ -1,0 +1,107 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "ft/gf256.h"
+
+#include "common/assert.h"
+
+namespace memflow::ft {
+
+namespace {
+
+struct Tables {
+  std::uint8_t exp[512];  // doubled to skip the mod-255 in Mul
+  std::uint8_t log[256];
+
+  Tables() {
+    // Generator 2 over polynomial 0x11d.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11d;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = 0;  // never consulted; GfMul short-circuits zero
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const Tables& t = T();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t GfDiv(std::uint8_t a, std::uint8_t b) {
+  MEMFLOW_CHECK(b != 0);
+  if (a == 0) {
+    return 0;
+  }
+  const Tables& t = T();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+std::uint8_t GfInv(std::uint8_t a) {
+  MEMFLOW_CHECK(a != 0);
+  const Tables& t = T();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t GfExp(int power) {
+  power %= 255;
+  if (power < 0) {
+    power += 255;
+  }
+  return T().exp[power];
+}
+
+void GfMulAccum(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t coeff,
+                std::size_t n) {
+  if (coeff == 0) {
+    return;
+  }
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const Tables& t = T();
+  const int lc = t.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[t.log[s] + lc];
+    }
+  }
+}
+
+void GfMulRow(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t coeff, std::size_t n) {
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = 0;
+    }
+    return;
+  }
+  const Tables& t = T();
+  const int lc = t.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = s == 0 ? 0 : t.exp[t.log[s] + lc];
+  }
+}
+
+}  // namespace memflow::ft

@@ -1,0 +1,39 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// GF(2^8) arithmetic for the Reed–Solomon coder, using the AES/RS-standard
+// reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d). Multiplication and
+// division go through log/exp tables built once at startup.
+
+#ifndef MEMFLOW_FT_GF256_H_
+#define MEMFLOW_FT_GF256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memflow::ft {
+
+// Addition and subtraction in GF(2^8) are both XOR.
+constexpr std::uint8_t GfAdd(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b);
+
+// b must be nonzero.
+std::uint8_t GfDiv(std::uint8_t a, std::uint8_t b);
+
+// a must be nonzero.
+std::uint8_t GfInv(std::uint8_t a);
+
+std::uint8_t GfExp(int power);  // generator^power, power taken mod 255
+
+// dst[i] ^= coeff * src[i] for i in [0, n): the inner loop of encode/decode.
+void GfMulAccum(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t coeff,
+                std::size_t n);
+
+// dst[i] = coeff * src[i].
+void GfMulRow(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t coeff, std::size_t n);
+
+}  // namespace memflow::ft
+
+#endif  // MEMFLOW_FT_GF256_H_

@@ -1,0 +1,184 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "ft/reed_solomon.h"
+
+#include <cstring>
+
+#include "ft/gf256.h"
+
+namespace memflow::ft {
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  MEMFLOW_CHECK(k_ >= 1 && m_ >= 1 && k_ + m_ <= 256);
+  // Cauchy matrix: rows indexed by x_r = r, columns by y_c = m + c, element
+  // 1/(x_r ^ y_c). x and y sets are disjoint, so every entry is defined and
+  // every square submatrix of [I; C] stays invertible.
+  matrix_.resize(static_cast<std::size_t>(m_) * k_);
+  for (int r = 0; r < m_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      const auto x = static_cast<std::uint8_t>(r);
+      const auto y = static_cast<std::uint8_t>(m_ + c);
+      matrix_[static_cast<std::size_t>(r) * k_ + c] = GfInv(GfAdd(x, y));
+    }
+  }
+}
+
+Status ReedSolomon::Encode(std::span<const std::span<const std::uint8_t>> data,
+                           std::span<const std::span<std::uint8_t>> parity) const {
+  if (static_cast<int>(data.size()) != k_ || static_cast<int>(parity.size()) != m_) {
+    return InvalidArgument("shard count mismatch");
+  }
+  const std::size_t len = data[0].size();
+  if (len == 0) {
+    return InvalidArgument("empty shards");
+  }
+  for (const auto& d : data) {
+    if (d.size() != len) {
+      return InvalidArgument("data shards have unequal length");
+    }
+  }
+  for (const auto& p : parity) {
+    if (p.size() != len) {
+      return InvalidArgument("parity shards have unequal length");
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    const std::uint8_t* row = ParityRow(r);
+    GfMulRow(parity[r].data(), data[0].data(), row[0], len);
+    for (int c = 1; c < k_; ++c) {
+      GfMulAccum(parity[r].data(), data[c].data(), row[c], len);
+    }
+  }
+  return OkStatus();
+}
+
+Status GfInvertMatrix(std::vector<std::uint8_t>& matrix, int n) {
+  // Augment with identity, run Gauss–Jordan, read the inverse back out.
+  std::vector<std::uint8_t> work(static_cast<std::size_t>(n) * n * 2, 0);
+  const int w = 2 * n;
+  for (int r = 0; r < n; ++r) {
+    std::memcpy(&work[static_cast<std::size_t>(r) * w], &matrix[static_cast<std::size_t>(r) * n],
+                static_cast<std::size_t>(n));
+    work[static_cast<std::size_t>(r) * w + n + r] = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    // Pivot: find a row with a nonzero entry in this column.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (work[static_cast<std::size_t>(r) * w + col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      return InvalidArgument("singular matrix");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < w; ++c) {
+        std::swap(work[static_cast<std::size_t>(pivot) * w + c],
+                  work[static_cast<std::size_t>(col) * w + c]);
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t inv = GfInv(work[static_cast<std::size_t>(col) * w + col]);
+    GfMulRow(&work[static_cast<std::size_t>(col) * w], &work[static_cast<std::size_t>(col) * w],
+             inv, static_cast<std::size_t>(w));
+    // Eliminate the column from every other row.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const std::uint8_t f = work[static_cast<std::size_t>(r) * w + col];
+      if (f != 0) {
+        GfMulAccum(&work[static_cast<std::size_t>(r) * w],
+                   &work[static_cast<std::size_t>(col) * w], f, static_cast<std::size_t>(w));
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    std::memcpy(&matrix[static_cast<std::size_t>(r) * n],
+                &work[static_cast<std::size_t>(r) * w + n], static_cast<std::size_t>(n));
+  }
+  return OkStatus();
+}
+
+Status ReedSolomon::Reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                                const std::vector<bool>& present) const {
+  const int total = k_ + m_;
+  if (static_cast<int>(shards.size()) != total || static_cast<int>(present.size()) != total) {
+    return InvalidArgument("shard count mismatch");
+  }
+  int have = 0;
+  for (const bool p : present) {
+    have += p ? 1 : 0;
+  }
+  if (have < k_) {
+    return DataLoss("only " + std::to_string(have) + " of " + std::to_string(k_) +
+                    " required shards survive");
+  }
+  bool anything_missing = false;
+  for (int i = 0; i < total; ++i) {
+    if (!present[i]) {
+      anything_missing = true;
+      break;
+    }
+  }
+  if (!anything_missing) {
+    return OkStatus();
+  }
+  const std::size_t len = shards[0].size();
+  for (const auto& s : shards) {
+    if (s.size() != len) {
+      return InvalidArgument("shards have unequal length");
+    }
+  }
+
+  // Build the k x k matrix mapping data words -> the k survivor shards we
+  // will use, invert it, then data = inv * survivors.
+  std::vector<int> use;  // survivor shard indexes, k of them
+  for (int i = 0; i < total && static_cast<int>(use.size()) < k_; ++i) {
+    if (present[i]) {
+      use.push_back(i);
+    }
+  }
+  std::vector<std::uint8_t> mat(static_cast<std::size_t>(k_) * k_, 0);
+  for (int r = 0; r < k_; ++r) {
+    const int shard = use[r];
+    if (shard < k_) {
+      mat[static_cast<std::size_t>(r) * k_ + shard] = 1;  // identity row
+    } else {
+      std::memcpy(&mat[static_cast<std::size_t>(r) * k_], ParityRow(shard - k_),
+                  static_cast<std::size_t>(k_));
+    }
+  }
+  MEMFLOW_RETURN_IF_ERROR(GfInvertMatrix(mat, k_));
+
+  // Recover missing data shards.
+  for (int d = 0; d < k_; ++d) {
+    if (present[d]) {
+      continue;
+    }
+    std::vector<std::uint8_t>& out = shards[d];
+    GfMulRow(out.data(), shards[use[0]].data(), mat[static_cast<std::size_t>(d) * k_], len);
+    for (int c = 1; c < k_; ++c) {
+      GfMulAccum(out.data(), shards[use[c]].data(),
+                 mat[static_cast<std::size_t>(d) * k_ + c], len);
+    }
+  }
+  // Recompute missing parity shards from (now complete) data.
+  for (int p = 0; p < m_; ++p) {
+    if (present[k_ + p]) {
+      continue;
+    }
+    std::vector<std::uint8_t>& out = shards[k_ + p];
+    const std::uint8_t* row = ParityRow(p);
+    GfMulRow(out.data(), shards[0].data(), row[0], len);
+    for (int c = 1; c < k_; ++c) {
+      GfMulAccum(out.data(), shards[c].data(), row[c], len);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace memflow::ft

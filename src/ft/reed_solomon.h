@@ -1,0 +1,59 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Systematic Reed–Solomon erasure coding over GF(2^8), the redundancy scheme
+// behind Carbink-style fault-tolerant far memory (paper §3, Challenge 8:
+// "erasure-coding, one-sided remote memory accesses and compaction, and
+// off-loadable parity calculations").
+//
+// The encoding matrix is a Cauchy matrix, so *any* k of the k+m shards
+// reconstruct the data (every square submatrix of a Cauchy matrix is
+// invertible).
+
+#ifndef MEMFLOW_FT_REED_SOLOMON_H_
+#define MEMFLOW_FT_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace memflow::ft {
+
+class ReedSolomon {
+ public:
+  // data_shards + parity_shards <= 256 (field size); both >= 1.
+  ReedSolomon(int data_shards, int parity_shards);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  // Computes parity from data. All shards must have equal nonzero length;
+  // parity buffers are overwritten.
+  Status Encode(std::span<const std::span<const std::uint8_t>> data,
+                std::span<const std::span<std::uint8_t>> parity) const;
+
+  // Rebuilds every missing shard. `shards` holds k+m buffers of equal length
+  // (missing ones sized but content irrelevant); present[i] says which are
+  // valid. Fails if fewer than k are present.
+  Status Reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                     const std::vector<bool>& present) const;
+
+ private:
+  // Row `r` of the parity-generation matrix (length k).
+  const std::uint8_t* ParityRow(int r) const { return &matrix_[static_cast<std::size_t>(r) * k_]; }
+
+  int k_;
+  int m_;
+  std::vector<std::uint8_t> matrix_;  // m x k Cauchy matrix
+};
+
+// Invert a dense n x n matrix over GF(2^8) in place via Gauss–Jordan.
+// Returns kInvalidArgument if singular (cannot happen for Cauchy submatrices;
+// exposed for tests).
+Status GfInvertMatrix(std::vector<std::uint8_t>& matrix, int n);
+
+}  // namespace memflow::ft
+
+#endif  // MEMFLOW_FT_REED_SOLOMON_H_

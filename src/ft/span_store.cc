@@ -1,0 +1,742 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "ft/span_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace memflow::ft {
+
+namespace {
+
+// Parity/reconstruction compute intensity: GF multiply-accumulate work per
+// byte per parity shard, expressed in simhw work units.
+constexpr double kParityWorkPerByte = 0.5;
+
+}  // namespace
+
+std::string_view RedundancyName(Redundancy r) {
+  switch (r) {
+    case Redundancy::kNone:
+      return "none";
+    case Redundancy::kReplication:
+      return "replication";
+    case Redundancy::kErasureCoding:
+      return "erasure-coding";
+  }
+  return "?";
+}
+
+SpanStore::SpanStore(region::RegionManager& regions,
+                     std::vector<simhw::MemoryDeviceId> devices,
+                     simhw::ComputeDeviceId observer, StoreOptions options)
+    : regions_(&regions),
+      devices_(std::move(devices)),
+      observer_(observer),
+      options_(options),
+      rs_(options.rs_data, options.rs_parity) {
+  MEMFLOW_CHECK(!devices_.empty());
+  MEMFLOW_CHECK(options_.span_bytes >= 4 * kKiB);
+  if (options_.scheme == Redundancy::kReplication) {
+    MEMFLOW_CHECK_MSG(devices_.size() >= static_cast<std::size_t>(options_.replicas),
+                      "need at least `replicas` devices");
+  }
+  if (options_.scheme == Redundancy::kErasureCoding) {
+    MEMFLOW_CHECK_MSG(
+        devices_.size() >= static_cast<std::size_t>(options_.rs_data + options_.rs_parity),
+        "need at least k+m devices");
+  }
+}
+
+SpanStore::~SpanStore() {
+  for (const Span& span : spans_) {
+    for (const Replica& r : span.copies) {
+      (void)regions_->ForceFree(r.region);
+    }
+  }
+  for (const Group& g : groups_) {
+    for (const Replica& r : g.parity) {
+      (void)regions_->ForceFree(r.region);
+    }
+  }
+}
+
+void SpanStore::ChargeParityCompute(std::uint64_t bytes) {
+  const double work =
+      kParityWorkPerByte * static_cast<double>(bytes) * options_.rs_parity;
+  const SimDuration t =
+      regions_->cluster().compute(observer_).ComputeTime(work, /*parallel_fraction=*/0.9);
+  if (options_.offload_parity) {
+    background_cost_ += t;  // computed near memory, off the client path
+  } else {
+    total_cost_ += t;
+  }
+}
+
+Result<simhw::MemoryDeviceId> SpanStore::NextDevice(
+    const std::vector<simhw::MemoryDeviceId>& exclude) {
+  for (std::size_t probe = 0; probe < devices_.size(); ++probe) {
+    const simhw::MemoryDeviceId dev = devices_[rr_device_ % devices_.size()];
+    rr_device_++;
+    if (regions_->cluster().memory(dev).failed()) {
+      continue;
+    }
+    if (std::find(exclude.begin(), exclude.end(), dev) != exclude.end()) {
+      continue;
+    }
+    if (regions_->cluster().memory(dev).free_bytes() < options_.span_bytes) {
+      continue;
+    }
+    return dev;
+  }
+  return ResourceExhausted("no usable far-memory device left");
+}
+
+bool SpanStore::ReplicaAlive(const Replica& r) const {
+  if (regions_->cluster().memory(r.device).failed()) {
+    return false;
+  }
+  auto info = regions_->Info(r.region);
+  return info.ok() && !info->lost;
+}
+
+Status SpanStore::WriteRegion(const Replica& replica, std::span<const std::uint8_t> payload,
+                              SimDuration& cost) {
+  MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc,
+                           regions_->OpenAsync(replica.region, self_, observer_));
+  acc.EnqueueWrite(0, payload.data(), payload.size());
+  MEMFLOW_ASSIGN_OR_RETURN(cost, acc.Drain());
+  return OkStatus();
+}
+
+Result<ObjectId> SpanStore::Put(std::span<const std::uint8_t> data) {
+  if (data.empty()) {
+    return InvalidArgument("empty object");
+  }
+  const auto id = ObjectId(next_object_++);
+  Object obj;
+  obj.size = data.size();
+  MEMFLOW_ASSIGN_OR_RETURN(obj.frags, Append(id, data, 0));
+  objects_.emplace(id.value, std::move(obj));
+  return id;
+}
+
+Result<std::vector<SpanStore::Fragment>> SpanStore::Append(ObjectId id,
+                                                           std::span<const std::uint8_t> data,
+                                                           std::uint32_t first_frag_index) {
+  std::vector<Fragment> frags;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (open_span_ < 0) {
+      spans_.emplace_back();
+      open_span_ = static_cast<std::int64_t>(spans_.size()) - 1;
+      staging_.clear();
+      staging_.reserve(options_.span_bytes);
+    }
+    Span& span = spans_[static_cast<std::size_t>(open_span_)];
+    const std::uint64_t space = options_.span_bytes - staging_.size();
+    const auto take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(space, data.size() - pos));
+    const auto offset = static_cast<std::uint32_t>(staging_.size());
+    staging_.insert(staging_.end(), data.begin() + static_cast<std::ptrdiff_t>(pos),
+                    data.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    const auto span_index = static_cast<std::uint32_t>(open_span_);
+    frags.push_back(Fragment{span_index, offset, take});
+    span.objects.push_back(LiveObject{
+        id, offset, take, first_frag_index + static_cast<std::uint32_t>(frags.size()) - 1});
+    span.live_bytes += take;
+    pos += take;
+    if (staging_.size() == options_.span_bytes) {
+      MEMFLOW_RETURN_IF_ERROR(SealOpenSpan());
+    }
+  }
+  return frags;
+}
+
+Status SpanStore::SealOpenSpan() {
+  MEMFLOW_CHECK(open_span_ >= 0);
+  const auto s = static_cast<std::uint32_t>(open_span_);
+  staging_.resize(options_.span_bytes, 0);  // pad the tail
+
+  if (options_.scheme == Redundancy::kErasureCoding) {
+    pending_payloads_.emplace(s, std::move(staging_));
+    pending_group_.push_back(s);
+    staging_ = {};
+    open_span_ = -1;
+    if (static_cast<int>(pending_group_.size()) == options_.rs_data) {
+      return FlushPendingGroup();
+    }
+    return OkStatus();
+  }
+
+  const Status st = MaterializeSpan(s, staging_);
+  staging_.clear();
+  open_span_ = -1;
+  return st;
+}
+
+Status SpanStore::MaterializeSpan(std::uint32_t span_index,
+                                  const std::vector<std::uint8_t>& payload) {
+  Span& span = spans_[span_index];
+  const int copies = options_.scheme == Redundancy::kReplication ? options_.replicas : 1;
+  std::vector<simhw::MemoryDeviceId> used;
+  SimDuration slowest{};
+  for (int i = 0; i < copies; ++i) {
+    MEMFLOW_ASSIGN_OR_RETURN(simhw::MemoryDeviceId dev, NextDevice(used));
+    used.push_back(dev);
+    MEMFLOW_ASSIGN_OR_RETURN(
+        region::RegionId region,
+        regions_->AllocateOn(dev, options_.span_bytes, region::Properties{}, self_));
+    Replica replica{region, dev};
+    SimDuration cost;
+    MEMFLOW_RETURN_IF_ERROR(WriteRegion(replica, payload, cost));
+    slowest = std::max(slowest, cost);
+    span.copies.push_back(replica);
+  }
+  total_cost_ += slowest;  // replicas written in parallel
+  return OkStatus();
+}
+
+Status SpanStore::FlushPendingGroup() {
+  if (pending_group_.empty()) {
+    return OkStatus();
+  }
+  const int k = options_.rs_data;
+  const int m = options_.rs_parity;
+  const std::size_t len = options_.span_bytes;
+
+  // Assemble k data shards: real pending payloads plus virtual zero spans.
+  std::vector<std::uint8_t> zeros(len, 0);
+  std::vector<std::span<const std::uint8_t>> data;
+  data.reserve(static_cast<std::size_t>(k));
+  for (const std::uint32_t s : pending_group_) {
+    data.emplace_back(pending_payloads_.at(s));
+  }
+  while (static_cast<int>(data.size()) < k) {
+    data.emplace_back(zeros);
+  }
+
+  std::vector<std::vector<std::uint8_t>> parity(static_cast<std::size_t>(m),
+                                                std::vector<std::uint8_t>(len));
+  std::vector<std::span<std::uint8_t>> parity_spans;
+  parity_spans.reserve(static_cast<std::size_t>(m));
+  for (auto& p : parity) {
+    parity_spans.emplace_back(p);
+  }
+  MEMFLOW_RETURN_IF_ERROR(rs_.Encode(data, parity_spans));
+  ChargeParityCompute(static_cast<std::uint64_t>(k) * len);
+
+  Group group;
+  group.data_spans = pending_group_;
+  std::vector<simhw::MemoryDeviceId> used;
+  SimDuration slowest{};
+
+  const int group_index = static_cast<int>(groups_.size());
+  for (std::size_t i = 0; i < pending_group_.size(); ++i) {
+    const std::uint32_t s = pending_group_[i];
+    MEMFLOW_ASSIGN_OR_RETURN(simhw::MemoryDeviceId dev, NextDevice(used));
+    used.push_back(dev);
+    MEMFLOW_ASSIGN_OR_RETURN(
+        region::RegionId region,
+        regions_->AllocateOn(dev, options_.span_bytes, region::Properties{}, self_));
+    Replica replica{region, dev};
+    SimDuration cost;
+    MEMFLOW_RETURN_IF_ERROR(WriteRegion(replica, pending_payloads_.at(s), cost));
+    slowest = std::max(slowest, cost);
+    spans_[s].copies.push_back(replica);
+    spans_[s].group = group_index;
+    spans_[s].slot = static_cast<int>(i);
+  }
+  for (int j = 0; j < m; ++j) {
+    MEMFLOW_ASSIGN_OR_RETURN(simhw::MemoryDeviceId dev, NextDevice(used));
+    used.push_back(dev);
+    MEMFLOW_ASSIGN_OR_RETURN(
+        region::RegionId region,
+        regions_->AllocateOn(dev, options_.span_bytes, region::Properties{}, self_));
+    Replica replica{region, dev};
+    SimDuration cost;
+    MEMFLOW_RETURN_IF_ERROR(WriteRegion(replica, parity[static_cast<std::size_t>(j)], cost));
+    slowest = std::max(slowest, cost);
+    group.parity.push_back(replica);
+  }
+  total_cost_ += slowest;  // all k+m shards written in parallel
+
+  for (const std::uint32_t s : pending_group_) {
+    pending_payloads_.erase(s);
+  }
+  pending_group_.clear();
+  groups_.push_back(std::move(group));
+  return OkStatus();
+}
+
+Status SpanStore::Flush() {
+  if (open_span_ >= 0) {
+    Span& span = spans_[static_cast<std::size_t>(open_span_)];
+    if (span.objects.empty() && staging_.empty()) {
+      span.dropped = true;
+      open_span_ = -1;
+    } else {
+      MEMFLOW_RETURN_IF_ERROR(SealOpenSpan());
+    }
+  }
+  if (options_.scheme == Redundancy::kErasureCoding) {
+    return FlushPendingGroup();
+  }
+  return OkStatus();
+}
+
+Status SpanStore::Get(ObjectId id, std::vector<std::uint8_t>& out) {
+  auto it = objects_.find(id.value);
+  if (it == objects_.end() || it->second.deleted) {
+    return NotFound("unknown object");
+  }
+  Object& obj = it->second;
+  if (obj.lost) {
+    return DataLoss("object " + std::to_string(id.value) + " was lost");
+  }
+  out.resize(obj.size);
+  std::size_t pos = 0;
+  for (const Fragment& frag : obj.frags) {
+    MEMFLOW_RETURN_IF_ERROR(ReadSpanBytes(frag.span, frag.offset, frag.len, out.data() + pos));
+    pos += frag.len;
+  }
+  return OkStatus();
+}
+
+Status SpanStore::ReadFullShard(const Replica& replica, std::vector<std::uint8_t>& out,
+                                SimDuration& cost) {
+  out.resize(options_.span_bytes);
+  MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc,
+                           regions_->OpenAsync(replica.region, self_, observer_));
+  acc.EnqueueRead(0, out.data(), out.size());
+  MEMFLOW_ASSIGN_OR_RETURN(cost, acc.Drain());
+  return OkStatus();
+}
+
+Status SpanStore::ReadSpanBytes(std::uint32_t s, std::uint32_t offset, std::uint32_t len,
+                                std::uint8_t* dst) {
+  Span& span = spans_[s];
+  MEMFLOW_CHECK(!span.dropped);
+
+  // Unsealed data is still client-side (staging or pending payload).
+  if (span.copies.empty()) {
+    if (open_span_ >= 0 && static_cast<std::uint32_t>(open_span_) == s) {
+      std::memcpy(dst, staging_.data() + offset, len);
+      return OkStatus();
+    }
+    auto pit = pending_payloads_.find(s);
+    if (pit != pending_payloads_.end()) {
+      std::memcpy(dst, pit->second.data() + offset, len);
+      return OkStatus();
+    }
+    return Internal("span has neither copies nor a pending payload");
+  }
+
+  // Fast path: any alive copy serves the read directly.
+  for (const Replica& r : span.copies) {
+    if (!ReplicaAlive(r)) {
+      continue;
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc,
+                             regions_->OpenAsync(r.region, self_, observer_));
+    acc.EnqueueRead(offset, dst, len);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    total_cost_ += cost;
+    return OkStatus();
+  }
+
+  // Degraded read: reconstruct through the spanset's parity (EC only).
+  if (span.group < 0) {
+    return DataLoss("span " + std::to_string(s) + " has no surviving copy");
+  }
+  const Group& group = groups_[static_cast<std::size_t>(span.group)];
+  const int k = options_.rs_data;
+  const int m = options_.rs_parity;
+  std::vector<std::vector<std::uint8_t>> shards(static_cast<std::size_t>(k + m));
+  std::vector<bool> present(static_cast<std::size_t>(k + m), false);
+  SimDuration slowest{};
+  int have = 0;
+
+  for (std::size_t i = 0; i < group.data_spans.size() && have < k; ++i) {
+    const Span& ds = spans_[group.data_spans[i]];
+    if (ds.copies.empty() || !ReplicaAlive(ds.copies.front())) {
+      continue;
+    }
+    SimDuration cost;
+    MEMFLOW_RETURN_IF_ERROR(ReadFullShard(ds.copies.front(), shards[i], cost));
+    slowest = std::max(slowest, cost);
+    present[i] = true;
+    have++;
+  }
+  // Virtual zero spans are always "present".
+  for (int i = static_cast<int>(group.data_spans.size()); i < k && have < k; ++i) {
+    shards[static_cast<std::size_t>(i)].assign(options_.span_bytes, 0);
+    present[static_cast<std::size_t>(i)] = true;
+    have++;
+  }
+  for (int j = 0; j < m && have < k; ++j) {
+    const Replica& pr = group.parity[static_cast<std::size_t>(j)];
+    if (!ReplicaAlive(pr)) {
+      continue;
+    }
+    SimDuration cost;
+    MEMFLOW_RETURN_IF_ERROR(ReadFullShard(pr, shards[static_cast<std::size_t>(k + j)], cost));
+    slowest = std::max(slowest, cost);
+    present[static_cast<std::size_t>(k + j)] = true;
+    have++;
+  }
+  if (have < k) {
+    return DataLoss("spanset lost more shards than parity can absorb");
+  }
+  // Size the missing buffers, reconstruct, serve from the rebuilt shard.
+  for (auto& shard : shards) {
+    if (shard.empty()) {
+      shard.assign(options_.span_bytes, 0);
+    }
+  }
+  MEMFLOW_RETURN_IF_ERROR(rs_.Reconstruct(shards, present));
+  total_cost_ += slowest;
+  // Degraded-read decode is on the client's critical path regardless of
+  // parity offload.
+  const double work = kParityWorkPerByte * static_cast<double>(options_.span_bytes) * k;
+  total_cost_ += regions_->cluster().compute(observer_).ComputeTime(work, 0.9);
+
+  MEMFLOW_CHECK(span.slot >= 0);
+  std::memcpy(dst, shards[static_cast<std::size_t>(span.slot)].data() + offset, len);
+  return OkStatus();
+}
+
+Status SpanStore::Delete(ObjectId id) {
+  auto it = objects_.find(id.value);
+  if (it == objects_.end() || it->second.deleted) {
+    return NotFound("unknown object");
+  }
+  Object& obj = it->second;
+  for (const Fragment& frag : obj.frags) {
+    Span& span = spans_[frag.span];
+    span.dead_bytes += frag.len;
+    span.live_bytes -= frag.len;
+    std::erase_if(span.objects,
+                  [&](const LiveObject& lo) { return lo.object == id; });
+  }
+  obj.deleted = true;
+  obj.frags.clear();
+  return OkStatus();
+}
+
+Result<RecoveryReport> SpanStore::HandleDeviceFailure(simhw::MemoryDeviceId failed) {
+  RecoveryReport report;
+  (void)regions_->MarkLostOn(failed);
+  const SimDuration before = total_cost_;
+
+  // Replication / single-copy spans.
+  for (std::uint32_t s = 0; s < spans_.size(); ++s) {
+    Span& span = spans_[s];
+    if (span.dropped || span.group >= 0 || span.copies.empty()) {
+      continue;
+    }
+    std::vector<Replica> alive;
+    std::vector<Replica> dead;
+    for (const Replica& r : span.copies) {
+      (ReplicaAlive(r) ? alive : dead).push_back(r);
+    }
+    if (dead.empty()) {
+      continue;
+    }
+    for (const Replica& r : dead) {
+      (void)regions_->ForceFree(r.region);
+    }
+    if (alive.empty()) {
+      // Single-copy store (or all replicas lost): the objects are gone.
+      for (const LiveObject& lo : span.objects) {
+        auto oit = objects_.find(lo.object.value);
+        if (oit != objects_.end() && !oit->second.lost) {
+          oit->second.lost = true;
+          report.objects_lost++;
+        }
+      }
+      span.copies.clear();
+      span.dropped = true;
+      continue;
+    }
+    span.copies = alive;
+    // Re-replicate up to the configured count.
+    std::vector<std::uint8_t> payload;
+    SimDuration read_cost;
+    MEMFLOW_RETURN_IF_ERROR(ReadFullShard(span.copies.front(), payload, read_cost));
+    total_cost_ += read_cost;
+    while (static_cast<int>(span.copies.size()) < options_.replicas) {
+      std::vector<simhw::MemoryDeviceId> exclude;
+      for (const Replica& r : span.copies) {
+        exclude.push_back(r.device);
+      }
+      MEMFLOW_ASSIGN_OR_RETURN(simhw::MemoryDeviceId dev, NextDevice(exclude));
+      MEMFLOW_ASSIGN_OR_RETURN(
+          region::RegionId region,
+          regions_->AllocateOn(dev, options_.span_bytes, region::Properties{}, self_));
+      Replica replica{region, dev};
+      SimDuration cost;
+      MEMFLOW_RETURN_IF_ERROR(WriteRegion(replica, payload, cost));
+      total_cost_ += cost;
+      span.copies.push_back(replica);
+      report.spans_repaired++;
+      report.bytes_rewritten += options_.span_bytes;
+    }
+  }
+
+  // Erasure-coded spansets.
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    Group& group = groups_[gi];
+    if (group.dropped) {
+      continue;
+    }
+    const int k = options_.rs_data;
+    const int m = options_.rs_parity;
+    std::vector<int> dead_slots;
+    for (std::size_t i = 0; i < group.data_spans.size(); ++i) {
+      Span& ds = spans_[group.data_spans[i]];
+      if (!ds.copies.empty() && !ReplicaAlive(ds.copies.front())) {
+        dead_slots.push_back(static_cast<int>(i));
+      }
+    }
+    for (int j = 0; j < m; ++j) {
+      if (!ReplicaAlive(group.parity[static_cast<std::size_t>(j)])) {
+        dead_slots.push_back(k + j);
+      }
+    }
+    if (dead_slots.empty()) {
+      continue;
+    }
+
+    // Gather survivors, reconstruct, rewrite dead shards elsewhere.
+    std::vector<std::vector<std::uint8_t>> shards(static_cast<std::size_t>(k + m));
+    std::vector<bool> present(static_cast<std::size_t>(k + m), false);
+    SimDuration slowest{};
+    for (std::size_t i = 0; i < group.data_spans.size(); ++i) {
+      const Span& ds = spans_[group.data_spans[i]];
+      if (ds.copies.empty() || !ReplicaAlive(ds.copies.front())) {
+        continue;
+      }
+      SimDuration cost;
+      MEMFLOW_RETURN_IF_ERROR(ReadFullShard(ds.copies.front(), shards[i], cost));
+      slowest = std::max(slowest, cost);
+      present[i] = true;
+    }
+    for (int i = static_cast<int>(group.data_spans.size()); i < k; ++i) {
+      shards[static_cast<std::size_t>(i)].assign(options_.span_bytes, 0);
+      present[static_cast<std::size_t>(i)] = true;
+    }
+    for (int j = 0; j < m; ++j) {
+      const Replica& pr = group.parity[static_cast<std::size_t>(j)];
+      if (!ReplicaAlive(pr)) {
+        continue;
+      }
+      SimDuration cost;
+      MEMFLOW_RETURN_IF_ERROR(ReadFullShard(pr, shards[static_cast<std::size_t>(k + j)], cost));
+      slowest = std::max(slowest, cost);
+      present[static_cast<std::size_t>(k + j)] = true;
+    }
+    total_cost_ += slowest;
+
+    int have = 0;
+    for (const bool p : present) {
+      have += p ? 1 : 0;
+    }
+    if (have < k) {
+      for (const std::uint32_t s : group.data_spans) {
+        for (const LiveObject& lo : spans_[s].objects) {
+          auto oit = objects_.find(lo.object.value);
+          if (oit != objects_.end() && !oit->second.lost) {
+            oit->second.lost = true;
+            report.objects_lost++;
+          }
+        }
+        spans_[s].dropped = true;
+      }
+      group.dropped = true;
+      continue;
+    }
+    for (auto& shard : shards) {
+      if (shard.empty()) {
+        shard.assign(options_.span_bytes, 0);
+      }
+    }
+    MEMFLOW_RETURN_IF_ERROR(rs_.Reconstruct(shards, present));
+    ChargeParityCompute(static_cast<std::uint64_t>(k) * options_.span_bytes);
+
+    std::vector<simhw::MemoryDeviceId> exclude;
+    for (std::size_t i = 0; i < group.data_spans.size(); ++i) {
+      const Span& ds = spans_[group.data_spans[i]];
+      if (!ds.copies.empty() && ReplicaAlive(ds.copies.front())) {
+        exclude.push_back(ds.copies.front().device);
+      }
+    }
+    for (int j = 0; j < m; ++j) {
+      if (ReplicaAlive(group.parity[static_cast<std::size_t>(j)])) {
+        exclude.push_back(group.parity[static_cast<std::size_t>(j)].device);
+      }
+    }
+    for (const int slot : dead_slots) {
+      MEMFLOW_ASSIGN_OR_RETURN(simhw::MemoryDeviceId dev, NextDevice(exclude));
+      exclude.push_back(dev);
+      MEMFLOW_ASSIGN_OR_RETURN(
+          region::RegionId region,
+          regions_->AllocateOn(dev, options_.span_bytes, region::Properties{}, self_));
+      Replica replica{region, dev};
+      SimDuration cost;
+      MEMFLOW_RETURN_IF_ERROR(
+          WriteRegion(replica, shards[static_cast<std::size_t>(slot)], cost));
+      total_cost_ += cost;
+      if (slot < k) {
+        Span& ds = spans_[group.data_spans[static_cast<std::size_t>(slot)]];
+        if (!ds.copies.empty()) {
+          (void)regions_->ForceFree(ds.copies.front().region);
+        }
+        ds.copies = {replica};
+      } else {
+        (void)regions_->ForceFree(group.parity[static_cast<std::size_t>(slot - k)].region);
+        group.parity[static_cast<std::size_t>(slot - k)] = replica;
+      }
+      report.spans_repaired++;
+      report.bytes_rewritten += options_.span_bytes;
+    }
+  }
+
+  // Recovery happens off the client's critical path.
+  report.cost = total_cost_ - before;
+  total_cost_ = before;
+  background_cost_ += report.cost;
+  return report;
+}
+
+Result<CompactionReport> SpanStore::Compact() {
+  CompactionReport report;
+  const SimDuration before = total_cost_;
+
+  // Collect rewrite units: EC spansets or standalone spans past the dead
+  // threshold.
+  auto rewrite_objects = [&](const std::vector<std::uint32_t>& span_ids) -> Status {
+    std::vector<ObjectId> victims;
+    for (const std::uint32_t s : span_ids) {
+      for (const LiveObject& lo : spans_[s].objects) {
+        if (std::find(victims.begin(), victims.end(), lo.object) == victims.end()) {
+          victims.push_back(lo.object);
+        }
+      }
+    }
+    for (const ObjectId v : victims) {
+      Object& obj = objects_.at(v.value);
+      std::vector<std::uint8_t> payload;
+      MEMFLOW_RETURN_IF_ERROR(Get(v, payload));
+      // Kill the old fragments everywhere, then re-append whole.
+      for (const Fragment& frag : obj.frags) {
+        Span& span = spans_[frag.span];
+        span.dead_bytes += frag.len;
+        span.live_bytes -= frag.len;
+        std::erase_if(span.objects,
+                      [&](const LiveObject& lo) { return lo.object == v; });
+      }
+      obj.frags.clear();
+      MEMFLOW_ASSIGN_OR_RETURN(obj.frags, Append(v, payload, 0));
+      report.bytes_moved += payload.size();
+    }
+    return OkStatus();
+  };
+
+  // NOTE: rewrite_objects() appends new spans/groups, so spans_ and groups_
+  // may reallocate — always re-index after calling it, never hold references
+  // across the call.
+  if (options_.scheme == Redundancy::kErasureCoding) {
+    const std::size_t existing_groups = groups_.size();  // new groups are clean
+    for (std::size_t gi = 0; gi < existing_groups; ++gi) {
+      if (groups_[gi].dropped) {
+        continue;
+      }
+      std::uint64_t live = 0;
+      std::uint64_t dead = 0;
+      for (const std::uint32_t s : groups_[gi].data_spans) {
+        live += spans_[s].live_bytes;
+        dead += spans_[s].dead_bytes;
+      }
+      if (live + dead == 0 ||
+          static_cast<double>(dead) / static_cast<double>(live + dead) <
+              options_.compaction_threshold) {
+        continue;
+      }
+      MEMFLOW_RETURN_IF_ERROR(rewrite_objects(groups_[gi].data_spans));
+      // The whole spanset is now dead: free every shard.
+      Group& group = groups_[gi];
+      for (const std::uint32_t s : group.data_spans) {
+        Span& ds = spans_[s];
+        for (const Replica& r : ds.copies) {
+          (void)regions_->ForceFree(r.region);
+        }
+        ds.copies.clear();
+        ds.dropped = true;
+        report.bytes_reclaimed += options_.span_bytes;
+      }
+      for (const Replica& r : group.parity) {
+        (void)regions_->ForceFree(r.region);
+        report.bytes_reclaimed += options_.span_bytes;
+      }
+      group.parity.clear();
+      group.dropped = true;
+      report.units_rewritten++;
+    }
+  } else {
+    const std::size_t existing_spans = spans_.size();
+    for (std::uint32_t s = 0; s < existing_spans; ++s) {
+      if (spans_[s].dropped || spans_[s].copies.empty()) {
+        continue;
+      }
+      const std::uint64_t live = spans_[s].live_bytes;
+      const std::uint64_t dead = spans_[s].dead_bytes;
+      if (live + dead == 0 ||
+          static_cast<double>(dead) / static_cast<double>(live + dead) <
+              options_.compaction_threshold) {
+        continue;
+      }
+      MEMFLOW_RETURN_IF_ERROR(rewrite_objects({s}));
+      Span& span = spans_[s];
+      for (const Replica& r : span.copies) {
+        (void)regions_->ForceFree(r.region);
+        report.bytes_reclaimed += options_.span_bytes;
+      }
+      span.copies.clear();
+      span.dropped = true;
+      report.units_rewritten++;
+    }
+  }
+
+  MEMFLOW_RETURN_IF_ERROR(Flush());
+
+  // Compaction is background work (Carbink runs it off the critical path).
+  report.cost = total_cost_ - before;
+  total_cost_ = before;
+  background_cost_ += report.cost;
+  return report;
+}
+
+StoreFootprint SpanStore::footprint() const {
+  StoreFootprint fp;
+  for (const auto& [_, obj] : objects_) {
+    if (!obj.deleted && !obj.lost) {
+      fp.user_bytes += obj.size;
+    }
+  }
+  for (const Span& span : spans_) {
+    if (!span.dropped) {
+      fp.raw_bytes += span.copies.size() * options_.span_bytes;
+    }
+  }
+  for (const Group& group : groups_) {
+    if (!group.dropped) {
+      fp.raw_bytes += group.parity.size() * options_.span_bytes;
+    }
+  }
+  return fp;
+}
+
+}  // namespace memflow::ft

@@ -1,0 +1,205 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Fault-tolerant far-memory object store in the style of Carbink (paper §3,
+// Challenge 8). Objects are packed into fixed-size *spans*; spans are made
+// durable by one of three redundancy schemes:
+//
+//   kNone         — single copy (the baseline that loses data),
+//   kReplication  — R full copies of every span on distinct memory nodes,
+//   kErasureCoding — k sealed spans form a *spanset* with m Reed–Solomon
+//                    parity spans, all k+m on distinct nodes (Carbink).
+//
+// Deleting objects leaves dead bytes inside sealed spans; Compact() rewrites
+// spansets whose dead fraction crosses a threshold — Carbink's compaction.
+// Parity computation can be "offloaded" (charged off the client's critical
+// path), modeling Carbink's offloadable parity calculations.
+//
+// All span data lives in memflow regions on the provided devices, so node
+// crashes injected through simhw take real bytes with them; recovery
+// reconstructs real contents and the tests verify them byte-for-byte.
+
+#ifndef MEMFLOW_FT_SPAN_STORE_H_
+#define MEMFLOW_FT_SPAN_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "ft/reed_solomon.h"
+#include "region/region_manager.h"
+
+namespace memflow::ft {
+
+enum class Redundancy { kNone, kReplication, kErasureCoding };
+
+std::string_view RedundancyName(Redundancy r);
+
+struct StoreOptions {
+  Redundancy scheme = Redundancy::kErasureCoding;
+  int replicas = 3;       // kReplication
+  int rs_data = 8;        // k (kErasureCoding)
+  int rs_parity = 3;      // m
+  std::uint64_t span_bytes = 64 * kKiB;
+  // Carbink: parity is computed near memory, off the client's critical path.
+  bool offload_parity = true;
+  // Compact() rewrites spansets whose dead fraction exceeds this.
+  double compaction_threshold = 0.5;
+};
+
+struct ObjectTag {};
+using ObjectId = simhw::StrongId<ObjectTag>;
+
+struct StoreFootprint {
+  std::uint64_t user_bytes = 0;  // live object payload
+  std::uint64_t raw_bytes = 0;   // bytes allocated on devices
+  double overhead() const {
+    return user_bytes == 0 ? 0.0
+                           : static_cast<double>(raw_bytes) / static_cast<double>(user_bytes);
+  }
+};
+
+struct RecoveryReport {
+  int spans_repaired = 0;
+  int objects_lost = 0;
+  std::uint64_t bytes_rewritten = 0;
+  SimDuration cost;
+};
+
+struct CompactionReport {
+  int units_rewritten = 0;  // spansets (EC) or spans (replication/none)
+  std::uint64_t bytes_reclaimed = 0;
+  std::uint64_t bytes_moved = 0;
+  SimDuration cost;
+};
+
+class SpanStore {
+ public:
+  // `devices` are the far-memory nodes (one device per node). `observer` is
+  // the compute device running the store's client, used for access costing
+  // and for (non-offloaded) parity computation.
+  SpanStore(region::RegionManager& regions, std::vector<simhw::MemoryDeviceId> devices,
+            simhw::ComputeDeviceId observer, StoreOptions options);
+
+  SpanStore(const SpanStore&) = delete;
+  SpanStore& operator=(const SpanStore&) = delete;
+
+  ~SpanStore();
+
+  // Stores an object; data may span multiple spans. The object becomes
+  // durable at the next seal/Flush boundary (like Carbink's spansets).
+  Result<ObjectId> Put(std::span<const std::uint8_t> data);
+
+  // Reads an object back, reconstructing through parity if nodes failed.
+  Status Get(ObjectId id, std::vector<std::uint8_t>& out);
+
+  // Marks the object dead; its bytes are reclaimed by Compact().
+  Status Delete(ObjectId id);
+
+  // Seals the open span and flushes any pending spanset (with virtual zero
+  // spans if fewer than k are pending).
+  Status Flush();
+
+  // Call after a memory device failed: re-protects every affected span by
+  // re-replication or reconstruction onto surviving devices.
+  Result<RecoveryReport> HandleDeviceFailure(simhw::MemoryDeviceId failed);
+
+  // Rewrites spansets/spans whose dead fraction exceeds the threshold.
+  Result<CompactionReport> Compact();
+
+  StoreFootprint footprint() const;
+  SimDuration total_cost() const { return total_cost_; }        // client path
+  SimDuration background_cost() const { return background_cost_; }
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  struct Replica {
+    region::RegionId region;
+    simhw::MemoryDeviceId device;
+  };
+  struct LiveObject {
+    ObjectId object;
+    std::uint32_t span_offset = 0;
+    std::uint32_t len = 0;
+    std::uint32_t frag_index = 0;  // which fragment of the object this is
+  };
+  struct Span {
+    std::vector<Replica> copies;        // materialized shards (empty while pending)
+    int group = -1;                     // EC spanset index, -1 otherwise
+    int slot = -1;                      // shard slot inside the group
+    std::uint32_t live_bytes = 0;
+    std::uint32_t dead_bytes = 0;
+    std::vector<LiveObject> objects;
+    bool dropped = false;               // freed by compaction
+  };
+  struct Group {
+    std::vector<std::uint32_t> data_spans;  // <= k real spans (rest virtual zeros)
+    std::vector<Replica> parity;            // m shards
+    bool dropped = false;
+  };
+  struct Fragment {
+    std::uint32_t span = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+  struct Object {
+    std::uint64_t size = 0;
+    std::vector<Fragment> frags;
+    bool lost = false;
+    bool deleted = false;
+  };
+
+  // Appends `data` into open/sealed spans, returning the fragments written.
+  Result<std::vector<Fragment>> Append(ObjectId id, std::span<const std::uint8_t> data,
+                                       std::uint32_t first_frag_index);
+
+  Status SealOpenSpan();
+  Status MaterializeSpan(std::uint32_t span_index, const std::vector<std::uint8_t>& payload);
+  Status FlushPendingGroup();
+
+  // Reads `len` bytes at `offset` of span `s` into `dst`, reconstructing if
+  // the primary copy is unreachable. Adds cost to total_cost_.
+  Status ReadSpanBytes(std::uint32_t s, std::uint32_t offset, std::uint32_t len,
+                       std::uint8_t* dst);
+
+  // Reads one full shard's worth of bytes for group reconstruction.
+  Status ReadFullShard(const Replica& replica, std::vector<std::uint8_t>& out,
+                       SimDuration& cost);
+
+  Result<simhw::MemoryDeviceId> NextDevice(const std::vector<simhw::MemoryDeviceId>& exclude);
+  bool ReplicaAlive(const Replica& r) const;
+
+  Status WriteRegion(const Replica& replica, std::span<const std::uint8_t> payload,
+                     SimDuration& cost);
+
+  void ChargeParityCompute(std::uint64_t bytes);
+
+  region::RegionManager* regions_;
+  std::vector<simhw::MemoryDeviceId> devices_;
+  simhw::ComputeDeviceId observer_;
+  StoreOptions options_;
+  ReedSolomon rs_;
+
+  region::Principal self_{0xfffd0000u, 1};
+
+  std::vector<Span> spans_;
+  std::vector<Group> groups_;
+  std::unordered_map<std::uint32_t, Object> objects_;
+  std::uint32_t next_object_ = 1;
+
+  // Open span being bump-filled, plus sealed-but-unflushed payloads.
+  std::int64_t open_span_ = -1;  // index into spans_, -1 if none
+  std::vector<std::uint8_t> staging_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> pending_payloads_;
+  std::vector<std::uint32_t> pending_group_;  // sealed spans awaiting EC flush
+
+  std::size_t rr_device_ = 0;  // round-robin cursor
+  SimDuration total_cost_;
+  SimDuration background_cost_;
+};
+
+}  // namespace memflow::ft
+
+#endif  // MEMFLOW_FT_SPAN_STORE_H_

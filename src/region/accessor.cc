@@ -1,0 +1,75 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/accessor.h"
+
+#include <algorithm>
+
+#include "region/region_manager.h"
+
+namespace memflow::region {
+
+Result<SimDuration> SyncAccessor::Read(std::uint64_t offset, void* dst, std::uint64_t size) {
+  // A single Read is one contiguous burst: one access latency plus the
+  // bandwidth-bound transfer. If the call continues exactly where the last
+  // one ended, the (modeled) prefetcher hides the latency entirely.
+  const bool continuation = offset == next_sequential_read_;
+  next_sequential_read_ = offset + size;
+  return mgr_->DoRead(id_, who_, offset, dst, size, view_, /*sequential=*/true,
+                      /*charge_latency=*/!continuation);
+}
+
+Result<SimDuration> SyncAccessor::Write(std::uint64_t offset, const void* src,
+                                        std::uint64_t size) {
+  const bool continuation = offset == next_sequential_write_;
+  next_sequential_write_ = offset + size;
+  return mgr_->DoWrite(id_, who_, offset, src, size, view_, /*sequential=*/true,
+                       /*charge_latency=*/!continuation);
+}
+
+void AsyncAccessor::EnqueueRead(std::uint64_t offset, void* dst, std::uint64_t size) {
+  ops_.push_back(Op{false, offset, dst, nullptr, size});
+}
+
+void AsyncAccessor::EnqueueWrite(std::uint64_t offset, const void* src, std::uint64_t size) {
+  ops_.push_back(Op{true, offset, nullptr, src, size});
+}
+
+void AsyncAccessor::set_queue_depth(int depth) {
+  MEMFLOW_CHECK(depth >= 1);
+  queue_depth_ = depth;
+}
+
+Result<SimDuration> AsyncAccessor::Drain() {
+  // Pipelined batch model (§2.2(3)): each in-flight window of `queue_depth_`
+  // operations overlaps its access latencies; transfers serialize on the
+  // path's bandwidth. Total = (#windows x latency) + sum of transfer times.
+  SimDuration transfer_total{};
+  SimDuration max_latency{};
+  const std::size_t n = ops_.size();
+  for (const Op& op : ops_) {
+    Result<SimDuration> cost = InvalidArgument("unreached");
+    if (op.is_write) {
+      cost = mgr_->DoWrite(id_, who_, op.offset, op.src, op.size, view_,
+                           /*sequential=*/true, /*charge_latency=*/false);
+      max_latency = std::max(max_latency, view_.write_latency);
+    } else {
+      cost = mgr_->DoRead(id_, who_, op.offset, op.dst, op.size, view_,
+                          /*sequential=*/true, /*charge_latency=*/false);
+      max_latency = std::max(max_latency, view_.read_latency);
+    }
+    if (!cost.ok()) {
+      ops_.clear();
+      return cost.status();
+    }
+    transfer_total += *cost;
+  }
+  ops_.clear();
+  if (n == 0) {
+    return SimDuration{};
+  }
+  const auto windows = static_cast<std::int64_t>(
+      (n + static_cast<std::size_t>(queue_depth_) - 1) / static_cast<std::size_t>(queue_depth_));
+  return transfer_total + SimDuration::Nanos(windows * max_latency.ns);
+}
+
+}  // namespace memflow::region

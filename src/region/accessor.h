@@ -1,0 +1,110 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Access interfaces (§2.2(3)): Memory Regions expose different interfaces
+// depending on distance. SyncAccessor models direct loads/stores against near
+// memory; AsyncAccessor models a queued interface that overlaps transfers and
+// pays the access latency once per pipeline batch instead of once per
+// operation — the mechanism that makes far memory usable.
+//
+// Accessors are thin, revalidating handles: every operation goes back through
+// the RegionManager, so ownership transfers and frees are observed
+// immediately (no stale capability can outlive a transfer).
+
+#ifndef MEMFLOW_REGION_ACCESSOR_H_
+#define MEMFLOW_REGION_ACCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "region/region.h"
+#include "simhw/cluster.h"
+
+namespace memflow::region {
+
+class RegionManager;
+
+// Synchronous load/store interface. Each call returns the simulated cost of
+// that access; sequential runs are detected (next offset == previous end) and
+// charged at streaming rates.
+class SyncAccessor {
+ public:
+  Result<SimDuration> Read(std::uint64_t offset, void* dst, std::uint64_t size);
+  Result<SimDuration> Write(std::uint64_t offset, const void* src, std::uint64_t size);
+
+  // Typed element access, index in units of T.
+  template <typename T>
+  Result<SimDuration> Load(std::uint64_t index, T& out) {
+    return Read(index * sizeof(T), &out, sizeof(T));
+  }
+  template <typename T>
+  Result<SimDuration> Store(std::uint64_t index, const T& value) {
+    return Write(index * sizeof(T), &value, sizeof(T));
+  }
+
+  const simhw::AccessView& view() const { return view_; }
+  std::uint64_t size() const { return size_; }
+
+ private:
+  friend class RegionManager;
+  SyncAccessor(RegionManager* mgr, RegionId id, Principal who, simhw::AccessView view,
+               std::uint64_t size)
+      : mgr_(mgr), id_(id), who_(who), view_(view), size_(size) {}
+
+  RegionManager* mgr_;
+  RegionId id_;
+  Principal who_;
+  simhw::AccessView view_;
+  std::uint64_t size_;
+  std::uint64_t next_sequential_read_ = 0;
+  std::uint64_t next_sequential_write_ = 0;
+};
+
+// Asynchronous queued interface. Operations are enqueued and executed at
+// Drain(); the batch pays the path+media latency once per `queue_depth`
+// in-flight window rather than per operation. Data still really moves at
+// enqueue order during Drain().
+class AsyncAccessor {
+ public:
+  static constexpr int kDefaultQueueDepth = 16;
+
+  void EnqueueRead(std::uint64_t offset, void* dst, std::uint64_t size);
+  void EnqueueWrite(std::uint64_t offset, const void* src, std::uint64_t size);
+
+  // Executes every queued operation; returns the total simulated time for the
+  // pipelined batch. The queue is empty afterwards.
+  Result<SimDuration> Drain();
+
+  std::size_t queued() const { return ops_.size(); }
+  const simhw::AccessView& view() const { return view_; }
+  std::uint64_t size() const { return size_; }
+
+  void set_queue_depth(int depth);
+
+ private:
+  friend class RegionManager;
+  AsyncAccessor(RegionManager* mgr, RegionId id, Principal who, simhw::AccessView view,
+                std::uint64_t size)
+      : mgr_(mgr), id_(id), who_(who), view_(view), size_(size) {}
+
+  struct Op {
+    bool is_write;
+    std::uint64_t offset;
+    void* dst;          // reads
+    const void* src;    // writes
+    std::uint64_t size;
+  };
+
+  RegionManager* mgr_;
+  RegionId id_;
+  Principal who_;
+  simhw::AccessView view_;
+  std::uint64_t size_;
+  int queue_depth_ = kDefaultQueueDepth;
+  std::vector<Op> ops_;
+};
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_ACCESSOR_H_

@@ -1,0 +1,38 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/crypto.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace memflow::region {
+
+namespace {
+
+// Keystream word for 8-byte block `block_index` under `key`.
+std::uint64_t StreamWord(std::uint64_t key, std::uint64_t block_index) {
+  std::uint64_t state = key ^ (block_index * 0xd1342543de82ef95ULL);
+  return SplitMix64(state);
+}
+
+}  // namespace
+
+void ApplyKeystream(std::uint64_t key, std::uint64_t offset, void* buf, std::size_t len) {
+  auto* bytes = static_cast<unsigned char*>(buf);
+  std::size_t i = 0;
+  while (i < len) {
+    const std::uint64_t pos = offset + i;
+    const std::uint64_t block = pos / 8;
+    const std::uint64_t word = StreamWord(key, block);
+    const unsigned start = static_cast<unsigned>(pos % 8);
+    const std::size_t n = std::min<std::size_t>(8 - start, len - i);
+    const auto* ks = reinterpret_cast<const unsigned char*>(&word);
+    for (std::size_t k = 0; k < n; ++k) {
+      bytes[i + k] ^= ks[start + k];
+    }
+    i += n;
+  }
+}
+
+}  // namespace memflow::region

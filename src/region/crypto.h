@@ -1,0 +1,26 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// At-rest scrambling for confidential regions. This is a *position-keyed
+// keystream cipher* (XOR with a SplitMix64-derived stream), standing in for
+// AES-XTS: it has the property the enforcement logic needs — the same
+// (key, absolute offset) always produces the same keystream, so random-access
+// reads/writes of arbitrary unaligned ranges round-trip — while making raw
+// device bytes unintelligible without the key. See DESIGN.md §7: the cipher
+// is a stand-in; the enforcement (who holds keys, what is scrambled when) is
+// the contribution under test.
+
+#ifndef MEMFLOW_REGION_CRYPTO_H_
+#define MEMFLOW_REGION_CRYPTO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memflow::region {
+
+// XORs buf[0..len) with the keystream for positions [offset, offset+len).
+// Involutive: applying twice with the same key/offset restores the input.
+void ApplyKeystream(std::uint64_t key, std::uint64_t offset, void* buf, std::size_t len);
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_CRYPTO_H_

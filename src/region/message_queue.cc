@@ -1,0 +1,81 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/message_queue.h"
+
+namespace memflow::region {
+
+Result<MessageQueue> MessageQueue::Create(RegionManager& regions, RegionId region,
+                                          const Principal& who,
+                                          simhw::ComputeDeviceId observer,
+                                          std::uint64_t message_size) {
+  if (message_size == 0) {
+    return InvalidArgument("zero message size");
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(RegionInfo info, regions.Info(region));
+  if (info.size < kSlotsOffset + 2 * message_size) {
+    return InvalidArgument("region too small for a 2-slot queue");
+  }
+  // OpenSync enforces the coherent/sync addressability requirement: a queue
+  // on far memory is refused here, exactly as §2.2(2) demands for shared
+  // mutable state.
+  MEMFLOW_ASSIGN_OR_RETURN(SyncAccessor acc, regions.OpenSync(region, who, observer));
+
+  const std::uint64_t capacity = (info.size - kSlotsOffset) / message_size;
+  Header header{kMagic, message_size, capacity, 0, 0};
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Write(0, &header, sizeof(header)));
+  (void)cost;  // creation cost is not attributed to either endpoint
+  return MessageQueue(std::move(acc), message_size, capacity);
+}
+
+Result<MessageQueue> MessageQueue::Open(RegionManager& regions, RegionId region,
+                                        const Principal& who,
+                                        simhw::ComputeDeviceId observer) {
+  MEMFLOW_ASSIGN_OR_RETURN(SyncAccessor acc, regions.OpenSync(region, who, observer));
+  Header header{};
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Read(0, &header, sizeof(header)));
+  (void)cost;
+  if (header.magic != kMagic) {
+    return FailedPrecondition("region does not hold a message queue");
+  }
+  return MessageQueue(std::move(acc), header.message_size, header.capacity);
+}
+
+Result<SimDuration> MessageQueue::Push(const void* message) {
+  Header header{};
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration c1, accessor_.Read(0, &header, sizeof(header)));
+  if ((header.tail + 1) % header.capacity == header.head) {
+    return ResourceExhausted("queue full");
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(
+      SimDuration c2, accessor_.Write(SlotOffset(header.tail), message, message_size_));
+  header.tail = (header.tail + 1) % header.capacity;
+  // Publish the new tail (a release store in real hardware).
+  MEMFLOW_ASSIGN_OR_RETURN(
+      SimDuration c3,
+      accessor_.Write(offsetof(Header, tail), &header.tail, sizeof(header.tail)));
+  return c1 + c2 + c3;
+}
+
+Result<SimDuration> MessageQueue::Pop(void* out) {
+  Header header{};
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration c1, accessor_.Read(0, &header, sizeof(header)));
+  if (header.head == header.tail) {
+    return NotFound("queue empty");
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration c2,
+                           accessor_.Read(SlotOffset(header.head), out, message_size_));
+  header.head = (header.head + 1) % header.capacity;
+  MEMFLOW_ASSIGN_OR_RETURN(
+      SimDuration c3,
+      accessor_.Write(offsetof(Header, head), &header.head, sizeof(header.head)));
+  return c1 + c2 + c3;
+}
+
+Result<std::uint64_t> MessageQueue::Size() {
+  Header header{};
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, accessor_.Read(0, &header, sizeof(header)));
+  (void)cost;
+  return (header.tail + header.capacity - header.head) % header.capacity;
+}
+
+}  // namespace memflow::region

@@ -1,0 +1,80 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Message passing over shared memory (paper §2.1: "the performance-critical
+// inter-task communication is being implemented via message-passing over
+// shared memory", citing Naiad). A MessageQueue is a fixed-capacity ring of
+// fixed-size messages laid out inside a Memory Region; producer and consumer
+// are different principals *sharing* the region, and every head/tail/slot
+// access goes through the region's synchronous interface, so queue traffic is
+// charged like any other memory — and the queue simply cannot be created on
+// memory that is not coherently, synchronously addressable by its users.
+//
+// Region layout:
+//   [0)   Header { magic, message_size, capacity, head, tail }
+//   [64)  capacity x message_size slot bytes
+//
+// head == tail  -> empty; (tail + 1) % capacity == head -> full (one slot
+// sacrificed, the classic ring discipline).
+
+#ifndef MEMFLOW_REGION_MESSAGE_QUEUE_H_
+#define MEMFLOW_REGION_MESSAGE_QUEUE_H_
+
+#include <cstdint>
+
+#include "region/region_manager.h"
+
+namespace memflow::region {
+
+class MessageQueue {
+ public:
+  // Initializes a queue in `region` (which must be coherently and
+  // synchronously addressable from `observer`). Capacity is derived from the
+  // region size; fails if fewer than 2 slots fit.
+  static Result<MessageQueue> Create(RegionManager& regions, RegionId region,
+                                     const Principal& who, simhw::ComputeDeviceId observer,
+                                     std::uint64_t message_size);
+
+  // Attaches to an existing queue (validates the header). The caller must
+  // own or share the region.
+  static Result<MessageQueue> Open(RegionManager& regions, RegionId region,
+                                   const Principal& who, simhw::ComputeDeviceId observer);
+
+  // Appends one message of message_size() bytes. kResourceExhausted when
+  // full. Returns the simulated cost of the enqueue (header + slot traffic).
+  Result<SimDuration> Push(const void* message);
+
+  // Removes the oldest message into `out`. kNotFound when empty.
+  Result<SimDuration> Pop(void* out);
+
+  // Current number of queued messages (costs a header read).
+  Result<std::uint64_t> Size();
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t message_size() const { return message_size_; }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t message_size;
+    std::uint64_t capacity;
+    std::uint64_t head;  // next slot to pop
+    std::uint64_t tail;  // next slot to push
+  };
+  static constexpr std::uint64_t kMagic = 0x6d666c6f77715f31ULL;  // "mflowq_1"
+  static constexpr std::uint64_t kSlotsOffset = 64;
+
+  MessageQueue(SyncAccessor accessor, std::uint64_t message_size, std::uint64_t capacity)
+      : accessor_(std::move(accessor)), message_size_(message_size), capacity_(capacity) {}
+
+  std::uint64_t SlotOffset(std::uint64_t index) const {
+    return kSlotsOffset + index * message_size_;
+  }
+
+  SyncAccessor accessor_;
+  std::uint64_t message_size_;
+  std::uint64_t capacity_;
+};
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_MESSAGE_QUEUE_H_

@@ -1,0 +1,136 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/properties.h"
+
+namespace memflow::region {
+
+std::string_view LatencyClassName(LatencyClass c) {
+  switch (c) {
+    case LatencyClass::kAny:
+      return "any";
+    case LatencyClass::kHigh:
+      return "high";
+    case LatencyClass::kMedium:
+      return "medium";
+    case LatencyClass::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+std::string_view BandwidthClassName(BandwidthClass c) {
+  switch (c) {
+    case BandwidthClass::kAny:
+      return "any";
+    case BandwidthClass::kLow:
+      return "low";
+    case BandwidthClass::kMedium:
+      return "medium";
+    case BandwidthClass::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+SimDuration LatencyCeiling(LatencyClass c) {
+  switch (c) {
+    case LatencyClass::kAny:
+      return SimDuration::Seconds(3600);
+    case LatencyClass::kHigh:
+      return SimDuration::Micros(200);
+    case LatencyClass::kMedium:
+      return SimDuration::Micros(2);
+    case LatencyClass::kLow:
+      return SimDuration::Nanos(300);
+  }
+  return SimDuration{};
+}
+
+double BandwidthFloor(BandwidthClass c) {
+  switch (c) {
+    case BandwidthClass::kAny:
+      return 0.0;
+    case BandwidthClass::kLow:
+      return 1.0;
+    case BandwidthClass::kMedium:
+      return 20.0;
+    case BandwidthClass::kHigh:
+      return 80.0;
+  }
+  return 0.0;
+}
+
+std::string Properties::ToString() const {
+  std::string out = "{lat=";
+  out += LatencyClassName(latency);
+  out += ", bw=";
+  out += BandwidthClassName(bandwidth);
+  if (persistent) {
+    out += ", persistent";
+  }
+  if (coherent) {
+    out += ", coherent";
+  }
+  if (sync) {
+    out += ", sync";
+  }
+  if (confidential) {
+    out += ", confidential";
+  }
+  out += "}";
+  return out;
+}
+
+bool Satisfies(const simhw::AccessView& view, const Properties& props) {
+  if (props.sync && !view.sync) {
+    return false;
+  }
+  if (!view.addressable && !view.sync) {
+    // Device only reachable through an async interface (RDMA/block): fine
+    // unless sync was required — handled above. Nothing else to check here;
+    // reachability itself was established by View().
+  }
+  if (props.coherent && !view.coherent) {
+    return false;
+  }
+  if (props.persistent && !view.persistent) {
+    return false;
+  }
+  if (view.read_latency > LatencyCeiling(props.latency)) {
+    return false;
+  }
+  if (view.read_bw_gbps < BandwidthFloor(props.bandwidth)) {
+    return false;
+  }
+  // Confidentiality is satisfiable on any device: the runtime encrypts at
+  // rest and isolates by job. It constrains *handling*, not placement.
+  return true;
+}
+
+SimDuration ExpectedUseCost(const simhw::AccessView& view, std::uint64_t size,
+                            const AccessHint& hint) {
+  // Split the traversed bytes by pattern and direction, cost each burst.
+  const auto traversed =
+      static_cast<std::uint64_t>(static_cast<double>(size) * hint.reuse_factor);
+  const auto seq_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(traversed) * hint.sequential_fraction);
+  const std::uint64_t rnd_bytes = traversed - seq_bytes;
+
+  const auto split = [&](std::uint64_t bytes, bool sequential) {
+    const auto reads =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) * hint.read_fraction);
+    const std::uint64_t writes = bytes - reads;
+    SimDuration cost{};
+    if (reads > 0) {
+      cost += view.ReadCost(reads, sequential);
+    }
+    if (writes > 0) {
+      cost += view.WriteCost(writes, sequential);
+    }
+    return cost;
+  };
+
+  return split(seq_bytes, true) + split(rnd_bytes, false);
+}
+
+}  // namespace memflow::region

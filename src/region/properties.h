@@ -1,0 +1,102 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Declarative memory properties (§2.1 "Requesting properties"). Applications
+// never name a physical device; they state *requirements* — latency class,
+// bandwidth class, persistence, coherence, synchronous addressability,
+// confidentiality — and the runtime maps the request onto whatever device
+// satisfies them best *from the requesting compute device's point of view*.
+//
+// The named bundles of Table 2 (Private Scratch, Global State, Global
+// Scratch) are provided as constructors.
+
+#ifndef MEMFLOW_REGION_PROPERTIES_H_
+#define MEMFLOW_REGION_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/units.h"
+#include "simhw/cluster.h"
+
+namespace memflow::region {
+
+// Upper bound on acceptable access latency, observer-relative.
+enum class LatencyClass : std::uint8_t {
+  kAny = 0,   // no requirement
+  kHigh,      // <= 200 us  (storage-class acceptable)
+  kMedium,    // <= 2 us    (far memory acceptable)
+  kLow,       // <= 300 ns  (local-memory class)
+};
+
+// Lower bound on acceptable sustained bandwidth, observer-relative.
+enum class BandwidthClass : std::uint8_t {
+  kAny = 0,   // no requirement
+  kLow,       // >= 1 GB/s
+  kMedium,    // >= 20 GB/s
+  kHigh,      // >= 80 GB/s
+};
+
+std::string_view LatencyClassName(LatencyClass c);
+std::string_view BandwidthClassName(BandwidthClass c);
+
+SimDuration LatencyCeiling(LatencyClass c);
+double BandwidthFloor(BandwidthClass c);
+
+// A declarative memory request. All fields are *requirements*: false/kAny
+// means "don't care", never "must not".
+struct Properties {
+  LatencyClass latency = LatencyClass::kAny;
+  BandwidthClass bandwidth = BandwidthClass::kAny;
+  bool persistent = false;    // contents must survive crashes
+  bool coherent = false;      // hardware cache coherence from the observer
+  bool sync = false;          // synchronous load/store interface required
+  bool confidential = false;  // encrypted at rest, isolated to the owning job
+
+  // Named bundles from Table 2 of the paper.
+  static Properties PrivateScratch() {
+    Properties p;
+    p.latency = LatencyClass::kLow;
+    p.sync = true;
+    // noncoherent: coherence not required — private to one thread.
+    return p;
+  }
+
+  static Properties GlobalState() {
+    Properties p;
+    p.coherent = true;
+    p.sync = true;
+    return p;
+  }
+
+  static Properties GlobalScratch() {
+    Properties p;
+    p.coherent = true;  // shared between tasks
+    p.sync = false;     // async interface: callers must not block on far loads
+    return p;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Properties&, const Properties&) = default;
+};
+
+// Does this observer-relative view satisfy the requirements?
+bool Satisfies(const simhw::AccessView& view, const Properties& props);
+
+// Declared access pattern used by the placement cost model: lets the runtime
+// estimate how expensive the region will be to use on each candidate device.
+struct AccessHint {
+  double sequential_fraction = 1.0;  // 1.0 = pure streaming, 0.0 = pure random
+  double read_fraction = 0.7;        // share of accessed bytes that are reads
+  double reuse_factor = 1.0;         // how many times the region is traversed
+};
+
+// Expected simulated cost of using a region of `size` bytes through `view`
+// under `hint`. This is the quantity placement minimizes.
+SimDuration ExpectedUseCost(const simhw::AccessView& view, std::uint64_t size,
+                            const AccessHint& hint);
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_PROPERTIES_H_

@@ -1,0 +1,62 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Core types of the Memory Region abstraction (§2.2): region ids, principals
+// (who owns/accesses a region), and the ownership state machine.
+//
+// A Memory Region is a logical view on a physical device, declared and
+// identified by its properties, not by its location. Every region is either
+// exclusively owned by one principal (task) — ownership transferable like C++
+// move semantics — or shared among several (which raises the coherence
+// requirements, §2.2(2)).
+
+#ifndef MEMFLOW_REGION_REGION_H_
+#define MEMFLOW_REGION_REGION_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "region/properties.h"
+#include "simhw/ids.h"
+
+namespace memflow::region {
+
+struct RegionTag {};
+using RegionId = simhw::StrongId<RegionTag>;
+
+// Who is acting: `job` is the confidentiality/accounting domain, `actor`
+// identifies the task (or runtime component) inside it. Principals are plain
+// values; the runtime constructs them for each task instance.
+struct Principal {
+  std::uint32_t job = 0;
+  std::uint64_t actor = 0;
+
+  friend constexpr bool operator==(const Principal&, const Principal&) = default;
+};
+
+// The runtime itself (allocating on behalf of no job).
+inline constexpr Principal kRuntimePrincipal{0xffffffffu, 0};
+
+enum class OwnershipState : std::uint8_t {
+  kExclusive,  // one owner; relaxed ordering permitted (§2.2(2) first bullet)
+  kShared,     // multiple concurrent owners; coherence required
+  kFreed,      // terminal
+};
+
+std::string_view OwnershipStateName(OwnershipState s);
+
+// Introspection snapshot for reports and tests.
+struct RegionInfo {
+  RegionId id;
+  std::uint64_t size = 0;
+  Properties props;
+  simhw::MemoryDeviceId device;
+  OwnershipState state = OwnershipState::kFreed;
+  Principal owner;           // meaningful when exclusive
+  int shared_refs = 0;       // meaningful when shared
+  std::uint64_t hotness = 0; // decayed access counter (pointer-tagging model)
+  bool lost = false;         // volatile backing lost to a fault
+};
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_REGION_H_

@@ -1,0 +1,542 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/region_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "region/crypto.h"
+
+namespace memflow::region {
+
+namespace {
+
+// Migration copy chunk. Large enough to amortize per-chunk overhead, small
+// enough to keep peak host memory bounded during big migrations.
+constexpr std::uint64_t kCopyChunk = 256 * kKiB;
+
+LatencyClass RelaxOneStep(LatencyClass c) {
+  switch (c) {
+    case LatencyClass::kLow:
+      return LatencyClass::kMedium;
+    case LatencyClass::kMedium:
+      return LatencyClass::kHigh;
+    case LatencyClass::kHigh:
+    case LatencyClass::kAny:
+      return LatencyClass::kAny;
+  }
+  return LatencyClass::kAny;
+}
+
+}  // namespace
+
+std::string_view RegionClassName(RegionClass c) {
+  switch (c) {
+    case RegionClass::kPrivateScratch:
+      return "private-scratch";
+    case RegionClass::kGlobalState:
+      return "global-state";
+    case RegionClass::kGlobalScratch:
+      return "global-scratch";
+    case RegionClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+RegionClass ClassifyProperties(const Properties& props) {
+  if (props.coherent && props.sync) {
+    return RegionClass::kGlobalState;
+  }
+  if (props.coherent && !props.sync) {
+    return RegionClass::kGlobalScratch;
+  }
+  if (props.sync && !props.coherent) {
+    return RegionClass::kPrivateScratch;
+  }
+  return RegionClass::kOther;
+}
+
+std::string_view OwnershipStateName(OwnershipState s) {
+  switch (s) {
+    case OwnershipState::kExclusive:
+      return "exclusive";
+    case OwnershipState::kShared:
+      return "shared";
+    case OwnershipState::kFreed:
+      return "freed";
+  }
+  return "?";
+}
+
+RegionManager::RegionManager(simhw::Cluster& cluster, PlacementConfig config,
+                             std::uint64_t key_seed)
+    : cluster_(&cluster), config_(config), key_rng_(key_seed) {}
+
+std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest& request,
+                                                              const Properties& props) const {
+  struct Candidate {
+    double score;
+    simhw::MemoryDeviceId device;
+  };
+  std::vector<Candidate> candidates;
+  for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
+    const simhw::MemoryDevice& device = cluster_->memory(dev);
+    if (device.failed() || !device.profile().allocatable ||
+        device.free_bytes() < request.size) {
+      continue;
+    }
+    auto view = cluster_->View(request.observer, dev);
+    if (!view.ok() || !Satisfies(*view, props)) {
+      continue;
+    }
+    const SimDuration cost = ExpectedUseCost(*view, request.size, request.hint);
+    const double score =
+        static_cast<double>(cost.ns) * (1.0 + config_.pressure_weight * device.utilization());
+    candidates.push_back({score, dev});
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) {
+      return a.score < b.score;
+    }
+    return a.device < b.device;  // deterministic tiebreak
+  });
+  std::vector<simhw::MemoryDeviceId> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    out.push_back(c.device);
+  }
+  return out;
+}
+
+Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
+  if (request.size == 0) {
+    return InvalidArgument("zero-sized region");
+  }
+  Properties props = request.props;
+  std::vector<simhw::MemoryDeviceId> ranked = RankDevices(request, props);
+  if (ranked.empty() && config_.allow_latency_relax) {
+    while (ranked.empty() && props.latency != LatencyClass::kAny) {
+      props.latency = RelaxOneStep(props.latency);
+      ranked = RankDevices(request, props);
+    }
+  }
+  for (const simhw::MemoryDeviceId dev : ranked) {
+    auto extent = cluster_->memory(dev).Allocate(request.size);
+    if (!extent.ok()) {
+      continue;  // fragmentation on this device; try the next candidate
+    }
+    const auto id = RegionId(next_id_++);
+    Record rec;
+    rec.id = id;
+    rec.props = request.props;  // requested (unrelaxed) properties, for audits
+    rec.hint = request.hint;
+    rec.size = request.size;
+    rec.extent = *extent;
+    rec.state = OwnershipState::kExclusive;
+    rec.owner = request.owner;
+    rec.job = request.owner.job;
+    if (request.props.confidential) {
+      rec.enc_key = key_rng_.Next() | 1;
+    }
+    rec.klass = ClassifyProperties(request.props);
+    stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
+    regions_.emplace(id.value, std::move(rec));
+    stats_.allocations++;
+    MEMFLOW_LOG(kDebug) << "region " << id.value << " (" << request.size << " B, "
+                        << request.props.ToString() << ") -> "
+                        << cluster_->memory(dev).name();
+    return id;
+  }
+  stats_.failed_allocations++;
+  return ResourceExhausted("no device satisfies " + props.ToString() + " for " +
+                           std::to_string(request.size) + " B from observer " +
+                           std::to_string(request.observer.value));
+}
+
+Result<RegionId> RegionManager::AllocateOn(simhw::MemoryDeviceId device, std::uint64_t size,
+                                           Properties props, Principal owner) {
+  if (size == 0) {
+    return InvalidArgument("zero-sized region");
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(simhw::Extent extent, cluster_->memory(device).Allocate(size));
+  const auto id = RegionId(next_id_++);
+  Record rec;
+  rec.id = id;
+  rec.props = props;
+  rec.size = size;
+  rec.extent = extent;
+  rec.state = OwnershipState::kExclusive;
+  rec.owner = owner;
+  rec.job = owner.job;
+  if (props.confidential) {
+    rec.enc_key = key_rng_.Next() | 1;
+  }
+  rec.klass = ClassifyProperties(props);
+  stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
+  regions_.emplace(id.value, std::move(rec));
+  stats_.allocations++;
+  return id;
+}
+
+Result<RegionManager::Record*> RegionManager::GetChecked(RegionId id, const Principal& who) {
+  auto it = regions_.find(id.value);
+  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+    return NotFound("region " + std::to_string(id.value) + " is not live");
+  }
+  Record& rec = it->second;
+  // Confidentiality: only principals of the owning job (or the runtime) may
+  // touch a confidential region at all.
+  if (rec.enc_key != 0 && who != kRuntimePrincipal && who.job != rec.job) {
+    stats_.confidentiality_denials++;
+    return PermissionDenied("region " + std::to_string(id.value) +
+                            " is confidential to job " + std::to_string(rec.job));
+  }
+  // Ownership: the caller must hold the region.
+  if (who != kRuntimePrincipal) {
+    if (rec.state == OwnershipState::kExclusive) {
+      if (!(rec.owner == who)) {
+        return FailedPrecondition("caller does not own region " + std::to_string(id.value) +
+                                  " (" + std::string(OwnershipStateName(rec.state)) + ")");
+      }
+    } else {
+      const bool is_sharer =
+          std::find(rec.sharers.begin(), rec.sharers.end(), who) != rec.sharers.end();
+      if (!is_sharer) {
+        return FailedPrecondition("caller is not a sharer of region " +
+                                  std::to_string(id.value));
+      }
+    }
+  }
+  return &rec;
+}
+
+Result<const RegionManager::Record*> RegionManager::GetConst(RegionId id) const {
+  auto it = regions_.find(id.value);
+  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+    return NotFound("region " + std::to_string(id.value) + " is not live");
+  }
+  return &it->second;
+}
+
+Status RegionManager::FreeLocked(Record& rec) {
+  MEMFLOW_RETURN_IF_ERROR(cluster_->memory(rec.extent.device).Free(rec.extent));
+  rec.state = OwnershipState::kFreed;
+  rec.sharers.clear();
+  stats_.frees++;
+  return OkStatus();
+}
+
+Status RegionManager::Free(RegionId id, const Principal& caller) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
+  if (rec->state == OwnershipState::kShared && rec->sharers.size() > 1) {
+    return FailedPrecondition("region " + std::to_string(id.value) +
+                              " still has other sharers; use Release");
+  }
+  return FreeLocked(*rec);
+}
+
+Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
+                                            const Principal& to,
+                                            simhw::ComputeDeviceId new_observer) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, from));
+  if (rec->state != OwnershipState::kExclusive) {
+    return FailedPrecondition("only exclusively-owned regions can be transferred");
+  }
+  if (rec->enc_key != 0 && to.job != rec->job) {
+    stats_.confidentiality_denials++;
+    return PermissionDenied("confidential region cannot leave job " +
+                            std::to_string(rec->job));
+  }
+  if (rec->lost) {
+    return DataLoss("region " + std::to_string(id.value) + " lost its backing");
+  }
+
+  stats_.transfers++;
+
+  // If the region still satisfies its properties from the new observer's
+  // point of view, handover is pure bookkeeping — the paper's zero-copy case.
+  auto view = cluster_->View(new_observer, rec->extent.device);
+  if (view.ok() && Satisfies(*view, rec->props)) {
+    rec->owner = to;
+    stats_.zero_copy_transfers++;
+    return SimDuration{};
+  }
+
+  // Otherwise the runtime migrates to a device that does satisfy them
+  // (Figure 4's "copied after the first task is done" fallback).
+  AllocRequest probe;
+  probe.size = rec->size;
+  probe.props = rec->props;
+  probe.hint = rec->hint;
+  probe.observer = new_observer;
+  probe.owner = to;
+  const std::vector<simhw::MemoryDeviceId> ranked = RankDevices(probe, rec->props);
+  for (const simhw::MemoryDeviceId dev : ranked) {
+    if (dev == rec->extent.device) {
+      continue;
+    }
+    auto cost = MoveExtent(*rec, dev);
+    if (cost.ok()) {
+      rec->owner = to;
+      return cost;
+    }
+  }
+  return ResourceExhausted("no reachable device satisfies " + rec->props.ToString() +
+                           " from the new observer");
+}
+
+Status RegionManager::Share(RegionId id, const Principal& owner, const Principal& with,
+                            simhw::ComputeDeviceId with_observer, bool require_coherent) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, owner));
+  if (rec->enc_key != 0 && with.job != rec->job) {
+    stats_.confidentiality_denials++;
+    return PermissionDenied("confidential region cannot be shared outside job " +
+                            std::to_string(rec->job));
+  }
+  // Shared ownership demands hardware coherence from every sharer (§2.2(2)).
+  MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
+                           cluster_->View(with_observer, rec->extent.device));
+  if (require_coherent && !view.coherent) {
+    return FailedPrecondition(
+        "sharing requires cache-coherent access from the new sharer's device; "
+        "migrate the region first");
+  }
+  if (rec->state == OwnershipState::kExclusive) {
+    rec->state = OwnershipState::kShared;
+    rec->sharers = {rec->owner};
+  }
+  if (std::find(rec->sharers.begin(), rec->sharers.end(), with) == rec->sharers.end()) {
+    rec->sharers.push_back(with);
+  }
+  return OkStatus();
+}
+
+Status RegionManager::Release(RegionId id, const Principal& caller) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
+  if (rec->state == OwnershipState::kExclusive) {
+    return FreeLocked(*rec);
+  }
+  auto it = std::find(rec->sharers.begin(), rec->sharers.end(), caller);
+  MEMFLOW_CHECK(it != rec->sharers.end());  // GetChecked verified membership
+  rec->sharers.erase(it);
+  if (rec->sharers.empty()) {
+    return FreeLocked(*rec);  // last owner finished -> de-allocate (§2.3)
+  }
+  return OkStatus();
+}
+
+Status RegionManager::ForceFree(RegionId id) {
+  auto it = regions_.find(id.value);
+  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+    return NotFound("region " + std::to_string(id.value) + " is not live");
+  }
+  return FreeLocked(it->second);
+}
+
+Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
+                                             simhw::ComputeDeviceId observer) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
+  MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
+                           cluster_->View(observer, rec->extent.device));
+  if (!view.sync) {
+    return FailedPrecondition(
+        cluster_->memory(rec->extent.device).name() +
+        " is not synchronously addressable from this device; use OpenAsync");
+  }
+  return SyncAccessor(this, id, who, view, rec->size);
+}
+
+Result<AsyncAccessor> RegionManager::OpenAsync(RegionId id, const Principal& who,
+                                               simhw::ComputeDeviceId observer) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
+  MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
+                           cluster_->View(observer, rec->extent.device));
+  return AsyncAccessor(this, id, who, view, rec->size);
+}
+
+Result<SimDuration> RegionManager::MoveExtent(Record& rec, simhw::MemoryDeviceId target) {
+  simhw::MemoryDevice& src_dev = cluster_->memory(rec.extent.device);
+  simhw::MemoryDevice& dst_dev = cluster_->memory(target);
+  MEMFLOW_ASSIGN_OR_RETURN(simhw::Extent dst_extent, dst_dev.Allocate(rec.size));
+
+  // Inter-device path (DMA route). Devices in disconnected fabrics cannot
+  // exchange data.
+  auto path = cluster_->topology().Path(cluster_->VertexOf(rec.extent.device),
+                                        cluster_->VertexOf(target));
+  if (!path.ok()) {
+    (void)dst_dev.Free(dst_extent);
+    return path.status();
+  }
+
+  SimDuration total = path->latency;
+  std::vector<std::byte> buffer(std::min<std::uint64_t>(kCopyChunk, rec.size));
+  for (std::uint64_t off = 0; off < rec.size; off += buffer.size()) {
+    const std::uint64_t n = std::min<std::uint64_t>(buffer.size(), rec.size - off);
+    // Ciphertext moves as-is: the keystream is region-relative, so migration
+    // never needs the key.
+    auto rc = src_dev.Read(rec.extent, off, buffer.data(), n);
+    if (!rc.ok()) {
+      (void)dst_dev.Free(dst_extent);
+      return rc.status();
+    }
+    auto wc = dst_dev.Write(dst_extent, off, buffer.data(), n);
+    if (!wc.ok()) {
+      (void)dst_dev.Free(dst_extent);
+      return wc.status();
+    }
+    const auto wire = SimDuration::Nanos(
+        static_cast<std::int64_t>(static_cast<double>(n) / path->bw_gbps));
+    total += *rc + *wc + wire;
+  }
+
+  MEMFLOW_RETURN_IF_ERROR(src_dev.Free(rec.extent));
+  rec.extent = dst_extent;
+  stats_.migrations++;
+  stats_.bytes_migrated += rec.size;
+  MEMFLOW_LOG(kDebug) << "region " << rec.id.value << " migrated " << src_dev.name() << " -> "
+                      << dst_dev.name();
+  return total;
+}
+
+Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId target) {
+  auto it = regions_.find(id.value);
+  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+    return NotFound("region is not live");
+  }
+  if (it->second.lost) {
+    return DataLoss("region lost its backing; nothing to migrate");
+  }
+  if (it->second.extent.device == target) {
+    return SimDuration{};
+  }
+  return MoveExtent(it->second, target);
+}
+
+void RegionManager::DecayHotness(double keep_fraction) {
+  MEMFLOW_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  for (auto& [_, rec] : regions_) {
+    rec.hotness = static_cast<std::uint64_t>(static_cast<double>(rec.hotness) * keep_fraction);
+  }
+}
+
+std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
+  std::vector<RegionId> lost;
+  if (cluster_->memory(device).profile().persistent) {
+    return lost;  // persistent media keeps its contents across failures
+  }
+  for (auto& [_, rec] : regions_) {
+    if (rec.state != OwnershipState::kFreed && rec.extent.device == device && !rec.lost) {
+      rec.lost = true;
+      lost.push_back(rec.id);
+    }
+  }
+  return lost;
+}
+
+Result<RegionInfo> RegionManager::Info(RegionId id) const {
+  MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
+  RegionInfo info;
+  info.id = rec->id;
+  info.size = rec->size;
+  info.props = rec->props;
+  info.device = rec->extent.device;
+  info.state = rec->state;
+  info.owner = rec->owner;
+  info.shared_refs = static_cast<int>(rec->sharers.size());
+  info.hotness = rec->hotness;
+  info.lost = rec->lost;
+  return info;
+}
+
+Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {
+  MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
+  return rec->extent;
+}
+
+std::vector<RegionId> RegionManager::LiveRegions() const {
+  std::vector<RegionId> out;
+  for (const auto& [_, rec] : regions_) {
+    if (rec.state != OwnershipState::kFreed) {
+      out.push_back(rec.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RegionId> RegionManager::RegionsOn(simhw::MemoryDeviceId device) const {
+  std::vector<RegionId> out;
+  for (const auto& [_, rec] : regions_) {
+    if (rec.state != OwnershipState::kFreed && rec.extent.device == device) {
+      out.push_back(rec.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
+                                          std::uint64_t offset, void* dst, std::uint64_t size,
+                                          const simhw::AccessView& view, bool sequential,
+                                          bool charge_latency) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
+  if (rec->lost) {
+    return DataLoss("region " + std::to_string(id.value) + " lost its backing");
+  }
+  if (offset + size > rec->size) {
+    return InvalidArgument("read beyond region bounds");
+  }
+  auto media = cluster_->memory(rec->extent.device).Read(rec->extent, offset, dst, size);
+  if (!media.ok()) {
+    return media.status();
+  }
+  if (rec->enc_key != 0) {
+    ApplyKeystream(rec->enc_key, offset, dst, size);
+  }
+  rec->hotness += 1 + size / 256;
+  stats_.bytes_read_by_class[static_cast<int>(rec->klass)] += size;
+  SimDuration cost = view.ReadCost(size, sequential);
+  if (!charge_latency) {
+    cost.ns = std::max<std::int64_t>(0, cost.ns - view.read_latency.ns);
+  }
+  return cost;
+}
+
+Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
+                                           std::uint64_t offset, const void* src,
+                                           std::uint64_t size, const simhw::AccessView& view,
+                                           bool sequential, bool charge_latency) {
+  MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
+  if (offset + size > rec->size) {
+    return InvalidArgument("write beyond region bounds");
+  }
+  Result<SimDuration> media = InvalidArgument("unreached");
+  if (rec->enc_key != 0) {
+    // Scramble into a bounce buffer so plaintext never reaches the device.
+    std::vector<std::byte> bounce(size);
+    std::memcpy(bounce.data(), src, size);
+    ApplyKeystream(rec->enc_key, offset, bounce.data(), size);
+    media = cluster_->memory(rec->extent.device).Write(rec->extent, offset, bounce.data(),
+                                                       size);
+  } else {
+    media = cluster_->memory(rec->extent.device).Write(rec->extent, offset, src, size);
+  }
+  if (!media.ok()) {
+    return media.status();
+  }
+  // A successful write refreshes the data even if a fault had voided it.
+  if (rec->lost && offset == 0 && size == rec->size) {
+    rec->lost = false;
+  }
+  rec->hotness += 1 + size / 256;
+  stats_.bytes_written_by_class[static_cast<int>(rec->klass)] += size;
+  SimDuration cost = view.WriteCost(size, sequential);
+  if (!charge_latency) {
+    cost.ns = std::max<std::int64_t>(0, cost.ns - view.write_latency.ns);
+  }
+  return cost;
+}
+
+}  // namespace memflow::region

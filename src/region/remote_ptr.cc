@@ -1,0 +1,13 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// RemotePtr is header-only; this translation unit pins the template's
+// static_asserts into the library once.
+
+#include "region/remote_ptr.h"
+
+namespace memflow::region {
+
+static_assert(sizeof(RemotePtr<int>) == sizeof(std::uint64_t),
+              "RemotePtr must stay one machine word — that is the point");
+
+}  // namespace memflow::region

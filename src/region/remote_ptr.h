@@ -1,0 +1,120 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Remotable, taggable pointers (§3, Challenges 1–3): the paper points at
+// pointer tagging for hotness tracking and pointer swizzling for local/remote
+// object references (AIFM, LeanStore, TPP, Carbink). RemotePtr<T> packs a
+// region reference, an element offset, and a saturating hotness counter into
+// one 64-bit word; a swizzled pointer instead carries a raw host address for
+// direct dereference once the runtime has pinned the object locally.
+//
+// Layout (unswizzled, bit 63 = 0):
+//   [63]    0
+//   [62:48] 15-bit saturating hotness counter
+//   [47:24] 24-bit region id
+//   [23:0]  24-bit element offset (units of T)
+//
+// Layout (swizzled, bit 63 = 1):
+//   [63]    1
+//   [62:48] 15-bit saturating hotness counter
+//   [47:0]  48-bit canonical host address
+//
+// The hotness tag rides in the pointer itself so dereference sites can update
+// it without touching any side table — exactly the trick used to drive
+// tiering decisions cheaply.
+
+#ifndef MEMFLOW_REGION_REMOTE_PTR_H_
+#define MEMFLOW_REGION_REMOTE_PTR_H_
+
+#include <cstdint>
+
+#include "common/assert.h"
+#include "region/region.h"
+
+namespace memflow::region {
+
+inline constexpr std::uint64_t kRemotePtrMaxRegion = (1ULL << 24) - 1;
+inline constexpr std::uint64_t kRemotePtrMaxOffset = (1ULL << 24) - 1;
+inline constexpr std::uint16_t kRemotePtrMaxHotness = (1U << 15) - 1;
+
+template <typename T>
+class RemotePtr {
+ public:
+  RemotePtr() = default;
+
+  static RemotePtr Make(RegionId region, std::uint64_t element_offset) {
+    MEMFLOW_CHECK(region.value <= kRemotePtrMaxRegion);
+    MEMFLOW_CHECK(element_offset <= kRemotePtrMaxOffset);
+    RemotePtr p;
+    p.bits_ = (static_cast<std::uint64_t>(region.value) << 24) | element_offset;
+    return p;
+  }
+
+  bool swizzled() const { return (bits_ >> 63) != 0; }
+
+  RegionId region() const {
+    MEMFLOW_DCHECK(!swizzled());
+    return RegionId(static_cast<std::uint32_t>((bits_ >> 24) & kRemotePtrMaxRegion));
+  }
+
+  std::uint64_t offset() const {
+    MEMFLOW_DCHECK(!swizzled());
+    return bits_ & kRemotePtrMaxOffset;
+  }
+
+  std::uint64_t byte_offset() const { return offset() * sizeof(T); }
+
+  // --- hotness tag ------------------------------------------------------------
+
+  std::uint16_t hotness() const { return static_cast<std::uint16_t>((bits_ >> 48) & 0x7fff); }
+
+  // Saturating increment; call on every dereference.
+  void Touch() {
+    const std::uint16_t h = hotness();
+    if (h < kRemotePtrMaxHotness) {
+      SetHotness(static_cast<std::uint16_t>(h + 1));
+    }
+  }
+
+  // Halve the counter (epoch decay).
+  void Cool() { SetHotness(static_cast<std::uint16_t>(hotness() / 2)); }
+
+  // --- swizzling --------------------------------------------------------------
+
+  // Replaces the remote reference with a raw local address (object was pinned
+  // in local memory). The hotness tag is preserved.
+  void Swizzle(T* local) {
+    const auto addr = reinterpret_cast<std::uint64_t>(local);
+    MEMFLOW_CHECK_MSG((addr >> 48) == 0, "non-canonical address");
+    bits_ = (1ULL << 63) | (static_cast<std::uint64_t>(hotness()) << 48) | addr;
+  }
+
+  // Restores the remote form after the object was unpinned/evicted.
+  void Unswizzle(RegionId region, std::uint64_t element_offset) {
+    const std::uint16_t h = hotness();
+    *this = Make(region, element_offset);
+    SetHotness(h);
+  }
+
+  T* raw() const {
+    MEMFLOW_DCHECK(swizzled());
+    return reinterpret_cast<T*>(bits_ & ((1ULL << 48) - 1));
+  }
+
+  T& operator*() const { return *raw(); }
+  T* operator->() const { return raw(); }
+
+  std::uint64_t bits() const { return bits_; }
+
+  friend bool operator==(const RemotePtr&, const RemotePtr&) = default;
+
+ private:
+  void SetHotness(std::uint16_t h) {
+    bits_ = (bits_ & ~(0x7fffULL << 48)) | (static_cast<std::uint64_t>(h & 0x7fff) << 48);
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_REMOTE_PTR_H_

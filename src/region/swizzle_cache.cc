@@ -1,0 +1,117 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/swizzle_cache.h"
+
+namespace memflow::region {
+
+SwizzleCache::SwizzleCache(RegionManager& regions, simhw::ComputeDeviceId observer,
+                           Principal who, std::uint64_t capacity_bytes)
+    : regions_(&regions), observer_(observer), who_(who), capacity_(capacity_bytes) {
+  MEMFLOW_CHECK(capacity_bytes > 0);
+}
+
+SwizzleCache::~SwizzleCache() {
+  // Best-effort write-back of dirty entries; drop everything.
+  for (auto& [key, entry] : entries_) {
+    if (entry.dirty) {
+      (void)WriteBack(key, entry);
+    }
+  }
+}
+
+Status SwizzleCache::WriteBack(const Key& key, Entry& entry) {
+  MEMFLOW_ASSIGN_OR_RETURN(AsyncAccessor acc,
+                           regions_->OpenAsync(RegionId(key.region), who_, observer_));
+  acc.EnqueueWrite(key.offset, entry.buffer.data(), key.len);
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+  total_cost_ += cost;
+  entry.dirty = false;
+  stats_.writebacks++;
+  return OkStatus();
+}
+
+Status SwizzleCache::EvictUntilFits(std::uint64_t incoming) {
+  if (incoming > capacity_) {
+    return InvalidArgument("range larger than the cache");
+  }
+  while (stats_.resident_bytes + incoming > capacity_) {
+    if (lru_.empty()) {
+      return ResourceExhausted("swizzle cache full of pinned entries");
+    }
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    MEMFLOW_CHECK(it != entries_.end() && it->second.pins == 0);
+    if (it->second.dirty) {
+      MEMFLOW_RETURN_IF_ERROR(WriteBack(victim, it->second));
+    }
+    stats_.resident_bytes -= victim.len;
+    stats_.evictions++;
+    entries_.erase(it);
+  }
+  return OkStatus();
+}
+
+Result<void*> SwizzleCache::PinRange(RegionId region, std::uint64_t offset,
+                                     std::uint64_t len) {
+  if (len == 0) {
+    return InvalidArgument("empty range");
+  }
+  const Key key{region.value, offset, len};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    if (entry.pins == 0) {
+      lru_.erase(entry.lru);  // no longer evictable
+    }
+    entry.pins++;
+    stats_.hits++;
+    return static_cast<void*>(entry.buffer.data());
+  }
+
+  MEMFLOW_RETURN_IF_ERROR(EvictUntilFits(len));
+
+  // Fetch through the region's (possibly async-only) interface.
+  Entry entry;
+  entry.buffer.resize(len);
+  {
+    MEMFLOW_ASSIGN_OR_RETURN(AsyncAccessor acc, regions_->OpenAsync(region, who_, observer_));
+    acc.EnqueueRead(offset, entry.buffer.data(), len);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    total_cost_ += cost;
+  }
+  entry.pins = 1;
+  stats_.misses++;
+  stats_.resident_bytes += len;
+  auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+  MEMFLOW_CHECK(inserted);
+  return static_cast<void*>(pos->second.buffer.data());
+}
+
+Status SwizzleCache::UnpinRange(RegionId region, std::uint64_t offset, std::uint64_t len,
+                                bool dirty) {
+  const Key key{region.value, offset, len};
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.pins == 0) {
+    return FailedPrecondition("range is not pinned");
+  }
+  Entry& entry = it->second;
+  entry.pins--;
+  entry.dirty = entry.dirty || dirty;
+  if (entry.pins == 0) {
+    lru_.push_front(key);
+    entry.lru = lru_.begin();
+  }
+  return OkStatus();
+}
+
+Status SwizzleCache::Flush() {
+  for (auto& [key, entry] : entries_) {
+    if (entry.dirty) {
+      MEMFLOW_RETURN_IF_ERROR(WriteBack(key, entry));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace memflow::region

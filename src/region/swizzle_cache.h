@@ -1,0 +1,110 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// An AIFM-style swizzle cache (paper §3, Challenges 1–3: "remotable pointers
+// that either point to objects in local or in remote memory (pointer
+// swizzling)"). The cache pins byte ranges of (possibly far) regions into a
+// bounded local buffer; a pinned RemotePtr<T> is *swizzled* to a raw host
+// pointer and dereferences at memory speed, while unpinned pointers stay in
+// their packed remote form. Eviction is LRU over unpinned entries, with
+// dirty write-back through the region's async interface.
+
+#ifndef MEMFLOW_REGION_SWIZZLE_CACHE_H_
+#define MEMFLOW_REGION_SWIZZLE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "region/region_manager.h"
+#include "region/remote_ptr.h"
+
+namespace memflow::region {
+
+struct SwizzleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+class SwizzleCache {
+ public:
+  // `who` must own (or share) every region accessed through the cache.
+  SwizzleCache(RegionManager& regions, simhw::ComputeDeviceId observer, Principal who,
+               std::uint64_t capacity_bytes);
+
+  SwizzleCache(const SwizzleCache&) = delete;
+  SwizzleCache& operator=(const SwizzleCache&) = delete;
+
+  ~SwizzleCache();
+
+  // Pins [offset, offset+len) of `region` locally. Returns the local address
+  // and adds the (simulated) fetch cost to total_cost(); a hit costs nothing.
+  Result<void*> PinRange(RegionId region, std::uint64_t offset, std::uint64_t len);
+
+  // Releases one pin. `dirty` marks the local copy for write-back (performed
+  // at eviction or Flush).
+  Status UnpinRange(RegionId region, std::uint64_t offset, std::uint64_t len, bool dirty);
+
+  // Typed convenience over RemotePtr: swizzles the pointer on success.
+  template <typename T>
+  Result<SimDuration> Pin(RemotePtr<T>& ptr) {
+    const RegionId region = ptr.region();
+    const std::uint64_t offset = ptr.byte_offset();
+    const SimDuration before = total_cost_;
+    MEMFLOW_ASSIGN_OR_RETURN(void* local, PinRange(region, offset, sizeof(T)));
+    ptr.Touch();
+    ptr.Swizzle(static_cast<T*>(local));
+    return total_cost_ - before;
+  }
+
+  // Unswizzles the pointer back to its remote form.
+  template <typename T>
+  Status Unpin(RemotePtr<T>& ptr, RegionId region, std::uint64_t element_offset,
+               bool dirty) {
+    MEMFLOW_RETURN_IF_ERROR(
+        UnpinRange(region, element_offset * sizeof(T), sizeof(T), dirty));
+    ptr.Unswizzle(region, element_offset);
+    return OkStatus();
+  }
+
+  // Writes back every dirty entry (keeps them resident).
+  Status Flush();
+
+  const SwizzleCacheStats& stats() const { return stats_; }
+  SimDuration total_cost() const { return total_cost_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    std::uint32_t region;
+    std::uint64_t offset;
+    std::uint64_t len;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  struct Entry {
+    std::vector<std::byte> buffer;
+    int pins = 0;
+    bool dirty = false;
+    std::list<Key>::iterator lru;  // valid when pins == 0
+  };
+
+  Status WriteBack(const Key& key, Entry& entry);
+  Status EvictUntilFits(std::uint64_t incoming);
+
+  RegionManager* regions_;
+  simhw::ComputeDeviceId observer_;
+  Principal who_;
+  std::uint64_t capacity_;
+
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recent; only unpinned entries
+  SwizzleCacheStats stats_;
+  SimDuration total_cost_;
+};
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_SWIZZLE_CACHE_H_

@@ -1,0 +1,145 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "region/tiering.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace memflow::region {
+
+namespace {
+
+// Probe size for ranking device speed: large enough that bandwidth matters,
+// small enough that latency still shows.
+constexpr std::uint64_t kSpeedProbeBytes = 256 * kKiB;
+
+double HotnessDensity(const RegionInfo& info) {
+  return static_cast<double>(info.hotness) /
+         (static_cast<double>(info.size) / static_cast<double>(kKiB));
+}
+
+}  // namespace
+
+TieringDaemon::TieringDaemon(RegionManager& manager, simhw::ComputeDeviceId observer,
+                             TieringConfig config)
+    : manager_(&manager), observer_(observer), config_(config) {}
+
+std::vector<simhw::MemoryDeviceId> TieringDaemon::RankedTiers(const Properties& props) const {
+  struct Tier {
+    std::int64_t speed_ns;
+    simhw::MemoryDeviceId device;
+  };
+  std::vector<Tier> tiers;
+  simhw::Cluster& cluster = manager_->cluster();
+  for (const simhw::MemoryDeviceId dev : cluster.AllMemoryDevices()) {
+    if (cluster.memory(dev).failed() || !cluster.memory(dev).profile().allocatable) {
+      continue;
+    }
+    auto view = cluster.View(observer_, dev);
+    if (!view.ok() || !Satisfies(*view, props)) {
+      continue;
+    }
+    tiers.push_back({view->ReadCost(kSpeedProbeBytes, /*sequential=*/true).ns, dev});
+  }
+  std::sort(tiers.begin(), tiers.end(), [](const Tier& a, const Tier& b) {
+    if (a.speed_ns != b.speed_ns) {
+      return a.speed_ns < b.speed_ns;
+    }
+    return a.device < b.device;
+  });
+  std::vector<simhw::MemoryDeviceId> out;
+  out.reserve(tiers.size());
+  for (const Tier& t : tiers) {
+    out.push_back(t.device);
+  }
+  return out;
+}
+
+TieringReport TieringDaemon::RunEpoch() {
+  TieringReport report;
+  simhw::Cluster& cluster = manager_->cluster();
+
+  // Snapshot live regions with their info; skip lost/shared-out regions that
+  // a migration would race with (in this single-threaded simulation sharing
+  // is safe to move, but we keep the policy conservative and simple).
+  struct Entry {
+    RegionInfo info;
+    double density;
+  };
+  std::vector<Entry> entries;
+  for (const RegionId id : manager_->LiveRegions()) {
+    auto info = manager_->Info(id);
+    if (!info.ok() || info->lost) {
+      continue;
+    }
+    entries.push_back({*info, HotnessDensity(*info)});
+  }
+
+  // Hottest first for promotion.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.density > b.density; });
+
+  std::uint64_t budget = config_.epoch_budget_bytes;
+
+  // Promotion pass.
+  for (const Entry& e : entries) {
+    if (budget < e.info.size || e.density < config_.promote_density) {
+      continue;
+    }
+    const std::vector<simhw::MemoryDeviceId> tiers = RankedTiers(e.info.props);
+    for (const simhw::MemoryDeviceId dev : tiers) {
+      if (dev == e.info.device) {
+        break;  // already on the fastest reachable tier
+      }
+      if (cluster.memory(dev).free_bytes() < e.info.size) {
+        continue;
+      }
+      auto cost = manager_->Migrate(e.info.id, dev);
+      if (cost.ok()) {
+        report.promoted++;
+        report.bytes_moved += e.info.size;
+        report.migration_cost += *cost;
+        budget -= e.info.size;
+      }
+      break;
+    }
+  }
+
+  // Demotion pass: coldest first, only off overfull devices.
+  std::reverse(entries.begin(), entries.end());
+  for (const Entry& e : entries) {
+    if (budget < e.info.size || e.density > config_.demote_density) {
+      continue;
+    }
+    if (cluster.memory(e.info.device).utilization() < config_.high_watermark) {
+      continue;
+    }
+    const std::vector<simhw::MemoryDeviceId> tiers = RankedTiers(e.info.props);
+    // Find the current tier, demote to the next slower one with space.
+    auto cur = std::find(tiers.begin(), tiers.end(), e.info.device);
+    if (cur == tiers.end()) {
+      continue;
+    }
+    for (auto it = std::next(cur); it != tiers.end(); ++it) {
+      if (cluster.memory(*it).free_bytes() < e.info.size) {
+        continue;
+      }
+      auto cost = manager_->Migrate(e.info.id, *it);
+      if (cost.ok()) {
+        report.demoted++;
+        report.bytes_moved += e.info.size;
+        report.migration_cost += *cost;
+        budget -= e.info.size;
+      }
+      break;
+    }
+  }
+
+  manager_->DecayHotness(config_.decay);
+  MEMFLOW_LOG(kDebug) << "tiering epoch: +" << report.promoted << " / -" << report.demoted
+                      << ", " << report.bytes_moved << " B moved";
+  return report;
+}
+
+}  // namespace memflow::region

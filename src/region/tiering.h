@@ -1,0 +1,61 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Hotness-driven tiering daemon. The paper's RTS must "optimize the placement
+// of memory regions" using hotness tracked via pointer tagging (§3,
+// Challenges 1–3, citing TPP/LeanStore/AIFM). Each epoch the daemon ranks
+// live regions by hotness density, promotes hot regions toward the fastest
+// satisfying device, demotes cold regions off overfull fast devices, and
+// decays the counters.
+
+#ifndef MEMFLOW_REGION_TIERING_H_
+#define MEMFLOW_REGION_TIERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "region/region_manager.h"
+
+namespace memflow::region {
+
+struct TieringConfig {
+  // Regions with hotness density (hotness per KiB) below this are demotion
+  // candidates; above `promote_density` they are promotion candidates.
+  double promote_density = 4.0;
+  double demote_density = 0.5;
+  // Fast devices above this utilization shed cold regions.
+  double high_watermark = 0.90;
+  // Per-epoch migration budget, to bound interference with foreground work.
+  std::uint64_t epoch_budget_bytes = 64 * kMiB;
+  // Multiplicative hotness decay applied at the end of each epoch.
+  double decay = 0.5;
+};
+
+struct TieringReport {
+  int promoted = 0;
+  int demoted = 0;
+  std::uint64_t bytes_moved = 0;
+  SimDuration migration_cost;
+};
+
+class TieringDaemon {
+ public:
+  // `observer` defines the point of view used to rank device speed (for a
+  // single-host deployment, the host CPU).
+  TieringDaemon(RegionManager& manager, simhw::ComputeDeviceId observer,
+                TieringConfig config = {});
+
+  // Runs one promotion/demotion epoch.
+  TieringReport RunEpoch();
+
+ private:
+  // Devices satisfying `props` from the observer, fastest first.
+  std::vector<simhw::MemoryDeviceId> RankedTiers(const Properties& props) const;
+
+  RegionManager* manager_;
+  simhw::ComputeDeviceId observer_;
+  TieringConfig config_;
+};
+
+}  // namespace memflow::region
+
+#endif  // MEMFLOW_REGION_TIERING_H_

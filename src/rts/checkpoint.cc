@@ -1,0 +1,119 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "rts/checkpoint.h"
+
+#include "dataflow/context.h"
+
+#include "common/log.h"
+
+namespace memflow::rts {
+
+JobCheckpointer::JobCheckpointer(simhw::Cluster& cluster, simhw::MemoryDeviceId device)
+    : cluster_(&cluster), device_(device) {
+  MEMFLOW_CHECK_MSG(cluster.memory(device).profile().persistent,
+                    "checkpoints require persistent media");
+}
+
+JobCheckpointer::~JobCheckpointer() {
+  for (const auto& [key, entry] : catalog_) {
+    if (entry.size > 0) {
+      (void)cluster_->memory(device_).Free(entry.extent);
+    }
+  }
+}
+
+bool JobCheckpointer::HasCheckpoint(const std::string& job_name,
+                                    const std::string& task_name) const {
+  return catalog_.contains(Key(job_name, task_name));
+}
+
+void JobCheckpointer::Discard(const std::string& job_name) {
+  const std::string prefix = job_name + "\x1f";
+  for (auto it = catalog_.begin(); it != catalog_.end();) {
+    if (it->first.starts_with(prefix)) {
+      if (it->second.size > 0) {
+        (void)cluster_->memory(device_).Free(it->second.extent);
+      }
+      it = catalog_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status JobCheckpointer::Save(const std::string& key, const std::vector<std::uint8_t>& payload,
+                             SimDuration* cost) {
+  Entry entry;
+  entry.size = payload.size();
+  *cost = SimDuration{};
+  if (!payload.empty()) {
+    MEMFLOW_ASSIGN_OR_RETURN(entry.extent,
+                             cluster_->memory(device_).Allocate(payload.size()));
+    MEMFLOW_ASSIGN_OR_RETURN(
+        *cost, cluster_->memory(device_).Write(entry.extent, 0, payload.data(),
+                                               payload.size()));
+  }
+  catalog_[key] = entry;
+  stats_.checkpoints_written++;
+  stats_.checkpoint_bytes += payload.size();
+  stats_.write_cost += *cost;
+  return OkStatus();
+}
+
+dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
+  const std::string job_name = job.name();
+  for (std::size_t i = 0; i < job.num_tasks(); ++i) {
+    dataflow::TaskSpec& spec = job.task(dataflow::TaskId(static_cast<std::uint32_t>(i)));
+    const std::string key = Key(job_name, spec.name);
+    dataflow::TaskFn original = std::move(spec.fn);
+    spec.fn = [this, key, original = std::move(original)](
+                  dataflow::TaskContext& ctx) -> Status {
+      auto it = catalog_.find(key);
+      if (it != catalog_.end()) {
+        // Restore: skip execution, rebuild the output from the checkpoint.
+        if (it->second.size > 0) {
+          std::vector<std::uint8_t> payload(it->second.size);
+          MEMFLOW_ASSIGN_OR_RETURN(
+              SimDuration read_cost,
+              cluster_->memory(device_).Read(it->second.extent, 0, payload.data(),
+                                             payload.size()));
+          ctx.Charge(read_cost);
+          stats_.restore_cost += read_cost;
+          MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
+                                   ctx.AllocateOutput(payload.size()));
+          MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
+          acc.EnqueueWrite(0, payload.data(), payload.size());
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration write_cost, acc.Drain());
+          ctx.Charge(write_cost);
+          stats_.restore_cost += write_cost;
+          stats_.bytes_restored += payload.size();
+        }
+        stats_.tasks_restored++;
+        return OkStatus();
+      }
+
+      MEMFLOW_RETURN_IF_ERROR(original(ctx));
+
+      // Checkpoint the produced output (or an empty marker for outputless
+      // tasks, so they are skipped on restart too).
+      std::vector<std::uint8_t> payload;
+      if (ctx.output().valid()) {
+        auto info = ctx.regions().Info(ctx.output());
+        if (info.ok()) {
+          payload.resize(info->size);
+          MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(ctx.output()));
+          acc.EnqueueRead(0, payload.data(), payload.size());
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration read_cost, acc.Drain());
+          ctx.Charge(read_cost);
+        }
+      }
+      SimDuration save_cost;
+      MEMFLOW_RETURN_IF_ERROR(Save(key, payload, &save_cost));
+      ctx.Charge(save_cost);
+      return OkStatus();
+    };
+  }
+  return job;
+}
+
+}  // namespace memflow::rts

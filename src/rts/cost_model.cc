@@ -1,0 +1,123 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "rts/cost_model.h"
+
+#include <limits>
+
+namespace memflow::rts {
+
+std::uint64_t CostModel::ScratchBytes(const dataflow::TaskProperties& props,
+                                      std::uint64_t input_bytes) {
+  return props.scratch_bytes +
+         static_cast<std::uint64_t>(props.scratch_bytes_per_input_byte *
+                                    static_cast<double>(input_bytes));
+}
+
+std::uint64_t CostModel::OutputBytes(const dataflow::TaskProperties& props,
+                                     std::uint64_t input_bytes) {
+  return props.output_bytes +
+         static_cast<std::uint64_t>(props.output_bytes_per_input_byte *
+                                    static_cast<double>(input_bytes));
+}
+
+double CostModel::WorkUnits(const dataflow::TaskProperties& props, std::uint64_t input_bytes) {
+  return props.base_work + props.work_per_byte * static_cast<double>(input_bytes);
+}
+
+Result<simhw::AccessView> CostModel::BestView(simhw::ComputeDeviceId device,
+                                              const region::Properties& props,
+                                              std::uint64_t size,
+                                              const region::AccessHint& hint) const {
+  const simhw::AccessView* best = nullptr;
+  simhw::AccessView best_storage;
+  std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+  for (const simhw::MemoryDeviceId mem : cluster_->AllMemoryDevices()) {
+    if (cluster_->memory(mem).failed() || !cluster_->memory(mem).profile().allocatable ||
+        cluster_->memory(mem).free_bytes() < size) {
+      continue;
+    }
+    auto view = cluster_->View(device, mem);
+    if (!view.ok() || !Satisfies(*view, props)) {
+      continue;
+    }
+    const std::int64_t cost = ExpectedUseCost(*view, size, hint).ns;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_storage = *view;
+      best = &best_storage;
+    }
+  }
+  if (best == nullptr) {
+    return ResourceExhausted("no device satisfies " + props.ToString() + " from device " +
+                             std::to_string(device.value));
+  }
+  return best_storage;
+}
+
+Result<TaskEstimate> CostModel::Estimate(const dataflow::TaskProperties& props,
+                                         std::uint64_t input_bytes,
+                                         simhw::ComputeDeviceId device,
+                                         simhw::MemoryDeviceId input_device) const {
+  const simhw::ComputeDevice& compute = cluster_->compute(device);
+  if (compute.failed()) {
+    return Unavailable(compute.name() + " is failed");
+  }
+  if (props.compute_device.has_value() && compute.kind() != *props.compute_device) {
+    return FailedPrecondition("task requires " +
+                              std::string(ComputeDeviceKindName(*props.compute_device)));
+  }
+
+  TaskEstimate est;
+  est.compute = compute.ComputeTime(WorkUnits(props, input_bytes), props.parallel_fraction);
+
+  // Input: streamed once from wherever it lives.
+  SimDuration memory{};
+  if (input_bytes > 0) {
+    if (input_device.valid()) {
+      MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view, cluster_->View(device, input_device));
+      memory += view.ReadCost(input_bytes, /*sequential=*/true);
+    } else {
+      region::Properties input_props;
+      input_props.latency = props.mem_latency;
+      MEMFLOW_ASSIGN_OR_RETURN(
+          simhw::AccessView view,
+          BestView(device, input_props, input_bytes, region::AccessHint{1.0, 1.0, 1.0}));
+      memory += view.ReadCost(input_bytes, /*sequential=*/true);
+    }
+  }
+
+  // Scratch: random-access working set (hash tables, model state, buffers).
+  const std::uint64_t scratch = ScratchBytes(props, input_bytes);
+  if (scratch > 0) {
+    region::Properties scratch_props = region::Properties::PrivateScratch();
+    if (props.mem_latency != region::LatencyClass::kAny) {
+      scratch_props.latency = props.mem_latency;
+    }
+    const region::AccessHint hint{0.25, 0.5, 2.0};
+    auto view = BestView(device, scratch_props, scratch, hint);
+    if (!view.ok()) {
+      return view.status();
+    }
+    est.scratch_device = view->device;
+    memory += ExpectedUseCost(*view, scratch, hint);
+  }
+
+  // Output: streamed once to a device the consumer can also use.
+  const std::uint64_t output = OutputBytes(props, input_bytes);
+  if (output > 0) {
+    region::Properties output_props;
+    output_props.latency = props.mem_latency;
+    output_props.persistent = props.persistent;
+    MEMFLOW_ASSIGN_OR_RETURN(
+        simhw::AccessView view,
+        BestView(device, output_props, output, region::AccessHint{1.0, 0.0, 1.0}));
+    est.output_device = view.device;
+    memory += view.WriteCost(output, /*sequential=*/true);
+  }
+
+  est.memory = memory;
+  est.total = est.compute + est.memory;
+  return est;
+}
+
+}  // namespace memflow::rts

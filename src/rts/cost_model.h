@@ -1,0 +1,61 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Topology-aware task cost model (§3, Challenges 1–3: "schedule and map tasks
+// to different types of devices using cost models that consider topology and
+// access paths"). Given a task's declared execution profile and an estimated
+// input size, the model predicts how long the task would take on each
+// candidate compute device, assuming its memory requests resolve to the best
+// satisfying devices from there.
+
+#ifndef MEMFLOW_RTS_COST_MODEL_H_
+#define MEMFLOW_RTS_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dataflow/task.h"
+#include "region/properties.h"
+#include "simhw/cluster.h"
+
+namespace memflow::rts {
+
+struct TaskEstimate {
+  SimDuration compute;   // device execution time for the declared work
+  SimDuration memory;    // input read + scratch use + output write
+  SimDuration total;     // compute + memory (no overlap assumed: conservative)
+
+  // Resolved best memory devices, for introspection.
+  simhw::MemoryDeviceId scratch_device;
+  simhw::MemoryDeviceId output_device;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const simhw::Cluster& cluster) : cluster_(&cluster) {}
+
+  // Predicts the runtime of a task with `props` and `input_bytes` of input on
+  // `device`. `input_device` is where the input currently (or will) reside;
+  // pass an invalid id to have the model assume the best satisfying device.
+  Result<TaskEstimate> Estimate(const dataflow::TaskProperties& props,
+                                std::uint64_t input_bytes, simhw::ComputeDeviceId device,
+                                simhw::MemoryDeviceId input_device = {}) const;
+
+  // Derived sizes from the task's declared profile.
+  static std::uint64_t ScratchBytes(const dataflow::TaskProperties& props,
+                                    std::uint64_t input_bytes);
+  static std::uint64_t OutputBytes(const dataflow::TaskProperties& props,
+                                   std::uint64_t input_bytes);
+  static double WorkUnits(const dataflow::TaskProperties& props, std::uint64_t input_bytes);
+
+ private:
+  // Cheapest satisfying view from `device`, or an error if none.
+  Result<simhw::AccessView> BestView(simhw::ComputeDeviceId device,
+                                     const region::Properties& props, std::uint64_t size,
+                                     const region::AccessHint& hint) const;
+
+  const simhw::Cluster* cluster_;
+};
+
+}  // namespace memflow::rts
+
+#endif  // MEMFLOW_RTS_COST_MODEL_H_

@@ -1,0 +1,146 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "rts/placement.h"
+
+#include <limits>
+
+namespace memflow::rts {
+
+std::string_view PlacementPolicyKindName(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicyKind::kFirstFit:
+      return "first-fit";
+    case PlacementPolicyKind::kRandom:
+      return "random";
+    case PlacementPolicyKind::kCostModel:
+      return "cost-model";
+  }
+  return "?";
+}
+
+std::vector<simhw::ComputeDeviceId> PlacementPolicy::Eligible(
+    const dataflow::TaskProperties& props, const simhw::Cluster& cluster) {
+  std::vector<simhw::ComputeDeviceId> out;
+  for (const simhw::ComputeDeviceId id : cluster.AllComputeDevices()) {
+    const simhw::ComputeDevice& dev = cluster.compute(id);
+    if (dev.failed()) {
+      continue;
+    }
+    if (props.compute_device.has_value() && dev.kind() != *props.compute_device) {
+      continue;
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
+                                       std::uint64_t, simhw::Cluster& cluster,
+                                       const CostModel&) override {
+    const auto eligible = Eligible(job.task(task).props, cluster);
+    if (eligible.empty()) {
+      return ResourceExhausted("no eligible compute device for '" + job.task(task).name + "'");
+    }
+    return eligible[next_++ % eligible.size()];
+  }
+  std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class FirstFitPlacement final : public PlacementPolicy {
+ public:
+  Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
+                                       std::uint64_t, simhw::Cluster& cluster,
+                                       const CostModel&) override {
+    const auto eligible = Eligible(job.task(task).props, cluster);
+    if (eligible.empty()) {
+      return ResourceExhausted("no eligible compute device for '" + job.task(task).name + "'");
+    }
+    return eligible.front();
+  }
+  std::string_view name() const override { return "first-fit"; }
+};
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  explicit RandomPlacement(std::uint64_t seed) : rng_(seed) {}
+
+  Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
+                                       std::uint64_t, simhw::Cluster& cluster,
+                                       const CostModel&) override {
+    const auto eligible = Eligible(job.task(task).props, cluster);
+    if (eligible.empty()) {
+      return ResourceExhausted("no eligible compute device for '" + job.task(task).name + "'");
+    }
+    return eligible[rng_.Below(eligible.size())];
+  }
+  std::string_view name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+class CostModelPlacement final : public PlacementPolicy {
+ public:
+  Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
+                                       std::uint64_t input_bytes_estimate,
+                                       simhw::Cluster& cluster,
+                                       const CostModel& model) override {
+    const dataflow::TaskProperties& props = job.task(task).props;
+    const auto eligible = Eligible(props, cluster);
+    simhw::ComputeDeviceId best;
+    double best_score = std::numeric_limits<double>::infinity();
+    double best_est_ns = 0;
+    for (const simhw::ComputeDeviceId id : eligible) {
+      auto est = model.Estimate(props, input_bytes_estimate, id);
+      if (!est.ok()) {
+        continue;  // no satisfying memory from this device
+      }
+      // Predicted finish time: the device must first drain its committed
+      // backlog (spread over its hardware queues), then run this task.
+      const simhw::ComputeDevice& dev = cluster.compute(id);
+      const double backlog = dev.planned_ns / dev.profile().hw_queues;
+      const double score = backlog + static_cast<double>(est->total.ns);
+      if (score < best_score) {
+        best_score = score;
+        best = id;
+        best_est_ns = static_cast<double>(est->total.ns);
+      }
+    }
+    if (!best.valid()) {
+      return ResourceExhausted("cost model found no feasible device for '" +
+                               job.task(task).name + "'");
+    }
+    // Commit the estimate so subsequent placements see this device busier.
+    cluster.compute(best).planned_ns += best_est_ns;
+    return best;
+  }
+  std::string_view name() const override { return "cost-model"; }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind,
+                                                     std::uint64_t seed) {
+  switch (kind) {
+    case PlacementPolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPlacement>();
+    case PlacementPolicyKind::kFirstFit:
+      return std::make_unique<FirstFitPlacement>();
+    case PlacementPolicyKind::kRandom:
+      return std::make_unique<RandomPlacement>(seed);
+    case PlacementPolicyKind::kCostModel:
+      return std::make_unique<CostModelPlacement>();
+  }
+  return nullptr;
+}
+
+}  // namespace memflow::rts

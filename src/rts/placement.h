@@ -1,0 +1,57 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Task placement policies. The traditional explicit/naive models the paper
+// argues against are implemented as first-class policies so every experiment
+// can run both worlds through the same executor:
+//
+//   kRoundRobin  — naive: spread tasks over eligible devices blindly.
+//   kFirstFit    — compute-centric: pin to the first eligible device
+//                  (models static, developer-chosen placement).
+//   kRandom      — chaos baseline.
+//   kCostModel   — the paper's vision: minimize predicted completion time
+//                  using the topology-aware cost model, load-adjusted.
+
+#ifndef MEMFLOW_RTS_PLACEMENT_H_
+#define MEMFLOW_RTS_PLACEMENT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dataflow/job.h"
+#include "rts/cost_model.h"
+
+namespace memflow::rts {
+
+enum class PlacementPolicyKind { kRoundRobin, kFirstFit, kRandom, kCostModel };
+
+std::string_view PlacementPolicyKindName(PlacementPolicyKind kind);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Picks a compute device for `task` of `job`, given the admission-time
+  // input size estimate. Returns an error if no eligible device exists.
+  virtual Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job,
+                                               dataflow::TaskId task,
+                                               std::uint64_t input_bytes_estimate,
+                                               simhw::Cluster& cluster,
+                                               const CostModel& model) = 0;
+
+  virtual std::string_view name() const = 0;
+
+ protected:
+  // Devices the task may run on: kind-compatible and alive.
+  static std::vector<simhw::ComputeDeviceId> Eligible(const dataflow::TaskProperties& props,
+                                                      const simhw::Cluster& cluster);
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind,
+                                                     std::uint64_t seed = 42);
+
+}  // namespace memflow::rts
+
+#endif  // MEMFLOW_RTS_PLACEMENT_H_

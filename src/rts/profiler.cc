@@ -1,0 +1,196 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "rts/profiler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace memflow::rts {
+
+Result<JobProfile> ProfileJob(const Runtime& runtime, dataflow::JobId id) {
+  const JobReport& report = runtime.report(id);
+  MEMFLOW_ASSIGN_OR_RETURN(const dataflow::Job* job, runtime.GetJob(id));
+  if (!report.status.ok()) {
+    return FailedPrecondition("job did not finish successfully; profile unavailable");
+  }
+  const std::size_t n = report.tasks.size();
+  MEMFLOW_CHECK(n == job->num_tasks());
+
+  JobProfile profile;
+  profile.makespan = report.Makespan();
+
+  // Level-0 aggregates.
+  std::set<std::uint32_t> devices;
+  for (const TaskReport& t : report.tasks) {
+    profile.total_task_time += t.duration;
+    profile.total_handover += t.handover_cost;
+    devices.insert(t.device.value);
+  }
+  profile.devices_used = static_cast<int>(devices.size());
+  // Capacity = sum of hardware queues across the devices used: a single
+  // device can overlap several tasks, so dividing by device count alone
+  // would report efficiencies above 1.
+  int queue_capacity = 0;
+  for (const std::uint32_t d : devices) {
+    queue_capacity += runtime.cluster().compute(simhw::ComputeDeviceId(d)).profile().hw_queues;
+  }
+  if (profile.makespan.ns > 0 && queue_capacity > 0) {
+    profile.parallel_efficiency =
+        static_cast<double>(profile.total_task_time.ns) /
+        (static_cast<double>(profile.makespan.ns) * queue_capacity);
+  }
+
+  // Critical path over the DAG: cp(t) = dur + handover + max_succ cp(succ).
+  const std::vector<dataflow::TaskId> order = job->TopologicalOrder();
+  std::vector<std::int64_t> cp(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::uint32_t t = it->value;
+    std::int64_t best_succ = 0;
+    for (const dataflow::TaskId s : job->successors(*it)) {
+      best_succ = std::max(best_succ, cp[s.value]);
+    }
+    cp[t] = report.tasks[t].duration.ns + report.tasks[t].handover_cost.ns + best_succ;
+  }
+  // Walk the path from the heaviest source, marking members.
+  std::vector<bool> critical(n, false);
+  {
+    dataflow::TaskId cursor;
+    std::int64_t best = -1;
+    for (const dataflow::TaskId s : job->Sources()) {
+      if (cp[s.value] > best) {
+        best = cp[s.value];
+        cursor = s;
+      }
+    }
+    profile.critical_path = SimDuration::Nanos(best);
+    while (cursor.valid()) {
+      critical[cursor.value] = true;
+      dataflow::TaskId next;
+      std::int64_t next_best = -1;
+      for (const dataflow::TaskId s : job->successors(cursor)) {
+        if (cp[s.value] > next_best) {
+          next_best = cp[s.value];
+          next = s;
+        }
+      }
+      cursor = next;
+    }
+  }
+
+  // Level-1 lines. Queueing = dispatch - ready, where ready is the job's
+  // submission (sources) or the last predecessor's finish + handover.
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskReport& t = report.tasks[i];
+    SimTime ready = report.submitted;
+    for (const dataflow::TaskId p :
+         job->predecessors(dataflow::TaskId(static_cast<std::uint32_t>(i)))) {
+      const TaskReport& pr = report.tasks[p.value];
+      ready = std::max(ready, pr.finish + pr.handover_cost);
+    }
+    JobProfile::TaskLine line;
+    line.name = t.name;
+    line.device = runtime.cluster().compute(t.device).name();
+    line.queueing = t.start - ready;
+    line.duration = t.duration;
+    line.handover = t.handover_cost;
+    line.zero_copy = t.zero_copy_handover;
+    line.on_critical_path = critical[i];
+    line.attempts = t.attempts;
+    profile.tasks.push_back(std::move(line));
+  }
+  return profile;
+}
+
+std::string RenderProfile(const Runtime& runtime, const JobProfile& profile) {
+  std::string out;
+  out += "== level 0: job =================================================\n";
+  out += "makespan            " + HumanDuration(profile.makespan) + "\n";
+  out += "critical path       " + HumanDuration(profile.critical_path) + "\n";
+  out += "total task time     " + HumanDuration(profile.total_task_time) + "\n";
+  out += "handover copy cost  " + HumanDuration(profile.total_handover) + "\n";
+  out += "devices used        " + std::to_string(profile.devices_used) + "\n";
+  out += "parallel efficiency " + FormatDouble(profile.parallel_efficiency * 100, 1) + " %\n\n";
+
+  out += "== level 1: tasks ===============================================\n";
+  TextTable tasks({"Task", "Device", "Queueing", "Execution", "Handover", "CP", "Att."});
+  for (const JobProfile::TaskLine& line : profile.tasks) {
+    tasks.AddRow({line.name, line.device, HumanDuration(line.queueing),
+                  HumanDuration(line.duration),
+                  line.zero_copy ? "zero-copy" : HumanDuration(line.handover),
+                  line.on_critical_path ? "*" : "", std::to_string(line.attempts)});
+  }
+  out += tasks.Render();
+
+  out += "\n== level 2: region classes ======================================\n";
+  const region::ManagerStats& stats = runtime.regions().stats();
+  TextTable regions({"Region class", "Allocations", "Bytes read", "Bytes written"});
+  for (int c = 0; c < region::kNumRegionClasses; ++c) {
+    regions.AddRow({std::string(RegionClassName(static_cast<region::RegionClass>(c))),
+                    WithThousands(stats.allocations_by_class[c]),
+                    HumanBytes(stats.bytes_read_by_class[c]),
+                    HumanBytes(stats.bytes_written_by_class[c])});
+  }
+  out += regions.Render();
+
+  out += "\n== level 3: devices =============================================\n";
+  out += runtime.UtilizationReport();
+  return out;
+}
+
+Result<std::string> ExportChromeTrace(const Runtime& runtime, dataflow::JobId id) {
+  const JobReport& report = runtime.report(id);
+  if (!report.status.ok()) {
+    return FailedPrecondition("job did not finish successfully; no trace");
+  }
+  const auto escape = [](const std::string& raw) {
+    std::string out;
+    for (const char ch : raw) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+      }
+      out += ch;
+    }
+    return out;
+  };
+
+  std::string json = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& entry) {
+    if (!first) {
+      json += ',';
+    }
+    first = false;
+    json += entry;
+  };
+
+  // Process metadata: one "process" per job, one "thread" lane per device.
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"" +
+       escape(report.name) + "\"}}");
+  std::set<std::uint32_t> devices;
+  for (const TaskReport& t : report.tasks) {
+    devices.insert(t.device.value);
+  }
+  for (const std::uint32_t d : devices) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(d) +
+         ",\"args\":{\"name\":\"" +
+         escape(runtime.cluster().compute(simhw::ComputeDeviceId(d)).name()) + "\"}}");
+  }
+
+  // One complete ("X") event per task; timestamps in microseconds.
+  for (const TaskReport& t : report.tasks) {
+    emit("{\"name\":\"" + escape(t.name) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+         std::to_string(t.device.value) +
+         ",\"ts\":" + FormatDouble(static_cast<double>(t.start.ns) / 1e3, 3) +
+         ",\"dur\":" + FormatDouble(static_cast<double>(t.duration.ns) / 1e3, 3) +
+         ",\"args\":{\"attempts\":" + std::to_string(t.attempts) +
+         ",\"handover_ns\":" + std::to_string(t.handover_cost.ns) +
+         ",\"zero_copy\":" + (t.zero_copy_handover ? "true" : "false") + "}}");
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace memflow::rts

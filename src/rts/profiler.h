@@ -1,0 +1,64 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Multi-level profiling (paper §3, Challenge 8, limitation (1): "How can we
+// debug, profile, and optimize dataflow applications with multiple
+// abstraction layers when the runtime system hides performance-relevant
+// details?" — citing Beischl et al.'s multi-level dataflow profiling). The
+// profiler answers it the way that work suggests: the runtime *is* the
+// bookkeeper, so time can be attributed at every abstraction level —
+//
+//   level 0: job        (makespan, critical path, parallel efficiency),
+//   level 1: task       (queueing vs execution, handover costs, attempts),
+//   level 2: region     (traffic per region class),
+//   level 3: device     (per memory/compute device utilization).
+
+#ifndef MEMFLOW_RTS_PROFILER_H_
+#define MEMFLOW_RTS_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "rts/runtime.h"
+
+namespace memflow::rts {
+
+struct JobProfile {
+  // Level 0 — job.
+  SimDuration makespan;
+  SimDuration critical_path;     // longest duration+handover chain in the DAG
+  SimDuration total_task_time;   // sum over tasks (> makespan means overlap)
+  SimDuration total_handover;    // copy costs paid at handovers
+  int devices_used = 0;
+  double parallel_efficiency = 0;  // total_task_time / (makespan * devices)
+
+  // Level 1 — per task.
+  struct TaskLine {
+    std::string name;
+    std::string device;
+    SimDuration queueing;        // job start (or last input) to dispatch
+    SimDuration duration;
+    SimDuration handover;
+    bool zero_copy = false;
+    bool on_critical_path = false;
+    int attempts = 1;
+  };
+  std::vector<TaskLine> tasks;
+};
+
+// Builds a profile for a finished job.
+Result<JobProfile> ProfileJob(const Runtime& runtime, dataflow::JobId id);
+
+// Renders the profile plus the runtime's region-class traffic (level 2) and
+// device utilization (level 3) as one multi-level text report.
+std::string RenderProfile(const Runtime& runtime, const JobProfile& profile);
+
+// Exports a finished job's task timeline as Chrome trace-event JSON
+// (chrome://tracing / Perfetto): one lane per compute device, one complete
+// event per task, timestamps in simulated microseconds. The format bridges
+// the simulated runtime to standard visual debugging tools — the paper's
+// Challenge 8 asks exactly for such cross-layer observability.
+Result<std::string> ExportChromeTrace(const Runtime& runtime, dataflow::JobId id);
+
+}  // namespace memflow::rts
+
+#endif  // MEMFLOW_RTS_PROFILER_H_

@@ -1,0 +1,614 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "rts/runtime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace memflow::rts {
+
+Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
+    : cluster_(&cluster),
+      options_(options),
+      regions_(cluster, options.region_config, options.seed ^ 0xa11ccULL),
+      model_(cluster),
+      policy_(MakePlacementPolicy(options.policy, options.seed)) {
+  MEMFLOW_CHECK(policy_ != nullptr);
+  MEMFLOW_CHECK(options_.max_task_attempts >= 1);
+}
+
+Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
+  MEMFLOW_RETURN_IF_ERROR(job.Validate());
+  const auto id = dataflow::JobId(next_job_id_++);
+  auto exec = std::make_unique<JobExec>(id, std::move(job));
+  exec->report.id = id;
+  exec->report.name = exec->job.name();
+  exec->report.submitted = clock_.now();
+  exec->tasks.resize(exec->job.num_tasks());
+  exec->remaining_tasks = exec->job.num_tasks();
+  stats_.jobs_submitted++;
+
+  const Status planned = Plan(*exec);
+  if (!planned.ok()) {
+    stats_.jobs_rejected++;
+    // Undo any global-region allocation made during planning.
+    if (exec->state_region.valid()) {
+      (void)regions_.ForceFree(exec->state_region);
+    }
+    if (exec->scratch_region.valid()) {
+      (void)regions_.ForceFree(exec->scratch_region);
+    }
+    return planned;
+  }
+
+  const std::size_t index = jobs_.size();
+  exec->index = index;
+  jobs_.push_back(std::move(exec));
+
+  // Start the job inside the event loop so concurrently submitted jobs
+  // interleave deterministically by submission order.
+  events_.Schedule(clock_.now(), [this, index](SimTime) {
+    JobExec& je = *jobs_[index];
+    for (const dataflow::TaskId t : je.job.Sources()) {
+      EnqueueTask(je, t);
+    }
+  });
+  return id;
+}
+
+Status Runtime::Plan(JobExec& exec) {
+  const dataflow::Job& job = exec.job;
+  const std::vector<dataflow::TaskId> order = job.TopologicalOrder();
+
+  // Input size estimates propagate forward through the DAG.
+  for (const dataflow::TaskId t : order) {
+    TaskExec& te = exec.tasks[t.value];
+    te.remaining_inputs = static_cast<int>(job.predecessors(t).size());
+    std::uint64_t est = 0;
+    for (const dataflow::TaskId p : job.predecessors(t)) {
+      est += CostModel::OutputBytes(job.task(p).props, exec.tasks[p.value].est_input_bytes);
+    }
+    te.est_input_bytes = est;
+    MEMFLOW_ASSIGN_OR_RETURN(te.planned,
+                             policy_->Place(job, t, est, *cluster_, model_));
+  }
+
+  const region::Principal job_principal = JobPrincipalFor(exec);
+  const dataflow::JobOptions& jopts = job.options();
+
+  // Global State (Table 2): coherent + sync, shared by every task. Pick a
+  // device every planned observer can coherently reach — on heterogeneous
+  // hosts that is typically the CXL expander, not socket DRAM (a GPU cannot
+  // coherently reach DRAM over plain PCIe).
+  if (jopts.global_state_bytes > 0) {
+    std::vector<simhw::ComputeDeviceId> observers;
+    for (const dataflow::TaskId t : order) {
+      const simhw::ComputeDeviceId dev = exec.tasks[t.value].planned;
+      if (std::find(observers.begin(), observers.end(), dev) == observers.end()) {
+        observers.push_back(dev);
+      }
+    }
+    region::Properties state_props = region::Properties::GlobalState();
+    state_props.confidential = jopts.confidential;
+    const region::AccessHint state_hint{0.0, 0.5, 4.0};  // latches: random, reread
+
+    simhw::MemoryDeviceId best_device;
+    std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+    for (const simhw::MemoryDeviceId mem : cluster_->AllMemoryDevices()) {
+      if (cluster_->memory(mem).failed() || !cluster_->memory(mem).profile().allocatable ||
+          cluster_->memory(mem).free_bytes() < jopts.global_state_bytes) {
+        continue;
+      }
+      std::int64_t total = 0;
+      bool feasible = true;
+      for (const simhw::ComputeDeviceId obs : observers) {
+        auto view = cluster_->View(obs, mem);
+        if (!view.ok() || !Satisfies(*view, state_props)) {
+          feasible = false;
+          break;
+        }
+        total += ExpectedUseCost(*view, jopts.global_state_bytes, state_hint).ns;
+      }
+      if (feasible && total < best_cost) {
+        best_cost = total;
+        best_device = mem;
+      }
+    }
+
+    if (best_device.valid()) {
+      MEMFLOW_ASSIGN_OR_RETURN(exec.state_region,
+                               regions_.AllocateOn(best_device, jopts.global_state_bytes,
+                                                   state_props, job_principal));
+    } else {
+      // No single device reaches everyone; allocate from the first task's
+      // viewpoint and let per-task re-placement (below) sort out the rest.
+      region::RegionManager::AllocRequest request;
+      request.size = jopts.global_state_bytes;
+      request.props = state_props;
+      request.hint = state_hint;
+      request.observer = exec.tasks[order.front().value].planned;
+      request.owner = job_principal;
+      MEMFLOW_ASSIGN_OR_RETURN(exec.state_region, regions_.Allocate(request));
+    }
+
+    for (const dataflow::TaskId t : order) {
+      TaskExec& te = exec.tasks[t.value];
+      Status shared = regions_.Share(exec.state_region, job_principal, TaskPrincipal(exec, t),
+                                     te.planned, /*require_coherent=*/true);
+      if (!shared.ok()) {
+        // The planned device cannot coherently reach the job's Global State:
+        // try to re-place the task inside the coherence domain.
+        auto info = regions_.Info(exec.state_region);
+        MEMFLOW_CHECK(info.ok());
+        bool replaced = false;
+        for (const simhw::ComputeDeviceId alt : cluster_->AllComputeDevices()) {
+          const simhw::ComputeDevice& dev = cluster_->compute(alt);
+          if (dev.failed()) {
+            continue;
+          }
+          const auto& props = job.task(t).props;
+          if (props.compute_device.has_value() && dev.kind() != *props.compute_device) {
+            continue;
+          }
+          auto view = cluster_->View(alt, info->device);
+          if (!view.ok() || !view->coherent) {
+            continue;
+          }
+          if (regions_.Share(exec.state_region, job_principal, TaskPrincipal(exec, t), alt,
+                             true)
+                  .ok()) {
+            te.planned = alt;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) {
+          return FailedPrecondition(
+              "task '" + job.task(t).name +
+              "' cannot coherently reach the job's Global State from any eligible device");
+        }
+      }
+    }
+  }
+
+  // Global Scratch (Table 2): shared data exchange, async access suffices.
+  if (jopts.global_scratch_bytes > 0) {
+    region::RegionManager::AllocRequest request;
+    request.size = jopts.global_scratch_bytes;
+    request.props = region::Properties::GlobalScratch();
+    request.props.confidential = jopts.confidential;
+    request.hint = region::AccessHint{0.8, 0.6, 1.0};
+    request.observer = exec.tasks[order.front().value].planned;
+    request.owner = job_principal;
+    MEMFLOW_ASSIGN_OR_RETURN(exec.scratch_region, regions_.Allocate(request));
+    for (const dataflow::TaskId t : order) {
+      MEMFLOW_RETURN_IF_ERROR(regions_.Share(exec.scratch_region, job_principal,
+                                             TaskPrincipal(exec, t),
+                                             exec.tasks[t.value].planned,
+                                             /*require_coherent=*/false));
+    }
+  }
+  return OkStatus();
+}
+
+void Runtime::EnqueueTask(JobExec& exec, dataflow::TaskId task) {
+  TaskExec& te = exec.tasks[task.value];
+  te.state = TaskExec::State::kQueued;
+  device_queues_[te.planned.value].emplace_back(exec.index, task);
+  PumpDevice(te.planned);
+}
+
+void Runtime::PumpDevice(simhw::ComputeDeviceId device) {
+  auto it = device_queues_.find(device.value);
+  if (it == device_queues_.end()) {
+    return;
+  }
+  auto& queue = it->second;
+  simhw::ComputeDevice& dev = cluster_->compute(device);
+  while (!queue.empty() && !dev.failed() && dev.active_tasks < dev.profile().hw_queues) {
+    auto [job_index, task] = queue.front();
+    queue.pop_front();
+    JobExec& exec = *jobs_[job_index];
+    if (exec.failed || exec.tasks[task.value].state != TaskExec::State::kQueued) {
+      continue;  // job died while queued
+    }
+    Dispatch(exec, task);
+  }
+}
+
+void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
+  TaskExec& te = exec.tasks[task.value];
+  const dataflow::TaskSpec& spec = exec.job.task(task);
+  simhw::ComputeDevice& dev = cluster_->compute(te.planned);
+
+  dev.active_tasks++;
+  te.state = TaskExec::State::kRunning;
+  te.attempts++;
+  te.report.start = clock_.now();
+
+  // Output goes where the consumer will read it (Figure 4): use the first
+  // successor's planned device as the observer for output allocation.
+  simhw::ComputeDeviceId output_observer = te.planned;
+  const auto& succs = exec.job.successors(task);
+  if (!succs.empty()) {
+    output_observer = exec.tasks[succs.front().value].planned;
+  }
+
+  dataflow::TaskContext::Init init;
+  init.regions = &regions_;
+  init.self = TaskPrincipal(exec, task);
+  init.device = te.planned;
+  init.output_observer = output_observer;
+  init.props = spec.props;
+  init.inputs = te.inputs;
+  init.global_state = exec.state_region;
+  init.global_scratch = exec.scratch_region;
+  init.rng_seed = HashCombine(HashCombine(options_.seed, exec.id.value),
+                              (static_cast<std::uint64_t>(task.value) << 8) |
+                                  static_cast<std::uint64_t>(te.attempts));
+  dataflow::TaskContext ctx(std::move(init));
+
+  const Status result = spec.fn(ctx);
+  te.scratch = ctx.scratch_regions();
+  te.output = ctx.output();
+
+  if (!result.ok()) {
+    const simhw::ComputeDeviceId freed_slot = te.planned;
+    dev.active_tasks--;
+    OnAttemptFailed(exec, task, result);  // may re-plan te.planned elsewhere
+    PumpDevice(freed_slot);
+    return;
+  }
+
+  te.duration = ctx.charged();
+  const std::size_t job_index = exec.index;
+  events_.Schedule(clock_.now() + te.duration, [this, job_index, task](SimTime) {
+    OnTaskComplete(*jobs_[job_index], task);
+  });
+}
+
+void Runtime::OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status& error) {
+  TaskExec& te = exec.tasks[task.value];
+  MEMFLOW_LOG(kInfo) << "task '" << exec.job.task(task).name << "' attempt " << te.attempts
+                     << " failed: " << error.ToString();
+
+  // Roll back this attempt's allocations.
+  for (const region::RegionId r : te.scratch) {
+    (void)regions_.ForceFree(r);
+  }
+  te.scratch.clear();
+  if (te.output.valid()) {
+    (void)regions_.ForceFree(te.output);
+    te.output = region::RegionId{};
+  }
+
+  if (te.attempts >= options_.max_task_attempts || exec.failed) {
+    te.state = TaskExec::State::kFailed;
+    te.report.status = error;
+    FailJob(exec, error);
+    return;
+  }
+
+  stats_.task_retries++;
+  // Re-place (the original device may have failed) and retry after backoff.
+  auto placed = policy_->Place(exec.job, task, te.est_input_bytes, *cluster_, model_);
+  if (!placed.ok()) {
+    te.state = TaskExec::State::kFailed;
+    te.report.status = placed.status();
+    FailJob(exec, placed.status());
+    return;
+  }
+  te.planned = *placed;
+  te.state = TaskExec::State::kWaiting;
+  const std::size_t job_index = exec.index;
+  events_.Schedule(clock_.now() + options_.retry_backoff, [this, job_index, task](SimTime) {
+    JobExec& je = *jobs_[job_index];
+    if (!je.failed && je.tasks[task.value].state == TaskExec::State::kWaiting) {
+      EnqueueTask(je, task);
+    }
+  });
+}
+
+void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
+  TaskExec& te = exec.tasks[task.value];
+  simhw::ComputeDevice& dev = cluster_->compute(te.planned);
+  dev.active_tasks--;
+  dev.planned_ns = std::max(0.0, dev.planned_ns - static_cast<double>(te.duration.ns));
+  device_busy_[te.planned.value] += te.duration;
+  PumpDevice(te.planned);
+
+  if (exec.failed) {
+    // Job died while this task was in flight; drop everything it held
+    // (FailJob skipped running tasks to avoid racing this event).
+    for (const region::RegionId r : te.scratch) {
+      (void)regions_.ForceFree(r);
+    }
+    if (te.output.valid()) {
+      (void)regions_.ForceFree(te.output);
+    }
+    for (const region::RegionId r : te.inputs) {
+      (void)regions_.ForceFree(r);
+    }
+    return;
+  }
+
+  if (dev.failed()) {
+    // The device crashed while the task was running: the attempt is void.
+    OnAttemptFailed(exec, task, Unavailable(dev.name() + " crashed mid-task"));
+    return;
+  }
+
+  // Private scratch dies with the task (§2.3: "only alive during execution").
+  const region::Principal self = TaskPrincipal(exec, task);
+  for (const region::RegionId r : te.scratch) {
+    (void)regions_.Free(r, self);
+  }
+  te.scratch.clear();
+
+  const Status handover = HandoverOutput(exec, task);
+  if (!handover.ok()) {
+    FailJob(exec, handover);
+    return;
+  }
+
+  // Inputs are consumed: drop our reference; the region frees itself when the
+  // last owner lets go.
+  for (const region::RegionId r : te.inputs) {
+    (void)regions_.Release(r, self);
+  }
+
+  te.state = TaskExec::State::kDone;
+  stats_.tasks_executed++;
+  te.report.task = task;
+  te.report.name = exec.job.task(task).name;
+  te.report.device = te.planned;
+  te.report.output = te.output;
+  te.report.finish = clock_.now();
+  te.report.duration = te.duration;
+  te.report.attempts = te.attempts;
+
+  // Wake successors once the (possibly non-zero-cost) handover lands.
+  const std::size_t job_index = exec.index;
+  for (const dataflow::TaskId succ : exec.job.successors(task)) {
+    events_.Schedule(clock_.now() + te.report.handover_cost,
+                     [this, job_index, succ](SimTime) {
+                       JobExec& je = *jobs_[job_index];
+                       if (!je.failed) {
+                         DeliverInput(je, succ);
+                       }
+                     });
+  }
+
+  exec.remaining_tasks--;
+  if (exec.remaining_tasks == 0) {
+    FinishJob(exec);
+  }
+}
+
+Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
+  TaskExec& te = exec.tasks[task.value];
+  if (!te.output.valid()) {
+    return OkStatus();  // no output produced; successors get fewer inputs
+  }
+  const region::Principal self = TaskPrincipal(exec, task);
+  const auto& succs = exec.job.successors(task);
+
+  if (succs.empty()) {
+    // Sink: the job keeps the result until teardown (persistent outputs
+    // outlive the job; see FinishJob).
+    MEMFLOW_ASSIGN_OR_RETURN(
+        SimDuration cost,
+        regions_.Transfer(te.output, self, JobPrincipalFor(exec), te.planned));
+    te.report.handover_cost = cost;
+    te.report.zero_copy_handover = cost.ns == 0;
+    exec.report.outputs.push_back(te.output);
+    return OkStatus();
+  }
+
+  if (succs.size() == 1) {
+    const dataflow::TaskId succ = succs.front();
+    MEMFLOW_ASSIGN_OR_RETURN(
+        SimDuration cost,
+        regions_.Transfer(te.output, self, TaskPrincipal(exec, succ),
+                          exec.tasks[succ.value].planned));
+    te.report.handover_cost = cost;
+    te.report.zero_copy_handover = cost.ns == 0;
+    (te.report.zero_copy_handover ? stats_.zero_copy_handovers : stats_.copied_handovers)++;
+    exec.tasks[succ.value].inputs.push_back(te.output);
+    return OkStatus();
+  }
+
+  // Fan-out: the output becomes shared between all successors. This is a
+  // completed-producer handoff, so async access suffices for far consumers.
+  for (const dataflow::TaskId succ : succs) {
+    MEMFLOW_RETURN_IF_ERROR(regions_.Share(te.output, self, TaskPrincipal(exec, succ),
+                                           exec.tasks[succ.value].planned,
+                                           /*require_coherent=*/false));
+    exec.tasks[succ.value].inputs.push_back(te.output);
+  }
+  MEMFLOW_RETURN_IF_ERROR(regions_.Release(te.output, self));
+  te.report.handover_cost = SimDuration{};
+  te.report.zero_copy_handover = true;
+  stats_.zero_copy_handovers++;
+  return OkStatus();
+}
+
+void Runtime::DeliverInput(JobExec& exec, dataflow::TaskId task) {
+  TaskExec& te = exec.tasks[task.value];
+  MEMFLOW_CHECK(te.remaining_inputs > 0);
+  te.remaining_inputs--;
+  if (te.remaining_inputs == 0 && te.state == TaskExec::State::kWaiting) {
+    EnqueueTask(exec, task);
+  }
+}
+
+void Runtime::FinishJob(JobExec& exec) {
+  exec.finished = true;
+  exec.report.finished = clock_.now();
+  exec.report.status = OkStatus();
+  for (const TaskExec& te : exec.tasks) {
+    exec.report.tasks.push_back(te.report);
+  }
+  if (exec.state_region.valid()) {
+    (void)regions_.ForceFree(exec.state_region);
+  }
+  if (exec.scratch_region.valid()) {
+    (void)regions_.ForceFree(exec.scratch_region);
+  }
+  stats_.jobs_completed++;
+  MEMFLOW_LOG(kInfo) << "job '" << exec.report.name << "' finished in "
+                     << HumanDuration(exec.report.Makespan());
+}
+
+void Runtime::FailJob(JobExec& exec, const Status& error) {
+  if (exec.failed || exec.finished) {
+    return;
+  }
+  exec.failed = true;
+  exec.finished = true;
+  exec.report.finished = clock_.now();
+  exec.report.status = error;
+  // Release everything the job still holds. In-flight tasks clean themselves
+  // up when their completion events observe exec.failed.
+  for (TaskExec& te : exec.tasks) {
+    if (te.state == TaskExec::State::kRunning) {
+      continue;
+    }
+    for (const region::RegionId r : te.scratch) {
+      (void)regions_.ForceFree(r);
+    }
+    te.scratch.clear();
+    for (const region::RegionId r : te.inputs) {
+      (void)regions_.ForceFree(r);
+    }
+    if (te.output.valid()) {
+      (void)regions_.ForceFree(te.output);
+      te.output = region::RegionId{};
+    }
+  }
+  for (const region::RegionId r : exec.report.outputs) {
+    (void)regions_.ForceFree(r);
+  }
+  exec.report.outputs.clear();
+  for (const TaskExec& te : exec.tasks) {
+    exec.report.tasks.push_back(te.report);
+  }
+  if (exec.state_region.valid()) {
+    (void)regions_.ForceFree(exec.state_region);
+  }
+  if (exec.scratch_region.valid()) {
+    (void)regions_.ForceFree(exec.scratch_region);
+  }
+  stats_.jobs_failed++;
+  MEMFLOW_LOG(kWarn) << "job '" << exec.report.name << "' failed: " << error.ToString();
+}
+
+void Runtime::ApplyFaultsDue(SimTime now) {
+  if (faults_ == nullptr) {
+    return;
+  }
+  if (faults_->ApplyDue(now) == 0) {
+    return;
+  }
+  // Volatile regions on failed devices are gone; record that.
+  for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
+    if (cluster_->memory(dev).failed()) {
+      const auto lost = regions_.MarkLostOn(dev);
+      if (!lost.empty()) {
+        MEMFLOW_LOG(kInfo) << lost.size() << " regions lost on "
+                           << cluster_->memory(dev).name();
+      }
+    }
+  }
+}
+
+void Runtime::AttachFaultInjector(simhw::FaultInjector* injector) {
+  faults_ = injector;
+  fault_events_scheduled_ = false;
+}
+
+Status Runtime::RunToCompletion() {
+  if (faults_ != nullptr && !fault_events_scheduled_) {
+    for (const SimTime t : faults_->PendingTimes()) {
+      events_.Schedule(t, [this](SimTime now) { ApplyFaultsDue(now); });
+    }
+    fault_events_scheduled_ = true;
+  }
+  events_.RunUntilIdle(clock_);
+  for (const auto& exec : jobs_) {
+    if (!exec->finished) {
+      return Internal("job '" + exec->report.name +
+                      "' neither finished nor failed: scheduler stuck");
+    }
+  }
+  return OkStatus();
+}
+
+Result<JobReport> Runtime::SubmitAndRun(dataflow::Job job) {
+  MEMFLOW_ASSIGN_OR_RETURN(dataflow::JobId id, Submit(std::move(job)));
+  MEMFLOW_RETURN_IF_ERROR(RunToCompletion());
+  return report(id);
+}
+
+const JobReport& Runtime::report(dataflow::JobId id) const {
+  for (const auto& exec : jobs_) {
+    if (exec->id == id) {
+      return exec->report;
+    }
+  }
+  MEMFLOW_CHECK_MSG(false, "unknown job id");
+  __builtin_unreachable();
+}
+
+Result<const dataflow::Job*> Runtime::GetJob(dataflow::JobId id) const {
+  for (const auto& exec : jobs_) {
+    if (exec->id == id) {
+      return &exec->job;
+    }
+  }
+  return NotFound("unknown job");
+}
+
+region::Principal Runtime::JobPrincipal(dataflow::JobId id) const {
+  return region::Principal{id.value, 0};
+}
+
+Status Runtime::ReleaseJobOutputs(dataflow::JobId id) {
+  for (auto& exec : jobs_) {
+    if (exec->id == id) {
+      for (const region::RegionId r : exec->report.outputs) {
+        (void)regions_.ForceFree(r);
+      }
+      exec->report.outputs.clear();
+      return OkStatus();
+    }
+  }
+  return NotFound("unknown job");
+}
+
+std::string Runtime::UtilizationReport() const {
+  TextTable mem({"Memory device", "Kind", "Capacity", "Used", "Util%", "Reads", "Writes"});
+  for (const simhw::MemoryDeviceId id : cluster_->AllMemoryDevices()) {
+    const simhw::MemoryDevice& dev = cluster_->memory(id);
+    mem.AddRow({dev.name(), std::string(MemoryDeviceKindName(dev.profile().kind)),
+                HumanBytes(dev.capacity()), HumanBytes(dev.used()),
+                FormatDouble(dev.utilization() * 100.0, 1),
+                WithThousands(dev.stats().reads), WithThousands(dev.stats().writes)});
+  }
+  TextTable comp({"Compute device", "Kind", "Busy time"});
+  for (const simhw::ComputeDeviceId id : cluster_->AllComputeDevices()) {
+    const simhw::ComputeDevice& dev = cluster_->compute(id);
+    auto it = device_busy_.find(id.value);
+    const SimDuration busy = it == device_busy_.end() ? SimDuration{} : it->second;
+    comp.AddRow({dev.name(), std::string(ComputeDeviceKindName(dev.kind())),
+                 HumanDuration(busy)});
+  }
+  return mem.Render() + comp.Render();
+}
+
+}  // namespace memflow::rts

@@ -1,0 +1,204 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// The memflow runtime system (§2.3): the component the paper says must
+// (1) determine at runtime which physical memory device best fits each task's
+// declared requirements, (2) allocate the Memory Regions tasks request,
+// (3) de-allocate regions after the last owning task finishes, and
+// (4) schedule tasks resource-aware.
+//
+// Execution is discrete-event over virtual time: task bodies run real code
+// against real bytes; every memory access and compute step charges simulated
+// cost, and the scheduler advances the virtual clock by those costs. Faults
+// (node crashes) are injected on the same timeline.
+//
+// Lifecycle of a task under this runtime:
+//   Submit -> admission plan (placement + global regions) -> wait for inputs
+//   -> queue on planned device -> dispatch (body runs, charges cost)
+//   -> completion event at now+cost -> scratch freed, inputs released,
+//   output ownership transferred/shared to successors -> successors ready.
+
+#ifndef MEMFLOW_RTS_RUNTIME_H_
+#define MEMFLOW_RTS_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/context.h"
+#include "dataflow/job.h"
+#include "region/region_manager.h"
+#include "rts/cost_model.h"
+#include "rts/placement.h"
+#include "simhw/clock.h"
+#include "simhw/cluster.h"
+#include "simhw/fault.h"
+
+namespace memflow::rts {
+
+struct RuntimeOptions {
+  PlacementPolicyKind policy = PlacementPolicyKind::kCostModel;
+  region::PlacementConfig region_config;
+  std::uint64_t seed = 42;
+  // Attempts per task before the whole job fails (1 = no retry).
+  int max_task_attempts = 2;
+  // Delay before a failed attempt is re-queued.
+  SimDuration retry_backoff = SimDuration::Micros(10);
+};
+
+struct TaskReport {
+  dataflow::TaskId task;
+  std::string name;
+  simhw::ComputeDeviceId device;       // where it actually ran
+  SimTime start;
+  SimTime finish;
+  SimDuration duration;                // charged simulated time
+  region::RegionId output;             // invalid if none produced
+  SimDuration handover_cost;           // cost of moving the output onward
+  bool zero_copy_handover = false;     // handover was pure ownership transfer
+  int attempts = 0;
+  Status status;
+};
+
+struct JobReport {
+  dataflow::JobId id;
+  std::string name;
+  SimTime submitted;
+  SimTime finished;
+  Status status;                        // OK iff every task succeeded
+  std::vector<TaskReport> tasks;
+  // Sink outputs retained after job teardown (readable via JobPrincipal()).
+  std::vector<region::RegionId> outputs;
+
+  SimDuration Makespan() const { return finished - submitted; }
+};
+
+struct RuntimeStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_rejected = 0;   // failed admission (placement infeasible)
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t task_retries = 0;
+  std::uint64_t zero_copy_handovers = 0;
+  std::uint64_t copied_handovers = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(simhw::Cluster& cluster, RuntimeOptions options = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Admits a job: validates the DAG, plans placement for every task, and
+  // allocates the job's Global State / Global Scratch. Rejected jobs consume
+  // no resources. The job starts once RunToCompletion() is called.
+  Result<dataflow::JobId> Submit(dataflow::Job job);
+
+  // Drives the event loop until every admitted job finished or failed.
+  Status RunToCompletion();
+
+  // Convenience: Submit + RunToCompletion + report.
+  Result<JobReport> SubmitAndRun(dataflow::Job job);
+
+  // Registers a fault schedule to be applied on the virtual timeline.
+  void AttachFaultInjector(simhw::FaultInjector* injector);
+
+  // --- introspection ------------------------------------------------------------
+
+  const JobReport& report(dataflow::JobId id) const;
+  // The admitted job's DAG (valid for the runtime's lifetime).
+  Result<const dataflow::Job*> GetJob(dataflow::JobId id) const;
+  region::Principal JobPrincipal(dataflow::JobId id) const;
+  region::RegionManager& regions() { return regions_; }
+  const region::RegionManager& regions() const { return regions_; }
+  simhw::VirtualClock& clock() { return clock_; }
+  simhw::Cluster& cluster() { return *cluster_; }
+  const simhw::Cluster& cluster() const { return *cluster_; }
+  const CostModel& cost_model() const { return model_; }
+  const RuntimeStats& stats() const { return stats_; }
+
+  // Column report of per-device memory utilization and traffic.
+  std::string UtilizationReport() const;
+
+  // Frees a finished job's retained sink outputs.
+  Status ReleaseJobOutputs(dataflow::JobId id);
+
+ private:
+  struct TaskExec {
+    enum class State { kWaiting, kQueued, kRunning, kDone, kFailed };
+
+    State state = State::kWaiting;
+    simhw::ComputeDeviceId planned;
+    std::vector<region::RegionId> inputs;
+    std::vector<region::RegionId> scratch;
+    region::RegionId output;
+    int remaining_inputs = 0;          // undelivered predecessor outputs
+    int attempts = 0;
+    std::uint64_t est_input_bytes = 0;
+    SimDuration duration;
+    TaskReport report;
+  };
+
+  struct JobExec {
+    dataflow::JobId id;
+    std::size_t index = 0;  // position in jobs_
+    dataflow::Job job;
+    JobReport report;
+    std::vector<TaskExec> tasks;
+    region::RegionId state_region;
+    region::RegionId scratch_region;
+    std::size_t remaining_tasks = 0;
+    bool finished = false;
+    bool failed = false;
+
+    explicit JobExec(dataflow::JobId job_id, dataflow::Job j)
+        : id(job_id), job(std::move(j)) {}
+  };
+
+  region::Principal JobPrincipalFor(const JobExec& exec) const {
+    return region::Principal{exec.id.value, 0};
+  }
+  region::Principal TaskPrincipal(const JobExec& exec, dataflow::TaskId task) const {
+    return region::Principal{exec.id.value, static_cast<std::uint64_t>(task.value) + 1};
+  }
+
+  // Admission: static placement plan, input-size estimates, global regions.
+  Status Plan(JobExec& exec);
+
+  void EnqueueTask(JobExec& exec, dataflow::TaskId task);
+  void PumpDevice(simhw::ComputeDeviceId device);
+  void Dispatch(JobExec& exec, dataflow::TaskId task);
+  void OnTaskComplete(JobExec& exec, dataflow::TaskId task);
+  void OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status& error);
+  Status HandoverOutput(JobExec& exec, dataflow::TaskId task);
+  void DeliverInput(JobExec& exec, dataflow::TaskId task);
+  void FinishJob(JobExec& exec);
+  void FailJob(JobExec& exec, const Status& error);
+  void ApplyFaultsDue(SimTime now);
+
+  simhw::Cluster* cluster_;
+  RuntimeOptions options_;
+  region::RegionManager regions_;
+  CostModel model_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  simhw::VirtualClock clock_;
+  simhw::EventQueue events_;
+  simhw::FaultInjector* faults_ = nullptr;
+  bool fault_events_scheduled_ = false;
+
+  std::vector<std::unique_ptr<JobExec>> jobs_;
+  // Per compute device: FIFO of (job index, task) waiting for a slot.
+  std::unordered_map<std::uint32_t, std::deque<std::pair<std::size_t, dataflow::TaskId>>>
+      device_queues_;
+  std::unordered_map<std::uint32_t, SimDuration> device_busy_;
+  RuntimeStats stats_;
+  std::uint32_t next_job_id_ = 1;
+};
+
+}  // namespace memflow::rts
+
+#endif  // MEMFLOW_RTS_RUNTIME_H_

@@ -1,0 +1,103 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Virtual time. All simulated costs (memory accesses, link transfers, compute)
+// are charged in SimDuration; the discrete-event scheduler advances a
+// VirtualClock. Wall-clock time never enters the simulation.
+
+#ifndef MEMFLOW_SIMHW_CLOCK_H_
+#define MEMFLOW_SIMHW_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace memflow::simhw {
+
+// Monotonic simulated clock.
+class VirtualClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void AdvanceTo(SimTime t) {
+    MEMFLOW_CHECK_MSG(t >= now_, "virtual clock must be monotonic");
+    now_ = t;
+  }
+
+  void Advance(SimDuration d) {
+    MEMFLOW_CHECK(d.ns >= 0);
+    now_ = now_ + d;
+  }
+
+  void Reset() { now_ = SimTime{}; }
+
+ private:
+  SimTime now_{};
+};
+
+// Discrete-event queue: events fire in timestamp order; ties break by
+// insertion sequence so runs are fully deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  void Schedule(SimTime at, Callback cb) {
+    heap_.push(Event{at, next_seq_++, std::move(cb)});
+  }
+
+  void ScheduleAfter(const VirtualClock& clock, SimDuration delay, Callback cb) {
+    Schedule(clock.now() + delay, std::move(cb));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  SimTime next_time() const {
+    MEMFLOW_CHECK(!heap_.empty());
+    return heap_.top().at;
+  }
+
+  // Pops and runs the earliest event, advancing `clock` to its timestamp.
+  void RunNext(VirtualClock& clock) {
+    MEMFLOW_CHECK(!heap_.empty());
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    clock.AdvanceTo(ev.at);
+    ev.cb(ev.at);
+  }
+
+  // Drains the queue. Returns the number of events executed.
+  std::uint64_t RunUntilIdle(VirtualClock& clock) {
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+      RunNext(clock);
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+
+    bool operator>(const Event& o) const {
+      if (at != o.at) {
+        return at > o.at;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_CLOCK_H_

@@ -1,0 +1,223 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "simhw/cluster.h"
+
+#include <algorithm>
+
+namespace memflow::simhw {
+
+namespace {
+
+// Accesses slower than this are not sensibly synchronous: the paper's §2.2(3)
+// threshold between "near memory: loads/stores" and "far memory: async".
+constexpr SimDuration kSyncLatencyCeiling = SimDuration::Nanos(1000);
+
+}  // namespace
+
+SimDuration AccessView::ReadCost(std::uint64_t bytes, bool sequential) const {
+  const std::uint64_t units = (bytes + granularity - 1) / granularity;
+  const auto transfer = SimDuration::Nanos(
+      static_cast<std::int64_t>(static_cast<double>(units * granularity) / read_bw_gbps));
+  if (sequential) {
+    return read_latency + transfer;
+  }
+  return SimDuration::Nanos(read_latency.ns * static_cast<std::int64_t>(units)) + transfer;
+}
+
+SimDuration AccessView::WriteCost(std::uint64_t bytes, bool sequential) const {
+  const std::uint64_t units = (bytes + granularity - 1) / granularity;
+  const auto transfer = SimDuration::Nanos(
+      static_cast<std::int64_t>(static_cast<double>(units * granularity) / write_bw_gbps));
+  if (sequential) {
+    return write_latency + transfer;
+  }
+  return SimDuration::Nanos(write_latency.ns * static_cast<std::int64_t>(units)) + transfer;
+}
+
+NodeId Cluster::AddNode(std::string name) {
+  const auto id = NodeId(static_cast<std::uint32_t>(nodes_.size()));
+  nodes_.push_back(Node{id, std::move(name), {}, {}});
+  return id;
+}
+
+ComputeDeviceId Cluster::AddCompute(NodeId node, ComputeDeviceKind kind, std::string name) {
+  MEMFLOW_CHECK(node.value < nodes_.size());
+  const auto id = ComputeDeviceId(static_cast<std::uint32_t>(compute_.size()));
+  if (name.empty()) {
+    name = std::string(ComputeDeviceKindName(kind)) + "#" + std::to_string(id.value);
+  }
+  compute_.push_back(
+      std::make_unique<ComputeDevice>(id, node, name, DefaultComputeProfile(kind)));
+  compute_vertex_.push_back(topology_.AddVertex(name));
+  nodes_[node.value].compute.push_back(id);
+  return id;
+}
+
+MemoryDeviceId Cluster::AddMemory(NodeId node, MemoryDeviceKind kind, std::uint64_t capacity,
+                                  std::string name) {
+  const MemoryDeviceProfile& profile = DefaultProfile(kind);
+  if (capacity == 0) {
+    capacity = profile.default_capacity;
+  }
+  if (name.empty()) {
+    name = std::string(MemoryDeviceKindName(kind)) + "#" +
+           std::to_string(memory_.size());
+  }
+  return AddMemoryWithProfile(node, profile, capacity, std::move(name));
+}
+
+MemoryDeviceId Cluster::AddMemoryWithProfile(NodeId node, const MemoryDeviceProfile& profile,
+                                             std::uint64_t capacity, std::string name) {
+  MEMFLOW_CHECK(node.value < nodes_.size());
+  const auto id = MemoryDeviceId(static_cast<std::uint32_t>(memory_.size()));
+  memory_.push_back(std::make_unique<MemoryDevice>(id, node, name, profile, capacity));
+  memory_vertex_.push_back(topology_.AddVertex(name, /*transit=*/false));
+  nodes_[node.value].memory.push_back(id);
+  return id;
+}
+
+VertexId Cluster::AddSwitch(std::string name) { return topology_.AddVertex(std::move(name)); }
+
+LinkId Cluster::Link(VertexId a, VertexId b, LinkKind kind) {
+  return topology_.Connect(a, b, DefaultLink(kind));
+}
+
+LinkId Cluster::LinkWith(VertexId a, VertexId b, const LinkDesc& desc) {
+  return topology_.Connect(a, b, desc);
+}
+
+VertexId Cluster::VertexOf(ComputeDeviceId c) const {
+  MEMFLOW_CHECK(c.value < compute_vertex_.size());
+  return compute_vertex_[c.value];
+}
+
+VertexId Cluster::VertexOf(MemoryDeviceId m) const {
+  MEMFLOW_CHECK(m.value < memory_vertex_.size());
+  return memory_vertex_[m.value];
+}
+
+MemoryDevice& Cluster::memory(MemoryDeviceId id) {
+  MEMFLOW_CHECK(id.value < memory_.size());
+  return *memory_[id.value];
+}
+
+const MemoryDevice& Cluster::memory(MemoryDeviceId id) const {
+  MEMFLOW_CHECK(id.value < memory_.size());
+  return *memory_[id.value];
+}
+
+ComputeDevice& Cluster::compute(ComputeDeviceId id) {
+  MEMFLOW_CHECK(id.value < compute_.size());
+  return *compute_[id.value];
+}
+
+const ComputeDevice& Cluster::compute(ComputeDeviceId id) const {
+  MEMFLOW_CHECK(id.value < compute_.size());
+  return *compute_[id.value];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  MEMFLOW_CHECK(id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+std::vector<MemoryDeviceId> Cluster::AllMemoryDevices() const {
+  std::vector<MemoryDeviceId> out;
+  out.reserve(memory_.size());
+  for (const auto& m : memory_) {
+    out.push_back(m->id());
+  }
+  return out;
+}
+
+std::vector<ComputeDeviceId> Cluster::AllComputeDevices() const {
+  std::vector<ComputeDeviceId> out;
+  out.reserve(compute_.size());
+  for (const auto& c : compute_) {
+    out.push_back(c->id());
+  }
+  return out;
+}
+
+Result<AccessView> Cluster::View(ComputeDeviceId from, MemoryDeviceId mem) const {
+  if (from.value >= compute_.size()) {
+    return InvalidArgument("unknown compute device");
+  }
+  if (mem.value >= memory_.size()) {
+    return InvalidArgument("unknown memory device");
+  }
+  const MemoryDevice& device = *memory_[mem.value];
+  if (device.failed()) {
+    return Unavailable(device.name() + " is failed");
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(PathInfo path, topology_.Path(VertexOf(from), VertexOf(mem)));
+
+  const MemoryDeviceProfile& p = device.profile();
+  AccessView view;
+  view.device = mem;
+  view.observer = from;
+  view.read_latency = p.read_latency + path.latency;
+  view.write_latency = p.write_latency + path.latency;
+  view.read_bw_gbps = std::min(p.read_bw_gbps, path.bw_gbps);
+  view.write_bw_gbps = std::min(p.write_bw_gbps, path.bw_gbps);
+  view.granularity = p.granularity;
+  view.addressable = path.loadstore && p.byte_addressable;
+  view.coherent = view.addressable && path.coherent && p.cache_coherent;
+  view.sync = view.addressable && p.sync_access && view.read_latency <= kSyncLatencyCeiling;
+  view.persistent = p.persistent;
+  view.hops = path.hops;
+  return view;
+}
+
+Status Cluster::CrashNode(NodeId id) {
+  if (id.value >= nodes_.size()) {
+    return NotFound("unknown node");
+  }
+  for (const auto c : nodes_[id.value].compute) {
+    compute_[c.value]->Fail();
+  }
+  for (const auto m : nodes_[id.value].memory) {
+    memory_[m.value]->Fail();
+  }
+  return OkStatus();
+}
+
+Status Cluster::RecoverNode(NodeId id) {
+  if (id.value >= nodes_.size()) {
+    return NotFound("unknown node");
+  }
+  for (const auto c : nodes_[id.value].compute) {
+    compute_[c.value]->Recover();
+  }
+  for (const auto m : nodes_[id.value].memory) {
+    memory_[m.value]->Recover();
+  }
+  return OkStatus();
+}
+
+double Cluster::MemoryUtilization() const {
+  const std::uint64_t cap = TotalMemoryCapacity();
+  return cap == 0 ? 0.0 : static_cast<double>(TotalMemoryUsed()) / static_cast<double>(cap);
+}
+
+std::uint64_t Cluster::TotalMemoryCapacity() const {
+  std::uint64_t total = 0;
+  for (const auto& m : memory_) {
+    if (!m->failed()) {
+      total += m->capacity();
+    }
+  }
+  return total;
+}
+
+std::uint64_t Cluster::TotalMemoryUsed() const {
+  std::uint64_t total = 0;
+  for (const auto& m : memory_) {
+    if (!m->failed()) {
+      total += m->used();
+    }
+  }
+  return total;
+}
+
+}  // namespace memflow::simhw

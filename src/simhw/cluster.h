@@ -1,0 +1,143 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// A Cluster assembles nodes, compute devices, memory devices, and the
+// interconnect topology into one simulated machine pool, and answers the
+// question at the heart of the paper: *what does memory device M look like
+// from compute device C?* (an AccessView). The runtime's placement decisions
+// are made entirely in terms of AccessViews, never raw devices — that is how
+// the same logical request resolves to DRAM for a CPU task and GDDR for a GPU
+// task (Figure 3).
+
+#ifndef MEMFLOW_SIMHW_CLUSTER_H_
+#define MEMFLOW_SIMHW_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "simhw/compute.h"
+#include "simhw/device.h"
+#include "simhw/ids.h"
+#include "simhw/topology.h"
+
+namespace memflow::simhw {
+
+// The effective properties of one (compute device, memory device) pair:
+// media profile combined with the interconnect path between them.
+struct AccessView {
+  MemoryDeviceId device;
+  ComputeDeviceId observer;
+
+  SimDuration read_latency;   // media + path, per access
+  SimDuration write_latency;
+  double read_bw_gbps = 0;    // min(media, path)
+  double write_bw_gbps = 0;
+  std::uint64_t granularity = 64;
+
+  bool addressable = false;   // direct load/store possible end-to-end
+  bool coherent = false;      // hardware cache coherence end-to-end
+  bool sync = false;          // synchronous interface sensible (addressable
+                              //   and latency in the load/store regime)
+  bool persistent = false;
+  int hops = 0;
+
+  // Simulated cost of an access burst through this view. Sequential bursts
+  // pay latency once and stream at bandwidth; random bursts pay full latency
+  // per granularity unit.
+  SimDuration ReadCost(std::uint64_t bytes, bool sequential) const;
+  SimDuration WriteCost(std::uint64_t bytes, bool sequential) const;
+};
+
+// A node is a failure domain (Challenge 8): a host crash fails every device
+// on the node.
+struct Node {
+  NodeId id;
+  std::string name;
+  std::vector<ComputeDeviceId> compute;
+  std::vector<MemoryDeviceId> memory;
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- construction ----------------------------------------------------------
+
+  NodeId AddNode(std::string name);
+
+  // Adds a compute device on `node` with the default profile for `kind`.
+  // The device gets its own topology vertex; wire it with Link().
+  ComputeDeviceId AddCompute(NodeId node, ComputeDeviceKind kind, std::string name = "");
+
+  // Adds a memory device. `capacity` == 0 uses the profile default.
+  MemoryDeviceId AddMemory(NodeId node, MemoryDeviceKind kind, std::uint64_t capacity = 0,
+                           std::string name = "");
+
+  // Same, with a custom profile (e.g. a persistent CXL module).
+  MemoryDeviceId AddMemoryWithProfile(NodeId node, const MemoryDeviceProfile& profile,
+                                      std::uint64_t capacity, std::string name);
+
+  // Adds an internal switch vertex (PCIe switch, CXL switch, TOR fabric).
+  VertexId AddSwitch(std::string name);
+
+  // Wires two endpoints with the default link for `kind`.
+  LinkId Link(VertexId a, VertexId b, LinkKind kind);
+  LinkId LinkWith(VertexId a, VertexId b, const LinkDesc& desc);
+
+  VertexId VertexOf(ComputeDeviceId c) const;
+  VertexId VertexOf(MemoryDeviceId m) const;
+
+  // --- lookup ----------------------------------------------------------------
+
+  MemoryDevice& memory(MemoryDeviceId id);
+  const MemoryDevice& memory(MemoryDeviceId id) const;
+  ComputeDevice& compute(ComputeDeviceId id);
+  const ComputeDevice& compute(ComputeDeviceId id) const;
+  const Node& node(NodeId id) const;
+
+  std::size_t num_memory_devices() const { return memory_.size(); }
+  std::size_t num_compute_devices() const { return compute_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  std::vector<MemoryDeviceId> AllMemoryDevices() const;
+  std::vector<ComputeDeviceId> AllComputeDevices() const;
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  // --- the core query ---------------------------------------------------------
+
+  // What does `mem` look like from `from`? kNotFound if unreachable.
+  Result<AccessView> View(ComputeDeviceId from, MemoryDeviceId mem) const;
+
+  // --- faults -----------------------------------------------------------------
+
+  // Crashes a node: every device on it fails (volatile memory loses data).
+  Status CrashNode(NodeId id);
+  Status RecoverNode(NodeId id);
+
+  // --- reporting ---------------------------------------------------------------
+
+  // Aggregate memory utilization across all (non-failed) devices, optionally
+  // restricted to one kind.
+  double MemoryUtilization() const;
+  std::uint64_t TotalMemoryCapacity() const;
+  std::uint64_t TotalMemoryUsed() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<MemoryDevice>> memory_;
+  std::vector<std::unique_ptr<ComputeDevice>> compute_;
+  std::vector<VertexId> memory_vertex_;
+  std::vector<VertexId> compute_vertex_;
+  Topology topology_;
+};
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_CLUSTER_H_

@@ -1,0 +1,45 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "simhw/compute.h"
+
+#include "common/assert.h"
+
+namespace memflow::simhw {
+
+std::string_view ComputeDeviceKindName(ComputeDeviceKind kind) {
+  switch (kind) {
+    case ComputeDeviceKind::kCPU:
+      return "CPU";
+    case ComputeDeviceKind::kGPU:
+      return "GPU";
+    case ComputeDeviceKind::kTPU:
+      return "TPU";
+    case ComputeDeviceKind::kFPGA:
+      return "FPGA";
+    case ComputeDeviceKind::kDPU:
+      return "DPU";
+  }
+  return "?";
+}
+
+const ComputeProfile& DefaultComputeProfile(ComputeDeviceKind kind) {
+  // Relative throughputs; a CPU socket is the 1.0 baseline for both classes.
+  static const ComputeProfile kProfiles[kNumComputeDeviceKinds] = {
+      {ComputeDeviceKind::kCPU, 1.0, 1.0, 4},
+      {ComputeDeviceKind::kGPU, 16.0, 0.25, 2},
+      {ComputeDeviceKind::kTPU, 32.0, 0.05, 1},
+      {ComputeDeviceKind::kFPGA, 8.0, 0.1, 1},
+      {ComputeDeviceKind::kDPU, 2.0, 0.5, 2},
+  };
+  return kProfiles[static_cast<int>(kind)];
+}
+
+SimDuration ComputeDevice::ComputeTime(double work, double parallel_fraction) const {
+  MEMFLOW_CHECK(work >= 0);
+  MEMFLOW_CHECK(parallel_fraction >= 0.0 && parallel_fraction <= 1.0);
+  const double par_ns = work * parallel_fraction / profile_.parallel_throughput;
+  const double seq_ns = work * (1.0 - parallel_fraction) / profile_.scalar_throughput;
+  return SimDuration::Nanos(static_cast<std::int64_t>(par_ns + seq_ns));
+}
+
+}  // namespace memflow::simhw

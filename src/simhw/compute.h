@@ -1,0 +1,75 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Simulated compute devices: CPUs and the accelerators the paper's Figure 1
+// pools (GPU, TPU, FPGA, DPU). A compute device executes task work measured in
+// abstract "work units"; throughput factors determine the simulated compute
+// time. Accelerators are only *eligible* for tasks whose properties request
+// them (Figure 2c "comp. device").
+
+#ifndef MEMFLOW_SIMHW_COMPUTE_H_
+#define MEMFLOW_SIMHW_COMPUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/units.h"
+#include "simhw/ids.h"
+
+namespace memflow::simhw {
+
+enum class ComputeDeviceKind : std::uint8_t { kCPU, kGPU, kTPU, kFPGA, kDPU };
+
+inline constexpr int kNumComputeDeviceKinds = 5;
+
+std::string_view ComputeDeviceKindName(ComputeDeviceKind kind);
+
+// Per-kind default execution characteristics. `parallel_throughput` is the
+// relative rate for data-parallel work (a GPU runs data-parallel kernels ~16x
+// a CPU socket); `scalar_throughput` for control-heavy work (where CPUs win).
+struct ComputeProfile {
+  ComputeDeviceKind kind = ComputeDeviceKind::kCPU;
+  double parallel_throughput = 1.0;  // work units per ns, data-parallel
+  double scalar_throughput = 1.0;    // work units per ns, scalar/branchy
+  int hw_queues = 1;                 // concurrent tasks the device can host
+};
+
+const ComputeProfile& DefaultComputeProfile(ComputeDeviceKind kind);
+
+// A compute device instance placed on a node.
+class ComputeDevice {
+ public:
+  ComputeDevice(ComputeDeviceId id, NodeId node, std::string name, ComputeProfile profile)
+      : id_(id), node_(node), name_(std::move(name)), profile_(profile) {}
+
+  ComputeDeviceId id() const { return id_; }
+  NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  const ComputeProfile& profile() const { return profile_; }
+  ComputeDeviceKind kind() const { return profile_.kind; }
+
+  // Simulated time to execute `work` units. `parallel_fraction` follows
+  // Amdahl: that fraction runs at parallel throughput, the rest scalar.
+  SimDuration ComputeTime(double work, double parallel_fraction) const;
+
+  void Fail() { failed_ = true; }
+  void Recover() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+  // Scheduler bookkeeping: number of tasks currently resident, and the
+  // estimated simulated-ns of work already committed to this device by the
+  // planner but not yet finished (drained as tasks complete).
+  int active_tasks = 0;
+  double planned_ns = 0;
+
+ private:
+  ComputeDeviceId id_;
+  NodeId node_;
+  std::string name_;
+  ComputeProfile profile_;
+  bool failed_ = false;
+};
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_COMPUTE_H_

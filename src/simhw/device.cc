@@ -1,0 +1,300 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "simhw/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace memflow::simhw {
+
+std::string_view MemoryDeviceKindName(MemoryDeviceKind kind) {
+  switch (kind) {
+    case MemoryDeviceKind::kCache:
+      return "Cache";
+    case MemoryDeviceKind::kHBM:
+      return "HBM";
+    case MemoryDeviceKind::kDRAM:
+      return "DRAM";
+    case MemoryDeviceKind::kGDDR:
+      return "GDDR";
+    case MemoryDeviceKind::kPMem:
+      return "PMem";
+    case MemoryDeviceKind::kCxlDram:
+      return "CXL-DRAM";
+    case MemoryDeviceKind::kDisaggMem:
+      return "Disagg.Mem";
+    case MemoryDeviceKind::kSSD:
+      return "SSD";
+    case MemoryDeviceKind::kHDD:
+      return "HDD";
+  }
+  return "?";
+}
+
+std::string_view AttachmentName(Attachment a) {
+  switch (a) {
+    case Attachment::kOnChip:
+      return "CPU";
+    case Attachment::kMemBus:
+      return "CPU";
+    case Attachment::kDevLocal:
+      return "GPU";
+    case Attachment::kPcie:
+      return "PCIe";
+    case Attachment::kCxl:
+      return "PCIe/CXL";
+    case Attachment::kNic:
+      return "NIC";
+    case Attachment::kSata:
+      return "SATA";
+  }
+  return "?";
+}
+
+const MemoryDeviceProfile& DefaultProfile(MemoryDeviceKind kind) {
+  // Media-only numbers; link/path costs come from the topology. Ordering, not
+  // absolute accuracy, is what the Table 1 reproduction checks.
+  static const MemoryDeviceProfile kProfiles[kNumMemoryDeviceKinds] = {
+      // kCache: on-chip SRAM scratchpad; byte-granular per Table 1.
+      {MemoryDeviceKind::kCache, SimDuration::Nanos(2), SimDuration::Nanos(2), 2000.0, 2000.0,
+       1, Attachment::kOnChip, true, true, true, false, false, MiB(32)},
+      // kHBM: on-package stacks — DRAM-like latency, several-times bandwidth.
+      {MemoryDeviceKind::kHBM, SimDuration::Nanos(110), SimDuration::Nanos(110), 800.0, 700.0,
+       64, Attachment::kOnChip, true, true, true, false, true, GiB(16)},
+      // kDRAM: socket-local DDR5.
+      {MemoryDeviceKind::kDRAM, SimDuration::Nanos(90), SimDuration::Nanos(90), 100.0, 90.0,
+       64, Attachment::kMemBus, true, true, true, false, true, GiB(64)},
+      // kGDDR: GPU-local; higher latency than DDR but very wide.
+      {MemoryDeviceKind::kGDDR, SimDuration::Nanos(180), SimDuration::Nanos(180), 700.0, 600.0,
+       64, Attachment::kDevLocal, true, true, true, false, true, GiB(24)},
+      // kPMem: Optane-like — 256 B media granularity, asymmetric write cost.
+      {MemoryDeviceKind::kPMem, SimDuration::Nanos(350), SimDuration::Nanos(700), 38.0, 12.0,
+       256, Attachment::kMemBus, true, true, true, true, true, GiB(128)},
+      // kCxlDram: DRAM media behind a CXL.mem controller — one extra hop of
+      // latency, PCIe5 x8-class bandwidth. Coherence/persistence are per the
+      // module; the default models a volatile coherent expander (Table 1 has
+      // check-or-cross for both).
+      {MemoryDeviceKind::kCxlDram, SimDuration::Nanos(210), SimDuration::Nanos(210), 30.0, 28.0,
+       64, Attachment::kCxl, true, true, true, false, true, GiB(256)},
+      // kDisaggMem: far memory behind the NIC; microsecond-scale, async-only.
+      // Volatile by default (the Carbink model): a memory-node crash loses
+      // its contents, which is what the fault-tolerance layer exists for.
+      // Table 1 marks persistence as per-deployment; override the profile for
+      // persistent far memory.
+      {MemoryDeviceKind::kDisaggMem, SimDuration::Micros(3), SimDuration::Micros(3), 12.0, 12.0,
+       256, Attachment::kNic, true, false, false, false, true, GiB(512)},
+      // kSSD: NVMe flash, block-granular.
+      {MemoryDeviceKind::kSSD, SimDuration::Micros(80), SimDuration::Micros(20), 3.5, 2.0,
+       KiB(4), Attachment::kPcie, false, false, false, true, true, GiB(1024)},
+      // kHDD: seek-dominated.
+      {MemoryDeviceKind::kHDD, SimDuration::Millis(8), SimDuration::Millis(8), 0.2, 0.18,
+       KiB(4), Attachment::kSata, false, false, false, true, true, GiB(4096)},
+  };
+  return kProfiles[static_cast<int>(kind)];
+}
+
+MemoryDevice::MemoryDevice(MemoryDeviceId id, NodeId node, std::string name,
+                           MemoryDeviceProfile profile, std::uint64_t capacity)
+    : id_(id), node_(node), name_(std::move(name)), profile_(profile), capacity_(capacity) {
+  MEMFLOW_CHECK(capacity > 0);
+  MEMFLOW_CHECK(profile_.granularity > 0);
+  free_list_.emplace(0, capacity_);
+}
+
+Result<Extent> MemoryDevice::Allocate(std::uint64_t size) {
+  if (failed_) {
+    return Unavailable(name_ + " is failed");
+  }
+  if (size == 0) {
+    return InvalidArgument("zero-sized allocation on " + name_);
+  }
+  // Round up to granularity so block devices always move whole blocks.
+  const std::uint64_t gran = profile_.granularity;
+  const std::uint64_t rounded = (size + gran - 1) / gran * gran;
+
+  // First fit.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= rounded) {
+      const std::uint64_t offset = it->first;
+      const std::uint64_t remaining = it->second - rounded;
+      free_list_.erase(it);
+      if (remaining > 0) {
+        free_list_.emplace(offset + rounded, remaining);
+      }
+      live_.emplace(offset, LiveExtent{rounded, {}});
+      used_ += rounded;
+      return Extent{id_, offset, rounded};
+    }
+  }
+  return ResourceExhausted(name_ + ": no extent of " + std::to_string(rounded) +
+                           " B available (" + std::to_string(free_bytes()) + " B free)");
+}
+
+Status MemoryDevice::Free(const Extent& extent) {
+  if (extent.device != id_) {
+    return InvalidArgument("extent belongs to a different device");
+  }
+  auto it = live_.find(extent.offset);
+  if (it == live_.end() || it->second.size != extent.size) {
+    return NotFound("extent not live on " + name_);
+  }
+  live_.erase(it);
+  used_ -= extent.size;
+
+  // Insert into the free list and coalesce with neighbours.
+  auto [pos, inserted] = free_list_.emplace(extent.offset, extent.size);
+  MEMFLOW_CHECK(inserted);
+  // Coalesce with successor.
+  auto next = std::next(pos);
+  if (next != free_list_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_list_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != free_list_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_list_.erase(pos);
+    }
+  }
+  return OkStatus();
+}
+
+Status MemoryDevice::CheckAccess(const Extent& extent, std::uint64_t offset,
+                                 std::uint64_t size) const {
+  if (failed_) {
+    return Unavailable(name_ + " is failed");
+  }
+  if (extent.device != id_) {
+    return InvalidArgument("extent belongs to a different device");
+  }
+  auto it = live_.find(extent.offset);
+  if (it == live_.end() || it->second.size != extent.size) {
+    return NotFound("extent not live on " + name_);
+  }
+  if (offset + size > extent.size) {
+    return InvalidArgument("access beyond extent bounds on " + name_);
+  }
+  return OkStatus();
+}
+
+std::byte* MemoryDevice::ChunkFor(LiveExtent& live, std::uint64_t chunk_index) {
+  auto it = live.chunks.find(chunk_index);
+  if (it == live.chunks.end()) {
+    auto chunk = std::make_unique<std::byte[]>(kBackingChunk);
+    std::memset(chunk.get(), 0, kBackingChunk);
+    it = live.chunks.emplace(chunk_index, std::move(chunk)).first;
+  }
+  return it->second.get();
+}
+
+void MemoryDevice::CopyOut(LiveExtent& live, std::uint64_t offset, void* dst,
+                           std::uint64_t size) {
+  auto* out = static_cast<std::byte*>(dst);
+  while (size > 0) {
+    const std::uint64_t chunk_index = offset / kBackingChunk;
+    const std::uint64_t within = offset % kBackingChunk;
+    const std::uint64_t n = std::min(kBackingChunk - within, size);
+    // Untouched chunks read as zero without materializing.
+    auto it = live.chunks.find(chunk_index);
+    if (it == live.chunks.end()) {
+      std::memset(out, 0, n);
+    } else {
+      std::memcpy(out, it->second.get() + within, n);
+    }
+    out += n;
+    offset += n;
+    size -= n;
+  }
+}
+
+void MemoryDevice::CopyIn(LiveExtent& live, std::uint64_t offset, const void* src,
+                          std::uint64_t size) {
+  const auto* in = static_cast<const std::byte*>(src);
+  while (size > 0) {
+    const std::uint64_t chunk_index = offset / kBackingChunk;
+    const std::uint64_t within = offset % kBackingChunk;
+    const std::uint64_t n = std::min(kBackingChunk - within, size);
+    std::memcpy(ChunkFor(live, chunk_index) + within, in, n);
+    in += n;
+    offset += n;
+    size -= n;
+  }
+}
+
+SimDuration MemoryDevice::AccessCost(std::uint64_t bytes, bool sequential,
+                                     bool is_write) const {
+  const SimDuration lat = is_write ? profile_.write_latency : profile_.read_latency;
+  const double bw = is_write ? profile_.write_bw_gbps : profile_.read_bw_gbps;
+  const std::uint64_t gran = profile_.granularity;
+  const std::uint64_t units = (bytes + gran - 1) / gran;
+  // Transfer time at sustained bandwidth (GB/s == bytes/ns).
+  const auto transfer = SimDuration::Nanos(
+      static_cast<std::int64_t>(static_cast<double>(units * gran) / bw));
+  if (sequential) {
+    // One media latency to start the stream, then bandwidth-bound.
+    return lat + transfer;
+  }
+  // Random: pay media latency per granularity unit; transfers of adjacent
+  // units do not pipeline.
+  return SimDuration::Nanos(lat.ns * static_cast<std::int64_t>(units)) + transfer;
+}
+
+Result<SimDuration> MemoryDevice::Read(const Extent& extent, std::uint64_t offset, void* dst,
+                                       std::uint64_t size) {
+  MEMFLOW_RETURN_IF_ERROR(CheckAccess(extent, offset, size));
+  CopyOut(live_.at(extent.offset), offset, dst, size);
+  const SimDuration cost = AccessCost(size, /*sequential=*/true, /*is_write=*/false);
+  stats_.reads++;
+  stats_.bytes_read += size;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+Result<SimDuration> MemoryDevice::Write(const Extent& extent, std::uint64_t offset,
+                                        const void* src, std::uint64_t size) {
+  MEMFLOW_RETURN_IF_ERROR(CheckAccess(extent, offset, size));
+  CopyIn(live_.at(extent.offset), offset, src, size);
+  const SimDuration cost = AccessCost(size, /*sequential=*/true, /*is_write=*/true);
+  stats_.writes++;
+  stats_.bytes_written += size;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+SimDuration MemoryDevice::ChargeRead(std::uint64_t bytes, bool sequential) {
+  const SimDuration cost = AccessCost(bytes, sequential, /*is_write=*/false);
+  stats_.reads++;
+  stats_.bytes_read += bytes;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+SimDuration MemoryDevice::ChargeWrite(std::uint64_t bytes, bool sequential) {
+  const SimDuration cost = AccessCost(bytes, sequential, /*is_write=*/true);
+  stats_.writes++;
+  stats_.bytes_written += bytes;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+void MemoryDevice::Fail() {
+  failed_ = true;
+  if (!profile_.persistent) {
+    // Volatile media loses its contents: drop all backing stores. The extents
+    // stay allocated (owners must observe the fault and recover).
+    for (auto& [offset, live] : live_) {
+      live.chunks.clear();
+    }
+    MEMFLOW_LOG(kInfo) << name_ << " failed; volatile contents lost";
+  } else {
+    MEMFLOW_LOG(kInfo) << name_ << " failed; persistent contents retained";
+  }
+}
+
+void MemoryDevice::Recover() { failed_ = false; }
+
+}  // namespace memflow::simhw

@@ -1,0 +1,194 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Simulated memory devices. Each device kind carries a profile — bandwidth,
+// latency, access granularity, attachment, coherence, persistence — derived
+// from Table 1 of the paper (plus GDDR, which Figure 3 uses). A MemoryDevice
+// is a capacity-managed arena over *real host memory*: extents store real
+// bytes (so applications compute real results) while access *timing* is
+// charged to the virtual clock by the cost model.
+
+#ifndef MEMFLOW_SIMHW_DEVICE_H_
+#define MEMFLOW_SIMHW_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "simhw/ids.h"
+
+namespace memflow::simhw {
+
+// The device kinds of Table 1, plus GDDR (GPU-attached memory of Figure 3).
+enum class MemoryDeviceKind : std::uint8_t {
+  kCache,      // on-chip SRAM (modeled as a tiny scratchpad)
+  kHBM,        // on-package high-bandwidth memory
+  kDRAM,       // socket-local DDR
+  kGDDR,       // GPU-attached graphics memory
+  kPMem,       // persistent memory DIMMs
+  kCxlDram,    // CXL.mem expansion DRAM behind PCIe5/CXL
+  kDisaggMem,  // far memory behind the NIC (RDMA)
+  kSSD,        // NVMe flash
+  kHDD,        // spinning disk
+};
+
+inline constexpr int kNumMemoryDeviceKinds = 9;
+
+std::string_view MemoryDeviceKindName(MemoryDeviceKind kind);
+
+// How the device is physically attached (Table 1, "Attached" column).
+enum class Attachment : std::uint8_t {
+  kOnChip,   // caches, HBM
+  kMemBus,   // DRAM/PMem DIMMs on the CPU's memory bus
+  kDevLocal, // GDDR soldered next to the GPU
+  kPcie,     // PCIe (incl. CXL on PCIe5 PHY)
+  kCxl,      // CXL.mem — cache-coherent PCIe5
+  kNic,      // network-attached (RDMA)
+  kSata,     // legacy storage
+};
+
+std::string_view AttachmentName(Attachment a);
+
+// Device-intrinsic timing/behaviour profile. Path (link) costs are added on
+// top by the Topology; the profile covers the media itself.
+struct MemoryDeviceProfile {
+  MemoryDeviceKind kind = MemoryDeviceKind::kDRAM;
+  SimDuration read_latency;      // media latency per access
+  SimDuration write_latency;
+  double read_bw_gbps = 0;       // sustained sequential bandwidth, GB/s
+  double write_bw_gbps = 0;
+  std::uint64_t granularity = 64;  // bytes moved per access (Table 1 "Gran.")
+  Attachment attachment = Attachment::kMemBus;
+  bool byte_addressable = true;  // false for block devices (SSD/HDD)
+  bool cache_coherent = true;    // participates in the CPU coherence domain
+  bool sync_access = true;       // Table 1 "Sync": load/store vs. command queue
+  bool persistent = false;       // Table 1 "Persist."
+  // Whether the runtime may place regions here. On-chip caches are modeled
+  // as devices (Table 1 row 1) but are not general allocation targets.
+  bool allocatable = true;
+  std::uint64_t default_capacity = 0;
+};
+
+// Canonical profile per kind, numbers chosen to reproduce Table 1's ordering
+// (Cache > HBM > DRAM > PMem ~ CXL > Disagg > SSD > HDD for both bandwidth
+// and latency) with magnitudes from public measurements.
+const MemoryDeviceProfile& DefaultProfile(MemoryDeviceKind kind);
+
+// Cumulative access counters, for utilization reports and the profiler.
+struct DeviceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  SimDuration busy_time;  // total media time charged
+};
+
+// An allocated range on a device. Extents are identified by (device, offset).
+struct Extent {
+  MemoryDeviceId device;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+// A simulated memory device instance.
+//
+// Allocation is first-fit over a free list with coalescing on free — a real
+// allocator, because fragmentation behaviour matters for the pooling
+// experiments. Backing host memory is materialized lazily per extent on first
+// access, so capacity-scale experiments (fill a 256 GiB pool) do not need
+// 256 GiB of host RAM.
+class MemoryDevice {
+ public:
+  MemoryDevice(MemoryDeviceId id, NodeId node, std::string name,
+               MemoryDeviceProfile profile, std::uint64_t capacity);
+
+  MemoryDevice(const MemoryDevice&) = delete;
+  MemoryDevice& operator=(const MemoryDevice&) = delete;
+
+  MemoryDeviceId id() const { return id_; }
+  NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  const MemoryDeviceProfile& profile() const { return profile_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+  double utilization() const {
+    return capacity_ == 0 ? 0.0 : static_cast<double>(used_) / static_cast<double>(capacity_);
+  }
+
+  // --- capacity management ---------------------------------------------------
+
+  // Allocates `size` bytes (rounded up to the device granularity).
+  Result<Extent> Allocate(std::uint64_t size);
+
+  // Frees a previously allocated extent; coalesces adjacent free ranges.
+  Status Free(const Extent& extent);
+
+  // --- data + timing ---------------------------------------------------------
+
+  // Real data access into the extent's backing store. `offset` is relative to
+  // the extent. Returns the simulated media cost of the access. Sequential
+  // accesses amortize latency over the run length; random accesses pay media
+  // latency per `granularity` unit.
+  Result<SimDuration> Read(const Extent& extent, std::uint64_t offset, void* dst,
+                           std::uint64_t size);
+  Result<SimDuration> Write(const Extent& extent, std::uint64_t offset, const void* src,
+                            std::uint64_t size);
+
+  // Timing-only accounting for modeled (traced) workloads that do not move
+  // real bytes. `sequential` selects the amortized-bandwidth path.
+  SimDuration ChargeRead(std::uint64_t bytes, bool sequential);
+  SimDuration ChargeWrite(std::uint64_t bytes, bool sequential);
+
+  // --- faults ----------------------------------------------------------------
+
+  // A failed device rejects all accesses/allocations with kUnavailable and, if
+  // non-persistent, loses its contents.
+  void Fail();
+  void Recover();
+  bool failed() const { return failed_; }
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+ private:
+
+  Status CheckAccess(const Extent& extent, std::uint64_t offset, std::uint64_t size) const;
+
+  SimDuration AccessCost(std::uint64_t bytes, bool sequential, bool is_write) const;
+
+  MemoryDeviceId id_;
+  NodeId node_;
+  std::string name_;
+  MemoryDeviceProfile profile_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  bool failed_ = false;
+
+  // Free list keyed by offset → size. Invariant: ranges are disjoint and
+  // non-adjacent (adjacent ranges are coalesced).
+  std::map<std::uint64_t, std::uint64_t> free_list_;
+  // Live extents keyed by offset → (size, backing). Backing is materialized
+  // lazily in fixed-size chunks, so allocating (or sparsely touching) a huge
+  // extent does not consume host RAM proportional to its capacity.
+  static constexpr std::uint64_t kBackingChunk = 256 * kKiB;
+  struct LiveExtent {
+    std::uint64_t size = 0;
+    std::map<std::uint64_t, std::unique_ptr<std::byte[]>> chunks;  // by chunk index
+  };
+  std::byte* ChunkFor(LiveExtent& live, std::uint64_t chunk_index);
+  void CopyOut(LiveExtent& live, std::uint64_t offset, void* dst, std::uint64_t size);
+  void CopyIn(LiveExtent& live, std::uint64_t offset, const void* src, std::uint64_t size);
+  std::map<std::uint64_t, LiveExtent> live_;
+
+  DeviceStats stats_;
+};
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_DEVICE_H_

@@ -1,0 +1,108 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "simhw/fault.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace memflow::simhw {
+
+void FaultInjector::Add(FaultEvent event) {
+  MEMFLOW_CHECK_MSG(next_ == 0, "cannot add events after injection started");
+  pending_.push_back(event);
+  sorted_ = false;
+}
+
+void FaultInjector::FailDeviceAt(SimTime at, MemoryDeviceId device) {
+  Add({at, FaultEvent::Kind::kDeviceFail, device, {}, {}});
+}
+
+void FaultInjector::RecoverDeviceAt(SimTime at, MemoryDeviceId device) {
+  Add({at, FaultEvent::Kind::kDeviceRecover, device, {}, {}});
+}
+
+void FaultInjector::CrashNodeAt(SimTime at, NodeId node) {
+  Add({at, FaultEvent::Kind::kNodeCrash, {}, node, {}});
+}
+
+void FaultInjector::RecoverNodeAt(SimTime at, NodeId node) {
+  Add({at, FaultEvent::Kind::kNodeRecover, {}, node, {}});
+}
+
+void FaultInjector::GenerateNodeCrashes(Rng& rng, std::span<const NodeId> nodes,
+                                        SimDuration mtbf, SimDuration mttr, SimTime horizon) {
+  for (const NodeId node : nodes) {
+    SimTime t{};
+    while (true) {
+      const auto gap = SimDuration::Nanos(
+          static_cast<std::int64_t>(rng.Exponential(static_cast<double>(mtbf.ns))));
+      t = t + gap;
+      if (t >= horizon) {
+        break;
+      }
+      CrashNodeAt(t, node);
+      t = t + mttr;
+      if (t >= horizon) {
+        break;
+      }
+      RecoverNodeAt(t, node);
+    }
+  }
+}
+
+std::vector<SimTime> FaultInjector::PendingTimes() {
+  if (!sorted_) {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    sorted_ = true;
+  }
+  std::vector<SimTime> times;
+  for (std::size_t i = next_; i < pending_.size(); ++i) {
+    times.push_back(pending_[i].at);
+  }
+  return times;
+}
+
+std::size_t FaultInjector::ApplyDue(SimTime now) {
+  if (!sorted_) {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    sorted_ = true;
+  }
+  std::size_t applied = 0;
+  while (next_ < pending_.size() && pending_[next_].at <= now) {
+    Apply(pending_[next_]);
+    fired_.push_back(pending_[next_]);
+    ++next_;
+    ++applied;
+  }
+  return applied;
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kDeviceFail:
+      cluster_->memory(event.device).Fail();
+      break;
+    case FaultEvent::Kind::kDeviceRecover:
+      cluster_->memory(event.device).Recover();
+      break;
+    case FaultEvent::Kind::kNodeCrash:
+      MEMFLOW_LOG(kInfo) << "fault: node " << event.node.value << " crashed at t="
+                         << event.at.ns << "ns";
+      (void)cluster_->CrashNode(event.node);
+      break;
+    case FaultEvent::Kind::kNodeRecover:
+      (void)cluster_->RecoverNode(event.node);
+      break;
+    case FaultEvent::Kind::kLinkFail:
+      (void)cluster_->topology().FailLink(event.link);
+      break;
+    case FaultEvent::Kind::kLinkRecover:
+      (void)cluster_->topology().RecoverLink(event.link);
+      break;
+  }
+}
+
+}  // namespace memflow::simhw

@@ -1,0 +1,80 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Deterministic fault injection (the paper's Challenge 8: node faults, network
+// errors, planned maintenance are *common* at datacenter scale). A fault
+// schedule is a list of timestamped events applied to the cluster as virtual
+// time passes; random schedules are generated from a seed so every run is
+// reproducible.
+
+#ifndef MEMFLOW_SIMHW_FAULT_H_
+#define MEMFLOW_SIMHW_FAULT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "simhw/cluster.h"
+
+namespace memflow::simhw {
+
+struct FaultEvent {
+  enum class Kind {
+    kDeviceFail,
+    kDeviceRecover,
+    kNodeCrash,
+    kNodeRecover,
+    kLinkFail,
+    kLinkRecover,
+  };
+
+  SimTime at;
+  Kind kind = Kind::kNodeCrash;
+  // Exactly one of these is meaningful, per kind.
+  MemoryDeviceId device;
+  NodeId node;
+  LinkId link;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Cluster& cluster) : cluster_(&cluster) {}
+
+  void Add(FaultEvent event);
+
+  // Convenience constructors for single events.
+  void FailDeviceAt(SimTime at, MemoryDeviceId device);
+  void RecoverDeviceAt(SimTime at, MemoryDeviceId device);
+  void CrashNodeAt(SimTime at, NodeId node);
+  void RecoverNodeAt(SimTime at, NodeId node);
+
+  // Generates crash/recover pairs for each node: exponential inter-crash times
+  // with mean `mtbf`, repair after `mttr`, until `horizon`.
+  void GenerateNodeCrashes(Rng& rng, std::span<const NodeId> nodes, SimDuration mtbf,
+                           SimDuration mttr, SimTime horizon);
+
+  // Applies every event with timestamp <= now that has not fired yet.
+  // Returns the number applied. Call from the scheduler as time advances.
+  std::size_t ApplyDue(SimTime now);
+
+  // Events already applied, in application order (for reports/tests).
+  const std::vector<FaultEvent>& fired() const { return fired_; }
+  std::size_t pending() const { return pending_.size() - next_; }
+
+  // Timestamps of all not-yet-applied events, sorted ascending. The runtime
+  // uses these to schedule fault application into its event loop.
+  std::vector<SimTime> PendingTimes();
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  Cluster* cluster_;
+  std::vector<FaultEvent> pending_;  // sorted by time once Finalize'd
+  std::vector<FaultEvent> fired_;
+  std::size_t next_ = 0;
+  bool sorted_ = true;
+};
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_FAULT_H_

@@ -1,0 +1,49 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Strongly-typed integer ids. Each entity class gets its own id type so a
+// ComputeDeviceId cannot be passed where a MemoryDeviceId is expected.
+
+#ifndef MEMFLOW_SIMHW_IDS_H_
+#define MEMFLOW_SIMHW_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace memflow::simhw {
+
+// CRTP-free strong id: Tag makes distinct instantiations incompatible.
+template <typename Tag>
+struct StrongId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr StrongId() = default;
+  explicit constexpr StrongId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+struct NodeTag {};
+struct MemoryDeviceTag {};
+struct ComputeDeviceTag {};
+struct LinkTag {};
+
+using NodeId = StrongId<NodeTag>;
+using MemoryDeviceId = StrongId<MemoryDeviceTag>;
+using ComputeDeviceId = StrongId<ComputeDeviceTag>;
+using LinkId = StrongId<LinkTag>;
+
+}  // namespace memflow::simhw
+
+template <typename Tag>
+struct std::hash<memflow::simhw::StrongId<Tag>> {
+  std::size_t operator()(memflow::simhw::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+#endif  // MEMFLOW_SIMHW_IDS_H_

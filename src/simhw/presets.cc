@@ -1,0 +1,185 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "simhw/presets.h"
+
+namespace memflow::simhw {
+
+std::unique_ptr<Cluster> MakeComputeCentricRack(const RackOptions& opts) {
+  auto cluster = std::make_unique<Cluster>();
+  const VertexId tor = cluster->AddSwitch("tor-fabric");
+
+  for (int i = 0; i < opts.servers; ++i) {
+    const NodeId node = cluster->AddNode("server" + std::to_string(i));
+    const ComputeDeviceId cpu =
+        cluster->AddCompute(node, ComputeDeviceKind::kCPU, "cpu" + std::to_string(i));
+    const MemoryDeviceId dram = cluster->AddMemory(node, MemoryDeviceKind::kDRAM,
+                                                   opts.dram_per_server,
+                                                   "dram" + std::to_string(i));
+    cluster->Link(cluster->VertexOf(cpu), cluster->VertexOf(dram), LinkKind::kMemBus);
+
+    if (opts.pmem_per_server > 0) {
+      const MemoryDeviceId pmem = cluster->AddMemory(node, MemoryDeviceKind::kPMem,
+                                                     opts.pmem_per_server,
+                                                     "pmem" + std::to_string(i));
+      cluster->Link(cluster->VertexOf(cpu), cluster->VertexOf(pmem), LinkKind::kMemBus);
+    }
+
+    const bool has_gpu = opts.gpu_on_every_server || (i % 2 == 0);
+    if (has_gpu) {
+      const ComputeDeviceId gpu =
+          cluster->AddCompute(node, ComputeDeviceKind::kGPU, "gpu" + std::to_string(i));
+      const MemoryDeviceId gddr = cluster->AddMemory(node, MemoryDeviceKind::kGDDR,
+                                                     opts.gddr_per_gpu,
+                                                     "gddr" + std::to_string(i));
+      cluster->Link(cluster->VertexOf(gpu), cluster->VertexOf(gddr), LinkKind::kOnChip);
+      cluster->Link(cluster->VertexOf(cpu), cluster->VertexOf(gpu), LinkKind::kPcie);
+    }
+
+    // Server reaches the rack fabric through its NIC (no load/store).
+    cluster->Link(cluster->VertexOf(cpu), tor, LinkKind::kNic);
+  }
+  return cluster;
+}
+
+std::unique_ptr<Cluster> MakeMemoryCentricPool(const PoolOptions& opts) {
+  auto cluster = std::make_unique<Cluster>();
+  const VertexId cxl_switch = cluster->AddSwitch("cxl-switch");
+
+  // The shared memory pool: one node, many device types (Figure 1b's box).
+  const NodeId pool = cluster->AddNode("memory-pool");
+  const auto add_pool_mem = [&](MemoryDeviceKind kind, std::uint64_t cap, const char* name) {
+    if (cap == 0) {
+      return;
+    }
+    const MemoryDeviceId m = cluster->AddMemory(pool, kind, cap, name);
+    cluster->Link(cluster->VertexOf(m), cxl_switch, LinkKind::kCxl);
+  };
+  add_pool_mem(MemoryDeviceKind::kDRAM, opts.pool_dram, "pool-dram");
+  add_pool_mem(MemoryDeviceKind::kGDDR, opts.pool_gddr, "pool-gddr");
+  add_pool_mem(MemoryDeviceKind::kPMem, opts.pool_pmem, "pool-pmem");
+  add_pool_mem(MemoryDeviceKind::kCxlDram, opts.pool_cxl_dram, "pool-cxl-dram");
+
+  // Compute devices: each on its own node, local HBM scratch, CXL to the pool.
+  const auto add_compute = [&](ComputeDeviceKind kind, int count, const char* prefix) {
+    for (int i = 0; i < count; ++i) {
+      const std::string name = std::string(prefix) + std::to_string(i);
+      const NodeId node = cluster->AddNode("node-" + name);
+      const ComputeDeviceId c = cluster->AddCompute(node, kind, name);
+      if (opts.local_hbm > 0) {
+        const MemoryDeviceId hbm =
+            cluster->AddMemory(node, MemoryDeviceKind::kHBM, opts.local_hbm, name + "-hbm");
+        cluster->Link(cluster->VertexOf(c), cluster->VertexOf(hbm), LinkKind::kOnChip);
+      }
+      cluster->Link(cluster->VertexOf(c), cxl_switch, LinkKind::kCxl);
+    }
+  };
+  add_compute(ComputeDeviceKind::kCPU, opts.cpus, "cpu");
+  add_compute(ComputeDeviceKind::kGPU, opts.gpus, "gpu");
+  add_compute(ComputeDeviceKind::kTPU, opts.tpus, "tpu");
+  add_compute(ComputeDeviceKind::kFPGA, opts.fpgas, "fpga");
+  return cluster;
+}
+
+NumaHandles MakeTwoSocketNuma(std::uint64_t dram_per_socket) {
+  NumaHandles h;
+  h.cluster = std::make_unique<Cluster>();
+  Cluster& c = *h.cluster;
+  const NodeId node = c.AddNode("numa-host");
+  h.cpu0 = c.AddCompute(node, ComputeDeviceKind::kCPU, "socket0");
+  h.cpu1 = c.AddCompute(node, ComputeDeviceKind::kCPU, "socket1");
+  h.dram0 = c.AddMemory(node, MemoryDeviceKind::kDRAM, dram_per_socket, "dram0");
+  h.dram1 = c.AddMemory(node, MemoryDeviceKind::kDRAM, dram_per_socket, "dram1");
+  c.Link(c.VertexOf(h.cpu0), c.VertexOf(h.dram0), LinkKind::kMemBus);
+  c.Link(c.VertexOf(h.cpu1), c.VertexOf(h.dram1), LinkKind::kMemBus);
+  c.Link(c.VertexOf(h.cpu0), c.VertexOf(h.cpu1), LinkKind::kUPI);
+  return h;
+}
+
+TieredHandles MakeTieredStorageHost(std::uint64_t dram, std::uint64_t pmem, std::uint64_t ssd,
+                                    std::uint64_t hdd) {
+  TieredHandles h;
+  h.cluster = std::make_unique<Cluster>();
+  Cluster& c = *h.cluster;
+  const NodeId node = c.AddNode("tiered-host");
+  h.cpu = c.AddCompute(node, ComputeDeviceKind::kCPU, "cpu");
+  h.dram = c.AddMemory(node, MemoryDeviceKind::kDRAM, dram, "dram");
+  h.pmem = c.AddMemory(node, MemoryDeviceKind::kPMem, pmem, "pmem");
+  h.ssd = c.AddMemory(node, MemoryDeviceKind::kSSD, ssd, "ssd");
+  h.hdd = c.AddMemory(node, MemoryDeviceKind::kHDD, hdd, "hdd");
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.dram), LinkKind::kMemBus);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.pmem), LinkKind::kMemBus);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.ssd), LinkKind::kPcie);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.hdd), LinkKind::kSata);
+  return h;
+}
+
+CxlHostHandles MakeCxlExpansionHost() {
+  CxlHostHandles h;
+  h.cluster = std::make_unique<Cluster>();
+  Cluster& c = *h.cluster;
+  const NodeId node = c.AddNode("cxl-host");
+  h.cpu = c.AddCompute(node, ComputeDeviceKind::kCPU, "cpu");
+  h.gpu = c.AddCompute(node, ComputeDeviceKind::kGPU, "gpu");
+
+  h.cache = c.AddMemory(node, MemoryDeviceKind::kCache, 0, "llc");
+  h.hbm = c.AddMemory(node, MemoryDeviceKind::kHBM, 0, "hbm");
+  h.dram = c.AddMemory(node, MemoryDeviceKind::kDRAM, 0, "dram");
+  h.pmem = c.AddMemory(node, MemoryDeviceKind::kPMem, 0, "pmem");
+  h.cxl_dram = c.AddMemory(node, MemoryDeviceKind::kCxlDram, 0, "cxl-dram");
+  h.gddr = c.AddMemory(node, MemoryDeviceKind::kGDDR, 0, "gddr");
+  h.ssd = c.AddMemory(node, MemoryDeviceKind::kSSD, 0, "ssd");
+  h.hdd = c.AddMemory(node, MemoryDeviceKind::kHDD, 0, "hdd");
+
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.cache), LinkKind::kOnChip);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.hbm), LinkKind::kOnChip);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.dram), LinkKind::kMemBus);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.pmem), LinkKind::kMemBus);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.cxl_dram), LinkKind::kCxl);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.ssd), LinkKind::kPcie);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.hdd), LinkKind::kSata);
+
+  c.Link(c.VertexOf(h.gpu), c.VertexOf(h.gddr), LinkKind::kOnChip);
+  c.Link(c.VertexOf(h.cpu), c.VertexOf(h.gpu), LinkKind::kPcie);
+  // The GPU can also reach the CXL expander coherently (CXL.cache).
+  c.Link(c.VertexOf(h.gpu), c.VertexOf(h.cxl_dram), LinkKind::kCxl);
+
+  // Far memory behind the NIC (one hop of fabric).
+  const NodeId far = c.AddNode("far-node");
+  h.disagg = c.AddMemory(far, MemoryDeviceKind::kDisaggMem, 0, "far-mem");
+  const VertexId fabric = c.AddSwitch("fabric");
+  c.Link(c.VertexOf(h.cpu), fabric, LinkKind::kNic);
+  c.Link(fabric, c.VertexOf(h.disagg), LinkKind::kNic);
+  return h;
+}
+
+DisaggHandles MakeDisaggRack(const DisaggOptions& opts) {
+  DisaggHandles h;
+  h.cluster = std::make_unique<Cluster>();
+  Cluster& c = *h.cluster;
+  const VertexId fabric = c.AddSwitch("fabric");
+
+  for (int i = 0; i < opts.compute_nodes; ++i) {
+    const NodeId node = c.AddNode("compute" + std::to_string(i));
+    const ComputeDeviceId cpu =
+        c.AddCompute(node, ComputeDeviceKind::kCPU, "cpu" + std::to_string(i));
+    const MemoryDeviceId dram = c.AddMemory(node, MemoryDeviceKind::kDRAM, opts.local_dram,
+                                            "local-dram" + std::to_string(i));
+    c.Link(c.VertexOf(cpu), c.VertexOf(dram), LinkKind::kMemBus);
+    c.Link(c.VertexOf(cpu), fabric, LinkKind::kNic);
+    h.cpus.push_back(cpu);
+    h.local_dram.push_back(dram);
+  }
+
+  for (int i = 0; i < opts.memory_nodes; ++i) {
+    const NodeId node = c.AddNode("memnode" + std::to_string(i));
+    const MemoryDeviceId mem = c.AddMemory(node, MemoryDeviceKind::kDisaggMem,
+                                           opts.far_mem_per_node,
+                                           "far-mem" + std::to_string(i));
+    c.Link(c.VertexOf(mem), fabric, LinkKind::kNic);
+    h.far_mem.push_back(mem);
+    h.memory_node_ids.push_back(node);
+  }
+  return h;
+}
+
+}  // namespace memflow::simhw

@@ -1,0 +1,98 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Pre-wired cluster topologies used by the experiments:
+//
+//   MakeComputeCentricRack  — Figure 1a: servers own their memory; other
+//                             servers reach it only through the NIC.
+//   MakeMemoryCentricPool   — Figure 1b: compute devices share one memory
+//                             pool behind a CXL switch.
+//   MakeTwoSocketNuma       — the substrate of the intro's "NUMA up to 3x".
+//   MakeTieredStorageHost   — DRAM/PMem/SSD/HDD box for the heterogeneous-
+//                             storage placement claim.
+//   MakeCxlExpansionHost    — Sapphire-Rapids-like host (CPU+DRAM+CXL
+//                             expander, GPU+GDDR) used by Figures 3 and 4.
+//   MakeDisaggRack          — compute nodes + far-memory nodes behind a
+//                             fabric, used by the fault-tolerance experiments.
+
+#ifndef MEMFLOW_SIMHW_PRESETS_H_
+#define MEMFLOW_SIMHW_PRESETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simhw/cluster.h"
+
+namespace memflow::simhw {
+
+struct RackOptions {
+  int servers = 4;
+  std::uint64_t dram_per_server = GiB(8);
+  std::uint64_t pmem_per_server = GiB(16);
+  std::uint64_t gddr_per_gpu = GiB(4);
+  bool gpu_on_every_server = false;  // otherwise every second server
+};
+
+// Figure 1a. Returns the cluster; per-server device ids are discoverable via
+// Cluster::node().
+std::unique_ptr<Cluster> MakeComputeCentricRack(const RackOptions& opts = {});
+
+struct PoolOptions {
+  int cpus = 2;
+  int gpus = 2;
+  int tpus = 1;
+  int fpgas = 1;
+  std::uint64_t pool_dram = GiB(32);
+  std::uint64_t pool_gddr = GiB(8);
+  std::uint64_t pool_pmem = GiB(64);
+  std::uint64_t pool_cxl_dram = GiB(64);
+  std::uint64_t local_hbm = GiB(2);  // small device-local scratch per compute
+};
+
+// Figure 1b.
+std::unique_ptr<Cluster> MakeMemoryCentricPool(const PoolOptions& opts = {});
+
+// Two CPU sockets with local DRAM each, joined by UPI.
+struct NumaHandles {
+  std::unique_ptr<Cluster> cluster;
+  ComputeDeviceId cpu0, cpu1;
+  MemoryDeviceId dram0, dram1;
+};
+NumaHandles MakeTwoSocketNuma(std::uint64_t dram_per_socket = GiB(16));
+
+// One CPU with a heterogeneous storage/memory hierarchy.
+struct TieredHandles {
+  std::unique_ptr<Cluster> cluster;
+  ComputeDeviceId cpu;
+  MemoryDeviceId dram, pmem, ssd, hdd;
+};
+TieredHandles MakeTieredStorageHost(std::uint64_t dram = GiB(4), std::uint64_t pmem = GiB(16),
+                                    std::uint64_t ssd = GiB(64), std::uint64_t hdd = GiB(256));
+
+// Single host with CPU (+DRAM, +CXL-DRAM expander, +PMem) and GPU (+GDDR),
+// CPU<->GPU over PCIe; the CXL expander hangs off a CXL port shared by both.
+struct CxlHostHandles {
+  std::unique_ptr<Cluster> cluster;
+  ComputeDeviceId cpu, gpu;
+  MemoryDeviceId cache, hbm, dram, pmem, cxl_dram, gddr, disagg, ssd, hdd;
+};
+CxlHostHandles MakeCxlExpansionHost();
+
+struct DisaggOptions {
+  int compute_nodes = 2;
+  int memory_nodes = 4;
+  std::uint64_t local_dram = GiB(2);
+  std::uint64_t far_mem_per_node = GiB(16);
+};
+struct DisaggHandles {
+  std::unique_ptr<Cluster> cluster;
+  std::vector<ComputeDeviceId> cpus;
+  std::vector<MemoryDeviceId> local_dram;
+  std::vector<MemoryDeviceId> far_mem;   // one per memory node
+  std::vector<NodeId> memory_node_ids;
+};
+DisaggHandles MakeDisaggRack(const DisaggOptions& opts = {});
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_PRESETS_H_

@@ -1,0 +1,166 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "simhw/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace memflow::simhw {
+
+std::string_view LinkKindName(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kOnChip:
+      return "on-chip";
+    case LinkKind::kMemBus:
+      return "mem-bus";
+    case LinkKind::kUPI:
+      return "UPI";
+    case LinkKind::kPcie:
+      return "PCIe";
+    case LinkKind::kCxl:
+      return "CXL";
+    case LinkKind::kNic:
+      return "NIC";
+    case LinkKind::kSata:
+      return "SATA";
+  }
+  return "?";
+}
+
+LinkDesc DefaultLink(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kOnChip:
+      return {kind, SimDuration::Nanos(5), 1000.0, true, true};
+    case LinkKind::kMemBus:
+      return {kind, SimDuration::Nanos(10), 120.0, true, true};
+    case LinkKind::kUPI:
+      // Crossing the socket interconnect roughly doubles DRAM latency and
+      // halves attainable bandwidth — the substrate of the NUMA-3x claim.
+      return {kind, SimDuration::Nanos(110), 40.0, true, true};
+    case LinkKind::kPcie:
+      return {kind, SimDuration::Nanos(300), 32.0, false, true};
+    case LinkKind::kCxl:
+      return {kind, SimDuration::Nanos(120), 30.0, true, true};
+    case LinkKind::kNic:
+      return {kind, SimDuration::Nanos(1500), 12.0, false, false};
+    case LinkKind::kSata:
+      return {kind, SimDuration::Micros(10), 0.55, false, false};
+  }
+  return {};
+}
+
+VertexId Topology::AddVertex(std::string name, bool transit) {
+  const auto id = VertexId(static_cast<std::uint32_t>(vertex_names_.size()));
+  vertex_names_.push_back(std::move(name));
+  transit_.push_back(transit);
+  adjacency_.emplace_back();
+  InvalidateCache();
+  return id;
+}
+
+LinkId Topology::Connect(VertexId a, VertexId b, LinkDesc desc) {
+  MEMFLOW_CHECK(a.value < vertex_names_.size() && b.value < vertex_names_.size());
+  MEMFLOW_CHECK(a != b);
+  MEMFLOW_CHECK(desc.bw_gbps > 0);
+  const auto idx = static_cast<std::uint32_t>(links_.size());
+  links_.push_back(Link{a, b, desc, false});
+  adjacency_[a.value].push_back(idx);
+  adjacency_[b.value].push_back(idx);
+  InvalidateCache();
+  return LinkId(idx);
+}
+
+Result<PathInfo> Topology::Path(VertexId from, VertexId to) const {
+  if (from.value >= vertex_names_.size() || to.value >= vertex_names_.size()) {
+    return InvalidArgument("unknown vertex");
+  }
+  if (from == to) {
+    // Same endpoint: zero-cost path with unconstrained bandwidth.
+    return PathInfo{SimDuration{}, std::numeric_limits<double>::infinity(), true, true, 0};
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
+  }
+
+  // Dijkstra on latency; properties are folded along the chosen path.
+  struct State {
+    std::int64_t dist;
+    std::uint32_t vertex;
+    bool operator>(const State& o) const { return dist > o.dist; }
+  };
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(vertex_names_.size(), kInf);
+  std::vector<std::int32_t> via_link(vertex_names_.size(), -1);
+  std::vector<std::uint32_t> prev(vertex_names_.size(), 0);
+  std::priority_queue<State, std::vector<State>, std::greater<>> heap;
+
+  dist[from.value] = 0;
+  heap.push({0, from.value});
+  while (!heap.empty()) {
+    const State s = heap.top();
+    heap.pop();
+    if (s.dist != dist[s.vertex]) {
+      continue;
+    }
+    if (s.vertex == to.value) {
+      break;
+    }
+    // Traffic may not route *through* endpoint devices (e.g. a memory module
+    // is not a switch), only start or terminate at them.
+    if (s.vertex != from.value && !transit_[s.vertex]) {
+      continue;
+    }
+    for (const std::uint32_t li : adjacency_[s.vertex]) {
+      const Link& link = links_[li];
+      if (link.failed) {
+        continue;
+      }
+      const std::uint32_t other = (link.a.value == s.vertex) ? link.b.value : link.a.value;
+      const std::int64_t nd = s.dist + link.desc.latency.ns;
+      if (nd < dist[other]) {
+        dist[other] = nd;
+        via_link[other] = static_cast<std::int32_t>(li);
+        prev[other] = s.vertex;
+        heap.push({nd, other});
+      }
+    }
+  }
+
+  if (dist[to.value] == kInf) {
+    return NotFound("no path from " + vertex_names_[from.value] + " to " +
+                    vertex_names_[to.value]);
+  }
+
+  PathInfo info{SimDuration::Nanos(dist[to.value]),
+                std::numeric_limits<double>::infinity(), true, true, 0};
+  for (std::uint32_t v = to.value; v != from.value; v = prev[v]) {
+    const Link& link = links_[static_cast<std::uint32_t>(via_link[v])];
+    info.bw_gbps = std::min(info.bw_gbps, link.desc.bw_gbps);
+    info.coherent = info.coherent && link.desc.coherent;
+    info.loadstore = info.loadstore && link.desc.loadstore;
+    info.hops++;
+  }
+  cache_.emplace(key, info);
+  return info;
+}
+
+Status Topology::FailLink(LinkId link) {
+  if (link.value >= links_.size()) {
+    return NotFound("unknown link");
+  }
+  links_[link.value].failed = true;
+  InvalidateCache();
+  return OkStatus();
+}
+
+Status Topology::RecoverLink(LinkId link) {
+  if (link.value >= links_.size()) {
+    return NotFound("unknown link");
+  }
+  links_[link.value].failed = false;
+  InvalidateCache();
+  return OkStatus();
+}
+
+}  // namespace memflow::simhw

@@ -1,0 +1,106 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Interconnect topology. Compute devices, memory devices, and switches are
+// vertices; links (on-chip, memory bus, UPI, PCIe, CXL, NIC fabric, SATA) are
+// edges with latency, bandwidth, coherence, and load/store capability. The
+// cost of accessing a memory device *from* a compute device is the media cost
+// plus the path cost — so the same memory looks different from different
+// observers, which is the mechanism behind the paper's Figure 3 and the NUMA
+// claim in its introduction.
+
+#ifndef MEMFLOW_SIMHW_TOPOLOGY_H_
+#define MEMFLOW_SIMHW_TOPOLOGY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "simhw/ids.h"
+
+namespace memflow::simhw {
+
+enum class LinkKind : std::uint8_t {
+  kOnChip,  // core <-> cache/HBM
+  kMemBus,  // CPU <-> DIMMs
+  kUPI,     // socket <-> socket (NUMA interconnect)
+  kPcie,    // host <-> device, non-coherent
+  kCxl,     // host <-> device, cache-coherent (CXL.mem/.cache)
+  kNic,     // node <-> fabric, RDMA verbs only (no load/store)
+  kSata,    // legacy storage
+};
+
+std::string_view LinkKindName(LinkKind kind);
+
+struct LinkDesc {
+  LinkKind kind = LinkKind::kPcie;
+  SimDuration latency;      // one-way traversal latency
+  double bw_gbps = 0;       // link bandwidth
+  bool coherent = false;    // participates in a hardware coherence domain
+  bool loadstore = false;   // CPU/accelerator can issue direct loads/stores
+};
+
+// Canonical link parameters per kind.
+LinkDesc DefaultLink(LinkKind kind);
+
+struct VertexTag {};
+using VertexId = StrongId<VertexTag>;
+
+// Result of routing from one vertex to another.
+struct PathInfo {
+  SimDuration latency;        // sum of link latencies
+  double bw_gbps = 0;         // min bandwidth along the path
+  bool coherent = false;      // every link coherent
+  bool loadstore = false;     // every link supports direct load/store
+  int hops = 0;
+
+  bool reachable() const { return hops >= 0; }
+};
+
+// Undirected weighted graph with shortest-latency routing and a path cache.
+// Vertices are either *transit* (CPUs root complexes, switches — traffic may
+// route through them) or *endpoints* (memory devices — paths may start or end
+// there but never pass through).
+class Topology {
+ public:
+  VertexId AddVertex(std::string name, bool transit = true);
+
+  // Adds a bidirectional link. Vertices must exist.
+  LinkId Connect(VertexId a, VertexId b, LinkDesc desc);
+
+  // Shortest-latency path; kNotFound if unreachable (disjoint coherence/
+  // failure domains). Results are cached until the topology mutates.
+  Result<PathInfo> Path(VertexId from, VertexId to) const;
+
+  // Link fault injection: a failed link is excluded from routing.
+  Status FailLink(LinkId link);
+  Status RecoverLink(LinkId link);
+
+  std::size_t num_vertices() const { return vertex_names_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  const std::string& vertex_name(VertexId v) const { return vertex_names_.at(v.value); }
+
+ private:
+  struct Link {
+    VertexId a, b;
+    LinkDesc desc;
+    bool failed = false;
+  };
+
+  void InvalidateCache() const { cache_.clear(); }
+
+  std::vector<std::string> vertex_names_;
+  std::vector<bool> transit_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;  // vertex -> link indexes
+  std::vector<Link> links_;
+
+  mutable std::unordered_map<std::uint64_t, PathInfo> cache_;
+};
+
+}  // namespace memflow::simhw
+
+#endif  // MEMFLOW_SIMHW_TOPOLOGY_H_

@@ -1,0 +1,271 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Unit tests for the application-level generators and reference
+// implementations (the ground truth all integration tests compare against),
+// plus runtime API edge cases.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/dbms.h"
+#include "apps/hospital.h"
+#include "apps/hpc.h"
+#include "apps/ml.h"
+#include "apps/streaming.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow {
+namespace {
+
+// --- DBMS generators -----------------------------------------------------------
+
+TEST(DbmsGeneratorTest, RowsDeterministicPerSeed) {
+  apps::dbms::TableSpec spec;
+  spec.seed = 42;
+  const apps::dbms::Row a = apps::dbms::MakeRow(spec, 123);
+  const apps::dbms::Row b = apps::dbms::MakeRow(spec, 123);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  spec.seed = 43;
+  const apps::dbms::Row c = apps::dbms::MakeRow(spec, 123);
+  EXPECT_TRUE(c.group != a.group || c.value != a.value);
+}
+
+TEST(DbmsGeneratorTest, GroupsWithinBounds) {
+  apps::dbms::TableSpec spec;
+  spec.groups = 7;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_LT(apps::dbms::MakeRow(spec, i).group, 7u);
+  }
+}
+
+TEST(DbmsGeneratorTest, SelectivityMonotone) {
+  apps::dbms::TableSpec spec;
+  std::uint64_t kept25 = 0;
+  std::uint64_t kept75 = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const apps::dbms::Row row = apps::dbms::MakeRow(spec, i);
+    kept25 += apps::dbms::KeepRow(row, 0.25) ? 1 : 0;
+    kept75 += apps::dbms::KeepRow(row, 0.75) ? 1 : 0;
+    // Monotone: a row kept at 0.25 is kept at 0.75.
+    EXPECT_LE(apps::dbms::KeepRow(row, 0.25), apps::dbms::KeepRow(row, 0.75));
+  }
+  EXPECT_NEAR(static_cast<double>(kept25) / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(kept75) / 20000.0, 0.75, 0.02);
+}
+
+TEST(DbmsGeneratorTest, ExpectedAggregateConsistentWithJoinInputs) {
+  // The join of a table against itself via group ids equals the group-sum
+  // dot the dim values — a cross-check between the two reference paths.
+  apps::dbms::TableSpec fact{.rows = 4000, .groups = 50, .seed = 9};
+  apps::dbms::TableSpec dim{.rows = 50, .groups = 5, .seed = 10};
+  std::vector<double> group_sums(50, 0.0);
+  for (std::uint64_t i = 0; i < fact.rows; ++i) {
+    const apps::dbms::Row row = apps::dbms::MakeRow(fact, i);
+    group_sums[row.group] += row.value;
+  }
+  double expected = 0;
+  for (std::uint64_t k = 0; k < dim.rows; ++k) {
+    const apps::dbms::Row d = apps::dbms::MakeRow(dim, k);
+    if (d.key < 50) {
+      expected += group_sums[d.key] * d.value;
+    }
+  }
+  EXPECT_NEAR(apps::dbms::ExpectedJoin(fact, dim), expected, 1e-6);
+}
+
+// --- Hospital generators -----------------------------------------------------------
+
+TEST(HospitalGeneratorTest, FramesChronologicalAndDeterministic) {
+  apps::hospital::HospitalSpec spec;
+  spec.minutes = 8 * 60;
+  const auto frames1 = apps::hospital::GenerateFrames(spec);
+  const auto frames2 = apps::hospital::GenerateFrames(spec);
+  ASSERT_EQ(frames1.size(), frames2.size());
+  for (std::size_t i = 1; i < frames1.size(); ++i) {
+    EXPECT_LE(frames1[i - 1].minute, frames1[i].minute);
+    EXPECT_EQ(frames1[i].feature, frames2[i].feature);
+  }
+}
+
+TEST(HospitalGeneratorTest, GarbageRateRespected) {
+  apps::hospital::HospitalSpec spec;
+  spec.garbage_rate = 0.25;
+  const auto frames = apps::hospital::GenerateFrames(spec);
+  std::size_t garbage = 0;
+  for (const auto& f : frames) {
+    // Valid frames carry registry features; count checksum failures via the
+    // expectation machinery: a frame for an unknown feature w/ bad checksum.
+    bool known = false;
+    for (std::uint32_t p = 0; p < static_cast<std::uint32_t>(spec.staff + spec.patients);
+         ++p) {
+      if (apps::hospital::FaceFeature(spec, p) == f.feature) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      garbage++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(garbage) / static_cast<double>(frames.size()), 0.2,
+              0.08);
+}
+
+TEST(HospitalGeneratorTest, PersonEventsAlternateEnterExit) {
+  apps::hospital::HospitalSpec spec;
+  const auto frames = apps::hospital::GenerateFrames(spec);
+  std::map<std::uint64_t, std::uint32_t> last_direction;  // feature -> dir
+  std::set<std::uint64_t> registry;
+  for (std::uint32_t p = 0; p < static_cast<std::uint32_t>(spec.staff + spec.patients); ++p) {
+    registry.insert(apps::hospital::FaceFeature(spec, p));
+  }
+  for (const auto& f : frames) {
+    if (!registry.contains(f.feature)) {
+      continue;
+    }
+    auto it = last_direction.find(f.feature);
+    if (it != last_direction.end()) {
+      EXPECT_NE(it->second, f.direction)
+          << "person repeated direction " << f.direction << " at minute " << f.minute;
+    }
+    last_direction[f.feature] = f.direction;
+  }
+}
+
+TEST(HospitalGeneratorTest, ExpectationScalesWithGrace) {
+  // A longer grace period can only reduce (or keep) the number of alerts.
+  apps::hospital::HospitalSpec strict;
+  strict.grace_minutes = 10;
+  apps::hospital::HospitalSpec lenient = strict;
+  lenient.grace_minutes = 300;
+  EXPECT_GE(apps::hospital::ExpectedHospital(strict).alerts.size(),
+            apps::hospital::ExpectedHospital(lenient).alerts.size());
+}
+
+TEST(HospitalGeneratorTest, AlertsAreAlwaysPatients) {
+  apps::hospital::HospitalSpec spec;
+  for (const std::uint32_t person : apps::hospital::ExpectedHospital(spec).alerts) {
+    EXPECT_GE(person, static_cast<std::uint32_t>(spec.staff));
+    EXPECT_LT(person, static_cast<std::uint32_t>(spec.staff + spec.patients));
+  }
+}
+
+// --- Streaming / HPC references -------------------------------------------------------
+
+TEST(StreamingGeneratorTest, SensorsWithinBoundsAndMeansFinite) {
+  apps::streaming::StreamSpec spec;
+  spec.sensors = 5;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_LT(apps::streaming::MakeEvent(spec, i).sensor, 5u);
+  }
+  for (const double m : apps::streaming::ExpectedWindowMeans(spec)) {
+    EXPECT_TRUE(std::isfinite(m));
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 100.0);  // readings are in [0, 100)
+  }
+}
+
+TEST(StreamingGeneratorTest, WindowCountRounding) {
+  apps::streaming::StreamSpec spec;
+  spec.events = 10;
+  spec.window_events = 3;
+  EXPECT_EQ(apps::streaming::NumWindows(spec), 4u);
+  spec.events = 9;
+  EXPECT_EQ(apps::streaming::NumWindows(spec), 3u);
+}
+
+TEST(HpcReferenceTest, StencilConvergesAndRespectsBoundaries) {
+  apps::hpc::StencilSpec few{.nx = 16, .ny = 16, .sweeps = 2};
+  apps::hpc::StencilSpec many = few;
+  many.sweeps = 50;
+  const auto early = apps::hpc::ReferenceStencil(few);
+  const auto late = apps::hpc::ReferenceStencil(many);
+  // Boundary row stays at the fixed temperature.
+  for (int x = 0; x < few.nx; ++x) {
+    EXPECT_DOUBLE_EQ(late[static_cast<std::size_t>(x)], few.boundary);
+  }
+  // Heat diffuses downward over time: interior sum grows.
+  double early_sum = 0;
+  double late_sum = 0;
+  for (std::size_t i = 16; i < early.size(); ++i) {
+    early_sum += early[i];
+    late_sum += late[i];
+  }
+  EXPECT_GT(late_sum, early_sum);
+}
+
+TEST(MlGeneratorTest, CacheBytesMatchesMatrixShape) {
+  apps::ml::MlSpec spec;
+  spec.examples = 100;
+  spec.features = 3;
+  EXPECT_EQ(apps::ml::CacheBytes(spec), 100u * 4 * 8);
+}
+
+// --- Runtime edge cases -----------------------------------------------------------------
+
+TEST(RuntimeEdgeTest, SubmitAfterRunContinuesOnSameClock) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  dataflow::Job first("first");
+  first.AddTask("t", {}, [](dataflow::TaskContext& ctx) {
+    ctx.ChargeCompute(1e6);
+    return OkStatus();
+  });
+  auto r1 = rt.SubmitAndRun(std::move(first));
+  ASSERT_TRUE(r1.ok() && r1->status.ok());
+  const SimTime after_first = rt.clock().now();
+  ASSERT_GT(after_first.ns, 0);
+
+  dataflow::Job second("second");
+  second.AddTask("t", {}, [](dataflow::TaskContext& ctx) {
+    ctx.ChargeCompute(1e6);
+    return OkStatus();
+  });
+  auto r2 = rt.SubmitAndRun(std::move(second));
+  ASSERT_TRUE(r2.ok() && r2->status.ok());
+  EXPECT_GE(r2->submitted.ns, after_first.ns);  // the timeline is continuous
+}
+
+TEST(RuntimeEdgeTest, ReleaseOutputsOfUnknownJobIsNotFound) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  EXPECT_EQ(rt.ReleaseJobOutputs(dataflow::JobId(777)).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(rt.GetJob(dataflow::JobId(777)).ok());
+}
+
+TEST(RuntimeEdgeTest, InvalidDagRejectedBeforeAnyAllocation) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  dataflow::Job cyclic("cyclic", {.global_state_bytes = KiB(4)});
+  const auto a = cyclic.AddTask("a", {}, [](dataflow::TaskContext&) { return OkStatus(); });
+  const auto b = cyclic.AddTask("b", {}, [](dataflow::TaskContext&) { return OkStatus(); });
+  ASSERT_TRUE(cyclic.Connect(a, b).ok());
+  ASSERT_TRUE(cyclic.Connect(b, a).ok());
+  EXPECT_FALSE(rt.Submit(std::move(cyclic)).ok());
+  EXPECT_TRUE(rt.regions().LiveRegions().empty());
+  EXPECT_EQ(host.cluster->TotalMemoryUsed(), 0u);
+}
+
+TEST(RuntimeEdgeTest, RunToCompletionIdempotentWhenIdle) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  EXPECT_TRUE(rt.RunToCompletion().ok());
+  EXPECT_TRUE(rt.RunToCompletion().ok());
+}
+
+TEST(RuntimeEdgeTest, ZeroWorkJobFinishesInstantly) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  dataflow::Job job("instant");
+  job.AddTask("noop", {}, [](dataflow::TaskContext&) { return OkStatus(); });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  EXPECT_EQ(report->Makespan().ns, 0);
+}
+
+}  // namespace
+}  // namespace memflow

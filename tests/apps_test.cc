@@ -1,0 +1,295 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Integration tests: the four Table 3 application types plus the Figure 2
+// hospital pipeline run end-to-end through the runtime, and their outputs are
+// verified against host-side reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/dbms.h"
+#include "apps/hospital.h"
+#include "apps/hpc.h"
+#include "apps/ml.h"
+#include "apps/streaming.h"
+#include "apps/util.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow::apps {
+namespace {
+
+// Reads a sink output region as a typed vector using the job principal.
+template <typename T>
+std::vector<T> ReadOutput(rts::Runtime& rt, const rts::JobReport& report,
+                          region::RegionId id) {
+  auto info = rt.regions().Info(id);
+  MEMFLOW_CHECK(info.ok());
+  std::vector<T> out(info->size / sizeof(T));
+  auto acc = rt.regions().OpenAsync(id, rt.JobPrincipal(report.id),
+                                    rt.cluster().AllComputeDevices().front());
+  MEMFLOW_CHECK(acc.ok());
+  acc->EnqueueRead(0, out.data(), out.size() * sizeof(T));
+  MEMFLOW_CHECK(acc->Drain().ok());
+  return out;
+}
+
+// Finds the output region of the task with the given name.
+region::RegionId OutputOf(const rts::JobReport& report, std::string_view task_name) {
+  for (const rts::TaskReport& t : report.tasks) {
+    if (t.name == task_name) {
+      return t.output;
+    }
+  }
+  MEMFLOW_CHECK_MSG(false, "no such task");
+  return {};
+}
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : host_(simhw::MakeCxlExpansionHost()), rt_(*host_.cluster) {}
+
+  simhw::CxlHostHandles host_;
+  rts::Runtime rt_;
+};
+
+// --- DBMS -----------------------------------------------------------------------
+
+TEST_F(AppsTest, DbmsScanAggregateMatchesReference) {
+  dbms::TableSpec spec;
+  spec.rows = 20000;
+  spec.groups = 32;
+  auto report = rt_.SubmitAndRun(dbms::BuildScanAggregateJob(spec, 0.35));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  const auto got = ReadOutput<double>(rt_, *report, report->outputs.front());
+  const auto expected = dbms::ExpectedScanAggregate(spec, 0.35);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t g = 0; g < got.size(); ++g) {
+    EXPECT_NEAR(got[g], expected[g], 1e-6) << "group " << g;
+  }
+}
+
+TEST_F(AppsTest, DbmsScanAggregateSelectivityZeroAndOne) {
+  dbms::TableSpec spec;
+  spec.rows = 5000;
+  spec.groups = 8;
+  for (const double sel : {0.0, 1.0}) {
+    rts::Runtime rt(*host_.cluster);
+    auto report = rt.SubmitAndRun(dbms::BuildScanAggregateJob(spec, sel));
+    ASSERT_TRUE(report.ok() && report->status.ok()) << sel;
+    const auto got = ReadOutput<double>(rt, *report, report->outputs.front());
+    const auto expected = dbms::ExpectedScanAggregate(spec, sel);
+    for (std::size_t g = 0; g < got.size(); ++g) {
+      EXPECT_NEAR(got[g], expected[g], 1e-6);
+    }
+  }
+}
+
+TEST_F(AppsTest, DbmsJoinMatchesReference) {
+  dbms::TableSpec fact;
+  fact.rows = 30000;
+  fact.groups = 500;  // foreign keys into dim
+  fact.seed = 11;
+  dbms::TableSpec dim;
+  dim.rows = 500;
+  dim.groups = 10;
+  dim.seed = 22;
+  auto report = rt_.SubmitAndRun(dbms::BuildJoinJob(fact, dim));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+  const auto got = ReadOutput<double>(rt_, *report, report->outputs.front());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0], dbms::ExpectedJoin(fact, dim), std::abs(got[0]) * 1e-9);
+}
+
+// --- ML --------------------------------------------------------------------------
+
+TEST_F(AppsTest, MlTrainingConverges) {
+  ml::MlSpec spec;
+  spec.examples = 5000;
+  spec.features = 4;
+  spec.epochs = 20;
+  spec.learning_rate = 0.4;
+  auto report = rt_.SubmitAndRun(ml::BuildTrainingJob(spec));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  const auto raw = ReadOutput<double>(rt_, *report, report->outputs.front());
+  const ml::TrainedModel model = ml::DecodeModel(raw, spec.features);
+  EXPECT_LT(model.final_loss, model.initial_loss / 10.0);
+  for (int f = 0; f < spec.features; ++f) {
+    EXPECT_NEAR(model.weights[static_cast<std::size_t>(f)], ml::TrueWeight(f), 0.3)
+        << "feature " << f;
+  }
+}
+
+TEST_F(AppsTest, MlTrainingRunsOnGpuWithPersistentWeights) {
+  ml::MlSpec spec;
+  spec.examples = 2000;
+  spec.features = 3;
+  spec.epochs = 3;
+  auto report = rt_.SubmitAndRun(ml::BuildTrainingJob(spec, /*persist_weights=*/true));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  for (const rts::TaskReport& t : report->tasks) {
+    if (t.name == "train") {
+      EXPECT_EQ(t.device, host_.gpu);
+    }
+  }
+  const auto info = rt_.regions().Info(report->outputs.front());
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(host_.cluster->memory(info->device).profile().persistent);
+}
+
+// --- Streaming ----------------------------------------------------------------------
+
+TEST_F(AppsTest, StreamingWindowMeansMatchReference) {
+  streaming::StreamSpec spec;
+  spec.events = 50000;
+  spec.sensors = 8;
+  spec.window_events = 5000;
+  auto report = rt_.SubmitAndRun(streaming::BuildStreamingJob(spec));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  const auto got = ReadOutput<double>(rt_, *report, report->outputs.front());
+  const auto expected = streaming::ExpectedWindowMeans(spec);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-4) << i;
+  }
+}
+
+TEST_F(AppsTest, StreamingHandlesPartialFinalWindow) {
+  streaming::StreamSpec spec;
+  spec.events = 10500;  // last window is partial
+  spec.sensors = 4;
+  spec.window_events = 4000;
+  auto report = rt_.SubmitAndRun(streaming::BuildStreamingJob(spec));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  const auto got = ReadOutput<double>(rt_, *report, report->outputs.front());
+  EXPECT_EQ(got.size(), streaming::NumWindows(spec) * spec.sensors);
+  const auto expected = streaming::ExpectedWindowMeans(spec);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-4);
+  }
+}
+
+// --- HPC --------------------------------------------------------------------------
+
+TEST_F(AppsTest, StencilMatchesReferenceExactly) {
+  hpc::StencilSpec spec;
+  spec.nx = 32;
+  spec.ny = 32;
+  spec.sweeps = 6;
+  auto report = rt_.SubmitAndRun(hpc::BuildStencilJob(spec));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  const auto got = ReadOutput<double>(rt_, *report, report->outputs.front());
+  const auto expected = hpc::ReferenceStencil(spec);
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(hpc::MaxAbsDiff(got, expected), 0.0);  // bit-exact
+}
+
+TEST_F(AppsTest, StencilGridHandoversAreZeroCopy) {
+  hpc::StencilSpec spec;
+  spec.nx = 16;
+  spec.ny = 16;
+  spec.sweeps = 5;
+  auto report = rt_.SubmitAndRun(hpc::BuildStencilJob(spec));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  // The grid travels by ownership transfer: every non-sink handover free.
+  int zero_copy = 0;
+  for (const rts::TaskReport& t : report->tasks) {
+    if (t.zero_copy_handover) {
+      zero_copy++;
+    }
+  }
+  EXPECT_GE(zero_copy, spec.sweeps);
+  EXPECT_GE(rt_.stats().zero_copy_handovers, static_cast<std::uint64_t>(spec.sweeps));
+}
+
+// --- Hospital (Figure 2) --------------------------------------------------------------
+
+TEST_F(AppsTest, HospitalPipelineMatchesReference) {
+  hospital::HospitalSpec spec;
+  spec.minutes = 12 * 60;
+  spec.staff = 10;
+  spec.patients = 25;
+  auto report = rt_.SubmitAndRun(hospital::BuildHospitalJob(spec));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  const hospital::HospitalExpectation expected = hospital::ExpectedHospital(spec);
+  const auto hours =
+      ReadOutput<std::uint64_t>(rt_, *report, OutputOf(*report, "track-hours"));
+  const auto util =
+      ReadOutput<std::uint32_t>(rt_, *report, OutputOf(*report, "compute-utilization"));
+  const auto alerts =
+      ReadOutput<std::uint32_t>(rt_, *report, OutputOf(*report, "alert-caregivers"));
+  EXPECT_EQ(hours, expected.staff_minutes);
+  EXPECT_EQ(util, expected.hourly_utilization);
+  EXPECT_EQ(alerts, expected.alerts);
+  EXPECT_FALSE(alerts.empty());  // the scenario produces at least one alert
+}
+
+TEST_F(AppsTest, HospitalGpuTasksRunOnGpu) {
+  hospital::HospitalSpec spec;
+  spec.minutes = 6 * 60;
+  auto report = rt_.SubmitAndRun(hospital::BuildHospitalJob(spec));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  for (const rts::TaskReport& t : report->tasks) {
+    if (t.name == "preprocess" || t.name == "face-recognition") {
+      EXPECT_EQ(t.device, host_.gpu) << t.name;
+    }
+    if (t.name == "track-hours" || t.name == "alert-caregivers") {
+      EXPECT_EQ(t.device, host_.cpu) << t.name;
+    }
+  }
+}
+
+TEST_F(AppsTest, HospitalAlertsArePersistentAndConfidential) {
+  hospital::HospitalSpec spec;
+  spec.minutes = 6 * 60;
+  auto report = rt_.SubmitAndRun(hospital::BuildHospitalJob(spec));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+
+  const region::RegionId alerts = OutputOf(*report, "alert-caregivers");
+  const auto info = rt_.regions().Info(alerts);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(host_.cluster->memory(info->device).profile().persistent);
+
+  // Confidential: another job's principal is denied.
+  EXPECT_EQ(rt_.regions()
+                .OpenSync(alerts, region::Principal{9999, 1}, host_.cpu)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+
+  // Crash-survival: fail the device holding the alerts; contents persist.
+  host_.cluster->memory(info->device).Fail();
+  host_.cluster->memory(info->device).Recover();
+  EXPECT_TRUE(rt_.regions().MarkLostOn(info->device).empty());
+  const auto still = ReadOutput<std::uint32_t>(rt_, *report, alerts);
+  EXPECT_EQ(still, hospital::ExpectedHospital(spec).alerts);
+}
+
+TEST_F(AppsTest, HospitalUtilizationIsPublic) {
+  hospital::HospitalSpec spec;
+  spec.minutes = 6 * 60;
+  auto report = rt_.SubmitAndRun(hospital::BuildHospitalJob(spec));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  const region::RegionId util = OutputOf(*report, "compute-utilization");
+  // Utilization feeds a public website: its own region is not confidential,
+  // but it is still owned by the job, so a foreign principal gets an
+  // ownership (not confidentiality) error.
+  const auto status =
+      rt_.regions().OpenSync(util, region::Principal{9999, 1}, host_.cpu).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace memflow::apps

@@ -1,0 +1,292 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Unit tests for the common substrate: status/result, rng, units, hashing,
+// string helpers, and the table renderer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace memflow {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = NotFound("no such region");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such region");
+  EXPECT_EQ(s.ToString(), "not_found: no such region");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MEMFLOW_ASSIGN_OR_RETURN(int h, Half(x));
+  MEMFLOW_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_EQ(Quarter(6).status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 500 draws
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Exponential(100.0);
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 3.0);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  Rng rng(17);
+  ZipfGenerator zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  Rng rng(19);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+// --- Units ---------------------------------------------------------------------
+
+TEST(UnitsTest, ByteHelpers) {
+  EXPECT_EQ(KiB(2), 2048u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(1), 1073741824u);
+}
+
+TEST(UnitsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(17), "17 B");
+  EXPECT_EQ(HumanBytes(KiB(1)), "1.00 KiB");
+  EXPECT_EQ(HumanBytes(MiB(1) + MiB(1) / 2), "1.50 MiB");
+  EXPECT_EQ(HumanBytes(GiB(3)), "3.00 GiB");
+}
+
+TEST(UnitsTest, DurationArithmetic) {
+  const SimDuration a = SimDuration::Micros(2);
+  const SimDuration b = SimDuration::Nanos(500);
+  EXPECT_EQ((a + b).ns, 2500);
+  EXPECT_EQ((a - b).ns, 1500);
+  EXPECT_EQ((b * 4).ns, 2000);
+  EXPECT_LT(b, a);
+}
+
+TEST(UnitsTest, TimePlusDuration) {
+  const SimTime t = SimTime{} + SimDuration::Millis(1);
+  EXPECT_EQ(t.ns, 1000000);
+  EXPECT_EQ((t - SimTime{}).ns, 1000000);
+}
+
+TEST(UnitsTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(SimDuration::Nanos(15)), "15 ns");
+  EXPECT_EQ(HumanDuration(SimDuration::Micros(12)), "12.000 us");
+  EXPECT_EQ(HumanDuration(SimDuration::Millis(3)), "3.000 ms");
+  EXPECT_EQ(HumanDuration(SimDuration::Seconds(2)), "2.000 s");
+}
+
+// --- Hash -----------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(HashTest, MixU64Bijective) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(MixU64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2), HashCombine(HashCombine(0, 2), 1));
+}
+
+// --- Strings ---------------------------------------------------------------------
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringsTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(12345678), "12,345,678");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, HasPrefix) {
+  EXPECT_TRUE(HasPrefix("memflow", "mem"));
+  EXPECT_FALSE(HasPrefix("mem", "memflow"));
+}
+
+// --- Table -----------------------------------------------------------------------
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| Name "), std::string::npos);
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = 0;
+  for (const auto line : SplitString(out, '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    if (width == 0) {
+      width = line.size();
+    }
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TableTest, RuleSeparatesSections) {
+  TextTable t({"x"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // header rule + top + bottom + the explicit one = 4 dashes lines
+  int rules = 0;
+  for (const auto line : SplitString(out, '\n')) {
+    if (!line.empty() && line[0] == '+') {
+      rules++;
+    }
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+}  // namespace
+}  // namespace memflow

@@ -1,0 +1,219 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the dataflow layer: DAG construction/validation, topological
+// ordering, and the TaskContext memory API.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataflow/context.h"
+#include "dataflow/job.h"
+#include "simhw/presets.h"
+
+namespace memflow::dataflow {
+namespace {
+
+TaskFn Nop() {
+  return [](TaskContext&) { return OkStatus(); };
+}
+
+// --- Job DAG ----------------------------------------------------------------------
+
+TEST(JobTest, EmptyJobInvalid) {
+  Job job("empty");
+  EXPECT_EQ(job.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, TaskWithoutBodyInvalid) {
+  Job job("nobody");
+  job.AddTask("t", {}, TaskFn{});
+  EXPECT_EQ(job.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, LinearChainValidates) {
+  Job job("chain");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+  EXPECT_TRUE(job.Validate().ok());
+  EXPECT_EQ(job.Sources(), std::vector<TaskId>{a});
+  EXPECT_EQ(job.Sinks(), std::vector<TaskId>{c});
+}
+
+TEST(JobTest, CycleDetected) {
+  Job job("cycle");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, a).ok());
+  EXPECT_EQ(job.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, SelfLoopRejected) {
+  Job job("self");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  EXPECT_EQ(job.Connect(a, a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, DuplicateEdgeRejected) {
+  Job job("dup");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  EXPECT_EQ(job.Connect(a, b).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(JobTest, UnknownTaskEdgeRejected) {
+  Job job("bad");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  EXPECT_EQ(job.Connect(a, TaskId(9)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, TopologicalOrderRespectsEdges) {
+  // Diamond: a -> {b, c} -> d.
+  Job job("diamond");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  const TaskId d = job.AddTask("d", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+  ASSERT_TRUE(job.Connect(b, d).ok());
+  ASSERT_TRUE(job.Connect(c, d).ok());
+  ASSERT_TRUE(job.Validate().ok());
+
+  const auto order = job.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  const auto pos = [&](TaskId t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(d));
+  EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(JobTest, PredecessorsAndSuccessorsTracked) {
+  Job job("g");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+  EXPECT_EQ(job.predecessors(c).size(), 2u);
+  EXPECT_EQ(job.successors(a), std::vector<TaskId>{c});
+}
+
+// --- TaskContext --------------------------------------------------------------------
+
+class TaskContextTest : public ::testing::Test {
+ protected:
+  TaskContextTest() : host_(simhw::MakeCxlExpansionHost()), mgr_(*host_.cluster) {}
+
+  TaskContext::Init BaseInit() {
+    TaskContext::Init init;
+    init.regions = &mgr_;
+    init.self = region::Principal{1, 1};
+    init.device = host_.cpu;
+    init.output_observer = host_.cpu;
+    init.rng_seed = 7;
+    return init;
+  }
+
+  simhw::CxlHostHandles host_;
+  region::RegionManager mgr_;
+};
+
+TEST_F(TaskContextTest, PrivateScratchIsLowLatencyFromOwnDevice) {
+  TaskContext ctx(BaseInit());
+  auto scratch = ctx.AllocatePrivateScratch(MiB(1));
+  ASSERT_TRUE(scratch.ok());
+  auto info = mgr_.Info(*scratch);
+  ASSERT_TRUE(info.ok());
+  auto view = host_.cluster->View(host_.cpu, info->device);
+  ASSERT_TRUE(view.ok());
+  EXPECT_LE(view->read_latency.ns, 300);
+  EXPECT_EQ(ctx.scratch_regions().size(), 1u);
+}
+
+TEST_F(TaskContextTest, OutputAllocatedForConsumer) {
+  // Consumer runs on the GPU: a large output lands on GPU-fast memory.
+  TaskContext::Init init = BaseInit();
+  init.output_observer = host_.gpu;
+  init.props.mem_latency = region::LatencyClass::kLow;
+  TaskContext ctx(std::move(init));
+  auto out = ctx.AllocateOutput(MiB(64));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(mgr_.Info(*out)->device, host_.gddr);
+}
+
+TEST_F(TaskContextTest, SingleOutputEnforced) {
+  TaskContext ctx(BaseInit());
+  ASSERT_TRUE(ctx.AllocateOutput(KiB(4)).ok());
+  EXPECT_EQ(ctx.AllocateOutput(KiB(4)).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TaskContextTest, ConfidentialTaskGetsConfidentialRegions) {
+  TaskContext::Init init = BaseInit();
+  init.props.confidential = true;
+  TaskContext ctx(std::move(init));
+  auto scratch = ctx.AllocatePrivateScratch(KiB(64));
+  ASSERT_TRUE(scratch.ok());
+  // Another job cannot open it.
+  EXPECT_EQ(mgr_.OpenSync(*scratch, region::Principal{2, 9}, host_.cpu).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(TaskContextTest, PersistentTaskOutputOnPersistentMedia) {
+  TaskContext::Init init = BaseInit();
+  init.props.persistent = true;
+  TaskContext ctx(std::move(init));
+  auto out = ctx.AllocateOutput(MiB(1));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(host_.cluster->memory(mgr_.Info(*out)->device).profile().persistent);
+}
+
+TEST_F(TaskContextTest, ChargeAccumulates) {
+  TaskContext ctx(BaseInit());
+  EXPECT_EQ(ctx.charged().ns, 0);
+  ctx.Charge(SimDuration::Micros(5));
+  ctx.ChargeCompute(1000.0);  // 1000 work units on a CPU ~ 1000 ns
+  EXPECT_GT(ctx.charged().ns, 5000);
+}
+
+TEST_F(TaskContextTest, ChargeComputeUsesDeviceSpeed) {
+  TaskContext::Init cpu_init = BaseInit();
+  cpu_init.props.parallel_fraction = 1.0;
+  TaskContext cpu_ctx(std::move(cpu_init));
+  cpu_ctx.ChargeCompute(1e6);
+
+  TaskContext::Init gpu_init = BaseInit();
+  gpu_init.device = host_.gpu;
+  gpu_init.props.parallel_fraction = 1.0;
+  TaskContext gpu_ctx(std::move(gpu_init));
+  gpu_ctx.ChargeCompute(1e6);
+
+  EXPECT_LT(gpu_ctx.charged().ns, cpu_ctx.charged().ns);
+}
+
+TEST_F(TaskContextTest, InputBytesSumsInputs) {
+  auto r1 = mgr_.AllocateOn(host_.dram, KiB(64), region::Properties{}, region::Principal{1, 1});
+  auto r2 = mgr_.AllocateOn(host_.dram, KiB(32), region::Properties{}, region::Principal{1, 1});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  TaskContext::Init init = BaseInit();
+  init.inputs = {*r1, *r2};
+  TaskContext ctx(std::move(init));
+  EXPECT_EQ(ctx.input_bytes(), KiB(96));
+}
+
+TEST_F(TaskContextTest, RngDeterministicPerSeed) {
+  TaskContext a(BaseInit());
+  TaskContext b(BaseInit());
+  EXPECT_EQ(a.rng().Next(), b.rng().Next());
+}
+
+}  // namespace
+}  // namespace memflow::dataflow

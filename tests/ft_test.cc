@@ -1,0 +1,533 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the fault-tolerance layer: GF(2^8) field axioms (property-swept),
+// Reed–Solomon encode/reconstruct under every loss pattern, and the
+// Carbink-style span store (packing, redundancy schemes, recovery,
+// compaction).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "ft/gf256.h"
+#include "ft/reed_solomon.h"
+#include "ft/span_store.h"
+#include "simhw/presets.h"
+
+namespace memflow::ft {
+namespace {
+
+// --- GF(256) field axioms -----------------------------------------------------
+
+TEST(Gf256Test, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GfMul(x, 1), x);
+    EXPECT_EQ(GfMul(x, 0), 0);
+  }
+}
+
+TEST(Gf256Test, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GfMul(x, GfInv(x)), 1) << a;
+    EXPECT_EQ(GfDiv(GfMul(x, 77), 77), x) << a;
+  }
+}
+
+TEST(Gf256Test, MultiplicationCommutesAndAssociates) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.Below(256));
+    const auto b = static_cast<std::uint8_t>(rng.Below(256));
+    const auto c = static_cast<std::uint8_t>(rng.Below(256));
+    EXPECT_EQ(GfMul(a, b), GfMul(b, a));
+    EXPECT_EQ(GfMul(GfMul(a, b), c), GfMul(a, GfMul(b, c)));
+  }
+}
+
+TEST(Gf256Test, DistributesOverAddition) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.Below(256));
+    const auto b = static_cast<std::uint8_t>(rng.Below(256));
+    const auto c = static_cast<std::uint8_t>(rng.Below(256));
+    EXPECT_EQ(GfMul(a, GfAdd(b, c)), GfAdd(GfMul(a, b), GfMul(a, c)));
+  }
+}
+
+TEST(Gf256Test, ExpGeneratesWholeField) {
+  std::set<std::uint8_t> seen;
+  for (int p = 0; p < 255; ++p) {
+    seen.insert(GfExp(p));
+  }
+  EXPECT_EQ(seen.size(), 255u);  // generator hits every nonzero element
+}
+
+TEST(Gf256Test, MulAccumMatchesScalar) {
+  Rng rng(7);
+  std::vector<std::uint8_t> src(97);
+  std::vector<std::uint8_t> dst(97);
+  for (auto& b : src) {
+    b = static_cast<std::uint8_t>(rng.Below(256));
+  }
+  for (auto& b : dst) {
+    b = static_cast<std::uint8_t>(rng.Below(256));
+  }
+  auto expected = dst;
+  const std::uint8_t coeff = 173;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expected[i] = GfAdd(expected[i], GfMul(src[i], coeff));
+  }
+  GfMulAccum(dst.data(), src.data(), coeff, src.size());
+  EXPECT_EQ(dst, expected);
+}
+
+// --- Matrix inversion -----------------------------------------------------------
+
+TEST(GfMatrixTest, InvertIdentity) {
+  std::vector<std::uint8_t> m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  ASSERT_TRUE(GfInvertMatrix(m, 3).ok());
+  EXPECT_EQ(m, (std::vector<std::uint8_t>{1, 0, 0, 0, 1, 0, 0, 0, 1}));
+}
+
+TEST(GfMatrixTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 4;
+    std::vector<std::uint8_t> m(16);
+    for (auto& b : m) {
+      b = static_cast<std::uint8_t>(rng.Below(256));
+    }
+    auto inv = m;
+    if (!GfInvertMatrix(inv, n).ok()) {
+      continue;  // singular random matrix; skip
+    }
+    // Multiply m * inv, expect identity.
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        std::uint8_t sum = 0;
+        for (int k = 0; k < n; ++k) {
+          sum = GfAdd(sum, GfMul(m[static_cast<std::size_t>(r * n + k)],
+                                 inv[static_cast<std::size_t>(k * n + c)]));
+        }
+        EXPECT_EQ(sum, r == c ? 1 : 0);
+      }
+    }
+  }
+}
+
+TEST(GfMatrixTest, SingularDetected) {
+  std::vector<std::uint8_t> m = {1, 2, 2, 4};  // row2 = 2*row1 in GF(256)
+  EXPECT_FALSE(GfInvertMatrix(m, 2).ok());
+}
+
+// --- Reed-Solomon ------------------------------------------------------------------
+
+struct RsParam {
+  int k;
+  int m;
+};
+
+class ReedSolomonParamTest : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonParamTest, SurvivesEveryLossPatternUpToM) {
+  const auto [k, m] = GetParam();
+  constexpr std::size_t kLen = 257;  // odd on purpose
+  ReedSolomon rs(k, m);
+
+  Rng rng(static_cast<std::uint64_t>(k * 100 + m));
+  std::vector<std::vector<std::uint8_t>> original(static_cast<std::size_t>(k + m),
+                                                  std::vector<std::uint8_t>(kLen));
+  for (int i = 0; i < k; ++i) {
+    for (auto& b : original[static_cast<std::size_t>(i)]) {
+      b = static_cast<std::uint8_t>(rng.Below(256));
+    }
+  }
+  std::vector<std::span<const std::uint8_t>> data;
+  std::vector<std::span<std::uint8_t>> parity;
+  for (int i = 0; i < k; ++i) {
+    data.emplace_back(original[static_cast<std::size_t>(i)]);
+  }
+  for (int j = 0; j < m; ++j) {
+    parity.emplace_back(original[static_cast<std::size_t>(k + j)]);
+  }
+  ASSERT_TRUE(rs.Encode(data, parity).ok());
+
+  // Erase every single shard, then random pairs up to m shards.
+  Rng pick(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int losses = 1 + static_cast<int>(pick.Below(static_cast<std::uint64_t>(m)));
+    std::vector<bool> present(static_cast<std::size_t>(k + m), true);
+    auto shards = original;
+    for (int l = 0; l < losses; ++l) {
+      const auto victim = static_cast<std::size_t>(pick.Below(static_cast<std::uint64_t>(k + m)));
+      present[victim] = false;
+      std::fill(shards[victim].begin(), shards[victim].end(), 0xEE);
+    }
+    ASSERT_TRUE(rs.Reconstruct(shards, present).ok());
+    for (int i = 0; i < k + m; ++i) {
+      EXPECT_EQ(shards[static_cast<std::size_t>(i)], original[static_cast<std::size_t>(i)])
+          << "shard " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(ReedSolomonParamTest, TooManyLossesDetected) {
+  const auto [k, m] = GetParam();
+  constexpr std::size_t kLen = 64;
+  ReedSolomon rs(k, m);
+  std::vector<std::vector<std::uint8_t>> shards(static_cast<std::size_t>(k + m),
+                                                std::vector<std::uint8_t>(kLen, 1));
+  std::vector<bool> present(static_cast<std::size_t>(k + m), true);
+  for (int i = 0; i <= m; ++i) {
+    present[static_cast<std::size_t>(i)] = false;  // m+1 losses
+  }
+  EXPECT_EQ(rs.Reconstruct(shards, present).code(), StatusCode::kDataLoss);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ReedSolomonParamTest,
+                         ::testing::Values(RsParam{2, 1}, RsParam{4, 2}, RsParam{8, 3},
+                                           RsParam{10, 4}, RsParam{3, 3}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "m" +
+                                  std::to_string(info.param.m);
+                         });
+
+TEST(ReedSolomonTest, NoLossIsNoOp) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::vector<std::uint8_t>> shards(6, std::vector<std::uint8_t>(32, 7));
+  std::vector<bool> present(6, true);
+  EXPECT_TRUE(rs.Reconstruct(shards, present).ok());
+}
+
+TEST(ReedSolomonTest, MismatchedShardCountRejected) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::vector<std::uint8_t>> shards(5, std::vector<std::uint8_t>(32));
+  std::vector<bool> present(5, true);
+  EXPECT_EQ(rs.Reconstruct(shards, present).code(), StatusCode::kInvalidArgument);
+}
+
+// --- SpanStore -----------------------------------------------------------------------
+
+class SpanStoreTest : public ::testing::TestWithParam<Redundancy> {
+ protected:
+  SpanStoreTest()
+      : handles_(simhw::MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 12})),
+        regions_(*handles_.cluster) {}
+
+  StoreOptions Options() {
+    StoreOptions o;
+    o.scheme = GetParam();
+    o.replicas = 3;
+    o.rs_data = 4;
+    o.rs_parity = 2;
+    o.span_bytes = 16 * kKiB;
+    return o;
+  }
+
+  std::vector<std::uint8_t> RandomBlob(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> blob(n);
+    for (auto& b : blob) {
+      b = static_cast<std::uint8_t>(rng.Below(256));
+    }
+    return blob;
+  }
+
+  simhw::DisaggHandles handles_;
+  region::RegionManager regions_;
+};
+
+TEST_P(SpanStoreTest, PutGetRoundTrip) {
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], Options());
+  const auto blob = RandomBlob(50000, 1);  // spans multiple spans
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Flush().ok());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(store.Get(*id, out).ok());
+  EXPECT_EQ(out, blob);
+}
+
+TEST_P(SpanStoreTest, ManySmallObjectsPackIntoSpans) {
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], Options());
+  std::vector<ObjectId> ids;
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (int i = 0; i < 50; ++i) {
+    blobs.push_back(RandomBlob(1000 + static_cast<std::size_t>(i) * 37, 100 + i));
+    auto id = store.Put(blobs.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.Get(ids[i], out).ok());
+    EXPECT_EQ(out, blobs[i]) << i;
+  }
+}
+
+TEST_P(SpanStoreTest, UnflushedObjectsReadableFromStaging) {
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], Options());
+  const auto blob = RandomBlob(100, 3);
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(store.Get(*id, out).ok());  // no Flush yet
+  EXPECT_EQ(out, blob);
+}
+
+TEST_P(SpanStoreTest, FootprintMatchesScheme) {
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], Options());
+  // Fill exactly 8 spans worth of data so EC groups are complete.
+  const auto blob = RandomBlob(8 * 16 * kKiB, 4);
+  ASSERT_TRUE(store.Put(blob).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  const StoreFootprint fp = store.footprint();
+  EXPECT_EQ(fp.user_bytes, blob.size());
+  switch (GetParam()) {
+    case Redundancy::kNone:
+      EXPECT_NEAR(fp.overhead(), 1.0, 0.05);
+      break;
+    case Redundancy::kReplication:
+      EXPECT_NEAR(fp.overhead(), 3.0, 0.1);
+      break;
+    case Redundancy::kErasureCoding:
+      EXPECT_NEAR(fp.overhead(), 1.5, 0.1);  // (4+2)/4
+      break;
+  }
+}
+
+TEST_P(SpanStoreTest, DeleteThenCompactReclaims) {
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], Options());
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto id = store.Put(RandomBlob(8 * kKiB, 200 + i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  const StoreFootprint before = store.footprint();
+
+  // Delete 3 of every 4 objects, keep the survivors' contents.
+  std::vector<std::pair<ObjectId, std::vector<std::uint8_t>>> keep;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 4 == 0) {
+      std::vector<std::uint8_t> blob;
+      ASSERT_TRUE(store.Get(ids[i], blob).ok());
+      keep.emplace_back(ids[i], std::move(blob));
+    } else {
+      ASSERT_TRUE(store.Delete(ids[i]).ok());
+    }
+  }
+  auto report = store.Compact();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->units_rewritten, 0);
+  EXPECT_GT(report->bytes_reclaimed, 0u);
+  const StoreFootprint after = store.footprint();
+  EXPECT_LT(after.raw_bytes, before.raw_bytes);
+
+  // Survivors still intact after compaction moved them.
+  for (const auto& [id, blob] : keep) {
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.Get(id, out).ok());
+    EXPECT_EQ(out, blob);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SpanStoreTest,
+                         ::testing::Values(Redundancy::kNone, Redundancy::kReplication,
+                                           Redundancy::kErasureCoding),
+                         [](const auto& info) {
+                           return std::string(RedundancyName(info.param)) == "erasure-coding"
+                                      ? "ec"
+                                      : std::string(RedundancyName(info.param));
+                         });
+
+// --- Failure / recovery ----------------------------------------------------------------
+
+class SpanStoreFailureTest : public ::testing::Test {
+ protected:
+  SpanStoreFailureTest()
+      : handles_(simhw::MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 12})),
+        regions_(*handles_.cluster) {}
+
+  simhw::DisaggHandles handles_;
+  region::RegionManager regions_;
+};
+
+std::vector<std::uint8_t> Blob(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> blob(n);
+  for (auto& b : blob) {
+    b = static_cast<std::uint8_t>(rng.Below(256));
+  }
+  return blob;
+}
+
+TEST_F(SpanStoreFailureTest, SingleCopyLosesDataOnCrash) {
+  StoreOptions o;
+  o.scheme = Redundancy::kNone;
+  o.span_bytes = 16 * kKiB;
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], o);
+  const auto blob = Blob(40000, 1);
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  // Crash the node hosting the first span (round-robin device 0).
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[0]).ok());
+  auto report = store.HandleDeviceFailure(handles_.far_mem[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->objects_lost, 1);
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(store.Get(*id, out).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SpanStoreFailureTest, ReplicationSurvivesCrashAndReprotects) {
+  StoreOptions o;
+  o.scheme = Redundancy::kReplication;
+  o.replicas = 3;
+  o.span_bytes = 16 * kKiB;
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], o);
+  const auto blob = Blob(60000, 2);
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[1]).ok());
+  auto report = store.HandleDeviceFailure(handles_.far_mem[1]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->objects_lost, 0);
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(store.Get(*id, out).ok());
+  EXPECT_EQ(out, blob);
+
+  // A second, different crash after re-protection must also be survivable.
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[2]).ok());
+  ASSERT_TRUE(store.HandleDeviceFailure(handles_.far_mem[2]).ok());
+  ASSERT_TRUE(store.Get(*id, out).ok());
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(SpanStoreFailureTest, ErasureCodingReconstructsOnDegradedRead) {
+  StoreOptions o;
+  o.scheme = Redundancy::kErasureCoding;
+  o.rs_data = 4;
+  o.rs_parity = 2;
+  o.span_bytes = 16 * kKiB;
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], o);
+  const auto blob = Blob(4 * 16 * kKiB, 3);  // one full spanset
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  // Crash a data-shard node but do NOT run recovery: Get must still work via
+  // on-the-fly reconstruction.
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[0]).ok());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(store.Get(*id, out).ok());
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(SpanStoreFailureTest, ErasureCodingRecoversUpToParityCount) {
+  StoreOptions o;
+  o.scheme = Redundancy::kErasureCoding;
+  o.rs_data = 4;
+  o.rs_parity = 2;
+  o.span_bytes = 16 * kKiB;
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], o);
+  const auto blob = Blob(4 * 16 * kKiB, 4);
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  // Two simultaneous node losses (== parity count).
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[0]).ok());
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[1]).ok());
+  auto r1 = store.HandleDeviceFailure(handles_.far_mem[0]);
+  auto r2 = store.HandleDeviceFailure(handles_.far_mem[1]);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->objects_lost + r2->objects_lost, 0);
+  EXPECT_GE(r1->spans_repaired + r2->spans_repaired, 2);
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(store.Get(*id, out).ok());
+  EXPECT_EQ(out, blob);
+
+  // And the data is re-protected: a third crash is still survivable.
+  ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[2]).ok());
+  ASSERT_TRUE(store.HandleDeviceFailure(handles_.far_mem[2]).ok());
+  ASSERT_TRUE(store.Get(*id, out).ok());
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(SpanStoreFailureTest, ErasureCodingBeyondParityLosesData) {
+  StoreOptions o;
+  o.scheme = Redundancy::kErasureCoding;
+  o.rs_data = 4;
+  o.rs_parity = 2;
+  o.span_bytes = 16 * kKiB;
+  SpanStore store(regions_, handles_.far_mem, handles_.cpus[0], o);
+  const auto blob = Blob(4 * 16 * kKiB, 5);
+  auto id = store.Put(blob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  // Three simultaneous losses (> m=2) without recovery in between.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(handles_.cluster->CrashNode(handles_.memory_node_ids[i]).ok());
+  }
+  auto report = store.HandleDeviceFailure(handles_.far_mem[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->objects_lost, 1);
+}
+
+TEST_F(SpanStoreFailureTest, ReplicationUsesMoreMemoryThanEc) {
+  // The Carbink trade-off: EC ~1.5x vs replication 3x footprint.
+  StoreOptions repl;
+  repl.scheme = Redundancy::kReplication;
+  repl.replicas = 3;
+  repl.span_bytes = 16 * kKiB;
+  StoreOptions ec;
+  ec.scheme = Redundancy::kErasureCoding;
+  ec.rs_data = 4;
+  ec.rs_parity = 2;
+  ec.span_bytes = 16 * kKiB;
+
+  SpanStore a(regions_, handles_.far_mem, handles_.cpus[0], repl);
+  SpanStore b(regions_, handles_.far_mem, handles_.cpus[0], ec);
+  const auto blob = Blob(4 * 16 * kKiB, 6);
+  ASSERT_TRUE(a.Put(blob).ok());
+  ASSERT_TRUE(b.Put(blob).ok());
+  ASSERT_TRUE(a.Flush().ok());
+  ASSERT_TRUE(b.Flush().ok());
+  EXPECT_GT(a.footprint().overhead(), b.footprint().overhead() * 1.7);
+}
+
+TEST_F(SpanStoreFailureTest, OffloadedParityKeepsClientPathCheap) {
+  StoreOptions offload;
+  offload.scheme = Redundancy::kErasureCoding;
+  offload.rs_data = 4;
+  offload.rs_parity = 2;
+  offload.span_bytes = 16 * kKiB;
+  offload.offload_parity = true;
+  StoreOptions inline_parity = offload;
+  inline_parity.offload_parity = false;
+
+  SpanStore a(regions_, handles_.far_mem, handles_.cpus[0], offload);
+  SpanStore b(regions_, handles_.far_mem, handles_.cpus[0], inline_parity);
+  const auto blob = Blob(8 * 16 * kKiB, 7);
+  ASSERT_TRUE(a.Put(blob).ok());
+  ASSERT_TRUE(a.Flush().ok());
+  ASSERT_TRUE(b.Put(blob).ok());
+  ASSERT_TRUE(b.Flush().ok());
+  EXPECT_LT(a.total_cost().ns, b.total_cost().ns);
+  EXPECT_GT(a.background_cost().ns, 0);
+}
+
+}  // namespace
+}  // namespace memflow::ft

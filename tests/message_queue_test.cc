@@ -1,0 +1,190 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for shared-memory message queues (§2.1's inter-task communication
+// pattern): FIFO discipline, wraparound, full/empty edges, cross-principal
+// producer/consumer, coherence enforcement, and use inside a dataflow job.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "region/message_queue.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow::region {
+namespace {
+
+constexpr Principal kProducer{3, 1};
+constexpr Principal kConsumer{3, 2};
+
+struct Msg {
+  std::uint64_t seq;
+  char payload[24];
+};
+
+class MessageQueueTest : public ::testing::Test {
+ protected:
+  MessageQueueTest() : host_(simhw::MakeCxlExpansionHost()), mgr_(*host_.cluster) {}
+
+  RegionId SharedRegion(std::uint64_t size, simhw::MemoryDeviceId device) {
+    auto id = mgr_.AllocateOn(device, size, Properties{}, kProducer);
+    MEMFLOW_CHECK(id.ok());
+    MEMFLOW_CHECK(mgr_.Share(*id, kProducer, kConsumer, host_.cpu).ok());
+    return *id;
+  }
+
+  simhw::CxlHostHandles host_;
+  RegionManager mgr_;
+};
+
+TEST_F(MessageQueueTest, FifoOrderAcrossPrincipals) {
+  const RegionId region = SharedRegion(KiB(4), host_.dram);
+  auto producer = MessageQueue::Create(mgr_, region, kProducer, host_.cpu, sizeof(Msg));
+  ASSERT_TRUE(producer.ok()) << producer.status().ToString();
+  auto consumer = MessageQueue::Open(mgr_, region, kConsumer, host_.cpu);
+  ASSERT_TRUE(consumer.ok());
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Msg m{i, {}};
+    std::snprintf(m.payload, sizeof(m.payload), "msg-%llu",
+                  static_cast<unsigned long long>(i));
+    ASSERT_TRUE(producer->Push(&m).ok());
+  }
+  EXPECT_EQ(*consumer->Size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Msg m{};
+    ASSERT_TRUE(consumer->Pop(&m).ok());
+    EXPECT_EQ(m.seq, i);
+    char expected[24];
+    std::snprintf(expected, sizeof(expected), "msg-%llu",
+                  static_cast<unsigned long long>(i));
+    EXPECT_STREQ(m.payload, expected);
+  }
+  Msg m{};
+  EXPECT_EQ(consumer->Pop(&m).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MessageQueueTest, WraparoundPreservesFifo) {
+  // Small queue, many interleaved push/pop cycles crossing the ring boundary.
+  const RegionId region = SharedRegion(64 + 4 * sizeof(Msg), host_.dram);
+  auto q = MessageQueue::Create(mgr_, region, kProducer, host_.cpu, sizeof(Msg));
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->capacity(), 4u);  // 3 usable slots
+
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    Msg in{next_push++, {}};
+    ASSERT_TRUE(q->Push(&in).ok()) << cycle;
+    if (cycle % 2 == 1) {
+      Msg a{};
+      Msg b{};
+      ASSERT_TRUE(q->Pop(&a).ok());
+      ASSERT_TRUE(q->Pop(&b).ok());
+      EXPECT_EQ(a.seq, next_pop++);
+      EXPECT_EQ(b.seq, next_pop++);
+    }
+  }
+}
+
+TEST_F(MessageQueueTest, FullQueueRejectsPush) {
+  const RegionId region = SharedRegion(64 + 4 * sizeof(Msg), host_.dram);
+  auto q = MessageQueue::Create(mgr_, region, kProducer, host_.cpu, sizeof(Msg));
+  ASSERT_TRUE(q.ok());
+  Msg m{0, {}};
+  ASSERT_TRUE(q->Push(&m).ok());
+  ASSERT_TRUE(q->Push(&m).ok());
+  ASSERT_TRUE(q->Push(&m).ok());  // capacity 4 -> 3 usable
+  EXPECT_EQ(q->Push(&m).status().code(), StatusCode::kResourceExhausted);
+  // Draining one makes room again.
+  Msg out{};
+  ASSERT_TRUE(q->Pop(&out).ok());
+  EXPECT_TRUE(q->Push(&m).ok());
+}
+
+TEST_F(MessageQueueTest, RefusedOnNonSyncMemory) {
+  // Far memory is not synchronously addressable, so a queue cannot live
+  // there (no coherent sharing either — allocate unshared).
+  auto region = mgr_.AllocateOn(host_.disagg, KiB(4), Properties{}, kProducer);
+  ASSERT_TRUE(region.ok());
+  auto q = MessageQueue::Create(mgr_, *region, kProducer, host_.cpu, sizeof(Msg));
+  EXPECT_EQ(q.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MessageQueueTest, OpenValidatesHeader) {
+  const RegionId region = SharedRegion(KiB(4), host_.dram);
+  // Never Create()d: garbage header.
+  auto q = MessageQueue::Open(mgr_, region, kConsumer, host_.cpu);
+  EXPECT_EQ(q.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MessageQueueTest, TooSmallRegionRejected) {
+  const RegionId region = SharedRegion(64 + sizeof(Msg), host_.dram);
+  auto q = MessageQueue::Create(mgr_, region, kProducer, host_.cpu, sizeof(Msg));
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MessageQueueTest, QueueTrafficIsCharged) {
+  const RegionId region = SharedRegion(KiB(4), host_.cxl_dram);  // farther = dearer
+  auto q = MessageQueue::Create(mgr_, region, kProducer, host_.cpu, sizeof(Msg));
+  ASSERT_TRUE(q.ok());
+  Msg m{1, {}};
+  auto push_cost = q->Push(&m);
+  ASSERT_TRUE(push_cost.ok());
+  EXPECT_GT(push_cost->ns, 0);
+
+  const RegionId near = SharedRegion(KiB(4), host_.dram);
+  auto nq = MessageQueue::Create(mgr_, near, kProducer, host_.cpu, sizeof(Msg));
+  ASSERT_TRUE(nq.ok());
+  auto near_cost = nq->Push(&m);
+  ASSERT_TRUE(near_cost.ok());
+  EXPECT_GT(push_cost->ns, near_cost->ns);  // CXL hop costs more than DRAM
+}
+
+TEST_F(MessageQueueTest, WorksAsInterTaskChannelInsideAJob) {
+  // Producer and consumer tasks communicate through a queue living in the
+  // job's Global State region — the Naiad pattern end to end.
+  rts::Runtime rt(*host_.cluster);
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);
+  dataflow::Job job("channel", jopts);
+
+  const auto p = job.AddTask("produce", {}, [](dataflow::TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(
+        MessageQueue q, MessageQueue::Create(ctx.regions(), ctx.global_state(), ctx.self(),
+                                             ctx.device(), sizeof(std::uint64_t)));
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      const std::uint64_t v = i * 11;
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, q.Push(&v));
+      ctx.Charge(cost);
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
+    (void)out;
+    return OkStatus();
+  });
+  const auto c = job.AddTask("consume", {}, [](dataflow::TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(MessageQueue q,
+                             MessageQueue::Open(ctx.regions(), ctx.global_state(),
+                                                ctx.self(), ctx.device()));
+    std::uint64_t sum = 0;
+    while (true) {
+      std::uint64_t v = 0;
+      auto cost = q.Pop(&v);
+      if (!cost.ok()) {
+        break;
+      }
+      ctx.Charge(*cost);
+      sum += v;
+    }
+    return sum == 11 * (1 + 2 + 3 + 4 + 5) ? OkStatus()
+                                           : Internal("channel lost messages");
+  });
+  ASSERT_TRUE(job.Connect(p, c).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+}
+
+}  // namespace
+}  // namespace memflow::region

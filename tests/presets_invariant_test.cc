@@ -1,0 +1,141 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Invariant sweep over every cluster preset: whatever topology we build, the
+// same structural guarantees must hold (reachability, coherence domains,
+// capacity accounting, fault/recovery round-trips).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "region/properties.h"
+#include "simhw/presets.h"
+
+namespace memflow::simhw {
+namespace {
+
+struct PresetCase {
+  const char* name;
+  std::function<std::unique_ptr<Cluster>()> make;
+};
+
+class PresetInvariantTest : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(PresetInvariantTest, EveryComputeReachesSomeAllocatableMemory) {
+  auto cluster = GetParam().make();
+  for (const ComputeDeviceId c : cluster->AllComputeDevices()) {
+    int reachable = 0;
+    for (const MemoryDeviceId m : cluster->AllMemoryDevices()) {
+      if (!cluster->memory(m).profile().allocatable) {
+        continue;
+      }
+      if (cluster->View(c, m).ok()) {
+        reachable++;
+      }
+    }
+    EXPECT_GE(reachable, 1) << cluster->compute(c).name();
+  }
+}
+
+TEST_P(PresetInvariantTest, ViewsAreSelfConsistent) {
+  auto cluster = GetParam().make();
+  for (const ComputeDeviceId c : cluster->AllComputeDevices()) {
+    for (const MemoryDeviceId m : cluster->AllMemoryDevices()) {
+      auto view = cluster->View(c, m);
+      if (!view.ok()) {
+        continue;
+      }
+      const MemoryDeviceProfile& profile = cluster->memory(m).profile();
+      // Effective figures can never beat the media itself.
+      EXPECT_GE(view->read_latency.ns, profile.read_latency.ns);
+      EXPECT_LE(view->read_bw_gbps, profile.read_bw_gbps + 1e-9);
+      // sync implies addressable implies a positive-latency path exists.
+      if (view->sync) {
+        EXPECT_TRUE(view->addressable);
+      }
+      if (view->coherent) {
+        EXPECT_TRUE(view->addressable);
+      }
+      // Costs behave: more bytes never cheaper; sequential never dearer.
+      EXPECT_LE(view->ReadCost(KiB(4), true).ns, view->ReadCost(KiB(64), true).ns);
+      EXPECT_LE(view->ReadCost(KiB(64), true).ns, view->ReadCost(KiB(64), false).ns);
+    }
+  }
+}
+
+TEST_P(PresetInvariantTest, PathsAreSymmetricInReachability) {
+  auto cluster = GetParam().make();
+  Topology& topo = cluster->topology();
+  const auto n = static_cast<std::uint32_t>(topo.num_vertices());
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      const bool ab = topo.Path(VertexId(a), VertexId(b)).ok();
+      const bool ba = topo.Path(VertexId(b), VertexId(a)).ok();
+      EXPECT_EQ(ab, ba) << topo.vertex_name(VertexId(a)) << " <-> "
+                        << topo.vertex_name(VertexId(b));
+    }
+  }
+}
+
+TEST_P(PresetInvariantTest, CrashRecoverRoundTripRestoresCapacity) {
+  auto cluster = GetParam().make();
+  const std::uint64_t capacity = cluster->TotalMemoryCapacity();
+  ASSERT_GT(capacity, 0u);
+  for (std::size_t n = 0; n < cluster->num_nodes(); ++n) {
+    const NodeId node(static_cast<std::uint32_t>(n));
+    ASSERT_TRUE(cluster->CrashNode(node).ok());
+    ASSERT_TRUE(cluster->RecoverNode(node).ok());
+  }
+  EXPECT_EQ(cluster->TotalMemoryCapacity(), capacity);
+  EXPECT_EQ(cluster->TotalMemoryUsed(), 0u);
+}
+
+TEST_P(PresetInvariantTest, AllocationAccountingBalances) {
+  auto cluster = GetParam().make();
+  std::vector<Extent> extents;
+  std::uint64_t total = 0;
+  for (const MemoryDeviceId m : cluster->AllMemoryDevices()) {
+    auto e = cluster->memory(m).Allocate(KiB(64));
+    if (e.ok()) {
+      extents.push_back(*e);
+      total += e->size;
+    }
+  }
+  EXPECT_EQ(cluster->TotalMemoryUsed(), total);
+  for (const Extent& e : extents) {
+    ASSERT_TRUE(cluster->memory(e.device).Free(e).ok());
+  }
+  EXPECT_EQ(cluster->TotalMemoryUsed(), 0u);
+}
+
+TEST_P(PresetInvariantTest, CoherentViewsFormConsistentDomains) {
+  // If C coherently reaches M, C must also be able to address M
+  // synchronously-or-not, and the path must exist in both directions (NUMA
+  // coherence is symmetric in our link model).
+  auto cluster = GetParam().make();
+  for (const ComputeDeviceId c : cluster->AllComputeDevices()) {
+    for (const MemoryDeviceId m : cluster->AllMemoryDevices()) {
+      auto view = cluster->View(c, m);
+      if (view.ok() && view->coherent) {
+        EXPECT_TRUE(view->addressable);
+        EXPECT_TRUE(cluster->topology()
+                        .Path(cluster->VertexOf(m), cluster->VertexOf(c))
+                        .ok());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, PresetInvariantTest,
+    ::testing::Values(
+        PresetCase{"rack", [] { return MakeComputeCentricRack({}); }},
+        PresetCase{"pool", [] { return MakeMemoryCentricPool({}); }},
+        PresetCase{"numa", [] { return std::move(MakeTwoSocketNuma().cluster); }},
+        PresetCase{"tiered", [] { return std::move(MakeTieredStorageHost().cluster); }},
+        PresetCase{"cxlhost", [] { return std::move(MakeCxlExpansionHost().cluster); }},
+        PresetCase{"disagg", [] { return std::move(MakeDisaggRack({}).cluster); }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace memflow::simhw

@@ -1,0 +1,305 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the multi-level profiler (Challenge 8, limitation 1) and the
+// AIFM-style swizzle cache.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "region/swizzle_cache.h"
+#include "rts/profiler.h"
+#include "simhw/presets.h"
+
+namespace memflow {
+namespace {
+
+using dataflow::TaskContext;
+using dataflow::TaskId;
+
+dataflow::TaskFn Worker(double work) {
+  return [work](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(KiB(64)));
+    (void)out;
+    ctx.ChargeCompute(work);
+    return OkStatus();
+  };
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() : host_(simhw::MakeCxlExpansionHost()), rt_(*host_.cluster) {}
+  simhw::CxlHostHandles host_;
+  rts::Runtime rt_;
+};
+
+TEST_F(ProfilerTest, CriticalPathOfDiamondIsHeavierBranch) {
+  // a -> {light, heavy} -> sink; the critical path must run through `heavy`.
+  dataflow::Job job("diamond");
+  const TaskId a = job.AddTask("a", {}, Worker(1e4));
+  const TaskId light = job.AddTask("light", {}, Worker(1e3));
+  const TaskId heavy = job.AddTask("heavy", {}, Worker(5e6));
+  const TaskId sink = job.AddTask("sink", {}, Worker(1e3));
+  ASSERT_TRUE(job.Connect(a, light).ok());
+  ASSERT_TRUE(job.Connect(a, heavy).ok());
+  ASSERT_TRUE(job.Connect(light, sink).ok());
+  ASSERT_TRUE(job.Connect(heavy, sink).ok());
+
+  auto report = rt_.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto profile = rts::ProfileJob(rt_, report->id);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+
+  EXPECT_TRUE(profile->tasks[a.value].on_critical_path);
+  EXPECT_TRUE(profile->tasks[heavy.value].on_critical_path);
+  EXPECT_FALSE(profile->tasks[light.value].on_critical_path);
+  EXPECT_TRUE(profile->tasks[sink.value].on_critical_path);
+  // Critical path <= makespan (queueing/handover delays only add on top),
+  // and total task time >= critical path.
+  EXPECT_LE(profile->critical_path.ns, profile->makespan.ns);
+  EXPECT_GE(profile->total_task_time.ns, profile->critical_path.ns);
+}
+
+TEST_F(ProfilerTest, ParallelEfficiencyReflectsOverlap) {
+  // Two independent heavy tasks: with >=2 devices, they overlap.
+  dataflow::Job job("par");
+  job.AddTask("t0", {}, Worker(1e6));
+  job.AddTask("t1", {}, Worker(1e6));
+  auto report = rt_.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto profile = rts::ProfileJob(rt_, report->id);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_GT(profile->parallel_efficiency, 0.0);
+  EXPECT_LE(profile->parallel_efficiency, 1.01);
+}
+
+TEST_F(ProfilerTest, QueueingSeparatedFromExecution) {
+  // Five independent CPU-only tasks on a device with 4 hardware queues: the
+  // fifth waits, and the profiler shows nonzero queueing for at least one.
+  dataflow::Job job("queue");
+  dataflow::TaskProperties cpu_only;
+  cpu_only.compute_device = simhw::ComputeDeviceKind::kCPU;
+  for (int i = 0; i < 5; ++i) {
+    job.AddTask("t" + std::to_string(i), cpu_only, Worker(1e6));
+  }
+  auto report = rt_.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto profile = rts::ProfileJob(rt_, report->id);
+  ASSERT_TRUE(profile.ok());
+  std::int64_t max_queueing = 0;
+  for (const auto& line : profile->tasks) {
+    max_queueing = std::max(max_queueing, line.queueing.ns);
+  }
+  EXPECT_GT(max_queueing, 0);
+}
+
+TEST_F(ProfilerTest, RenderContainsAllFourLevels) {
+  dataflow::Job job("render");
+  job.AddTask("only", {}, Worker(1e5));
+  auto report = rt_.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto profile = rts::ProfileJob(rt_, report->id);
+  ASSERT_TRUE(profile.ok());
+  const std::string text = rts::RenderProfile(rt_, *profile);
+  EXPECT_NE(text.find("level 0"), std::string::npos);
+  EXPECT_NE(text.find("level 1"), std::string::npos);
+  EXPECT_NE(text.find("level 2"), std::string::npos);
+  EXPECT_NE(text.find("level 3"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, FailedJobHasNoProfile) {
+  rts::RuntimeOptions options;
+  options.max_task_attempts = 1;
+  rts::Runtime rt(*host_.cluster, options);
+  dataflow::Job job("boom");
+  job.AddTask("fail", {}, [](TaskContext&) { return Internal("boom"); });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(rts::ProfileJob(rt, report->id).ok());
+}
+
+TEST_F(ProfilerTest, ChromeTraceExportsValidJson) {
+  dataflow::Job job("traced");
+  const TaskId a = job.AddTask("alpha", {}, Worker(1e5));
+  const TaskId b = job.AddTask("beta", {}, Worker(2e5));
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  auto report = rt_.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+
+  auto trace = rts::ExportChromeTrace(rt_, report->id);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  // Structural checks: both tasks present, device lanes named, well-formed
+  // bracket/braces balance (cheap JSON sanity without a parser).
+  EXPECT_NE(trace->find("\"alpha\""), std::string::npos);
+  EXPECT_NE(trace->find("\"beta\""), std::string::npos);
+  EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace->find("thread_name"), std::string::npos);
+  int depth = 0;
+  for (const char ch : *trace) {
+    if (ch == '{' || ch == '[') {
+      depth++;
+    }
+    if (ch == '}' || ch == ']') {
+      depth--;
+    }
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ProfilerTest, ChromeTraceRefusedForFailedJob) {
+  rts::RuntimeOptions options;
+  options.max_task_attempts = 1;
+  rts::Runtime rt(*host_.cluster, options);
+  dataflow::Job job("boom2");
+  job.AddTask("fail", {}, [](TaskContext&) { return Internal("boom"); });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(rts::ExportChromeTrace(rt, report->id).ok());
+}
+
+// --- SwizzleCache -----------------------------------------------------------------
+
+constexpr region::Principal kOwner{5, 1};
+
+class SwizzleCacheTest : public ::testing::Test {
+ protected:
+  SwizzleCacheTest() : host_(simhw::MakeCxlExpansionHost()), mgr_(*host_.cluster) {}
+
+  region::RegionId FarRegion(std::uint64_t size) {
+    auto id = mgr_.AllocateOn(host_.disagg, size, region::Properties{}, kOwner);
+    MEMFLOW_CHECK(id.ok());
+    return *id;
+  }
+
+  simhw::CxlHostHandles host_;
+  region::RegionManager mgr_;
+};
+
+TEST_F(SwizzleCacheTest, MissThenHit) {
+  const region::RegionId far = FarRegion(KiB(64));
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(16));
+  auto p1 = cache.PinRange(far, 0, 256);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  ASSERT_TRUE(cache.UnpinRange(far, 0, 256, false).ok());
+  auto p2 = cache.PinRange(far, 0, 256);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(*p1, *p2);  // same resident buffer
+  const SimDuration after_miss = cache.total_cost();
+  ASSERT_TRUE(cache.UnpinRange(far, 0, 256, false).ok());
+  EXPECT_EQ(cache.total_cost().ns, after_miss.ns);  // hit was free
+}
+
+TEST_F(SwizzleCacheTest, DirtyWriteBackPersists) {
+  const region::RegionId far = FarRegion(KiB(64));
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(16));
+  {
+    auto p = cache.PinRange(far, 128, 8);
+    ASSERT_TRUE(p.ok());
+    *static_cast<std::uint64_t*>(*p) = 0xabcdef0123456789ULL;
+    ASSERT_TRUE(cache.UnpinRange(far, 128, 8, /*dirty=*/true).ok());
+  }
+  ASSERT_TRUE(cache.Flush().ok());
+  // Read through the region directly: the write must have landed.
+  auto acc = mgr_.OpenAsync(far, kOwner, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  std::uint64_t v = 0;
+  acc->EnqueueRead(128, &v, 8);
+  ASSERT_TRUE(acc->Drain().ok());
+  EXPECT_EQ(v, 0xabcdef0123456789ULL);
+}
+
+TEST_F(SwizzleCacheTest, LruEvictionWritesBackDirtyVictims) {
+  const region::RegionId far = FarRegion(MiB(1));
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(8));
+  // Fill the cache with dirty 4 KiB entries; the third insert evicts the
+  // first (LRU), which must be written back.
+  for (int i = 0; i < 3; ++i) {
+    auto p = cache.PinRange(far, static_cast<std::uint64_t>(i) * KiB(4), KiB(4));
+    ASSERT_TRUE(p.ok());
+    std::memset(*p, 0x40 + i, KiB(4));
+    ASSERT_TRUE(
+        cache.UnpinRange(far, static_cast<std::uint64_t>(i) * KiB(4), KiB(4), true).ok());
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_GE(cache.stats().writebacks, 1u);
+  // Entry 0's bytes are on the device.
+  auto acc = mgr_.OpenAsync(far, kOwner, host_.cpu);
+  char buf[16];
+  acc->EnqueueRead(0, buf, 16);
+  ASSERT_TRUE(acc->Drain().ok());
+  EXPECT_EQ(buf[0], 0x40);
+}
+
+TEST_F(SwizzleCacheTest, PinnedEntriesAreNotEvictable) {
+  const region::RegionId far = FarRegion(MiB(1));
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(8));
+  ASSERT_TRUE(cache.PinRange(far, 0, KiB(4)).ok());
+  ASSERT_TRUE(cache.PinRange(far, KiB(4), KiB(4)).ok());  // cache now full, all pinned
+  auto p = cache.PinRange(far, KiB(8), KiB(4));
+  EXPECT_EQ(p.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SwizzleCacheTest, OversizedRangeRejected) {
+  const region::RegionId far = FarRegion(MiB(1));
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(4));
+  EXPECT_EQ(cache.PinRange(far, 0, KiB(8)).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SwizzleCacheTest, RemotePtrSwizzleRoundTrip) {
+  const region::RegionId far = FarRegion(KiB(64));
+  // Write a known value remotely first.
+  {
+    auto acc = mgr_.OpenAsync(far, kOwner, host_.cpu);
+    const double value = 2.71828;
+    acc->EnqueueWrite(3 * sizeof(double), &value, sizeof(double));
+    ASSERT_TRUE(acc->Drain().ok());
+  }
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(16));
+  auto ptr = region::RemotePtr<double>::Make(far, 3);
+  auto cost = cache.Pin(ptr);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(cost->ns, 0);  // first touch fetched from far memory
+  ASSERT_TRUE(ptr.swizzled());
+  EXPECT_DOUBLE_EQ(*ptr, 2.71828);
+  *ptr.raw() = 3.14159;  // mutate through the swizzled pointer
+  ASSERT_TRUE(cache.Unpin(ptr, far, 3, /*dirty=*/true).ok());
+  EXPECT_FALSE(ptr.swizzled());
+  EXPECT_EQ(ptr.region(), far);
+  ASSERT_TRUE(cache.Flush().ok());
+
+  auto acc = mgr_.OpenAsync(far, kOwner, host_.cpu);
+  double v = 0;
+  acc->EnqueueRead(3 * sizeof(double), &v, sizeof(double));
+  ASSERT_TRUE(acc->Drain().ok());
+  EXPECT_DOUBLE_EQ(v, 3.14159);
+}
+
+TEST_F(SwizzleCacheTest, UnpinWithoutPinRejected) {
+  const region::RegionId far = FarRegion(KiB(64));
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(16));
+  EXPECT_EQ(cache.UnpinRange(far, 0, 64, false).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SwizzleCacheTest, ConfidentialRegionsDecryptThroughCache) {
+  region::Properties props;
+  props.confidential = true;
+  auto id = mgr_.AllocateOn(host_.disagg, KiB(4), props, kOwner);
+  ASSERT_TRUE(id.ok());
+  {
+    auto acc = mgr_.OpenAsync(*id, kOwner, host_.cpu);
+    const char secret[] = "cache sees plaintext";
+    acc->EnqueueWrite(0, secret, sizeof(secret));
+    ASSERT_TRUE(acc->Drain().ok());
+  }
+  region::SwizzleCache cache(mgr_, host_.cpu, kOwner, KiB(16));
+  auto p = cache.PinRange(*id, 0, 32);
+  ASSERT_TRUE(p.ok());
+  EXPECT_STREQ(static_cast<const char*>(*p), "cache sees plaintext");
+}
+
+}  // namespace
+}  // namespace memflow

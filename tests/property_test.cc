@@ -1,0 +1,307 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Property-based tests: randomized sequences checked against reference
+// models and algebraic invariants. Everything is seeded and deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.h"
+#include "region/crypto.h"
+#include "region/region_manager.h"
+#include "region/remote_ptr.h"
+#include "simhw/device.h"
+#include "simhw/presets.h"
+
+namespace memflow {
+namespace {
+
+// --- Allocator vs reference model ------------------------------------------------
+
+struct AllocatorParam {
+  simhw::MemoryDeviceKind kind;
+  std::uint64_t seed;
+};
+
+class AllocatorModelTest : public ::testing::TestWithParam<AllocatorParam> {};
+
+TEST_P(AllocatorModelTest, RandomChurnKeepsInvariants) {
+  const auto [kind, seed] = GetParam();
+  const std::uint64_t capacity = MiB(4);
+  simhw::MemoryDevice dev(simhw::MemoryDeviceId(0), simhw::NodeId(0), "dut",
+                          simhw::DefaultProfile(kind), capacity);
+  Rng rng(seed);
+  std::map<std::uint64_t, simhw::Extent> live;  // by offset
+  std::uint64_t used_model = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || rng.Chance(0.55);
+    if (do_alloc) {
+      const std::uint64_t size = 1 + rng.Below(KiB(64));
+      auto extent = dev.Allocate(size);
+      if (!extent.ok()) {
+        EXPECT_EQ(extent.status().code(), StatusCode::kResourceExhausted);
+        continue;
+      }
+      // Invariant: extent respects granularity and bounds.
+      EXPECT_EQ(extent->offset % dev.profile().granularity, 0u);
+      EXPECT_EQ(extent->size % dev.profile().granularity, 0u);
+      EXPECT_GE(extent->size, size);
+      EXPECT_LE(extent->offset + extent->size, capacity);
+      // Invariant: no overlap with any live extent.
+      for (const auto& [off, e] : live) {
+        const bool disjoint =
+            extent->offset + extent->size <= off || off + e.size <= extent->offset;
+        EXPECT_TRUE(disjoint) << "overlap at step " << step;
+      }
+      used_model += extent->size;
+      live.emplace(extent->offset, *extent);
+    } else {
+      // Free a pseudo-random live extent.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      ASSERT_TRUE(dev.Free(it->second).ok());
+      used_model -= it->second.size;
+      live.erase(it);
+    }
+    EXPECT_EQ(dev.used(), used_model);
+  }
+
+  // Free everything: the arena must coalesce back to one run.
+  for (const auto& [off, e] : live) {
+    ASSERT_TRUE(dev.Free(e).ok());
+  }
+  auto whole = dev.Allocate(capacity);
+  EXPECT_TRUE(whole.ok()) << "fragmentation after full free";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllocatorModelTest,
+    ::testing::Values(AllocatorParam{simhw::MemoryDeviceKind::kDRAM, 1},
+                      AllocatorParam{simhw::MemoryDeviceKind::kPMem, 2},
+                      AllocatorParam{simhw::MemoryDeviceKind::kSSD, 3},
+                      AllocatorParam{simhw::MemoryDeviceKind::kDRAM, 99}),
+    [](const auto& info) {
+      return std::string(MemoryDeviceKindName(info.param.kind)) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// --- Accessor round-trip fuzz vs shadow buffer -------------------------------------
+
+class AccessorFuzzTest : public ::testing::TestWithParam<bool> {};  // confidential?
+
+TEST_P(AccessorFuzzTest, RandomReadsWritesMatchShadow) {
+  const bool confidential = GetParam();
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  region::RegionManager mgr(*host.cluster);
+  constexpr region::Principal kOwner{11, 1};
+  constexpr std::uint64_t kSize = KiB(64);
+
+  region::Properties props;
+  props.confidential = confidential;
+  auto id = mgr.AllocateOn(host.dram, kSize, props, kOwner);
+  ASSERT_TRUE(id.ok());
+  auto acc = mgr.OpenSync(*id, kOwner, host.cpu);
+  ASSERT_TRUE(acc.ok());
+
+  // Initialize: an untouched *confidential* region reads back keystream
+  // noise, not zeros (decrypt of the zeroed backing store) — uninitialized
+  // contents are unspecified, as documented. Write zeros first.
+  std::vector<unsigned char> shadow(kSize, 0);
+  ASSERT_TRUE(acc->Write(0, shadow.data(), kSize).ok());
+  Rng rng(confidential ? 7 : 8);
+  for (int step = 0; step < 1500; ++step) {
+    const std::uint64_t offset = rng.Below(kSize);
+    const std::uint64_t len = 1 + rng.Below(std::min<std::uint64_t>(kSize - offset, 777));
+    if (rng.Chance(0.5)) {
+      std::vector<unsigned char> data(len);
+      for (auto& b : data) {
+        b = static_cast<unsigned char>(rng.Below(256));
+      }
+      ASSERT_TRUE(acc->Write(offset, data.data(), len).ok());
+      std::memcpy(shadow.data() + offset, data.data(), len);
+    } else {
+      std::vector<unsigned char> got(len);
+      ASSERT_TRUE(acc->Read(offset, got.data(), len).ok());
+      EXPECT_EQ(std::memcmp(got.data(), shadow.data() + offset, len), 0)
+          << "mismatch at step " << step << " offset " << offset << " len " << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainAndConfidential, AccessorFuzzTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "confidential" : "plain";
+                         });
+
+// --- Crypto keystream properties ----------------------------------------------------
+
+TEST(CryptoPropertyTest, RandomRangesComposable) {
+  // Encrypting a whole buffer equals encrypting any partition of it.
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t key = rng.Next() | 1;
+    const std::size_t len = 1 + rng.Below(512);
+    const std::uint64_t base = rng.Below(1 << 20);
+    std::vector<unsigned char> whole(len);
+    for (auto& b : whole) {
+      b = static_cast<unsigned char>(rng.Below(256));
+    }
+    auto parts = whole;
+    region::ApplyKeystream(key, base, whole.data(), len);
+    // Split at a random point and encrypt the halves independently.
+    const std::size_t cut = rng.Below(len + 1);
+    region::ApplyKeystream(key, base, parts.data(), cut);
+    region::ApplyKeystream(key, base + cut, parts.data() + cut, len - cut);
+    EXPECT_EQ(whole, parts) << "trial " << trial;
+  }
+}
+
+TEST(CryptoPropertyTest, CiphertextLooksUniform) {
+  // Chi-squared-lite: encrypt zeros, expect byte histogram roughly flat.
+  std::vector<unsigned char> buf(1 << 16, 0);
+  region::ApplyKeystream(0xfeedULL, 0, buf.data(), buf.size());
+  std::vector<int> hist(256, 0);
+  for (const unsigned char b : buf) {
+    hist[b]++;
+  }
+  const double expect = static_cast<double>(buf.size()) / 256.0;
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_NEAR(hist[v], expect, expect * 0.5) << "byte " << v;
+  }
+}
+
+// --- RemotePtr bit-packing fuzz -----------------------------------------------------
+
+TEST(RemotePtrPropertyTest, PackUnpackLossless) {
+  Rng rng(33);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto region = region::RegionId(
+        static_cast<std::uint32_t>(rng.Below(region::kRemotePtrMaxRegion + 1)));
+    const std::uint64_t offset = rng.Below(region::kRemotePtrMaxOffset + 1);
+    auto p = region::RemotePtr<int>::Make(region, offset);
+    const int touches = static_cast<int>(rng.Below(40));
+    for (int i = 0; i < touches; ++i) {
+      p.Touch();
+    }
+    EXPECT_EQ(p.region(), region);
+    EXPECT_EQ(p.offset(), offset);
+    EXPECT_EQ(p.hotness(), touches);
+    EXPECT_FALSE(p.swizzled());
+  }
+}
+
+// --- Cost model algebraic properties -------------------------------------------------
+
+TEST(CostPropertyTest, UseCostMonotoneInSize) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  const region::AccessHint hint{0.5, 0.5, 1.0};
+  for (const simhw::MemoryDeviceId dev : host.cluster->AllMemoryDevices()) {
+    auto view = host.cluster->View(host.cpu, dev);
+    ASSERT_TRUE(view.ok());
+    std::int64_t prev = 0;
+    for (std::uint64_t size = KiB(4); size <= MiB(4); size *= 4) {
+      const std::int64_t cost = ExpectedUseCost(*view, size, hint).ns;
+      EXPECT_GE(cost, prev) << host.cluster->memory(dev).name();
+      prev = cost;
+    }
+  }
+}
+
+TEST(CostPropertyTest, RelaxingPropertiesNeverShrinksCandidateSet) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  region::RegionManager mgr(*host.cluster);
+  region::RegionManager::AllocRequest request;
+  request.size = MiB(1);
+  request.observer = host.cpu;
+  request.owner = region::Principal{12, 1};
+
+  region::Properties strict;
+  strict.latency = region::LatencyClass::kLow;
+  strict.sync = true;
+  strict.coherent = true;
+  region::Properties relaxed_latency = strict;
+  relaxed_latency.latency = region::LatencyClass::kMedium;
+  region::Properties relaxed_all;
+
+  const auto n_strict = mgr.RankDevices(request, strict).size();
+  const auto n_latency = mgr.RankDevices(request, relaxed_latency).size();
+  const auto n_all = mgr.RankDevices(request, relaxed_all).size();
+  EXPECT_LE(n_strict, n_latency);
+  EXPECT_LE(n_latency, n_all);
+  EXPECT_GE(n_all, 5u);
+}
+
+TEST(CostPropertyTest, ViewCostsScaleWithPathDistance) {
+  // For every pair of devices on the same medium, the farther observer pays
+  // at least as much per access.
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  auto near = host.cluster->View(host.cpu, host.dram);
+  auto far = host.cluster->View(host.gpu, host.dram);
+  ASSERT_TRUE(near.ok() && far.ok());
+  for (const std::uint64_t bytes : {std::uint64_t{64}, KiB(4), KiB(64), MiB(1)}) {
+    EXPECT_LE(near->ReadCost(bytes, true).ns, far->ReadCost(bytes, true).ns);
+    EXPECT_LE(near->ReadCost(bytes, false).ns, far->ReadCost(bytes, false).ns);
+  }
+}
+
+// --- Ownership state machine fuzz -----------------------------------------------------
+
+TEST(OwnershipPropertyTest, RandomLifecyclesNeverLeak) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  region::RegionManager mgr(*host.cluster);
+  Rng rng(55);
+  const region::Principal owners[] = {{1, 1}, {1, 2}, {1, 3}};
+
+  for (int round = 0; round < 60; ++round) {
+    // Allocate a handful of regions with random owners.
+    std::vector<std::pair<region::RegionId, region::Principal>> live;
+    for (int i = 0; i < 8; ++i) {
+      region::RegionManager::AllocRequest request;
+      request.size = KiB(4) << rng.Below(4);
+      request.observer = rng.Chance(0.5) ? host.cpu : host.gpu;
+      request.owner = owners[rng.Below(3)];
+      auto id = mgr.Allocate(request);
+      ASSERT_TRUE(id.ok());
+      live.push_back({*id, request.owner});
+    }
+    // Random transfers/shares/migrations, then release everything.
+    for (int step = 0; step < 24; ++step) {
+      auto& [id, owner] = live[rng.Below(live.size())];
+      const auto info = mgr.Info(id);
+      if (!info.ok()) {
+        continue;
+      }
+      switch (rng.Below(3)) {
+        case 0: {
+          const region::Principal to = owners[rng.Below(3)];
+          auto cost = mgr.Transfer(id, owner, to, host.cpu);
+          if (cost.ok()) {
+            owner = to;
+          }
+          break;
+        }
+        case 1:
+          (void)mgr.Share(id, owner, owners[rng.Below(3)], host.cpu,
+                          /*require_coherent=*/false);
+          break;
+        default:
+          (void)mgr.Migrate(id, rng.Chance(0.5) ? host.cxl_dram : host.dram);
+          break;
+      }
+    }
+    for (auto& [id, owner] : live) {
+      (void)mgr.ForceFree(id);
+    }
+    EXPECT_TRUE(mgr.LiveRegions().empty()) << "leak in round " << round;
+    // All devices drained.
+    for (const simhw::MemoryDeviceId dev : host.cluster->AllMemoryDevices()) {
+      EXPECT_EQ(host.cluster->memory(dev).used(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memflow

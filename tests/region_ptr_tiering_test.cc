@@ -1,0 +1,182 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for remotable tagged pointers (swizzling, hotness tags) and the
+// hotness-driven tiering daemon.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "region/region_manager.h"
+#include "region/remote_ptr.h"
+#include "region/tiering.h"
+#include "simhw/presets.h"
+
+namespace memflow::region {
+namespace {
+
+constexpr Principal kOwner{1, 1};
+
+// --- RemotePtr ------------------------------------------------------------------
+
+TEST(RemotePtrTest, PacksRegionAndOffset) {
+  const auto p = RemotePtr<double>::Make(RegionId(12345), 678);
+  EXPECT_FALSE(p.swizzled());
+  EXPECT_EQ(p.region().value, 12345u);
+  EXPECT_EQ(p.offset(), 678u);
+  EXPECT_EQ(p.byte_offset(), 678 * sizeof(double));
+  EXPECT_EQ(p.hotness(), 0);
+}
+
+TEST(RemotePtrTest, IsOneMachineWord) {
+  EXPECT_EQ(sizeof(RemotePtr<int>), 8u);
+}
+
+TEST(RemotePtrTest, TouchSaturates) {
+  auto p = RemotePtr<int>::Make(RegionId(1), 0);
+  for (int i = 0; i < 40000; ++i) {
+    p.Touch();
+  }
+  EXPECT_EQ(p.hotness(), kRemotePtrMaxHotness);
+  // Address bits untouched by the tag.
+  EXPECT_EQ(p.region().value, 1u);
+  EXPECT_EQ(p.offset(), 0u);
+}
+
+TEST(RemotePtrTest, CoolHalves) {
+  auto p = RemotePtr<int>::Make(RegionId(1), 0);
+  for (int i = 0; i < 100; ++i) {
+    p.Touch();
+  }
+  p.Cool();
+  EXPECT_EQ(p.hotness(), 50);
+}
+
+TEST(RemotePtrTest, SwizzleRoundTrip) {
+  int local = 99;
+  auto p = RemotePtr<int>::Make(RegionId(7), 3);
+  p.Touch();
+  p.Touch();
+  p.Swizzle(&local);
+  ASSERT_TRUE(p.swizzled());
+  EXPECT_EQ(p.raw(), &local);
+  EXPECT_EQ(*p, 99);
+  EXPECT_EQ(p.hotness(), 2);  // tag survives swizzling
+
+  p.Unswizzle(RegionId(7), 3);
+  EXPECT_FALSE(p.swizzled());
+  EXPECT_EQ(p.region().value, 7u);
+  EXPECT_EQ(p.offset(), 3u);
+  EXPECT_EQ(p.hotness(), 2);
+}
+
+// --- Tiering ---------------------------------------------------------------------
+
+class TieringTest : public ::testing::Test {
+ protected:
+  TieringTest() : host_(simhw::MakeCxlExpansionHost()), mgr_(*host_.cluster) {}
+
+  RegionId AllocOn(simhw::MemoryDeviceId dev, std::uint64_t size) {
+    auto id = mgr_.AllocateOn(dev, size, Properties{}, kOwner);
+    MEMFLOW_CHECK(id.ok());
+    return *id;
+  }
+
+  void Touch(RegionId id, int times) {
+    auto acc = mgr_.OpenAsync(id, kOwner, host_.cpu);
+    MEMFLOW_CHECK(acc.ok());
+    std::vector<char> buf(KiB(64));
+    for (int i = 0; i < times; ++i) {
+      acc->EnqueueRead(0, buf.data(), buf.size());
+    }
+    MEMFLOW_CHECK(acc->Drain().ok());
+  }
+
+  simhw::CxlHostHandles host_;
+  RegionManager mgr_;
+};
+
+TEST_F(TieringTest, HotRegionOnSlowTierGetsPromoted) {
+  const RegionId hot = AllocOn(host_.cxl_dram, MiB(1));
+  Touch(hot, 200);
+
+  TieringDaemon daemon(mgr_, host_.cpu);
+  const TieringReport report = daemon.RunEpoch();
+  EXPECT_GE(report.promoted, 1);
+  auto info = mgr_.Info(hot);
+  ASSERT_TRUE(info.ok());
+  // Promoted to something faster than the CXL expander from the CPU.
+  auto old_view = host_.cluster->View(host_.cpu, host_.cxl_dram);
+  auto new_view = host_.cluster->View(host_.cpu, info->device);
+  ASSERT_TRUE(old_view.ok() && new_view.ok());
+  EXPECT_LT(new_view->read_latency.ns, old_view->read_latency.ns);
+}
+
+TEST_F(TieringTest, ColdRegionStaysPutWhenNoPressure) {
+  const RegionId cold = AllocOn(host_.cxl_dram, MiB(1));
+  TieringDaemon daemon(mgr_, host_.cpu);
+  daemon.RunEpoch();
+  EXPECT_EQ(mgr_.Info(cold)->device, host_.cxl_dram);
+}
+
+TEST_F(TieringTest, ColdRegionDemotedUnderPressure) {
+  // Fill DRAM past the high watermark with cold regions.
+  std::vector<RegionId> filler;
+  const std::uint64_t cap = host_.cluster->memory(host_.dram).capacity();
+  while (host_.cluster->memory(host_.dram).utilization() < 0.95) {
+    filler.push_back(AllocOn(host_.dram, cap / 32));
+  }
+  TieringConfig config;
+  config.epoch_budget_bytes = cap;  // plenty of budget
+  TieringDaemon daemon(mgr_, host_.cpu, config);
+  const TieringReport report = daemon.RunEpoch();
+  EXPECT_GE(report.demoted, 1);
+  EXPECT_LT(host_.cluster->memory(host_.dram).utilization(), 0.95);
+}
+
+TEST_F(TieringTest, BudgetBoundsMovement) {
+  const RegionId hot1 = AllocOn(host_.cxl_dram, MiB(8));
+  const RegionId hot2 = AllocOn(host_.cxl_dram, MiB(8));
+  Touch(hot1, 300);
+  Touch(hot2, 300);
+  TieringConfig config;
+  config.epoch_budget_bytes = MiB(8);  // room for only one
+  TieringDaemon daemon(mgr_, host_.cpu, config);
+  const TieringReport report = daemon.RunEpoch();
+  EXPECT_EQ(report.promoted, 1);
+  EXPECT_LE(report.bytes_moved, MiB(8));
+}
+
+TEST_F(TieringTest, EpochDecaysHotness) {
+  const RegionId r = AllocOn(host_.dram, KiB(64));
+  Touch(r, 50);
+  const std::uint64_t before = mgr_.Info(r)->hotness;
+  ASSERT_GT(before, 0u);
+  TieringDaemon daemon(mgr_, host_.cpu);
+  daemon.RunEpoch();
+  EXPECT_LT(mgr_.Info(r)->hotness, before);
+}
+
+TEST_F(TieringTest, SkewedWorkloadConvergesHotToFastTier) {
+  // 8 regions on the CXL expander, Zipf-accessed; after a few epochs the
+  // hottest ranks should live on faster media than the coldest.
+  std::vector<RegionId> regions;
+  for (int i = 0; i < 8; ++i) {
+    regions.push_back(AllocOn(host_.cxl_dram, MiB(2)));
+  }
+  Rng rng(1234);
+  ZipfGenerator zipf(8, 1.2);
+  TieringDaemon daemon(mgr_, host_.cpu);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int i = 0; i < 400; ++i) {
+      Touch(regions[zipf.Sample(rng)], 1);
+    }
+    daemon.RunEpoch();
+  }
+  auto hottest = host_.cluster->View(host_.cpu, mgr_.Info(regions[0])->device);
+  auto coldest = host_.cluster->View(host_.cpu, mgr_.Info(regions[7])->device);
+  ASSERT_TRUE(hottest.ok() && coldest.ok());
+  EXPECT_LE(hottest->read_latency.ns, coldest->read_latency.ns);
+}
+
+}  // namespace
+}  // namespace memflow::region

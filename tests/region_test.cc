@@ -1,0 +1,485 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the Memory Region abstraction: declarative property matching,
+// observer-relative allocation (Figure 3), the ownership state machine and
+// zero-copy transfer (Figure 4), confidentiality enforcement, and the
+// sync/async access interfaces (§2.2(3)).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "region/crypto.h"
+#include "region/properties.h"
+#include "region/region_manager.h"
+#include "simhw/presets.h"
+
+namespace memflow::region {
+namespace {
+
+using simhw::CxlHostHandles;
+using simhw::MakeCxlExpansionHost;
+
+constexpr Principal kAlice{1, 10};   // job 1
+constexpr Principal kBob{1, 11};     // job 1, different task
+constexpr Principal kMallory{2, 20};  // a different job
+
+class RegionManagerTest : public ::testing::Test {
+ protected:
+  RegionManagerTest() : host_(MakeCxlExpansionHost()), mgr_(*host_.cluster) {}
+
+  RegionManager::AllocRequest Request(std::uint64_t size, Properties props,
+                                      simhw::ComputeDeviceId observer,
+                                      Principal owner = kAlice) {
+    RegionManager::AllocRequest r;
+    r.size = size;
+    r.props = props;
+    r.observer = observer;
+    r.owner = owner;
+    return r;
+  }
+
+  CxlHostHandles host_;
+  RegionManager mgr_;
+};
+
+// --- Properties / matching -----------------------------------------------------
+
+TEST_F(RegionManagerTest, Table2BundlesHaveDeclaredShape) {
+  const Properties ps = Properties::PrivateScratch();
+  EXPECT_TRUE(ps.sync);
+  EXPECT_FALSE(ps.coherent);  // noncoherent per Table 2
+  EXPECT_EQ(ps.latency, LatencyClass::kLow);
+
+  const Properties gs = Properties::GlobalState();
+  EXPECT_TRUE(gs.sync);
+  EXPECT_TRUE(gs.coherent);
+
+  const Properties gsc = Properties::GlobalScratch();
+  EXPECT_FALSE(gsc.sync);  // async interface
+  EXPECT_TRUE(gsc.coherent);
+}
+
+TEST_F(RegionManagerTest, SatisfiesRespectsEveryAxis) {
+  auto dram = host_.cluster->View(host_.cpu, host_.dram);
+  ASSERT_TRUE(dram.ok());
+  Properties p;
+  EXPECT_TRUE(Satisfies(*dram, p));
+  p.persistent = true;
+  EXPECT_FALSE(Satisfies(*dram, p));  // DRAM is volatile
+
+  auto pmem = host_.cluster->View(host_.cpu, host_.pmem);
+  ASSERT_TRUE(pmem.ok());
+  EXPECT_TRUE(Satisfies(*pmem, p));
+
+  p.latency = LatencyClass::kLow;
+  EXPECT_FALSE(Satisfies(*pmem, p));  // PMem read ~350ns > 300ns ceiling
+
+  auto far = host_.cluster->View(host_.cpu, host_.disagg);
+  ASSERT_TRUE(far.ok());
+  Properties sync_req;
+  sync_req.sync = true;
+  EXPECT_FALSE(Satisfies(*far, sync_req));  // NIC memory is async-only
+}
+
+// --- Figure 3: allocation is observer-relative ---------------------------------
+
+TEST_F(RegionManagerTest, FastScratchResolvesToDramForCpu) {
+  auto id = mgr_.Allocate(Request(MiB(1), Properties::PrivateScratch(), host_.cpu));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto info = mgr_.Info(*id);
+  ASSERT_TRUE(info.ok());
+  // From the CPU, with a 1 MiB streaming hint, socket memory wins. Cache is
+  // tiny but legal; accept cache/HBM/DRAM, reject GDDR and anything far.
+  EXPECT_TRUE(info->device == host_.dram || info->device == host_.hbm ||
+              info->device == host_.cache)
+      << host_.cluster->memory(info->device).name();
+}
+
+TEST_F(RegionManagerTest, FastScratchResolvesToGddrForGpu) {
+  // Exhaust nothing; just ask for a GPU-observed low-latency region too big
+  // for the LLC.
+  auto id = mgr_.Allocate(Request(MiB(64), Properties::PrivateScratch(), host_.gpu));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto info = mgr_.Info(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->device, host_.gddr) << host_.cluster->memory(info->device).name();
+}
+
+TEST_F(RegionManagerTest, PersistentRequestLandsOnPersistentMedia) {
+  Properties p;
+  p.persistent = true;
+  auto id = mgr_.Allocate(Request(MiB(1), p, host_.cpu));
+  ASSERT_TRUE(id.ok());
+  auto info = mgr_.Info(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(host_.cluster->memory(info->device).profile().persistent);
+}
+
+TEST_F(RegionManagerTest, ImpossibleRequestIsRejected) {
+  Properties p;
+  p.persistent = true;
+  p.latency = LatencyClass::kLow;  // no persistent device is that fast
+  auto id = mgr_.Allocate(Request(MiB(1), p, host_.cpu));
+  EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(mgr_.stats().failed_allocations, 1u);
+}
+
+TEST_F(RegionManagerTest, LatencyRelaxSpillsToSlowerTier) {
+  PlacementConfig config;
+  config.allow_latency_relax = true;
+  RegionManager relaxed(*host_.cluster, config);
+  Properties p;
+  p.persistent = true;
+  p.latency = LatencyClass::kLow;
+  auto id = relaxed.Allocate(Request(MiB(1), p, host_.cpu));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto info = relaxed.Info(*id);
+  EXPECT_TRUE(host_.cluster->memory(info->device).profile().persistent);
+}
+
+TEST_F(RegionManagerTest, PressureSpreadsAllocations) {
+  // Fill DRAM close to full; new allocations must go elsewhere.
+  Properties any;
+  std::vector<RegionId> hold;
+  while (host_.cluster->memory(host_.dram).free_bytes() > MiB(256)) {
+    auto id = mgr_.AllocateOn(host_.dram, MiB(512), any, kAlice);
+    ASSERT_TRUE(id.ok());
+    hold.push_back(*id);
+  }
+  auto id = mgr_.Allocate(Request(MiB(512), Properties::PrivateScratch(), host_.cpu));
+  ASSERT_TRUE(id.ok());
+  auto info = mgr_.Info(*id);
+  EXPECT_NE(info->device, host_.dram);
+}
+
+// --- Ownership (Figure 4) --------------------------------------------------------
+
+TEST_F(RegionManagerTest, ExclusiveOwnerIsEnforced) {
+  auto id = mgr_.Allocate(Request(KiB(64), Properties::PrivateScratch(), host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  // Bob cannot open, free, or transfer Alice's region.
+  EXPECT_EQ(mgr_.OpenSync(*id, kBob, host_.cpu).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mgr_.Free(*id, kBob).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mgr_.Transfer(*id, kBob, kAlice, host_.cpu).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RegionManagerTest, TransferIsZeroCopyWhenPropertiesStillHold) {
+  auto id = mgr_.Allocate(Request(MiB(1), Properties{}, host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  auto cost = mgr_.Transfer(*id, kAlice, kBob, host_.cpu);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->ns, 0);
+  EXPECT_EQ(mgr_.stats().zero_copy_transfers, 1u);
+  // Ownership moved: Alice is locked out, Bob is in.
+  EXPECT_FALSE(mgr_.OpenSync(*id, kAlice, host_.cpu).ok());
+  EXPECT_TRUE(mgr_.OpenSync(*id, kBob, host_.cpu).ok());
+}
+
+TEST_F(RegionManagerTest, TransferMigratesWhenNewObserverCannotSatisfy) {
+  // A low-latency region on GDDR (for the GPU); handing it to a CPU task
+  // violates the latency class from the CPU -> must migrate, cost > 0.
+  auto id = mgr_.Allocate(Request(MiB(32), Properties::PrivateScratch(), host_.gpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(mgr_.Info(*id)->device, host_.gddr);
+
+  // Write a marker through the GPU first.
+  {
+    auto acc = mgr_.OpenSync(*id, kAlice, host_.gpu);
+    ASSERT_TRUE(acc.ok());
+    const std::uint64_t magic = 0xfeedfacecafebeefULL;
+    ASSERT_TRUE(acc->Store(0, magic).ok());
+  }
+
+  auto cost = mgr_.Transfer(*id, kAlice, kBob, host_.cpu);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_GT(cost->ns, 0);
+  EXPECT_EQ(mgr_.stats().migrations, 1u);
+  auto info = mgr_.Info(*id);
+  EXPECT_NE(info->device, host_.gddr);
+
+  // Data survived the migration byte-for-byte.
+  auto acc = mgr_.OpenSync(*id, kBob, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  std::uint64_t magic = 0;
+  ASSERT_TRUE(acc->Load(0, magic).ok());
+  EXPECT_EQ(magic, 0xfeedfacecafebeefULL);
+}
+
+TEST_F(RegionManagerTest, UseAfterTransferIsRejected) {
+  auto id = mgr_.Allocate(Request(KiB(64), Properties{}, host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  ASSERT_TRUE(mgr_.Transfer(*id, kAlice, kBob, host_.cpu).ok());
+  // The stale accessor revalidates on use and is refused.
+  char buf[8];
+  EXPECT_EQ(acc->Read(0, buf, 8).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RegionManagerTest, ShareAndReleaseLifetime) {
+  auto id = mgr_.Allocate(Request(KiB(64), Properties::GlobalState(), host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_.Share(*id, kAlice, kBob, host_.cpu).ok());
+  EXPECT_EQ(mgr_.Info(*id)->state, OwnershipState::kShared);
+  EXPECT_EQ(mgr_.Info(*id)->shared_refs, 2);
+
+  // Both can access; region lives until the LAST release (§2.3).
+  EXPECT_TRUE(mgr_.OpenSync(*id, kAlice, host_.cpu).ok());
+  EXPECT_TRUE(mgr_.OpenSync(*id, kBob, host_.cpu).ok());
+  ASSERT_TRUE(mgr_.Release(*id, kAlice).ok());
+  EXPECT_TRUE(mgr_.OpenSync(*id, kBob, host_.cpu).ok());
+  ASSERT_TRUE(mgr_.Release(*id, kBob).ok());
+  EXPECT_EQ(mgr_.Info(*id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr_.stats().frees, 1u);
+}
+
+TEST_F(RegionManagerTest, SharedRegionCannotBeTransferred) {
+  auto id = mgr_.Allocate(Request(KiB(64), Properties::GlobalState(), host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_.Share(*id, kAlice, kBob, host_.cpu).ok());
+  EXPECT_EQ(mgr_.Transfer(*id, kAlice, kMallory, host_.cpu).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mgr_.Transfer(*id, kAlice, kBob, host_.cpu).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RegionManagerTest, SharingRequiresCoherence) {
+  // Region on plain-PCIe-reachable GDDR: not coherent from the CPU.
+  auto id = mgr_.AllocateOn(host_.gddr, KiB(64), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(mgr_.Share(*id, kAlice, kBob, host_.cpu).code(),
+            StatusCode::kFailedPrecondition);
+  // Relaxed handoff sharing is allowed explicitly.
+  EXPECT_TRUE(mgr_.Share(*id, kAlice, kBob, host_.cpu, /*require_coherent=*/false).ok());
+}
+
+TEST_F(RegionManagerTest, FreeWithOutstandingSharersRefused) {
+  auto id = mgr_.Allocate(Request(KiB(64), Properties::GlobalState(), host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_.Share(*id, kAlice, kBob, host_.cpu).ok());
+  EXPECT_EQ(mgr_.Free(*id, kAlice).code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Confidentiality ---------------------------------------------------------------
+
+TEST_F(RegionManagerTest, ConfidentialRegionInvisibleToOtherJobs) {
+  Properties p;
+  p.confidential = true;
+  auto id = mgr_.Allocate(Request(KiB(64), p, host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(mgr_.OpenSync(*id, kMallory, host_.cpu).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(mgr_.Transfer(*id, kAlice, kMallory, host_.cpu).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(mgr_.Share(*id, kAlice, kMallory, host_.cpu).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_GE(mgr_.stats().confidentiality_denials, 3u);
+  // Same-job task is fine.
+  EXPECT_TRUE(mgr_.OpenSync(*id, kBob, host_.cpu).status().code() ==
+              StatusCode::kFailedPrecondition);  // not owner, but NOT denied
+}
+
+TEST_F(RegionManagerTest, ConfidentialDataIsScrambledAtRest) {
+  Properties p;
+  p.confidential = true;
+  auto id = mgr_.Allocate(Request(KiB(4), p, host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  const char plaintext[] = "attack at dawn, ward 7";
+  ASSERT_TRUE(acc->Write(0, plaintext, sizeof(plaintext)).ok());
+
+  // Owner reads back plaintext.
+  char roundtrip[sizeof(plaintext)] = {};
+  ASSERT_TRUE(acc->Read(0, roundtrip, sizeof(plaintext)).ok());
+  EXPECT_STREQ(roundtrip, plaintext);
+
+  // Raw device bytes do NOT contain the plaintext.
+  auto extent = mgr_.ExtentOfForTest(*id);
+  ASSERT_TRUE(extent.ok());
+  simhw::MemoryDevice& dev = host_.cluster->memory(extent->device);
+  char raw[sizeof(plaintext)] = {};
+  ASSERT_TRUE(dev.Read(*extent, 0, raw, sizeof(plaintext)).ok());
+  EXPECT_NE(std::memcmp(raw, plaintext, sizeof(plaintext)), 0);
+
+  // A non-confidential region, in contrast, stores plaintext.
+  auto plain_id = mgr_.Allocate(Request(KiB(4), Properties{}, host_.cpu, kAlice));
+  ASSERT_TRUE(plain_id.ok());
+  auto plain_acc = mgr_.OpenSync(*plain_id, kAlice, host_.cpu);
+  ASSERT_TRUE(plain_acc.ok());
+  ASSERT_TRUE(plain_acc->Write(0, plaintext, sizeof(plaintext)).ok());
+  auto plain_extent = mgr_.ExtentOfForTest(*plain_id);
+  ASSERT_TRUE(plain_extent.ok());
+  char plain_raw[sizeof(plaintext)] = {};
+  ASSERT_TRUE(host_.cluster->memory(plain_extent->device)
+                  .Read(*plain_extent, 0, plain_raw, sizeof(plaintext))
+                  .ok());
+  EXPECT_EQ(std::memcmp(plain_raw, plaintext, sizeof(plaintext)), 0);
+}
+
+TEST_F(RegionManagerTest, ConfidentialSurvivesMigration) {
+  Properties p;
+  p.confidential = true;
+  auto id = mgr_.Allocate(Request(KiB(64), p, host_.cpu, kAlice));
+  ASSERT_TRUE(id.ok());
+  {
+    auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+    ASSERT_TRUE(acc.ok());
+    ASSERT_TRUE(acc->Write(100, "classified", 10).ok());
+  }
+  ASSERT_TRUE(mgr_.Migrate(*id, host_.cxl_dram).ok());
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  char buf[10];
+  ASSERT_TRUE(acc->Read(100, buf, 10).ok());
+  EXPECT_EQ(std::memcmp(buf, "classified", 10), 0);
+}
+
+// --- Access interfaces (§2.2(3)) ------------------------------------------------
+
+TEST_F(RegionManagerTest, SyncAccessorRefusedOnFarMemory) {
+  auto id = mgr_.AllocateOn(host_.disagg, KiB(64), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(mgr_.OpenSync(*id, kAlice, host_.cpu).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(mgr_.OpenAsync(*id, kAlice, host_.cpu).ok());
+}
+
+TEST_F(RegionManagerTest, AsyncBatchBeatsSyncRandomOnFarMemory) {
+  auto id = mgr_.AllocateOn(host_.cxl_dram, MiB(1), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+
+  // 256 random 256-B reads, synchronous: pays full latency each time.
+  auto sync_acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(sync_acc.ok());
+  SimDuration sync_total{};
+  std::vector<char> buf(256);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>((i * 2654435761u) % 4000) * 256;
+    auto c = sync_acc->Read(off, buf.data(), 256);
+    ASSERT_TRUE(c.ok());
+    sync_total += *c;
+  }
+
+  // Same reads through the async queue: latency amortized per window.
+  auto async_acc = mgr_.OpenAsync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(async_acc.ok());
+  std::vector<std::vector<char>> bufs(256, std::vector<char>(256));
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>((i * 2654435761u) % 4000) * 256;
+    async_acc->EnqueueRead(off, bufs[static_cast<std::size_t>(i)].data(), 256);
+  }
+  auto async_total = async_acc->Drain();
+  ASSERT_TRUE(async_total.ok());
+  EXPECT_LT(async_total->ns, sync_total.ns / 4);
+}
+
+TEST_F(RegionManagerTest, SequentialDetectionInSyncAccessor) {
+  auto id = mgr_.AllocateOn(host_.dram, MiB(1), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  std::vector<char> buf(KiB(64));
+  auto first = acc->Read(0, buf.data(), buf.size());
+  auto second = acc->Read(buf.size(), buf.data(), buf.size());  // sequential
+  auto jump = acc->Read(0, buf.data(), buf.size());             // random jump
+  ASSERT_TRUE(first.ok() && second.ok() && jump.ok());
+  EXPECT_LT(second->ns, jump->ns);
+}
+
+TEST_F(RegionManagerTest, AccessorBoundsChecked) {
+  auto id = mgr_.AllocateOn(host_.dram, KiB(4), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  char buf[128];
+  EXPECT_EQ(acc->Read(KiB(4) - 64, buf, 128).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RegionManagerTest, AsyncWriteRoundTrip) {
+  auto id = mgr_.AllocateOn(host_.disagg, KiB(64), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  auto acc = mgr_.OpenAsync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  std::vector<std::uint32_t> data(1024);
+  std::iota(data.begin(), data.end(), 7u);
+  acc->EnqueueWrite(0, data.data(), data.size() * 4);
+  ASSERT_TRUE(acc->Drain().ok());
+  std::vector<std::uint32_t> out(1024, 0);
+  acc->EnqueueRead(0, out.data(), out.size() * 4);
+  ASSERT_TRUE(acc->Drain().ok());
+  EXPECT_EQ(out, data);
+}
+
+// --- Faults / data loss --------------------------------------------------------------
+
+TEST_F(RegionManagerTest, LostRegionReportsDataLoss) {
+  auto id = mgr_.AllocateOn(host_.dram, KiB(64), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  host_.cluster->memory(host_.dram).Fail();
+  host_.cluster->memory(host_.dram).Recover();
+  const auto lost = mgr_.MarkLostOn(host_.dram);
+  ASSERT_EQ(lost.size(), 1u);
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  char buf[8];
+  EXPECT_EQ(acc->Read(0, buf, 8).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(RegionManagerTest, PersistentRegionsSurviveMarkLost) {
+  auto id = mgr_.AllocateOn(host_.pmem, KiB(64), Properties{}, kAlice);
+  ASSERT_TRUE(id.ok());
+  {
+    auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+    ASSERT_TRUE(acc.ok());
+    ASSERT_TRUE(acc->Write(0, "persist", 7).ok());
+  }
+  host_.cluster->memory(host_.pmem).Fail();
+  host_.cluster->memory(host_.pmem).Recover();
+  EXPECT_TRUE(mgr_.MarkLostOn(host_.pmem).empty());  // persistent: nothing lost
+  auto acc = mgr_.OpenSync(*id, kAlice, host_.cpu);
+  ASSERT_TRUE(acc.ok());
+  char buf[7];
+  ASSERT_TRUE(acc->Read(0, buf, 7).ok());
+  EXPECT_EQ(std::memcmp(buf, "persist", 7), 0);
+}
+
+// --- Crypto keystream -----------------------------------------------------------------
+
+TEST(CryptoTest, Involutive) {
+  std::vector<unsigned char> data(333);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(i * 7);
+  }
+  auto original = data;
+  ApplyKeystream(0xdeadbeef, 100, data.data(), data.size());
+  EXPECT_NE(data, original);
+  ApplyKeystream(0xdeadbeef, 100, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(CryptoTest, PositionKeyedUnalignedRangesAgree) {
+  // Encrypt [0, 64), then decrypt [13, 29) alone: must match plaintext.
+  std::vector<unsigned char> data(64, 0x5a);
+  auto original = data;
+  ApplyKeystream(42, 0, data.data(), data.size());
+  std::vector<unsigned char> window(data.begin() + 13, data.begin() + 29);
+  ApplyKeystream(42, 13, window.data(), window.size());
+  EXPECT_TRUE(std::equal(window.begin(), window.end(), original.begin() + 13));
+}
+
+TEST(CryptoTest, DifferentKeysDifferentStreams) {
+  std::vector<unsigned char> a(64, 0);
+  std::vector<unsigned char> b(64, 0);
+  ApplyKeystream(1, 0, a.data(), a.size());
+  ApplyKeystream(2, 0, b.data(), b.size());
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace memflow::region

