@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_interface.dir/bench_async_interface.cpp.o"
+  "CMakeFiles/bench_async_interface.dir/bench_async_interface.cpp.o.d"
+  "bench_async_interface"
+  "bench_async_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_numa.dir/bench_claim_numa.cpp.o"
+  "CMakeFiles/bench_claim_numa.dir/bench_claim_numa.cpp.o.d"
+  "bench_claim_numa"
+  "bench_claim_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

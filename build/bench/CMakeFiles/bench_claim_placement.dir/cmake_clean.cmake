@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_placement.dir/bench_claim_placement.cpp.o"
+  "CMakeFiles/bench_claim_placement.dir/bench_claim_placement.cpp.o.d"
+  "bench_claim_placement"
+  "bench_claim_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pooling.dir/bench_fig1_pooling.cpp.o"
+  "CMakeFiles/bench_fig1_pooling.dir/bench_fig1_pooling.cpp.o.d"
+  "bench_fig1_pooling"
+  "bench_fig1_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hospital.dir/bench_fig2_hospital.cpp.o"
+  "CMakeFiles/bench_fig2_hospital.dir/bench_fig2_hospital.cpp.o.d"
+  "bench_fig2_hospital"
+  "bench_fig2_hospital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hospital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ownership.dir/bench_fig4_ownership.cpp.o"
+  "CMakeFiles/bench_fig4_ownership.dir/bench_fig4_ownership.cpp.o.d"
+  "bench_fig4_ownership"
+  "bench_fig4_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

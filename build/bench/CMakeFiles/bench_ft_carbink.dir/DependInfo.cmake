@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ft_carbink.cpp" "bench/CMakeFiles/bench_ft_carbink.dir/bench_ft_carbink.cpp.o" "gcc" "bench/CMakeFiles/bench_ft_carbink.dir/bench_ft_carbink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/memflow_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/memflow_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/memflow_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/memflow_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/memflow_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/memflow_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

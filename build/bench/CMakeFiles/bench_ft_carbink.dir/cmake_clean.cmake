@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ft_carbink.dir/bench_ft_carbink.cpp.o"
+  "CMakeFiles/bench_ft_carbink.dir/bench_ft_carbink.cpp.o.d"
+  "bench_ft_carbink"
+  "bench_ft_carbink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ft_carbink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_query.dir/dbms_query.cpp.o"
+  "CMakeFiles/dbms_query.dir/dbms_query.cpp.o.d"
+  "dbms_query"
+  "dbms_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

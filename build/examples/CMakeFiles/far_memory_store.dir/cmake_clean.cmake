@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/far_memory_store.dir/far_memory_store.cpp.o"
+  "CMakeFiles/far_memory_store.dir/far_memory_store.cpp.o.d"
+  "far_memory_store"
+  "far_memory_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/far_memory_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

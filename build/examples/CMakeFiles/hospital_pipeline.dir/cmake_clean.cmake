@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_pipeline.dir/hospital_pipeline.cpp.o"
+  "CMakeFiles/hospital_pipeline.dir/hospital_pipeline.cpp.o.d"
+  "hospital_pipeline"
+  "hospital_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_training.dir/ml_training.cpp.o"
+  "CMakeFiles/ml_training.dir/ml_training.cpp.o.d"
+  "ml_training"
+  "ml_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_tier.dir/profile_and_tier.cpp.o"
+  "CMakeFiles/profile_and_tier.dir/profile_and_tier.cpp.o.d"
+  "profile_and_tier"
+  "profile_and_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dbms.cc" "src/apps/CMakeFiles/memflow_apps.dir/dbms.cc.o" "gcc" "src/apps/CMakeFiles/memflow_apps.dir/dbms.cc.o.d"
+  "/root/repo/src/apps/hospital.cc" "src/apps/CMakeFiles/memflow_apps.dir/hospital.cc.o" "gcc" "src/apps/CMakeFiles/memflow_apps.dir/hospital.cc.o.d"
+  "/root/repo/src/apps/hpc.cc" "src/apps/CMakeFiles/memflow_apps.dir/hpc.cc.o" "gcc" "src/apps/CMakeFiles/memflow_apps.dir/hpc.cc.o.d"
+  "/root/repo/src/apps/ml.cc" "src/apps/CMakeFiles/memflow_apps.dir/ml.cc.o" "gcc" "src/apps/CMakeFiles/memflow_apps.dir/ml.cc.o.d"
+  "/root/repo/src/apps/streaming.cc" "src/apps/CMakeFiles/memflow_apps.dir/streaming.cc.o" "gcc" "src/apps/CMakeFiles/memflow_apps.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/memflow_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/memflow_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/memflow_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_apps.dir/dbms.cc.o"
+  "CMakeFiles/memflow_apps.dir/dbms.cc.o.d"
+  "CMakeFiles/memflow_apps.dir/hospital.cc.o"
+  "CMakeFiles/memflow_apps.dir/hospital.cc.o.d"
+  "CMakeFiles/memflow_apps.dir/hpc.cc.o"
+  "CMakeFiles/memflow_apps.dir/hpc.cc.o.d"
+  "CMakeFiles/memflow_apps.dir/ml.cc.o"
+  "CMakeFiles/memflow_apps.dir/ml.cc.o.d"
+  "CMakeFiles/memflow_apps.dir/streaming.cc.o"
+  "CMakeFiles/memflow_apps.dir/streaming.cc.o.d"
+  "libmemflow_apps.a"
+  "libmemflow_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

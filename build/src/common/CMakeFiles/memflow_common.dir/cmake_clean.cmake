@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_common.dir/log.cc.o"
+  "CMakeFiles/memflow_common.dir/log.cc.o.d"
+  "CMakeFiles/memflow_common.dir/status.cc.o"
+  "CMakeFiles/memflow_common.dir/status.cc.o.d"
+  "CMakeFiles/memflow_common.dir/strings.cc.o"
+  "CMakeFiles/memflow_common.dir/strings.cc.o.d"
+  "CMakeFiles/memflow_common.dir/table.cc.o"
+  "CMakeFiles/memflow_common.dir/table.cc.o.d"
+  "libmemflow_common.a"
+  "libmemflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

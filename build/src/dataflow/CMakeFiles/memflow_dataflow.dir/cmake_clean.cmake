@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_dataflow.dir/context.cc.o"
+  "CMakeFiles/memflow_dataflow.dir/context.cc.o.d"
+  "CMakeFiles/memflow_dataflow.dir/job.cc.o"
+  "CMakeFiles/memflow_dataflow.dir/job.cc.o.d"
+  "libmemflow_dataflow.a"
+  "libmemflow_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

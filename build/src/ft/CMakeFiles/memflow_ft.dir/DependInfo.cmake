@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/gf256.cc" "src/ft/CMakeFiles/memflow_ft.dir/gf256.cc.o" "gcc" "src/ft/CMakeFiles/memflow_ft.dir/gf256.cc.o.d"
+  "/root/repo/src/ft/reed_solomon.cc" "src/ft/CMakeFiles/memflow_ft.dir/reed_solomon.cc.o" "gcc" "src/ft/CMakeFiles/memflow_ft.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/ft/span_store.cc" "src/ft/CMakeFiles/memflow_ft.dir/span_store.cc.o" "gcc" "src/ft/CMakeFiles/memflow_ft.dir/span_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/region/CMakeFiles/memflow_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/memflow_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_ft.dir/gf256.cc.o"
+  "CMakeFiles/memflow_ft.dir/gf256.cc.o.d"
+  "CMakeFiles/memflow_ft.dir/reed_solomon.cc.o"
+  "CMakeFiles/memflow_ft.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/memflow_ft.dir/span_store.cc.o"
+  "CMakeFiles/memflow_ft.dir/span_store.cc.o.d"
+  "libmemflow_ft.a"
+  "libmemflow_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

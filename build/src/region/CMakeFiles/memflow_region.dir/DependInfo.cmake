@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/accessor.cc" "src/region/CMakeFiles/memflow_region.dir/accessor.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/accessor.cc.o.d"
+  "/root/repo/src/region/crypto.cc" "src/region/CMakeFiles/memflow_region.dir/crypto.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/crypto.cc.o.d"
+  "/root/repo/src/region/message_queue.cc" "src/region/CMakeFiles/memflow_region.dir/message_queue.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/message_queue.cc.o.d"
+  "/root/repo/src/region/properties.cc" "src/region/CMakeFiles/memflow_region.dir/properties.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/properties.cc.o.d"
+  "/root/repo/src/region/region_manager.cc" "src/region/CMakeFiles/memflow_region.dir/region_manager.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/region_manager.cc.o.d"
+  "/root/repo/src/region/remote_ptr.cc" "src/region/CMakeFiles/memflow_region.dir/remote_ptr.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/remote_ptr.cc.o.d"
+  "/root/repo/src/region/swizzle_cache.cc" "src/region/CMakeFiles/memflow_region.dir/swizzle_cache.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/swizzle_cache.cc.o.d"
+  "/root/repo/src/region/tiering.cc" "src/region/CMakeFiles/memflow_region.dir/tiering.cc.o" "gcc" "src/region/CMakeFiles/memflow_region.dir/tiering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simhw/CMakeFiles/memflow_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_region.dir/accessor.cc.o"
+  "CMakeFiles/memflow_region.dir/accessor.cc.o.d"
+  "CMakeFiles/memflow_region.dir/crypto.cc.o"
+  "CMakeFiles/memflow_region.dir/crypto.cc.o.d"
+  "CMakeFiles/memflow_region.dir/message_queue.cc.o"
+  "CMakeFiles/memflow_region.dir/message_queue.cc.o.d"
+  "CMakeFiles/memflow_region.dir/properties.cc.o"
+  "CMakeFiles/memflow_region.dir/properties.cc.o.d"
+  "CMakeFiles/memflow_region.dir/region_manager.cc.o"
+  "CMakeFiles/memflow_region.dir/region_manager.cc.o.d"
+  "CMakeFiles/memflow_region.dir/remote_ptr.cc.o"
+  "CMakeFiles/memflow_region.dir/remote_ptr.cc.o.d"
+  "CMakeFiles/memflow_region.dir/swizzle_cache.cc.o"
+  "CMakeFiles/memflow_region.dir/swizzle_cache.cc.o.d"
+  "CMakeFiles/memflow_region.dir/tiering.cc.o"
+  "CMakeFiles/memflow_region.dir/tiering.cc.o.d"
+  "libmemflow_region.a"
+  "libmemflow_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

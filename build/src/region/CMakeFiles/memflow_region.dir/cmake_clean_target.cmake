@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemflow_region.a"
+)

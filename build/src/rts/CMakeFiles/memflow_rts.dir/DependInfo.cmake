@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rts/checkpoint.cc" "src/rts/CMakeFiles/memflow_rts.dir/checkpoint.cc.o" "gcc" "src/rts/CMakeFiles/memflow_rts.dir/checkpoint.cc.o.d"
+  "/root/repo/src/rts/cost_model.cc" "src/rts/CMakeFiles/memflow_rts.dir/cost_model.cc.o" "gcc" "src/rts/CMakeFiles/memflow_rts.dir/cost_model.cc.o.d"
+  "/root/repo/src/rts/placement.cc" "src/rts/CMakeFiles/memflow_rts.dir/placement.cc.o" "gcc" "src/rts/CMakeFiles/memflow_rts.dir/placement.cc.o.d"
+  "/root/repo/src/rts/profiler.cc" "src/rts/CMakeFiles/memflow_rts.dir/profiler.cc.o" "gcc" "src/rts/CMakeFiles/memflow_rts.dir/profiler.cc.o.d"
+  "/root/repo/src/rts/runtime.cc" "src/rts/CMakeFiles/memflow_rts.dir/runtime.cc.o" "gcc" "src/rts/CMakeFiles/memflow_rts.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/memflow_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/memflow_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/memflow_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_rts.dir/checkpoint.cc.o"
+  "CMakeFiles/memflow_rts.dir/checkpoint.cc.o.d"
+  "CMakeFiles/memflow_rts.dir/cost_model.cc.o"
+  "CMakeFiles/memflow_rts.dir/cost_model.cc.o.d"
+  "CMakeFiles/memflow_rts.dir/placement.cc.o"
+  "CMakeFiles/memflow_rts.dir/placement.cc.o.d"
+  "CMakeFiles/memflow_rts.dir/profiler.cc.o"
+  "CMakeFiles/memflow_rts.dir/profiler.cc.o.d"
+  "CMakeFiles/memflow_rts.dir/runtime.cc.o"
+  "CMakeFiles/memflow_rts.dir/runtime.cc.o.d"
+  "libmemflow_rts.a"
+  "libmemflow_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

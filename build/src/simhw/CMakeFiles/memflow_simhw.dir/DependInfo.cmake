@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simhw/cluster.cc" "src/simhw/CMakeFiles/memflow_simhw.dir/cluster.cc.o" "gcc" "src/simhw/CMakeFiles/memflow_simhw.dir/cluster.cc.o.d"
+  "/root/repo/src/simhw/compute.cc" "src/simhw/CMakeFiles/memflow_simhw.dir/compute.cc.o" "gcc" "src/simhw/CMakeFiles/memflow_simhw.dir/compute.cc.o.d"
+  "/root/repo/src/simhw/device.cc" "src/simhw/CMakeFiles/memflow_simhw.dir/device.cc.o" "gcc" "src/simhw/CMakeFiles/memflow_simhw.dir/device.cc.o.d"
+  "/root/repo/src/simhw/fault.cc" "src/simhw/CMakeFiles/memflow_simhw.dir/fault.cc.o" "gcc" "src/simhw/CMakeFiles/memflow_simhw.dir/fault.cc.o.d"
+  "/root/repo/src/simhw/presets.cc" "src/simhw/CMakeFiles/memflow_simhw.dir/presets.cc.o" "gcc" "src/simhw/CMakeFiles/memflow_simhw.dir/presets.cc.o.d"
+  "/root/repo/src/simhw/topology.cc" "src/simhw/CMakeFiles/memflow_simhw.dir/topology.cc.o" "gcc" "src/simhw/CMakeFiles/memflow_simhw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

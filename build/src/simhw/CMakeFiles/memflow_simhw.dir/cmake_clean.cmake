@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memflow_simhw.dir/cluster.cc.o"
+  "CMakeFiles/memflow_simhw.dir/cluster.cc.o.d"
+  "CMakeFiles/memflow_simhw.dir/compute.cc.o"
+  "CMakeFiles/memflow_simhw.dir/compute.cc.o.d"
+  "CMakeFiles/memflow_simhw.dir/device.cc.o"
+  "CMakeFiles/memflow_simhw.dir/device.cc.o.d"
+  "CMakeFiles/memflow_simhw.dir/fault.cc.o"
+  "CMakeFiles/memflow_simhw.dir/fault.cc.o.d"
+  "CMakeFiles/memflow_simhw.dir/presets.cc.o"
+  "CMakeFiles/memflow_simhw.dir/presets.cc.o.d"
+  "CMakeFiles/memflow_simhw.dir/topology.cc.o"
+  "CMakeFiles/memflow_simhw.dir/topology.cc.o.d"
+  "libmemflow_simhw.a"
+  "libmemflow_simhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memflow_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

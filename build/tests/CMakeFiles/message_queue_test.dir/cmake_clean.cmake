@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_queue_test.dir/message_queue_test.cc.o"
+  "CMakeFiles/message_queue_test.dir/message_queue_test.cc.o.d"
+  "message_queue_test"
+  "message_queue_test.pdb"
+  "message_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

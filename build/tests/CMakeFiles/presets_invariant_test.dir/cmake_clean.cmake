@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presets_invariant_test.dir/presets_invariant_test.cc.o"
+  "CMakeFiles/presets_invariant_test.dir/presets_invariant_test.cc.o.d"
+  "presets_invariant_test"
+  "presets_invariant_test.pdb"
+  "presets_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presets_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_swizzle_test.dir/profiler_swizzle_test.cc.o"
+  "CMakeFiles/profiler_swizzle_test.dir/profiler_swizzle_test.cc.o.d"
+  "profiler_swizzle_test"
+  "profiler_swizzle_test.pdb"
+  "profiler_swizzle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_swizzle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

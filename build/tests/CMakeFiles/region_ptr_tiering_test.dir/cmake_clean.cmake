@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_ptr_tiering_test.dir/region_ptr_tiering_test.cc.o"
+  "CMakeFiles/region_ptr_tiering_test.dir/region_ptr_tiering_test.cc.o.d"
+  "region_ptr_tiering_test"
+  "region_ptr_tiering_test.pdb"
+  "region_ptr_tiering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_ptr_tiering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

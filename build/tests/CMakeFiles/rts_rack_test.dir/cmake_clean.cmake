@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_rack_test.dir/rts_rack_test.cc.o"
+  "CMakeFiles/rts_rack_test.dir/rts_rack_test.cc.o.d"
+  "rts_rack_test"
+  "rts_rack_test.pdb"
+  "rts_rack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_rack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_test.dir/rts_test.cc.o"
+  "CMakeFiles/rts_test.dir/rts_test.cc.o.d"
+  "rts_test"
+  "rts_test.pdb"
+  "rts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhw_clock_test.dir/simhw_clock_test.cc.o"
+  "CMakeFiles/simhw_clock_test.dir/simhw_clock_test.cc.o.d"
+  "simhw_clock_test"
+  "simhw_clock_test.pdb"
+  "simhw_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhw_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhw_device_test.dir/simhw_device_test.cc.o"
+  "CMakeFiles/simhw_device_test.dir/simhw_device_test.cc.o.d"
+  "simhw_device_test"
+  "simhw_device_test.pdb"
+  "simhw_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhw_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

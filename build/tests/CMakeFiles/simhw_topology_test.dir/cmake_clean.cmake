@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhw_topology_test.dir/simhw_topology_test.cc.o"
+  "CMakeFiles/simhw_topology_test.dir/simhw_topology_test.cc.o.d"
+  "simhw_topology_test"
+  "simhw_topology_test.pdb"
+  "simhw_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhw_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/span_store_fuzz_test.dir/span_store_fuzz_test.cc.o"
+  "CMakeFiles/span_store_fuzz_test.dir/span_store_fuzz_test.cc.o.d"
+  "span_store_fuzz_test"
+  "span_store_fuzz_test.pdb"
+  "span_store_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/span_store_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simhw_device_test[1]_include.cmake")
+include("/root/repo/build/tests/simhw_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/simhw_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/region_test[1]_include.cmake")
+include("/root/repo/build/tests/region_ptr_tiering_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/rts_test[1]_include.cmake")
+include("/root/repo/build/tests/ft_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_swizzle_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/presets_invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/span_store_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/rts_rack_test[1]_include.cmake")
+include("/root/repo/build/tests/message_queue_test[1]_include.cmake")
