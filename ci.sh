@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# memflow CI: plain build + tests, then the same under ASan+UBSan.
+# Usage: ./ci.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== build (RelWithDebInfo) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+echo "== test =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SANITIZE" == "1" ]]; then
+  echo "== sanitizers skipped =="
+  exit 0
+fi
+
+echo "== build (ASan+UBSan) =="
+cmake -B build-asan -S . -DMEMFLOW_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS"
+echo "== test (ASan+UBSan) =="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== ci ok =="

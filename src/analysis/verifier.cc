@@ -1,0 +1,358 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "analysis/verifier.h"
+
+#include <algorithm>
+
+#include "region/properties.h"
+
+namespace memflow::analysis {
+
+namespace {
+
+using dataflow::EdgeMode;
+using dataflow::Job;
+using dataflow::TaskId;
+using dataflow::TaskProperties;
+
+std::string TaskRef(const Job& job, TaskId id) {
+  return "task '" + job.task(id).name + "' (#" + std::to_string(id.value) + ")";
+}
+
+bool DeclaresOutput(const TaskProperties& props) {
+  return props.output_bytes > 0 || props.output_bytes_per_input_byte > 0.0;
+}
+
+// The region properties the task's private scratch / output allocations will
+// request, mirroring TaskContext::ScratchProperties / OutputProperties so the
+// static feasibility check and the executor agree.
+region::Properties ScratchPropsOf(const TaskProperties& props) {
+  region::Properties p = region::Properties::PrivateScratch();
+  if (props.mem_latency != region::LatencyClass::kAny) {
+    p.latency = props.mem_latency;
+  }
+  p.confidential = props.confidential;
+  return p;
+}
+
+region::Properties OutputPropsOf(const TaskProperties& props) {
+  region::Properties p;
+  p.latency = props.persistent ? region::LatencyClass::kAny : props.mem_latency;
+  p.persistent = props.persistent;
+  p.confidential = props.confidential;
+  return p;
+}
+
+// --- ownership dataflow pass -------------------------------------------------------
+//
+// Abstract interpretation of chunk ownership along the topological order.
+// Each producer's output chunk starts Exclusive(producer); its data edges
+// determine the handover: one kAuto/kMove edge moves it, a kShare edge or
+// fan-out shares it, no data edge retains it with the job. A move consumes
+// the chunk — any other data edge observes it after transfer.
+void OwnershipPass(const Job& job, Report& report,
+                   std::vector<ExpectedInput>& expected) {
+  for (const TaskId producer : job.TopologicalOrder()) {
+    const std::vector<TaskId> data_succs = job.DataSuccessors(producer);
+    const auto& all_succs = job.successors(producer);
+
+    std::vector<TaskId> moves;
+    for (const TaskId c : data_succs) {
+      if (job.edge_options(producer, c).mode == EdgeMode::kMove) {
+        moves.push_back(c);
+      }
+    }
+
+    // Double-transfer: two sibling edges both demand exclusive ownership of
+    // the same chunk. The first move wins; every later one is a violation.
+    for (std::size_t i = 1; i < moves.size(); ++i) {
+      report.Add(Diagnostic{
+          Severity::kError, kRuleDoubleTransfer, producer, moves[i],
+          "output of " + TaskRef(job, producer) + " is moved twice: to " +
+              TaskRef(job, moves[0]) + " and again to " + TaskRef(job, moves[i]),
+          "keep one move edge; demote the others to EdgeMode::kShare or kAuto"});
+    }
+
+    // Use-after-transfer: the chunk was moved to one consumer, but another
+    // data edge still expects to read it.
+    if (!moves.empty() && data_succs.size() > moves.size()) {
+      for (const TaskId c : data_succs) {
+        if (job.edge_options(producer, c).mode != EdgeMode::kMove) {
+          report.Add(Diagnostic{
+              Severity::kError, kRuleUseAfterTransfer, producer, c,
+              TaskRef(job, c) + " reads the output of " + TaskRef(job, producer) +
+                  " after its ownership was moved to " + TaskRef(job, moves[0]),
+              "share the output (EdgeMode::kShare / kAuto on every edge) or "
+              "drop the exclusive move"});
+        }
+      }
+    }
+
+    // The delivery the executor will perform (HandoverOutput): exclusive
+    // transfer to a sole kAuto/kMove consumer, shared otherwise.
+    const bool shared_delivery =
+        data_succs.size() > 1 ||
+        (data_succs.size() == 1 &&
+         job.edge_options(producer, data_succs.front()).mode == EdgeMode::kShare);
+    for (const TaskId c : data_succs) {
+      expected.push_back(ExpectedInput{
+          c, producer,
+          shared_delivery ? region::OwnershipState::kShared
+                          : region::OwnershipState::kExclusive});
+    }
+
+    // Writes through a shared input: relaxed-ordering writes to a chunk with
+    // multiple concurrent owners (§2.2(2) forbids it without coherence, and
+    // sibling readers observe torn data regardless).
+    for (const TaskId c : data_succs) {
+      if (job.edge_options(producer, c).writes_input && shared_delivery) {
+        report.Add(Diagnostic{
+            Severity::kError, kRuleWriteSharedInput, c, producer,
+            TaskRef(job, c) + " declares in-place writes to the output of " +
+                TaskRef(job, producer) + ", which is delivered as a shared region",
+            "make the writer the sole consumer (EdgeMode::kMove) or have it "
+            "copy into its own scratch before writing"});
+      }
+    }
+
+    // Leaked output: the task declares it produces data, is ordered before
+    // other tasks, yet no edge consumes the chunk — it sits untouched until
+    // job teardown. (Sink outputs are the job's declared results and are
+    // retained for the submitter, so plain sinks are not flagged.)
+    if (DeclaresOutput(job.task(producer).props) && !all_succs.empty() &&
+        data_succs.empty() && !job.task(producer).props.persistent) {
+      report.Add(Diagnostic{
+          Severity::kWarning, kRuleLeakedOutput, producer, std::nullopt,
+          "output of " + TaskRef(job, producer) +
+              " is never consumed: every outgoing edge is control-only, so the "
+              "chunk is leaked until job teardown",
+          "make one edge data-carrying, mark the task persistent, or drop the "
+          "declared output size"});
+    }
+  }
+}
+
+// --- property-consistency pass -----------------------------------------------------
+
+void PropertyPass(const Job& job, Report& report) {
+  for (const TaskId producer : job.TopologicalOrder()) {
+    const TaskProperties& pp = job.task(producer).props;
+    for (const TaskId consumer : job.DataSuccessors(producer)) {
+      const TaskProperties& cp = job.task(consumer).props;
+
+      // Confidential data flowing into a task whose own regions are not
+      // encrypted/isolated is a downgrade, unless the consumer declares it
+      // emits only non-sensitive derived data.
+      if (pp.confidential && !cp.confidential && !cp.declassifies) {
+        report.Add(Diagnostic{
+            Severity::kError, kRuleConfidentialityDowngrade, consumer, producer,
+            "confidential output of " + TaskRef(job, producer) +
+                " flows into non-confidential " + TaskRef(job, consumer),
+            "mark the consumer confidential, or set declassifies=true if it "
+            "derives only non-sensitive data"});
+      }
+
+      // A persistent producer's output lives on persistent media, which no
+      // low-latency class covers; the consumer's demand cannot be met on its
+      // input path.
+      if (pp.persistent && cp.mem_latency == region::LatencyClass::kLow) {
+        report.Add(Diagnostic{
+            Severity::kWarning, kRulePersistentLatency, consumer, producer,
+            TaskRef(job, consumer) + " demands low-latency memory but consumes "
+                "the persistent output of " + TaskRef(job, producer) +
+                ", which lives on slow persistent media",
+            "relax the consumer's mem_latency, or drop `persistent` on the "
+            "producer and checkpoint its output instead"});
+      }
+    }
+  }
+}
+
+// --- graph-shape pass --------------------------------------------------------------
+
+void GraphPass(const Job& job, Report& report) {
+  if (job.num_tasks() < 2) {
+    return;
+  }
+  for (std::uint32_t i = 0; i < job.num_tasks(); ++i) {
+    const TaskId t(i);
+    if (job.predecessors(t).empty() && job.successors(t).empty()) {
+      report.Add(Diagnostic{
+          Severity::kWarning, kRuleDeadTask, t, std::nullopt,
+          TaskRef(job, t) + " is disconnected from the rest of the job DAG",
+          "connect it with an edge (kControl for pure ordering) or submit it "
+          "as its own job"});
+    }
+  }
+}
+
+// --- placement-feasibility pass ----------------------------------------------------
+
+bool AnyViewSatisfies(const simhw::Cluster& cluster,
+                      const std::vector<simhw::ComputeDeviceId>& observers,
+                      const region::Properties& props) {
+  for (const simhw::ComputeDeviceId c : observers) {
+    for (const simhw::MemoryDeviceId m : cluster.AllMemoryDevices()) {
+      const simhw::MemoryDevice& mem = cluster.memory(m);
+      if (mem.failed() || !mem.profile().allocatable) {
+        continue;
+      }
+      auto view = cluster.View(c, m);
+      if (view.ok() && Satisfies(*view, props)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void PlacementPass(const Job& job, const simhw::Cluster& cluster,
+                   const VerifyOptions& options, Report& report) {
+  for (std::uint32_t i = 0; i < job.num_tasks(); ++i) {
+    const TaskId t(i);
+    const TaskProperties& props = job.task(t).props;
+
+    std::vector<simhw::ComputeDeviceId> eligible;
+    bool kind_exists = false;
+    for (const simhw::ComputeDeviceId c : cluster.AllComputeDevices()) {
+      const simhw::ComputeDevice& dev = cluster.compute(c);
+      if (props.compute_device.has_value() && dev.kind() != *props.compute_device) {
+        continue;
+      }
+      kind_exists = true;
+      if (!dev.failed()) {
+        eligible.push_back(c);
+      }
+    }
+    if (eligible.empty()) {
+      const std::string demand =
+          props.compute_device.has_value()
+              ? "a " + std::string(simhw::ComputeDeviceKindName(*props.compute_device))
+              : "any compute device";
+      report.Add(Diagnostic{
+          Severity::kError, kRuleUnsatisfiableCompute, t, std::nullopt,
+          TaskRef(job, t) + " requires " + demand +
+              (kind_exists ? ", but every matching device has failed"
+                           : ", but the cluster has none"),
+          "relax the compute_device requirement or target a cluster that "
+          "provides the device"});
+      continue;  // memory feasibility is meaningless with nowhere to run
+    }
+
+    // Would the task's scratch / output allocation requests resolve to any
+    // device at all, from at least one eligible observer? Capacity is a
+    // runtime concern; this checks the topology, like the RegionManager's
+    // device ranking with infinite free space.
+    for (region::Properties want : {ScratchPropsOf(props), OutputPropsOf(props)}) {
+      if (options.allow_latency_relax) {
+        want.latency = region::LatencyClass::kAny;  // manager would spill-relax
+      }
+      if (!AnyViewSatisfies(cluster, eligible, want)) {
+        report.Add(Diagnostic{
+            Severity::kError, kRuleUnsatisfiableMemory, t, std::nullopt,
+            "no memory device satisfies " + want.ToString() + " from any device " +
+                TaskRef(job, t) + " may run on",
+            "relax mem_latency / persistent, or add a satisfying memory device "
+            "to the cluster"});
+        break;  // one diagnostic per task is enough
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out(SeverityName(severity));
+  out += "[";
+  out += rule;
+  out += "] ";
+  out += message;
+  if (!hint.empty()) {
+    out += " (fix: " + hint + ")";
+  }
+  return out;
+}
+
+int Report::errors() const {
+  return static_cast<int>(std::count_if(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+int Report::warnings() const {
+  return static_cast<int>(std::count_if(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kWarning; }));
+}
+
+bool Report::HasRule(std::string_view rule) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::string Report::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Report::Summary() const {
+  std::string out = std::to_string(errors()) + " error(s), " +
+                    std::to_string(warnings()) + " warning(s)";
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) {
+      out += "; first: " + d.ToString();
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<region::OwnershipState> Report::ExpectedStateOf(
+    dataflow::TaskId task, dataflow::TaskId producer) const {
+  for (const ExpectedInput& e : expected_inputs_) {
+    if (e.task == task && e.producer == producer) {
+      return e.state;
+    }
+  }
+  return std::nullopt;
+}
+
+Report Verify(const dataflow::Job& job, const simhw::Cluster* cluster,
+              const VerifyOptions& options) {
+  Report report;
+  // The analyses below assume a well-formed acyclic DAG; Job::Validate()
+  // already rejects anything else at submission, so just bail.
+  if (!job.Validate().ok()) {
+    return report;
+  }
+  OwnershipPass(job, report, report.expected_inputs_);
+  PropertyPass(job, report);
+  GraphPass(job, report);
+  if (cluster != nullptr) {
+    PlacementPass(job, *cluster, options, report);
+  }
+  return report;
+}
+
+Report Verify(const dataflow::Job& job, const VerifyOptions& options) {
+  return Verify(job, nullptr, options);
+}
+
+}  // namespace memflow::analysis

@@ -1,0 +1,123 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Static ownership & property verifier for job DAGs — a "borrow checker" for
+// the declarative programming model. The paper's safety claim (§2.2, Figure 4)
+// is that every memory chunk is exclusively owned and handed over by transfer,
+// not copy; those invariants are checkable *before* execution from the DAG
+// alone. Verify() abstract-interprets chunk ownership states along the
+// topological order and cross-checks declared task/edge properties, producing
+// structured diagnostics the runtime gates admission on.
+//
+// Three integration layers:
+//   1. Library:   analysis::Verify(job[, cluster]) -> Report.
+//   2. Admission: rts::Runtime runs Verify() before planning (VerifyMode).
+//   3. Execution: accessors assert the statically computed ownership states,
+//      so the analyzer and the executor validate each other.
+
+#ifndef MEMFLOW_ANALYSIS_VERIFIER_H_
+#define MEMFLOW_ANALYSIS_VERIFIER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataflow/job.h"
+#include "region/region.h"
+#include "simhw/cluster.h"
+
+namespace memflow::analysis {
+
+enum class Severity : std::uint8_t {
+  kNote,     // informational
+  kWarning,  // suspicious but admissible
+  kError,    // violates an invariant; admission rejects the job
+};
+
+std::string_view SeverityName(Severity s);
+
+// Stable rule identifiers (the rule catalog lives in DESIGN.md).
+// Ownership dataflow rules.
+inline constexpr std::string_view kRuleUseAfterTransfer = "own-use-after-transfer";
+inline constexpr std::string_view kRuleDoubleTransfer = "own-double-transfer";
+inline constexpr std::string_view kRuleLeakedOutput = "own-leaked-output";
+inline constexpr std::string_view kRuleWriteSharedInput = "own-write-shared-input";
+// Property-consistency rules.
+inline constexpr std::string_view kRuleConfidentialityDowngrade =
+    "prop-confidential-downgrade";
+inline constexpr std::string_view kRulePersistentLatency = "prop-persistent-latency";
+// Placement-feasibility rules (require a cluster).
+inline constexpr std::string_view kRuleUnsatisfiableCompute = "place-unsatisfiable-compute";
+inline constexpr std::string_view kRuleUnsatisfiableMemory = "place-unsatisfiable-memory";
+// Graph-shape rules beyond Job::Validate().
+inline constexpr std::string_view kRuleDeadTask = "graph-dead-task";
+
+// One finding: severity, stable rule id, location (task, and the edge peer
+// for edge-scoped rules), human message, and a fix-it hint.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string_view rule;
+  dataflow::TaskId task;
+  std::optional<dataflow::TaskId> other;  // edge peer, if edge-scoped
+  std::string message;
+  std::string hint;
+
+  // e.g. "error[own-double-transfer] task 2 -> 3: ... (hint: ...)"
+  std::string ToString() const;
+};
+
+// Statically computed ownership state of one delivered input, used by the
+// runtime cross-check: when `task` runs, the region produced by `producer`
+// must be in `state`.
+struct ExpectedInput {
+  dataflow::TaskId task;
+  dataflow::TaskId producer;
+  region::OwnershipState state = region::OwnershipState::kExclusive;
+};
+
+class Report {
+ public:
+  void Add(Diagnostic diag) { diagnostics_.push_back(std::move(diag)); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  int errors() const;
+  int warnings() const;
+  bool ok() const { return errors() == 0; }
+
+  bool HasRule(std::string_view rule) const;
+
+  // All findings, one line each.
+  std::string ToString() const;
+  // Compact one-liner for Status messages: first error + counts.
+  std::string Summary() const;
+
+  // Cross-check data consumed by the runtime (empty for invalid jobs).
+  const std::vector<ExpectedInput>& expected_inputs() const { return expected_inputs_; }
+  std::optional<region::OwnershipState> ExpectedStateOf(dataflow::TaskId task,
+                                                        dataflow::TaskId producer) const;
+
+ private:
+  friend Report Verify(const dataflow::Job&, const simhw::Cluster*,
+                       const struct VerifyOptions&);
+
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<ExpectedInput> expected_inputs_;
+};
+
+struct VerifyOptions {
+  // Mirror of region::PlacementConfig::allow_latency_relax: when the manager
+  // may spill to a slower tier, an unsatisfiable latency class is not fatal.
+  bool allow_latency_relax = false;
+};
+
+// Graph, ownership and property passes only.
+Report Verify(const dataflow::Job& job, const VerifyOptions& options = {});
+
+// All passes including placement feasibility against `cluster`. A null
+// cluster skips the placement pass (same as the overload above).
+Report Verify(const dataflow::Job& job, const simhw::Cluster* cluster,
+              const VerifyOptions& options = {});
+
+}  // namespace memflow::analysis
+
+#endif  // MEMFLOW_ANALYSIS_VERIFIER_H_

@@ -323,6 +323,10 @@ dataflow::Job BuildHospitalJob(const HospitalSpec& spec) {
   dataflow::TaskProperties t4;
   t4.compute_device = simhw::ComputeDeviceKind::kCPU;
   t4.confidential = false;
+  // The feed consumes confidential recognition events but publishes only
+  // aggregate counts — an intentional declassification boundary the static
+  // verifier would otherwise flag (prop-confidential-downgrade).
+  t4.declassifies = true;
   t4.mem_latency = region::LatencyClass::kAny;
   t4.work_per_byte = 0.2;
   const dataflow::TaskId utilization = job.AddTask(

@@ -79,11 +79,25 @@ Result<region::RegionId> TaskContext::AllocateOutput(std::uint64_t size,
 }
 
 Result<region::SyncAccessor> TaskContext::OpenSync(region::RegionId id) {
-  return init_.regions->OpenSync(id, init_.self, init_.device);
+  MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc,
+                           init_.regions->OpenSync(id, init_.self, init_.device));
+  for (const auto& [input, state] : init_.expected_input_states) {
+    if (input == id) {
+      acc.ExpectOwnership(state);
+    }
+  }
+  return acc;
 }
 
 Result<region::AsyncAccessor> TaskContext::OpenAsync(region::RegionId id) {
-  return init_.regions->OpenAsync(id, init_.self, init_.device);
+  MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc,
+                           init_.regions->OpenAsync(id, init_.self, init_.device));
+  for (const auto& [input, state] : init_.expected_input_states) {
+    if (input == id) {
+      acc.ExpectOwnership(state);
+    }
+  }
+  return acc;
 }
 
 void TaskContext::ChargeCompute(double work) {

@@ -17,6 +17,7 @@
 #define MEMFLOW_DATAFLOW_CONTEXT_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -39,6 +40,11 @@ class TaskContext {
     region::RegionId global_state;              // invalid if job declared none
     region::RegionId global_scratch;
     std::uint64_t rng_seed = 0;
+    // Cross-check against the static verifier: ownership state each input
+    // region must be in while this task runs. Accessors opened on these
+    // regions assert the state on every access (empty = no cross-check).
+    std::vector<std::pair<region::RegionId, region::OwnershipState>>
+        expected_input_states;
   };
 
   explicit TaskContext(Init init);

@@ -18,7 +18,21 @@ TaskId Job::AddTask(std::string name, TaskProperties props, TaskFn fn) {
   return id;
 }
 
-Status Job::Connect(TaskId from, TaskId to) {
+std::string_view EdgeModeName(EdgeMode mode) {
+  switch (mode) {
+    case EdgeMode::kAuto:
+      return "auto";
+    case EdgeMode::kMove:
+      return "move";
+    case EdgeMode::kShare:
+      return "share";
+    case EdgeMode::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+Status Job::Connect(TaskId from, TaskId to, EdgeOptions options) {
   if (from.value >= tasks_.size() || to.value >= tasks_.size()) {
     return InvalidArgument("unknown task id");
   }
@@ -30,8 +44,13 @@ Status Job::Connect(TaskId from, TaskId to) {
     return AlreadyExists("duplicate edge " + tasks_[from.value].name + " -> " +
                          tasks_[to.value].name);
   }
+  if (options.writes_input && options.mode == EdgeMode::kControl) {
+    return InvalidArgument("control edge " + tasks_[from.value].name + " -> " +
+                           tasks_[to.value].name + " delivers no data to write");
+  }
   successors.push_back(to);
   pred_[to.value].push_back(from);
+  edge_options_.emplace(EdgeKey(from, to), options);
   return OkStatus();
 }
 
@@ -118,6 +137,34 @@ const std::vector<TaskId>& Job::successors(TaskId id) const {
 const std::vector<TaskId>& Job::predecessors(TaskId id) const {
   MEMFLOW_CHECK(id.value < pred_.size());
   return pred_[id.value];
+}
+
+EdgeOptions Job::edge_options(TaskId from, TaskId to) const {
+  auto it = edge_options_.find(EdgeKey(from, to));
+  MEMFLOW_CHECK_MSG(it != edge_options_.end(), "edge_options on a nonexistent edge");
+  return it->second;
+}
+
+std::vector<TaskId> Job::DataSuccessors(TaskId id) const {
+  std::vector<TaskId> out;
+  out.reserve(successors(id).size());
+  for (const TaskId s : successors(id)) {
+    if (edge_options(id, s).mode != EdgeMode::kControl) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> Job::DataPredecessors(TaskId id) const {
+  std::vector<TaskId> out;
+  out.reserve(predecessors(id).size());
+  for (const TaskId p : predecessors(id)) {
+    if (edge_options(p, id).mode != EdgeMode::kControl) {
+      out.push_back(p);
+    }
+  }
+  return out;
 }
 
 std::vector<TaskId> Job::Sources() const {

@@ -9,12 +9,39 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "dataflow/task.h"
 
 namespace memflow::dataflow {
+
+// How a dataflow edge consumes the producer's output. The mode is a
+// *declaration* the static verifier checks (analysis::Verify) and the runtime
+// honors during handover.
+enum class EdgeMode : std::uint8_t {
+  // Runtime decides: exclusive transfer to a sole consumer, shared on fan-out
+  // (the Figure 4 default).
+  kAuto = 0,
+  // The consumer demands exclusive ownership. At most one move per output;
+  // any other data edge from the same producer is a use-after-transfer.
+  kMove,
+  // The consumer takes a shared view even if it is the sole consumer.
+  kShare,
+  // Ordering only: the consumer waits for the producer but receives no data.
+  kControl,
+};
+
+std::string_view EdgeModeName(EdgeMode mode);
+
+struct EdgeOptions {
+  EdgeMode mode = EdgeMode::kAuto;
+  // The consumer intends to write the delivered region in place. Invalid on
+  // shared deliveries (the verifier rejects writes through shared inputs).
+  bool writes_input = false;
+};
 
 // Job-wide shared memory demands: the Global State and Global Scratch of
 // Table 2, sized by the application.
@@ -35,8 +62,9 @@ class Job {
   // Adds a task; returns its id (dense, 0-based within the job).
   TaskId AddTask(std::string name, TaskProperties props, TaskFn fn);
 
-  // Declares a dataflow edge: `from`'s output becomes (part of) `to`'s input.
-  Status Connect(TaskId from, TaskId to);
+  // Declares a dataflow edge: `from`'s output becomes (part of) `to`'s input
+  // (unless the edge is control-only, which orders without delivering data).
+  Status Connect(TaskId from, TaskId to, EdgeOptions options = {});
 
   // Checks the DAG: ids valid, no self-loops or duplicate edges (done at
   // Connect time), acyclic, every task has a body.
@@ -56,16 +84,29 @@ class Job {
   const std::vector<TaskId>& successors(TaskId id) const;
   const std::vector<TaskId>& predecessors(TaskId id) const;
 
+  // Options of the edge `from` -> `to`; the edge must exist.
+  EdgeOptions edge_options(TaskId from, TaskId to) const;
+
+  // Successors/predecessors over data-carrying edges only (mode != kControl),
+  // in edge insertion order. This is what ownership handover operates on.
+  std::vector<TaskId> DataSuccessors(TaskId id) const;
+  std::vector<TaskId> DataPredecessors(TaskId id) const;
+
   // Tasks with no predecessors / successors.
   std::vector<TaskId> Sources() const;
   std::vector<TaskId> Sinks() const;
 
  private:
+  static std::uint64_t EdgeKey(TaskId from, TaskId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+
   std::string name_;
   JobOptions options_;
   std::vector<TaskSpec> tasks_;
   std::vector<std::vector<TaskId>> succ_;
   std::vector<std::vector<TaskId>> pred_;
+  std::unordered_map<std::uint64_t, EdgeOptions> edge_options_;
 };
 
 }  // namespace memflow::dataflow

@@ -37,6 +37,12 @@ struct TaskProperties {
   // and inaccessible to other jobs.
   bool confidential = false;
 
+  // The task consumes confidential inputs but emits only non-sensitive
+  // derived data (aggregates, counts). Without this, a non-confidential task
+  // consuming a confidential producer's output is a confidentiality downgrade
+  // the static verifier rejects.
+  bool declassifies = false;
+
   // The task's output must survive crashes (placed on persistent media).
   bool persistent = false;
 

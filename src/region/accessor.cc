@@ -9,6 +9,9 @@
 namespace memflow::region {
 
 Result<SimDuration> SyncAccessor::Read(std::uint64_t offset, void* dst, std::uint64_t size) {
+  if (expected_state_.has_value()) {
+    MEMFLOW_RETURN_IF_ERROR(mgr_->CheckOwnership(id_, *expected_state_));
+  }
   // A single Read is one contiguous burst: one access latency plus the
   // bandwidth-bound transfer. If the call continues exactly where the last
   // one ended, the (modeled) prefetcher hides the latency entirely.
@@ -20,6 +23,9 @@ Result<SimDuration> SyncAccessor::Read(std::uint64_t offset, void* dst, std::uin
 
 Result<SimDuration> SyncAccessor::Write(std::uint64_t offset, const void* src,
                                         std::uint64_t size) {
+  if (expected_state_.has_value()) {
+    MEMFLOW_RETURN_IF_ERROR(mgr_->CheckOwnership(id_, *expected_state_));
+  }
   const bool continuation = offset == next_sequential_write_;
   next_sequential_write_ = offset + size;
   return mgr_->DoWrite(id_, who_, offset, src, size, view_, /*sequential=*/true,
@@ -40,6 +46,9 @@ void AsyncAccessor::set_queue_depth(int depth) {
 }
 
 Result<SimDuration> AsyncAccessor::Drain() {
+  if (expected_state_.has_value() && !ops_.empty()) {
+    MEMFLOW_RETURN_IF_ERROR(mgr_->CheckOwnership(id_, *expected_state_));
+  }
   // Pipelined batch model (§2.2(3)): each in-flight window of `queue_depth_`
   // operations overlaps its access latencies; transfers serialize on the
   // path's bandwidth. Total = (#windows x latency) + sum of transfer times.

@@ -14,6 +14,7 @@
 #define MEMFLOW_REGION_ACCESSOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -32,6 +33,12 @@ class SyncAccessor {
  public:
   Result<SimDuration> Read(std::uint64_t offset, void* dst, std::uint64_t size);
   Result<SimDuration> Write(std::uint64_t offset, const void* src, std::uint64_t size);
+
+  // Cross-check against the static ownership analysis (analysis::Verify):
+  // every subsequent access asserts the region is in `state`, so a divergence
+  // between the analyzer's prediction and the executor's bookkeeping surfaces
+  // as an error instead of silent misbehavior.
+  void ExpectOwnership(OwnershipState state) { expected_state_ = state; }
 
   // Typed element access, index in units of T.
   template <typename T>
@@ -57,6 +64,7 @@ class SyncAccessor {
   Principal who_;
   simhw::AccessView view_;
   std::uint64_t size_;
+  std::optional<OwnershipState> expected_state_;
   std::uint64_t next_sequential_read_ = 0;
   std::uint64_t next_sequential_write_ = 0;
 };
@@ -75,6 +83,9 @@ class AsyncAccessor {
   // Executes every queued operation; returns the total simulated time for the
   // pipelined batch. The queue is empty afterwards.
   Result<SimDuration> Drain();
+
+  // See SyncAccessor::ExpectOwnership; checked once per Drain().
+  void ExpectOwnership(OwnershipState state) { expected_state_ = state; }
 
   std::size_t queued() const { return ops_.size(); }
   const simhw::AccessView& view() const { return view_; }
@@ -101,6 +112,7 @@ class AsyncAccessor {
   Principal who_;
   simhw::AccessView view_;
   std::uint64_t size_;
+  std::optional<OwnershipState> expected_state_;
   int queue_depth_ = kDefaultQueueDepth;
   std::vector<Op> ops_;
 };

@@ -80,8 +80,10 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest
     double score;
     simhw::MemoryDeviceId device;
   };
+  const std::vector<simhw::MemoryDeviceId> devices = cluster_->AllMemoryDevices();
   std::vector<Candidate> candidates;
-  for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
+  candidates.reserve(devices.size());
+  for (const simhw::MemoryDeviceId dev : devices) {
     const simhw::MemoryDevice& device = cluster_->memory(dev);
     if (device.failed() || !device.profile().allocatable ||
         device.free_bytes() < request.size) {
@@ -448,6 +450,16 @@ Result<RegionInfo> RegionManager::Info(RegionId id) const {
   info.hotness = rec->hotness;
   info.lost = rec->lost;
   return info;
+}
+
+Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const {
+  MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
+  if (rec->state != expected) {
+    return Internal("ownership cross-check failed for region " + std::to_string(id.value) +
+                    ": static analysis predicted " + std::string(OwnershipStateName(expected)) +
+                    " but region is " + std::string(OwnershipStateName(rec->state)));
+  }
+  return OkStatus();
 }
 
 Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {

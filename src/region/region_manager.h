@@ -151,6 +151,12 @@ class RegionManager {
 
   Result<RegionInfo> Info(RegionId id) const;
 
+  // Cross-check hook for the static verifier (analysis::Verify): confirms the
+  // region is currently in `expected` ownership state. Returns kInternal on
+  // divergence — that means the analyzer's model and the executor's
+  // bookkeeping disagree, which is a bug in one of them, not in user code.
+  Status CheckOwnership(RegionId id, OwnershipState expected) const;
+
   // Test hook: the physical extent backing a region, so tests can inspect
   // raw (possibly encrypted) device bytes. Not part of the public API.
   Result<simhw::Extent> ExtentOfForTest(RegionId id) const;

@@ -30,9 +30,11 @@ std::vector<simhw::MemoryDeviceId> TieringDaemon::RankedTiers(const Properties& 
     std::int64_t speed_ns;
     simhw::MemoryDeviceId device;
   };
-  std::vector<Tier> tiers;
   simhw::Cluster& cluster = manager_->cluster();
-  for (const simhw::MemoryDeviceId dev : cluster.AllMemoryDevices()) {
+  const std::vector<simhw::MemoryDeviceId> devices = cluster.AllMemoryDevices();
+  std::vector<Tier> tiers;
+  tiers.reserve(devices.size());
+  for (const simhw::MemoryDeviceId dev : devices) {
     if (cluster.memory(dev).failed() || !cluster.memory(dev).profile().allocatable) {
       continue;
     }
@@ -67,8 +69,10 @@ TieringReport TieringDaemon::RunEpoch() {
     RegionInfo info;
     double density;
   };
+  const std::vector<RegionId> live = manager_->LiveRegions();
   std::vector<Entry> entries;
-  for (const RegionId id : manager_->LiveRegions()) {
+  entries.reserve(live.size());
+  for (const RegionId id : live) {
     auto info = manager_->Info(id);
     if (!info.ok() || info->lost) {
       continue;

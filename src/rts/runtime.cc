@@ -24,8 +24,35 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
 
 Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
   MEMFLOW_RETURN_IF_ERROR(job.Validate());
+
+  // Static gate: verify ownership/property/placement invariants from the
+  // declarative DAG before any resource is committed.
+  if (options_.verify != VerifyMode::kOff) {
+    analysis::VerifyOptions vopts;
+    vopts.allow_latency_relax = options_.region_config.allow_latency_relax;
+    last_verify_report_ = analysis::Verify(job, cluster_, vopts);
+    for (const analysis::Diagnostic& d : last_verify_report_.diagnostics()) {
+      if (d.severity == analysis::Severity::kError) {
+        MEMFLOW_LOG(kWarn) << "verify(" << job.name() << "): " << d.ToString();
+      } else {
+        MEMFLOW_LOG(kInfo) << "verify(" << job.name() << "): " << d.ToString();
+      }
+    }
+    if (options_.verify == VerifyMode::kEnforce && !last_verify_report_.ok()) {
+      stats_.jobs_submitted++;
+      stats_.jobs_rejected++;
+      stats_.jobs_rejected_by_verifier++;
+      return FailedPrecondition("job '" + job.name() +
+                                "' rejected by static verifier: " +
+                                last_verify_report_.Summary());
+    }
+  } else {
+    last_verify_report_ = analysis::Report{};
+  }
+
   const auto id = dataflow::JobId(next_job_id_++);
   auto exec = std::make_unique<JobExec>(id, std::move(job));
+  exec->verify_report = last_verify_report_;
   exec->report.id = id;
   exec->report.name = exec->job.name();
   exec->report.submitted = clock_.now();
@@ -70,7 +97,7 @@ Status Runtime::Plan(JobExec& exec) {
     TaskExec& te = exec.tasks[t.value];
     te.remaining_inputs = static_cast<int>(job.predecessors(t).size());
     std::uint64_t est = 0;
-    for (const dataflow::TaskId p : job.predecessors(t)) {
+    for (const dataflow::TaskId p : job.DataPredecessors(t)) {
       est += CostModel::OutputBytes(job.task(p).props, exec.tasks[p.value].est_input_bytes);
     }
     te.est_input_bytes = est;
@@ -232,11 +259,12 @@ void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
   te.report.start = clock_.now();
 
   // Output goes where the consumer will read it (Figure 4): use the first
-  // successor's planned device as the observer for output allocation.
+  // data successor's planned device as the observer for output allocation
+  // (control edges carry no data, so they never read the output).
   simhw::ComputeDeviceId output_observer = te.planned;
-  const auto& succs = exec.job.successors(task);
-  if (!succs.empty()) {
-    output_observer = exec.tasks[succs.front().value].planned;
+  const std::vector<dataflow::TaskId> data_succs = exec.job.DataSuccessors(task);
+  if (!data_succs.empty()) {
+    output_observer = exec.tasks[data_succs.front().value].planned;
   }
 
   dataflow::TaskContext::Init init;
@@ -246,6 +274,19 @@ void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
   init.output_observer = output_observer;
   init.props = spec.props;
   init.inputs = te.inputs;
+
+  // Cross-check (verifier layer 3): hand the statically computed ownership
+  // states to the context, so accessors can assert the executor delivered
+  // exactly what the analysis predicted.
+  if (options_.verify != VerifyMode::kOff) {
+    for (const dataflow::TaskId p : exec.job.DataPredecessors(task)) {
+      const region::RegionId in = exec.tasks[p.value].output;
+      const auto expected = exec.verify_report.ExpectedStateOf(task, p);
+      if (in.valid() && expected.has_value()) {
+        init.expected_input_states.emplace_back(in, *expected);
+      }
+    }
+  }
   init.global_state = exec.state_region;
   init.global_scratch = exec.scratch_region;
   init.rng_seed = HashCombine(HashCombine(options_.seed, exec.id.value),
@@ -396,11 +437,11 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
     return OkStatus();  // no output produced; successors get fewer inputs
   }
   const region::Principal self = TaskPrincipal(exec, task);
-  const auto& succs = exec.job.successors(task);
+  const std::vector<dataflow::TaskId> succs = exec.job.DataSuccessors(task);
 
   if (succs.empty()) {
-    // Sink: the job keeps the result until teardown (persistent outputs
-    // outlive the job; see FinishJob).
+    // Sink (or every out-edge is control-only): the job keeps the result
+    // until teardown (persistent outputs outlive the job; see FinishJob).
     MEMFLOW_ASSIGN_OR_RETURN(
         SimDuration cost,
         regions_.Transfer(te.output, self, JobPrincipalFor(exec), te.planned));
@@ -410,7 +451,10 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
     return OkStatus();
   }
 
-  if (succs.size() == 1) {
+  const bool sole_shared =
+      succs.size() == 1 &&
+      exec.job.edge_options(task, succs.front()).mode == dataflow::EdgeMode::kShare;
+  if (succs.size() == 1 && !sole_shared) {
     const dataflow::TaskId succ = succs.front();
     MEMFLOW_ASSIGN_OR_RETURN(
         SimDuration cost,
@@ -423,8 +467,9 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
     return OkStatus();
   }
 
-  // Fan-out: the output becomes shared between all successors. This is a
-  // completed-producer handoff, so async access suffices for far consumers.
+  // Fan-out (or an explicitly shared sole consumer): the output becomes
+  // shared between all data successors. This is a completed-producer handoff,
+  // so async access suffices for far consumers.
   for (const dataflow::TaskId succ : succs) {
     MEMFLOW_RETURN_IF_ERROR(regions_.Share(te.output, self, TaskPrincipal(exec, succ),
                                            exec.tasks[succ.value].planned,

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "common/status.h"
 #include "dataflow/context.h"
 #include "dataflow/job.h"
@@ -38,6 +39,13 @@
 
 namespace memflow::rts {
 
+// How admission treats the static verifier (analysis::Verify).
+enum class VerifyMode {
+  kOff,      // do not run the verifier
+  kWarn,     // run and log diagnostics; never reject
+  kEnforce,  // reject jobs with error-severity diagnostics (default)
+};
+
 struct RuntimeOptions {
   PlacementPolicyKind policy = PlacementPolicyKind::kCostModel;
   region::PlacementConfig region_config;
@@ -46,6 +54,10 @@ struct RuntimeOptions {
   int max_task_attempts = 2;
   // Delay before a failed attempt is re-queued.
   SimDuration retry_backoff = SimDuration::Micros(10);
+  // Static ownership/property verification at admission. While not kOff, the
+  // executor also cross-checks the statically computed ownership states at
+  // every input access, so the analyzer and the executor validate each other.
+  VerifyMode verify = VerifyMode::kEnforce;
 };
 
 struct TaskReport {
@@ -80,6 +92,7 @@ struct RuntimeStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_rejected = 0;   // failed admission (placement infeasible)
+  std::uint64_t jobs_rejected_by_verifier = 0;  // subset: static analysis
   std::uint64_t tasks_executed = 0;
   std::uint64_t task_retries = 0;
   std::uint64_t zero_copy_handovers = 0;
@@ -113,6 +126,8 @@ class Runtime {
   // The admitted job's DAG (valid for the runtime's lifetime).
   Result<const dataflow::Job*> GetJob(dataflow::JobId id) const;
   region::Principal JobPrincipal(dataflow::JobId id) const;
+  // Verifier findings for the most recent Submit() (admitted or rejected).
+  const analysis::Report& last_verify_report() const { return last_verify_report_; }
   region::RegionManager& regions() { return regions_; }
   const region::RegionManager& regions() const { return regions_; }
   simhw::VirtualClock& clock() { return clock_; }
@@ -147,6 +162,7 @@ class Runtime {
     dataflow::JobId id;
     std::size_t index = 0;  // position in jobs_
     dataflow::Job job;
+    analysis::Report verify_report;  // static ownership states for cross-check
     JobReport report;
     std::vector<TaskExec> tasks;
     region::RegionId state_region;
@@ -196,6 +212,7 @@ class Runtime {
       device_queues_;
   std::unordered_map<std::uint32_t, SimDuration> device_busy_;
   RuntimeStats stats_;
+  analysis::Report last_verify_report_;
   std::uint32_t next_job_id_ = 1;
 };
 

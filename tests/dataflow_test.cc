@@ -96,6 +96,58 @@ TEST(JobTest, TopologicalOrderRespectsEdges) {
   EXPECT_LT(pos(c), pos(d));
 }
 
+TEST(JobTest, CycleIntroducedAfterValidationDetected) {
+  Job job("latecycle");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+  ASSERT_TRUE(job.Validate().ok());
+  // Validation is stateless: closing the loop afterwards must be caught by
+  // the next Validate() call (the runtime re-validates at admission).
+  ASSERT_TRUE(job.Connect(c, a).ok());
+  EXPECT_EQ(job.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, DanglingTaskIdsRejectedInBothPositions) {
+  Job job("dangling");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  EXPECT_EQ(job.Connect(TaskId(7), a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(job.Connect(a, TaskId(7)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(job.Connect(TaskId(5), TaskId(7)).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(job.successors(a).empty());
+  EXPECT_TRUE(job.predecessors(a).empty());
+}
+
+TEST(JobTest, EdgeOptionsStoredAndDataEdgesFiltered) {
+  Job job("edges");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b, {EdgeMode::kMove}).ok());
+  ASSERT_TRUE(job.Connect(a, c, {EdgeMode::kControl}).ok());
+
+  EXPECT_EQ(job.edge_options(a, b).mode, EdgeMode::kMove);
+  EXPECT_EQ(job.edge_options(a, c).mode, EdgeMode::kControl);
+  // Control edges order execution but carry no data.
+  EXPECT_EQ(job.DataSuccessors(a), std::vector<TaskId>{b});
+  EXPECT_EQ(job.DataPredecessors(c), std::vector<TaskId>{});
+  EXPECT_EQ(job.DataPredecessors(b), std::vector<TaskId>{a});
+  // Plain successors still see both.
+  EXPECT_EQ(job.successors(a).size(), 2u);
+}
+
+TEST(JobTest, WritesInputOnControlEdgeRejected) {
+  Job job("cw");
+  const TaskId a = job.AddTask("a", {}, Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  EdgeOptions options;
+  options.mode = EdgeMode::kControl;
+  options.writes_input = true;
+  EXPECT_EQ(job.Connect(a, b, options).code(), StatusCode::kInvalidArgument);
+}
+
 TEST(JobTest, PredecessorsAndSuccessorsTracked) {
   Job job("g");
   const TaskId a = job.AddTask("a", {}, Nop());

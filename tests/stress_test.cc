@@ -79,6 +79,21 @@ Job RandomDag(Rng& rng, int n, const char* name) {
       }
     }
   }
+  // Keep the generated jobs admissible under the static verifier: a
+  // non-confidential consumer of a confidential producer must declare it
+  // declassifies (prop-confidential-downgrade is an admission error).
+  for (int to = 0; to < n; ++to) {
+    const TaskId t(static_cast<std::uint32_t>(to));
+    if (job.task(t).props.confidential) {
+      continue;
+    }
+    for (const TaskId from : job.predecessors(t)) {
+      if (job.task(from).props.confidential) {
+        job.task(t).props.declassifies = true;
+        break;
+      }
+    }
+  }
   return job;
 }
 
