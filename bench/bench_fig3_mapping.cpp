@@ -30,9 +30,11 @@ void PrintArtifact() {
 
   struct Observer {
     const char* name;
+    const char* key;  // stable name for --json results
     simhw::ComputeDeviceId device;
   };
-  const Observer observers[] = {{"CPU task", host.cpu}, {"GPU task", host.gpu}};
+  const Observer observers[] = {{"CPU task", "cpu", host.cpu},
+                                {"GPU task", "gpu", host.gpu}};
 
   TextTable table({"Requesting task", "Request", "Resolved device", "Use cost",
                    "Cost if fixed on DRAM", "Cost if fixed on GDDR"});
@@ -59,6 +61,13 @@ void PrintArtifact() {
                   HumanDuration(ExpectedUseCost(*chosen_view, size, hint)),
                   HumanDuration(ExpectedUseCost(*dram_view, size, hint)),
                   HumanDuration(ExpectedUseCost(*gddr_view, size, hint))});
+    const std::string prefix = std::string("fig3.") + obs.key;
+    RecordResult(prefix + ".use_cost_ns",
+                 static_cast<double>(ExpectedUseCost(*chosen_view, size, hint).ns), "ns");
+    RecordResult(prefix + ".fixed_dram_cost_ns",
+                 static_cast<double>(ExpectedUseCost(*dram_view, size, hint).ns), "ns");
+    RecordResult(prefix + ".fixed_gddr_cost_ns",
+                 static_cast<double>(ExpectedUseCost(*gddr_view, size, hint).ns), "ns");
     (void)mgr.Free(*id, kBench);
   }
   std::printf("%s\n", table.Render().c_str());
@@ -77,11 +86,12 @@ void PrintArtifact() {
   MEMFLOW_CHECK(cpu_id.ok() && gpu_id.ok());
   const auto cpu_dev = mgr.Info(*cpu_id)->device;
   const auto gpu_dev = mgr.Info(*gpu_id)->device;
+  const bool observer_relative = cpu_dev != gpu_dev && gpu_dev == host.gddr;
   std::printf("check: CPU scratch on %s, GPU scratch on %s -> %s\n\n",
               host.cluster->memory(cpu_dev).name().c_str(),
               host.cluster->memory(gpu_dev).name().c_str(),
-              (cpu_dev != gpu_dev && gpu_dev == host.gddr) ? "PASS (observer-relative)"
-                                                           : "FAIL");
+              observer_relative ? "PASS (observer-relative)" : "FAIL");
+  RecordResult("fig3.observer_relative", observer_relative ? 1 : 0, "bool");
   (void)mgr.Free(*cpu_id, kBench);
   (void)mgr.Free(*gpu_id, kBench);
 }

@@ -61,6 +61,9 @@ void PrintArtifact() {
                       ? "inf (zero-copy)"
                       : Ratio(static_cast<double>(copy.ns),
                               static_cast<double>(transfer_cost->ns))});
+    const std::string prefix = "fig4." + std::to_string(mib) + "mib";
+    RecordResult(prefix + ".transfer_ns", static_cast<double>(transfer_cost->ns), "ns");
+    RecordResult(prefix + ".copy_ns", static_cast<double>(copy.ns), "ns");
     (void)mgr.Free(*id, kConsumer);
   }
   std::printf("%s\n", table.Render().c_str());
@@ -87,6 +90,9 @@ void PrintArtifact() {
                 HumanDuration(*cost).c_str());
     std::printf("check: zero-copy for relaxed properties, migration for strict -> %s\n\n",
                 (before == host.gddr && after != host.gddr) ? "PASS" : "FAIL");
+    RecordResult("fig4.fallback_migration_ns", static_cast<double>(cost->ns), "ns");
+    RecordResult("fig4.fallback_migrated",
+                 (before == host.gddr && after != host.gddr) ? 1 : 0, "bool");
   }
 }
 

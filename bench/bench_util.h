@@ -12,8 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -42,17 +45,85 @@ inline std::string GbPerSec(std::uint64_t bytes, SimDuration d) {
   return FormatDouble(static_cast<double>(bytes) / static_cast<double>(d.ns), 1);
 }
 
-// Standard main for bench binaries: artifact first, then timers.
-#define MEMFLOW_BENCH_MAIN(print_artifact_fn)                  \
-  int main(int argc, char** argv) {                            \
-    print_artifact_fn();                                       \
-    ::benchmark::Initialize(&argc, argv);                      \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                                \
-    }                                                          \
-    ::benchmark::RunSpecifiedBenchmarks();                     \
-    ::benchmark::Shutdown();                                   \
-    return 0;                                                  \
+// --- machine-readable artifact results ---------------------------------------
+//
+// Artifact printers call RecordResult for each headline number; when the
+// binary is invoked with `--json <path>`, the recorded results are written
+// there as a stable JSON document (consumed by ci.sh into BENCH_rts.json).
+
+struct BenchResult {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+inline std::vector<BenchResult>& Results() {
+  static std::vector<BenchResult> results;
+  return results;
+}
+
+inline void RecordResult(const std::string& name, double value, const std::string& unit) {
+  Results().push_back({name, value, unit});
+}
+
+// Pulls `--json <path>` / `--json=<path>` out of argv before google-benchmark
+// sees (and rejects) it. Returns the path, or "" if the flag is absent.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+inline bool WriteResultsJson(const std::string& path, const char* bench_name) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::string json = "{\"bench\":" + JsonQuote(bench_name) + ",\"results\":[";
+  bool first = true;
+  for (const BenchResult& r : Results()) {
+    if (!first) {
+      json += ',';
+    }
+    first = false;
+    json += "{\"name\":" + JsonQuote(r.name) + ",\"value\":" + JsonNumber(r.value) +
+            ",\"unit\":" + JsonQuote(r.unit) + "}";
+  }
+  json += "]}\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+// Standard main for bench binaries: artifact first, then timers, then the
+// optional --json results dump.
+#define MEMFLOW_BENCH_MAIN(print_artifact_fn)                            \
+  int main(int argc, char** argv) {                                      \
+    const std::string json_path =                                        \
+        ::memflow::bench::ExtractJsonFlag(&argc, argv);                  \
+    print_artifact_fn();                                                 \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {          \
+      return 1;                                                          \
+    }                                                                    \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    if (!json_path.empty() &&                                            \
+        !::memflow::bench::WriteResultsJson(json_path, argv[0])) {       \
+      return 1;                                                          \
+    }                                                                    \
+    return 0;                                                            \
   }
 
 }  // namespace memflow::bench

@@ -19,6 +19,27 @@ cmake --build build -j "$JOBS"
 echo "== test =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== telemetry artifacts =="
+# Bench artifact numbers -> BENCH_rts.json (timers skipped: filter matches none).
+./build/bench/bench_fig3_mapping --benchmark_filter='^$' --json build/fig3.json >/dev/null
+./build/bench/bench_fig4_ownership --benchmark_filter='^$' --json build/fig4.json >/dev/null
+python3 - build/fig3.json build/fig4.json <<'EOF'
+import json, sys
+merged = {"benches": [json.load(open(p)) for p in sys.argv[1:]]}
+assert all(b["results"] for b in merged["benches"]), "empty bench results"
+with open("BENCH_rts.json", "w") as f:
+    json.dump(merged, f, indent=1)
+EOF
+test -s BENCH_rts.json
+# End-to-end observability demo: metrics snapshot + Perfetto trace.
+./build/examples/observe_runtime build/observe_metrics.json build/observe_trace.json >/dev/null
+# Every exported JSON artifact must parse.
+for artifact in build/fig3.json build/fig4.json BENCH_rts.json \
+                build/observe_metrics.json build/observe_trace.json; do
+  python3 -m json.tool "$artifact" >/dev/null
+done
+echo "BENCH_rts.json + telemetry artifacts ok"
+
 if [[ "$SKIP_SANITIZE" == "1" ]]; then
   echo "== sanitizers skipped =="
   exit 0

@@ -1,0 +1,64 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace memflow {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) { return '"' + JsonEscape(s) + '"'; }
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  // Integral values print without a fraction so counters stay integers.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 9e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace memflow

@@ -1,0 +1,31 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Shared JSON emission helpers. Every exporter that hand-writes JSON (Chrome
+// traces, metric snapshots, bench results) routes its strings through
+// JsonEscape so a task or device name containing quotes, backslashes, or
+// control characters can never produce an invalid document.
+
+#ifndef MEMFLOW_COMMON_JSON_H_
+#define MEMFLOW_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace memflow {
+
+// Escapes `s` for embedding inside a JSON string literal (quotes not added):
+// `"` -> `\"`, `\` -> `\\`, common control characters to their short escapes,
+// and any other byte < 0x20 to `\u00XX`. Non-ASCII bytes pass through
+// unchanged (JSON strings are UTF-8).
+std::string JsonEscape(std::string_view s);
+
+// `"` + JsonEscape(s) + `"`.
+std::string JsonQuote(std::string_view s);
+
+// Renders a double as a JSON number. Non-finite values (which JSON cannot
+// represent) are clamped to 0 so a stray NaN never invalidates a document.
+std::string JsonNumber(double v);
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_JSON_H_

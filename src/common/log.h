@@ -15,6 +15,30 @@ namespace memflow {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+// Structured one-line key=value log context:
+//
+//   MEMFLOW_LOG(kInfo) << "migration" << Kv("region", id) << Kv("bytes", n);
+//
+// renders "migration region=17 bytes=1048576". Runtime events (placement,
+// migration, fault) log the same label keys the metrics registry uses
+// (`device`, `region_class`, `job`, ...), so log lines and metric series
+// correlate directly.
+template <typename T>
+struct KvPair {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+KvPair<T> Kv(std::string_view key, const T& value) {
+  return {key, value};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const KvPair<T>& kv) {
+  return os << ' ' << kv.key << '=' << kv.value;
+}
+
 // Global threshold; messages below it are dropped. Default kWarn.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();

@@ -5,7 +5,7 @@
 // AES-XTS: it has the property the enforcement logic needs — the same
 // (key, absolute offset) always produces the same keystream, so random-access
 // reads/writes of arbitrary unaligned ranges round-trip — while making raw
-// device bytes unintelligible without the key. See DESIGN.md §7: the cipher
+// device bytes unintelligible without the key. See DESIGN.md §8: the cipher
 // is a stand-in; the enforcement (who holds keys, what is scrambled when) is
 // the contribution under test.
 

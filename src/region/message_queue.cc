@@ -4,6 +4,26 @@
 
 namespace memflow::region {
 
+MessageQueue::Instruments MessageQueue::ResolveInstruments(RegionManager& regions,
+                                                           RegionId region) {
+  telemetry::Registry& reg = *regions.registry();
+  const telemetry::Labels region_label = {{"region", std::to_string(region.value)}};
+  Instruments out;
+  out.pushes = reg.GetCounter("message_queue_ops_total", "Message queue operations",
+                               {{"op", "push"}});
+  out.pops = reg.GetCounter("message_queue_ops_total", "Message queue operations",
+                             {{"op", "pop"}});
+  out.full_stalls = reg.GetCounter("message_queue_stalls_total",
+                                    "Operations refused on a full/empty queue",
+                                    {{"kind", "full"}});
+  out.empty_stalls = reg.GetCounter("message_queue_stalls_total",
+                                     "Operations refused on a full/empty queue",
+                                     {{"kind", "empty"}});
+  out.depth = reg.GetGauge("message_queue_depth", "Messages currently queued",
+                            region_label);
+  return out;
+}
+
 Result<MessageQueue> MessageQueue::Create(RegionManager& regions, RegionId region,
                                           const Principal& who,
                                           simhw::ComputeDeviceId observer,
@@ -24,7 +44,8 @@ Result<MessageQueue> MessageQueue::Create(RegionManager& regions, RegionId regio
   Header header{kMagic, message_size, capacity, 0, 0};
   MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Write(0, &header, sizeof(header)));
   (void)cost;  // creation cost is not attributed to either endpoint
-  return MessageQueue(std::move(acc), message_size, capacity);
+  return MessageQueue(std::move(acc), message_size, capacity,
+                      ResolveInstruments(regions, region));
 }
 
 Result<MessageQueue> MessageQueue::Open(RegionManager& regions, RegionId region,
@@ -37,13 +58,15 @@ Result<MessageQueue> MessageQueue::Open(RegionManager& regions, RegionId region,
   if (header.magic != kMagic) {
     return FailedPrecondition("region does not hold a message queue");
   }
-  return MessageQueue(std::move(acc), header.message_size, header.capacity);
+  return MessageQueue(std::move(acc), header.message_size, header.capacity,
+                      ResolveInstruments(regions, region));
 }
 
 Result<SimDuration> MessageQueue::Push(const void* message) {
   Header header{};
   MEMFLOW_ASSIGN_OR_RETURN(SimDuration c1, accessor_.Read(0, &header, sizeof(header)));
   if ((header.tail + 1) % header.capacity == header.head) {
+    instruments_.full_stalls->Increment();
     return ResourceExhausted("queue full");
   }
   MEMFLOW_ASSIGN_OR_RETURN(
@@ -53,6 +76,9 @@ Result<SimDuration> MessageQueue::Push(const void* message) {
   MEMFLOW_ASSIGN_OR_RETURN(
       SimDuration c3,
       accessor_.Write(offsetof(Header, tail), &header.tail, sizeof(header.tail)));
+  instruments_.pushes->Increment();
+  instruments_.depth->Set(static_cast<double>(
+      (header.tail + header.capacity - header.head) % header.capacity));
   return c1 + c2 + c3;
 }
 
@@ -60,6 +86,7 @@ Result<SimDuration> MessageQueue::Pop(void* out) {
   Header header{};
   MEMFLOW_ASSIGN_OR_RETURN(SimDuration c1, accessor_.Read(0, &header, sizeof(header)));
   if (header.head == header.tail) {
+    instruments_.empty_stalls->Increment();
     return NotFound("queue empty");
   }
   MEMFLOW_ASSIGN_OR_RETURN(SimDuration c2,
@@ -68,6 +95,9 @@ Result<SimDuration> MessageQueue::Pop(void* out) {
   MEMFLOW_ASSIGN_OR_RETURN(
       SimDuration c3,
       accessor_.Write(offsetof(Header, head), &header.head, sizeof(header.head)));
+  instruments_.pops->Increment();
+  instruments_.depth->Set(static_cast<double>(
+      (header.tail + header.capacity - header.head) % header.capacity));
   return c1 + c2 + c3;
 }
 

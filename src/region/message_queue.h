@@ -63,8 +63,21 @@ class MessageQueue {
   static constexpr std::uint64_t kMagic = 0x6d666c6f77715f31ULL;  // "mflowq_1"
   static constexpr std::uint64_t kSlotsOffset = 64;
 
-  MessageQueue(SyncAccessor accessor, std::uint64_t message_size, std::uint64_t capacity)
-      : accessor_(std::move(accessor)), message_size_(message_size), capacity_(capacity) {}
+  struct Instruments {
+    telemetry::Counter* pushes = nullptr;
+    telemetry::Counter* pops = nullptr;
+    telemetry::Counter* full_stalls = nullptr;
+    telemetry::Counter* empty_stalls = nullptr;
+    telemetry::Gauge* depth = nullptr;
+  };
+  static Instruments ResolveInstruments(RegionManager& regions, RegionId region);
+
+  MessageQueue(SyncAccessor accessor, std::uint64_t message_size, std::uint64_t capacity,
+               Instruments instruments)
+      : accessor_(std::move(accessor)),
+        message_size_(message_size),
+        capacity_(capacity),
+        instruments_(instruments) {}
 
   std::uint64_t SlotOffset(std::uint64_t index) const {
     return kSlotsOffset + index * message_size_;
@@ -73,6 +86,7 @@ class MessageQueue {
   SyncAccessor accessor_;
   std::uint64_t message_size_;
   std::uint64_t capacity_;
+  Instruments instruments_;
 };
 
 }  // namespace memflow::region

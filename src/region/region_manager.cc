@@ -16,6 +16,10 @@ namespace {
 // enough to keep peak host memory bounded during big migrations.
 constexpr std::uint64_t kCopyChunk = 256 * kKiB;
 
+// Trace track for migration spans. Device tracks use the (small) device ids,
+// so a large constant keeps the migration lane visually separate.
+constexpr std::uint64_t kMigrationTrack = 1000;
+
 LatencyClass RelaxOneStep(LatencyClass c) {
   switch (c) {
     case LatencyClass::kLow:
@@ -71,8 +75,53 @@ std::string_view OwnershipStateName(OwnershipState s) {
 }
 
 RegionManager::RegionManager(simhw::Cluster& cluster, PlacementConfig config,
-                             std::uint64_t key_seed)
-    : cluster_(&cluster), config_(config), key_rng_(key_seed) {}
+                             std::uint64_t key_seed, telemetry::Registry* registry)
+    : cluster_(&cluster),
+      config_(config),
+      key_rng_(key_seed),
+      registry_(registry != nullptr ? registry : &telemetry::DefaultRegistry()) {
+  telemetry::Registry& reg = *registry_;
+  for (int c = 0; c < kNumRegionClasses; ++c) {
+    const telemetry::Labels labels = {
+        {"region_class", std::string(RegionClassName(static_cast<RegionClass>(c)))}};
+    instruments_.allocations[c] =
+        reg.GetCounter("region_allocations_total", "Regions allocated", labels);
+    instruments_.alloc_bytes[c] =
+        reg.GetCounter("region_alloc_bytes_total", "Bytes allocated in regions", labels);
+    instruments_.bytes_read[c] =
+        reg.GetCounter("region_bytes_read_total", "Bytes read from regions", labels);
+    instruments_.bytes_written[c] =
+        reg.GetCounter("region_bytes_written_total", "Bytes written to regions", labels);
+  }
+  instruments_.alloc_failures = reg.GetCounter(
+      "region_alloc_failures_total", "Allocation requests no device could satisfy");
+  instruments_.latency_relaxed = reg.GetCounter(
+      "region_latency_relaxed_total",
+      "Allocations that succeeded only after relaxing the latency class");
+  instruments_.frees = reg.GetCounter("region_frees_total", "Regions freed");
+  instruments_.transfers_zero_copy = reg.GetCounter(
+      "region_transfers_total", "Ownership transfers", {{"kind", "zero_copy"}});
+  instruments_.transfers_migrated = reg.GetCounter(
+      "region_transfers_total", "Ownership transfers", {{"kind", "migrated"}});
+  instruments_.migrations =
+      reg.GetCounter("region_migrations_total", "Physical region migrations");
+  instruments_.migrated_bytes =
+      reg.GetCounter("region_migrated_bytes_total", "Bytes physically migrated");
+  instruments_.confidentiality_denials = reg.GetCounter(
+      "region_confidentiality_denials_total", "Accesses denied by confidentiality checks");
+  instruments_.alloc_size = reg.GetHistogram(
+      "region_alloc_size_bytes", "Distribution of region allocation sizes",
+      telemetry::HistogramSpec{/*first_bound=*/256.0, /*growth=*/4.0, /*buckets=*/16});
+}
+
+void RegionManager::BindTrace(const simhw::VirtualClock* clock,
+                              telemetry::TraceBuffer* tracer) {
+  clock_ = clock;
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->SetTrackName(kMigrationTrack, "region-manager");
+  }
+}
 
 std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest& request,
                                                               const Properties& props) const {
@@ -118,10 +167,12 @@ Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
   }
   Properties props = request.props;
   std::vector<simhw::MemoryDeviceId> ranked = RankDevices(request, props);
+  bool relaxed = false;
   if (ranked.empty() && config_.allow_latency_relax) {
     while (ranked.empty() && props.latency != LatencyClass::kAny) {
       props.latency = RelaxOneStep(props.latency);
       ranked = RankDevices(request, props);
+      relaxed = true;
     }
   }
   for (const simhw::MemoryDeviceId dev : ranked) {
@@ -144,14 +195,21 @@ Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
     }
     rec.klass = ClassifyProperties(request.props);
     stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
+    instruments_.allocations[static_cast<int>(rec.klass)]->Increment();
+    instruments_.alloc_bytes[static_cast<int>(rec.klass)]->Increment(request.size);
+    instruments_.alloc_size->Observe(static_cast<double>(request.size));
+    if (relaxed) {
+      instruments_.latency_relaxed->Increment();
+    }
     regions_.emplace(id.value, std::move(rec));
     stats_.allocations++;
-    MEMFLOW_LOG(kDebug) << "region " << id.value << " (" << request.size << " B, "
-                        << request.props.ToString() << ") -> "
-                        << cluster_->memory(dev).name();
+    MEMFLOW_LOG(kDebug) << "region" << Kv("id", id.value) << Kv("bytes", request.size)
+                        << Kv("props", request.props.ToString())
+                        << Kv("device", cluster_->memory(dev).name());
     return id;
   }
   stats_.failed_allocations++;
+  instruments_.alloc_failures->Increment();
   return ResourceExhausted("no device satisfies " + props.ToString() + " for " +
                            std::to_string(request.size) + " B from observer " +
                            std::to_string(request.observer.value));
@@ -177,6 +235,9 @@ Result<RegionId> RegionManager::AllocateOn(simhw::MemoryDeviceId device, std::ui
   }
   rec.klass = ClassifyProperties(props);
   stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
+  instruments_.allocations[static_cast<int>(rec.klass)]->Increment();
+  instruments_.alloc_bytes[static_cast<int>(rec.klass)]->Increment(size);
+  instruments_.alloc_size->Observe(static_cast<double>(size));
   regions_.emplace(id.value, std::move(rec));
   stats_.allocations++;
   return id;
@@ -192,6 +253,7 @@ Result<RegionManager::Record*> RegionManager::GetChecked(RegionId id, const Prin
   // touch a confidential region at all.
   if (rec.enc_key != 0 && who != kRuntimePrincipal && who.job != rec.job) {
     stats_.confidentiality_denials++;
+    instruments_.confidentiality_denials->Increment();
     return PermissionDenied("region " + std::to_string(id.value) +
                             " is confidential to job " + std::to_string(rec.job));
   }
@@ -227,6 +289,7 @@ Status RegionManager::FreeLocked(Record& rec) {
   rec.state = OwnershipState::kFreed;
   rec.sharers.clear();
   stats_.frees++;
+  instruments_.frees->Increment();
   return OkStatus();
 }
 
@@ -248,6 +311,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
   }
   if (rec->enc_key != 0 && to.job != rec->job) {
     stats_.confidentiality_denials++;
+    instruments_.confidentiality_denials->Increment();
     return PermissionDenied("confidential region cannot leave job " +
                             std::to_string(rec->job));
   }
@@ -263,6 +327,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
   if (view.ok() && Satisfies(*view, rec->props)) {
     rec->owner = to;
     stats_.zero_copy_transfers++;
+    instruments_.transfers_zero_copy->Increment();
     return SimDuration{};
   }
 
@@ -282,6 +347,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
     auto cost = MoveExtent(*rec, dev);
     if (cost.ok()) {
       rec->owner = to;
+      instruments_.transfers_migrated->Increment();
       return cost;
     }
   }
@@ -294,6 +360,7 @@ Status RegionManager::Share(RegionId id, const Principal& owner, const Principal
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, owner));
   if (rec->enc_key != 0 && with.job != rec->job) {
     stats_.confidentiality_denials++;
+    instruments_.confidentiality_denials->Increment();
     return PermissionDenied("confidential region cannot be shared outside job " +
                             std::to_string(rec->job));
   }
@@ -397,8 +464,25 @@ Result<SimDuration> RegionManager::MoveExtent(Record& rec, simhw::MemoryDeviceId
   rec.extent = dst_extent;
   stats_.migrations++;
   stats_.bytes_migrated += rec.size;
-  MEMFLOW_LOG(kDebug) << "region " << rec.id.value << " migrated " << src_dev.name() << " -> "
-                      << dst_dev.name();
+  instruments_.migrations->Increment();
+  instruments_.migrated_bytes->Increment(rec.size);
+  if (tracer_ != nullptr && clock_ != nullptr) {
+    telemetry::TraceEvent event;
+    event.type = telemetry::TraceEventType::kSpan;
+    event.name = "migrate region " + std::to_string(rec.id.value);
+    event.category = "migration";
+    event.track = kMigrationTrack;
+    event.job = rec.job;
+    event.ts = clock_->now();
+    event.dur = total;
+    event.args = {{"region", std::to_string(rec.id.value), /*quoted=*/false},
+                  {"bytes", std::to_string(rec.size), /*quoted=*/false},
+                  {"src", src_dev.name()},
+                  {"dst", dst_dev.name()}};
+    tracer_->Emit(std::move(event));
+  }
+  MEMFLOW_LOG(kDebug) << "migrated" << Kv("region", rec.id.value) << Kv("bytes", rec.size)
+                      << Kv("src", src_dev.name()) << Kv("dst", dst_dev.name());
   return total;
 }
 
@@ -509,6 +593,7 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
   }
   rec->hotness += 1 + size / 256;
   stats_.bytes_read_by_class[static_cast<int>(rec->klass)] += size;
+  instruments_.bytes_read[static_cast<int>(rec->klass)]->Increment(size);
   SimDuration cost = view.ReadCost(size, sequential);
   if (!charge_latency) {
     cost.ns = std::max<std::int64_t>(0, cost.ns - view.read_latency.ns);
@@ -544,6 +629,7 @@ Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
   }
   rec->hotness += 1 + size / 256;
   stats_.bytes_written_by_class[static_cast<int>(rec->klass)] += size;
+  instruments_.bytes_written[static_cast<int>(rec->klass)]->Increment(size);
   SimDuration cost = view.WriteCost(size, sequential);
   if (!charge_latency) {
     cost.ns = std::max<std::int64_t>(0, cost.ns - view.write_latency.ns);

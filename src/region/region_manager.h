@@ -21,7 +21,10 @@
 #include "region/accessor.h"
 #include "region/properties.h"
 #include "region/region.h"
+#include "simhw/clock.h"
 #include "simhw/cluster.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace memflow::region {
 
@@ -65,8 +68,11 @@ struct ManagerStats {
 
 class RegionManager {
  public:
+  // `registry` receives the manager's metrics (allocations, traffic,
+  // migrations, denials); nullptr means telemetry::DefaultRegistry().
   explicit RegionManager(simhw::Cluster& cluster, PlacementConfig config = {},
-                         std::uint64_t key_seed = 0x5eedULL);
+                         std::uint64_t key_seed = 0x5eedULL,
+                         telemetry::Registry* registry = nullptr);
 
   RegionManager(const RegionManager&) = delete;
   RegionManager& operator=(const RegionManager&) = delete;
@@ -164,6 +170,14 @@ class RegionManager {
   std::vector<RegionId> RegionsOn(simhw::MemoryDeviceId device) const;
   const ManagerStats& stats() const { return stats_; }
   simhw::Cluster& cluster() { return *cluster_; }
+  // The registry this manager reports into; region-layer components built on
+  // top of the manager (tiering, swizzle cache, message queues) share it.
+  telemetry::Registry* registry() const { return registry_; }
+
+  // Attaches the virtual clock and span tracer so migrations show up as
+  // timestamped spans in the shared event stream. Called by the runtime;
+  // standalone managers work fine without (events are simply not emitted).
+  void BindTrace(const simhw::VirtualClock* clock, telemetry::TraceBuffer* tracer);
 
   // Scores all satisfying devices for a request, best (lowest expected cost)
   // first. Exposed for introspection and benchmarking of placement itself.
@@ -204,12 +218,34 @@ class RegionManager {
 
   Status FreeLocked(Record& rec);
 
+  // Instrument handles resolved once at construction; hot-path updates are
+  // single relaxed atomic ops.
+  struct Instruments {
+    telemetry::Counter* allocations[kNumRegionClasses] = {};
+    telemetry::Counter* alloc_bytes[kNumRegionClasses] = {};
+    telemetry::Counter* bytes_read[kNumRegionClasses] = {};
+    telemetry::Counter* bytes_written[kNumRegionClasses] = {};
+    telemetry::Counter* alloc_failures = nullptr;
+    telemetry::Counter* latency_relaxed = nullptr;
+    telemetry::Counter* frees = nullptr;
+    telemetry::Counter* transfers_zero_copy = nullptr;
+    telemetry::Counter* transfers_migrated = nullptr;
+    telemetry::Counter* migrations = nullptr;
+    telemetry::Counter* migrated_bytes = nullptr;
+    telemetry::Counter* confidentiality_denials = nullptr;
+    telemetry::Histogram* alloc_size = nullptr;
+  };
+
   simhw::Cluster* cluster_;
   PlacementConfig config_;
   Rng key_rng_;
   std::unordered_map<std::uint32_t, Record> regions_;  // by RegionId::value
   std::uint32_t next_id_ = 1;
   ManagerStats stats_;
+  telemetry::Registry* registry_;
+  Instruments instruments_;
+  const simhw::VirtualClock* clock_ = nullptr;
+  telemetry::TraceBuffer* tracer_ = nullptr;
 };
 
 }  // namespace memflow::region

@@ -8,6 +8,17 @@ SwizzleCache::SwizzleCache(RegionManager& regions, simhw::ComputeDeviceId observ
                            Principal who, std::uint64_t capacity_bytes)
     : regions_(&regions), observer_(observer), who_(who), capacity_(capacity_bytes) {
   MEMFLOW_CHECK(capacity_bytes > 0);
+  telemetry::Registry& reg = *regions_->registry();
+  hits_ = reg.GetCounter("swizzle_cache_events_total", "Swizzle cache events",
+                          {{"event", "hit"}});
+  misses_ = reg.GetCounter("swizzle_cache_events_total", "Swizzle cache events",
+                            {{"event", "miss"}});
+  evictions_ = reg.GetCounter("swizzle_cache_events_total", "Swizzle cache events",
+                               {{"event", "eviction"}});
+  writebacks_ = reg.GetCounter("swizzle_cache_events_total", "Swizzle cache events",
+                                {{"event", "writeback"}});
+  resident_bytes_ = reg.GetGauge("swizzle_cache_resident_bytes",
+                                  "Bytes currently resident in the swizzle cache");
 }
 
 SwizzleCache::~SwizzleCache() {
@@ -27,6 +38,7 @@ Status SwizzleCache::WriteBack(const Key& key, Entry& entry) {
   total_cost_ += cost;
   entry.dirty = false;
   stats_.writebacks++;
+  writebacks_->Increment();
   return OkStatus();
 }
 
@@ -47,6 +59,8 @@ Status SwizzleCache::EvictUntilFits(std::uint64_t incoming) {
     }
     stats_.resident_bytes -= victim.len;
     stats_.evictions++;
+    evictions_->Increment();
+    resident_bytes_->Set(static_cast<double>(stats_.resident_bytes));
     entries_.erase(it);
   }
   return OkStatus();
@@ -66,6 +80,7 @@ Result<void*> SwizzleCache::PinRange(RegionId region, std::uint64_t offset,
     }
     entry.pins++;
     stats_.hits++;
+    hits_->Increment();
     return static_cast<void*>(entry.buffer.data());
   }
 
@@ -82,7 +97,9 @@ Result<void*> SwizzleCache::PinRange(RegionId region, std::uint64_t offset,
   }
   entry.pins = 1;
   stats_.misses++;
+  misses_->Increment();
   stats_.resident_bytes += len;
+  resident_bytes_->Set(static_cast<double>(stats_.resident_bytes));
   auto [pos, inserted] = entries_.emplace(key, std::move(entry));
   MEMFLOW_CHECK(inserted);
   return static_cast<void*>(pos->second.buffer.data());

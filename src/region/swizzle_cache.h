@@ -103,6 +103,12 @@ class SwizzleCache {
   std::list<Key> lru_;  // front = most recent; only unpinned entries
   SwizzleCacheStats stats_;
   SimDuration total_cost_;
+
+  telemetry::Counter* hits_;
+  telemetry::Counter* misses_;
+  telemetry::Counter* evictions_;
+  telemetry::Counter* writebacks_;
+  telemetry::Gauge* resident_bytes_;
 };
 
 }  // namespace memflow::region

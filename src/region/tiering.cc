@@ -23,7 +23,18 @@ double HotnessDensity(const RegionInfo& info) {
 
 TieringDaemon::TieringDaemon(RegionManager& manager, simhw::ComputeDeviceId observer,
                              TieringConfig config)
-    : manager_(&manager), observer_(observer), config_(config) {}
+    : manager_(&manager), observer_(observer), config_(config) {
+  telemetry::Registry& reg = *manager_->registry();
+  promotions_ = reg.GetCounter("tiering_migrations_total",
+                                "Regions moved by the tiering daemon",
+                                {{"direction", "promote"}});
+  demotions_ = reg.GetCounter("tiering_migrations_total",
+                               "Regions moved by the tiering daemon",
+                               {{"direction", "demote"}});
+  moved_bytes_ = reg.GetCounter("tiering_moved_bytes_total",
+                                 "Bytes moved between tiers by the tiering daemon");
+  epochs_ = reg.GetCounter("tiering_epochs_total", "Tiering epochs executed");
+}
 
 std::vector<simhw::MemoryDeviceId> TieringDaemon::RankedTiers(const Properties& props) const {
   struct Tier {
@@ -141,8 +152,12 @@ TieringReport TieringDaemon::RunEpoch() {
   }
 
   manager_->DecayHotness(config_.decay);
-  MEMFLOW_LOG(kDebug) << "tiering epoch: +" << report.promoted << " / -" << report.demoted
-                      << ", " << report.bytes_moved << " B moved";
+  epochs_->Increment();
+  promotions_->Increment(static_cast<std::uint64_t>(report.promoted));
+  demotions_->Increment(static_cast<std::uint64_t>(report.demoted));
+  moved_bytes_->Increment(report.bytes_moved);
+  MEMFLOW_LOG(kDebug) << "tiering epoch" << Kv("promoted", report.promoted)
+                      << Kv("demoted", report.demoted) << Kv("bytes", report.bytes_moved);
   return report;
 }
 

@@ -54,6 +54,10 @@ class TieringDaemon {
   RegionManager* manager_;
   simhw::ComputeDeviceId observer_;
   TieringConfig config_;
+  telemetry::Counter* promotions_;
+  telemetry::Counter* demotions_;
+  telemetry::Counter* moved_bytes_;
+  telemetry::Counter* epochs_;
 };
 
 }  // namespace memflow::region

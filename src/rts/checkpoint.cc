@@ -8,10 +8,34 @@
 
 namespace memflow::rts {
 
-JobCheckpointer::JobCheckpointer(simhw::Cluster& cluster, simhw::MemoryDeviceId device)
+namespace {
+// Trace track for checkpoint instants, separate from device and migration lanes.
+constexpr std::uint64_t kCheckpointTrack = 1001;
+}  // namespace
+
+JobCheckpointer::JobCheckpointer(simhw::Cluster& cluster, simhw::MemoryDeviceId device,
+                                 telemetry::Registry* registry)
     : cluster_(&cluster), device_(device) {
   MEMFLOW_CHECK_MSG(cluster.memory(device).profile().persistent,
                     "checkpoints require persistent media");
+  telemetry::Registry& reg =
+      registry != nullptr ? *registry : telemetry::DefaultRegistry();
+  writes_ = reg.GetCounter("checkpoint_writes_total", "Task outputs checkpointed");
+  written_bytes_ =
+      reg.GetCounter("checkpoint_written_bytes_total", "Bytes written to checkpoints");
+  restores_ =
+      reg.GetCounter("checkpoint_restores_total", "Tasks restored from checkpoints");
+  restored_bytes_ = reg.GetCounter("checkpoint_restored_bytes_total",
+                                   "Bytes restored from checkpoints");
+}
+
+void JobCheckpointer::BindTrace(const simhw::VirtualClock* clock,
+                                telemetry::TraceBuffer* tracer) {
+  clock_ = clock;
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->SetTrackName(kCheckpointTrack, "checkpointer");
+  }
 }
 
 JobCheckpointer::~JobCheckpointer() {
@@ -57,6 +81,19 @@ Status JobCheckpointer::Save(const std::string& key, const std::vector<std::uint
   stats_.checkpoints_written++;
   stats_.checkpoint_bytes += payload.size();
   stats_.write_cost += *cost;
+  writes_->Increment();
+  written_bytes_->Increment(payload.size());
+  if (tracer_ != nullptr && clock_ != nullptr) {
+    telemetry::TraceEvent span;
+    span.type = telemetry::TraceEventType::kSpan;
+    span.name = "checkpoint save";
+    span.category = "checkpoint";
+    span.track = kCheckpointTrack;
+    span.ts = clock_->now();
+    span.dur = *cost;
+    span.args = {{"bytes", std::to_string(payload.size()), /*quoted=*/false}};
+    tracer_->Emit(std::move(span));
+  }
   return OkStatus();
 }
 
@@ -89,6 +126,18 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
           stats_.bytes_restored += payload.size();
         }
         stats_.tasks_restored++;
+        restores_->Increment();
+        restored_bytes_->Increment(it->second.size);
+        if (tracer_ != nullptr && clock_ != nullptr) {
+          telemetry::TraceEvent span;
+          span.type = telemetry::TraceEventType::kSpan;
+          span.name = "checkpoint restore";
+          span.category = "checkpoint";
+          span.track = kCheckpointTrack;
+          span.ts = clock_->now();
+          span.args = {{"bytes", std::to_string(it->second.size), /*quoted=*/false}};
+          tracer_->Emit(std::move(span));
+        }
         return OkStatus();
       }
 

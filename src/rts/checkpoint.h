@@ -27,6 +27,9 @@
 
 #include "dataflow/job.h"
 #include "region/region_manager.h"
+#include "simhw/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace memflow::rts {
 
@@ -42,7 +45,9 @@ struct CheckpointStats {
 class JobCheckpointer {
  public:
   // `device` must be persistent; checkpoints survive its Fail/Recover.
-  JobCheckpointer(simhw::Cluster& cluster, simhw::MemoryDeviceId device);
+  // `registry` receives checkpoint metrics; nullptr means the default registry.
+  JobCheckpointer(simhw::Cluster& cluster, simhw::MemoryDeviceId device,
+                  telemetry::Registry* registry = nullptr);
 
   JobCheckpointer(const JobCheckpointer&) = delete;
   JobCheckpointer& operator=(const JobCheckpointer&) = delete;
@@ -62,6 +67,10 @@ class JobCheckpointer {
   bool HasCheckpoint(const std::string& job_name, const std::string& task_name) const;
   const CheckpointStats& stats() const { return stats_; }
 
+  // Attaches a clock + tracer so saves/restores appear in the event stream
+  // (pass the runtime's: &runtime.clock() and &runtime.tracer()).
+  void BindTrace(const simhw::VirtualClock* clock, telemetry::TraceBuffer* tracer);
+
  private:
   struct Entry {
     simhw::Extent extent;
@@ -80,6 +89,12 @@ class JobCheckpointer {
   simhw::MemoryDeviceId device_;
   std::unordered_map<std::string, Entry> catalog_;
   CheckpointStats stats_;
+  telemetry::Counter* writes_;
+  telemetry::Counter* written_bytes_;
+  telemetry::Counter* restores_;
+  telemetry::Counter* restored_bytes_;
+  const simhw::VirtualClock* clock_ = nullptr;
+  telemetry::TraceBuffer* tracer_ = nullptr;
 };
 
 }  // namespace memflow::rts

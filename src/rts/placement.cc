@@ -90,6 +90,13 @@ class RandomPlacement final : public PlacementPolicy {
 
 class CostModelPlacement final : public PlacementPolicy {
  public:
+  explicit CostModelPlacement(telemetry::Registry* registry)
+      : score_ns_(registry->GetHistogram(
+            "rts_placement_score_ns",
+            "Cost-model predicted completion time of the chosen device",
+            telemetry::HistogramSpec{/*first_bound=*/1000.0, /*growth=*/4.0,
+                                     /*buckets=*/14})) {}
+
   Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
                                        std::uint64_t input_bytes_estimate,
                                        simhw::Cluster& cluster,
@@ -121,15 +128,23 @@ class CostModelPlacement final : public PlacementPolicy {
     }
     // Commit the estimate so subsequent placements see this device busier.
     cluster.compute(best).planned_ns += best_est_ns;
+    score_ns_->Observe(best_score);
     return best;
   }
   std::string_view name() const override { return "cost-model"; }
+
+ private:
+  telemetry::Histogram* score_ns_;
 };
 
 }  // namespace
 
 std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind,
-                                                     std::uint64_t seed) {
+                                                     std::uint64_t seed,
+                                                     telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    registry = &telemetry::DefaultRegistry();
+  }
   switch (kind) {
     case PlacementPolicyKind::kRoundRobin:
       return std::make_unique<RoundRobinPlacement>();
@@ -138,7 +153,7 @@ std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind,
     case PlacementPolicyKind::kRandom:
       return std::make_unique<RandomPlacement>(seed);
     case PlacementPolicyKind::kCostModel:
-      return std::make_unique<CostModelPlacement>();
+      return std::make_unique<CostModelPlacement>(registry);
   }
   return nullptr;
 }

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "dataflow/job.h"
 #include "rts/cost_model.h"
+#include "telemetry/metrics.h"
 
 namespace memflow::rts {
 
@@ -49,8 +50,11 @@ class PlacementPolicy {
                                                       const simhw::Cluster& cluster);
 };
 
+// `registry` feeds policy-internal metrics (the cost model's predicted
+// completion-time scores); nullptr means telemetry::DefaultRegistry().
 std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind,
-                                                     std::uint64_t seed = 42);
+                                                     std::uint64_t seed = 42,
+                                                     telemetry::Registry* registry = nullptr);
 
 }  // namespace memflow::rts
 

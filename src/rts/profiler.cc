@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "telemetry/export.h"
 
 namespace memflow::rts {
 
@@ -145,52 +146,10 @@ Result<std::string> ExportChromeTrace(const Runtime& runtime, dataflow::JobId id
   if (!report.status.ok()) {
     return FailedPrecondition("job did not finish successfully; no trace");
   }
-  const auto escape = [](const std::string& raw) {
-    std::string out;
-    for (const char ch : raw) {
-      if (ch == '"' || ch == '\\') {
-        out += '\\';
-      }
-      out += ch;
-    }
-    return out;
-  };
-
-  std::string json = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-  bool first = true;
-  const auto emit = [&](const std::string& entry) {
-    if (!first) {
-      json += ',';
-    }
-    first = false;
-    json += entry;
-  };
-
-  // Process metadata: one "process" per job, one "thread" lane per device.
-  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"" +
-       escape(report.name) + "\"}}");
-  std::set<std::uint32_t> devices;
-  for (const TaskReport& t : report.tasks) {
-    devices.insert(t.device.value);
-  }
-  for (const std::uint32_t d : devices) {
-    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(d) +
-         ",\"args\":{\"name\":\"" +
-         escape(runtime.cluster().compute(simhw::ComputeDeviceId(d)).name()) + "\"}}");
-  }
-
-  // One complete ("X") event per task; timestamps in microseconds.
-  for (const TaskReport& t : report.tasks) {
-    emit("{\"name\":\"" + escape(t.name) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
-         std::to_string(t.device.value) +
-         ",\"ts\":" + FormatDouble(static_cast<double>(t.start.ns) / 1e3, 3) +
-         ",\"dur\":" + FormatDouble(static_cast<double>(t.duration.ns) / 1e3, 3) +
-         ",\"args\":{\"attempts\":" + std::to_string(t.attempts) +
-         ",\"handover_ns\":" + std::to_string(t.handover_cost.ns) +
-         ",\"zero_copy\":" + (t.zero_copy_handover ? "true" : "false") + "}}");
-  }
-  json += "]}";
-  return json;
+  // The runtime's tracer already holds every span this job produced — task
+  // lifetimes, handovers, migrations, checkpoints — plus the flow arrows
+  // linking producers to consumers; export the job's slice of that stream.
+  return telemetry::ExportTraceJson(runtime.tracer(), id.value, report.name);
 }
 
 }  // namespace memflow::rts

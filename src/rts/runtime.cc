@@ -15,11 +15,53 @@ namespace memflow::rts {
 Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
     : cluster_(&cluster),
       options_(options),
-      regions_(cluster, options.region_config, options.seed ^ 0xa11ccULL),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &telemetry::DefaultRegistry()),
+      owned_tracer_(options.tracer == nullptr ? std::make_unique<telemetry::TraceBuffer>()
+                                              : nullptr),
+      tracer_(options.tracer != nullptr ? options.tracer : owned_tracer_.get()),
+      regions_(cluster, options.region_config, options.seed ^ 0xa11ccULL, registry_),
       model_(cluster),
-      policy_(MakePlacementPolicy(options.policy, options.seed)) {
+      policy_(MakePlacementPolicy(options.policy, options.seed, registry_)) {
   MEMFLOW_CHECK(policy_ != nullptr);
   MEMFLOW_CHECK(options_.max_task_attempts >= 1);
+  regions_.BindTrace(&clock_, tracer_);
+
+  telemetry::Registry& reg = *registry_;
+  instruments_.jobs_submitted =
+      reg.GetCounter("rts_jobs_submitted_total", "Jobs submitted for admission");
+  instruments_.jobs_completed = reg.GetCounter("rts_jobs_total", "Job outcomes",
+                                               {{"result", "completed"}});
+  instruments_.jobs_failed =
+      reg.GetCounter("rts_jobs_total", "Job outcomes", {{"result", "failed"}});
+  instruments_.jobs_rejected =
+      reg.GetCounter("rts_jobs_total", "Job outcomes", {{"result", "rejected"}});
+  instruments_.task_retries =
+      reg.GetCounter("rts_task_retries_total", "Task attempts that were retried");
+  instruments_.placement_decisions = reg.GetCounter(
+      "rts_placement_decisions_total", "Successful per-task placement decisions",
+      {{"policy", std::string(PlacementPolicyKindName(options_.policy))}});
+  instruments_.placement_fallbacks = reg.GetCounter(
+      "rts_placement_fallbacks_total",
+      "Tasks re-placed because the planned device could not reach the job's Global State");
+  instruments_.handovers_zero_copy = reg.GetCounter(
+      "rts_handovers_total", "Task output handovers", {{"kind", "zero_copy"}});
+  instruments_.handovers_copied = reg.GetCounter(
+      "rts_handovers_total", "Task output handovers", {{"kind", "copied"}});
+  instruments_.queue_wait_ns = reg.GetHistogram(
+      "rts_task_queue_wait_ns", "Time tasks spent queued on their planned device",
+      telemetry::HistogramSpec{/*first_bound=*/100.0, /*growth=*/4.0, /*buckets=*/14});
+  instruments_.task_duration_ns = reg.GetHistogram(
+      "rts_task_duration_ns", "Charged simulated task execution time",
+      telemetry::HistogramSpec{/*first_bound=*/100.0, /*growth=*/4.0, /*buckets=*/14});
+  for (const simhw::ComputeDeviceId id : cluster_->AllComputeDevices()) {
+    const std::string name = cluster_->compute(id).name();
+    instruments_.tasks_executed[id.value] = reg.GetCounter(
+        "rts_tasks_executed_total", "Tasks completed successfully", {{"device", name}});
+    instruments_.queue_depth[id.value] = reg.GetGauge(
+        "rts_device_queue_depth", "Tasks queued on a compute device", {{"device", name}});
+    tracer_->SetTrackName(id.value, name);
+  }
 }
 
 Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
@@ -42,6 +84,8 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
       stats_.jobs_submitted++;
       stats_.jobs_rejected++;
       stats_.jobs_rejected_by_verifier++;
+      instruments_.jobs_submitted->Increment();
+      instruments_.jobs_rejected->Increment();
       return FailedPrecondition("job '" + job.name() +
                                 "' rejected by static verifier: " +
                                 last_verify_report_.Summary());
@@ -59,10 +103,12 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
   exec->tasks.resize(exec->job.num_tasks());
   exec->remaining_tasks = exec->job.num_tasks();
   stats_.jobs_submitted++;
+  instruments_.jobs_submitted->Increment();
 
   const Status planned = Plan(*exec);
   if (!planned.ok()) {
     stats_.jobs_rejected++;
+    instruments_.jobs_rejected->Increment();
     // Undo any global-region allocation made during planning.
     if (exec->state_region.valid()) {
       (void)regions_.ForceFree(exec->state_region);
@@ -103,6 +149,7 @@ Status Runtime::Plan(JobExec& exec) {
     te.est_input_bytes = est;
     MEMFLOW_ASSIGN_OR_RETURN(te.planned,
                              policy_->Place(job, t, est, *cluster_, model_));
+    instruments_.placement_decisions->Increment();
   }
 
   const region::Principal job_principal = JobPrincipalFor(exec);
@@ -191,6 +238,7 @@ Status Runtime::Plan(JobExec& exec) {
                   .ok()) {
             te.planned = alt;
             replaced = true;
+            instruments_.placement_fallbacks->Increment();
             break;
           }
         }
@@ -223,10 +271,22 @@ Status Runtime::Plan(JobExec& exec) {
   return OkStatus();
 }
 
+void Runtime::UpdateQueueDepth(simhw::ComputeDeviceId device) {
+  auto gauge = instruments_.queue_depth.find(device.value);
+  if (gauge == instruments_.queue_depth.end()) {
+    return;
+  }
+  auto it = device_queues_.find(device.value);
+  gauge->second->Set(
+      it == device_queues_.end() ? 0.0 : static_cast<double>(it->second.size()));
+}
+
 void Runtime::EnqueueTask(JobExec& exec, dataflow::TaskId task) {
   TaskExec& te = exec.tasks[task.value];
   te.state = TaskExec::State::kQueued;
+  te.ready = clock_.now();
   device_queues_[te.planned.value].emplace_back(exec.index, task);
+  UpdateQueueDepth(te.planned);
   PumpDevice(te.planned);
 }
 
@@ -246,6 +306,7 @@ void Runtime::PumpDevice(simhw::ComputeDeviceId device) {
     }
     Dispatch(exec, task);
   }
+  UpdateQueueDepth(device);
 }
 
 void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
@@ -257,6 +318,23 @@ void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
   te.state = TaskExec::State::kRunning;
   te.attempts++;
   te.report.start = clock_.now();
+  instruments_.queue_wait_ns->Observe(
+      static_cast<double>((clock_.now() - te.ready).ns));
+
+  // Close the producer->consumer flow arrows opened at handover: the arrow
+  // lands where (and when) the consumer actually starts.
+  for (const std::uint64_t flow : te.pending_flows) {
+    telemetry::TraceEvent end;
+    end.type = telemetry::TraceEventType::kFlowEnd;
+    end.name = "handover";
+    end.category = "flow";
+    end.track = te.planned.value;
+    end.job = exec.id.value;
+    end.ts = clock_.now();
+    end.flow_id = flow;
+    tracer_->Emit(std::move(end));
+  }
+  te.pending_flows.clear();
 
   // Output goes where the consumer will read it (Figure 4): use the first
   // data successor's planned device as the observer for output allocation
@@ -336,6 +414,19 @@ void Runtime::OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status
   }
 
   stats_.task_retries++;
+  instruments_.task_retries->Increment();
+  {
+    telemetry::TraceEvent retry;
+    retry.type = telemetry::TraceEventType::kInstant;
+    retry.name = "retry " + exec.job.task(task).name;
+    retry.category = "task";
+    retry.track = te.planned.value;
+    retry.job = exec.id.value;
+    retry.ts = clock_.now();
+    retry.args = {{"attempt", std::to_string(te.attempts), /*quoted=*/false},
+                  {"error", error.message()}};
+    tracer_->Emit(std::move(retry));
+  }
   // Re-place (the original device may have failed) and retry after backoff.
   auto placed = policy_->Place(exec.job, task, te.est_input_bytes, *cluster_, model_);
   if (!placed.ok()) {
@@ -345,6 +436,7 @@ void Runtime::OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status
     return;
   }
   te.planned = *placed;
+  instruments_.placement_decisions->Increment();
   te.state = TaskExec::State::kWaiting;
   const std::size_t job_index = exec.index;
   events_.Schedule(clock_.now() + options_.retry_backoff, [this, job_index, task](SimTime) {
@@ -413,6 +505,47 @@ void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
   te.report.duration = te.duration;
   te.report.attempts = te.attempts;
 
+  auto executed = instruments_.tasks_executed.find(te.planned.value);
+  if (executed != instruments_.tasks_executed.end()) {
+    executed->second->Increment();
+  }
+  instruments_.task_duration_ns->Observe(static_cast<double>(te.duration.ns));
+
+  {
+    telemetry::TraceEvent span;
+    span.type = telemetry::TraceEventType::kSpan;
+    span.name = te.report.name;
+    span.category = "task";
+    span.track = te.planned.value;
+    span.job = exec.id.value;
+    span.ts = te.report.start;
+    span.dur = te.duration;
+    span.args = {{"attempts", std::to_string(te.attempts), /*quoted=*/false},
+                 {"handover_ns", std::to_string(te.report.handover_cost.ns),
+                  /*quoted=*/false},
+                 {"zero_copy", te.report.zero_copy_handover ? "true" : "false",
+                  /*quoted=*/false}};
+    tracer_->Emit(std::move(span));
+  }
+  if (te.report.handover_cost.ns > 0) {
+    telemetry::TraceEvent span;
+    span.type = telemetry::TraceEventType::kSpan;
+    span.name = "handover " + te.report.name;
+    span.category = "handover";
+    span.track = te.planned.value;
+    span.job = exec.id.value;
+    span.ts = clock_.now();
+    span.dur = te.report.handover_cost;
+    span.args = {{"bytes", "0", /*quoted=*/false}};
+    if (te.output.valid()) {
+      auto info = regions_.Info(te.output);
+      if (info.ok()) {
+        span.args = {{"bytes", std::to_string(info->size), /*quoted=*/false}};
+      }
+    }
+    tracer_->Emit(std::move(span));
+  }
+
   // Wake successors once the (possibly non-zero-cost) handover lands.
   const std::size_t job_index = exec.index;
   for (const dataflow::TaskId succ : exec.job.successors(task)) {
@@ -463,7 +596,11 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
     te.report.handover_cost = cost;
     te.report.zero_copy_handover = cost.ns == 0;
     (te.report.zero_copy_handover ? stats_.zero_copy_handovers : stats_.copied_handovers)++;
+    (te.report.zero_copy_handover ? instruments_.handovers_zero_copy
+                                  : instruments_.handovers_copied)
+        ->Increment();
     exec.tasks[succ.value].inputs.push_back(te.output);
+    BeginHandoverFlow(exec, task, succ);
     return OkStatus();
   }
 
@@ -475,12 +612,30 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
                                            exec.tasks[succ.value].planned,
                                            /*require_coherent=*/false));
     exec.tasks[succ.value].inputs.push_back(te.output);
+    BeginHandoverFlow(exec, task, succ);
   }
   MEMFLOW_RETURN_IF_ERROR(regions_.Release(te.output, self));
   te.report.handover_cost = SimDuration{};
   te.report.zero_copy_handover = true;
   stats_.zero_copy_handovers++;
+  instruments_.handovers_zero_copy->Increment();
   return OkStatus();
+}
+
+void Runtime::BeginHandoverFlow(JobExec& exec, dataflow::TaskId producer,
+                                dataflow::TaskId consumer) {
+  TaskExec& pe = exec.tasks[producer.value];
+  const std::uint64_t flow = tracer_->NextFlowId();
+  telemetry::TraceEvent begin;
+  begin.type = telemetry::TraceEventType::kFlowBegin;
+  begin.name = "handover";
+  begin.category = "flow";
+  begin.track = pe.planned.value;
+  begin.job = exec.id.value;
+  begin.ts = clock_.now();
+  begin.flow_id = flow;
+  tracer_->Emit(std::move(begin));
+  exec.tasks[consumer.value].pending_flows.push_back(flow);
 }
 
 void Runtime::DeliverInput(JobExec& exec, dataflow::TaskId task) {
@@ -506,8 +661,9 @@ void Runtime::FinishJob(JobExec& exec) {
     (void)regions_.ForceFree(exec.scratch_region);
   }
   stats_.jobs_completed++;
-  MEMFLOW_LOG(kInfo) << "job '" << exec.report.name << "' finished in "
-                     << HumanDuration(exec.report.Makespan());
+  instruments_.jobs_completed->Increment();
+  MEMFLOW_LOG(kInfo) << "job finished" << Kv("job", exec.report.name)
+                     << Kv("makespan", HumanDuration(exec.report.Makespan()));
 }
 
 void Runtime::FailJob(JobExec& exec, const Status& error) {
@@ -550,7 +706,9 @@ void Runtime::FailJob(JobExec& exec, const Status& error) {
     (void)regions_.ForceFree(exec.scratch_region);
   }
   stats_.jobs_failed++;
-  MEMFLOW_LOG(kWarn) << "job '" << exec.report.name << "' failed: " << error.ToString();
+  instruments_.jobs_failed->Increment();
+  MEMFLOW_LOG(kWarn) << "job failed" << Kv("job", exec.report.name)
+                     << Kv("error", error.ToString());
 }
 
 void Runtime::ApplyFaultsDue(SimTime now) {

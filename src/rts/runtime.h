@@ -36,6 +36,8 @@
 #include "simhw/clock.h"
 #include "simhw/cluster.h"
 #include "simhw/fault.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace memflow::rts {
 
@@ -58,6 +60,12 @@ struct RuntimeOptions {
   // executor also cross-checks the statically computed ownership states at
   // every input access, so the analyzer and the executor validate each other.
   VerifyMode verify = VerifyMode::kEnforce;
+  // Metrics destination; nullptr means the process-wide default registry.
+  telemetry::Registry* registry = nullptr;
+  // Span/event destination. nullptr means the runtime owns a private buffer
+  // (job ids restart at 1 per runtime, so sharing a process-wide tracer
+  // between runtimes would interleave unrelated jobs under the same id).
+  telemetry::TraceBuffer* tracer = nullptr;
 };
 
 struct TaskReport {
@@ -135,6 +143,11 @@ class Runtime {
   const simhw::Cluster& cluster() const { return *cluster_; }
   const CostModel& cost_model() const { return model_; }
   const RuntimeStats& stats() const { return stats_; }
+  // The event stream every layer below this runtime reports spans into.
+  telemetry::TraceBuffer& tracer() { return *tracer_; }
+  const telemetry::TraceBuffer& tracer() const { return *tracer_; }
+  telemetry::Registry& metrics() { return *registry_; }
+  const telemetry::Registry& metrics() const { return *registry_; }
 
   // Column report of per-device memory utilization and traffic.
   std::string UtilizationReport() const;
@@ -155,6 +168,9 @@ class Runtime {
     int attempts = 0;
     std::uint64_t est_input_bytes = 0;
     SimDuration duration;
+    SimTime ready;                     // when the task was last enqueued
+    // Flow ids opened by producers' handovers, closed when this task runs.
+    std::vector<std::uint64_t> pending_flows;
     TaskReport report;
   };
 
@@ -191,13 +207,36 @@ class Runtime {
   void OnTaskComplete(JobExec& exec, dataflow::TaskId task);
   void OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status& error);
   Status HandoverOutput(JobExec& exec, dataflow::TaskId task);
+  // Opens a producer->consumer flow arrow; closed when the consumer dispatches.
+  void BeginHandoverFlow(JobExec& exec, dataflow::TaskId producer, dataflow::TaskId consumer);
   void DeliverInput(JobExec& exec, dataflow::TaskId task);
   void FinishJob(JobExec& exec);
   void FailJob(JobExec& exec, const Status& error);
   void ApplyFaultsDue(SimTime now);
+  void UpdateQueueDepth(simhw::ComputeDeviceId device);
+
+  struct Instruments {
+    telemetry::Counter* jobs_submitted = nullptr;
+    telemetry::Counter* jobs_completed = nullptr;
+    telemetry::Counter* jobs_failed = nullptr;
+    telemetry::Counter* jobs_rejected = nullptr;
+    telemetry::Counter* task_retries = nullptr;
+    telemetry::Counter* placement_decisions = nullptr;
+    telemetry::Counter* placement_fallbacks = nullptr;
+    telemetry::Counter* handovers_zero_copy = nullptr;
+    telemetry::Counter* handovers_copied = nullptr;
+    telemetry::Histogram* queue_wait_ns = nullptr;
+    telemetry::Histogram* task_duration_ns = nullptr;
+    // Per compute device (keyed by device id).
+    std::unordered_map<std::uint32_t, telemetry::Counter*> tasks_executed;
+    std::unordered_map<std::uint32_t, telemetry::Gauge*> queue_depth;
+  };
 
   simhw::Cluster* cluster_;
   RuntimeOptions options_;
+  telemetry::Registry* registry_;
+  std::unique_ptr<telemetry::TraceBuffer> owned_tracer_;
+  telemetry::TraceBuffer* tracer_;
   region::RegionManager regions_;
   CostModel model_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -212,6 +251,7 @@ class Runtime {
       device_queues_;
   std::unordered_map<std::uint32_t, SimDuration> device_busy_;
   RuntimeStats stats_;
+  Instruments instruments_;
   analysis::Report last_verify_report_;
   std::uint32_t next_job_id_ = 1;
 };

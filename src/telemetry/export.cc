@@ -1,0 +1,165 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/export.h"
+
+#include <map>
+#include <set>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace memflow::telemetry {
+
+namespace {
+
+std::string Micros(std::int64_t ns) {
+  return FormatDouble(static_cast<double>(ns) / 1e3, 3);
+}
+
+std::string RenderArgs(const std::vector<TraceArg>& args) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += JsonQuote(args[i].key);
+    out += ':';
+    out += args[i].quoted ? JsonQuote(args[i].value) : args[i].value;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string ExportTraceJson(const TraceBuffer& tracer, std::uint32_t job,
+                            std::string_view process_name) {
+  const std::vector<TraceEvent> events = tracer.Events();
+  const std::map<std::uint64_t, std::string> track_names = tracer.TrackNames();
+
+  std::string json = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& entry) {
+    if (!first) {
+      json += ',';
+    }
+    first = false;
+    json += entry;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":" +
+       JsonQuote(process_name) + "}}");
+
+  // Thread lanes for every track that appears in the filtered stream.
+  std::set<std::uint64_t> tracks;
+  for (const TraceEvent& e : events) {
+    if (job == 0 || e.job == job) {
+      tracks.insert(e.track);
+    }
+  }
+  for (const std::uint64_t track : tracks) {
+    const auto it = track_names.find(track);
+    const std::string name =
+        it != track_names.end() ? it->second : "track " + std::to_string(track);
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(track) + ",\"args\":{\"name\":" + JsonQuote(name) + "}}");
+  }
+
+  for (const TraceEvent& e : events) {
+    if (job != 0 && e.job != job) {
+      continue;
+    }
+    std::string entry = "{\"name\":" + JsonQuote(e.name) + ",\"cat\":" +
+                        JsonQuote(e.category.empty() ? "event" : e.category) +
+                        ",\"pid\":1,\"tid\":" + std::to_string(e.track) +
+                        ",\"ts\":" + Micros(e.ts.ns);
+    switch (e.type) {
+      case TraceEventType::kSpan:
+        entry += ",\"ph\":\"X\",\"dur\":" + Micros(e.dur.ns);
+        break;
+      case TraceEventType::kInstant:
+        entry += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TraceEventType::kFlowBegin:
+        entry += ",\"ph\":\"s\",\"id\":" + std::to_string(e.flow_id);
+        break;
+      case TraceEventType::kFlowEnd:
+        entry += ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" + std::to_string(e.flow_id);
+        break;
+    }
+    if (!e.args.empty()) {
+      entry += ",\"args\":" + RenderArgs(e.args);
+    }
+    entry += '}';
+    emit(entry);
+  }
+  json += "]}";
+  return json;
+}
+
+std::string RenderTraceSummary(const TraceBuffer& tracer) {
+  const std::vector<TraceEvent> events = tracer.Events();
+
+  struct CategoryAgg {
+    std::uint64_t spans = 0;
+    std::uint64_t instants = 0;
+    std::uint64_t flows = 0;
+    SimDuration total;
+  };
+  std::map<std::string, CategoryAgg> by_category;
+  struct JobAgg {
+    std::uint64_t events = 0;
+    SimDuration span_time;
+  };
+  std::map<std::uint32_t, JobAgg> by_job;
+
+  for (const TraceEvent& e : events) {
+    CategoryAgg& cat = by_category[e.category.empty() ? "event" : e.category];
+    switch (e.type) {
+      case TraceEventType::kSpan:
+        cat.spans++;
+        cat.total += e.dur;
+        break;
+      case TraceEventType::kInstant:
+        cat.instants++;
+        break;
+      case TraceEventType::kFlowBegin:
+      case TraceEventType::kFlowEnd:
+        cat.flows++;
+        break;
+    }
+    if (e.job != 0) {
+      JobAgg& job = by_job[e.job];
+      job.events++;
+      if (e.type == TraceEventType::kSpan) {
+        job.span_time += e.dur;
+      }
+    }
+  }
+
+  std::string out = "== trace summary (cross-job) ====================================\n";
+  out += "events buffered     " + WithThousands(events.size()) + "\n";
+  out += "events emitted      " + WithThousands(tracer.total_emitted()) + "\n";
+  out += "events dropped      " + WithThousands(tracer.dropped()) + "\n\n";
+
+  TextTable categories({"Category", "Spans", "Span time", "Instants", "Flow events"});
+  for (const auto& [name, agg] : by_category) {
+    categories.AddRow({name, WithThousands(agg.spans), HumanDuration(agg.total),
+                       WithThousands(agg.instants), WithThousands(agg.flows)});
+  }
+  out += categories.Render();
+
+  if (!by_job.empty()) {
+    out += "\n";
+    TextTable jobs({"Job", "Events", "Span time"});
+    for (const auto& [id, agg] : by_job) {
+      jobs.AddRow({"#" + std::to_string(id), WithThousands(agg.events),
+                   HumanDuration(agg.span_time)});
+    }
+    out += jobs.Render();
+  }
+  return out;
+}
+
+}  // namespace memflow::telemetry

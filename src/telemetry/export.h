@@ -1,0 +1,34 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Machine-readable exports of the telemetry substrate:
+//  - MetricsSnapshot::ToPrometheus() / ToJson() (declared in metrics.h),
+//  - Chrome/Perfetto trace JSON built from the shared event stream, with
+//    async flow arrows linking producer -> consumer task handovers,
+//  - a cross-job aggregate text view of the event stream.
+
+#ifndef MEMFLOW_TELEMETRY_EXPORT_H_
+#define MEMFLOW_TELEMETRY_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace memflow::telemetry {
+
+// Renders the buffered events as Chrome trace-event JSON (chrome://tracing /
+// Perfetto). `job` != 0 keeps only that job's events (plus the flows between
+// its tasks); 0 exports everything, including job-unscoped events such as
+// migrations. Tracks named via TraceBuffer::SetTrackName become thread lanes.
+std::string ExportTraceJson(const TraceBuffer& tracer, std::uint32_t job = 0,
+                            std::string_view process_name = "memflow");
+
+// Cross-job aggregate view: per-category span counts/total durations and
+// per-job event counts, plus ring-buffer health (dropped events).
+std::string RenderTraceSummary(const TraceBuffer& tracer);
+
+}  // namespace memflow::telemetry
+
+#endif  // MEMFLOW_TELEMETRY_EXPORT_H_

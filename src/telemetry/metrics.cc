@@ -1,0 +1,333 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/json.h"
+
+namespace memflow::telemetry {
+
+namespace {
+
+// Canonical map key for a label set: sorted `k=v` pairs joined by 0x1f.
+std::string CanonicalKey(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+// Prometheus label value escaping: backslash, double quote, newline.
+std::string PromEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '"') {
+      out += "\\\"";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const Labels& labels, std::string_view extra_key = {},
+                       std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += k;
+    out += "=\"";
+    out += PromEscape(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) {
+      out += ',';
+    }
+    out += extra_key;
+    out += "=\"";
+    out += PromEscape(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Trims trailing zeros so bucket bounds read "1024" / "1.5", not "1024.000000".
+std::string PromNumber(double v) { return JsonNumber(v); }
+
+}  // namespace
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : buckets_(static_cast<std::size_t>(std::max(1, spec.buckets)) + 1) {
+  MEMFLOW_CHECK(spec.first_bound > 0 && spec.growth > 1.0);
+  bounds_.reserve(static_cast<std::size_t>(std::max(1, spec.buckets)));
+  double bound = spec.first_bound;
+  for (int i = 0; i < std::max(1, spec.buckets); ++i) {
+    bounds_.push_back(bound);
+    bound *= spec.growth;
+  }
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound is >= v (`le` semantics); +Inf otherwise.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+Registry::Registry(std::size_t max_series_per_family) : max_series_(max_series_per_family) {
+  MEMFLOW_CHECK(max_series_ >= 1);
+}
+
+Registry::Series* Registry::Intern(std::string_view name, std::string_view help,
+                                   MetricKind kind, const HistogramSpec& spec,
+                                   Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = families_.find(name);
+  if (fit == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = std::string(help);
+    family.spec = spec;
+    fit = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  Family& family = fit->second;
+  MEMFLOW_CHECK_MSG(family.kind == kind, "metric family re-registered with another kind");
+
+  std::string key = CanonicalKey(labels);
+  auto sit = family.series.find(key);
+  if (sit == family.series.end()) {
+    if (family.series.size() >= max_series_) {
+      // Cardinality cap: collapse into the shared overflow series.
+      labels = Labels{{"overflow", "true"}};
+      key = CanonicalKey(labels);
+      sit = family.series.find(key);
+    }
+    if (sit == family.series.end()) {
+      Series series;
+      series.labels = std::move(labels);
+      switch (kind) {
+        case MetricKind::kCounter:
+          series.counter = std::make_unique<Counter>();
+          break;
+        case MetricKind::kGauge:
+          series.gauge = std::make_unique<Gauge>();
+          break;
+        case MetricKind::kHistogram:
+          series.histogram = std::make_unique<Histogram>(family.spec);
+          break;
+      }
+      sit = family.series.emplace(std::move(key), std::move(series)).first;
+    }
+  }
+  return &sit->second;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help, Labels labels) {
+  return Intern(name, help, MetricKind::kCounter, {}, std::move(labels))->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help, Labels labels) {
+  return Intern(name, help, MetricKind::kGauge, {}, std::move(labels))->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
+                                  const HistogramSpec& spec, Labels labels) {
+  return Intern(name, help, MetricKind::kHistogram, spec, std::move(labels))
+      ->histogram.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.families.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = family.help;
+    fs.kind = family.kind;
+    for (const auto& [key, series] : family.series) {
+      (void)key;
+      SeriesSnapshot ss;
+      ss.labels = series.labels;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          ss.counter = series.counter->value();
+          break;
+        case MetricKind::kGauge:
+          ss.gauge = series.gauge->value();
+          break;
+        case MetricKind::kHistogram:
+          if (fs.bounds.empty()) {
+            fs.bounds = series.histogram->bounds();
+          }
+          ss.bucket_counts = series.histogram->counts();
+          ss.sum = series.histogram->sum();
+          ss.count = series.histogram->count();
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snapshot.families.push_back(std::move(fs));
+  }
+  return snapshot;
+}
+
+void Registry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const FamilySnapshot& family : families) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + std::string(MetricKindName(family.kind)) + "\n";
+    for (const SeriesSnapshot& series : family.series) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += family.name + PromLabels(series.labels) + " " +
+                 std::to_string(series.counter) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += family.name + PromLabels(series.labels) + " " + PromNumber(series.gauge) +
+                 "\n";
+          break;
+        case MetricKind::kHistogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < series.bucket_counts.size(); ++i) {
+            cumulative += series.bucket_counts[i];
+            const std::string le =
+                i < family.bounds.size() ? PromNumber(family.bounds[i]) : "+Inf";
+            out += family.name + "_bucket" + PromLabels(series.labels, "le", le) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += family.name + "_sum" + PromLabels(series.labels) + " " +
+                 PromNumber(series.sum) + "\n";
+          out += family.name + "_count" + PromLabels(series.labels) + " " +
+                 std::to_string(series.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"families\":[";
+  bool first_family = true;
+  for (const FamilySnapshot& family : families) {
+    if (!first_family) {
+      out += ',';
+    }
+    first_family = false;
+    out += "{\"name\":" + JsonQuote(family.name) + ",\"kind\":\"" +
+           std::string(MetricKindName(family.kind)) + "\",\"help\":" +
+           JsonQuote(family.help);
+    if (family.kind == MetricKind::kHistogram) {
+      out += ",\"bounds\":[";
+      for (std::size_t i = 0; i < family.bounds.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += JsonNumber(family.bounds[i]);
+      }
+      out += ']';
+    }
+    out += ",\"series\":[";
+    bool first_series = true;
+    for (const SeriesSnapshot& series : family.series) {
+      if (!first_series) {
+        out += ',';
+      }
+      first_series = false;
+      out += "{\"labels\":{";
+      for (std::size_t i = 0; i < series.labels.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += JsonQuote(series.labels[i].first) + ":" + JsonQuote(series.labels[i].second);
+      }
+      out += '}';
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += ",\"value\":" + std::to_string(series.counter);
+          break;
+        case MetricKind::kGauge:
+          out += ",\"value\":" + JsonNumber(series.gauge);
+          break;
+        case MetricKind::kHistogram: {
+          out += ",\"buckets\":[";
+          for (std::size_t i = 0; i < series.bucket_counts.size(); ++i) {
+            if (i != 0) {
+              out += ',';
+            }
+            out += std::to_string(series.bucket_counts[i]);
+          }
+          out += "],\"sum\":" + JsonNumber(series.sum) +
+                 ",\"count\":" + std::to_string(series.count);
+          break;
+        }
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Registry& DefaultRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+MetricsSnapshot Snapshot() { return DefaultRegistry().Snapshot(); }
+
+}  // namespace memflow::telemetry

@@ -1,0 +1,179 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Runtime-wide metrics registry (paper §3, Challenge 8): the observability
+// substrate every layer of the runtime reports into. A metric *family* is a
+// named counter/gauge/histogram with a help string; a *series* is one
+// instrument inside a family, identified by its label set (`device`,
+// `region_class`, `job`, ...). Instrument handles are resolved once (at
+// component construction) and cached; the hot path is a single relaxed
+// atomic op, so instrumentation stays cheap enough for the data path
+// (every simulated memory access goes through it).
+//
+// Cardinality is bounded: once a family holds `max_series_per_family`
+// series, further label sets collapse into one overflow series
+// (`{overflow="true"}`) instead of growing without bound.
+
+#ifndef MEMFLOW_TELEMETRY_METRICS_H_
+#define MEMFLOW_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace memflow::telemetry {
+
+// Label set: key/value pairs, canonicalized (sorted by key) on intern.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view MetricKindName(MetricKind kind);
+
+// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time value (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Exponential-bucket histogram: finite upper bounds
+// first_bound * growth^i for i in [0, buckets), plus an implicit +Inf bucket.
+// A sample lands in the first bucket whose bound is >= the value
+// (Prometheus `le` semantics).
+struct HistogramSpec {
+  double first_bound = 1.0;
+  double growth = 2.0;
+  int buckets = 16;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec);
+
+  void Observe(double v);
+
+  // Finite upper bounds; the +Inf bucket is counts().back().
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> counts() const;  // per-bucket (not cumulative)
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// --- snapshots ----------------------------------------------------------------
+
+struct SeriesSnapshot {
+  Labels labels;
+  std::uint64_t counter = 0;                  // kCounter
+  double gauge = 0;                           // kGauge
+  std::vector<std::uint64_t> bucket_counts;   // kHistogram, per-bucket, +Inf last
+  double sum = 0;                             // kHistogram
+  std::uint64_t count = 0;                    // kHistogram
+};
+
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<double> bounds;  // kHistogram only
+  std::vector<SeriesSnapshot> series;
+};
+
+// A consistent point-in-time view of every family in a registry. Both
+// renderings are deterministic: families sorted by name, series by label set.
+struct MetricsSnapshot {
+  std::vector<FamilySnapshot> families;
+
+  // Stable machine-readable JSON document.
+  std::string ToJson() const;
+  // Prometheus text exposition format (HELP/TYPE + one line per sample).
+  std::string ToPrometheus() const;
+};
+
+// --- registry -----------------------------------------------------------------
+
+class Registry {
+ public:
+  explicit Registry(std::size_t max_series_per_family = 64);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Instrument lookup: creates the family and/or series on first use and
+  // returns a stable pointer (valid for the registry's lifetime). Requesting
+  // an existing name with a different kind is a programming error (checked).
+  Counter* GetCounter(std::string_view name, std::string_view help, Labels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help, Labels labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          const HistogramSpec& spec, Labels labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // Drops every family and series (test isolation).
+  void Clear();
+
+  std::size_t max_series_per_family() const { return max_series_; }
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    HistogramSpec spec;
+    std::map<std::string, Series> series;  // key = canonical label string
+  };
+
+  Series* Intern(std::string_view name, std::string_view help, MetricKind kind,
+                 const HistogramSpec& spec, Labels labels);
+
+  const std::size_t max_series_;
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+// Process-wide default registry: components report here unless handed an
+// explicit registry (tests pass their own for isolation).
+Registry& DefaultRegistry();
+
+// Snapshot of the default registry — `telemetry::Snapshot().ToJson()`.
+MetricsSnapshot Snapshot();
+
+}  // namespace memflow::telemetry
+
+#endif  // MEMFLOW_TELEMETRY_METRICS_H_

@@ -1,0 +1,62 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/trace.h"
+
+#include "common/assert.h"
+
+namespace memflow::telemetry {
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  MEMFLOW_CHECK(capacity_ >= 1);
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceBuffer::Emit(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceBuffer::SetTrackName(std::uint64_t track, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+std::map<std::uint64_t, std::string> TraceBuffer::TrackNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return track_names_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_.store(0, std::memory_order_relaxed);
+}
+
+TraceBuffer& DefaultTracer() {
+  static TraceBuffer* tracer = new TraceBuffer();
+  return *tracer;
+}
+
+}  // namespace memflow::telemetry

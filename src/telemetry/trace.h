@@ -1,0 +1,97 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Cross-layer event/span tracing on the virtual timeline (paper §3,
+// Challenge 8). Every layer of the runtime emits causal events into one
+// bounded ring buffer:
+//
+//   spans    — task lifetimes, handover copies, migrations, checkpoints
+//   instants — point events (faults, stalls)
+//   flows    — producer -> consumer arrows linking a task's output handover
+//              to the consumer's dispatch (kFlowBegin on the producer track,
+//              kFlowEnd with the same flow id on the consumer track)
+//
+// The buffer is bounded: when full, the oldest events are overwritten and
+// counted as dropped — tracing can stay on in a long-running system without
+// growing memory. Exporters (telemetry/export.h) turn the stream into
+// Chrome/Perfetto trace JSON and cross-job aggregate views.
+
+#ifndef MEMFLOW_TELEMETRY_TRACE_H_
+#define MEMFLOW_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace memflow::telemetry {
+
+enum class TraceEventType { kSpan, kInstant, kFlowBegin, kFlowEnd };
+
+// One pre-rendered argument. `quoted` false means `value` is emitted as a
+// raw JSON token (number / bool), true means it is escaped and quoted.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kInstant;
+  std::string name;
+  std::string category;
+  std::uint64_t track = 0;   // lane: compute device id, or a synthetic track
+  std::uint32_t job = 0;     // owning job id; 0 = not job-scoped
+  SimTime ts;
+  SimDuration dur;           // kSpan only
+  std::uint64_t flow_id = 0; // kFlowBegin / kFlowEnd pairs share an id
+  std::vector<TraceArg> args;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void Emit(TraceEvent event);
+
+  // Fresh id for a kFlowBegin/kFlowEnd pair.
+  std::uint64_t NextFlowId() { return next_flow_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Human-readable lane names ("cpu0", "GPU", "region-manager") for exporters.
+  void SetTrackName(std::uint64_t track, std::string name);
+  std::map<std::uint64_t, std::string> TrackNames() const;
+
+  // Buffered events, oldest first (at most `capacity()` of them).
+  std::vector<TraceEvent> Events() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_emitted() const { return total_.load(std::memory_order_relaxed); }
+  // Events overwritten by ring wraparound.
+  std::uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // oldest element once the ring is full
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> next_flow_{1};
+  std::map<std::uint64_t, std::string> track_names_;
+};
+
+// Process-wide default tracer for components not handed an explicit one.
+TraceBuffer& DefaultTracer();
+
+}  // namespace memflow::telemetry
+
+#endif  // MEMFLOW_TELEMETRY_TRACE_H_

@@ -1,0 +1,365 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the telemetry substrate: metrics registry semantics (monotonic
+// counters, `le` histogram buckets, the label-cardinality cap), the bounded
+// trace ring, exporter output shapes, and the runtime integration (flow
+// arrows, JSON escaping in ExportChromeTrace, ProfileJob regression).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rts/profiler.h"
+#include "simhw/presets.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace memflow {
+namespace {
+
+using dataflow::TaskContext;
+using telemetry::HistogramSpec;
+using telemetry::Labels;
+using telemetry::MetricKind;
+using telemetry::Registry;
+using telemetry::TraceBuffer;
+using telemetry::TraceEvent;
+using telemetry::TraceEventType;
+
+// --- metrics registry ---------------------------------------------------------
+
+TEST(MetricsTest, CounterIsMonotonicAndInterned) {
+  Registry reg;
+  telemetry::Counter* c = reg.GetCounter("requests_total", "help");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name + labels -> the same instrument, not a fresh series.
+  EXPECT_EQ(reg.GetCounter("requests_total", "help"), c);
+  // Different labels -> a distinct series starting at zero.
+  telemetry::Counter* labeled =
+      reg.GetCounter("requests_total", "help", {{"device", "gpu"}});
+  EXPECT_NE(labeled, c);
+  EXPECT_EQ(labeled->value(), 0u);
+}
+
+TEST(MetricsTest, LabelOrderDoesNotSplitSeries) {
+  Registry reg;
+  telemetry::Counter* a =
+      reg.GetCounter("x_total", "h", {{"a", "1"}, {"b", "2"}});
+  telemetry::Counter* b =
+      reg.GetCounter("x_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesUseLeSemantics) {
+  Registry reg;
+  // Bounds: 1, 2, 4, 8 (+Inf implicit).
+  telemetry::Histogram* h =
+      reg.GetHistogram("latency", "h", HistogramSpec{1.0, 2.0, 4});
+  ASSERT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  h->Observe(1.0);   // le 1  : a sample exactly on a bound lands in that bucket
+  h->Observe(1.5);   // le 2
+  h->Observe(8.0);   // le 8
+  h->Observe(9.0);   // +Inf
+  const std::vector<std::uint64_t> counts = h->counts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 1u);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 19.5);
+}
+
+TEST(MetricsTest, CardinalityCapCollapsesIntoOverflowSeries) {
+  Registry reg(/*max_series_per_family=*/4);
+  std::vector<telemetry::Counter*> series;
+  for (int i = 0; i < 10; ++i) {
+    series.push_back(
+        reg.GetCounter("hot_total", "h", {{"device", "d" + std::to_string(i)}}));
+    series.back()->Increment();
+  }
+  // The first 4 label sets are distinct; everything after shares one
+  // overflow instrument.
+  EXPECT_NE(series[0], series[1]);
+  EXPECT_EQ(series[4], series[5]);
+  EXPECT_EQ(series[4], series[9]);
+  EXPECT_EQ(series[4]->value(), 6u);
+
+  const telemetry::MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.families.size(), 1u);
+  EXPECT_EQ(snap.families[0].series.size(), 5u);  // 4 real + 1 overflow
+  bool found_overflow = false;
+  for (const auto& s : snap.families[0].series) {
+    if (s.labels == Labels{{"overflow", "true"}}) {
+      found_overflow = true;
+      EXPECT_EQ(s.counter, 6u);
+    }
+  }
+  EXPECT_TRUE(found_overflow);
+}
+
+TEST(MetricsTest, PrometheusExpositionShape) {
+  Registry reg;
+  reg.GetCounter("rts_jobs_total", "Jobs", {{"result", "completed"}})->Increment(3);
+  reg.GetGauge("depth", "Depth")->Set(2.5);
+  telemetry::Histogram* h = reg.GetHistogram("lat", "Lat", HistogramSpec{1.0, 2.0, 2});
+  h->Observe(1.0);
+  h->Observe(100.0);
+  const std::string text = reg.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# HELP rts_jobs_total Jobs\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rts_jobs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("rts_jobs_total{result=\"completed\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 2.5\n"), std::string::npos);
+  // Histogram buckets are cumulative, with an explicit +Inf bucket.
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 101\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonSnapshotShape) {
+  Registry reg;
+  reg.GetCounter("a_total", "with \"quotes\" and \\slash")->Increment(7);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  // Help strings pass through the shared JSON escaper.
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"), std::string::npos);
+}
+
+// --- trace ring ---------------------------------------------------------------
+
+TraceEvent Instant(const std::string& name, std::int64_t ts_ns) {
+  TraceEvent e;
+  e.type = TraceEventType::kInstant;
+  e.name = name;
+  e.ts = SimTime{ts_ns};
+  return e;
+}
+
+TEST(TraceTest, RingWrapsAroundAndCountsDropped) {
+  TraceBuffer buf(/*capacity=*/8);
+  for (int i = 0; i < 12; ++i) {
+    buf.Emit(Instant("e" + std::to_string(i), i));
+  }
+  EXPECT_EQ(buf.total_emitted(), 12u);
+  EXPECT_EQ(buf.dropped(), 4u);
+  const std::vector<TraceEvent> events = buf.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first: the 4 oldest were overwritten.
+  EXPECT_EQ(events.front().name, "e4");
+  EXPECT_EQ(events.back().name, "e11");
+  buf.Clear();
+  EXPECT_EQ(buf.Events().size(), 0u);
+  EXPECT_EQ(buf.total_emitted(), 0u);
+}
+
+TEST(TraceTest, FlowIdsAreUnique) {
+  TraceBuffer buf(8);
+  const std::uint64_t a = buf.NextFlowId();
+  const std::uint64_t b = buf.NextFlowId();
+  EXPECT_NE(a, b);
+}
+
+// --- runtime integration ------------------------------------------------------
+
+dataflow::TaskFn Worker(double work) {
+  return [work](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(KiB(64)));
+    (void)out;
+    ctx.ChargeCompute(work);
+    return OkStatus();
+  };
+}
+
+class TelemetryRuntimeTest : public ::testing::Test {
+ protected:
+  TelemetryRuntimeTest() : host_(simhw::MakeCxlExpansionHost()) {
+    rts::RuntimeOptions options;
+    options.registry = &registry_;
+    options.tracer = &tracer_;
+    rt_ = std::make_unique<rts::Runtime>(*host_.cluster, options);
+  }
+
+  std::uint64_t CounterValue(const std::string& family, const Labels& want = {}) {
+    for (const auto& f : registry_.Snapshot().families) {
+      if (f.name != family) {
+        continue;
+      }
+      std::uint64_t total = 0;
+      for (const auto& s : f.series) {
+        bool match = true;
+        for (const auto& [k, v] : want) {
+          bool found = false;
+          for (const auto& [sk, sv] : s.labels) {
+            found |= (sk == k && sv == v);
+          }
+          match &= found;
+        }
+        if (match) {
+          total += s.counter;
+        }
+      }
+      return total;
+    }
+    return 0;
+  }
+
+  simhw::CxlHostHandles host_;
+  telemetry::Registry registry_;
+  telemetry::TraceBuffer tracer_;
+  std::unique_ptr<rts::Runtime> rt_;
+};
+
+TEST_F(TelemetryRuntimeTest, JobUpdatesMetricsAcrossLayers) {
+  dataflow::Job job("chain");
+  const dataflow::TaskId a = job.AddTask("a", {}, Worker(1e5));
+  const dataflow::TaskId b = job.AddTask("b", {}, Worker(1e5));
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  auto report = rt_->SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+
+  EXPECT_EQ(CounterValue("rts_jobs_submitted_total"), 1u);
+  EXPECT_EQ(CounterValue("rts_jobs_total", {{"result", "completed"}}), 1u);
+  EXPECT_EQ(CounterValue("rts_tasks_executed_total"), 2u);
+  EXPECT_GE(CounterValue("rts_placement_decisions_total"), 2u);
+  EXPECT_GE(CounterValue("rts_handovers_total"), 1u);
+  // The region layer reported through the same registry.
+  EXPECT_GE(CounterValue("region_allocations_total"), 2u);
+  EXPECT_GT(CounterValue("region_alloc_bytes_total"), 0u);
+}
+
+TEST_F(TelemetryRuntimeTest, HandoverEmitsFlowArrowWithOrderedEndpoints) {
+  dataflow::Job job("flow");
+  const dataflow::TaskId a = job.AddTask("producer", {}, Worker(1e5));
+  const dataflow::TaskId b = job.AddTask("consumer", {}, Worker(1e5));
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  auto report = rt_->SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+
+  std::vector<TraceEvent> begins;
+  std::vector<TraceEvent> ends;
+  for (const TraceEvent& e : tracer_.Events()) {
+    if (e.type == TraceEventType::kFlowBegin) {
+      begins.push_back(e);
+    } else if (e.type == TraceEventType::kFlowEnd) {
+      ends.push_back(e);
+    }
+  }
+  ASSERT_GE(begins.size(), 1u);
+  ASSERT_GE(ends.size(), 1u);
+  // Every end pairs with a begin of the same flow id, and never precedes it.
+  for (const TraceEvent& end : ends) {
+    bool paired = false;
+    for (const TraceEvent& begin : begins) {
+      if (begin.flow_id == end.flow_id) {
+        paired = true;
+        EXPECT_LE(begin.ts.ns, end.ts.ns);
+      }
+    }
+    EXPECT_TRUE(paired);
+  }
+}
+
+TEST_F(TelemetryRuntimeTest, ChromeTraceEscapesQuotesAndBackslashes) {
+  dataflow::Job job("tricky \"name\"");
+  job.AddTask("he\"avy\\", {}, Worker(1e5));
+  auto report = rt_->SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto trace = rts::ExportChromeTrace(*rt_, report->id);
+  ASSERT_TRUE(trace.ok());
+  // The raw name must never appear unescaped inside a JSON string.
+  EXPECT_EQ(trace->find("\"he\"avy\\\""), std::string::npos);
+  EXPECT_NE(trace->find("he\\\"avy\\\\"), std::string::npos);
+  EXPECT_NE(trace->find("\"traceEvents\":["), std::string::npos);
+  // Quotes must balance once escapes are accounted for.
+  int quotes = 0;
+  for (std::size_t i = 0; i < trace->size(); ++i) {
+    if ((*trace)[i] == '\\') {
+      ++i;  // skip the escaped character
+    } else if ((*trace)[i] == '"') {
+      ++quotes;
+    }
+  }
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST_F(TelemetryRuntimeTest, ChromeTraceContainsSpansFlowsAndTrackNames) {
+  dataflow::Job job("trace");
+  const dataflow::TaskId a = job.AddTask("a", {}, Worker(1e5));
+  const dataflow::TaskId b = job.AddTask("b", {}, Worker(1e5));
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  auto report = rt_->SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto trace = rts::ExportChromeTrace(*rt_, report->id);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find("\"ph\":\"X\""), std::string::npos);  // task spans
+  EXPECT_NE(trace->find("\"ph\":\"s\""), std::string::npos);  // flow begin
+  EXPECT_NE(trace->find("\"ph\":\"f\""), std::string::npos);  // flow end
+  EXPECT_NE(trace->find("thread_name"), std::string::npos);   // named lanes
+  EXPECT_NE(trace->find("\"process_name\""), std::string::npos);
+}
+
+TEST_F(TelemetryRuntimeTest, ProfileJobReportsSameValuesAsBefore) {
+  // The profiler still derives its numbers from the job report, not the
+  // trace stream: a diamond's critical path must run through `heavy`.
+  dataflow::Job job("diamond");
+  const dataflow::TaskId a = job.AddTask("a", {}, Worker(1e4));
+  const dataflow::TaskId light = job.AddTask("light", {}, Worker(1e3));
+  const dataflow::TaskId heavy = job.AddTask("heavy", {}, Worker(5e6));
+  const dataflow::TaskId sink = job.AddTask("sink", {}, Worker(1e3));
+  ASSERT_TRUE(job.Connect(a, light).ok());
+  ASSERT_TRUE(job.Connect(a, heavy).ok());
+  ASSERT_TRUE(job.Connect(light, sink).ok());
+  ASSERT_TRUE(job.Connect(heavy, sink).ok());
+  auto report = rt_->SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  auto profile = rts::ProfileJob(*rt_, report->id);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->tasks[heavy.value].on_critical_path);
+  EXPECT_FALSE(profile->tasks[light.value].on_critical_path);
+  EXPECT_LE(profile->critical_path.ns, profile->makespan.ns);
+  SimDuration total;
+  for (const auto& line : profile->tasks) {
+    total += line.duration;
+  }
+  EXPECT_EQ(total.ns, profile->total_task_time.ns);
+}
+
+TEST_F(TelemetryRuntimeTest, TraceSummaryAggregatesAcrossJobs) {
+  for (int i = 0; i < 2; ++i) {
+    dataflow::Job job("j" + std::to_string(i));
+    job.AddTask("t", {}, Worker(1e5));
+    auto report = rt_->SubmitAndRun(std::move(job));
+    ASSERT_TRUE(report.ok() && report->status.ok());
+  }
+  const std::string summary = telemetry::RenderTraceSummary(tracer_);
+  EXPECT_NE(summary.find("task"), std::string::npos);
+  EXPECT_NE(summary.find("job"), std::string::npos);
+}
+
+TEST_F(TelemetryRuntimeTest, FailedJobCountsAsFailure) {
+  rts::RuntimeOptions options;
+  options.registry = &registry_;
+  options.tracer = &tracer_;
+  options.max_task_attempts = 1;
+  rts::Runtime rt(*host_.cluster, options);
+  dataflow::Job job("boom");
+  job.AddTask("fail", {}, [](TaskContext&) { return Internal("boom"); });
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->status.ok());
+  EXPECT_EQ(CounterValue("rts_jobs_total", {{"result", "failed"}}), 1u);
+}
+
+}  // namespace
+}  // namespace memflow
