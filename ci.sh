@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# memflow CI: plain build + tests, then the same under ASan+UBSan.
+# memflow CI: plain build + tests, then the same under ASan+UBSan, then the
+# parallel-executor test binaries under TSan.
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -23,7 +24,8 @@ echo "== telemetry artifacts =="
 # Bench artifact numbers -> BENCH_rts.json (timers skipped: filter matches none).
 ./build/bench/bench_fig3_mapping --benchmark_filter='^$' --json build/fig3.json >/dev/null
 ./build/bench/bench_fig4_ownership --benchmark_filter='^$' --json build/fig4.json >/dev/null
-python3 - build/fig3.json build/fig4.json <<'EOF'
+./build/bench/bench_throughput --benchmark_filter='^$' --json build/throughput.json >/dev/null
+python3 - build/fig3.json build/fig4.json build/throughput.json <<'EOF'
 import json, sys
 merged = {"benches": [json.load(open(p)) for p in sys.argv[1:]]}
 assert all(b["results"] for b in merged["benches"]), "empty bench results"
@@ -34,7 +36,7 @@ test -s BENCH_rts.json
 # End-to-end observability demo: metrics snapshot + Perfetto trace.
 ./build/examples/observe_runtime build/observe_metrics.json build/observe_trace.json >/dev/null
 # Every exported JSON artifact must parse.
-for artifact in build/fig3.json build/fig4.json BENCH_rts.json \
+for artifact in build/fig3.json build/fig4.json build/throughput.json BENCH_rts.json \
                 build/observe_metrics.json build/observe_trace.json; do
   python3 -m json.tool "$artifact" >/dev/null
 done
@@ -50,5 +52,13 @@ cmake -B build-asan -S . -DMEMFLOW_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 echo "== test (ASan+UBSan) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== build (TSan) =="
+cmake -B build-tsan -S . -DMEMFLOW_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" --target rts_test region_test telemetry_test
+echo "== test (TSan: executor / regions / telemetry) =="
+for t in rts_test region_test telemetry_test; do
+  ./build-tsan/tests/"$t"
+done
 
 echo "== ci ok =="

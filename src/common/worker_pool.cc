@@ -1,0 +1,84 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "common/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace memflow {
+
+WorkerPool::WorkerPool(int threads) {
+  MEMFLOW_CHECK(threads >= 0);
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+int WorkerPool::ResolveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+bool WorkerPool::RunOne(std::unique_lock<std::mutex>& lock) {
+  if (next_ >= queue_.size()) {
+    return false;
+  }
+  std::function<void()> task = std::move(queue_[next_++]);
+  in_flight_++;
+  lock.unlock();
+  task();
+  lock.lock();
+  in_flight_--;
+  return true;
+}
+
+void WorkerPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (RunOne(lock)) {
+      if (next_ >= queue_.size() && in_flight_ == 0) {
+        done_cv_.notify_one();
+      }
+      continue;
+    }
+    if (shutdown_) {
+      return;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void WorkerPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  MEMFLOW_CHECK(next_ == queue_.size() && in_flight_ == 0);  // not reentrant
+  queue_ = std::move(tasks);
+  next_ = 0;
+  work_cv_.notify_all();
+  // The caller helps drain the queue, then waits for stragglers.
+  while (RunOne(lock)) {
+  }
+  done_cv_.wait(lock, [this] { return next_ >= queue_.size() && in_flight_ == 0; });
+  queue_.clear();
+  next_ = 0;
+}
+
+}  // namespace memflow

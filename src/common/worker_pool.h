@@ -1,0 +1,60 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// A minimal fixed-size host thread pool for the runtime's parallel-run phase.
+// The pool exists for the lifetime of its owner (threads are created once,
+// not per batch) and exposes exactly one operation: run a batch of closures
+// to completion. The caller thread participates in draining the queue, so a
+// pool of N threads applies N+1 workers to each batch and a batch of one
+// task degenerates to an inline call.
+
+#ifndef MEMFLOW_COMMON_WORKER_POOL_H_
+#define MEMFLOW_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memflow {
+
+class WorkerPool {
+ public:
+  // `threads` background threads (0 = caller-only pool; RunBatch degrades to
+  // a serial loop with no synchronization overhead beyond one mutex pass).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return static_cast<int>(threads_.size()); }
+
+  // Runs every closure in `tasks`, blocking until all have finished. Closures
+  // may run on any worker (or the caller) in any order; they must synchronize
+  // access to shared state themselves. Not reentrant: closures must not call
+  // RunBatch on the same pool.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  // Picks a worker count: `requested` if positive, hardware_concurrency if 0.
+  static int ResolveThreads(int requested);
+
+ private:
+  void WorkerMain();
+  // Pops and runs one queued task. Returns false if the queue was empty.
+  bool RunOne(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task queued / shutdown
+  std::condition_variable done_cv_;   // signals the caller: batch finished
+  std::vector<std::function<void()>> queue_;
+  std::size_t next_ = 0;       // queue_[next_..) are not yet claimed
+  std::size_t in_flight_ = 0;  // claimed but not finished
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_WORKER_POOL_H_

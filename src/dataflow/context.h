@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "dataflow/task.h"
 #include "region/region_manager.h"
+#include "telemetry/trace.h"
 
 namespace memflow::dataflow {
 
@@ -99,6 +100,19 @@ class TaskContext {
   // Deterministic per-task randomness for workload generators.
   Rng& rng() { return rng_; }
 
+  // --- telemetry ----------------------------------------------------------------
+
+  // Stages a trace event from the task body. Bodies may run concurrently in
+  // the executor's parallel phase, so events are buffered per-context here and
+  // flushed into the shared trace ring by the executor at commit time, in
+  // deterministic (device, job, task) order. Timestamps are filled at flush.
+  void StageTrace(telemetry::TraceEvent event) {
+    staged_trace_.push_back(std::move(event));
+  }
+
+  // Executor-side: staged events drained at commit.
+  std::vector<telemetry::TraceEvent>& staged_trace() { return staged_trace_; }
+
   // Executor-side: regions to free when the task completes.
   const std::vector<region::RegionId>& scratch_regions() const { return scratch_; }
 
@@ -109,6 +123,7 @@ class TaskContext {
   Init init_;
   region::RegionId output_;
   std::vector<region::RegionId> scratch_;
+  std::vector<telemetry::TraceEvent> staged_trace_;
   SimDuration charged_{};
   Rng rng_;
 };

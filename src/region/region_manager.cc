@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/log.h"
 #include "region/crypto.h"
@@ -123,8 +124,24 @@ void RegionManager::BindTrace(const simhw::VirtualClock* clock,
   }
 }
 
-std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest& request,
-                                                              const Properties& props) const {
+void RegionManager::BeginAllocationEpoch() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  epoch_.clear();
+  for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
+    const simhw::MemoryDevice& device = cluster_->memory(dev);
+    epoch_.emplace(dev.value, DeviceCapacity{device.free_bytes(), device.utilization()});
+  }
+  epoch_active_ = true;
+}
+
+void RegionManager::EndAllocationEpoch() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  epoch_active_ = false;
+  epoch_.clear();
+}
+
+std::vector<simhw::MemoryDeviceId> RegionManager::RankDevicesLocked(
+    const AllocRequest& request, const Properties& props) const {
   struct Candidate {
     double score;
     simhw::MemoryDeviceId device;
@@ -134,8 +151,18 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest
   candidates.reserve(devices.size());
   for (const simhw::MemoryDeviceId dev : devices) {
     const simhw::MemoryDevice& device = cluster_->memory(dev);
-    if (device.failed() || !device.profile().allocatable ||
-        device.free_bytes() < request.size) {
+    // During an allocation epoch, score against the frozen capacity snapshot
+    // so the ranking is independent of sibling allocations in this batch.
+    std::uint64_t free_bytes = device.free_bytes();
+    double utilization = device.utilization();
+    if (epoch_active_) {
+      auto it = epoch_.find(dev.value);
+      if (it != epoch_.end()) {
+        free_bytes = it->second.free_bytes;
+        utilization = it->second.utilization;
+      }
+    }
+    if (device.failed() || !device.profile().allocatable || free_bytes < request.size) {
       continue;
     }
     auto view = cluster_->View(request.observer, dev);
@@ -144,7 +171,7 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest
     }
     const SimDuration cost = ExpectedUseCost(*view, request.size, request.hint);
     const double score =
-        static_cast<double>(cost.ns) * (1.0 + config_.pressure_weight * device.utilization());
+        static_cast<double>(cost.ns) * (1.0 + config_.pressure_weight * utilization);
     candidates.push_back({score, dev});
   }
   std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
@@ -161,17 +188,50 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest
   return out;
 }
 
+std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest& request,
+                                                              const Properties& props) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return RankDevicesLocked(request, props);
+}
+
+Result<RegionId> RegionManager::FinishAllocate(simhw::Extent extent, std::uint64_t size,
+                                               const Properties& props,
+                                               const AccessHint& hint,
+                                               const Principal& owner) {
+  const auto id = RegionId(next_id_++);
+  Record& rec = slab_.emplace_back();  // atomics make Record immovable
+  rec.id = id;
+  rec.props = props;  // requested (unrelaxed) properties, for audits
+  rec.hint = hint;
+  rec.size = size;
+  rec.extent = extent;
+  rec.state = OwnershipState::kExclusive;
+  rec.owner = owner;
+  rec.job = owner.job;
+  if (props.confidential) {
+    rec.enc_key = key_rng_.Next() | 1;
+  }
+  rec.klass = ClassifyProperties(props);
+  stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
+  instruments_.allocations[static_cast<int>(rec.klass)]->Increment();
+  instruments_.alloc_bytes[static_cast<int>(rec.klass)]->Increment(size);
+  instruments_.alloc_size->Observe(static_cast<double>(size));
+  stats_.allocations++;
+  return id;
+}
+
 Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
   if (request.size == 0) {
     return InvalidArgument("zero-sized region");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Properties props = request.props;
-  std::vector<simhw::MemoryDeviceId> ranked = RankDevices(request, props);
+  std::vector<simhw::MemoryDeviceId> ranked = RankDevicesLocked(request, props);
   bool relaxed = false;
   if (ranked.empty() && config_.allow_latency_relax) {
     while (ranked.empty() && props.latency != LatencyClass::kAny) {
       props.latency = RelaxOneStep(props.latency);
-      ranked = RankDevices(request, props);
+      ranked = RankDevicesLocked(request, props);
       relaxed = true;
     }
   }
@@ -180,30 +240,12 @@ Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
     if (!extent.ok()) {
       continue;  // fragmentation on this device; try the next candidate
     }
-    const auto id = RegionId(next_id_++);
-    Record rec;
-    rec.id = id;
-    rec.props = request.props;  // requested (unrelaxed) properties, for audits
-    rec.hint = request.hint;
-    rec.size = request.size;
-    rec.extent = *extent;
-    rec.state = OwnershipState::kExclusive;
-    rec.owner = request.owner;
-    rec.job = request.owner.job;
-    if (request.props.confidential) {
-      rec.enc_key = key_rng_.Next() | 1;
-    }
-    rec.klass = ClassifyProperties(request.props);
-    stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
-    instruments_.allocations[static_cast<int>(rec.klass)]->Increment();
-    instruments_.alloc_bytes[static_cast<int>(rec.klass)]->Increment(request.size);
-    instruments_.alloc_size->Observe(static_cast<double>(request.size));
+    auto id = FinishAllocate(*extent, request.size, request.props, request.hint,
+                             request.owner);
     if (relaxed) {
       instruments_.latency_relaxed->Increment();
     }
-    regions_.emplace(id.value, std::move(rec));
-    stats_.allocations++;
-    MEMFLOW_LOG(kDebug) << "region" << Kv("id", id.value) << Kv("bytes", request.size)
+    MEMFLOW_LOG(kDebug) << "region" << Kv("id", id->value) << Kv("bytes", request.size)
                         << Kv("props", request.props.ToString())
                         << Kv("device", cluster_->memory(dev).name());
     return id;
@@ -220,68 +262,63 @@ Result<RegionId> RegionManager::AllocateOn(simhw::MemoryDeviceId device, std::ui
   if (size == 0) {
     return InvalidArgument("zero-sized region");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(simhw::Extent extent, cluster_->memory(device).Allocate(size));
-  const auto id = RegionId(next_id_++);
-  Record rec;
-  rec.id = id;
-  rec.props = props;
-  rec.size = size;
-  rec.extent = extent;
-  rec.state = OwnershipState::kExclusive;
-  rec.owner = owner;
-  rec.job = owner.job;
-  if (props.confidential) {
-    rec.enc_key = key_rng_.Next() | 1;
+  return FinishAllocate(extent, size, props, AccessHint{}, owner);
+}
+
+RegionManager::Record* RegionManager::FindRecord(RegionId id) {
+  if (id.value == 0 || id.value >= next_id_) {
+    return nullptr;
   }
-  rec.klass = ClassifyProperties(props);
-  stats_.allocations_by_class[static_cast<int>(rec.klass)]++;
-  instruments_.allocations[static_cast<int>(rec.klass)]->Increment();
-  instruments_.alloc_bytes[static_cast<int>(rec.klass)]->Increment(size);
-  instruments_.alloc_size->Observe(static_cast<double>(size));
-  regions_.emplace(id.value, std::move(rec));
-  stats_.allocations++;
-  return id;
+  return &slab_[id.value - 1];
+}
+
+const RegionManager::Record* RegionManager::FindRecord(RegionId id) const {
+  if (id.value == 0 || id.value >= next_id_) {
+    return nullptr;
+  }
+  return &slab_[id.value - 1];
 }
 
 Result<RegionManager::Record*> RegionManager::GetChecked(RegionId id, const Principal& who) {
-  auto it = regions_.find(id.value);
-  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+  Record* rec = FindRecord(id);
+  if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region " + std::to_string(id.value) + " is not live");
   }
-  Record& rec = it->second;
   // Confidentiality: only principals of the owning job (or the runtime) may
   // touch a confidential region at all.
-  if (rec.enc_key != 0 && who != kRuntimePrincipal && who.job != rec.job) {
+  if (rec->enc_key != 0 && who != kRuntimePrincipal && who.job != rec->job) {
     stats_.confidentiality_denials++;
     instruments_.confidentiality_denials->Increment();
     return PermissionDenied("region " + std::to_string(id.value) +
-                            " is confidential to job " + std::to_string(rec.job));
+                            " is confidential to job " + std::to_string(rec->job));
   }
   // Ownership: the caller must hold the region.
   if (who != kRuntimePrincipal) {
-    if (rec.state == OwnershipState::kExclusive) {
-      if (!(rec.owner == who)) {
+    if (rec->state == OwnershipState::kExclusive) {
+      if (!(rec->owner == who)) {
         return FailedPrecondition("caller does not own region " + std::to_string(id.value) +
-                                  " (" + std::string(OwnershipStateName(rec.state)) + ")");
+                                  " (" + std::string(OwnershipStateName(rec->state)) + ")");
       }
     } else {
       const bool is_sharer =
-          std::find(rec.sharers.begin(), rec.sharers.end(), who) != rec.sharers.end();
+          std::find(rec->sharers.begin(), rec->sharers.end(), who) != rec->sharers.end();
       if (!is_sharer) {
         return FailedPrecondition("caller is not a sharer of region " +
                                   std::to_string(id.value));
       }
     }
   }
-  return &rec;
+  return rec;
 }
 
 Result<const RegionManager::Record*> RegionManager::GetConst(RegionId id) const {
-  auto it = regions_.find(id.value);
-  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+  const Record* rec = FindRecord(id);
+  if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region " + std::to_string(id.value) + " is not live");
   }
-  return &it->second;
+  return rec;
 }
 
 Status RegionManager::FreeLocked(Record& rec) {
@@ -294,6 +331,7 @@ Status RegionManager::FreeLocked(Record& rec) {
 }
 
 Status RegionManager::Free(RegionId id, const Principal& caller) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
   if (rec->state == OwnershipState::kShared && rec->sharers.size() > 1) {
     return FailedPrecondition("region " + std::to_string(id.value) +
@@ -305,6 +343,7 @@ Status RegionManager::Free(RegionId id, const Principal& caller) {
 Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
                                             const Principal& to,
                                             simhw::ComputeDeviceId new_observer) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, from));
   if (rec->state != OwnershipState::kExclusive) {
     return FailedPrecondition("only exclusively-owned regions can be transferred");
@@ -339,7 +378,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
   probe.hint = rec->hint;
   probe.observer = new_observer;
   probe.owner = to;
-  const std::vector<simhw::MemoryDeviceId> ranked = RankDevices(probe, rec->props);
+  const std::vector<simhw::MemoryDeviceId> ranked = RankDevicesLocked(probe, rec->props);
   for (const simhw::MemoryDeviceId dev : ranked) {
     if (dev == rec->extent.device) {
       continue;
@@ -357,6 +396,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
 
 Status RegionManager::Share(RegionId id, const Principal& owner, const Principal& with,
                             simhw::ComputeDeviceId with_observer, bool require_coherent) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, owner));
   if (rec->enc_key != 0 && with.job != rec->job) {
     stats_.confidentiality_denials++;
@@ -383,6 +423,7 @@ Status RegionManager::Share(RegionId id, const Principal& owner, const Principal
 }
 
 Status RegionManager::Release(RegionId id, const Principal& caller) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
   if (rec->state == OwnershipState::kExclusive) {
     return FreeLocked(*rec);
@@ -397,15 +438,17 @@ Status RegionManager::Release(RegionId id, const Principal& caller) {
 }
 
 Status RegionManager::ForceFree(RegionId id) {
-  auto it = regions_.find(id.value);
-  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Record* rec = FindRecord(id);
+  if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region " + std::to_string(id.value) + " is not live");
   }
-  return FreeLocked(it->second);
+  return FreeLocked(*rec);
 }
 
 Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
                                              simhw::ComputeDeviceId observer) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
                            cluster_->View(observer, rec->extent.device));
@@ -419,6 +462,7 @@ Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
 
 Result<AsyncAccessor> RegionManager::OpenAsync(RegionId id, const Principal& who,
                                                simhw::ComputeDeviceId observer) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
                            cluster_->View(observer, rec->extent.device));
@@ -487,23 +531,28 @@ Result<SimDuration> RegionManager::MoveExtent(Record& rec, simhw::MemoryDeviceId
 }
 
 Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId target) {
-  auto it = regions_.find(id.value);
-  if (it == regions_.end() || it->second.state == OwnershipState::kFreed) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Record* rec = FindRecord(id);
+  if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region is not live");
   }
-  if (it->second.lost) {
+  if (rec->lost) {
     return DataLoss("region lost its backing; nothing to migrate");
   }
-  if (it->second.extent.device == target) {
+  if (rec->extent.device == target) {
     return SimDuration{};
   }
-  return MoveExtent(it->second, target);
+  return MoveExtent(*rec, target);
 }
 
 void RegionManager::DecayHotness(double keep_fraction) {
   MEMFLOW_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
-  for (auto& [_, rec] : regions_) {
-    rec.hotness = static_cast<std::uint64_t>(static_cast<double>(rec.hotness) * keep_fraction);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (Record& rec : slab_) {
+    const auto current = rec.hotness.load(std::memory_order_relaxed);
+    rec.hotness.store(
+        static_cast<std::uint64_t>(static_cast<double>(current) * keep_fraction),
+        std::memory_order_relaxed);
   }
 }
 
@@ -512,7 +561,8 @@ std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
   if (cluster_->memory(device).profile().persistent) {
     return lost;  // persistent media keeps its contents across failures
   }
-  for (auto& [_, rec] : regions_) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (Record& rec : slab_) {
     if (rec.state != OwnershipState::kFreed && rec.extent.device == device && !rec.lost) {
       rec.lost = true;
       lost.push_back(rec.id);
@@ -522,6 +572,7 @@ std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
 }
 
 Result<RegionInfo> RegionManager::Info(RegionId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   RegionInfo info;
   info.id = rec->id;
@@ -531,12 +582,13 @@ Result<RegionInfo> RegionManager::Info(RegionId id) const {
   info.state = rec->state;
   info.owner = rec->owner;
   info.shared_refs = static_cast<int>(rec->sharers.size());
-  info.hotness = rec->hotness;
-  info.lost = rec->lost;
+  info.hotness = rec->hotness.load(std::memory_order_relaxed);
+  info.lost = rec->lost.load(std::memory_order_relaxed);
   return info;
 }
 
 Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   if (rec->state != expected) {
     return Internal("ownership cross-check failed for region " + std::to_string(id.value) +
@@ -547,29 +599,30 @@ Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const
 }
 
 Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   return rec->extent;
 }
 
 std::vector<RegionId> RegionManager::LiveRegions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<RegionId> out;
-  for (const auto& [_, rec] : regions_) {
+  for (const Record& rec : slab_) {  // slab order == id order
     if (rec.state != OwnershipState::kFreed) {
       out.push_back(rec.id);
     }
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<RegionId> RegionManager::RegionsOn(simhw::MemoryDeviceId device) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<RegionId> out;
-  for (const auto& [_, rec] : regions_) {
+  for (const Record& rec : slab_) {
     if (rec.state != OwnershipState::kFreed && rec.extent.device == device) {
       out.push_back(rec.id);
     }
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -577,6 +630,7 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
                                           std::uint64_t offset, void* dst, std::uint64_t size,
                                           const simhw::AccessView& view, bool sequential,
                                           bool charge_latency) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (rec->lost) {
     return DataLoss("region " + std::to_string(id.value) + " lost its backing");
@@ -591,8 +645,9 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
   if (rec->enc_key != 0) {
     ApplyKeystream(rec->enc_key, offset, dst, size);
   }
-  rec->hotness += 1 + size / 256;
-  stats_.bytes_read_by_class[static_cast<int>(rec->klass)] += size;
+  rec->hotness.fetch_add(1 + size / 256, std::memory_order_relaxed);
+  stats_.bytes_read_by_class[static_cast<int>(rec->klass)].fetch_add(
+      size, std::memory_order_relaxed);
   instruments_.bytes_read[static_cast<int>(rec->klass)]->Increment(size);
   SimDuration cost = view.ReadCost(size, sequential);
   if (!charge_latency) {
@@ -605,6 +660,7 @@ Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
                                            std::uint64_t offset, const void* src,
                                            std::uint64_t size, const simhw::AccessView& view,
                                            bool sequential, bool charge_latency) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (offset + size > rec->size) {
     return InvalidArgument("write beyond region bounds");
@@ -624,11 +680,12 @@ Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
     return media.status();
   }
   // A successful write refreshes the data even if a fault had voided it.
-  if (rec->lost && offset == 0 && size == rec->size) {
-    rec->lost = false;
+  if (rec->lost.load(std::memory_order_relaxed) && offset == 0 && size == rec->size) {
+    rec->lost.store(false, std::memory_order_relaxed);
   }
-  rec->hotness += 1 + size / 256;
-  stats_.bytes_written_by_class[static_cast<int>(rec->klass)] += size;
+  rec->hotness.fetch_add(1 + size / 256, std::memory_order_relaxed);
+  stats_.bytes_written_by_class[static_cast<int>(rec->klass)].fetch_add(
+      size, std::memory_order_relaxed);
   instruments_.bytes_written[static_cast<int>(rec->klass)]->Increment(size);
   SimDuration cost = view.WriteCost(size, sequential);
   if (!charge_latency) {

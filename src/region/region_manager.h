@@ -6,12 +6,23 @@
 // ownership transfers and — only when necessary — physical migration
 // (Figure 4), enforces confidentiality (at-rest scrambling + job isolation),
 // and maintains the hotness statistics used by the tiering daemon.
+//
+// Thread-safety (DESIGN.md §8): the manager is guarded by one reader/writer
+// lock. The data path (DoRead/DoWrite/Open*/Info/CheckOwnership) takes the
+// lock shared — many task bodies stream bytes concurrently during the
+// runtime's parallel-run phase — and bumps its counters with atomics.
+// Structural mutations (allocate/free/transfer/share/migrate/fault marking)
+// take it exclusive, so they serialize against each other *and* against every
+// in-flight access.
 
 #ifndef MEMFLOW_REGION_REGION_MANAGER_H_
 #define MEMFLOW_REGION_REGION_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +62,9 @@ inline constexpr int kNumRegionClasses = 4;
 std::string_view RegionClassName(RegionClass c);
 RegionClass ClassifyProperties(const Properties& props);
 
+// Counters bumped on the shared-lock data path are atomics; everything else
+// is mutated only under the exclusive lock. Reads are only meaningful from
+// serial phases (tests, profiler, benches), never mid-batch.
 struct ManagerStats {
   std::uint64_t allocations = 0;
   std::uint64_t failed_allocations = 0;
@@ -59,10 +73,10 @@ struct ManagerStats {
   std::uint64_t zero_copy_transfers = 0;
   std::uint64_t migrations = 0;
   std::uint64_t bytes_migrated = 0;
-  std::uint64_t confidentiality_denials = 0;
+  std::atomic<std::uint64_t> confidentiality_denials{0};
   // Traffic per region class (Table 3 usage matrix).
-  std::uint64_t bytes_read_by_class[kNumRegionClasses] = {};
-  std::uint64_t bytes_written_by_class[kNumRegionClasses] = {};
+  std::atomic<std::uint64_t> bytes_read_by_class[kNumRegionClasses] = {};
+  std::atomic<std::uint64_t> bytes_written_by_class[kNumRegionClasses] = {};
   std::uint64_t allocations_by_class[kNumRegionClasses] = {};
 };
 
@@ -153,6 +167,18 @@ class RegionManager {
   // the affected region ids. Call after a device/node failure.
   std::vector<RegionId> MarkLostOn(simhw::MemoryDeviceId device);
 
+  // --- deterministic batching ---------------------------------------------------
+
+  // Freezes per-device capacity/utilization as seen by placement scoring.
+  // While an epoch is active, RankDevices scores against the snapshot instead
+  // of live counters, so the *ranking* computed for an allocation does not
+  // depend on which sibling task bodies happened to allocate first — the key
+  // to placement determinism during the runtime's parallel-run phase. Actual
+  // capacity is still enforced by the device allocator (a candidate that
+  // filled up mid-epoch simply falls through to the next-ranked device).
+  void BeginAllocationEpoch();
+  void EndAllocationEpoch();
+
   // --- introspection -------------------------------------------------------------
 
   Result<RegionInfo> Info(RegionId id) const;
@@ -203,15 +229,28 @@ class RegionManager {
     OwnershipState state = OwnershipState::kExclusive;
     Principal owner;
     std::vector<Principal> sharers;
-    std::uint32_t job = 0;       // confidentiality domain, fixed at creation
-    std::uint64_t enc_key = 0;   // nonzero iff confidential
-    std::uint64_t hotness = 0;
+    std::uint32_t job = 0;      // confidentiality domain, fixed at creation
+    std::uint64_t enc_key = 0;  // nonzero iff confidential
+    // Touched on the shared-lock data path, hence atomic. Everything else in
+    // the record only changes under the exclusive lock.
+    std::atomic<std::uint64_t> hotness{0};
     RegionClass klass = RegionClass::kOther;
-    bool lost = false;
+    std::atomic<bool> lost{false};  // a full overwrite clears it (data path)
   };
+
+  // Slab lookup by id; returns nullptr for ids never issued. Callers filter
+  // kFreed themselves. Requires mu_ held (shared suffices).
+  Record* FindRecord(RegionId id);
+  const Record* FindRecord(RegionId id) const;
 
   Result<Record*> GetChecked(RegionId id, const Principal& who);
   Result<const Record*> GetConst(RegionId id) const;
+
+  std::vector<simhw::MemoryDeviceId> RankDevicesLocked(const AllocRequest& request,
+                                                       const Properties& props) const;
+  Result<RegionId> FinishAllocate(simhw::Extent extent, std::uint64_t size,
+                                  const Properties& props, const AccessHint& hint,
+                                  const Principal& owner);
 
   // Copy a live region's bytes to a fresh extent on `target`.
   Result<SimDuration> MoveExtent(Record& rec, simhw::MemoryDeviceId target);
@@ -239,13 +278,29 @@ class RegionManager {
   simhw::Cluster* cluster_;
   PlacementConfig config_;
   Rng key_rng_;
-  std::unordered_map<std::uint32_t, Record> regions_;  // by RegionId::value
+  // Dense slab indexed by RegionId::value - 1 (ids issue sequentially from
+  // next_id_ and records are never erased — FreeLocked marks kFreed), so the
+  // hot path resolves a region with one bounds check instead of a hash
+  // lookup. std::deque: appends never move existing records, which the
+  // shared-lock readers and the atomic members require.
+  std::deque<Record> slab_;
   std::uint32_t next_id_ = 1;
   ManagerStats stats_;
   telemetry::Registry* registry_;
   Instruments instruments_;
   const simhw::VirtualClock* clock_ = nullptr;
   telemetry::TraceBuffer* tracer_ = nullptr;
+
+  // Reader/writer lock; see the class comment for the discipline.
+  mutable std::shared_mutex mu_;
+
+  // Placement snapshot for the active allocation epoch (empty when inactive).
+  struct DeviceCapacity {
+    std::uint64_t free_bytes = 0;
+    double utilization = 0;
+  };
+  bool epoch_active_ = false;
+  std::unordered_map<std::uint32_t, DeviceCapacity> epoch_;
 };
 
 }  // namespace memflow::region

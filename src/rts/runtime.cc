@@ -3,7 +3,9 @@
 #include "rts/runtime.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/log.h"
@@ -11,6 +13,30 @@
 #include "common/table.h"
 
 namespace memflow::rts {
+
+namespace {
+
+// A job's same-step bodies may only run concurrently when no two of them can
+// touch the same mutable region: no job-wide Global State/Scratch, and no
+// edge that declares in-place writes to a delivered input. (Cross-job bodies
+// never share regions — confidentiality domains and per-job principals make
+// that impossible by construction — so this is a per-job property.)
+bool BodiesIndependent(const dataflow::Job& job) {
+  if (job.options().global_state_bytes > 0 || job.options().global_scratch_bytes > 0) {
+    return false;
+  }
+  for (std::size_t i = 0; i < job.num_tasks(); ++i) {
+    const auto t = dataflow::TaskId(static_cast<std::uint32_t>(i));
+    for (const dataflow::TaskId s : job.successors(t)) {
+      if (job.edge_options(t, s).writes_input) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
     : cluster_(&cluster),
@@ -26,6 +52,13 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
   MEMFLOW_CHECK(policy_ != nullptr);
   MEMFLOW_CHECK(options_.max_task_attempts >= 1);
   regions_.BindTrace(&clock_, tracer_);
+
+  worker_threads_ = WorkerPool::ResolveThreads(options_.worker_threads);
+  if (worker_threads_ > 1) {
+    // The control thread participates in draining every batch, so the pool
+    // only needs worker_threads_ - 1 background threads.
+    pool_ = std::make_unique<WorkerPool>(worker_threads_ - 1);
+  }
 
   telemetry::Registry& reg = *registry_;
   instruments_.jobs_submitted =
@@ -54,11 +87,21 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
   instruments_.task_duration_ns = reg.GetHistogram(
       "rts_task_duration_ns", "Charged simulated task execution time",
       telemetry::HistogramSpec{/*first_bound=*/100.0, /*growth=*/4.0, /*buckets=*/14});
-  for (const simhw::ComputeDeviceId id : cluster_->AllComputeDevices()) {
+
+  // Per-device scheduler state, indexed by id (compute ids are dense from 0).
+  // Instrument handles resolve once here; dispatch does zero map lookups.
+  std::uint32_t max_id = 0;
+  const std::vector<simhw::ComputeDeviceId> compute_ids = cluster_->AllComputeDevices();
+  for (const simhw::ComputeDeviceId id : compute_ids) {
+    max_id = std::max(max_id, id.value);
+  }
+  device_execs_.resize(compute_ids.empty() ? 0 : max_id + 1);
+  for (const simhw::ComputeDeviceId id : compute_ids) {
     const std::string name = cluster_->compute(id).name();
-    instruments_.tasks_executed[id.value] = reg.GetCounter(
+    DeviceExec& de = device_execs_[id.value];
+    de.tasks_executed = reg.GetCounter(
         "rts_tasks_executed_total", "Tasks completed successfully", {{"device", name}});
-    instruments_.queue_depth[id.value] = reg.GetGauge(
+    de.queue_depth = reg.GetGauge(
         "rts_device_queue_depth", "Tasks queued on a compute device", {{"device", name}});
     tracer_->SetTrackName(id.value, name);
   }
@@ -102,6 +145,7 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
   exec->report.submitted = clock_.now();
   exec->tasks.resize(exec->job.num_tasks());
   exec->remaining_tasks = exec->job.num_tasks();
+  exec->parallel_safe = BodiesIndependent(exec->job);
   stats_.jobs_submitted++;
   instruments_.jobs_submitted->Increment();
 
@@ -271,45 +315,41 @@ Status Runtime::Plan(JobExec& exec) {
   return OkStatus();
 }
 
-void Runtime::UpdateQueueDepth(simhw::ComputeDeviceId device) {
-  auto gauge = instruments_.queue_depth.find(device.value);
-  if (gauge == instruments_.queue_depth.end()) {
-    return;
-  }
-  auto it = device_queues_.find(device.value);
-  gauge->second->Set(
-      it == device_queues_.end() ? 0.0 : static_cast<double>(it->second.size()));
+Runtime::DeviceExec& Runtime::device_exec(simhw::ComputeDeviceId device) {
+  MEMFLOW_CHECK(device.value < device_execs_.size());
+  return device_execs_[device.value];
+}
+
+void Runtime::UpdateQueueDepth(DeviceExec& de) {
+  de.queue_depth->Set(static_cast<double>(de.queue.size()));
 }
 
 void Runtime::EnqueueTask(JobExec& exec, dataflow::TaskId task) {
   TaskExec& te = exec.tasks[task.value];
   te.state = TaskExec::State::kQueued;
   te.ready = clock_.now();
-  device_queues_[te.planned.value].emplace_back(exec.index, task);
-  UpdateQueueDepth(te.planned);
+  DeviceExec& de = device_exec(te.planned);
+  de.queue.emplace_back(exec.index, task);
+  UpdateQueueDepth(de);
   PumpDevice(te.planned);
 }
 
 void Runtime::PumpDevice(simhw::ComputeDeviceId device) {
-  auto it = device_queues_.find(device.value);
-  if (it == device_queues_.end()) {
-    return;
-  }
-  auto& queue = it->second;
+  DeviceExec& de = device_exec(device);
   simhw::ComputeDevice& dev = cluster_->compute(device);
-  while (!queue.empty() && !dev.failed() && dev.active_tasks < dev.profile().hw_queues) {
-    auto [job_index, task] = queue.front();
-    queue.pop_front();
+  while (!de.queue.empty() && !dev.failed() && dev.active_tasks < dev.profile().hw_queues) {
+    auto [job_index, task] = de.queue.front();
+    de.queue.pop_front();
     JobExec& exec = *jobs_[job_index];
     if (exec.failed || exec.tasks[task.value].state != TaskExec::State::kQueued) {
       continue;  // job died while queued
     }
-    Dispatch(exec, task);
+    StageDispatch(exec, task);
   }
-  UpdateQueueDepth(device);
+  UpdateQueueDepth(de);
 }
 
-void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
+void Runtime::StageDispatch(JobExec& exec, dataflow::TaskId task) {
   TaskExec& te = exec.tasks[task.value];
   const dataflow::TaskSpec& spec = exec.job.task(task);
   simhw::ComputeDevice& dev = cluster_->compute(te.planned);
@@ -370,22 +410,121 @@ void Runtime::Dispatch(JobExec& exec, dataflow::TaskId task) {
   init.rng_seed = HashCombine(HashCombine(options_.seed, exec.id.value),
                               (static_cast<std::uint64_t>(task.value) << 8) |
                                   static_cast<std::uint64_t>(te.attempts));
-  dataflow::TaskContext ctx(std::move(init));
 
-  const Status result = spec.fn(ctx);
+  // The body does not run here: it joins the current virtual-time step's
+  // batch and executes (possibly concurrently) in ExecuteBatch.
+  PendingBody body;
+  body.job_index = exec.index;
+  body.task = task;
+  body.device = te.planned;
+  body.ctx = std::make_unique<dataflow::TaskContext>(std::move(init));
+  batch_.push_back(std::move(body));
+}
+
+void Runtime::RunBody(PendingBody& body) {
+  JobExec& exec = *jobs_[body.job_index];
+  const dataflow::TaskSpec& spec = exec.job.task(body.task);
+  body.result = spec.fn(*body.ctx);
+}
+
+void Runtime::ExecuteBatch() {
+  std::vector<PendingBody> batch;
+  batch.swap(batch_);  // commits may stage new bodies; keep them separate
+
+  // --- parallel run phase -----------------------------------------------------
+  //
+  // Placement scoring is frozen for the whole batch so the ranking each body
+  // sees is independent of its siblings' allocation order.
+  regions_.BeginAllocationEpoch();
+  if (pool_ != nullptr && batch.size() > 1) {
+    // Bodies of a non-parallel-safe job form one chain and run in staging
+    // order (preserving the serial executor's same-step semantics for jobs
+    // whose tasks communicate through shared regions); every other body is a
+    // chain of its own. Chains execute concurrently on the pool.
+    std::vector<std::vector<std::size_t>> chains;
+    std::unordered_map<std::size_t, std::size_t> chain_of_job;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (jobs_[batch[i].job_index]->parallel_safe) {
+        chains.push_back({i});
+        continue;
+      }
+      auto [it, inserted] = chain_of_job.try_emplace(batch[i].job_index, chains.size());
+      if (inserted) {
+        chains.emplace_back();
+      }
+      chains[it->second].push_back(i);
+    }
+    std::vector<std::function<void()>> closures;
+    closures.reserve(chains.size());
+    for (std::vector<std::size_t>& chain : chains) {
+      closures.push_back([this, &batch, chain = std::move(chain)] {
+        for (const std::size_t i : chain) {
+          RunBody(batch[i]);
+        }
+      });
+    }
+    pool_->RunBatch(std::move(closures));
+  } else {
+    for (PendingBody& body : batch) {
+      RunBody(body);
+    }
+  }
+  regions_.EndAllocationEpoch();
+
+  // --- serial commit phase ----------------------------------------------------
+  //
+  // Fixed (device id, job, task id) order, independent of both the staging
+  // order and the interleaving of the run phase.
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&batch](std::size_t a, std::size_t b) {
+    const PendingBody& x = batch[a];
+    const PendingBody& y = batch[b];
+    if (x.device != y.device) {
+      return x.device < y.device;
+    }
+    if (x.job_index != y.job_index) {
+      return x.job_index < y.job_index;
+    }
+    return x.task < y.task;
+  });
+  for (const std::size_t i : order) {
+    CommitBody(batch[i]);
+  }
+}
+
+void Runtime::CommitBody(PendingBody& body) {
+  JobExec& exec = *jobs_[body.job_index];
+  TaskExec& te = exec.tasks[body.task.value];
+  dataflow::TaskContext& ctx = *body.ctx;
   te.scratch = ctx.scratch_regions();
   te.output = ctx.output();
 
-  if (!result.ok()) {
+  // Flush trace events the body staged (bodies must not touch the shared
+  // ring mid-flight; commit order makes the stream deterministic).
+  for (telemetry::TraceEvent& event : ctx.staged_trace()) {
+    event.ts = clock_.now();
+    event.job = exec.id.value;
+    if (event.track == 0) {
+      event.track = body.device.value;
+    }
+    tracer_->Emit(std::move(event));
+  }
+  ctx.staged_trace().clear();
+
+  if (!body.result.ok()) {
     const simhw::ComputeDeviceId freed_slot = te.planned;
-    dev.active_tasks--;
-    OnAttemptFailed(exec, task, result);  // may re-plan te.planned elsewhere
+    cluster_->compute(te.planned).active_tasks--;
+    OnAttemptFailed(exec, body.task, body.result);  // may re-plan te.planned
     PumpDevice(freed_slot);
     return;
   }
 
   te.duration = ctx.charged();
-  const std::size_t job_index = exec.index;
+  const std::size_t job_index = body.job_index;
+  const dataflow::TaskId task = body.task;
   events_.Schedule(clock_.now() + te.duration, [this, job_index, task](SimTime) {
     OnTaskComplete(*jobs_[job_index], task);
   });
@@ -406,7 +545,17 @@ void Runtime::OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status
     te.output = region::RegionId{};
   }
 
-  if (te.attempts >= options_.max_task_attempts || exec.failed) {
+  if (exec.failed) {
+    // The job tore down while this body was in flight; FailJob skipped it (it
+    // was kRunning), so drop its inputs here instead of retrying.
+    te.state = TaskExec::State::kFailed;
+    te.report.status = error;
+    for (const region::RegionId r : te.inputs) {
+      (void)regions_.ForceFree(r);
+    }
+    return;
+  }
+  if (te.attempts >= options_.max_task_attempts) {
     te.state = TaskExec::State::kFailed;
     te.report.status = error;
     FailJob(exec, error);
@@ -452,7 +601,7 @@ void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
   simhw::ComputeDevice& dev = cluster_->compute(te.planned);
   dev.active_tasks--;
   dev.planned_ns = std::max(0.0, dev.planned_ns - static_cast<double>(te.duration.ns));
-  device_busy_[te.planned.value] += te.duration;
+  device_exec(te.planned).busy += te.duration;
   PumpDevice(te.planned);
 
   if (exec.failed) {
@@ -505,10 +654,7 @@ void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
   te.report.duration = te.duration;
   te.report.attempts = te.attempts;
 
-  auto executed = instruments_.tasks_executed.find(te.planned.value);
-  if (executed != instruments_.tasks_executed.end()) {
-    executed->second->Increment();
-  }
+  device_exec(te.planned).tasks_executed->Increment();
   instruments_.task_duration_ns->Observe(static_cast<double>(te.duration.ns));
 
   {
@@ -742,7 +888,18 @@ Status Runtime::RunToCompletion() {
     }
     fault_events_scheduled_ = true;
   }
-  events_.RunUntilIdle(clock_);
+  // Conservative-PDES loop: drain every event at the current virtual time
+  // first (each may stage more bodies), and only then execute the staged
+  // batch — so the batch is maximal and its composition depends solely on the
+  // (deterministic) event order, never on worker count. Time advances only
+  // while no bodies are staged.
+  while (!events_.empty() || !batch_.empty()) {
+    if (!batch_.empty() && (events_.empty() || events_.next_time() > clock_.now())) {
+      ExecuteBatch();
+      continue;
+    }
+    events_.RunNext(clock_);
+  }
   for (const auto& exec : jobs_) {
     if (!exec->finished) {
       return Internal("job '" + exec->report.name +
@@ -806,8 +963,8 @@ std::string Runtime::UtilizationReport() const {
   TextTable comp({"Compute device", "Kind", "Busy time"});
   for (const simhw::ComputeDeviceId id : cluster_->AllComputeDevices()) {
     const simhw::ComputeDevice& dev = cluster_->compute(id);
-    auto it = device_busy_.find(id.value);
-    const SimDuration busy = it == device_busy_.end() ? SimDuration{} : it->second;
+    const SimDuration busy =
+        id.value < device_execs_.size() ? device_execs_[id.value].busy : SimDuration{};
     comp.AddRow({dev.name(), std::string(ComputeDeviceKindName(dev.kind())),
                  HumanDuration(busy)});
   }

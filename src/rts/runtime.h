@@ -11,11 +11,19 @@
 // cost, and the scheduler advances the virtual clock by those costs. Faults
 // (node crashes) are injected on the same timeline.
 //
+// The executor is a conservative parallel discrete-event simulator
+// (DESIGN.md §8): all task bodies dispatchable at one virtual-time step are
+// *staged*, then run concurrently on a host worker pool, and their results
+// (charged costs, outputs, telemetry, completion events) are committed
+// serially in (device id, job, task id) order — so reports are identical at
+// every worker count.
+//
 // Lifecycle of a task under this runtime:
 //   Submit -> admission plan (placement + global regions) -> wait for inputs
-//   -> queue on planned device -> dispatch (body runs, charges cost)
-//   -> completion event at now+cost -> scratch freed, inputs released,
-//   output ownership transferred/shared to successors -> successors ready.
+//   -> queue on planned device -> stage (context built) -> body runs on the
+//   worker pool, charges cost -> commit -> completion event at now+cost
+//   -> scratch freed, inputs released, output ownership transferred/shared
+//   to successors -> successors ready.
 
 #ifndef MEMFLOW_RTS_RUNTIME_H_
 #define MEMFLOW_RTS_RUNTIME_H_
@@ -28,6 +36,7 @@
 
 #include "analysis/verifier.h"
 #include "common/status.h"
+#include "common/worker_pool.h"
 #include "dataflow/context.h"
 #include "dataflow/job.h"
 #include "region/region_manager.h"
@@ -60,6 +69,10 @@ struct RuntimeOptions {
   // executor also cross-checks the statically computed ownership states at
   // every input access, so the analyzer and the executor validate each other.
   VerifyMode verify = VerifyMode::kEnforce;
+  // Host threads that run task bodies during the parallel phase. 0 picks
+  // hardware_concurrency; 1 runs bodies serially (same staging/commit path,
+  // so results are identical — only wall-clock time changes).
+  int worker_threads = 0;
   // Metrics destination; nullptr means the process-wide default registry.
   telemetry::Registry* registry = nullptr;
   // Span/event destination. nullptr means the runtime owns a private buffer
@@ -143,6 +156,8 @@ class Runtime {
   const simhw::Cluster& cluster() const { return *cluster_; }
   const CostModel& cost_model() const { return model_; }
   const RuntimeStats& stats() const { return stats_; }
+  // Resolved size of the body worker pool (>= 1).
+  int worker_threads() const { return worker_threads_; }
   // The event stream every layer below this runtime reports spans into.
   telemetry::TraceBuffer& tracer() { return *tracer_; }
   const telemetry::TraceBuffer& tracer() const { return *tracer_; }
@@ -186,9 +201,35 @@ class Runtime {
     std::size_t remaining_tasks = 0;
     bool finished = false;
     bool failed = false;
+    // Whether this job's task bodies may run concurrently with each other.
+    // False when tasks share mutable regions (Global State/Scratch) or an
+    // edge declares writes_input — such a job's same-step bodies execute as
+    // one serial chain (still concurrent with *other* jobs' bodies; cross-job
+    // region sharing is impossible by construction).
+    bool parallel_safe = true;
 
     explicit JobExec(dataflow::JobId job_id, dataflow::Job j)
         : id(job_id), job(std::move(j)) {}
+  };
+
+  // One staged task body, built serially at dispatch and executed during the
+  // parallel phase of the current virtual-time step.
+  struct PendingBody {
+    std::size_t job_index = 0;
+    dataflow::TaskId task;
+    simhw::ComputeDeviceId device;
+    std::unique_ptr<dataflow::TaskContext> ctx;
+    Status result;
+  };
+
+  // Per compute device scheduler state, indexed by ComputeDeviceId::value
+  // (ids are dense from 0). Holds the run queue plus the pre-resolved
+  // instrument handles, so the dispatch hot path does zero map lookups.
+  struct DeviceExec {
+    std::deque<std::pair<std::size_t, dataflow::TaskId>> queue;
+    SimDuration busy;
+    telemetry::Counter* tasks_executed = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
   };
 
   region::Principal JobPrincipalFor(const JobExec& exec) const {
@@ -203,7 +244,14 @@ class Runtime {
 
   void EnqueueTask(JobExec& exec, dataflow::TaskId task);
   void PumpDevice(simhw::ComputeDeviceId device);
-  void Dispatch(JobExec& exec, dataflow::TaskId task);
+  // Serial begin-half of dispatch: claims the device slot, builds the
+  // TaskContext, and appends the body to the current batch.
+  void StageDispatch(JobExec& exec, dataflow::TaskId task);
+  // Runs every staged body (worker pool when worker_threads > 1), then
+  // commits results in deterministic (device, job, task) order.
+  void ExecuteBatch();
+  void RunBody(PendingBody& body);
+  void CommitBody(PendingBody& body);
   void OnTaskComplete(JobExec& exec, dataflow::TaskId task);
   void OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status& error);
   Status HandoverOutput(JobExec& exec, dataflow::TaskId task);
@@ -213,7 +261,8 @@ class Runtime {
   void FinishJob(JobExec& exec);
   void FailJob(JobExec& exec, const Status& error);
   void ApplyFaultsDue(SimTime now);
-  void UpdateQueueDepth(simhw::ComputeDeviceId device);
+  DeviceExec& device_exec(simhw::ComputeDeviceId device);
+  void UpdateQueueDepth(DeviceExec& de);
 
   struct Instruments {
     telemetry::Counter* jobs_submitted = nullptr;
@@ -227,9 +276,6 @@ class Runtime {
     telemetry::Counter* handovers_copied = nullptr;
     telemetry::Histogram* queue_wait_ns = nullptr;
     telemetry::Histogram* task_duration_ns = nullptr;
-    // Per compute device (keyed by device id).
-    std::unordered_map<std::uint32_t, telemetry::Counter*> tasks_executed;
-    std::unordered_map<std::uint32_t, telemetry::Gauge*> queue_depth;
   };
 
   simhw::Cluster* cluster_;
@@ -246,10 +292,11 @@ class Runtime {
   bool fault_events_scheduled_ = false;
 
   std::vector<std::unique_ptr<JobExec>> jobs_;
-  // Per compute device: FIFO of (job index, task) waiting for a slot.
-  std::unordered_map<std::uint32_t, std::deque<std::pair<std::size_t, dataflow::TaskId>>>
-      device_queues_;
-  std::unordered_map<std::uint32_t, SimDuration> device_busy_;
+  std::vector<DeviceExec> device_execs_;  // by ComputeDeviceId::value
+  // Bodies staged at the current virtual-time step, awaiting ExecuteBatch.
+  std::vector<PendingBody> batch_;
+  int worker_threads_ = 1;                // resolved from options
+  std::unique_ptr<WorkerPool> pool_;      // nullptr when worker_threads_ == 1
   RuntimeStats stats_;
   Instruments instruments_;
   analysis::Report last_verify_report_;

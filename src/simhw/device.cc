@@ -243,14 +243,24 @@ SimDuration MemoryDevice::AccessCost(std::uint64_t bytes, bool sequential,
   return SimDuration::Nanos(lat.ns * static_cast<std::int64_t>(units)) + transfer;
 }
 
+void MemoryDevice::ChargeStats(bool is_write, std::uint64_t bytes, SimDuration cost) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (is_write) {
+    stats_.writes++;
+    stats_.bytes_written += bytes;
+  } else {
+    stats_.reads++;
+    stats_.bytes_read += bytes;
+  }
+  stats_.busy_time += cost;
+}
+
 Result<SimDuration> MemoryDevice::Read(const Extent& extent, std::uint64_t offset, void* dst,
                                        std::uint64_t size) {
   MEMFLOW_RETURN_IF_ERROR(CheckAccess(extent, offset, size));
   CopyOut(live_.at(extent.offset), offset, dst, size);
   const SimDuration cost = AccessCost(size, /*sequential=*/true, /*is_write=*/false);
-  stats_.reads++;
-  stats_.bytes_read += size;
-  stats_.busy_time += cost;
+  ChargeStats(/*is_write=*/false, size, cost);
   return cost;
 }
 
@@ -259,25 +269,19 @@ Result<SimDuration> MemoryDevice::Write(const Extent& extent, std::uint64_t offs
   MEMFLOW_RETURN_IF_ERROR(CheckAccess(extent, offset, size));
   CopyIn(live_.at(extent.offset), offset, src, size);
   const SimDuration cost = AccessCost(size, /*sequential=*/true, /*is_write=*/true);
-  stats_.writes++;
-  stats_.bytes_written += size;
-  stats_.busy_time += cost;
+  ChargeStats(/*is_write=*/true, size, cost);
   return cost;
 }
 
 SimDuration MemoryDevice::ChargeRead(std::uint64_t bytes, bool sequential) {
   const SimDuration cost = AccessCost(bytes, sequential, /*is_write=*/false);
-  stats_.reads++;
-  stats_.bytes_read += bytes;
-  stats_.busy_time += cost;
+  ChargeStats(/*is_write=*/false, bytes, cost);
   return cost;
 }
 
 SimDuration MemoryDevice::ChargeWrite(std::uint64_t bytes, bool sequential) {
   const SimDuration cost = AccessCost(bytes, sequential, /*is_write=*/true);
-  stats_.writes++;
-  stats_.bytes_written += bytes;
-  stats_.busy_time += cost;
+  ChargeStats(/*is_write=*/true, bytes, cost);
   return cost;
 }
 

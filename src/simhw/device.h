@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -153,8 +154,15 @@ class MemoryDevice {
   void Recover();
   bool failed() const { return failed_; }
 
+  // Stats reads are only meaningful between batches (serial phases); the
+  // counters themselves are updated under a lock because Read/Write on
+  // *different extents* of one device may run concurrently during the
+  // runtime's parallel-run phase.
   const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats{}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = DeviceStats{};
+  }
 
  private:
 
@@ -186,6 +194,12 @@ class MemoryDevice {
   void CopyIn(LiveExtent& live, std::uint64_t offset, const void* src, std::uint64_t size);
   std::map<std::uint64_t, LiveExtent> live_;
 
+  void ChargeStats(bool is_write, std::uint64_t bytes, SimDuration cost);
+
+  // Guards stats_ only. Structural state (free_list_, live_, used_) is
+  // mutated exclusively under the RegionManager's exclusive lock and so is
+  // never concurrent with the shared-lock data path.
+  mutable std::mutex stats_mu_;
   DeviceStats stats_;
 };
 

@@ -457,6 +457,221 @@ TEST(PlacementTest, EligibilityFiltersKind) {
   }
 }
 
+// --- Deterministic parallel execution ---------------------------------------------
+//
+// The executor is a conservative parallel discrete-event simulator: bodies
+// dispatchable at one virtual-time step run concurrently on a worker pool and
+// commit in (device, job, task) order (DESIGN.md §8). These tests pin the core
+// guarantee: observable results are identical at every worker count. Region
+// ids are deliberately NOT compared — allocation interleaving may assign them
+// in a different order, which is the one permitted divergence.
+
+// Producer/consumer over OpenAsync: on the disagg rack a task's regions may
+// live in another node's far memory, which is not synchronously addressable.
+dataflow::TaskFn AsyncProducer(std::uint64_t n) {
+  return [n](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(n * 8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
+    std::vector<std::uint64_t> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data[i] = i * 3;
+    }
+    acc.EnqueueWrite(0, data.data(), n * 8);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+    ctx.ChargeCompute(static_cast<double>(n));
+    return OkStatus();
+  };
+}
+
+dataflow::TaskFn AsyncSummingConsumer() {
+  return [](TaskContext& ctx) -> Status {
+    MEMFLOW_CHECK(!ctx.inputs().empty());
+    std::uint64_t sum = 0;
+    for (const region::RegionId in : ctx.inputs()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(in));
+      const std::uint64_t n = acc.size() / 8;
+      std::vector<std::uint64_t> data(n);
+      acc.EnqueueRead(0, data.data(), n * 8);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+      ctx.Charge(cost);
+      for (const std::uint64_t v : data) {
+        sum += v;
+      }
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
+    acc.EnqueueWrite(0, &sum, 8);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+    return OkStatus();
+  };
+}
+
+// One source fanning out to `width` heavy middle tasks that fan back into a
+// sink — enough same-step parallelism to exercise the pool.
+Job WideJob(const std::string& name, int width) {
+  Job job(name);
+  TaskProperties heavy;
+  heavy.base_work = 5e4;
+  const TaskId src = job.AddTask("src", {}, AsyncProducer(512));
+  std::vector<TaskId> mids;
+  for (int i = 0; i < width; ++i) {
+    mids.push_back(job.AddTask("mid" + std::to_string(i), heavy, AsyncSummingConsumer()));
+    MEMFLOW_CHECK(job.Connect(src, mids.back()).ok());
+  }
+  const TaskId sink = job.AddTask("sink", {}, AsyncSummingConsumer());
+  for (const TaskId t : mids) {
+    MEMFLOW_CHECK(job.Connect(t, sink).ok());
+  }
+  return job;
+}
+
+// Every observable per-task fact except region ids.
+std::string Fingerprint(const JobReport& report) {
+  std::string out = report.name + "@" + std::to_string(report.finished.ns) + "\n";
+  for (const TaskReport& t : report.tasks) {
+    out += t.name + " dev=" + std::to_string(t.device.value) +
+           " start=" + std::to_string(t.start.ns) +
+           " finish=" + std::to_string(t.finish.ns) +
+           " dur=" + std::to_string(t.duration.ns) +
+           " handover=" + std::to_string(t.handover_cost.ns) +
+           " zc=" + (t.zero_copy_handover ? "1" : "0") +
+           " attempts=" + std::to_string(t.attempts) + "\n";
+  }
+  return out;
+}
+
+void ExpectStatsEqual(const RuntimeStats& a, const RuntimeStats& b, int workers) {
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted) << "workers=" << workers;
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed) << "workers=" << workers;
+  EXPECT_EQ(a.jobs_failed, b.jobs_failed) << "workers=" << workers;
+  EXPECT_EQ(a.jobs_rejected, b.jobs_rejected) << "workers=" << workers;
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed) << "workers=" << workers;
+  EXPECT_EQ(a.task_retries, b.task_retries) << "workers=" << workers;
+  EXPECT_EQ(a.zero_copy_handovers, b.zero_copy_handovers) << "workers=" << workers;
+  EXPECT_EQ(a.copied_handovers, b.copied_handovers) << "workers=" << workers;
+}
+
+struct DetRun {
+  std::string fingerprint;
+  RuntimeStats stats;
+  std::uint64_t sink_value = 0;
+};
+
+DetRun RunWideAt(int workers) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  RuntimeOptions opts;
+  opts.worker_threads = workers;
+  opts.registry = &reg;
+  Runtime rt(*rack.cluster, opts);
+  auto report = rt.SubmitAndRun(WideJob("wide", 12));
+  MEMFLOW_CHECK(report.ok() && report->status.ok());
+  DetRun out;
+  out.fingerprint = Fingerprint(*report);
+  out.stats = rt.stats();
+  MEMFLOW_CHECK(!report->outputs.empty());
+  auto acc = rt.regions().OpenAsync(report->outputs.front(), rt.JobPrincipal(report->id),
+                                    rack.cpus.front());
+  MEMFLOW_CHECK(acc.ok());
+  acc->EnqueueRead(0, &out.sink_value, 8);
+  MEMFLOW_CHECK(acc->Drain().ok());
+  return out;
+}
+
+TEST(DeterminismTest, ReportsIdenticalAcrossWorkerCounts) {
+  const DetRun base = RunWideAt(1);
+  // 12 mid tasks sharing the source's 512 values; sink sums the 12 sums.
+  EXPECT_EQ(base.sink_value, 12u * (3u * 511 * 512 / 2));
+  for (const int workers : {2, 8}) {
+    const DetRun run = RunWideAt(workers);
+    EXPECT_EQ(run.fingerprint, base.fingerprint) << "workers=" << workers;
+    EXPECT_EQ(run.sink_value, base.sink_value) << "workers=" << workers;
+    ExpectStatsEqual(run.stats, base.stats, workers);
+  }
+}
+
+TEST(DeterminismTest, ConcurrentJobsDeterministicAcrossWorkerCounts) {
+  // Several jobs submitted together: their same-step bodies interleave on the
+  // pool across job boundaries, and everything must still replay bit-equal.
+  auto run_at = [](int workers) {
+    simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+    telemetry::Registry reg;
+    RuntimeOptions opts;
+    opts.worker_threads = workers;
+    opts.registry = &reg;
+    Runtime rt(*rack.cluster, opts);
+    std::vector<dataflow::JobId> ids;
+    for (int j = 0; j < 6; ++j) {
+      auto id = rt.Submit(WideJob("job" + std::to_string(j), 4 + j));
+      MEMFLOW_CHECK(id.ok());
+      ids.push_back(*id);
+    }
+    MEMFLOW_CHECK(rt.RunToCompletion().ok());
+    DetRun out;
+    for (const dataflow::JobId id : ids) {
+      const JobReport& report = rt.report(id);
+      MEMFLOW_CHECK(report.status.ok());
+      out.fingerprint += Fingerprint(report);
+    }
+    out.stats = rt.stats();
+    return out;
+  };
+  const DetRun base = run_at(1);
+  EXPECT_EQ(base.stats.jobs_completed, 6u);
+  for (const int workers : {2, 8}) {
+    const DetRun run = run_at(workers);
+    EXPECT_EQ(run.fingerprint, base.fingerprint) << "workers=" << workers;
+    ExpectStatsEqual(run.stats, base.stats, workers);
+  }
+}
+
+TEST(DeterminismTest, NonParallelSafeJobsStillCorrect) {
+  // A job whose tasks communicate through Global Scratch is not parallel-safe;
+  // its same-step bodies must serialize (one chain) yet still run correctly
+  // alongside other jobs at every worker count.
+  auto make_scratch_job = [] {
+    dataflow::JobOptions jopts;
+    jopts.global_scratch_bytes = KiB(64);
+    Job job("scratchy", jopts);
+    const TaskId w = job.AddTask("w", {}, [](TaskContext& ctx) -> Status {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc,
+                               ctx.OpenAsync(ctx.global_scratch()));
+      const std::uint64_t v = 7;
+      acc.EnqueueWrite(0, &v, 8);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+      ctx.Charge(cost);
+      return OkStatus();
+    });
+    const TaskId r = job.AddTask("r", {}, [](TaskContext& ctx) -> Status {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc,
+                               ctx.OpenAsync(ctx.global_scratch()));
+      std::uint64_t v = 0;
+      acc.EnqueueRead(0, &v, 8);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+      ctx.Charge(cost);
+      return v == 7 ? OkStatus() : Internal("scratch write not visible");
+    });
+    MEMFLOW_CHECK(job.Connect(w, r, {.mode = dataflow::EdgeMode::kControl}).ok());
+    return job;
+  };
+  for (const int workers : {1, 8}) {
+    simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+    telemetry::Registry reg;
+    RuntimeOptions opts;
+    opts.worker_threads = workers;
+    opts.registry = &reg;
+    Runtime rt(*rack.cluster, opts);
+    auto a = rt.Submit(make_scratch_job());
+    auto b = rt.Submit(WideJob("bystander", 8));
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(rt.RunToCompletion().ok());
+    EXPECT_TRUE(rt.report(*a).status.ok()) << rt.report(*a).status.ToString();
+    EXPECT_TRUE(rt.report(*b).status.ok()) << rt.report(*b).status.ToString();
+  }
+}
+
 // --- Cost model -------------------------------------------------------------------
 
 TEST(CostModelTest, EstimateScalesWithInput) {
