@@ -16,7 +16,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "rts/runtime.h"
@@ -27,6 +30,9 @@ namespace {
 
 constexpr std::uint64_t kBodyBytes = MiB(1);
 constexpr int kTasksPerJob = 96;
+// Runtime seed for every measured run; recorded in the JSON results so a
+// number in BENCH_rts.json can be replayed against the exact scenario.
+constexpr std::uint64_t kScenarioSeed = 42;
 // Emulated stall: one real microsecond per simulated microsecond charged,
 // clamped to [5ms, 10ms] so every body stalls long enough to dominate its
 // (unscalable on one core) memcpy work without unbounded sleeps.
@@ -71,6 +77,7 @@ double MeasureTasksPerSec(int workers) {
   simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 8});
   telemetry::Registry reg;
   rts::RuntimeOptions opts;
+  opts.seed = kScenarioSeed;
   opts.worker_threads = workers;
   opts.registry = &reg;
   rts::Runtime rt(*rack.cluster, opts);
@@ -103,13 +110,18 @@ void PrintArtifact() {
 
   // Each body moves 2x kBodyBytes through the simulated device (write+read).
   const double body_mib = 2.0 * static_cast<double>(kBodyBytes) / static_cast<double>(MiB(1));
-  RecordResult("tasks_per_sec_1_worker", w1, "tasks/s");
-  RecordResult("tasks_per_sec_2_workers", w2, "tasks/s");
-  RecordResult("tasks_per_sec_8_workers", w8, "tasks/s");
-  RecordResult("body_mib_per_sec_1_worker", w1 * body_mib, "MiB/s");
-  RecordResult("body_mib_per_sec_8_workers", w8 * body_mib, "MiB/s");
-  RecordResult("speedup_2_workers", w2 / w1, "x");
-  RecordResult("speedup_8_workers", w8 / w1, "x");
+  const auto attrs = [](int workers) {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"scenario_seed", std::to_string(kScenarioSeed)},
+        {"workers", std::to_string(workers)}};
+  };
+  RecordResult("tasks_per_sec_1_worker", w1, "tasks/s", attrs(1));
+  RecordResult("tasks_per_sec_2_workers", w2, "tasks/s", attrs(2));
+  RecordResult("tasks_per_sec_8_workers", w8, "tasks/s", attrs(8));
+  RecordResult("body_mib_per_sec_1_worker", w1 * body_mib, "MiB/s", attrs(1));
+  RecordResult("body_mib_per_sec_8_workers", w8 * body_mib, "MiB/s", attrs(8));
+  RecordResult("speedup_2_workers", w2 / w1, "x", attrs(2));
+  RecordResult("speedup_8_workers", w8 / w1, "x", attrs(8));
 }
 
 void BM_BatchAtWorkers(benchmark::State& state) {

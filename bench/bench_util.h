@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -55,6 +56,9 @@ struct BenchResult {
   std::string name;
   double value = 0;
   std::string unit;
+  // Optional key/value context (scenario seed, worker count, ...) carried
+  // into the JSON document so a recorded number is replayable.
+  std::vector<std::pair<std::string, std::string>> attrs;
 };
 
 inline std::vector<BenchResult>& Results() {
@@ -63,7 +67,12 @@ inline std::vector<BenchResult>& Results() {
 }
 
 inline void RecordResult(const std::string& name, double value, const std::string& unit) {
-  Results().push_back({name, value, unit});
+  Results().push_back({name, value, unit, {}});
+}
+
+inline void RecordResult(const std::string& name, double value, const std::string& unit,
+                         std::vector<std::pair<std::string, std::string>> attrs) {
+  Results().push_back({name, value, unit, std::move(attrs)});
 }
 
 // Pulls `--json <path>` / `--json=<path>` out of argv before google-benchmark
@@ -98,7 +107,20 @@ inline bool WriteResultsJson(const std::string& path, const char* bench_name) {
     }
     first = false;
     json += "{\"name\":" + JsonQuote(r.name) + ",\"value\":" + JsonNumber(r.value) +
-            ",\"unit\":" + JsonQuote(r.unit) + "}";
+            ",\"unit\":" + JsonQuote(r.unit);
+    if (!r.attrs.empty()) {
+      json += ",\"attrs\":{";
+      bool first_attr = true;
+      for (const auto& [k, v] : r.attrs) {
+        if (!first_attr) {
+          json += ',';
+        }
+        first_attr = false;
+        json += JsonQuote(k) + ":" + JsonQuote(v);
+      }
+      json += '}';
+    }
+    json += '}';
   }
   json += "]}\n";
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();

@@ -20,6 +20,18 @@ cmake --build build -j "$JOBS"
 echo "== test =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== simulation corpus (fixed seeds) =="
+# The sim label covers the deterministic harness: the pinned 20-seed corpus,
+# the fault-injector ordering contract, and the crash-point sweep.
+ctest --test-dir build --output-on-failure -L sim
+echo "== simulation batch (randomized, time-boxed) =="
+# Fresh base seed per CI run; a failing scenario prints "replay: seed=N" --
+# rerun with MEMFLOW_SIM_SEED=N MEMFLOW_SIM_BUDGET_MS=1 to replay it.
+SIM_BASE_SEED="${MEMFLOW_SIM_SEED:-$(date +%s)}"
+echo "sim batch base seed: $SIM_BASE_SEED"
+MEMFLOW_SIM_SEED="$SIM_BASE_SEED" MEMFLOW_SIM_BUDGET_MS="${MEMFLOW_SIM_BUDGET_MS:-5000}" \
+  ./build/tests/sim_random_test
+
 echo "== telemetry artifacts =="
 # Bench artifact numbers -> BENCH_rts.json (timers skipped: filter matches none).
 ./build/bench/bench_fig3_mapping --benchmark_filter='^$' --json build/fig3.json >/dev/null
@@ -55,9 +67,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== build (TSan) =="
 cmake -B build-tsan -S . -DMEMFLOW_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target rts_test region_test telemetry_test
-echo "== test (TSan: executor / regions / telemetry) =="
-for t in rts_test region_test telemetry_test; do
+cmake --build build-tsan -j "$JOBS" --target rts_test region_test telemetry_test sim_test
+echo "== test (TSan: executor / regions / telemetry / sim corpus) =="
+for t in rts_test region_test telemetry_test sim_test; do
   ./build-tsan/tests/"$t"
 done
 

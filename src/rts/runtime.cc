@@ -634,6 +634,11 @@ void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
 
   const Status handover = HandoverOutput(exec, task);
   if (!handover.ok()) {
+    // Leave the running state before teardown: FailJob skips running tasks
+    // (their completion event cleans up), but *this* is that completion event
+    // -- if the task stayed kRunning, its output and inputs would leak.
+    te.state = TaskExec::State::kFailed;
+    te.report.status = handover;
     FailJob(exec, handover);
     return;
   }

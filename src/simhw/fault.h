@@ -55,6 +55,12 @@ class FaultInjector {
 
   // Applies every event with timestamp <= now that has not fired yet.
   // Returns the number applied. Call from the scheduler as time advances.
+  //
+  // Ordering guarantee: events apply in ascending timestamp order, and events
+  // sharing a timestamp apply in the order they were Add()ed (the schedule is
+  // stable-sorted). Generated fault plans rely on this — a fail event and a
+  // zero-delay repair at the same instant must still fail first, then recover
+  // (tests/fault_injector_test.cc pins the contract).
   std::size_t ApplyDue(SimTime now);
 
   // Events already applied, in application order (for reports/tests).

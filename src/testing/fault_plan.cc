@@ -1,0 +1,124 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "testing/fault_plan.h"
+
+#include <algorithm>
+
+namespace memflow::testing {
+
+FaultPlan GenerateFaultPlan(Rng& rng, const FaultPlanOptions& opts) {
+  FaultPlan plan;
+  const int n = static_cast<int>(rng.Below(static_cast<std::uint64_t>(opts.max_faults) + 1));
+  plan.specs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FaultSpec spec;
+    spec.target = static_cast<FaultTargetKind>(rng.Below(3));
+    spec.victim = static_cast<std::uint32_t>(rng.Below(1u << 16));
+    spec.fail_at =
+        SimTime(rng.Range(opts.earliest.ns, opts.horizon.ns));
+    spec.repair_after =
+        SimDuration(rng.Range(opts.min_repair.ns, opts.max_repair.ns));
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+FaultTargets EligibleTargets(const simhw::Cluster& cluster,
+                             std::optional<simhw::MemoryDeviceId> exclude_device) {
+  FaultTargets t;
+  for (const simhw::MemoryDeviceId id : cluster.AllMemoryDevices()) {
+    if (exclude_device && id == *exclude_device) {
+      continue;
+    }
+    if (!cluster.memory(id).profile().persistent) {
+      t.devices.push_back(id);
+    }
+  }
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    const simhw::NodeId id(static_cast<std::uint32_t>(i));
+    const simhw::Node& node = cluster.node(id);
+    if (!node.compute.empty()) {
+      continue;  // crashing compute wedges the scheduler's device queues
+    }
+    if (exclude_device &&
+        std::find(node.memory.begin(), node.memory.end(), *exclude_device) !=
+            node.memory.end()) {
+      continue;  // node crash would take the checkpoint device down with it
+    }
+    t.nodes.push_back(id);
+  }
+  for (std::size_t i = 0; i < cluster.topology().num_links(); ++i) {
+    t.links.push_back(simhw::LinkId(static_cast<std::uint32_t>(i)));
+  }
+  return t;
+}
+
+void ApplyPlan(const FaultPlan& plan, const FaultTargets& targets,
+               simhw::FaultInjector& injector) {
+  for (const FaultSpec& spec : plan.specs) {
+    const SimTime recover_at = spec.fail_at + spec.repair_after;
+    switch (spec.target) {
+      case FaultTargetKind::kMemoryDevice: {
+        if (targets.devices.empty()) {
+          break;
+        }
+        const simhw::MemoryDeviceId d = targets.devices[spec.victim % targets.devices.size()];
+        injector.FailDeviceAt(spec.fail_at, d);
+        injector.RecoverDeviceAt(recover_at, d);
+        break;
+      }
+      case FaultTargetKind::kMemoryNode: {
+        if (targets.nodes.empty()) {
+          break;
+        }
+        const simhw::NodeId n = targets.nodes[spec.victim % targets.nodes.size()];
+        injector.CrashNodeAt(spec.fail_at, n);
+        injector.RecoverNodeAt(recover_at, n);
+        break;
+      }
+      case FaultTargetKind::kLink: {
+        if (targets.links.empty()) {
+          break;
+        }
+        const simhw::LinkId l = targets.links[spec.victim % targets.links.size()];
+        simhw::FaultEvent fail;
+        fail.at = spec.fail_at;
+        fail.kind = simhw::FaultEvent::Kind::kLinkFail;
+        fail.link = l;
+        injector.Add(fail);
+        simhw::FaultEvent recover = fail;
+        recover.at = recover_at;
+        recover.kind = simhw::FaultEvent::Kind::kLinkRecover;
+        injector.Add(recover);
+        break;
+      }
+    }
+  }
+}
+
+void RecoverAll(simhw::Cluster& cluster, const FaultPlan& plan,
+                const FaultTargets& targets) {
+  for (const FaultSpec& spec : plan.specs) {
+    switch (spec.target) {
+      case FaultTargetKind::kMemoryDevice:
+        if (!targets.devices.empty()) {
+          cluster.memory(targets.devices[spec.victim % targets.devices.size()]).Recover();
+        }
+        break;
+      case FaultTargetKind::kMemoryNode:
+        if (!targets.nodes.empty()) {
+          // Recovering a healthy node is a no-op error we ignore.
+          (void)cluster.RecoverNode(targets.nodes[spec.victim % targets.nodes.size()]);
+        }
+        break;
+      case FaultTargetKind::kLink:
+        if (!targets.links.empty()) {
+          (void)cluster.topology().RecoverLink(
+              targets.links[spec.victim % targets.links.size()]);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace memflow::testing

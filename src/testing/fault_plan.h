@@ -1,0 +1,84 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Seeded fault-schedule generation for deterministic simulation testing
+// (DESIGN.md §10). A FaultPlan is a value-type list of fault specs —
+// target kind, victim index, fail time, repair delay — generated from a
+// single Rng independently of any concrete topology. ApplyPlan() resolves
+// the plan against a cluster's *eligible* victims and emits fail/recover
+// pairs into a simhw::FaultInjector.
+//
+// Eligibility keeps scenarios live rather than wedged: the scheduler never
+// re-pumps a task queued on a failed compute device, so victims are
+// restricted to (a) volatile memory devices (data loss is the interesting
+// failure; persistent media additionally backs checkpoints), (b) nodes with
+// no compute devices (memory pools, far-memory shelves), and (c) interconnect
+// links. The checkpoint device, when one is in use, is excluded so the
+// checkpoint catalog's media never rejects a restore.
+
+#ifndef MEMFLOW_TESTING_FAULT_PLAN_H_
+#define MEMFLOW_TESTING_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "simhw/fault.h"
+
+namespace memflow::testing {
+
+enum class FaultTargetKind : std::uint8_t {
+  kMemoryDevice = 0,
+  kMemoryNode,
+  kLink,
+};
+
+struct FaultSpec {
+  FaultTargetKind target = FaultTargetKind::kMemoryDevice;
+  // Index into the eligible-victim list of `target`'s kind, reduced modulo
+  // the list size at apply time — the plan stays valid (and shrinkable)
+  // across topologies with different device counts.
+  std::uint32_t victim = 0;
+  SimTime fail_at;
+  SimDuration repair_after;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+};
+
+struct FaultPlanOptions {
+  int max_faults = 4;  // drawn uniformly in [0, max_faults]
+  // Faults land in [earliest, horizon]; repairs repair_after later.
+  SimTime earliest = SimTime(10'000);        // 10 us
+  SimTime horizon = SimTime(1'500'000);      // 1.5 ms
+  SimDuration min_repair = SimDuration::Micros(20);
+  SimDuration max_repair = SimDuration::Micros(300);
+};
+
+FaultPlan GenerateFaultPlan(Rng& rng, const FaultPlanOptions& opts);
+
+// The victims a plan may legally hit on `cluster` (see file comment).
+struct FaultTargets {
+  std::vector<simhw::MemoryDeviceId> devices;
+  std::vector<simhw::NodeId> nodes;
+  std::vector<simhw::LinkId> links;
+};
+
+FaultTargets EligibleTargets(const simhw::Cluster& cluster,
+                             std::optional<simhw::MemoryDeviceId> exclude_device);
+
+// Emits each spec's fail event and its recover event (fail_at + repair_after)
+// into `injector`. Specs whose eligible list is empty are skipped.
+void ApplyPlan(const FaultPlan& plan, const FaultTargets& targets,
+               simhw::FaultInjector& injector);
+
+// Force-recovers every victim the plan can name, whether or not its scheduled
+// recovery fired — the restart phase of a differential run must begin on a
+// healthy cluster.
+void RecoverAll(simhw::Cluster& cluster, const FaultPlan& plan,
+                const FaultTargets& targets);
+
+}  // namespace memflow::testing
+
+#endif  // MEMFLOW_TESTING_FAULT_PLAN_H_

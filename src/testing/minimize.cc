@@ -1,0 +1,112 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "testing/minimize.h"
+
+#include <utility>
+
+namespace memflow::testing {
+namespace {
+
+// Removes task `idx` from the spec: incident edges go away, higher task
+// indices shift down. Stale rewrite/declassify flags on surviving tasks are
+// harmless (they only ever relax what the body does, never admissibility).
+void DropTask(JobSpec& job, int idx) {
+  job.tasks.erase(job.tasks.begin() + idx);
+  std::vector<EdgeGen> kept;
+  kept.reserve(job.edges.size());
+  for (EdgeGen e : job.edges) {
+    if (e.from == idx || e.to == idx) {
+      continue;
+    }
+    if (e.from > idx) {
+      --e.from;
+    }
+    if (e.to > idx) {
+      --e.to;
+    }
+    kept.push_back(e);
+  }
+  job.edges = std::move(kept);
+}
+
+}  // namespace
+
+Scenario Minimize(Scenario failing, const ScenarioPredicate& still_fails, int max_evals) {
+  int evals = 0;
+  const auto try_shrink = [&](Scenario candidate) {
+    if (evals >= max_evals) {
+      return false;
+    }
+    ++evals;
+    if (!still_fails(candidate)) {
+      return false;
+    }
+    failing = std::move(candidate);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && evals < max_evals) {
+    progress = false;
+
+    // Whole jobs first: the biggest, cheapest wins.
+    for (std::size_t i = 0; i < failing.jobs.size() && failing.jobs.size() > 1;) {
+      Scenario c = failing;
+      c.jobs.erase(c.jobs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_shrink(std::move(c))) {
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    for (std::size_t i = 0; i < failing.faults.specs.size();) {
+      Scenario c = failing;
+      c.faults.specs.erase(c.faults.specs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_shrink(std::move(c))) {
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    if (failing.worker_counts.size() > 1) {
+      Scenario c = failing;
+      c.worker_counts = {failing.worker_counts.front()};
+      progress = try_shrink(std::move(c)) || progress;
+    }
+    if (failing.restart_check) {
+      Scenario c = failing;
+      c.restart_check = false;
+      progress = try_shrink(std::move(c)) || progress;
+    }
+
+    for (std::size_t j = 0; j < failing.jobs.size(); ++j) {
+      for (int t = 0; t < static_cast<int>(failing.jobs[j].tasks.size()) &&
+                      failing.jobs[j].tasks.size() > 1;) {
+        Scenario c = failing;
+        DropTask(c.jobs[j], t);
+        if (try_shrink(std::move(c))) {
+          progress = true;
+        } else {
+          ++t;
+        }
+      }
+    }
+
+    for (std::size_t j = 0; j < failing.jobs.size(); ++j) {
+      for (std::size_t e = 0; e < failing.jobs[j].edges.size();) {
+        Scenario c = failing;
+        c.jobs[j].edges.erase(c.jobs[j].edges.begin() + static_cast<std::ptrdiff_t>(e));
+        if (try_shrink(std::move(c))) {
+          progress = true;
+        } else {
+          ++e;
+        }
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace memflow::testing

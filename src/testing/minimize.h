@@ -1,0 +1,29 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Greedy scenario shrinking (DESIGN.md §10). Given a failing scenario and a
+// predicate that re-runs it, Minimize() repeatedly tries structural
+// simplifications — drop a job, a fault, a task, an edge; collapse the worker
+// sweep; disable the restart check — keeping each change only if the scenario
+// still fails. Every simplification preserves admissibility (removing tasks
+// or edges only removes verifier constraints), so shrunken scenarios replay
+// through the same pipeline. The predicate evaluation count is bounded:
+// minimization trades completeness for a quick, readable repro.
+
+#ifndef MEMFLOW_TESTING_MINIMIZE_H_
+#define MEMFLOW_TESTING_MINIMIZE_H_
+
+#include <functional>
+
+#include "testing/scenario.h"
+
+namespace memflow::testing {
+
+// Returns true if the (shrunken) scenario still exhibits the failure.
+using ScenarioPredicate = std::function<bool(const Scenario&)>;
+
+Scenario Minimize(Scenario failing, const ScenarioPredicate& still_fails,
+                  int max_evals = 64);
+
+}  // namespace memflow::testing
+
+#endif  // MEMFLOW_TESTING_MINIMIZE_H_

@@ -1,0 +1,228 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "testing/oracle.h"
+
+#include <string>
+
+namespace memflow::testing {
+namespace {
+
+void Add(std::vector<Violation>* out, const char* invariant, std::string message) {
+  out->push_back({invariant, std::move(message)});
+}
+
+// Counter value of `family` summed over all series matching `label` ==
+// `value` (empty label = every series). Missing families read as 0: the
+// runtime registers its instruments eagerly, so absence only happens when the
+// caller wired a different registry — which the equality checks will flag.
+std::uint64_t CounterSum(const telemetry::MetricsSnapshot& snap, const std::string& family,
+                         const std::string& label = "", const std::string& value = "") {
+  std::uint64_t sum = 0;
+  for (const telemetry::FamilySnapshot& f : snap.families) {
+    if (f.name != family) {
+      continue;
+    }
+    for (const telemetry::SeriesSnapshot& s : f.series) {
+      bool match = label.empty();
+      for (const auto& [k, v] : s.labels) {
+        if (k == label && v == value) {
+          match = true;
+        }
+      }
+      if (match) {
+        sum += s.counter;
+      }
+    }
+  }
+  return sum;
+}
+
+std::uint64_t HistogramCount(const telemetry::MetricsSnapshot& snap,
+                             const std::string& family) {
+  std::uint64_t count = 0;
+  for (const telemetry::FamilySnapshot& f : snap.families) {
+    if (f.name == family) {
+      for (const telemetry::SeriesSnapshot& s : f.series) {
+        count += s.count;
+      }
+    }
+  }
+  return count;
+}
+
+void ExpectEq(std::vector<Violation>* out, std::uint64_t got, std::uint64_t want,
+              const std::string& what) {
+  if (got != want) {
+    Add(out, kInvCounterConsistency,
+        what + ": got " + std::to_string(got) + ", want " + std::to_string(want));
+  }
+}
+
+}  // namespace
+
+DeviceUsage CaptureDeviceUsage(const simhw::Cluster& cluster) {
+  DeviceUsage usage(cluster.num_memory_devices(), 0);
+  for (const simhw::MemoryDeviceId id : cluster.AllMemoryDevices()) {
+    usage[id.value] = cluster.memory(id).used();
+  }
+  return usage;
+}
+
+std::string Fingerprint(const rts::JobReport& report) {
+  // Status *codes*, not messages: error text may embed region ids, which are
+  // the one divergence the executor permits across worker counts.
+  std::string out = report.name + "@" + std::to_string(report.finished.ns) +
+                    " status=" + std::to_string(static_cast<int>(report.status.code())) + "\n";
+  for (const rts::TaskReport& t : report.tasks) {
+    out += t.name + " dev=" + std::to_string(t.device.value) +
+           " start=" + std::to_string(t.start.ns) +
+           " finish=" + std::to_string(t.finish.ns) +
+           " dur=" + std::to_string(t.duration.ns) +
+           " handover=" + std::to_string(t.handover_cost.ns) +
+           " zc=" + (t.zero_copy_handover ? "1" : "0") +
+           " attempts=" + std::to_string(t.attempts) +
+           " st=" + std::to_string(static_cast<int>(t.status.code())) + "\n";
+  }
+  return out;
+}
+
+void CheckPostRun(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
+                  const OracleScope& scope, std::vector<Violation>* out) {
+  // --- byte conservation: every byte a device reports in use (beyond the
+  // baseline) is accounted for by exactly the live regions the manager says
+  // live there. Holds across faults: a failed device loses contents but
+  // keeps its allocator bookkeeping.
+  const simhw::Cluster& cluster = rt.cluster();
+  for (const simhw::MemoryDeviceId id : cluster.AllMemoryDevices()) {
+    if (scope.exclude_device && id == *scope.exclude_device) {
+      continue;
+    }
+    std::uint64_t extent_sum = 0;
+    for (const region::RegionId r : rt.regions().RegionsOn(id)) {
+      const auto extent = rt.regions().ExtentOfForTest(r);
+      if (extent.ok()) {
+        extent_sum += extent->size;
+      }
+    }
+    const std::uint64_t baseline =
+        id.value < scope.baseline.size() ? scope.baseline[id.value] : 0;
+    const std::uint64_t used = cluster.memory(id).used();
+    if (used < baseline || extent_sum != used - baseline) {
+      Add(out, kInvByteConservation,
+          "device " + cluster.memory(id).name() + ": live extents sum to " +
+              std::to_string(extent_sum) + " bytes but used()-baseline is " +
+              std::to_string(used) + "-" + std::to_string(baseline));
+    }
+  }
+
+  // --- counter consistency: RuntimeStats, the telemetry registry, and the
+  // job reports must tell one story.
+  const rts::RuntimeStats& stats = rt.stats();
+  const telemetry::MetricsSnapshot snap = rt.metrics().Snapshot();
+  ExpectEq(out, CounterSum(snap, "rts_jobs_submitted_total"), stats.jobs_submitted,
+           "rts_jobs_submitted_total vs stats.jobs_submitted");
+  ExpectEq(out, CounterSum(snap, "rts_jobs_total", "result", "completed"),
+           stats.jobs_completed, "rts_jobs_total{completed} vs stats");
+  ExpectEq(out, CounterSum(snap, "rts_jobs_total", "result", "failed"), stats.jobs_failed,
+           "rts_jobs_total{failed} vs stats");
+  ExpectEq(out, CounterSum(snap, "rts_jobs_total", "result", "rejected"),
+           stats.jobs_rejected, "rts_jobs_total{rejected} vs stats");
+  ExpectEq(out, stats.jobs_completed + stats.jobs_failed + stats.jobs_rejected,
+           stats.jobs_submitted, "job outcomes vs submissions");
+  ExpectEq(out, CounterSum(snap, "rts_task_retries_total"), stats.task_retries,
+           "rts_task_retries_total vs stats.task_retries");
+  ExpectEq(out, CounterSum(snap, "rts_handovers_total", "kind", "zero_copy"),
+           stats.zero_copy_handovers, "rts_handovers_total{zero_copy} vs stats");
+  ExpectEq(out, CounterSum(snap, "rts_handovers_total", "kind", "copied"),
+           stats.copied_handovers, "rts_handovers_total{copied} vs stats");
+  ExpectEq(out, CounterSum(snap, "rts_tasks_executed_total"), stats.tasks_executed,
+           "sum(rts_tasks_executed_total{device}) vs stats.tasks_executed");
+  ExpectEq(out, HistogramCount(snap, "rts_task_duration_ns"), stats.tasks_executed,
+           "rts_task_duration_ns count vs stats.tasks_executed");
+  // Every completion had a dispatch, every retry implies an extra one.
+  const std::uint64_t dispatches = HistogramCount(snap, "rts_task_queue_wait_ns");
+  if (dispatches < stats.tasks_executed + stats.task_retries) {
+    Add(out, kInvCounterConsistency,
+        "rts_task_queue_wait_ns counted " + std::to_string(dispatches) +
+            " dispatches < tasks_executed+retries = " +
+            std::to_string(stats.tasks_executed + stats.task_retries));
+  }
+  // At quiescence no device may still claim queued tasks.
+  for (const telemetry::FamilySnapshot& f : snap.families) {
+    if (f.name != "rts_device_queue_depth") {
+      continue;
+    }
+    for (const telemetry::SeriesSnapshot& s : f.series) {
+      if (s.gauge != 0) {
+        Add(out, kInvCounterConsistency,
+            "rts_device_queue_depth nonzero after RunToCompletion: " +
+                std::to_string(s.gauge));
+      }
+    }
+  }
+
+  // --- report sanity + ownership-divergence classification.
+  for (const dataflow::JobId id : jobs) {
+    const rts::JobReport& report = rt.report(id);
+    if (!report.status.ok() &&
+        report.status.ToString().find("ownership cross-check failed") != std::string::npos) {
+      Add(out, kInvOwnershipDivergence, "job " + report.name + ": " + report.status.ToString());
+    }
+    for (const rts::TaskReport& t : report.tasks) {
+      if (!t.status.ok() &&
+          t.status.ToString().find("ownership cross-check failed") != std::string::npos) {
+        Add(out, kInvOwnershipDivergence,
+            "job " + report.name + " task " + t.name + ": " + t.status.ToString());
+      }
+      if (t.attempts == 0) {
+        continue;  // never dispatched (job failed upstream)
+      }
+      if (t.finish < t.start) {
+        Add(out, kInvReportSanity,
+            "job " + report.name + " task " + t.name + ": finish " +
+                std::to_string(t.finish.ns) + " < start " + std::to_string(t.start.ns));
+      }
+      if (t.duration.ns < 0) {
+        Add(out, kInvReportSanity,
+            "job " + report.name + " task " + t.name + ": negative duration");
+      }
+      if (t.attempts < 0 || t.attempts > scope.max_task_attempts) {
+        Add(out, kInvReportSanity,
+            "job " + report.name + " task " + t.name + ": " + std::to_string(t.attempts) +
+                " attempts, max is " + std::to_string(scope.max_task_attempts));
+      }
+    }
+    if (report.status.ok() && report.finished < report.submitted) {
+      Add(out, kInvReportSanity, "job " + report.name + " finished before it was submitted");
+    }
+  }
+}
+
+void CheckPostRelease(rts::Runtime& rt, const OracleScope& scope,
+                      std::vector<Violation>* out) {
+  const std::vector<region::RegionId> live = rt.regions().LiveRegions();
+  if (!live.empty()) {
+    std::string ids;
+    for (const region::RegionId r : live) {
+      ids += (ids.empty() ? "" : ",") + std::to_string(r.value);
+    }
+    Add(out, kInvRegionLeak,
+        std::to_string(live.size()) + " region(s) leaked after release: ids " + ids);
+  }
+  const simhw::Cluster& cluster = rt.cluster();
+  for (const simhw::MemoryDeviceId id : cluster.AllMemoryDevices()) {
+    if (scope.exclude_device && id == *scope.exclude_device) {
+      continue;
+    }
+    const std::uint64_t baseline =
+        id.value < scope.baseline.size() ? scope.baseline[id.value] : 0;
+    const std::uint64_t used = cluster.memory(id).used();
+    if (used != baseline) {
+      Add(out, kInvRegionLeak,
+          "device " + cluster.memory(id).name() + " still holds " + std::to_string(used) +
+              " bytes, baseline " + std::to_string(baseline));
+    }
+  }
+}
+
+}  // namespace memflow::testing

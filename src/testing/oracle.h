@@ -1,0 +1,83 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Invariant oracle for deterministic simulation testing (DESIGN.md §10).
+// After every scenario leg the oracle audits the runtime, the region manager,
+// the devices, and the telemetry registry against each other. Each invariant
+// has a stable id (like the static verifier's rule catalog) so failures are
+// greppable and the catalog is documentable:
+//
+//   sim-region-leak          live regions remain after outputs were released
+//   sim-byte-conservation    sum of live extents != device used() delta
+//   sim-counter-consistency  telemetry counters disagree with RuntimeStats
+//                            or with each other
+//   sim-ownership-divergence executor/verifier ownership cross-check tripped
+//   sim-report-sanity        malformed JobReport (time travel, attempt count
+//                            out of range)
+//   sim-determinism          fingerprints/outputs differ across worker counts
+//   sim-restart-equivalence  fault+checkpoint-restart outputs differ from the
+//                            fault-free run
+//   sim-liveness             RunToCompletion wedged or errored
+//   sim-admission            a generated (admissible-by-construction) job was
+//                            rejected at Submit
+//
+// The first five are checked here; the rest are emitted by the differential
+// runner (scenario.h) which owns the cross-run comparisons.
+
+#ifndef MEMFLOW_TESTING_ORACLE_H_
+#define MEMFLOW_TESTING_ORACLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rts/runtime.h"
+
+namespace memflow::testing {
+
+inline constexpr char kInvRegionLeak[] = "sim-region-leak";
+inline constexpr char kInvByteConservation[] = "sim-byte-conservation";
+inline constexpr char kInvCounterConsistency[] = "sim-counter-consistency";
+inline constexpr char kInvOwnershipDivergence[] = "sim-ownership-divergence";
+inline constexpr char kInvReportSanity[] = "sim-report-sanity";
+inline constexpr char kInvDeterminism[] = "sim-determinism";
+inline constexpr char kInvRestartEquivalence[] = "sim-restart-equivalence";
+inline constexpr char kInvLiveness[] = "sim-liveness";
+inline constexpr char kInvAdmission[] = "sim-admission";
+
+struct Violation {
+  std::string invariant;  // one of the stable ids above
+  std::string message;
+};
+
+// Bytes in use per memory device (indexed by MemoryDeviceId::value), captured
+// *before* a runtime runs: earlier runtimes on the same cluster may leave
+// legitimate residue (retained outputs of a destroyed runtime, checkpoint
+// extents), so conservation is asserted as a delta against this baseline.
+using DeviceUsage = std::vector<std::uint64_t>;
+DeviceUsage CaptureDeviceUsage(const simhw::Cluster& cluster);
+
+struct OracleScope {
+  DeviceUsage baseline;
+  // Checkpoint media: the checkpointer allocates raw extents directly on the
+  // device (bypassing the RegionManager), so it cannot balance and is skipped.
+  std::optional<simhw::MemoryDeviceId> exclude_device;
+  int max_task_attempts = 2;
+};
+
+// Every observable per-task fact except region ids (the one permitted
+// divergence across worker counts) — the determinism comparand.
+std::string Fingerprint(const rts::JobReport& report);
+
+// Post-run audit: byte conservation, counter consistency, report sanity,
+// ownership-divergence classification. `jobs` are the admitted job ids.
+void CheckPostRun(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
+                  const OracleScope& scope, std::vector<Violation>* out);
+
+// Post-release audit (after ReleaseJobOutputs on every job): no region may
+// outlive its job, and every device must be back at its baseline.
+void CheckPostRelease(rts::Runtime& rt, const OracleScope& scope,
+                      std::vector<Violation>* out);
+
+}  // namespace memflow::testing
+
+#endif  // MEMFLOW_TESTING_ORACLE_H_

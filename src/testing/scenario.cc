@@ -1,0 +1,347 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "testing/scenario.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "rts/checkpoint.h"
+
+namespace memflow::testing {
+namespace {
+
+// Everything one leg of a scenario produced, for cross-leg comparison.
+struct LegOutcome {
+  bool ran = false;  // RunToCompletion returned OK
+  std::string fingerprint;
+  std::string semantic;
+  rts::RuntimeStats stats;
+};
+
+void Annotate(std::vector<Violation>* out, std::vector<Violation> leg,
+              const std::string& prefix) {
+  for (Violation& v : leg) {
+    v.message = prefix + ": " + v.message;
+    out->push_back(std::move(v));
+  }
+}
+
+// The job's observable meaning: per retained output, a hash of its bytes as
+// read back through the first CPU. JobReport::outputs is ordered by retention
+// (completion order), which legitimately differs between a fault-free run and
+// a checkpoint-restart one — so the per-job hash multiset is sorted before it
+// is compared.
+std::string SemanticOf(rts::Runtime& rt, dataflow::JobId id,
+                       simhw::ComputeDeviceId reader) {
+  const rts::JobReport& report = rt.report(id);
+  std::string s = report.name;
+  if (!report.status.ok()) {
+    return s + ":failed\n";
+  }
+  std::vector<std::string> hashes;
+  for (const region::RegionId out : report.outputs) {
+    auto acc = rt.regions().OpenAsync(out, rt.JobPrincipal(id), reader);
+    if (!acc.ok()) {
+      hashes.push_back("?");
+      continue;
+    }
+    std::vector<char> bytes(acc->size());
+    acc->EnqueueRead(0, bytes.data(), bytes.size());
+    hashes.push_back(acc->Drain().ok()
+                         ? std::to_string(Fnv1a64(bytes.data(), bytes.size()))
+                         : "?");
+  }
+  std::sort(hashes.begin(), hashes.end());
+  for (const std::string& h : hashes) {
+    s += " " + h;
+  }
+  return s + "\n";
+}
+
+// One runtime lifetime: submit every job, run, audit, read outputs, release.
+LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
+                  bool with_faults, rts::JobCheckpointer* ckpt,
+                  std::vector<Violation>* out, bool leak_outputs_hook) {
+  LegOutcome leg;
+  telemetry::Registry registry;
+  simhw::FaultInjector injector(*inst.cluster);
+  const std::optional<simhw::MemoryDeviceId> exclude =
+      ckpt ? inst.persistent_device : std::nullopt;
+  const DeviceUsage baseline = CaptureDeviceUsage(*inst.cluster);
+
+  rts::RuntimeOptions ropts;
+  ropts.policy = sc.policy;
+  ropts.max_task_attempts = sc.max_task_attempts;
+  ropts.worker_threads = workers;
+  ropts.registry = &registry;
+  rts::Runtime rt(*inst.cluster, ropts);
+  if (with_faults) {
+    ApplyPlan(sc.faults, EligibleTargets(*inst.cluster, exclude), injector);
+    rt.AttachFaultInjector(&injector);
+  }
+
+  std::vector<dataflow::JobId> ids;
+  for (const JobSpec& spec : sc.jobs) {
+    dataflow::Job job = BuildJob(spec);
+    if (ckpt != nullptr) {
+      job = ckpt->Instrument(std::move(job));
+    }
+    auto id = rt.Submit(std::move(job));
+    if (!id.ok()) {
+      // The generator only emits verifier-admissible, placeable jobs.
+      out->push_back({kInvAdmission,
+                      "job " + spec.name + " rejected: " + id.status().ToString()});
+      continue;
+    }
+    ids.push_back(*id);
+  }
+
+  const Status run = rt.RunToCompletion();
+  if (!run.ok()) {
+    out->push_back({kInvLiveness, "RunToCompletion: " + run.ToString()});
+    return leg;
+  }
+  leg.ran = true;
+
+  const OracleScope scope{baseline, exclude, sc.max_task_attempts};
+  CheckPostRun(rt, ids, scope, out);
+
+  for (const dataflow::JobId id : ids) {
+    leg.fingerprint += Fingerprint(rt.report(id));
+    leg.semantic += SemanticOf(rt, id, inst.reader);
+  }
+  leg.stats = rt.stats();
+
+  bool leaked_one = false;
+  for (const dataflow::JobId id : ids) {
+    if (leak_outputs_hook && !leaked_one && rt.report(id).status.ok()) {
+      leaked_one = true;  // deliberate bug: oracle must flag sim-region-leak
+      continue;
+    }
+    (void)rt.ReleaseJobOutputs(id);
+  }
+  CheckPostRelease(rt, scope, out);
+  return leg;
+}
+
+std::string DiffStats(const rts::RuntimeStats& a, const rts::RuntimeStats& b) {
+  std::string diff;
+  auto cmp = [&diff](const char* name, std::uint64_t x, std::uint64_t y) {
+    if (x != y) {
+      diff += std::string(name) + " " + std::to_string(x) + "!=" + std::to_string(y) + " ";
+    }
+  };
+  cmp("jobs_completed", a.jobs_completed, b.jobs_completed);
+  cmp("jobs_failed", a.jobs_failed, b.jobs_failed);
+  cmp("jobs_rejected", a.jobs_rejected, b.jobs_rejected);
+  cmp("tasks_executed", a.tasks_executed, b.tasks_executed);
+  cmp("task_retries", a.task_retries, b.task_retries);
+  cmp("zero_copy_handovers", a.zero_copy_handovers, b.zero_copy_handovers);
+  cmp("copied_handovers", a.copied_handovers, b.copied_handovers);
+  return diff;
+}
+
+}  // namespace
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kCxlHost:
+      return "cxl-host";
+    case TopologyKind::kDisaggRack:
+      return "disagg-rack";
+    case TopologyKind::kMemoryPool:
+      return "memory-pool";
+    case TopologyKind::kTieredHost:
+      return "tiered-host";
+    case TopologyKind::kComputeRack:
+      return "compute-rack";
+  }
+  return "unknown";
+}
+
+TopologyInstance BuildTopology(TopologyKind kind) {
+  TopologyInstance inst;
+  switch (kind) {
+    case TopologyKind::kCxlHost: {
+      auto h = std::make_shared<simhw::CxlHostHandles>(simhw::MakeCxlExpansionHost());
+      inst.cluster = h->cluster.get();
+      inst.holder = std::move(h);
+      break;
+    }
+    case TopologyKind::kDisaggRack: {
+      auto h = std::make_shared<simhw::DisaggHandles>(
+          simhw::MakeDisaggRack({.compute_nodes = 2, .memory_nodes = 2}));
+      inst.cluster = h->cluster.get();
+      inst.holder = std::move(h);
+      break;
+    }
+    case TopologyKind::kMemoryPool: {
+      auto h = std::make_shared<std::unique_ptr<simhw::Cluster>>(
+          simhw::MakeMemoryCentricPool());
+      inst.cluster = h->get();
+      inst.holder = std::move(h);
+      break;
+    }
+    case TopologyKind::kTieredHost: {
+      auto h = std::make_shared<simhw::TieredHandles>(simhw::MakeTieredStorageHost());
+      inst.cluster = h->cluster.get();
+      inst.holder = std::move(h);
+      break;
+    }
+    case TopologyKind::kComputeRack: {
+      auto h = std::make_shared<std::unique_ptr<simhw::Cluster>>(
+          simhw::MakeComputeCentricRack({.servers = 2}));
+      inst.cluster = h->get();
+      inst.holder = std::move(h);
+      break;
+    }
+  }
+  // Generic discovery, so the scenario layer never special-cases a preset.
+  for (const simhw::ComputeDeviceId c : inst.cluster->AllComputeDevices()) {
+    const simhw::ComputeDeviceKind k = inst.cluster->compute(c).kind();
+    if (!inst.reader.valid() && k == simhw::ComputeDeviceKind::kCPU) {
+      inst.reader = c;
+    }
+    bool seen = false;
+    for (const simhw::ComputeDeviceKind have : inst.compute_kinds) {
+      seen = seen || have == k;
+    }
+    if (!seen) {
+      inst.compute_kinds.push_back(k);
+    }
+  }
+  for (const simhw::MemoryDeviceId m : inst.cluster->AllMemoryDevices()) {
+    if (!inst.persistent_device && inst.cluster->memory(m).profile().persistent) {
+      inst.persistent_device = m;
+    }
+  }
+  return inst;
+}
+
+std::size_t Scenario::CoverageUnits() const {
+  // Each (job, topology, fault-schedule, worker-count) tuple is one covered
+  // scenario; the restart check adds its reference, phase-A, and phase-B legs.
+  return jobs.size() * (worker_counts.size() + (restart_check ? 3 : 0));
+}
+
+std::size_t Scenario::TotalTasks() const {
+  std::size_t n = 0;
+  for (const JobSpec& j : jobs) {
+    n += j.tasks.size();
+  }
+  return n;
+}
+
+Scenario MakeScenario(std::uint64_t seed, const ScenarioOptions& opts) {
+  Scenario sc;
+  sc.seed = seed;
+  Rng rng(seed);
+  sc.topology = static_cast<TopologyKind>(rng.Below(kNumTopologyKinds));
+
+  // Probe the topology so generated jobs only demand what it offers.
+  const TopologyInstance probe = BuildTopology(sc.topology);
+  WorkloadOptions wopts = opts.workload;
+  wopts.available_compute = probe.compute_kinds;
+  wopts.allow_persistent = probe.persistent_device.has_value();
+
+  const int num_jobs =
+      opts.min_jobs +
+      static_cast<int>(rng.Below(static_cast<std::uint64_t>(opts.max_jobs - opts.min_jobs) + 1));
+  for (int i = 0; i < num_jobs; ++i) {
+    sc.jobs.push_back(GenerateJobSpec(rng, wopts, "job" + std::to_string(i)));
+  }
+  sc.faults = GenerateFaultPlan(rng, opts.faults);
+  sc.max_task_attempts = 2 + static_cast<int>(rng.Below(2));
+  sc.policy = static_cast<rts::PlacementPolicyKind>(rng.Below(4));
+  sc.restart_check = probe.persistent_device.has_value();
+  return sc;
+}
+
+std::string ScenarioResult::ToString() const {
+  std::string s = "scenario seed=" + std::to_string(seed) + ": " +
+                  std::to_string(violations.size()) + " violation(s)\n";
+  for (const Violation& v : violations) {
+    s += "  [" + v.invariant + "] " + v.message + "\n";
+  }
+  s += "replay: seed=" + std::to_string(seed) + "\n";
+  return s;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario, const RunHooks& hooks) {
+  ScenarioResult result;
+  result.seed = scenario.seed;
+  result.coverage = scenario.CoverageUnits();
+  std::vector<Violation>* out = &result.violations;
+
+  // --- differential across worker counts (faults included: the schedule
+  // lives on the virtual timeline, so it replays identically).
+  std::optional<LegOutcome> base;
+  int base_workers = 0;
+  for (std::size_t i = 0; i < scenario.worker_counts.size(); ++i) {
+    const int workers = scenario.worker_counts[i];
+    TopologyInstance inst = BuildTopology(scenario.topology);
+    std::vector<Violation> leg_violations;
+    const LegOutcome leg =
+        RunLeg(scenario, inst, workers, /*with_faults=*/true, /*ckpt=*/nullptr,
+               &leg_violations, i == 0 && hooks.leak_job_outputs);
+    Annotate(out, std::move(leg_violations), "workers=" + std::to_string(workers));
+    if (!leg.ran) {
+      continue;
+    }
+    if (!base) {
+      base = leg;
+      base_workers = workers;
+      continue;
+    }
+    const std::string vs =
+        "workers=" + std::to_string(workers) + " vs workers=" + std::to_string(base_workers);
+    if (leg.fingerprint != base->fingerprint) {
+      out->push_back({kInvDeterminism, vs + ": JobReport fingerprints differ"});
+    }
+    if (leg.semantic != base->semantic) {
+      out->push_back({kInvDeterminism, vs + ": output bytes differ\n" + base->semantic +
+                                           "--- vs ---\n" + leg.semantic});
+    }
+    const std::string stats_diff = DiffStats(base->stats, leg.stats);
+    if (!stats_diff.empty()) {
+      out->push_back({kInvDeterminism, vs + ": stats differ: " + stats_diff});
+    }
+  }
+
+  // --- fault-free vs. fault + checkpoint-restart (topologies with
+  // persistent media only).
+  if (scenario.restart_check) {
+    TopologyInstance ref_inst = BuildTopology(scenario.topology);
+    std::vector<Violation> ref_violations;
+    const LegOutcome ref = RunLeg(scenario, ref_inst, /*workers=*/1,
+                                  /*with_faults=*/false, /*ckpt=*/nullptr,
+                                  &ref_violations, false);
+    Annotate(out, std::move(ref_violations), "fault-free reference");
+
+    TopologyInstance inst = BuildTopology(scenario.topology);
+    telemetry::Registry ckpt_registry;
+    rts::JobCheckpointer ckpt(*inst.cluster, *inst.persistent_device, &ckpt_registry);
+    {
+      std::vector<Violation> a_violations;
+      (void)RunLeg(scenario, inst, /*workers=*/1, /*with_faults=*/true, &ckpt,
+                   &a_violations, false);
+      Annotate(out, std::move(a_violations), "restart phase A (faulted)");
+    }
+    // Phase B starts on a healthy cluster, whatever the schedule left behind.
+    RecoverAll(*inst.cluster, scenario.faults,
+               EligibleTargets(*inst.cluster, inst.persistent_device));
+    std::vector<Violation> b_violations;
+    const LegOutcome b = RunLeg(scenario, inst, /*workers=*/1,
+                                /*with_faults=*/false, &ckpt, &b_violations, false);
+    Annotate(out, std::move(b_violations), "restart phase B (restored)");
+    if (ref.ran && b.ran && b.semantic != ref.semantic) {
+      out->push_back({kInvRestartEquivalence,
+                      "restored outputs differ from fault-free run\n" + ref.semantic +
+                          "--- vs ---\n" + b.semantic});
+    }
+  }
+  return result;
+}
+
+}  // namespace memflow::testing

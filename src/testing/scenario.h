@@ -1,0 +1,109 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// The differential scenario runner (DESIGN.md §10). One uint64 seed expands
+// deterministically into a full scenario — topology preset, a batch of
+// generated jobs, a fault schedule, worker counts, retry budget, placement
+// policy — and RunScenario() executes it differentially:
+//
+//   * once per worker count in Scenario::worker_counts, asserting
+//     fingerprint-equal JobReports, byte-equal outputs, and equal stats
+//     (the parallel executor's determinism promise, DESIGN.md §8), with the
+//     invariant oracle auditing every leg;
+//   * when the topology has persistent media: a fault-free reference run vs.
+//     a faulted, checkpointed run that is torn down, recovered, and
+//     resubmitted — restored outputs must be byte-identical to the
+//     fault-free reference (checkpoint/restart transparency).
+//
+// Every violation carries the scenario seed; ScenarioResult::ToString()
+// prints a single "replay: seed=N" line, and minimize.h shrinks a failing
+// scenario before it is reported.
+
+#ifndef MEMFLOW_TESTING_SCENARIO_H_
+#define MEMFLOW_TESTING_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rts/placement.h"
+#include "simhw/presets.h"
+#include "testing/fault_plan.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace memflow::testing {
+
+enum class TopologyKind : std::uint8_t {
+  kCxlHost = 0,     // MakeCxlExpansionHost
+  kDisaggRack,      // MakeDisaggRack (no persistent media)
+  kMemoryPool,      // MakeMemoryCentricPool
+  kTieredHost,      // MakeTieredStorageHost
+  kComputeRack,     // MakeComputeCentricRack
+};
+inline constexpr int kNumTopologyKinds = 5;
+
+const char* TopologyKindName(TopologyKind kind);
+
+// A freshly built preset cluster plus the handles every leg needs. The holder
+// keeps whichever preset handle struct owns the cluster alive.
+struct TopologyInstance {
+  std::shared_ptr<void> holder;
+  simhw::Cluster* cluster = nullptr;
+  simhw::ComputeDeviceId reader;  // first CPU: used to read outputs back
+  std::optional<simhw::MemoryDeviceId> persistent_device;  // checkpoint media
+  std::vector<simhw::ComputeDeviceKind> compute_kinds;     // distinct, present
+};
+
+TopologyInstance BuildTopology(TopologyKind kind);
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  TopologyKind topology = TopologyKind::kCxlHost;
+  std::vector<JobSpec> jobs;
+  FaultPlan faults;
+  std::vector<int> worker_counts = {1, 2, 8};
+  bool restart_check = false;  // only when the topology has persistent media
+  int max_task_attempts = 2;
+  rts::PlacementPolicyKind policy = rts::PlacementPolicyKind::kCostModel;
+
+  // (job, topology, fault-schedule, worker-count) tuples this scenario
+  // exercises — what the corpus-size acceptance criterion counts.
+  std::size_t CoverageUnits() const;
+  std::size_t TotalTasks() const;
+};
+
+struct ScenarioOptions {
+  int min_jobs = 4;
+  int max_jobs = 6;
+  WorkloadOptions workload;        // available_compute/allow_persistent are
+                                   // overwritten from the chosen topology
+  FaultPlanOptions faults;
+};
+
+// Expands `seed` into a scenario. Deterministic: same seed, same scenario.
+Scenario MakeScenario(std::uint64_t seed, const ScenarioOptions& opts = {});
+
+// Deliberate-bug hooks for mutation-testing the oracle (sim_test verifies a
+// seeded bug is caught and reported with a replayable seed).
+struct RunHooks {
+  // Skip releasing the first completed job's outputs in the first leg: the
+  // oracle must flag sim-region-leak.
+  bool leak_job_outputs = false;
+};
+
+struct ScenarioResult {
+  std::uint64_t seed = 0;
+  std::size_t coverage = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;  // includes the "replay: seed=N" line
+};
+
+ScenarioResult RunScenario(const Scenario& scenario, const RunHooks& hooks = {});
+
+}  // namespace memflow::testing
+
+#endif  // MEMFLOW_TESTING_SCENARIO_H_

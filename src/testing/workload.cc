@@ -1,0 +1,367 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "testing/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "dataflow/context.h"
+
+namespace memflow::testing {
+namespace {
+
+using dataflow::EdgeMode;
+using dataflow::TaskContext;
+using dataflow::TaskId;
+
+// Hash of one input region's bytes. Word order matters *within* an input
+// (its bytes are a stable function of the producer), but the caller must fold
+// the returned values commutatively: ctx.inputs() is ordered by producer
+// completion, which is deterministic across worker counts but differs between
+// fault-free and checkpoint-restart executions.
+std::uint64_t HashWords(const std::vector<std::uint64_t>& words) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t w : words) {
+    h = HashCombine(h, w);
+  }
+  return h;
+}
+
+}  // namespace
+
+dataflow::TaskFn ChecksumBody(TaskGen gen) {
+  return [gen](TaskContext& ctx) -> Status {
+    // Fold every input into a commutative accumulator (see HashWords).
+    std::uint64_t acc = MixU64(gen.salt);
+    for (const region::RegionId in : ctx.inputs()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc_in, ctx.OpenAsync(in));
+      std::vector<std::uint64_t> data(acc_in.size() / 8);
+      if (!data.empty()) {
+        acc_in.EnqueueRead(0, data.data(), data.size() * 8);
+      }
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration rcost, acc_in.Drain());
+      ctx.Charge(rcost);
+      acc += MixU64(HashWords(data));
+      if (gen.rewrite_exclusive_inputs && !data.empty()) {
+        // Write back the bytes just read — idempotent, so a retried or
+        // restarted attempt observes identical input. Only exclusive
+        // deliveries are writable (writes_input edges guarantee exclusivity;
+        // re-check at runtime so fan-in from shared siblings stays read-only).
+        MEMFLOW_ASSIGN_OR_RETURN(region::RegionInfo info, ctx.regions().Info(in));
+        if (info.state == region::OwnershipState::kExclusive) {
+          acc_in.EnqueueWrite(0, data.data(), data.size() * 8);
+          MEMFLOW_ASSIGN_OR_RETURN(SimDuration wcost, acc_in.Drain());
+          ctx.Charge(wcost);
+        }
+      }
+    }
+
+    // Blind salt writes to the job-wide regions: never read back into the
+    // output (Global State survives restarts with whatever a lost attempt
+    // already wrote, so outputs must not depend on its contents).
+    if (gen.touch_global_state && ctx.global_state().valid()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor gs, ctx.OpenAsync(ctx.global_state()));
+      const std::uint64_t slot = gen.salt % std::max<std::uint64_t>(gs.size() / 8, 1);
+      gs.EnqueueWrite(slot * 8, &gen.salt, 8);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, gs.Drain());
+      ctx.Charge(cost);
+    }
+    if (gen.touch_global_scratch && ctx.global_scratch().valid()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor sc, ctx.OpenAsync(ctx.global_scratch()));
+      const std::uint64_t slot = MixU64(gen.salt) % std::max<std::uint64_t>(sc.size() / 8, 1);
+      sc.EnqueueWrite(slot * 8, &gen.salt, 8);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, sc.Drain());
+      ctx.Charge(cost);
+    }
+
+    if (gen.scratch_bytes > 0) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::RegionId s,
+                               ctx.AllocatePrivateScratch(gen.scratch_bytes));
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor sacc, ctx.OpenAsync(s));
+      std::vector<std::uint64_t> pad(std::min<std::uint64_t>(gen.scratch_bytes / 8, 64),
+                                     gen.salt);
+      if (!pad.empty()) {
+        sacc.EnqueueWrite(0, pad.data(), pad.size() * 8);
+        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, sacc.Drain());
+        ctx.Charge(cost);
+      }
+    }
+
+    ctx.ChargeCompute(gen.base_work +
+                      gen.work_per_byte * static_cast<double>(ctx.input_bytes()));
+
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(gen.output_bytes));
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor oacc, ctx.OpenAsync(out));
+    std::vector<std::uint64_t> words(gen.output_bytes / 8);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      words[i] = HashCombine(acc, i);
+    }
+    oacc.EnqueueWrite(0, words.data(), words.size() * 8);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, oacc.Drain());
+    ctx.Charge(cost);
+    return OkStatus();
+  };
+}
+
+JobSpec GenerateJobSpec(Rng& rng, const WorkloadOptions& opts, std::string name) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  if (rng.Chance(opts.p_global_state)) {
+    spec.global_state_bytes = KiB(4);
+  }
+  if (rng.Chance(opts.p_global_scratch)) {
+    spec.global_scratch_bytes = KiB(64);
+  }
+
+  const int n = opts.min_tasks +
+                static_cast<int>(rng.Below(
+                    static_cast<std::uint64_t>(opts.max_tasks - opts.min_tasks) + 1));
+  int shifts = 0;
+  while ((64ULL << (shifts + 1)) <= opts.max_chunk_bytes) {
+    ++shifts;
+  }
+
+  spec.tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TaskGen t;
+    t.name = "t" + std::to_string(i);
+    t.salt = rng.Next();
+    t.output_bytes = 64ULL << rng.Below(static_cast<std::uint64_t>(shifts) + 1);
+    if (rng.Chance(opts.p_scratch)) {
+      t.scratch_bytes = KiB(8);
+    }
+    t.base_work = 1000 + static_cast<double>(rng.Below(50000));
+    t.work_per_byte = rng.NextDouble() * 0.05;
+    t.parallel_fraction = rng.NextDouble();
+    t.confidential = rng.Chance(opts.p_confidential);
+    t.persistent = opts.allow_persistent && rng.Chance(opts.p_persistent);
+    if (!t.persistent && rng.Chance(opts.p_medium_latency)) {
+      t.mem_latency = region::LatencyClass::kMedium;
+    }
+    // No pins in Global State jobs: admission shares the state region with
+    // *every* task coherently, and a pinned kind (e.g. a lone FPGA behind a
+    // non-coherent link) may have no coherent path to wherever the state can
+    // live — such a job is rejected, not merely re-placed.
+    if (spec.global_state_bytes == 0 && !opts.available_compute.empty() &&
+        rng.Chance(opts.p_pin_compute)) {
+      t.compute_device = opts.available_compute[rng.Below(opts.available_compute.size())];
+    }
+    if (spec.global_state_bytes > 0 && rng.Chance(0.5)) {
+      t.touch_global_state = true;
+    }
+    if (spec.global_scratch_bytes > 0 && rng.Chance(0.5)) {
+      t.touch_global_scratch = true;
+    }
+    spec.tasks.push_back(std::move(t));
+  }
+
+  // Forward edges i -> j (i < j): acyclic by construction.
+  const double p_edge = std::min(1.0, opts.edge_factor / static_cast<double>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Chance(p_edge)) {
+        spec.edges.push_back({i, j, EdgeMode::kAuto, false});
+      }
+    }
+  }
+
+  // Per-producer edge-mode assignment, under the verifier's rules: kMove and
+  // writes_input only when the producer has exactly one data consumer and the
+  // delivery is not kShare.
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::size_t> data_edges;
+    for (std::size_t e = 0; e < spec.edges.size(); ++e) {
+      if (spec.edges[e].from != i) {
+        continue;
+      }
+      if (rng.Chance(opts.p_control_edge)) {
+        spec.edges[e].mode = EdgeMode::kControl;
+      } else {
+        data_edges.push_back(e);
+      }
+    }
+    if (data_edges.size() == 1) {
+      EdgeGen& e = spec.edges[data_edges.front()];
+      if (rng.Chance(opts.p_move_edge)) {
+        e.mode = EdgeMode::kMove;
+      } else if (rng.Chance(opts.p_share_edge)) {
+        e.mode = EdgeMode::kShare;
+      }
+      if (e.mode != EdgeMode::kShare && rng.Chance(opts.p_writes_input)) {
+        e.writes_input = true;
+        spec.tasks[static_cast<std::size_t>(e.to)].rewrite_exclusive_inputs = true;
+      }
+    } else {
+      for (const std::size_t ei : data_edges) {
+        if (rng.Chance(opts.p_share_edge)) {
+          spec.edges[ei].mode = EdgeMode::kShare;
+        }
+      }
+    }
+  }
+
+  // Declassify fix-up: a non-confidential consumer of a confidential
+  // producer's data is a verifier error unless it declares declassifies.
+  // Edges go forward, so one pass in index order settles the whole DAG.
+  for (const EdgeGen& e : spec.edges) {
+    if (e.mode == EdgeMode::kControl) {
+      continue;
+    }
+    const TaskGen& from = spec.tasks[static_cast<std::size_t>(e.from)];
+    TaskGen& to = spec.tasks[static_cast<std::size_t>(e.to)];
+    if (from.confidential && !to.confidential) {
+      to.declassifies = true;
+    }
+  }
+  return spec;
+}
+
+dataflow::Job BuildJob(const JobSpec& spec) {
+  dataflow::JobOptions jopts;
+  jopts.global_state_bytes = spec.global_state_bytes;
+  jopts.global_scratch_bytes = spec.global_scratch_bytes;
+  dataflow::Job job(spec.name, jopts);
+  for (const TaskGen& t : spec.tasks) {
+    dataflow::TaskProperties props;
+    props.compute_device = t.compute_device;
+    props.confidential = t.confidential;
+    props.declassifies = t.declassifies;
+    props.persistent = t.persistent;
+    props.mem_latency = t.mem_latency;
+    props.base_work = t.base_work;
+    props.work_per_byte = t.work_per_byte;
+    props.parallel_fraction = t.parallel_fraction;
+    props.output_bytes = t.output_bytes;
+    props.scratch_bytes = t.scratch_bytes;
+    job.AddTask(t.name, props, ChecksumBody(t));
+  }
+  for (const EdgeGen& e : spec.edges) {
+    dataflow::EdgeOptions eopts;
+    eopts.mode = e.mode;
+    eopts.writes_input = e.writes_input;
+    MEMFLOW_CHECK(job.Connect(TaskId(static_cast<std::uint32_t>(e.from)),
+                              TaskId(static_cast<std::uint32_t>(e.to)), eopts)
+                      .ok());
+  }
+  return job;
+}
+
+dataflow::Job RandomDag(Rng& rng, int n, const char* name) {
+  WorkloadOptions o;
+  o.min_tasks = n;
+  o.max_tasks = n;
+  o.edge_factor = 2.5;
+  o.max_chunk_bytes = 64;  // fixed 64-byte chunks, as the stress suite used
+  o.p_global_state = 0.5;
+  o.p_global_scratch = 0.5;
+  o.p_scratch = 0.5;
+  o.p_confidential = 0.2;
+  o.p_persistent = 0.15;
+  o.p_medium_latency = 0.25;
+  o.p_control_edge = 0;
+  o.p_move_edge = 0;
+  o.p_share_edge = 0;
+  o.p_writes_input = 0;
+  o.p_pin_compute = 0;
+  return BuildJob(GenerateJobSpec(rng, o, name));
+}
+
+dataflow::TaskFn Producer(std::uint64_t n) {
+  return [n](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(n * 8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
+    std::vector<std::uint64_t> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data[i] = i * 3;
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Write(0, data.data(), n * 8));
+    ctx.Charge(cost);
+    ctx.ChargeCompute(static_cast<double>(n));
+    return OkStatus();
+  };
+}
+
+dataflow::TaskFn SummingConsumer() {
+  return [](TaskContext& ctx) -> Status {
+    MEMFLOW_CHECK(!ctx.inputs().empty());
+    std::uint64_t sum = 0;
+    for (const region::RegionId in : ctx.inputs()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(in));
+      const std::uint64_t n = acc.size() / 8;
+      std::vector<std::uint64_t> data(n);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Read(0, data.data(), n * 8));
+      ctx.Charge(cost);
+      for (const std::uint64_t v : data) {
+        sum += v;
+      }
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Store(0, sum));
+    ctx.Charge(cost);
+    return OkStatus();
+  };
+}
+
+dataflow::TaskFn AsyncProducer(std::uint64_t n) {
+  return [n](TaskContext& ctx) -> Status {
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(n * 8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
+    std::vector<std::uint64_t> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data[i] = i * 3;
+    }
+    acc.EnqueueWrite(0, data.data(), n * 8);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+    ctx.ChargeCompute(static_cast<double>(n));
+    return OkStatus();
+  };
+}
+
+dataflow::TaskFn AsyncSummingConsumer() {
+  return [](TaskContext& ctx) -> Status {
+    MEMFLOW_CHECK(!ctx.inputs().empty());
+    std::uint64_t sum = 0;
+    for (const region::RegionId in : ctx.inputs()) {
+      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(in));
+      const std::uint64_t n = acc.size() / 8;
+      std::vector<std::uint64_t> data(n);
+      acc.EnqueueRead(0, data.data(), n * 8);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+      ctx.Charge(cost);
+      for (const std::uint64_t v : data) {
+        sum += v;
+      }
+    }
+    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
+    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
+    acc.EnqueueWrite(0, &sum, 8);
+    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
+    ctx.Charge(cost);
+    return OkStatus();
+  };
+}
+
+dataflow::Job WideJob(const std::string& name, int width) {
+  dataflow::Job job(name);
+  dataflow::TaskProperties heavy;
+  heavy.base_work = 5e4;
+  const TaskId src = job.AddTask("src", {}, AsyncProducer(512));
+  std::vector<TaskId> mids;
+  mids.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    mids.push_back(job.AddTask("mid" + std::to_string(i), heavy, AsyncSummingConsumer()));
+    MEMFLOW_CHECK(job.Connect(src, mids.back()).ok());
+  }
+  const TaskId sink = job.AddTask("sink", {}, AsyncSummingConsumer());
+  for (const TaskId t : mids) {
+    MEMFLOW_CHECK(job.Connect(t, sink).ok());
+  }
+  return job;
+}
+
+}  // namespace memflow::testing

@@ -1,0 +1,138 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Seeded workload generation for deterministic simulation testing
+// (DESIGN.md §10). A JobSpec is a plain-value description of a job DAG —
+// tasks with property sheets, salts, and chunk sizes; edges with modes and
+// writes_input flags — generated from a single Rng and buildable into a
+// dataflow::Job whose task bodies are *pure*: every byte a body writes is a
+// function of its salt and its input bytes only, never of wall time, retry
+// count, or Global State contents. That purity is what lets the differential
+// harness (scenario.h) demand byte-identical outputs across worker counts
+// and across checkpoint/restart cycles.
+//
+// GenerateJobSpec only emits DAGs that are admissible under the static
+// verifier's error rules (analysis::Verify + VerifyMode::kEnforce):
+//   - kMove edges and writes_input only on exclusive deliveries (sole data
+//     consumer, mode kAuto/kMove) — never on fan-out or kShare;
+//   - non-confidential consumers of confidential producers declare
+//     declassifies;
+//   - persistent outputs only when the target topology has persistent media
+//     (WorkloadOptions::allow_persistent);
+//   - compute pins drawn from WorkloadOptions::available_compute.
+
+#ifndef MEMFLOW_TESTING_WORKLOAD_H_
+#define MEMFLOW_TESTING_WORKLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/job.h"
+
+namespace memflow::testing {
+
+// One generated task: the property sheet plus the parameters of its
+// deterministic checksum body.
+struct TaskGen {
+  std::string name;
+  std::uint64_t salt = 0;
+  std::uint64_t output_bytes = 64;   // always > 0 and a multiple of 8
+  std::uint64_t scratch_bytes = 0;
+  double base_work = 1000;
+  double work_per_byte = 0.0;
+  double parallel_fraction = 0.5;
+  bool confidential = false;
+  bool declassifies = false;
+  bool persistent = false;
+  region::LatencyClass mem_latency = region::LatencyClass::kAny;
+  std::optional<simhw::ComputeDeviceKind> compute_device;
+  // Body behaviour beyond the property sheet.
+  bool touch_global_state = false;    // blind write of the salt (never read back
+  bool touch_global_scratch = false;  //   into the output — see file comment)
+  // Set iff an incoming edge declares writes_input: the body writes back, in
+  // place, the bytes it just read from every *exclusively delivered* input
+  // (writes through shared deliveries are a verifier error, and only
+  // exclusive ones carry writes_input edges). Writing back the bytes read
+  // keeps the rewrite idempotent — a retried or restarted attempt observes
+  // identical input bytes.
+  bool rewrite_exclusive_inputs = false;
+};
+
+struct EdgeGen {
+  int from = 0;
+  int to = 0;
+  dataflow::EdgeMode mode = dataflow::EdgeMode::kAuto;
+  bool writes_input = false;
+};
+
+// A value-type job description: generable, shrinkable (minimize.h), and
+// buildable into a dataflow::Job any number of times.
+struct JobSpec {
+  std::string name;
+  std::uint64_t global_state_bytes = 0;
+  std::uint64_t global_scratch_bytes = 0;
+  std::vector<TaskGen> tasks;
+  std::vector<EdgeGen> edges;
+};
+
+struct WorkloadOptions {
+  int min_tasks = 4;
+  int max_tasks = 10;
+  // Expected forward out-degree numerator: P(edge i->j) = edge_factor / n.
+  double edge_factor = 2.5;
+  // Output chunk sizes are 64 << k, capped here (mixed chunk sizes are part
+  // of the scenario space: they change placement and handover decisions).
+  std::uint64_t max_chunk_bytes = 16 * kKiB;
+  double p_global_state = 0.3;
+  double p_global_scratch = 0.3;
+  double p_scratch = 0.5;
+  double p_confidential = 0.2;
+  double p_persistent = 0.15;
+  double p_medium_latency = 0.25;
+  double p_control_edge = 0.1;
+  double p_move_edge = 0.25;
+  double p_share_edge = 0.15;
+  double p_writes_input = 0.25;
+  double p_pin_compute = 0.25;
+  // Compute kinds present in the target topology; empty = never pin.
+  std::vector<simhw::ComputeDeviceKind> available_compute;
+  // False on topologies without persistent media (e.g. the disagg rack),
+  // where a persistent task would be rejected as place-unsatisfiable.
+  bool allow_persistent = true;
+};
+
+// Draws a random admissible JobSpec from `rng`.
+JobSpec GenerateJobSpec(Rng& rng, const WorkloadOptions& opts, std::string name);
+
+// Materializes the spec into a runnable job with deterministic bodies.
+dataflow::Job BuildJob(const JobSpec& spec);
+
+// The deterministic body of one generated task (exposed for focused tests).
+dataflow::TaskFn ChecksumBody(TaskGen gen);
+
+// --- shared fixture builders --------------------------------------------------
+//
+// The hand-rolled DAG builders formerly duplicated across tests/stress_test.cc
+// and tests/rts_test.cc, centralized here so every suite exercises the same
+// bodies.
+
+// Random DAG with the stress-test distributions, implemented on the
+// generator: n tasks, forward edges with probability 2.5/n, checksum bodies.
+dataflow::Job RandomDag(Rng& rng, int n, const char* name);
+
+// Producer writing `n` uint64s (i*3); consumer summing all inputs into an
+// 8-byte output. Sync and async variants.
+dataflow::TaskFn Producer(std::uint64_t n);
+dataflow::TaskFn SummingConsumer();
+dataflow::TaskFn AsyncProducer(std::uint64_t n);
+dataflow::TaskFn AsyncSummingConsumer();
+
+// One source fanning out to `width` heavy middle tasks that fan back into a
+// sink; sink value for AsyncProducer(512) is width * (3 * 511 * 512 / 2).
+dataflow::Job WideJob(const std::string& name, int width);
+
+}  // namespace memflow::testing
+
+#endif  // MEMFLOW_TESTING_WORKLOAD_H_

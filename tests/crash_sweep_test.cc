@@ -1,0 +1,156 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Crash-point sweep (DESIGN.md §10): on the memory-centric pool — whose pool
+// node is a pure memory failure domain holding the persistent checkpoint
+// media — a checkpointed chain job is run once fault-free to harvest its
+// scheduler event times (every task start and finish). Then, for every event
+// time t, a fresh cluster runs the same job with the pool node crashed at
+// t-1ns, the node is recovered, and the job is resubmitted against the
+// surviving checkpoint catalog. Restored sink outputs must be byte-identical
+// to the fault-free run at *every* crash point: before admission effects,
+// mid-chain, and just before the final completion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "rts/checkpoint.h"
+#include "rts/runtime.h"
+#include "testing/scenario.h"
+#include "testing/workload.h"
+
+namespace memflow::testing {
+namespace {
+
+// A five-task chain; every edge is an exclusive kAuto handover, so each crash
+// point bisects the chain into checkpointed and to-be-rerun halves.
+JobSpec ChainSpec() {
+  JobSpec spec;
+  spec.name = "sweep-chain";
+  for (int i = 0; i < 5; ++i) {
+    TaskGen t;
+    t.name = "t" + std::to_string(i);
+    t.salt = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+    t.output_bytes = 256;
+    t.base_work = 4000 + 1000 * i;
+    t.work_per_byte = 0.01;
+    spec.tasks.push_back(t);
+    if (i > 0) {
+      spec.edges.push_back({i - 1, i, dataflow::EdgeMode::kAuto, false});
+    }
+  }
+  return spec;
+}
+
+simhw::NodeId PoolNode(const simhw::Cluster& cluster) {
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    const simhw::Node& n = cluster.node(simhw::NodeId{static_cast<std::uint32_t>(i)});
+    if (n.compute.empty()) {
+      return n.id;
+    }
+  }
+  return {};
+}
+
+struct SweepRun {
+  bool ok = false;
+  std::vector<std::vector<char>> outputs;   // retained sink bytes, task order
+  std::vector<SimTime> events;              // distinct task start/finish times
+};
+
+// One runtime lifetime over the (instrumented) chain. With `crash_at` set the
+// pool node goes down at that instant and stays down; the run is then allowed
+// to fail — the sweep only requires the *restored* run to match.
+SweepRun RunChain(TopologyInstance& inst, rts::JobCheckpointer& ckpt,
+                  std::optional<SimTime> crash_at, simhw::NodeId victim) {
+  SweepRun run;
+  simhw::FaultInjector injector(*inst.cluster);
+  rts::RuntimeOptions ropts;
+  ropts.worker_threads = 1;
+  rts::Runtime rt(*inst.cluster, ropts);
+  if (crash_at) {
+    injector.CrashNodeAt(*crash_at, victim);
+    rt.AttachFaultInjector(&injector);
+  }
+  auto id = rt.Submit(ckpt.Instrument(BuildJob(ChainSpec())));
+  if (!id.ok() || !rt.RunToCompletion().ok()) {
+    return run;
+  }
+  const rts::JobReport& report = rt.report(*id);
+  if (!report.status.ok()) {
+    return run;
+  }
+  run.ok = true;
+  for (const region::RegionId out : report.outputs) {
+    auto acc = rt.regions().OpenAsync(out, rt.JobPrincipal(*id), inst.reader);
+    if (!acc.ok()) {
+      run.ok = false;
+      return run;
+    }
+    std::vector<char> bytes(acc->size());
+    acc->EnqueueRead(0, bytes.data(), bytes.size());
+    if (!acc->Drain().ok()) {
+      run.ok = false;
+      return run;
+    }
+    run.outputs.push_back(std::move(bytes));
+  }
+  for (const rts::TaskReport& t : report.tasks) {
+    run.events.push_back(t.start);
+    run.events.push_back(t.finish);
+  }
+  std::sort(run.events.begin(), run.events.end());
+  run.events.erase(std::unique(run.events.begin(), run.events.end()),
+                   run.events.end());
+  return run;
+}
+
+TEST(CrashSweepTest, RestoredOutputsByteIdenticalAtEveryCrashPoint) {
+  // Fault-free reference: same instrumentation as the sweep legs so its
+  // timeline (checkpoint write costs included) matches phase A exactly.
+  TopologyInstance ref_inst = BuildTopology(TopologyKind::kMemoryPool);
+  ASSERT_TRUE(ref_inst.persistent_device.has_value());
+  rts::JobCheckpointer ref_ckpt(*ref_inst.cluster, *ref_inst.persistent_device);
+  const SweepRun ref =
+      RunChain(ref_inst, ref_ckpt, std::nullopt, simhw::NodeId{});
+  ASSERT_TRUE(ref.ok);
+  ASSERT_FALSE(ref.outputs.empty());
+  ASSERT_GE(ref.events.size(), 2u);
+
+  int swept = 0;
+  for (const SimTime t : ref.events) {
+    if (t.ns <= 0) {
+      continue;  // nothing schedulable strictly before t=0
+    }
+    const SimTime crash{t.ns - 1};
+    TopologyInstance inst = BuildTopology(TopologyKind::kMemoryPool);
+    ASSERT_TRUE(inst.persistent_device.has_value());
+    const simhw::NodeId victim = PoolNode(*inst.cluster);
+    ASSERT_TRUE(victim.valid());
+    rts::JobCheckpointer ckpt(*inst.cluster, *inst.persistent_device);
+
+    // Phase A: crash at t-1 and leave the node down. The job usually fails
+    // (pool memory and checkpoint media are gone); whatever it managed to
+    // checkpoint before the crash is the recovery state.
+    (void)RunChain(inst, ckpt, crash, victim);
+
+    // Phase B: heal the node, resubmit against the surviving catalog.
+    ASSERT_TRUE(inst.cluster->RecoverNode(victim).ok());
+    const SweepRun restored = RunChain(inst, ckpt, std::nullopt, victim);
+    ASSERT_TRUE(restored.ok) << "restored run failed for crash at t=" << crash.ns;
+    ASSERT_EQ(restored.outputs.size(), ref.outputs.size())
+        << "crash at t=" << crash.ns;
+    for (std::size_t i = 0; i < ref.outputs.size(); ++i) {
+      EXPECT_EQ(restored.outputs[i], ref.outputs[i])
+          << "output " << i << " diverged for crash at t=" << crash.ns;
+    }
+    ++swept;
+  }
+  // Five tasks give ten scheduler events; at least the finishes are > 0.
+  EXPECT_GE(swept, 5);
+}
+
+}  // namespace
+}  // namespace memflow::testing

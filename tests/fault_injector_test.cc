@@ -1,0 +1,88 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Pins the FaultInjector's ordering contract: ApplyDue() applies events in
+// ascending timestamp order, and events sharing a timestamp apply in the
+// order they were Add()ed (stable sort). The simulation-testing harness
+// (src/testing/fault_plan.cc) depends on this when it emits a fail event and
+// its recovery: if the repair delay is zero, the fail must still land first.
+
+#include <gtest/gtest.h>
+
+#include "simhw/fault.h"
+#include "simhw/presets.h"
+
+namespace memflow::simhw {
+namespace {
+
+TEST(FaultInjectorTest, SameTimestampEventsApplyInInsertionOrder) {
+  CxlHostHandles host = MakeCxlExpansionHost();
+  FaultInjector injector(*host.cluster);
+
+  // Inserted out of timestamp order, with two same-timestamp pairs whose
+  // final device state depends on insertion order being preserved.
+  injector.FailDeviceAt(SimTime{300}, host.cxl_dram);     // pair B, first in
+  injector.FailDeviceAt(SimTime{100}, host.dram);         // pair A, first in
+  injector.RecoverDeviceAt(SimTime{100}, host.dram);      // pair A, second in
+  injector.FailDeviceAt(SimTime{200}, host.gddr);
+  injector.RecoverDeviceAt(SimTime{300}, host.cxl_dram);  // pair B, second in
+
+  EXPECT_EQ(injector.ApplyDue(SimTime{400}), 5u);
+
+  // Fired order is the stable sort by timestamp: within t=100 and t=300 the
+  // fail (inserted first) precedes the recover (inserted second).
+  const auto& fired = injector.fired();
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_EQ(fired[0].at, SimTime{100});
+  EXPECT_EQ(fired[0].kind, FaultEvent::Kind::kDeviceFail);
+  EXPECT_EQ(fired[0].device, host.dram);
+  EXPECT_EQ(fired[1].at, SimTime{100});
+  EXPECT_EQ(fired[1].kind, FaultEvent::Kind::kDeviceRecover);
+  EXPECT_EQ(fired[1].device, host.dram);
+  EXPECT_EQ(fired[2].at, SimTime{200});
+  EXPECT_EQ(fired[2].kind, FaultEvent::Kind::kDeviceFail);
+  EXPECT_EQ(fired[2].device, host.gddr);
+  EXPECT_EQ(fired[3].at, SimTime{300});
+  EXPECT_EQ(fired[3].kind, FaultEvent::Kind::kDeviceFail);
+  EXPECT_EQ(fired[3].device, host.cxl_dram);
+  EXPECT_EQ(fired[4].at, SimTime{300});
+  EXPECT_EQ(fired[4].kind, FaultEvent::Kind::kDeviceRecover);
+  EXPECT_EQ(fired[4].device, host.cxl_dram);
+
+  // Because fail-then-recover applied in insertion order, both devices end
+  // healthy; the unpaired t=200 fail leaves gddr down.
+  EXPECT_FALSE(host.cluster->memory(host.dram).failed());
+  EXPECT_FALSE(host.cluster->memory(host.cxl_dram).failed());
+  EXPECT_TRUE(host.cluster->memory(host.gddr).failed());
+}
+
+TEST(FaultInjectorTest, PartialApplyStopsAtNowAndKeepsOrder) {
+  CxlHostHandles host = MakeCxlExpansionHost();
+  FaultInjector injector(*host.cluster);
+
+  injector.FailDeviceAt(SimTime{500}, host.gddr);
+  injector.FailDeviceAt(SimTime{100}, host.dram);
+  injector.RecoverDeviceAt(SimTime{100}, host.dram);
+
+  // PendingTimes is the sorted schedule, duplicates preserved.
+  const std::vector<SimTime> times = injector.PendingTimes();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], SimTime{100});
+  EXPECT_EQ(times[1], SimTime{100});
+  EXPECT_EQ(times[2], SimTime{500});
+
+  // Only the two t=100 events are due; they apply in insertion order.
+  EXPECT_EQ(injector.ApplyDue(SimTime{100}), 2u);
+  EXPECT_FALSE(host.cluster->memory(host.dram).failed());
+  EXPECT_EQ(injector.pending(), 1u);
+  EXPECT_EQ(injector.fired().size(), 2u);
+  EXPECT_EQ(injector.fired()[0].kind, FaultEvent::Kind::kDeviceFail);
+  EXPECT_EQ(injector.fired()[1].kind, FaultEvent::Kind::kDeviceRecover);
+
+  // The rest fires later.
+  EXPECT_EQ(injector.ApplyDue(SimTime{600}), 1u);
+  EXPECT_TRUE(host.cluster->memory(host.gddr).failed());
+  EXPECT_EQ(injector.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace memflow::simhw

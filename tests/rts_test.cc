@@ -10,6 +10,8 @@
 
 #include "rts/runtime.h"
 #include "simhw/presets.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
 
 namespace memflow::rts {
 namespace {
@@ -19,44 +21,14 @@ using dataflow::TaskContext;
 using dataflow::TaskId;
 using dataflow::TaskProperties;
 
-// A producer task that writes `n` uint64s (i*3) into its output.
-dataflow::TaskFn Producer(std::uint64_t n) {
-  return [n](TaskContext& ctx) -> Status {
-    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(n * 8));
-    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
-    std::vector<std::uint64_t> data(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      data[i] = i * 3;
-    }
-    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Write(0, data.data(), n * 8));
-    ctx.Charge(cost);
-    ctx.ChargeCompute(static_cast<double>(n));
-    return OkStatus();
-  };
-}
-
-// A consumer that sums its input and stores the sum in its output.
-dataflow::TaskFn SummingConsumer() {
-  return [](TaskContext& ctx) -> Status {
-    MEMFLOW_CHECK(!ctx.inputs().empty());
-    std::uint64_t sum = 0;
-    for (const region::RegionId in : ctx.inputs()) {
-      MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(in));
-      const std::uint64_t n = acc.size() / 8;
-      std::vector<std::uint64_t> data(n);
-      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Read(0, data.data(), n * 8));
-      ctx.Charge(cost);
-      for (const std::uint64_t v : data) {
-        sum += v;
-      }
-    }
-    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
-    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
-    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Store(0, sum));
-    ctx.Charge(cost);
-    return OkStatus();
-  };
-}
+// The producer/consumer fixture bodies live in testing/workload.h now, so
+// every suite (and the simulation harness) exercises the same bodies.
+using memflow::testing::AsyncProducer;
+using memflow::testing::AsyncSummingConsumer;
+using memflow::testing::Fingerprint;
+using memflow::testing::Producer;
+using memflow::testing::SummingConsumer;
+using memflow::testing::WideJob;
 
 class RuntimeTest : public ::testing::Test {
  protected:
@@ -465,82 +437,6 @@ TEST(PlacementTest, EligibilityFiltersKind) {
 // guarantee: observable results are identical at every worker count. Region
 // ids are deliberately NOT compared — allocation interleaving may assign them
 // in a different order, which is the one permitted divergence.
-
-// Producer/consumer over OpenAsync: on the disagg rack a task's regions may
-// live in another node's far memory, which is not synchronously addressable.
-dataflow::TaskFn AsyncProducer(std::uint64_t n) {
-  return [n](TaskContext& ctx) -> Status {
-    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(n * 8));
-    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
-    std::vector<std::uint64_t> data(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      data[i] = i * 3;
-    }
-    acc.EnqueueWrite(0, data.data(), n * 8);
-    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
-    ctx.Charge(cost);
-    ctx.ChargeCompute(static_cast<double>(n));
-    return OkStatus();
-  };
-}
-
-dataflow::TaskFn AsyncSummingConsumer() {
-  return [](TaskContext& ctx) -> Status {
-    MEMFLOW_CHECK(!ctx.inputs().empty());
-    std::uint64_t sum = 0;
-    for (const region::RegionId in : ctx.inputs()) {
-      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(in));
-      const std::uint64_t n = acc.size() / 8;
-      std::vector<std::uint64_t> data(n);
-      acc.EnqueueRead(0, data.data(), n * 8);
-      MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
-      ctx.Charge(cost);
-      for (const std::uint64_t v : data) {
-        sum += v;
-      }
-    }
-    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(8));
-    MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
-    acc.EnqueueWrite(0, &sum, 8);
-    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, acc.Drain());
-    ctx.Charge(cost);
-    return OkStatus();
-  };
-}
-
-// One source fanning out to `width` heavy middle tasks that fan back into a
-// sink — enough same-step parallelism to exercise the pool.
-Job WideJob(const std::string& name, int width) {
-  Job job(name);
-  TaskProperties heavy;
-  heavy.base_work = 5e4;
-  const TaskId src = job.AddTask("src", {}, AsyncProducer(512));
-  std::vector<TaskId> mids;
-  for (int i = 0; i < width; ++i) {
-    mids.push_back(job.AddTask("mid" + std::to_string(i), heavy, AsyncSummingConsumer()));
-    MEMFLOW_CHECK(job.Connect(src, mids.back()).ok());
-  }
-  const TaskId sink = job.AddTask("sink", {}, AsyncSummingConsumer());
-  for (const TaskId t : mids) {
-    MEMFLOW_CHECK(job.Connect(t, sink).ok());
-  }
-  return job;
-}
-
-// Every observable per-task fact except region ids.
-std::string Fingerprint(const JobReport& report) {
-  std::string out = report.name + "@" + std::to_string(report.finished.ns) + "\n";
-  for (const TaskReport& t : report.tasks) {
-    out += t.name + " dev=" + std::to_string(t.device.value) +
-           " start=" + std::to_string(t.start.ns) +
-           " finish=" + std::to_string(t.finish.ns) +
-           " dur=" + std::to_string(t.duration.ns) +
-           " handover=" + std::to_string(t.handover_cost.ns) +
-           " zc=" + (t.zero_copy_handover ? "1" : "0") +
-           " attempts=" + std::to_string(t.attempts) + "\n";
-  }
-  return out;
-}
 
 void ExpectStatsEqual(const RuntimeStats& a, const RuntimeStats& b, int workers) {
   EXPECT_EQ(a.jobs_submitted, b.jobs_submitted) << "workers=" << workers;

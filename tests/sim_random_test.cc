@@ -1,0 +1,51 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Time-boxed randomized simulation batch (DESIGN.md §10). Runs generated
+// scenarios from a base seed until the budget expires:
+//
+//   MEMFLOW_SIM_SEED       base seed (default fixed, so plain ctest runs are
+//                          deterministic; ci.sh passes a fresh one per build)
+//   MEMFLOW_SIM_BUDGET_MS  wall-clock budget in milliseconds (default 3000)
+//
+// On failure the scenario's "replay: seed=N" line is part of the assertion
+// message — rerun with MEMFLOW_SIM_SEED=N MEMFLOW_SIM_BUDGET_MS=1 to replay
+// exactly that scenario.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "testing/scenario.h"
+
+namespace memflow::testing {
+namespace {
+
+TEST(SimRandomTest, TimeBoxedRandomBatch) {
+  std::uint64_t base = 0x5eedf00dULL;
+  if (const char* env = std::getenv("MEMFLOW_SIM_SEED")) {
+    base = std::strtoull(env, nullptr, 0);
+  }
+  long long budget_ms = 3000;
+  if (const char* env = std::getenv("MEMFLOW_SIM_BUDGET_MS")) {
+    budget_ms = std::atoll(env);
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  int ran = 0;
+  do {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(ran);
+    const ScenarioResult result = RunScenario(MakeScenario(seed));
+    ASSERT_TRUE(result.ok()) << result.ToString();
+    ++ran;
+  } while (std::chrono::steady_clock::now() < deadline);
+  std::printf("[sim-random] %d scenario(s) clean, base seed %llu\n", ran,
+              static_cast<unsigned long long>(base));
+  EXPECT_GE(ran, 1);
+}
+
+}  // namespace
+}  // namespace memflow::testing

@@ -12,6 +12,7 @@
 #include "ft/span_store.h"
 #include "rts/runtime.h"
 #include "simhw/presets.h"
+#include "testing/workload.h"
 
 namespace memflow {
 namespace {
@@ -20,82 +21,10 @@ using dataflow::Job;
 using dataflow::TaskContext;
 using dataflow::TaskId;
 
-// A task body that reads all inputs, allocates scratch, computes a checksum
-// chain, writes an output carrying the accumulated checksum. Output size is
-// deterministic so the verifier can follow the chain.
-dataflow::TaskFn ChecksumTask(std::uint64_t salt) {
-  return [salt](TaskContext& ctx) -> Status {
-    std::uint64_t acc = salt;
-    for (const region::RegionId in : ctx.inputs()) {
-      MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor a, ctx.OpenAsync(in));
-      std::vector<std::uint64_t> data(a.size() / 8);
-      if (!data.empty()) {
-        a.EnqueueRead(0, data.data(), data.size() * 8);
-        MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, a.Drain());
-        ctx.Charge(cost);
-      }
-      for (const std::uint64_t v : data) {
-        acc = HashCombine(acc, v);
-      }
-    }
-    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId scratch, ctx.AllocatePrivateScratch(KiB(8)));
-    (void)scratch;
-    ctx.ChargeCompute(1000 + static_cast<double>(ctx.input_bytes()) * 0.01);
-    MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(64));
-    MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor oa, ctx.OpenSync(out));
-    MEMFLOW_ASSIGN_OR_RETURN(SimDuration cost, oa.Store(0, acc));
-    ctx.Charge(cost);
-    return OkStatus();
-  };
-}
-
-// Random DAG: `n` tasks, forward edges with probability p, random properties.
-Job RandomDag(Rng& rng, int n, const char* name) {
-  dataflow::JobOptions jopts;
-  jopts.global_state_bytes = rng.Chance(0.5) ? KiB(4) : 0;
-  jopts.global_scratch_bytes = rng.Chance(0.5) ? KiB(64) : 0;
-  Job job(name, jopts);
-  for (int i = 0; i < n; ++i) {
-    dataflow::TaskProperties props;
-    props.parallel_fraction = rng.NextDouble();
-    props.base_work = static_cast<double>(1000 + rng.Below(50000));
-    props.output_bytes = 64;
-    if (rng.Chance(0.2)) {
-      props.confidential = true;
-    }
-    if (rng.Chance(0.15)) {
-      props.persistent = true;
-    }
-    if (rng.Chance(0.25)) {
-      props.mem_latency = region::LatencyClass::kMedium;
-    }
-    job.AddTask("t" + std::to_string(i), props, ChecksumTask(rng.Next()));
-  }
-  for (int from = 0; from < n; ++from) {
-    for (int to = from + 1; to < n; ++to) {
-      if (rng.Chance(2.5 / n)) {
-        (void)job.Connect(TaskId(static_cast<std::uint32_t>(from)),
-                          TaskId(static_cast<std::uint32_t>(to)));
-      }
-    }
-  }
-  // Keep the generated jobs admissible under the static verifier: a
-  // non-confidential consumer of a confidential producer must declare it
-  // declassifies (prop-confidential-downgrade is an admission error).
-  for (int to = 0; to < n; ++to) {
-    const TaskId t(static_cast<std::uint32_t>(to));
-    if (job.task(t).props.confidential) {
-      continue;
-    }
-    for (const TaskId from : job.predecessors(t)) {
-      if (job.task(from).props.confidential) {
-        job.task(t).props.declassifies = true;
-        break;
-      }
-    }
-  }
-  return job;
-}
+// Random DAGs come from the shared workload generator (testing/workload.h):
+// same checksum-chain bodies, same distributions, one implementation for the
+// stress suite and the simulation harness.
+using memflow::testing::RandomDag;
 
 class RandomDagTest : public ::testing::TestWithParam<std::uint64_t> {};
 
