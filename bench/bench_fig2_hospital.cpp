@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "rts/runtime.h"
 #include "simhw/presets.h"
+#include "telemetry/analyze/doctor.h"
 
 namespace memflow::bench {
 namespace {
@@ -108,6 +109,15 @@ void PrintArtifact() {
               gpu_ok ? "PASS" : "FAIL", cpu_ok ? "PASS" : "FAIL",
               persistent_ok ? "PASS" : "FAIL", confidential_ok ? "PASS" : "FAIL",
               results_ok ? "PASS" : "FAIL", expected.alerts.size());
+
+  // Where the makespan went: the critical-path doctor over the trace stream
+  // (DESIGN.md §11). The buckets sum exactly to the makespan above.
+  auto profile = telemetry::analyze::AnalyzeJob(runtime.tracer(), report->id.value);
+  MEMFLOW_CHECK(profile.ok() && profile->complete);
+  std::printf("%s\n",
+              telemetry::analyze::RenderJobDoctor(
+                  *profile, telemetry::analyze::ComputeWhatIfs(*profile, &runtime))
+                  .c_str());
 }
 
 void BM_HospitalPipeline(benchmark::State& state) {

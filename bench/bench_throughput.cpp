@@ -24,6 +24,7 @@
 #include "bench/bench_util.h"
 #include "rts/runtime.h"
 #include "simhw/presets.h"
+#include "telemetry/analyze/doctor.h"
 
 namespace memflow::bench {
 namespace {
@@ -122,6 +123,34 @@ void PrintArtifact() {
   RecordResult("body_mib_per_sec_8_workers", w8 * body_mib, "MiB/s", attrs(8));
   RecordResult("speedup_2_workers", w2 / w1, "x", attrs(2));
   RecordResult("speedup_8_workers", w8 / w1, "x", attrs(8));
+
+  // Attribution leg (DESIGN.md §11): profile one deterministic batch and gate
+  // the virtual-time makespan attribution in CI — these are ns metrics, so the
+  // perf-regression gate holds them within tolerance run over run.
+  {
+    simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 8});
+    telemetry::Registry reg;
+    telemetry::TraceBuffer tracer;
+    rts::RuntimeOptions opts;
+    opts.seed = kScenarioSeed;
+    opts.worker_threads = 8;
+    opts.registry = &reg;
+    opts.tracer = &tracer;
+    rts::Runtime rt(*rack.cluster, opts);
+    auto report = rt.SubmitAndRun(IndependentTasksJob(kTasksPerJob));
+    MEMFLOW_CHECK(report.ok() && report->status.ok());
+    auto profile = telemetry::analyze::AnalyzeJob(tracer, report->id.value);
+    MEMFLOW_CHECK(profile.ok() && profile->complete);
+    std::printf("%s\n", telemetry::analyze::RenderJobDoctor(*profile).c_str());
+    const auto& attr = profile->attribution;
+    RecordResult("batch_makespan_ns", static_cast<double>(profile->makespan.ns), "ns");
+    RecordResult("batch_critical_compute_ns", static_cast<double>(attr.compute.ns), "ns");
+    RecordResult("batch_critical_queue_ns", static_cast<double>(attr.queue.ns), "ns");
+    RecordResult("batch_critical_transfer_ns", static_cast<double>(attr.transfer.ns), "ns");
+    RecordResult("attribution_residual_ns", static_cast<double>(attr.unattributed.ns), "ns");
+    RecordResult("attribution_sums_to_makespan",
+                 attr.Sum().ns == profile->makespan.ns ? 1.0 : 0.0, "bool");
+  }
 }
 
 void BM_BatchAtWorkers(benchmark::State& state) {

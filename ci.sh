@@ -47,12 +47,36 @@ EOF
 test -s BENCH_rts.json
 # End-to-end observability demo: metrics snapshot + Perfetto trace.
 ./build/examples/observe_runtime build/observe_metrics.json build/observe_trace.json >/dev/null
+# Critical-path analyzer demo: job doctor + placement explanation + what-ifs.
+./build/examples/explain_job build/explain_profile.json build/explain_trace.json >/dev/null
 # Every exported JSON artifact must parse.
 for artifact in build/fig3.json build/fig4.json build/throughput.json BENCH_rts.json \
-                build/observe_metrics.json build/observe_trace.json; do
+                build/observe_metrics.json build/observe_trace.json \
+                build/explain_profile.json build/explain_trace.json; do
   python3 -m json.tool "$artifact" >/dev/null
 done
 echo "BENCH_rts.json + telemetry artifacts ok"
+
+echo "== perf-regression gate =="
+# Deterministic (virtual-time) bench metrics must stay within tolerance of
+# the committed baseline. Intentional changes: cp BENCH_rts.json BENCH_baseline.json
+python3 tools/check_bench.py BENCH_baseline.json BENCH_rts.json \
+  --tolerance "${MEMFLOW_BENCH_TOLERANCE:-0.10}"
+# Self-test: the gate must actually fail when a gated metric drifts.
+python3 - <<'EOF'
+import json, subprocess, sys
+doc = json.load(open("BENCH_rts.json"))
+for result in doc["benches"][0]["results"]:
+    if result["unit"] == "ns" and result["value"] > 0:
+        result["value"] = int(result["value"] * 2)
+        break
+json.dump(doc, open("build/bench_perturbed.json", "w"))
+rc = subprocess.run(
+    [sys.executable, "tools/check_bench.py", "BENCH_baseline.json",
+     "build/bench_perturbed.json"], stdout=subprocess.DEVNULL).returncode
+sys.exit(0 if rc != 0 else 1)
+EOF
+echo "perf gate ok (and fails when perturbed)"
 
 if [[ "$SKIP_SANITIZE" == "1" ]]; then
   echo "== sanitizers skipped =="

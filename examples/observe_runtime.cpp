@@ -127,6 +127,9 @@ int main(int argc, char** argv) {
   }
 
   // --- exports ----------------------------------------------------------------
+  // Trace-ring health (emitted/dropped per track) rides along in the same
+  // snapshot, so a truncated profile is visible in the metrics too.
+  mf::telemetry::PublishTraceHealth(tracer, registry);
   const mf::telemetry::MetricsSnapshot snapshot = registry.Snapshot();
   const std::string prometheus = snapshot.ToPrometheus();
   std::printf("---- Prometheus exposition (%zu metric families) ----\n%s\n",

@@ -107,6 +107,29 @@ bool Satisfies(const simhw::AccessView& view, const Properties& props) {
   return true;
 }
 
+std::string SatisfiesDetail(const simhw::AccessView& view, const Properties& props) {
+  if (props.sync && !view.sync) {
+    return "requires sync addressability, device is async-only from here";
+  }
+  if (props.coherent && !view.coherent) {
+    return "requires cache coherence, path is non-coherent";
+  }
+  if (props.persistent && !view.persistent) {
+    return "requires persistence, device is volatile";
+  }
+  if (view.read_latency > LatencyCeiling(props.latency)) {
+    return "read latency " + std::to_string(view.read_latency.ns) + "ns exceeds " +
+           std::string(LatencyClassName(props.latency)) + " ceiling " +
+           std::to_string(LatencyCeiling(props.latency).ns) + "ns";
+  }
+  if (view.read_bw_gbps < BandwidthFloor(props.bandwidth)) {
+    return "bandwidth " + std::to_string(view.read_bw_gbps) + " GB/s below " +
+           std::string(BandwidthClassName(props.bandwidth)) + " floor " +
+           std::to_string(BandwidthFloor(props.bandwidth)) + " GB/s";
+  }
+  return "";
+}
+
 SimDuration ExpectedUseCost(const simhw::AccessView& view, std::uint64_t size,
                             const AccessHint& hint) {
   // Split the traversed bytes by pattern and direction, cost each burst.

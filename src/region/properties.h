@@ -84,6 +84,12 @@ struct Properties {
 // Does this observer-relative view satisfy the requirements?
 bool Satisfies(const simhw::AccessView& view, const Properties& props);
 
+// Why the view fails the requirements: the first violated property, as a
+// human-readable phrase ("requires sync addressability", "read latency 1200ns
+// exceeds low ceiling 300ns"). Empty string iff Satisfies() is true. Used by
+// the placement explainer to name losers' reasons.
+std::string SatisfiesDetail(const simhw::AccessView& view, const Properties& props);
+
 // Declared access pattern used by the placement cost model: lets the runtime
 // estimate how expensive the region will be to use on each candidate device.
 struct AccessHint {

@@ -63,6 +63,26 @@ RegionClass ClassifyProperties(const Properties& props) {
   return RegionClass::kOther;
 }
 
+std::string_view DeviceVerdictName(DeviceVerdict v) {
+  switch (v) {
+    case DeviceVerdict::kChosen:
+      return "chosen";
+    case DeviceVerdict::kRankedLoser:
+      return "ranked-loser";
+    case DeviceVerdict::kDeviceFailed:
+      return "device-failed";
+    case DeviceVerdict::kNotAllocatable:
+      return "not-allocatable";
+    case DeviceVerdict::kInsufficientCapacity:
+      return "insufficient-capacity";
+    case DeviceVerdict::kNoPath:
+      return "no-path";
+    case DeviceVerdict::kPropertyMismatch:
+      return "property-mismatch";
+  }
+  return "?";
+}
+
 std::string_view OwnershipStateName(OwnershipState s) {
   switch (s) {
     case OwnershipState::kExclusive:
@@ -99,6 +119,10 @@ RegionManager::RegionManager(simhw::Cluster& cluster, PlacementConfig config,
   instruments_.latency_relaxed = reg.GetCounter(
       "region_latency_relaxed_total",
       "Allocations that succeeded only after relaxing the latency class");
+  instruments_.fragmentation_fallthroughs = reg.GetCounter(
+      "region_fragmentation_fallthroughs_total",
+      "Ranked placement candidates skipped because the device extent allocator "
+      "was too fragmented despite sufficient free bytes");
   instruments_.frees = reg.GetCounter("region_frees_total", "Regions freed");
   instruments_.transfers_zero_copy = reg.GetCounter(
       "region_transfers_total", "Ownership transfers", {{"kind", "zero_copy"}});
@@ -124,6 +148,22 @@ void RegionManager::BindTrace(const simhw::VirtualClock* clock,
   }
 }
 
+void RegionManager::EmitInstant(std::string name, std::string_view category,
+                                std::uint32_t job, std::vector<telemetry::TraceArg> args) {
+  if (tracer_ == nullptr || clock_ == nullptr) {
+    return;
+  }
+  telemetry::TraceEvent event;
+  event.type = telemetry::TraceEventType::kInstant;
+  event.name = std::move(name);
+  event.category = category;
+  event.track = kMigrationTrack;
+  event.job = job;
+  event.ts = clock_->now();
+  event.args = std::move(args);
+  tracer_->Emit(std::move(event));
+}
+
 void RegionManager::BeginAllocationEpoch() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   epoch_.clear();
@@ -141,10 +181,17 @@ void RegionManager::EndAllocationEpoch() {
 }
 
 std::vector<simhw::MemoryDeviceId> RegionManager::RankDevicesLocked(
-    const AllocRequest& request, const Properties& props) const {
+    const AllocRequest& request, const Properties& props,
+    RegionPlacementExplain* explain) const {
   struct Candidate {
     double score;
     simhw::MemoryDeviceId device;
+  };
+  const auto reject = [explain](simhw::MemoryDeviceId dev, DeviceVerdict verdict,
+                                std::string detail) {
+    if (explain != nullptr) {
+      explain->candidates.push_back({dev, verdict, 0, 0, 0, std::move(detail)});
+    }
   };
   const std::vector<simhw::MemoryDeviceId> devices = cluster_->AllMemoryDevices();
   std::vector<Candidate> candidates;
@@ -162,16 +209,36 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevicesLocked(
         utilization = it->second.utilization;
       }
     }
-    if (device.failed() || !device.profile().allocatable || free_bytes < request.size) {
+    if (device.failed()) {
+      reject(dev, DeviceVerdict::kDeviceFailed, "device is down");
+      continue;
+    }
+    if (!device.profile().allocatable) {
+      reject(dev, DeviceVerdict::kNotAllocatable, "device class does not host regions");
+      continue;
+    }
+    if (free_bytes < request.size) {
+      reject(dev, DeviceVerdict::kInsufficientCapacity,
+             std::to_string(free_bytes) + " B free < " + std::to_string(request.size) +
+                 " B requested");
       continue;
     }
     auto view = cluster_->View(request.observer, dev);
-    if (!view.ok() || !Satisfies(*view, props)) {
+    if (!view.ok()) {
+      reject(dev, DeviceVerdict::kNoPath, "unreachable from observer");
+      continue;
+    }
+    if (!Satisfies(*view, props)) {
+      reject(dev, DeviceVerdict::kPropertyMismatch, SatisfiesDetail(*view, props));
       continue;
     }
     const SimDuration cost = ExpectedUseCost(*view, request.size, request.hint);
     const double score =
         static_cast<double>(cost.ns) * (1.0 + config_.pressure_weight * utilization);
+    if (explain != nullptr) {
+      explain->candidates.push_back({dev, DeviceVerdict::kRankedLoser,
+                                     static_cast<double>(cost.ns), utilization, score, ""});
+    }
     candidates.push_back({score, dev});
   }
   std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
@@ -197,7 +264,10 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest
 Result<RegionId> RegionManager::FinishAllocate(simhw::Extent extent, std::uint64_t size,
                                                const Properties& props,
                                                const AccessHint& hint,
-                                               const Principal& owner) {
+                                               const Principal& owner,
+                                               simhw::ComputeDeviceId observer,
+                                               LatencyClass effective_latency,
+                                               bool latency_relaxed) {
   const auto id = RegionId(next_id_++);
   Record& rec = slab_.emplace_back();  // atomics make Record immovable
   rec.id = id;
@@ -208,6 +278,9 @@ Result<RegionId> RegionManager::FinishAllocate(simhw::Extent extent, std::uint64
   rec.state = OwnershipState::kExclusive;
   rec.owner = owner;
   rec.job = owner.job;
+  rec.observer = observer;
+  rec.effective_latency = effective_latency;
+  rec.latency_relaxed = latency_relaxed;
   if (props.confidential) {
     rec.enc_key = key_rng_.Next() | 1;
   }
@@ -238,12 +311,22 @@ Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
   for (const simhw::MemoryDeviceId dev : ranked) {
     auto extent = cluster_->memory(dev).Allocate(request.size);
     if (!extent.ok()) {
-      continue;  // fragmentation on this device; try the next candidate
+      // Fragmentation on this device; try the next candidate. Surfaced as a
+      // fallback event: the ranking said yes but the extent allocator said no.
+      instruments_.fragmentation_fallthroughs->Increment();
+      EmitInstant("placement fallback: fragmentation", "placement", request.owner.job,
+                  {{"device", cluster_->memory(dev).name()},
+                   {"bytes", std::to_string(request.size), /*quoted=*/false}});
+      continue;
     }
     auto id = FinishAllocate(*extent, request.size, request.props, request.hint,
-                             request.owner);
+                             request.owner, request.observer, props.latency, relaxed);
     if (relaxed) {
       instruments_.latency_relaxed->Increment();
+      EmitInstant("placement fallback: latency relaxed", "placement", request.owner.job,
+                  {{"region", std::to_string(id->value), /*quoted=*/false},
+                   {"requested", std::string(LatencyClassName(request.props.latency))},
+                   {"granted", std::string(LatencyClassName(props.latency))}});
     }
     MEMFLOW_LOG(kDebug) << "region" << Kv("id", id->value) << Kv("bytes", request.size)
                         << Kv("props", request.props.ToString())
@@ -252,6 +335,10 @@ Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
   }
   stats_.failed_allocations++;
   instruments_.alloc_failures->Increment();
+  EmitInstant("placement fallback: allocation failed", "placement", request.owner.job,
+              {{"props", props.ToString()},
+               {"bytes", std::to_string(request.size), /*quoted=*/false},
+               {"observer", std::to_string(request.observer.value), /*quoted=*/false}});
   return ResourceExhausted("no device satisfies " + props.ToString() + " for " +
                            std::to_string(request.size) + " B from observer " +
                            std::to_string(request.observer.value));
@@ -264,7 +351,8 @@ Result<RegionId> RegionManager::AllocateOn(simhw::MemoryDeviceId device, std::ui
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
   MEMFLOW_ASSIGN_OR_RETURN(simhw::Extent extent, cluster_->memory(device).Allocate(size));
-  return FinishAllocate(extent, size, props, AccessHint{}, owner);
+  return FinishAllocate(extent, size, props, AccessHint{}, owner,
+                        /*observer=*/{}, props.latency, /*latency_relaxed=*/false);
 }
 
 RegionManager::Record* RegionManager::FindRecord(RegionId id) {
@@ -291,6 +379,9 @@ Result<RegionManager::Record*> RegionManager::GetChecked(RegionId id, const Prin
   if (rec->enc_key != 0 && who != kRuntimePrincipal && who.job != rec->job) {
     stats_.confidentiality_denials++;
     instruments_.confidentiality_denials->Increment();
+    EmitInstant("confidentiality denial", "placement", who.job,
+                {{"region", std::to_string(id.value), /*quoted=*/false},
+                 {"owning_job", std::to_string(rec->job), /*quoted=*/false}});
     return PermissionDenied("region " + std::to_string(id.value) +
                             " is confidential to job " + std::to_string(rec->job));
   }
@@ -351,6 +442,10 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
   if (rec->enc_key != 0 && to.job != rec->job) {
     stats_.confidentiality_denials++;
     instruments_.confidentiality_denials->Increment();
+    EmitInstant("confidentiality denial", "placement", to.job,
+                {{"region", std::to_string(id.value), /*quoted=*/false},
+                 {"owning_job", std::to_string(rec->job), /*quoted=*/false},
+                 {"op", "transfer"}});
     return PermissionDenied("confidential region cannot leave job " +
                             std::to_string(rec->job));
   }
@@ -401,6 +496,10 @@ Status RegionManager::Share(RegionId id, const Principal& owner, const Principal
   if (rec->enc_key != 0 && with.job != rec->job) {
     stats_.confidentiality_denials++;
     instruments_.confidentiality_denials->Increment();
+    EmitInstant("confidentiality denial", "placement", with.job,
+                {{"region", std::to_string(id.value), /*quoted=*/false},
+                 {"owning_job", std::to_string(rec->job), /*quoted=*/false},
+                 {"op", "share"}});
     return PermissionDenied("confidential region cannot be shared outside job " +
                             std::to_string(rec->job));
   }
@@ -596,6 +695,88 @@ Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const
                     " but region is " + std::string(OwnershipStateName(rec->state)));
   }
   return OkStatus();
+}
+
+Result<RegionPlacementExplain> RegionManager::ExplainPlacement(RegionId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
+  RegionPlacementExplain out;
+  out.region = rec->id;
+  out.size = rec->size;
+  out.requested = rec->props;
+  out.effective_latency = rec->effective_latency;
+  out.latency_relaxed = rec->latency_relaxed;
+  out.observer = rec->observer;
+  out.chosen = rec->extent.device;
+  if (!rec->observer.valid()) {
+    // AllocateOn: the traditional model — nothing was ranked, by design.
+    out.pinned = true;
+    out.candidates.push_back({rec->extent.device, DeviceVerdict::kChosen, 0, 0, 0,
+                              "explicitly pinned via AllocateOn (traditional model)"});
+    return out;
+  }
+
+  // Re-rank the recorded request (with the latency class that actually won)
+  // against current cluster state, capturing per-device verdicts.
+  AllocRequest probe;
+  probe.size = rec->size;
+  probe.props = rec->props;
+  probe.props.latency = rec->effective_latency;
+  probe.hint = rec->hint;
+  probe.observer = rec->observer;
+  probe.owner = rec->owner;
+  (void)RankDevicesLocked(probe, probe.props, &out);
+
+  // Mark the resident device. It normally appears among the scored
+  // candidates; after a migration or capacity churn it may not — then we add
+  // it explicitly so the chosen device is always part of the answer.
+  bool found = false;
+  for (RegionCandidate& c : out.candidates) {
+    if (c.device == rec->extent.device) {
+      found = true;
+      if (c.verdict == DeviceVerdict::kRankedLoser) {
+        c.verdict = DeviceVerdict::kChosen;
+        c.detail = "resident; best satisfying device at allocation time";
+      } else {
+        c.verdict = DeviceVerdict::kChosen;
+        c.detail = "resident, but no longer satisfies the request from here: " + c.detail;
+      }
+    }
+  }
+  if (!found) {
+    out.candidates.push_back({rec->extent.device, DeviceVerdict::kChosen, 0, 0, 0,
+                              "resident (placed or migrated here earlier)"});
+  }
+  // Ranked order: chosen first, then satisfying losers by score, then
+  // rejects; device id breaks ties deterministically.
+  std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                   [](const RegionCandidate& a, const RegionCandidate& b) {
+                     const auto rank = [](const RegionCandidate& c) {
+                       if (c.verdict == DeviceVerdict::kChosen) return 0;
+                       if (c.verdict == DeviceVerdict::kRankedLoser) return 1;
+                       return 2;
+                     };
+                     if (rank(a) != rank(b)) return rank(a) < rank(b);
+                     if (a.score != b.score) return a.score < b.score;
+                     return a.device < b.device;
+                   });
+  // Name the margin for satisfying losers: by how much they lost.
+  double best_score = 0;
+  for (const RegionCandidate& c : out.candidates) {
+    if (c.verdict == DeviceVerdict::kChosen) {
+      best_score = c.score;
+      break;
+    }
+  }
+  for (RegionCandidate& c : out.candidates) {
+    if (c.verdict == DeviceVerdict::kRankedLoser && c.detail.empty()) {
+      const auto delta = static_cast<long long>(c.score - best_score);
+      c.detail = delta >= 0 ? "loses by " + std::to_string(delta) + " ns"
+                            : "now scores " + std::to_string(-delta) +
+                                  " ns better (conditions changed since placement)";
+    }
+  }
+  return out;
 }
 
 Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {

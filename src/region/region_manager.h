@@ -62,6 +62,43 @@ inline constexpr int kNumRegionClasses = 4;
 std::string_view RegionClassName(RegionClass c);
 RegionClass ClassifyProperties(const Properties& props);
 
+// Why one memory device did (not) receive a region (DESIGN.md §11). Verdicts
+// mirror the skip reasons inside the placement ranking loop.
+enum class DeviceVerdict : std::uint8_t {
+  kChosen,                // the region lives here
+  kRankedLoser,           // satisfies the request but scored worse
+  kDeviceFailed,          // device is down
+  kNotAllocatable,        // device class does not accept allocations
+  kInsufficientCapacity,  // not enough free bytes
+  kNoPath,                // unreachable from the observer
+  kPropertyMismatch,      // observer-relative view violates a property
+};
+
+std::string_view DeviceVerdictName(DeviceVerdict v);
+
+struct RegionCandidate {
+  simhw::MemoryDeviceId device;
+  DeviceVerdict verdict = DeviceVerdict::kRankedLoser;
+  double expected_cost_ns = 0;  // ExpectedUseCost through the view (scored only)
+  double utilization = 0;       // device fullness folded into the score
+  double score = 0;             // cost * (1 + pressure_weight * utilization)
+  std::string detail;           // loser/rejection reason
+};
+
+// Ranked breakdown of a region placement decision: chosen device first, then
+// satisfying losers by ascending score, then rejects with their reasons.
+struct RegionPlacementExplain {
+  RegionId region;
+  std::uint64_t size = 0;
+  Properties requested;              // as declared by the application
+  LatencyClass effective_latency = LatencyClass::kAny;  // after any relax
+  bool latency_relaxed = false;
+  bool pinned = false;               // AllocateOn: placement was never ranked
+  simhw::ComputeDeviceId observer;   // invalid when pinned
+  simhw::MemoryDeviceId chosen;
+  std::vector<RegionCandidate> candidates;
+};
+
 // Counters bumped on the shared-lock data path are atomics; everything else
 // is mutated only under the exclusive lock. Reads are only meaningful from
 // serial phases (tests, profiler, benches), never mid-batch.
@@ -210,6 +247,13 @@ class RegionManager {
   std::vector<simhw::MemoryDeviceId> RankDevices(const AllocRequest& request,
                                                  const Properties& props) const;
 
+  // Explains where a live region's placement decision stands *now*: re-ranks
+  // every memory device for the region's recorded request (size, properties
+  // after any latency relax, original observer) against current cluster state
+  // and marks the resident device. Always returns a non-empty candidate list
+  // for a live region; regions placed with AllocateOn are reported as pinned.
+  Result<RegionPlacementExplain> ExplainPlacement(RegionId id) const;
+
   // Data-path entry points used by accessors (revalidate on every call).
   Result<SimDuration> DoRead(RegionId id, const Principal& who, std::uint64_t offset,
                              void* dst, std::uint64_t size, const simhw::AccessView& view,
@@ -231,6 +275,12 @@ class RegionManager {
     std::vector<Principal> sharers;
     std::uint32_t job = 0;      // confidentiality domain, fixed at creation
     std::uint64_t enc_key = 0;  // nonzero iff confidential
+    // Placement provenance, for ExplainPlacement: who asked, and what
+    // latency class actually won (differs from props.latency after a relax).
+    // An invalid observer means the region was pinned via AllocateOn.
+    simhw::ComputeDeviceId observer;
+    LatencyClass effective_latency = LatencyClass::kAny;
+    bool latency_relaxed = false;
     // Touched on the shared-lock data path, hence atomic. Everything else in
     // the record only changes under the exclusive lock.
     std::atomic<std::uint64_t> hotness{0};
@@ -247,10 +297,17 @@ class RegionManager {
   Result<const Record*> GetConst(RegionId id) const;
 
   std::vector<simhw::MemoryDeviceId> RankDevicesLocked(const AllocRequest& request,
-                                                       const Properties& props) const;
+                                                       const Properties& props,
+                                                       RegionPlacementExplain* explain =
+                                                           nullptr) const;
   Result<RegionId> FinishAllocate(simhw::Extent extent, std::uint64_t size,
                                   const Properties& props, const AccessHint& hint,
-                                  const Principal& owner);
+                                  const Principal& owner, simhw::ComputeDeviceId observer,
+                                  LatencyClass effective_latency, bool latency_relaxed);
+
+  // Emits a point event on the region-manager track when tracing is bound.
+  void EmitInstant(std::string name, std::string_view category, std::uint32_t job,
+                   std::vector<telemetry::TraceArg> args);
 
   // Copy a live region's bytes to a fresh extent on `target`.
   Result<SimDuration> MoveExtent(Record& rec, simhw::MemoryDeviceId target);
@@ -266,6 +323,7 @@ class RegionManager {
     telemetry::Counter* bytes_written[kNumRegionClasses] = {};
     telemetry::Counter* alloc_failures = nullptr;
     telemetry::Counter* latency_relaxed = nullptr;
+    telemetry::Counter* fragmentation_fallthroughs = nullptr;
     telemetry::Counter* frees = nullptr;
     telemetry::Counter* transfers_zero_copy = nullptr;
     telemetry::Counter* transfers_migrated = nullptr;

@@ -83,17 +83,6 @@ Status JobCheckpointer::Save(const std::string& key, const std::vector<std::uint
   stats_.write_cost += *cost;
   writes_->Increment();
   written_bytes_->Increment(payload.size());
-  if (tracer_ != nullptr && clock_ != nullptr) {
-    telemetry::TraceEvent span;
-    span.type = telemetry::TraceEventType::kSpan;
-    span.name = "checkpoint save";
-    span.category = "checkpoint";
-    span.track = kCheckpointTrack;
-    span.ts = clock_->now();
-    span.dur = *cost;
-    span.args = {{"bytes", std::to_string(payload.size()), /*quoted=*/false}};
-    tracer_->Emit(std::move(span));
-  }
   return OkStatus();
 }
 
@@ -108,6 +97,7 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
       auto it = catalog_.find(key);
       if (it != catalog_.end()) {
         // Restore: skip execution, rebuild the output from the checkpoint.
+        SimDuration restore_cost;
         if (it->second.size > 0) {
           std::vector<std::uint8_t> payload(it->second.size);
           MEMFLOW_ASSIGN_OR_RETURN(
@@ -116,6 +106,7 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
                                              payload.size()));
           ctx.Charge(read_cost);
           stats_.restore_cost += read_cost;
+          restore_cost += read_cost;
           MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out,
                                    ctx.AllocateOutput(payload.size()));
           MEMFLOW_ASSIGN_OR_RETURN(region::AsyncAccessor acc, ctx.OpenAsync(out));
@@ -123,21 +114,25 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
           MEMFLOW_ASSIGN_OR_RETURN(SimDuration write_cost, acc.Drain());
           ctx.Charge(write_cost);
           stats_.restore_cost += write_cost;
+          restore_cost += write_cost;
           stats_.bytes_restored += payload.size();
         }
         stats_.tasks_restored++;
         restores_->Increment();
         restored_bytes_->Increment(it->second.size);
-        if (tracer_ != nullptr && clock_ != nullptr) {
-          telemetry::TraceEvent span;
-          span.type = telemetry::TraceEventType::kSpan;
-          span.name = "checkpoint restore";
-          span.category = "checkpoint";
-          span.track = kCheckpointTrack;
-          span.ts = clock_->now();
-          span.args = {{"bytes", std::to_string(it->second.size), /*quoted=*/false}};
-          tracer_->Emit(std::move(span));
-        }
+        // Staged, not emitted: bodies run in the parallel phase, so the event
+        // reaches the ring at commit (deterministic order, job id filled in).
+        telemetry::TraceEvent span;
+        span.type = telemetry::TraceEventType::kSpan;
+        span.name = "checkpoint restore";
+        span.category = "checkpoint";
+        span.track = kCheckpointTrack;
+        span.dur = restore_cost;
+        span.args = {{"task", std::to_string(ctx.self().actor - 1), /*quoted=*/false},
+                     {"bytes", std::to_string(it->second.size), /*quoted=*/false},
+                     {"checkpoint_ns", std::to_string(restore_cost.ns),
+                      /*quoted=*/false}};
+        ctx.StageTrace(std::move(span));
         return OkStatus();
       }
 
@@ -146,6 +141,7 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
       // Checkpoint the produced output (or an empty marker for outputless
       // tasks, so they are skipped on restart too).
       std::vector<std::uint8_t> payload;
+      SimDuration ckpt_cost;
       if (ctx.output().valid()) {
         auto info = ctx.regions().Info(ctx.output());
         if (info.ok()) {
@@ -154,11 +150,23 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
           acc.EnqueueRead(0, payload.data(), payload.size());
           MEMFLOW_ASSIGN_OR_RETURN(SimDuration read_cost, acc.Drain());
           ctx.Charge(read_cost);
+          ckpt_cost += read_cost;
         }
       }
       SimDuration save_cost;
       MEMFLOW_RETURN_IF_ERROR(Save(key, payload, &save_cost));
       ctx.Charge(save_cost);
+      ckpt_cost += save_cost;
+      telemetry::TraceEvent span;
+      span.type = telemetry::TraceEventType::kSpan;
+      span.name = "checkpoint save";
+      span.category = "checkpoint";
+      span.track = kCheckpointTrack;
+      span.dur = ckpt_cost;
+      span.args = {{"task", std::to_string(ctx.self().actor - 1), /*quoted=*/false},
+                   {"bytes", std::to_string(payload.size()), /*quoted=*/false},
+                   {"checkpoint_ns", std::to_string(ckpt_cost.ns), /*quoted=*/false}};
+      ctx.StageTrace(std::move(span));
       return OkStatus();
     };
   }

@@ -2,6 +2,7 @@
 
 #include "rts/placement.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace memflow::rts {
@@ -20,15 +21,43 @@ std::string_view PlacementPolicyKindName(PlacementPolicyKind kind) {
   return "?";
 }
 
+std::string_view CandidateOutcomeName(CandidateOutcome outcome) {
+  switch (outcome) {
+    case CandidateOutcome::kChosen:
+      return "chosen";
+    case CandidateOutcome::kRankedLoser:
+      return "ranked-loser";
+    case CandidateOutcome::kKindMismatch:
+      return "kind-mismatch";
+    case CandidateOutcome::kDeviceFailed:
+      return "device-failed";
+    case CandidateOutcome::kNoFeasibleMemory:
+      return "no-feasible-memory";
+  }
+  return "?";
+}
+
 std::vector<simhw::ComputeDeviceId> PlacementPolicy::Eligible(
-    const dataflow::TaskProperties& props, const simhw::Cluster& cluster) {
+    const dataflow::TaskProperties& props, const simhw::Cluster& cluster,
+    PlacementExplain* explain) {
   std::vector<simhw::ComputeDeviceId> out;
   for (const simhw::ComputeDeviceId id : cluster.AllComputeDevices()) {
     const simhw::ComputeDevice& dev = cluster.compute(id);
     if (dev.failed()) {
+      if (explain != nullptr) {
+        explain->candidates.push_back(
+            {id, CandidateOutcome::kDeviceFailed, 0, 0, 0, 0, "device is down"});
+      }
       continue;
     }
     if (props.compute_device.has_value() && dev.kind() != *props.compute_device) {
+      if (explain != nullptr) {
+        explain->candidates.push_back(
+            {id, CandidateOutcome::kKindMismatch, 0, 0, 0, 0,
+             std::string("task requires ") +
+                 std::string(simhw::ComputeDeviceKindName(*props.compute_device)) +
+                 ", device is " + std::string(simhw::ComputeDeviceKindName(dev.kind()))});
+      }
       continue;
     }
     out.push_back(id);
@@ -38,16 +67,66 @@ std::vector<simhw::ComputeDeviceId> PlacementPolicy::Eligible(
 
 namespace {
 
+// Orders a filled explanation: chosen first, then scored losers by ascending
+// score, then rejects; device id breaks ties so the record is deterministic.
+void FinalizeExplain(PlacementExplain* explain, std::string_view policy,
+                     std::uint64_t input_bytes_estimate) {
+  if (explain == nullptr) {
+    return;
+  }
+  explain->policy = policy;
+  explain->input_bytes_estimate = input_bytes_estimate;
+  std::stable_sort(explain->candidates.begin(), explain->candidates.end(),
+                   [](const PlacementCandidate& a, const PlacementCandidate& b) {
+                     const auto rank = [](const PlacementCandidate& c) {
+                       if (c.outcome == CandidateOutcome::kChosen) return 0;
+                       if (c.outcome == CandidateOutcome::kRankedLoser) return 1;
+                       return 2;
+                     };
+                     if (rank(a) != rank(b)) return rank(a) < rank(b);
+                     if (a.score != b.score) return a.score < b.score;
+                     return a.device.value < b.device.value;
+                   });
+}
+
+// Explanation terms for the policies that do not consult the cost model: the
+// winner is whatever the policy's rule picked; every other eligible device is
+// a ranked loser whose detail names the rule.
+void ExplainRuleChoice(PlacementExplain* explain, const std::vector<simhw::ComputeDeviceId>& eligible,
+                       simhw::ComputeDeviceId chosen, std::string_view rule) {
+  if (explain == nullptr) {
+    return;
+  }
+  explain->chosen = chosen;
+  for (const simhw::ComputeDeviceId id : eligible) {
+    PlacementCandidate c;
+    c.device = id;
+    if (id == chosen) {
+      c.outcome = CandidateOutcome::kChosen;
+      c.detail = rule;
+    } else {
+      c.outcome = CandidateOutcome::kRankedLoser;
+      c.detail = std::string("eligible, not selected by ") + std::string(rule);
+    }
+    explain->candidates.push_back(std::move(c));
+  }
+}
+
 class RoundRobinPlacement final : public PlacementPolicy {
  public:
   Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
-                                       std::uint64_t, simhw::Cluster& cluster,
-                                       const CostModel&) override {
-    const auto eligible = Eligible(job.task(task).props, cluster);
+                                       std::uint64_t input_bytes_estimate,
+                                       simhw::Cluster& cluster, const CostModel&,
+                                       PlacementExplain* explain) override {
+    const auto eligible = Eligible(job.task(task).props, cluster, explain);
     if (eligible.empty()) {
+      FinalizeExplain(explain, name(), input_bytes_estimate);
       return ResourceExhausted("no eligible compute device for '" + job.task(task).name + "'");
     }
-    return eligible[next_++ % eligible.size()];
+    const simhw::ComputeDeviceId chosen = eligible[next_++ % eligible.size()];
+    ExplainRuleChoice(explain, eligible, chosen, "round-robin rotation");
+    FinalizeExplain(explain, name(), input_bytes_estimate);
+    return chosen;
   }
   std::string_view name() const override { return "round-robin"; }
 
@@ -58,12 +137,16 @@ class RoundRobinPlacement final : public PlacementPolicy {
 class FirstFitPlacement final : public PlacementPolicy {
  public:
   Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
-                                       std::uint64_t, simhw::Cluster& cluster,
-                                       const CostModel&) override {
-    const auto eligible = Eligible(job.task(task).props, cluster);
+                                       std::uint64_t input_bytes_estimate,
+                                       simhw::Cluster& cluster, const CostModel&,
+                                       PlacementExplain* explain) override {
+    const auto eligible = Eligible(job.task(task).props, cluster, explain);
     if (eligible.empty()) {
+      FinalizeExplain(explain, name(), input_bytes_estimate);
       return ResourceExhausted("no eligible compute device for '" + job.task(task).name + "'");
     }
+    ExplainRuleChoice(explain, eligible, eligible.front(), "first eligible device");
+    FinalizeExplain(explain, name(), input_bytes_estimate);
     return eligible.front();
   }
   std::string_view name() const override { return "first-fit"; }
@@ -74,13 +157,18 @@ class RandomPlacement final : public PlacementPolicy {
   explicit RandomPlacement(std::uint64_t seed) : rng_(seed) {}
 
   Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
-                                       std::uint64_t, simhw::Cluster& cluster,
-                                       const CostModel&) override {
-    const auto eligible = Eligible(job.task(task).props, cluster);
+                                       std::uint64_t input_bytes_estimate,
+                                       simhw::Cluster& cluster, const CostModel&,
+                                       PlacementExplain* explain) override {
+    const auto eligible = Eligible(job.task(task).props, cluster, explain);
     if (eligible.empty()) {
+      FinalizeExplain(explain, name(), input_bytes_estimate);
       return ResourceExhausted("no eligible compute device for '" + job.task(task).name + "'");
     }
-    return eligible[rng_.Below(eligible.size())];
+    const simhw::ComputeDeviceId chosen = eligible[rng_.Below(eligible.size())];
+    ExplainRuleChoice(explain, eligible, chosen, "seeded random draw");
+    FinalizeExplain(explain, name(), input_bytes_estimate);
+    return chosen;
   }
   std::string_view name() const override { return "random"; }
 
@@ -99,16 +187,20 @@ class CostModelPlacement final : public PlacementPolicy {
 
   Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job, dataflow::TaskId task,
                                        std::uint64_t input_bytes_estimate,
-                                       simhw::Cluster& cluster,
-                                       const CostModel& model) override {
+                                       simhw::Cluster& cluster, const CostModel& model,
+                                       PlacementExplain* explain) override {
     const dataflow::TaskProperties& props = job.task(task).props;
-    const auto eligible = Eligible(props, cluster);
+    const auto eligible = Eligible(props, cluster, explain);
     simhw::ComputeDeviceId best;
     double best_score = std::numeric_limits<double>::infinity();
     double best_est_ns = 0;
     for (const simhw::ComputeDeviceId id : eligible) {
       auto est = model.Estimate(props, input_bytes_estimate, id);
       if (!est.ok()) {
+        if (explain != nullptr) {
+          explain->candidates.push_back({id, CandidateOutcome::kNoFeasibleMemory, 0, 0, 0, 0,
+                                         est.status().message()});
+        }
         continue;  // no satisfying memory from this device
       }
       // Predicted finish time: the device must first drain its committed
@@ -116,6 +208,11 @@ class CostModelPlacement final : public PlacementPolicy {
       const simhw::ComputeDevice& dev = cluster.compute(id);
       const double backlog = dev.planned_ns / dev.profile().hw_queues;
       const double score = backlog + static_cast<double>(est->total.ns);
+      if (explain != nullptr) {
+        explain->candidates.push_back({id, CandidateOutcome::kRankedLoser, backlog,
+                                       static_cast<double>(est->compute.ns),
+                                       static_cast<double>(est->memory.ns), score, ""});
+      }
       if (score < best_score) {
         best_score = score;
         best = id;
@@ -123,8 +220,22 @@ class CostModelPlacement final : public PlacementPolicy {
       }
     }
     if (!best.valid()) {
+      FinalizeExplain(explain, name(), input_bytes_estimate);
       return ResourceExhausted("cost model found no feasible device for '" +
                                job.task(task).name + "'");
+    }
+    if (explain != nullptr) {
+      explain->chosen = best;
+      for (PlacementCandidate& c : explain->candidates) {
+        if (c.device == best && c.outcome == CandidateOutcome::kRankedLoser) {
+          c.outcome = CandidateOutcome::kChosen;
+          c.detail = "lowest predicted completion";
+        } else if (c.outcome == CandidateOutcome::kRankedLoser) {
+          const double delta = c.score - best_score;
+          c.detail = "loses by " + std::to_string(static_cast<long long>(delta)) + " ns";
+        }
+      }
+      FinalizeExplain(explain, name(), input_bytes_estimate);
     }
     // Commit the estimate so subsequent placements see this device busier.
     cluster.compute(best).planned_ns += best_est_ns;

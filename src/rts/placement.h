@@ -10,11 +10,19 @@
 //   kRandom      — chaos baseline.
 //   kCostModel   — the paper's vision: minimize predicted completion time
 //                  using the topology-aware cost model, load-adjusted.
+//
+// Every Place() call can additionally *explain itself* (DESIGN.md §11): the
+// caller passes a PlacementExplain and receives the full ranked candidate
+// list — per-term cost-model scores for the devices that were scored, and
+// the reason each rejected device lost (kind mismatch, device down, no
+// feasible memory). The runtime records these per job so a developer can ask
+// "why did my task run there?" after the fact.
 
 #ifndef MEMFLOW_RTS_PLACEMENT_H_
 #define MEMFLOW_RTS_PLACEMENT_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -30,24 +38,62 @@ enum class PlacementPolicyKind { kRoundRobin, kFirstFit, kRandom, kCostModel };
 
 std::string_view PlacementPolicyKindName(PlacementPolicyKind kind);
 
+// Why one compute device did (not) win a placement decision.
+enum class CandidateOutcome : std::uint8_t {
+  kChosen,            // won the ranking
+  kRankedLoser,       // feasible and scored, but a better candidate existed
+  kKindMismatch,      // device class != the task's declared compute_device
+  kDeviceFailed,      // device is down
+  kNoFeasibleMemory,  // cost model found no satisfying memory from here
+};
+
+std::string_view CandidateOutcomeName(CandidateOutcome outcome);
+
+// One compute device's verdict in a placement decision. Score terms are only
+// meaningful for kChosen/kRankedLoser (the devices that were actually
+// scored): predicted completion = backlog + compute + memory.
+struct PlacementCandidate {
+  simhw::ComputeDeviceId device;
+  CandidateOutcome outcome = CandidateOutcome::kRankedLoser;
+  double backlog_ns = 0;  // committed work already planned on the device
+  double compute_ns = 0;  // cost-model compute estimate for this task
+  double memory_ns = 0;   // cost-model memory estimate (input+scratch+output)
+  double score = 0;       // backlog + compute + memory (lower wins)
+  std::string detail;     // human-readable loser/rejection reason
+};
+
+// A full placement decision record: the ranked candidate list (chosen first,
+// then scored losers by score, then rejects) plus the decision inputs.
+struct PlacementExplain {
+  std::string policy;
+  std::uint64_t input_bytes_estimate = 0;
+  simhw::ComputeDeviceId chosen;  // invalid if the decision failed
+  std::vector<PlacementCandidate> candidates;
+};
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
 
   // Picks a compute device for `task` of `job`, given the admission-time
   // input size estimate. Returns an error if no eligible device exists.
+  // `explain`, when non-null, receives the ranked candidate breakdown for
+  // this decision (filled on success *and* on failure).
   virtual Result<simhw::ComputeDeviceId> Place(const dataflow::Job& job,
                                                dataflow::TaskId task,
                                                std::uint64_t input_bytes_estimate,
                                                simhw::Cluster& cluster,
-                                               const CostModel& model) = 0;
+                                               const CostModel& model,
+                                               PlacementExplain* explain = nullptr) = 0;
 
   virtual std::string_view name() const = 0;
 
  protected:
-  // Devices the task may run on: kind-compatible and alive.
+  // Devices the task may run on: kind-compatible and alive. When `explain`
+  // is non-null, ineligible devices are appended as rejected candidates.
   static std::vector<simhw::ComputeDeviceId> Eligible(const dataflow::TaskProperties& props,
-                                                      const simhw::Cluster& cluster);
+                                                      const simhw::Cluster& cluster,
+                                                      PlacementExplain* explain = nullptr);
 };
 
 // `registry` feeds policy-internal metrics (the cost model's predicted

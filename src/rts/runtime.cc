@@ -16,6 +16,11 @@ namespace memflow::rts {
 
 namespace {
 
+// Trace track for job-lifecycle spans (one span per job, submit -> finish).
+// Device tracks use the small compute ids; region-manager events use 1000 and
+// checkpoints 1001, so the job lane takes the next synthetic slot.
+constexpr std::uint64_t kJobTrack = 1002;
+
 // A job's same-step bodies may only run concurrently when no two of them can
 // touch the same mutable region: no job-wide Global State/Scratch, and no
 // edge that declares in-place writes to a delivered input. (Cross-job bodies
@@ -105,6 +110,7 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
         "rts_device_queue_depth", "Tasks queued on a compute device", {{"device", name}});
     tracer_->SetTrackName(id.value, name);
   }
+  tracer_->SetTrackName(kJobTrack, "jobs");
 }
 
 Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
@@ -191,8 +197,13 @@ Status Runtime::Plan(JobExec& exec) {
       est += CostModel::OutputBytes(job.task(p).props, exec.tasks[p.value].est_input_bytes);
     }
     te.est_input_bytes = est;
-    MEMFLOW_ASSIGN_OR_RETURN(te.planned,
-                             policy_->Place(job, t, est, *cluster_, model_));
+    PlacementDecision decision;
+    decision.task = t;
+    decision.task_name = job.task(t).name;
+    decision.at = clock_.now();
+    MEMFLOW_ASSIGN_OR_RETURN(
+        te.planned, policy_->Place(job, t, est, *cluster_, model_, &decision.explain));
+    exec.placement_log.push_back(std::move(decision));
     instruments_.placement_decisions->Increment();
   }
 
@@ -280,9 +291,21 @@ Status Runtime::Plan(JobExec& exec) {
           if (regions_.Share(exec.state_region, job_principal, TaskPrincipal(exec, t), alt,
                              true)
                   .ok()) {
+            const simhw::ComputeDeviceId original = te.planned;
             te.planned = alt;
             replaced = true;
             instruments_.placement_fallbacks->Increment();
+            telemetry::TraceEvent ev;
+            ev.type = telemetry::TraceEventType::kInstant;
+            ev.name = "placement fallback: global-state reach";
+            ev.category = "placement";
+            ev.track = alt.value;
+            ev.job = exec.id.value;
+            ev.ts = clock_.now();
+            ev.args = {{"task", job.task(t).name},
+                       {"from", cluster_->compute(original).name()},
+                       {"to", cluster_->compute(alt).name()}};
+            tracer_->Emit(std::move(ev));
             break;
           }
         }
@@ -328,6 +351,10 @@ void Runtime::EnqueueTask(JobExec& exec, dataflow::TaskId task) {
   TaskExec& te = exec.tasks[task.value];
   te.state = TaskExec::State::kQueued;
   te.ready = clock_.now();
+  if (!te.arrived) {
+    te.arrived = true;
+    te.arrival = te.ready;
+  }
   DeviceExec& de = device_exec(te.planned);
   de.queue.emplace_back(exec.index, task);
   UpdateQueueDepth(de);
@@ -358,8 +385,21 @@ void Runtime::StageDispatch(JobExec& exec, dataflow::TaskId task) {
   te.state = TaskExec::State::kRunning;
   te.attempts++;
   te.report.start = clock_.now();
-  instruments_.queue_wait_ns->Observe(
-      static_cast<double>((clock_.now() - te.ready).ns));
+  const SimDuration queue_wait = clock_.now() - te.ready;
+  instruments_.queue_wait_ns->Observe(static_cast<double>(queue_wait.ns));
+  if (queue_wait.ns > 0) {
+    telemetry::TraceEvent span;
+    span.type = telemetry::TraceEventType::kSpan;
+    span.name = "queue " + spec.name;
+    span.category = "queue";
+    span.track = te.planned.value;
+    span.job = exec.id.value;
+    span.ts = te.ready;
+    span.dur = queue_wait;
+    span.args = {{"task", std::to_string(task.value), /*quoted=*/false},
+                 {"attempt", std::to_string(te.attempts), /*quoted=*/false}};
+    tracer_->Emit(std::move(span));
+  }
 
   // Close the producer->consumer flow arrows opened at handover: the arrow
   // lands where (and when) the consumer actually starts.
@@ -577,7 +617,14 @@ void Runtime::OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status
     tracer_->Emit(std::move(retry));
   }
   // Re-place (the original device may have failed) and retry after backoff.
-  auto placed = policy_->Place(exec.job, task, te.est_input_bytes, *cluster_, model_);
+  PlacementDecision decision;
+  decision.task = task;
+  decision.task_name = exec.job.task(task).name;
+  decision.at = clock_.now();
+  decision.replan = true;
+  auto placed = policy_->Place(exec.job, task, te.est_input_bytes, *cluster_, model_,
+                               &decision.explain);
+  exec.placement_log.push_back(std::move(decision));
   if (!placed.ok()) {
     te.state = TaskExec::State::kFailed;
     te.report.status = placed.status();
@@ -671,7 +718,10 @@ void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
     span.job = exec.id.value;
     span.ts = te.report.start;
     span.dur = te.duration;
-    span.args = {{"attempts", std::to_string(te.attempts), /*quoted=*/false},
+    span.args = {{"task", std::to_string(task.value), /*quoted=*/false},
+                 {"arrival_ns", std::to_string(te.arrival.ns), /*quoted=*/false},
+                 {"ready_ns", std::to_string(te.ready.ns), /*quoted=*/false},
+                 {"attempts", std::to_string(te.attempts), /*quoted=*/false},
                  {"handover_ns", std::to_string(te.report.handover_cost.ns),
                   /*quoted=*/false},
                  {"zero_copy", te.report.zero_copy_handover ? "true" : "false",
@@ -698,8 +748,22 @@ void Runtime::OnTaskComplete(JobExec& exec, dataflow::TaskId task) {
   }
 
   // Wake successors once the (possibly non-zero-cost) handover lands.
+  // Control edges carry no data, but they still gate the successor — emit a
+  // flow arrow for them too, so the executed DAG is fully reconstructible
+  // from the trace stream alone (data-edge flows were opened in
+  // HandoverOutput).
   const std::size_t job_index = exec.index;
+  const std::vector<dataflow::TaskId> data_succs = exec.job.DataSuccessors(task);
   for (const dataflow::TaskId succ : exec.job.successors(task)) {
+    const bool is_data =
+        std::find(data_succs.begin(), data_succs.end(), succ) != data_succs.end();
+    if (!is_data) {
+      BeginHandoverFlow(exec, task, succ, "control");
+    } else if (!te.output.valid()) {
+      // Data edge whose producer made no output: HandoverOutput had nothing
+      // to move (and opened no flow), but the edge still gated the successor.
+      BeginHandoverFlow(exec, task, succ, "empty");
+    }
     events_.Schedule(clock_.now() + te.report.handover_cost,
                      [this, job_index, succ](SimTime) {
                        JobExec& je = *jobs_[job_index];
@@ -751,7 +815,7 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
                                   : instruments_.handovers_copied)
         ->Increment();
     exec.tasks[succ.value].inputs.push_back(te.output);
-    BeginHandoverFlow(exec, task, succ);
+    BeginHandoverFlow(exec, task, succ, "transfer");
     return OkStatus();
   }
 
@@ -763,7 +827,7 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
                                            exec.tasks[succ.value].planned,
                                            /*require_coherent=*/false));
     exec.tasks[succ.value].inputs.push_back(te.output);
-    BeginHandoverFlow(exec, task, succ);
+    BeginHandoverFlow(exec, task, succ, "share");
   }
   MEMFLOW_RETURN_IF_ERROR(regions_.Release(te.output, self));
   te.report.handover_cost = SimDuration{};
@@ -774,7 +838,7 @@ Status Runtime::HandoverOutput(JobExec& exec, dataflow::TaskId task) {
 }
 
 void Runtime::BeginHandoverFlow(JobExec& exec, dataflow::TaskId producer,
-                                dataflow::TaskId consumer) {
+                                dataflow::TaskId consumer, std::string_view kind) {
   TaskExec& pe = exec.tasks[producer.value];
   const std::uint64_t flow = tracer_->NextFlowId();
   telemetry::TraceEvent begin;
@@ -785,6 +849,11 @@ void Runtime::BeginHandoverFlow(JobExec& exec, dataflow::TaskId producer,
   begin.job = exec.id.value;
   begin.ts = clock_.now();
   begin.flow_id = flow;
+  begin.args = {{"src", std::to_string(producer.value), /*quoted=*/false},
+                {"dst", std::to_string(consumer.value), /*quoted=*/false},
+                {"handover_ns", std::to_string(pe.report.handover_cost.ns),
+                 /*quoted=*/false},
+                {"kind", std::string(kind)}};
   tracer_->Emit(std::move(begin));
   exec.tasks[consumer.value].pending_flows.push_back(flow);
 }
@@ -813,6 +882,19 @@ void Runtime::FinishJob(JobExec& exec) {
   }
   stats_.jobs_completed++;
   instruments_.jobs_completed->Increment();
+  {
+    telemetry::TraceEvent span;
+    span.type = telemetry::TraceEventType::kSpan;
+    span.name = "job " + exec.report.name;
+    span.category = "job";
+    span.track = kJobTrack;
+    span.job = exec.id.value;
+    span.ts = exec.report.submitted;
+    span.dur = exec.report.Makespan();
+    span.args = {{"tasks", std::to_string(exec.report.tasks.size()), /*quoted=*/false},
+                 {"status", "ok"}};
+    tracer_->Emit(std::move(span));
+  }
   MEMFLOW_LOG(kInfo) << "job finished" << Kv("job", exec.report.name)
                      << Kv("makespan", HumanDuration(exec.report.Makespan()));
 }
@@ -858,6 +940,20 @@ void Runtime::FailJob(JobExec& exec, const Status& error) {
   }
   stats_.jobs_failed++;
   instruments_.jobs_failed->Increment();
+  {
+    telemetry::TraceEvent span;
+    span.type = telemetry::TraceEventType::kSpan;
+    span.name = "job " + exec.report.name;
+    span.category = "job";
+    span.track = kJobTrack;
+    span.job = exec.id.value;
+    span.ts = exec.report.submitted;
+    span.dur = exec.report.Makespan();
+    span.args = {{"tasks", std::to_string(exec.report.tasks.size()), /*quoted=*/false},
+                 {"status", "failed"},
+                 {"error", error.message()}};
+    tracer_->Emit(std::move(span));
+  }
   MEMFLOW_LOG(kWarn) << "job failed" << Kv("job", exec.report.name)
                      << Kv("error", error.ToString());
 }
@@ -924,6 +1020,16 @@ const JobReport& Runtime::report(dataflow::JobId id) const {
   for (const auto& exec : jobs_) {
     if (exec->id == id) {
       return exec->report;
+    }
+  }
+  MEMFLOW_CHECK_MSG(false, "unknown job id");
+  __builtin_unreachable();
+}
+
+const std::vector<PlacementDecision>& Runtime::PlacementLog(dataflow::JobId id) const {
+  for (const auto& exec : jobs_) {
+    if (exec->id == id) {
+      return exec->placement_log;
     }
   }
   MEMFLOW_CHECK_MSG(false, "unknown job id");

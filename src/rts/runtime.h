@@ -108,6 +108,18 @@ struct JobReport {
   SimDuration Makespan() const { return finished - submitted; }
 };
 
+// One recorded task-placement decision: where the policy put the task and
+// the full ranked candidate breakdown behind the choice. Recorded at
+// admission for every task, and again (replan=true) when a failed attempt
+// forces re-placement.
+struct PlacementDecision {
+  dataflow::TaskId task;
+  std::string task_name;
+  SimTime at;          // virtual time of the decision
+  bool replan = false; // re-placement after a failed attempt
+  PlacementExplain explain;
+};
+
 struct RuntimeStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
@@ -164,6 +176,16 @@ class Runtime {
   telemetry::Registry& metrics() { return *registry_; }
   const telemetry::Registry& metrics() const { return *registry_; }
 
+  // Every task-placement decision made for `id` (admission order, then any
+  // re-placements), each with its ranked per-device score breakdown.
+  const std::vector<PlacementDecision>& PlacementLog(dataflow::JobId id) const;
+
+  // Why a region lives where it lives: ranked per-memory-device breakdown of
+  // the region's recorded allocation request. Delegates to the region manager.
+  Result<region::RegionPlacementExplain> ExplainPlacement(region::RegionId id) const {
+    return regions_.ExplainPlacement(id);
+  }
+
   // Column report of per-device memory utilization and traffic.
   std::string UtilizationReport() const;
 
@@ -184,6 +206,8 @@ class Runtime {
     std::uint64_t est_input_bytes = 0;
     SimDuration duration;
     SimTime ready;                     // when the task was last enqueued
+    SimTime arrival;                   // when it was *first* enqueued; the gap
+    bool arrived = false;              // to `ready` is retry/fallback stall
     // Flow ids opened by producers' handovers, closed when this task runs.
     std::vector<std::uint64_t> pending_flows;
     TaskReport report;
@@ -201,6 +225,8 @@ class Runtime {
     std::size_t remaining_tasks = 0;
     bool finished = false;
     bool failed = false;
+    // Decision log for PlacementLog(): admission placements, then replans.
+    std::vector<PlacementDecision> placement_log;
     // Whether this job's task bodies may run concurrently with each other.
     // False when tasks share mutable regions (Global State/Scratch) or an
     // edge declares writes_input — such a job's same-step bodies execute as
@@ -255,8 +281,12 @@ class Runtime {
   void OnTaskComplete(JobExec& exec, dataflow::TaskId task);
   void OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status& error);
   Status HandoverOutput(JobExec& exec, dataflow::TaskId task);
-  // Opens a producer->consumer flow arrow; closed when the consumer dispatches.
-  void BeginHandoverFlow(JobExec& exec, dataflow::TaskId producer, dataflow::TaskId consumer);
+  // Opens a producer->consumer flow arrow; closed when the consumer
+  // dispatches. `kind` names the edge mechanics (transfer/share/control/sink)
+  // and is recorded, with the edge endpoints and handover cost, as flow args
+  // so the trace alone suffices to rebuild the executed DAG.
+  void BeginHandoverFlow(JobExec& exec, dataflow::TaskId producer, dataflow::TaskId consumer,
+                         std::string_view kind);
   void DeliverInput(JobExec& exec, dataflow::TaskId task);
   void FinishJob(JobExec& exec);
   void FailJob(JobExec& exec, const Status& error);

@@ -1,0 +1,233 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/analyze/analyzer.h"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+
+namespace memflow::telemetry::analyze {
+
+namespace {
+
+const TraceArg* FindArg(const TraceEvent& e, std::string_view key) {
+  for (const TraceArg& a : e.args) {
+    if (a.key == key) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t ArgInt(const TraceEvent& e, std::string_view key, std::int64_t fallback = 0) {
+  const TraceArg* a = FindArg(e, key);
+  if (a == nullptr) {
+    return fallback;
+  }
+  std::int64_t v = fallback;
+  (void)std::from_chars(a->value.data(), a->value.data() + a->value.size(), v);
+  return v;
+}
+
+std::string ArgString(const TraceEvent& e, std::string_view key) {
+  const TraceArg* a = FindArg(e, key);
+  return a != nullptr ? a->value : std::string();
+}
+
+SimDuration Max0(SimDuration d) { return d.ns < 0 ? SimDuration{} : d; }
+
+// "job inference-pipeline" -> "inference-pipeline".
+std::string JobName(const TraceEvent& job_span) {
+  constexpr std::string_view kPrefix = "job ";
+  if (job_span.name.starts_with(kPrefix)) {
+    return job_span.name.substr(kPrefix.size());
+  }
+  return job_span.name;
+}
+
+void EnsureTask(std::vector<TaskNode>& tasks, std::uint32_t id) {
+  if (tasks.size() <= id) {
+    tasks.resize(id + 1);
+  }
+  tasks[id].task = id;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> TracedJobs(const TraceBuffer& tracer) {
+  std::set<std::uint32_t> ids;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.type == TraceEventType::kSpan && e.category == "job" && e.job != 0) {
+      ids.insert(e.job);
+    }
+  }
+  return {ids.begin(), ids.end()};
+}
+
+Result<JobProfile> AnalyzeJob(const TraceBuffer& tracer, std::uint32_t job) {
+  const std::vector<TraceEvent> events = tracer.Events();
+
+  JobProfile profile;
+  profile.job = job;
+  profile.dropped_events = tracer.dropped();
+
+  // Pass 1: the job span bounds the window and names the job.
+  const TraceEvent* job_span = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kSpan && e.category == "job" && e.job == job) {
+      job_span = &e;  // last wins (ids are unique per runtime anyway)
+    }
+  }
+  if (job_span == nullptr) {
+    return NotFound("no job span for job " + std::to_string(job) +
+                    " in the trace buffer (job unfinished, or span overwritten)");
+  }
+  profile.name = JobName(*job_span);
+  profile.status = ArgString(*job_span, "status");
+  profile.submitted = job_span->ts;
+  profile.makespan = job_span->dur;
+  profile.expected_tasks = static_cast<std::size_t>(ArgInt(*job_span, "tasks"));
+
+  // Pass 2: task spans, flow arrows (the executed DAG), checkpoint I/O.
+  for (const TraceEvent& e : events) {
+    if (e.job != job) {
+      continue;
+    }
+    if (e.type == TraceEventType::kSpan && e.category == "task") {
+      const auto id = static_cast<std::uint32_t>(ArgInt(e, "task"));
+      EnsureTask(profile.tasks, id);
+      TaskNode& node = profile.tasks[id];
+      node.name = e.name;
+      node.device_track = e.track;
+      node.arrival = SimTime(ArgInt(e, "arrival_ns"));
+      node.ready = SimTime(ArgInt(e, "ready_ns"));
+      node.start = e.ts;
+      node.duration = e.dur;
+      node.finish = e.ts + e.dur;
+      node.handover = SimDuration(ArgInt(e, "handover_ns"));
+      node.attempts = static_cast<int>(ArgInt(e, "attempts", 1));
+      node.zero_copy = ArgString(e, "zero_copy") != "false";
+      node.has_span = true;
+    } else if (e.type == TraceEventType::kFlowBegin && e.category == "flow") {
+      const auto src = static_cast<std::uint32_t>(ArgInt(e, "src"));
+      const auto dst = static_cast<std::uint32_t>(ArgInt(e, "dst"));
+      EnsureTask(profile.tasks, std::max(src, dst));
+      profile.tasks[dst].preds.push_back(
+          {src, SimDuration(ArgInt(e, "handover_ns")), ArgString(e, "kind")});
+    } else if (e.type == TraceEventType::kSpan && e.category == "checkpoint") {
+      const auto id = static_cast<std::uint32_t>(ArgInt(e, "task"));
+      EnsureTask(profile.tasks, id);
+      profile.tasks[id].checkpoint += e.dur;
+    }
+  }
+
+  std::size_t executed = 0;
+  for (const TaskNode& node : profile.tasks) {
+    executed += node.has_span ? 1 : 0;
+  }
+  profile.complete = profile.status == "ok" && profile.dropped_events == 0 &&
+                     executed == profile.expected_tasks;
+
+  // Anchor: the last-finishing executed task. Ties break to the *largest* id:
+  // the executor commits simultaneous completions in ascending task order, so
+  // the largest id is the completion that actually finished the job — e.g. a
+  // zero-duration sink tying with its producer must still anchor the path.
+  const TaskNode* anchor = nullptr;
+  for (const TaskNode& node : profile.tasks) {
+    if (node.has_span &&
+        (anchor == nullptr || node.finish > anchor->finish ||
+         (node.finish == anchor->finish && node.task > anchor->task))) {
+      anchor = &node;
+    }
+  }
+  if (anchor == nullptr) {
+    // Nothing executed (admission-time failure): all latency is unexplained.
+    profile.attribution.unattributed = profile.makespan;
+    return profile;
+  }
+
+  // Backward walk: from the anchor, repeatedly step to the predecessor whose
+  // completion + handover gated this task's arrival — that edge is what the
+  // task was actually waiting for, so it bounds the makespan.
+  std::vector<const TaskNode*> path;
+  std::set<std::uint32_t> visited;
+  const TaskNode* cur = anchor;
+  while (cur != nullptr && visited.insert(cur->task).second) {
+    path.push_back(cur);
+    const TaskNode* critical_pred = nullptr;
+    SimTime best_wake;
+    for (const TaskNode::Edge& edge : cur->preds) {
+      const TaskNode& p = profile.tasks[edge.src];
+      if (!p.has_span) {
+        profile.complete = false;  // edge into a missing span: truncated ring
+        continue;
+      }
+      const SimTime wake = p.finish + edge.handover;
+      if (critical_pred == nullptr || wake > best_wake ||
+          (wake == best_wake && p.task < critical_pred->task)) {
+        critical_pred = &p;
+        best_wake = wake;
+      }
+    }
+    cur = critical_pred;
+  }
+  std::reverse(path.begin(), path.end());
+
+  // Tile the timeline. Each step owns [prev finish, own finish); the buckets
+  // below tile that segment exactly, so the running sum telescopes from the
+  // source's arrival to the anchor's finish. Whatever the walk cannot see —
+  // submit -> source arrival, anchor finish -> job finish (both zero for a
+  // healthy profile), or clamped inconsistencies from a truncated ring — is
+  // the residual, kept in `unattributed` so Sum() == makespan axiomatically.
+  Attribution& attr = profile.attribution;
+  SimTime prev_finish;
+  bool have_prev = false;
+  for (const TaskNode* node : path) {
+    CriticalStep step;
+    step.task = node->task;
+    step.name = node->name;
+    step.transfer_in = have_prev ? Max0(node->arrival - prev_finish) : SimDuration{};
+    step.stall = Max0(node->ready - node->arrival);
+    step.queue = Max0(node->start - node->ready);
+    step.checkpoint = std::min(Max0(node->checkpoint), Max0(node->duration));
+    step.compute = Max0(node->duration - step.checkpoint);
+    attr.transfer += step.transfer_in;
+    attr.stall += step.stall;
+    attr.queue += step.queue;
+    attr.checkpoint += step.checkpoint;
+    attr.compute += step.compute;
+    profile.tasks[node->task].on_critical_path = true;
+    profile.critical_path.push_back(std::move(step));
+    prev_finish = node->finish;
+    have_prev = true;
+  }
+  attr.unattributed = profile.makespan - (attr.compute + attr.transfer + attr.queue +
+                                          attr.stall + attr.checkpoint);
+  if (profile.complete && attr.unattributed.ns != 0) {
+    // A successful, fully-traced job must be fully explained; a residual
+    // means the trace contract was violated somewhere upstream.
+    profile.complete = false;
+  }
+  return profile;
+}
+
+std::string AttributionFingerprint(const JobProfile& profile) {
+  std::string fp = "job=" + std::to_string(profile.job) + " name=" + profile.name +
+                   " status=" + profile.status +
+                   " makespan=" + std::to_string(profile.makespan.ns) + " buckets=" +
+                   std::to_string(profile.attribution.compute.ns) + "," +
+                   std::to_string(profile.attribution.transfer.ns) + "," +
+                   std::to_string(profile.attribution.queue.ns) + "," +
+                   std::to_string(profile.attribution.stall.ns) + "," +
+                   std::to_string(profile.attribution.checkpoint.ns) + "," +
+                   std::to_string(profile.attribution.unattributed.ns) + " path=";
+  for (const CriticalStep& step : profile.critical_path) {
+    fp += std::to_string(step.task) + ":" + step.name + ":" +
+          std::to_string(step.transfer_in.ns) + ":" + std::to_string(step.stall.ns) +
+          ":" + std::to_string(step.queue.ns) + ":" + std::to_string(step.compute.ns) +
+          ":" + std::to_string(step.checkpoint.ns) + ";";
+  }
+  return fp;
+}
+
+}  // namespace memflow::telemetry::analyze

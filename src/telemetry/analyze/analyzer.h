@@ -1,0 +1,117 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Critical-path profiler over the shared trace stream (DESIGN.md §11): turns
+// the raw event ring into answers. The runtime already emits everything the
+// analysis needs — task spans carry arrival/ready/start/duration, flow
+// arrows carry the executed DAG edges with their handover costs, checkpoint
+// spans carry the I/O charged inside a task, and job spans bound the
+// makespan. This module reconstructs each job's task/flow DAG *from the
+// trace alone* (no runtime introspection), walks the chain that bounded the
+// makespan, and attributes every nanosecond of job latency to one of
+//
+//   compute     — critical tasks' body time, minus checkpoint I/O,
+//   transfer    — handover gaps between critical producer and consumer,
+//   queue       — ready -> dispatch wait behind other work on the device,
+//   stall       — arrival -> ready: failed attempts, retry backoff,
+//                 re-placement after device faults,
+//   checkpoint  — checkpoint save/restore I/O charged inside critical tasks,
+//   unattributed— the residual; zero for a complete, successful profile
+//                 (failed jobs and truncated rings land here),
+//
+// such that the six buckets sum *exactly* to the makespan — the contract the
+// sim oracle's `sim-attribution` invariant enforces at every worker count.
+
+#ifndef MEMFLOW_TELEMETRY_ANALYZE_ANALYZER_H_
+#define MEMFLOW_TELEMETRY_ANALYZE_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "telemetry/trace.h"
+
+namespace memflow::telemetry::analyze {
+
+// Where the critical-path nanoseconds went. Sum() == makespan, always.
+struct Attribution {
+  SimDuration compute;
+  SimDuration transfer;
+  SimDuration queue;
+  SimDuration stall;
+  SimDuration checkpoint;
+  SimDuration unattributed;
+
+  SimDuration Sum() const {
+    return compute + transfer + queue + stall + checkpoint + unattributed;
+  }
+};
+
+// One executed task, reconstructed from its trace span and the flow arrows
+// pointing at it.
+struct TaskNode {
+  std::uint32_t task = 0;
+  std::string name;
+  std::uint64_t device_track = 0;  // trace lane == compute device id
+  SimTime arrival;                 // first enqueue (all inputs delivered)
+  SimTime ready;                   // last enqueue (== arrival unless retried)
+  SimTime start;                   // dispatch of the successful attempt
+  SimTime finish;                  // start + charged duration
+  SimDuration duration;            // charged simulated time of the body
+  SimDuration checkpoint;          // checkpoint I/O included in `duration`
+  SimDuration handover;            // cost of moving the output onward
+  int attempts = 1;
+  bool zero_copy = true;
+  bool on_critical_path = false;
+  bool has_span = false;           // false: edge mentioned it, span missing
+
+  struct Edge {
+    std::uint32_t src = 0;
+    SimDuration handover;          // producer's handover cost on this edge
+    std::string kind;              // transfer | share | control | empty
+  };
+  std::vector<Edge> preds;
+};
+
+// One hop of the critical path: the task plus the edge that delivered its
+// last input. The five per-step buckets tile [critical-pred finish, finish].
+struct CriticalStep {
+  std::uint32_t task = 0;
+  std::string name;
+  SimDuration transfer_in;  // critical predecessor's finish -> arrival
+  SimDuration stall;        // arrival -> ready
+  SimDuration queue;        // ready -> start
+  SimDuration compute;      // duration - checkpoint
+  SimDuration checkpoint;
+};
+
+struct JobProfile {
+  std::uint32_t job = 0;
+  std::string name;
+  std::string status;        // "ok" | "failed"
+  bool complete = false;     // ok, every task span present, nothing dropped
+  SimTime submitted;
+  SimDuration makespan;
+  std::uint64_t dropped_events = 0;  // ring overwrites while this was traced
+  std::size_t expected_tasks = 0;    // from the job span; executed may be fewer
+  std::vector<TaskNode> tasks;       // indexed by task id
+  std::vector<CriticalStep> critical_path;  // source -> sink order
+  Attribution attribution;
+};
+
+// Job ids with a completed job span in the buffer, ascending.
+std::vector<std::uint32_t> TracedJobs(const TraceBuffer& tracer);
+
+// Reconstructs `job`'s profile from the trace stream. Fails only if the
+// buffer holds no job span for `job` (job unfinished, or span overwritten).
+Result<JobProfile> AnalyzeJob(const TraceBuffer& tracer, std::uint32_t job);
+
+// Deterministic digest of the critical path and attribution, built from task
+// ids/names and virtual-time values only — must be identical across host
+// worker counts for the same workload (the executor contract).
+std::string AttributionFingerprint(const JobProfile& profile);
+
+}  // namespace memflow::telemetry::analyze
+
+#endif  // MEMFLOW_TELEMETRY_ANALYZE_ANALYZER_H_

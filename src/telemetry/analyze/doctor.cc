@@ -1,0 +1,366 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/analyze/doctor.h"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+#include <utility>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "telemetry/export.h"
+
+namespace memflow::telemetry::analyze {
+
+namespace {
+
+std::int64_t ArgInt(const TraceEvent& e, std::string_view key, std::int64_t fallback = 0) {
+  for (const TraceArg& a : e.args) {
+    if (a.key == key) {
+      std::int64_t v = fallback;
+      (void)std::from_chars(a.value.data(), a.value.data() + a.value.size(), v);
+      return v;
+    }
+  }
+  return fallback;
+}
+
+double Percent(SimDuration part, SimDuration whole) {
+  if (whole.ns <= 0) {
+    return 0;
+  }
+  return 100.0 * static_cast<double>(part.ns) / static_cast<double>(whole.ns);
+}
+
+std::string PercentCell(SimDuration part, SimDuration whole) {
+  return FormatDouble(Percent(part, whole), 1) + "%";
+}
+
+// The last recorded decision per task is the one that stuck (admission, then
+// any fault-driven replans).
+const rts::PlacementDecision* LastDecision(const std::vector<rts::PlacementDecision>& log,
+                                           std::uint32_t task) {
+  const rts::PlacementDecision* found = nullptr;
+  for (const rts::PlacementDecision& d : log) {
+    if (d.task.value == task) {
+      found = &d;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+std::vector<WhatIf> ComputeWhatIfs(const JobProfile& profile, const rts::Runtime* runtime,
+                                   std::size_t max_items) {
+  std::vector<WhatIf> out;
+  SimDuration checkpoint_total;
+  for (const CriticalStep& step : profile.critical_path) {
+    if (step.transfer_in.ns > 0) {
+      out.push_back({"make the handover into '" + step.name +
+                         "' zero-copy (co-place producer and consumer, or share "
+                         "instead of transferring)",
+                     step.transfer_in});
+    }
+    if (step.queue.ns > 0) {
+      out.push_back({"drain the device queue ahead of '" + step.name +
+                         "' (add capacity or spread placement)",
+                     step.queue});
+    }
+    if (step.stall.ns > 0) {
+      out.push_back({"avoid the retry/re-placement stall before '" + step.name +
+                         "' (failed attempts + backoff)",
+                     step.stall});
+    }
+    checkpoint_total += step.checkpoint;
+  }
+  if (checkpoint_total.ns > 0) {
+    out.push_back({"skip checkpointing on the critical path", checkpoint_total});
+  }
+
+  // Counterfactual re-placement through the runtime's own cost model: would
+  // any critical task have finished sooner somewhere else?
+  const dataflow::Job* job = nullptr;
+  if (runtime != nullptr) {
+    auto got = runtime->GetJob(dataflow::JobId(profile.job));
+    job = got.ok() ? *got : nullptr;
+  }
+  if (job != nullptr) {
+    const std::vector<rts::PlacementDecision>& log =
+        runtime->PlacementLog(dataflow::JobId(profile.job));
+    const rts::CostModel& model = runtime->cost_model();
+    const simhw::Cluster& cluster = runtime->cluster();
+    for (const CriticalStep& step : profile.critical_path) {
+      if (step.task >= job->num_tasks()) {
+        continue;
+      }
+      const rts::PlacementDecision* decision = LastDecision(log, step.task);
+      const std::uint64_t input_bytes =
+          decision != nullptr ? decision->explain.input_bytes_estimate : 0;
+      const dataflow::TaskProperties& props =
+          job->task(dataflow::TaskId(step.task)).props;
+      const auto actual =
+          simhw::ComputeDeviceId(static_cast<std::uint32_t>(profile.tasks[step.task].device_track));
+      auto actual_est = model.Estimate(props, input_bytes, actual);
+      if (!actual_est.ok()) {
+        continue;
+      }
+      WhatIf best;
+      for (const simhw::ComputeDeviceId alt : cluster.AllComputeDevices()) {
+        if (alt == actual || cluster.compute(alt).failed()) {
+          continue;
+        }
+        auto est = model.Estimate(props, input_bytes, alt);
+        if (!est.ok() || est->total >= actual_est->total) {
+          continue;
+        }
+        const SimDuration saved = actual_est->total - est->total;
+        if (saved > best.estimated_savings) {
+          best = {"re-place '" + step.name + "' on " + cluster.compute(alt).name() +
+                      " (cost model: " + HumanDuration(est->total) + " vs " +
+                      HumanDuration(actual_est->total) + " on " +
+                      cluster.compute(actual).name() + ")",
+                  saved};
+        }
+      }
+      if (best.estimated_savings.ns > 0) {
+        out.push_back(std::move(best));
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const WhatIf& a, const WhatIf& b) {
+    return a.estimated_savings > b.estimated_savings;
+  });
+  if (out.size() > max_items) {
+    out.resize(max_items);
+  }
+  return out;
+}
+
+std::string RenderJobDoctor(const JobProfile& profile, const std::vector<WhatIf>& what_ifs) {
+  std::string out = "== job doctor: " + profile.name + " (job #" +
+                    std::to_string(profile.job) + ") ==========================\n";
+  if (profile.dropped_events > 0) {
+    out += "WARNING: " + WithThousands(profile.dropped_events) +
+           " spans dropped — profile incomplete\n";
+  }
+  out += "status          " + profile.status + "\n";
+  out += "makespan        " + HumanDuration(profile.makespan) + "\n";
+  std::size_t executed = 0;
+  for (const TaskNode& t : profile.tasks) {
+    executed += t.has_span ? 1 : 0;
+  }
+  out += "tasks executed  " + std::to_string(executed) + " of " +
+         std::to_string(profile.expected_tasks) + "\n";
+
+  out += "critical path   ";
+  for (std::size_t i = 0; i < profile.critical_path.size(); ++i) {
+    out += (i == 0 ? "" : " -> ") + profile.critical_path[i].name;
+  }
+  out += "  (" + std::to_string(profile.critical_path.size()) + " of " +
+         std::to_string(profile.expected_tasks) + " tasks)\n\n";
+
+  const Attribution& a = profile.attribution;
+  out += "where the makespan went (buckets sum exactly to makespan):\n";
+  TextTable buckets({"Bucket", "Time", "Share"});
+  buckets.AddRow({"compute", HumanDuration(a.compute), PercentCell(a.compute, profile.makespan)});
+  buckets.AddRow(
+      {"transfer", HumanDuration(a.transfer), PercentCell(a.transfer, profile.makespan)});
+  buckets.AddRow(
+      {"queue-wait", HumanDuration(a.queue), PercentCell(a.queue, profile.makespan)});
+  buckets.AddRow({"stall", HumanDuration(a.stall), PercentCell(a.stall, profile.makespan)});
+  buckets.AddRow({"checkpoint", HumanDuration(a.checkpoint),
+                  PercentCell(a.checkpoint, profile.makespan)});
+  buckets.AddRow({"unattributed", HumanDuration(a.unattributed),
+                  PercentCell(a.unattributed, profile.makespan)});
+  out += buckets.Render();
+
+  // Rank every (bucket, critical task) contribution; the top three are "the
+  // reasons this job is slow".
+  struct Reason {
+    std::string text;
+    SimDuration cost;
+  };
+  std::vector<Reason> reasons;
+  for (const CriticalStep& step : profile.critical_path) {
+    if (step.compute.ns > 0) {
+      reasons.push_back({"compute in '" + step.name + "'", step.compute});
+    }
+    if (step.transfer_in.ns > 0) {
+      reasons.push_back({"handover copy into '" + step.name + "'", step.transfer_in});
+    }
+    if (step.queue.ns > 0) {
+      reasons.push_back({"queue-wait before '" + step.name + "'", step.queue});
+    }
+    if (step.stall.ns > 0) {
+      reasons.push_back({"retry/re-placement stall before '" + step.name + "'", step.stall});
+    }
+    if (step.checkpoint.ns > 0) {
+      reasons.push_back({"checkpoint I/O in '" + step.name + "'", step.checkpoint});
+    }
+  }
+  if (a.unattributed.ns > 0) {
+    reasons.push_back({"unattributed (failed tasks / truncated trace)", a.unattributed});
+  }
+  std::stable_sort(reasons.begin(), reasons.end(),
+                   [](const Reason& x, const Reason& y) { return x.cost > y.cost; });
+
+  out += "\ntop " + std::to_string(std::min<std::size_t>(3, reasons.size())) +
+         " reasons this job is slow:\n";
+  for (std::size_t i = 0; i < reasons.size() && i < 3; ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + reasons[i].text + " — " +
+           HumanDuration(reasons[i].cost) + " (" +
+           FormatDouble(Percent(reasons[i].cost, profile.makespan), 1) +
+           "% of makespan)\n";
+  }
+
+  if (!what_ifs.empty()) {
+    out += "\nwhat-if (largest predicted savings first):\n";
+    for (std::size_t i = 0; i < what_ifs.size(); ++i) {
+      out += "  " + std::to_string(i + 1) + ". " + what_ifs[i].description +
+             " — saves up to " + HumanDuration(what_ifs[i].estimated_savings) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ExportJobProfileJson(const JobProfile& profile) {
+  const Attribution& a = profile.attribution;
+  std::string json = "{\"job\":" + std::to_string(profile.job) +
+                     ",\"name\":" + JsonQuote(profile.name) +
+                     ",\"status\":" + JsonQuote(profile.status) +
+                     ",\"complete\":" + (profile.complete ? "true" : "false") +
+                     ",\"submitted_ns\":" + std::to_string(profile.submitted.ns) +
+                     ",\"makespan_ns\":" + std::to_string(profile.makespan.ns) +
+                     ",\"dropped_events\":" + std::to_string(profile.dropped_events) +
+                     ",\"attribution\":{\"compute_ns\":" + std::to_string(a.compute.ns) +
+                     ",\"transfer_ns\":" + std::to_string(a.transfer.ns) +
+                     ",\"queue_ns\":" + std::to_string(a.queue.ns) +
+                     ",\"stall_ns\":" + std::to_string(a.stall.ns) +
+                     ",\"checkpoint_ns\":" + std::to_string(a.checkpoint.ns) +
+                     ",\"unattributed_ns\":" + std::to_string(a.unattributed.ns) +
+                     ",\"sum_ns\":" + std::to_string(a.Sum().ns) + "}";
+  json += ",\"critical_path\":[";
+  for (std::size_t i = 0; i < profile.critical_path.size(); ++i) {
+    const CriticalStep& s = profile.critical_path[i];
+    json += (i == 0 ? "" : ",");
+    json += "{\"task\":" + std::to_string(s.task) + ",\"name\":" + JsonQuote(s.name) +
+            ",\"transfer_in_ns\":" + std::to_string(s.transfer_in.ns) +
+            ",\"stall_ns\":" + std::to_string(s.stall.ns) +
+            ",\"queue_ns\":" + std::to_string(s.queue.ns) +
+            ",\"compute_ns\":" + std::to_string(s.compute.ns) +
+            ",\"checkpoint_ns\":" + std::to_string(s.checkpoint.ns) + "}";
+  }
+  json += "],\"tasks\":[";
+  bool first = true;
+  for (const TaskNode& t : profile.tasks) {
+    if (!t.has_span) {
+      continue;
+    }
+    json += (first ? "" : ",");
+    first = false;
+    json += "{\"task\":" + std::to_string(t.task) + ",\"name\":" + JsonQuote(t.name) +
+            ",\"device\":" + std::to_string(t.device_track) +
+            ",\"arrival_ns\":" + std::to_string(t.arrival.ns) +
+            ",\"ready_ns\":" + std::to_string(t.ready.ns) +
+            ",\"start_ns\":" + std::to_string(t.start.ns) +
+            ",\"finish_ns\":" + std::to_string(t.finish.ns) +
+            ",\"duration_ns\":" + std::to_string(t.duration.ns) +
+            ",\"checkpoint_ns\":" + std::to_string(t.checkpoint.ns) +
+            ",\"handover_ns\":" + std::to_string(t.handover.ns) +
+            ",\"attempts\":" + std::to_string(t.attempts) +
+            ",\"zero_copy\":" + (t.zero_copy ? "true" : "false") +
+            ",\"critical\":" + (t.on_critical_path ? "true" : "false") + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+std::string ExportHighlightedTraceJson(const TraceBuffer& tracer, const JobProfile& profile) {
+  std::set<std::uint32_t> critical_tasks;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> critical_edges;
+  for (std::size_t i = 0; i < profile.critical_path.size(); ++i) {
+    critical_tasks.insert(profile.critical_path[i].task);
+    if (i + 1 < profile.critical_path.size()) {
+      critical_edges.insert({profile.critical_path[i].task, profile.critical_path[i + 1].task});
+    }
+  }
+  TraceExportOptions options;
+  options.job = profile.job;
+  options.process_name = "memflow job " + profile.name;
+  options.highlight = [critical_tasks, critical_edges,
+                       job = profile.job](const TraceEvent& e) {
+    if (e.job != job) {
+      return false;
+    }
+    if (e.type == TraceEventType::kSpan && e.category == "task") {
+      return critical_tasks.contains(static_cast<std::uint32_t>(ArgInt(e, "task", -1)));
+    }
+    if (e.type == TraceEventType::kFlowBegin && e.category == "flow") {
+      return critical_edges.contains(
+          {static_cast<std::uint32_t>(ArgInt(e, "src", -1)),
+           static_cast<std::uint32_t>(ArgInt(e, "dst", -1))});
+    }
+    return false;
+  };
+  return ExportTraceJson(tracer, options);
+}
+
+std::string RenderPlacementDecision(const rts::PlacementDecision& decision,
+                                    const simhw::Cluster& cluster) {
+  std::string out = "placement of '" + decision.task_name + "' (policy " +
+                    decision.explain.policy + ", est. input " +
+                    HumanBytes(decision.explain.input_bytes_estimate) + ", t=" +
+                    HumanDuration(SimDuration(decision.at.ns)) +
+                    (decision.replan ? ", replan after failure" : "") + ")\n";
+  TextTable table({"Device", "Outcome", "Backlog", "Compute", "Memory", "Score", "Why"});
+  for (const rts::PlacementCandidate& c : decision.explain.candidates) {
+    const bool scored = c.outcome == rts::CandidateOutcome::kChosen ||
+                        c.outcome == rts::CandidateOutcome::kRankedLoser;
+    table.AddRow({cluster.compute(c.device).name(),
+                  std::string(rts::CandidateOutcomeName(c.outcome)),
+                  scored ? HumanDuration(SimDuration(static_cast<std::int64_t>(c.backlog_ns)))
+                         : "-",
+                  scored ? HumanDuration(SimDuration(static_cast<std::int64_t>(c.compute_ns)))
+                         : "-",
+                  scored ? HumanDuration(SimDuration(static_cast<std::int64_t>(c.memory_ns)))
+                         : "-",
+                  scored ? HumanDuration(SimDuration(static_cast<std::int64_t>(c.score))) : "-",
+                  c.detail});
+  }
+  return out + table.Render();
+}
+
+std::string RenderRegionExplain(const region::RegionPlacementExplain& explain,
+                                const simhw::Cluster& cluster) {
+  std::string out = "region #" + std::to_string(explain.region.value) + " (" +
+                    HumanBytes(explain.size) + ")";
+  if (explain.pinned) {
+    out += ", pinned";
+  } else if (explain.observer.valid()) {
+    out += ", observer " + cluster.compute(explain.observer).name();
+  }
+  if (explain.latency_relaxed) {
+    out += ", latency relaxed to " +
+           std::string(region::LatencyClassName(explain.effective_latency));
+  }
+  out += "\n";
+  TextTable table({"Device", "Verdict", "Expected cost", "Util", "Score", "Why"});
+  for (const region::RegionCandidate& c : explain.candidates) {
+    const bool scored = c.verdict == region::DeviceVerdict::kChosen ||
+                        c.verdict == region::DeviceVerdict::kRankedLoser;
+    table.AddRow(
+        {cluster.memory(c.device).name(), std::string(region::DeviceVerdictName(c.verdict)),
+         scored ? HumanDuration(SimDuration(static_cast<std::int64_t>(c.expected_cost_ns)))
+                : "-",
+         scored ? FormatDouble(100.0 * c.utilization, 1) + "%" : "-",
+         scored ? HumanDuration(SimDuration(static_cast<std::int64_t>(c.score))) : "-",
+         c.detail});
+  }
+  return out + table.Render();
+}
+
+}  // namespace memflow::telemetry::analyze

@@ -1,0 +1,69 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// The consumer-facing half of the critical-path analyzer (DESIGN.md §11):
+// what-if counterfactuals replayed through the runtime's own cost model, the
+// "job doctor" text report ("top 3 reasons this job is slow"), a stable JSON
+// export of the full profile, and a Chrome trace render with the critical
+// path highlighted.
+
+#ifndef MEMFLOW_TELEMETRY_ANALYZE_DOCTOR_H_
+#define MEMFLOW_TELEMETRY_ANALYZE_DOCTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rts/runtime.h"
+#include "telemetry/analyze/analyzer.h"
+
+namespace memflow::telemetry::analyze {
+
+// One counterfactual: a concrete change and the makespan reduction it is
+// predicted to buy. `estimated_savings` is an upper bound — removing one
+// bottleneck can expose another path.
+struct WhatIf {
+  std::string description;
+  SimDuration estimated_savings;
+};
+
+// Ranks counterfactuals by estimated savings, largest first, at most
+// `max_items`. Structural what-ifs (zero-copy a critical handover, drain a
+// queue, avoid a retry stall, skip checkpointing) come from the profile
+// alone. When `runtime` is non-null, each critical task is additionally
+// *re-placed through the runtime's cost model*: every alternative compute
+// device is re-estimated with the same inputs the placement policy saw, and
+// a predicted win becomes a "re-place task X on device Y" counterfactual.
+std::vector<WhatIf> ComputeWhatIfs(const JobProfile& profile,
+                                   const rts::Runtime* runtime = nullptr,
+                                   std::size_t max_items = 5);
+
+// "Top 3 reasons this job is slow": the doctor report. Leads with a
+// WARNING banner when the trace ring dropped events (profile incomplete),
+// then the makespan attribution table, the critical path, the ranked
+// slowness reasons, and the what-if list.
+std::string RenderJobDoctor(const JobProfile& profile,
+                            const std::vector<WhatIf>& what_ifs = {});
+
+// Stable machine-readable JSON document of the whole profile: attribution
+// (with the sums-to-makespan contract made explicit), the critical path,
+// and every executed task.
+std::string ExportJobProfileJson(const JobProfile& profile);
+
+// Chrome trace JSON of the profile's job with the critical path highlighted:
+// critical task spans and the flow arrows between consecutive critical tasks
+// are colored and tagged `"critical":true`.
+std::string ExportHighlightedTraceJson(const TraceBuffer& tracer, const JobProfile& profile);
+
+// Human rendering of one recorded task-placement decision (ranked candidate
+// table with per-term cost-model scores and loser reasons).
+std::string RenderPlacementDecision(const rts::PlacementDecision& decision,
+                                    const simhw::Cluster& cluster);
+
+// Human rendering of a region placement explanation (RegionManager /
+// Runtime::ExplainPlacement).
+std::string RenderRegionExplain(const region::RegionPlacementExplain& explain,
+                                const simhw::Cluster& cluster);
+
+}  // namespace memflow::telemetry::analyze
+
+#endif  // MEMFLOW_TELEMETRY_ANALYZE_DOCTOR_H_

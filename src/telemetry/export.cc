@@ -35,6 +35,15 @@ std::string RenderArgs(const std::vector<TraceArg>& args) {
 
 std::string ExportTraceJson(const TraceBuffer& tracer, std::uint32_t job,
                             std::string_view process_name) {
+  TraceExportOptions options;
+  options.job = job;
+  options.process_name = std::string(process_name);
+  return ExportTraceJson(tracer, options);
+}
+
+std::string ExportTraceJson(const TraceBuffer& tracer, const TraceExportOptions& options) {
+  const std::uint32_t job = options.job;
+  const std::string_view process_name = options.process_name;
   const std::vector<TraceEvent> events = tracer.Events();
   const std::map<std::uint64_t, std::string> track_names = tracer.TrackNames();
 
@@ -70,10 +79,14 @@ std::string ExportTraceJson(const TraceBuffer& tracer, std::uint32_t job,
     if (job != 0 && e.job != job) {
       continue;
     }
+    const bool highlighted = options.highlight && options.highlight(e);
     std::string entry = "{\"name\":" + JsonQuote(e.name) + ",\"cat\":" +
                         JsonQuote(e.category.empty() ? "event" : e.category) +
                         ",\"pid\":1,\"tid\":" + std::to_string(e.track) +
                         ",\"ts\":" + Micros(e.ts.ns);
+    if (highlighted) {
+      entry += ",\"cname\":\"terrible\"";  // Chrome trace reserved bright red
+    }
     switch (e.type) {
       case TraceEventType::kSpan:
         entry += ",\"ph\":\"X\",\"dur\":" + Micros(e.dur.ns);
@@ -88,8 +101,12 @@ std::string ExportTraceJson(const TraceBuffer& tracer, std::uint32_t job,
         entry += ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" + std::to_string(e.flow_id);
         break;
     }
-    if (!e.args.empty()) {
-      entry += ",\"args\":" + RenderArgs(e.args);
+    std::vector<TraceArg> args = e.args;
+    if (highlighted) {
+      args.push_back({"critical", "true", /*quoted=*/false});
+    }
+    if (!args.empty()) {
+      entry += ",\"args\":" + RenderArgs(args);
     }
     entry += '}';
     emit(entry);
@@ -139,9 +156,23 @@ std::string RenderTraceSummary(const TraceBuffer& tracer) {
   }
 
   std::string out = "== trace summary (cross-job) ====================================\n";
+  if (tracer.dropped() > 0) {
+    out += "WARNING: " + WithThousands(tracer.dropped()) +
+           " spans dropped — profile incomplete\n";
+  }
   out += "events buffered     " + WithThousands(events.size()) + "\n";
   out += "events emitted      " + WithThousands(tracer.total_emitted()) + "\n";
-  out += "events dropped      " + WithThousands(tracer.dropped()) + "\n\n";
+  out += "events dropped      " + WithThousands(tracer.dropped()) + "\n";
+  if (tracer.dropped() > 0) {
+    const std::map<std::uint64_t, std::string> names = tracer.TrackNames();
+    for (const auto& [track, count] : tracer.DroppedByTrack()) {
+      const auto it = names.find(track);
+      const std::string name =
+          it != names.end() ? it->second : "track " + std::to_string(track);
+      out += "  dropped on " + name + "  " + WithThousands(count) + "\n";
+    }
+  }
+  out += "\n";
 
   TextTable categories({"Category", "Spans", "Span time", "Instants", "Flow events"});
   for (const auto& [name, agg] : by_category) {
@@ -160,6 +191,27 @@ std::string RenderTraceSummary(const TraceBuffer& tracer) {
     out += jobs.Render();
   }
   return out;
+}
+
+void PublishTraceHealth(const TraceBuffer& tracer, Registry& registry) {
+  registry
+      .GetGauge("trace_buffer_events_emitted", "Events emitted into the trace ring")
+      ->Set(static_cast<double>(tracer.total_emitted()));
+  registry
+      .GetGauge("trace_buffer_events_dropped_total",
+                "Events overwritten by trace ring wraparound")
+      ->Set(static_cast<double>(tracer.dropped()));
+  const std::map<std::uint64_t, std::string> names = tracer.TrackNames();
+  for (const auto& [track, count] : tracer.DroppedByTrack()) {
+    const auto it = names.find(track);
+    const std::string name =
+        it != names.end() ? it->second : "track " + std::to_string(track);
+    registry
+        .GetGauge("trace_buffer_events_dropped",
+                  "Events overwritten by trace ring wraparound, per track",
+                  {{"track", name}})
+        ->Set(static_cast<double>(count));
+  }
 }
 
 }  // namespace memflow::telemetry

@@ -10,6 +10,7 @@
 #define MEMFLOW_TELEMETRY_EXPORT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -18,16 +19,36 @@
 
 namespace memflow::telemetry {
 
+struct TraceExportOptions {
+  // != 0 keeps only that job's events (plus the flows between its tasks).
+  std::uint32_t job = 0;
+  std::string process_name = "memflow";
+  // When set, events for which this returns true are highlighted in the
+  // rendered trace (colored + tagged `"critical":true`). The critical-path
+  // analyzer (telemetry/analyze) uses this to light up the path that bounds
+  // a job's makespan.
+  std::function<bool(const TraceEvent&)> highlight;
+};
+
 // Renders the buffered events as Chrome trace-event JSON (chrome://tracing /
 // Perfetto). `job` != 0 keeps only that job's events (plus the flows between
 // its tasks); 0 exports everything, including job-unscoped events such as
 // migrations. Tracks named via TraceBuffer::SetTrackName become thread lanes.
 std::string ExportTraceJson(const TraceBuffer& tracer, std::uint32_t job = 0,
                             std::string_view process_name = "memflow");
+std::string ExportTraceJson(const TraceBuffer& tracer, const TraceExportOptions& options);
 
 // Cross-job aggregate view: per-category span counts/total durations and
-// per-job event counts, plus ring-buffer health (dropped events).
+// per-job event counts, plus ring-buffer health (dropped events). When the
+// ring has wrapped, the summary leads with a WARNING banner and a per-track
+// dropped table instead of silently aggregating a truncated stream.
 std::string RenderTraceSummary(const TraceBuffer& tracer);
+
+// Publishes ring-buffer health into `registry` as gauges so the Prometheus /
+// JSON metric exports carry it: `trace_buffer_events_dropped` per track
+// (label `track`) plus unlabeled totals for emitted/buffered/dropped. Call
+// before Registry::Snapshot(); gauges overwrite, so repeat calls are cheap.
+void PublishTraceHealth(const TraceBuffer& tracer, Registry& registry);
 
 }  // namespace memflow::telemetry
 

@@ -16,6 +16,7 @@ void TraceBuffer::Emit(TraceEvent event) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
+    dropped_by_track_[ring_[head_].track]++;
     ring_[head_] = std::move(event);
     head_ = (head_ + 1) % capacity_;
   }
@@ -47,11 +48,17 @@ std::uint64_t TraceBuffer::dropped() const {
   return total > capacity_ ? total - capacity_ : 0;
 }
 
+std::map<std::uint64_t, std::uint64_t> TraceBuffer::DroppedByTrack() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_by_track_;
+}
+
 void TraceBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   head_ = 0;
   total_.store(0, std::memory_order_relaxed);
+  dropped_by_track_.clear();
 }
 
 TraceBuffer& DefaultTracer() {

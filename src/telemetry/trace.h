@@ -76,6 +76,9 @@ class TraceBuffer {
   std::uint64_t total_emitted() const { return total_.load(std::memory_order_relaxed); }
   // Events overwritten by ring wraparound.
   std::uint64_t dropped() const;
+  // Overwritten events per track of the *overwritten* event, so exporters and
+  // analyzers can say which lanes of a truncated profile are incomplete.
+  std::map<std::uint64_t, std::uint64_t> DroppedByTrack() const;
 
   void Clear();
 
@@ -87,6 +90,7 @@ class TraceBuffer {
   std::atomic<std::uint64_t> total_{0};
   std::atomic<std::uint64_t> next_flow_{1};
   std::map<std::uint64_t, std::string> track_names_;
+  std::map<std::uint64_t, std::uint64_t> dropped_by_track_;
 };
 
 // Process-wide default tracer for components not handed an explicit one.

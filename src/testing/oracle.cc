@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "telemetry/analyze/analyzer.h"
+
 namespace memflow::testing {
 namespace {
 
@@ -223,6 +225,64 @@ void CheckPostRelease(rts::Runtime& rt, const OracleScope& scope,
               " bytes, baseline " + std::to_string(baseline));
     }
   }
+}
+
+std::string CheckAttribution(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
+                             std::vector<Violation>* out) {
+  namespace analyze = telemetry::analyze;
+  std::string fingerprint;
+  for (const dataflow::JobId id : jobs) {
+    const rts::JobReport& report = rt.report(id);
+    auto profile = analyze::AnalyzeJob(rt.tracer(), id.value);
+    if (!profile.ok()) {
+      Add(out, kInvAttribution,
+          "job " + report.name + ": profile unavailable: " + profile.status().ToString());
+      continue;
+    }
+    if (profile->makespan.ns != report.Makespan().ns) {
+      Add(out, kInvAttribution,
+          "job " + report.name + ": traced makespan " +
+              std::to_string(profile->makespan.ns) + "ns != reported " +
+              std::to_string(report.Makespan().ns) + "ns");
+    }
+    if (profile->attribution.Sum().ns != report.Makespan().ns) {
+      Add(out, kInvAttribution,
+          "job " + report.name + ": attribution sums to " +
+              std::to_string(profile->attribution.Sum().ns) + "ns, makespan is " +
+              std::to_string(report.Makespan().ns) + "ns");
+    }
+    if (report.status.ok() && profile->dropped_events == 0) {
+      if (!profile->complete) {
+        Add(out, kInvAttribution,
+            "job " + report.name +
+                ": successful fully-traced job reconstructed incomplete");
+      }
+      if (profile->attribution.unattributed.ns != 0) {
+        Add(out, kInvAttribution,
+            "job " + report.name + ": " +
+                std::to_string(profile->attribution.unattributed.ns) +
+                "ns of a successful job unattributed");
+      }
+      if (profile->critical_path.empty() && !report.tasks.empty()) {
+        Add(out, kInvAttribution, "job " + report.name + ": empty critical path");
+      }
+    }
+    fingerprint += analyze::AttributionFingerprint(*profile) + "\n";
+  }
+  // Placement explainability half of the contract: every region still alive
+  // (retained job outputs at this point) must rank at least its own device.
+  for (const region::RegionId r : rt.regions().LiveRegions()) {
+    auto explain = rt.ExplainPlacement(r);
+    if (!explain.ok()) {
+      Add(out, kInvAttribution,
+          "region " + std::to_string(r.value) +
+              ": ExplainPlacement failed: " + explain.status().ToString());
+    } else if (explain->candidates.empty()) {
+      Add(out, kInvAttribution,
+          "region " + std::to_string(r.value) + ": empty placement explanation");
+    }
+  }
+  return fingerprint;
 }
 
 }  // namespace memflow::testing

@@ -19,9 +19,15 @@
 //   sim-liveness             RunToCompletion wedged or errored
 //   sim-admission            a generated (admissible-by-construction) job was
 //                            rejected at Submit
+//   sim-attribution          trace-reconstructed critical-path attribution
+//                            (telemetry/analyze) does not sum exactly to the
+//                            makespan, a clean job has unattributed time, a
+//                            live region cannot explain its placement, or
+//                            attribution differs across worker counts
 //
-// The first five are checked here; the rest are emitted by the differential
-// runner (scenario.h) which owns the cross-run comparisons.
+// The first five and sim-attribution are checked here; the rest are emitted
+// by the differential runner (scenario.h) which owns the cross-run
+// comparisons.
 
 #ifndef MEMFLOW_TESTING_ORACLE_H_
 #define MEMFLOW_TESTING_ORACLE_H_
@@ -43,6 +49,7 @@ inline constexpr char kInvDeterminism[] = "sim-determinism";
 inline constexpr char kInvRestartEquivalence[] = "sim-restart-equivalence";
 inline constexpr char kInvLiveness[] = "sim-liveness";
 inline constexpr char kInvAdmission[] = "sim-admission";
+inline constexpr char kInvAttribution[] = "sim-attribution";
 
 struct Violation {
   std::string invariant;  // one of the stable ids above
@@ -77,6 +84,16 @@ void CheckPostRun(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
 // outlive its job, and every device must be back at its baseline.
 void CheckPostRelease(rts::Runtime& rt, const OracleScope& scope,
                       std::vector<Violation>* out);
+
+// Critical-path attribution audit (DESIGN.md §11), run while the jobs'
+// outputs are still live: every finished job's trace-reconstructed profile
+// must sum its buckets exactly to the reported makespan; a successful,
+// fully-traced job must have zero unattributed time; and every live region
+// must return a non-empty ranked placement explanation. Returns a
+// deterministic fingerprint of all profiles — the differential runner
+// compares it across worker counts.
+std::string CheckAttribution(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
+                             std::vector<Violation>* out);
 
 }  // namespace memflow::testing
 

@@ -16,6 +16,9 @@ struct LegOutcome {
   bool ran = false;  // RunToCompletion returned OK
   std::string fingerprint;
   std::string semantic;
+  // Critical-path attribution digest (oracle.h CheckAttribution): must be
+  // identical at every worker count, like the JobReport fingerprint.
+  std::string attribution;
   rts::RuntimeStats stats;
 };
 
@@ -106,6 +109,7 @@ LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
 
   const OracleScope scope{baseline, exclude, sc.max_task_attempts};
   CheckPostRun(rt, ids, scope, out);
+  leg.attribution = CheckAttribution(rt, ids, out);
 
   for (const dataflow::JobId id : ids) {
     leg.fingerprint += Fingerprint(rt.report(id));
@@ -306,6 +310,11 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunHooks& hooks) {
     const std::string stats_diff = DiffStats(base->stats, leg.stats);
     if (!stats_diff.empty()) {
       out->push_back({kInvDeterminism, vs + ": stats differ: " + stats_diff});
+    }
+    if (leg.attribution != base->attribution) {
+      out->push_back({kInvAttribution,
+                      vs + ": critical-path attribution differs\n" + base->attribution +
+                          "--- vs ---\n" + leg.attribution});
     }
   }
 

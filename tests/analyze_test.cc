@@ -1,0 +1,437 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the critical-path analyzer (DESIGN.md §11): hand-built DAGs with
+// known critical paths, the exact-attribution contract (buckets sum to the
+// makespan), fingerprint stability across host worker counts, trace-ring
+// overflow surfacing, and the trace instants every placement fallback path
+// must emit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "region/region_manager.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+#include "telemetry/analyze/analyzer.h"
+#include "telemetry/analyze/doctor.h"
+#include "telemetry/export.h"
+#include "testing/workload.h"
+
+namespace memflow::telemetry::analyze {
+namespace {
+
+using dataflow::Job;
+using dataflow::JobOptions;
+using dataflow::TaskId;
+using dataflow::TaskProperties;
+using memflow::testing::Producer;
+using memflow::testing::SummingConsumer;
+using memflow::testing::WideJob;
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  AnalyzeTest() : host_(simhw::MakeCxlExpansionHost()) {}
+
+  rts::RuntimeOptions Options() {
+    rts::RuntimeOptions o;
+    o.registry = &registry_;
+    o.tracer = &tracer_;
+    return o;
+  }
+
+  static std::vector<std::string> PathNames(const JobProfile& profile) {
+    std::vector<std::string> names;
+    names.reserve(profile.critical_path.size());
+    for (const CriticalStep& step : profile.critical_path) {
+      names.push_back(step.name);
+    }
+    return names;
+  }
+
+  // Runs the job and returns its verified profile: analyzable, complete, and
+  // with the six buckets summing exactly to the reported makespan.
+  JobProfile RunAndProfile(rts::Runtime& rt, Job job) {
+    auto report = rt.SubmitAndRun(std::move(job));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+    auto profile = AnalyzeJob(tracer_, report->id.value);
+    EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+    EXPECT_TRUE(profile->complete);
+    EXPECT_EQ(profile->status, "ok");
+    EXPECT_EQ(profile->makespan.ns, report->Makespan().ns);
+    EXPECT_EQ(profile->attribution.Sum().ns, profile->makespan.ns);
+    EXPECT_EQ(profile->attribution.unattributed.ns, 0);
+    return *profile;
+  }
+
+  simhw::CxlHostHandles host_;
+  Registry registry_;
+  TraceBuffer tracer_;
+};
+
+// --- hand-built DAGs: exact path membership + attribution sums ---------------
+
+TEST_F(AnalyzeTest, ChainCriticalPathCoversEveryTask) {
+  rts::Runtime rt(*host_.cluster, Options());
+  Job job("chain");
+  const TaskId a = job.AddTask("a", {}, Producer(512));
+  const TaskId b = job.AddTask("b", {}, SummingConsumer());
+  const TaskId c = job.AddTask("c", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+
+  const JobProfile profile = RunAndProfile(rt, std::move(job));
+  // Every task of a chain is critical, in source -> sink order.
+  EXPECT_EQ(PathNames(profile), (std::vector<std::string>{"a", "b", "c"}));
+  for (const TaskNode& node : profile.tasks) {
+    EXPECT_TRUE(node.on_critical_path) << node.name;
+    EXPECT_TRUE(node.has_span) << node.name;
+  }
+  // Compute dominates an uncontended chain; nothing may be unexplained.
+  EXPECT_GT(profile.attribution.compute.ns, 0);
+}
+
+// Wraps a body so it charges `extra` virtual time on top of its real work —
+// a branch that is genuinely slower, not just hinted slower to the placer.
+dataflow::TaskFn Slowed(dataflow::TaskFn inner, SimDuration extra) {
+  return [inner = std::move(inner), extra](dataflow::TaskContext& ctx) -> Status {
+    ctx.Charge(extra);
+    return inner(ctx);
+  };
+}
+
+TEST_F(AnalyzeTest, DiamondPicksTheSlowBranch) {
+  rts::Runtime rt(*host_.cluster, Options());
+  Job job("diamond");
+  const TaskId src = job.AddTask("src", {}, Producer(512));
+  const TaskId slow =
+      job.AddTask("slow", {}, Slowed(SummingConsumer(), SimDuration::Micros(50)));
+  const TaskId fast = job.AddTask("fast", {}, SummingConsumer());
+  const TaskId sink = job.AddTask("sink", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(src, slow).ok());
+  ASSERT_TRUE(job.Connect(src, fast).ok());
+  ASSERT_TRUE(job.Connect(slow, sink).ok());
+  ASSERT_TRUE(job.Connect(fast, sink).ok());
+
+  const JobProfile profile = RunAndProfile(rt, std::move(job));
+  EXPECT_EQ(PathNames(profile), (std::vector<std::string>{"src", "slow", "sink"}));
+  const auto fast_node =
+      std::find_if(profile.tasks.begin(), profile.tasks.end(),
+                   [](const TaskNode& n) { return n.name == "fast"; });
+  ASSERT_NE(fast_node, profile.tasks.end());
+  EXPECT_FALSE(fast_node->on_critical_path);
+}
+
+TEST_F(AnalyzeTest, FanInFollowsTheSlowSource) {
+  rts::Runtime rt(*host_.cluster, Options());
+  Job job("fan-in");
+  const TaskId slow =
+      job.AddTask("slow-src", {}, Slowed(Producer(512), SimDuration::Micros(50)));
+  const TaskId fast = job.AddTask("fast-src", {}, Producer(512));
+  const TaskId sink = job.AddTask("sink", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(slow, sink).ok());
+  ASSERT_TRUE(job.Connect(fast, sink).ok());
+
+  const JobProfile profile = RunAndProfile(rt, std::move(job));
+  EXPECT_EQ(PathNames(profile), (std::vector<std::string>{"slow-src", "sink"}));
+  // The sink's last input came over the slow edge; per-step buckets must tile
+  // the span from the slow producer's finish to the sink's finish.
+  const CriticalStep& step = profile.critical_path.back();
+  EXPECT_EQ(step.name, "sink");
+  const auto slow_node =
+      std::find_if(profile.tasks.begin(), profile.tasks.end(),
+                   [](const TaskNode& n) { return n.name == "slow-src"; });
+  ASSERT_NE(slow_node, profile.tasks.end());
+  const auto sink_node =
+      std::find_if(profile.tasks.begin(), profile.tasks.end(),
+                   [](const TaskNode& n) { return n.name == "sink"; });
+  ASSERT_NE(sink_node, profile.tasks.end());
+  EXPECT_EQ(step.transfer_in.ns + step.stall.ns + step.queue.ns + step.compute.ns +
+                step.checkpoint.ns,
+            sink_node->finish.ns - slow_node->finish.ns);
+}
+
+// --- fingerprint stability across worker counts ------------------------------
+
+std::string FingerprintAt(simhw::CxlHostHandles& host, int workers, bool serialized) {
+  Registry registry;
+  TraceBuffer tracer;
+  rts::RuntimeOptions options;
+  options.registry = &registry;
+  options.tracer = &tracer;
+  options.worker_threads = workers;
+  rts::Runtime rt(*host.cluster, options);
+
+  JobOptions job_options;
+  if (serialized) {
+    job_options.global_state_bytes = KiB(64);  // shared state serializes bodies
+  }
+  Job job(serialized ? "serialized" : "parallel-safe", job_options);
+  const TaskId src = job.AddTask("src", {}, Producer(512));
+  const TaskId sink = job.AddTask("sink", {}, SummingConsumer());
+  std::vector<TaskId> mids;
+  for (int i = 0; i < 4; ++i) {
+    mids.push_back(job.AddTask("mid" + std::to_string(i), {}, SummingConsumer()));
+  }
+  for (const TaskId mid : mids) {
+    EXPECT_TRUE(job.Connect(src, mid).ok());
+    EXPECT_TRUE(job.Connect(mid, sink).ok());
+  }
+
+  auto report = rt.SubmitAndRun(std::move(job));
+  EXPECT_TRUE(report.ok() && report->status.ok());
+  auto profile = AnalyzeJob(tracer, report->id.value);
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->attribution.Sum().ns, profile->makespan.ns);
+  return AttributionFingerprint(*profile);
+}
+
+TEST_F(AnalyzeTest, FingerprintIdenticalAcrossWorkerCounts) {
+  for (const bool serialized : {false, true}) {
+    const std::string base = FingerprintAt(host_, 1, serialized);
+    EXPECT_FALSE(base.empty());
+    for (const int workers : {2, 8}) {
+      EXPECT_EQ(FingerprintAt(host_, workers, serialized), base)
+          << (serialized ? "serialized" : "parallel-safe") << " at " << workers
+          << " workers";
+    }
+  }
+}
+
+// --- queue-wait shows up under contention ------------------------------------
+
+TEST_F(AnalyzeTest, ContentionChargesQueueWait) {
+  rts::RuntimeOptions options = Options();
+  options.policy = rts::PlacementPolicyKind::kFirstFit;  // pile onto one device
+  rts::Runtime rt(*host_.cluster, options);
+  std::vector<dataflow::JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = rt.Submit(WideJob("contend" + std::to_string(i), 6));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+
+  std::int64_t total_queue = 0;
+  for (const dataflow::JobId id : ids) {
+    auto profile = AnalyzeJob(tracer_, id.value);
+    ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+    EXPECT_EQ(profile->attribution.Sum().ns, profile->makespan.ns);
+    EXPECT_EQ(profile->attribution.unattributed.ns, 0);
+    total_queue += profile->attribution.queue.ns;
+  }
+  // Four six-wide jobs racing for the same first-fit device must wait.
+  EXPECT_GT(total_queue, 0);
+}
+
+// --- analyzer error handling -------------------------------------------------
+
+TEST_F(AnalyzeTest, MissingJobSpanIsNotFound) {
+  auto profile = AnalyzeJob(tracer_, 999);
+  EXPECT_FALSE(profile.ok());
+  EXPECT_EQ(profile.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzeTest, TracedJobsListsCompletedJobsAscending) {
+  rts::Runtime rt(*host_.cluster, Options());
+  for (int i = 0; i < 3; ++i) {
+    Job job("j" + std::to_string(i));
+    const TaskId p = job.AddTask("p", {}, Producer(64));
+    const TaskId c = job.AddTask("c", {}, SummingConsumer());
+    ASSERT_TRUE(job.Connect(p, c).ok());
+    ASSERT_TRUE(rt.SubmitAndRun(std::move(job)).ok());
+  }
+  EXPECT_EQ(TracedJobs(tracer_), (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+// --- trace-ring overflow is surfaced everywhere ------------------------------
+
+TEST_F(AnalyzeTest, RingOverflowSurfacedInSummaryDoctorAndMetrics) {
+  TraceBuffer tiny(64);  // guaranteed to wrap under a 12-wide job
+  rts::RuntimeOptions options;
+  options.registry = &registry_;
+  options.tracer = &tiny;
+  rts::Runtime rt(*host_.cluster, options);
+  auto report = rt.SubmitAndRun(WideJob("overflow", 12));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+
+  ASSERT_GT(tiny.dropped(), 0u);
+  ASSERT_FALSE(tiny.DroppedByTrack().empty());
+
+  // The summary carries the banner and the per-track breakdown.
+  const std::string summary = RenderTraceSummary(tiny);
+  EXPECT_NE(summary.find("WARNING"), std::string::npos);
+  EXPECT_NE(summary.find("profile incomplete"), std::string::npos);
+  EXPECT_NE(summary.find("dropped on"), std::string::npos);
+
+  // The profile knows it is truncated and the doctor says so.
+  auto profile = AnalyzeJob(tiny, report->id.value);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_GT(profile->dropped_events, 0u);
+  EXPECT_FALSE(profile->complete);
+  EXPECT_EQ(profile->attribution.Sum().ns, profile->makespan.ns);
+  const std::string doctor = RenderJobDoctor(*profile);
+  EXPECT_NE(doctor.find("WARNING"), std::string::npos);
+  EXPECT_NE(doctor.find("profile incomplete"), std::string::npos);
+
+  // The drop counters land in the metrics exporters.
+  PublishTraceHealth(tiny, registry_);
+  const std::string prometheus = registry_.Snapshot().ToPrometheus();
+  EXPECT_NE(prometheus.find("trace_buffer_events_dropped_total"), std::string::npos);
+  EXPECT_NE(prometheus.find("trace_buffer_events_dropped{"), std::string::npos);
+}
+
+// --- every placement fallback path emits a trace instant ---------------------
+
+constexpr region::Principal kAlice{1, 10};
+constexpr region::Principal kMallory{2, 20};
+
+std::size_t CountInstants(const TraceBuffer& tracer, std::string_view name) {
+  std::size_t n = 0;
+  for (const TraceEvent& event : tracer.Events()) {
+    if (event.type == TraceEventType::kInstant && event.name == name) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+region::RegionManager::AllocRequest MakeRequest(std::uint64_t size,
+                                                region::Properties props,
+                                                simhw::ComputeDeviceId observer,
+                                                region::Principal owner = kAlice) {
+  region::RegionManager::AllocRequest r;
+  r.size = size;
+  r.props = props;
+  r.observer = observer;
+  r.owner = owner;
+  return r;
+}
+
+TEST_F(AnalyzeTest, AllocationFailureEmitsFallbackInstant) {
+  simhw::VirtualClock clock;
+  region::RegionManager mgr(*host_.cluster, {}, 0x5eedULL, &registry_);
+  mgr.BindTrace(&clock, &tracer_);
+
+  auto r = mgr.Allocate(MakeRequest(std::uint64_t{1} << 60, {}, host_.cpu));
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(CountInstants(tracer_, "placement fallback: allocation failed"), 1u);
+}
+
+TEST_F(AnalyzeTest, LatencyRelaxEmitsFallbackInstant) {
+  simhw::VirtualClock clock;
+  region::PlacementConfig config;
+  config.allow_latency_relax = true;
+  region::RegionManager mgr(*host_.cluster, config, 0x5eedULL, &registry_);
+  mgr.BindTrace(&clock, &tracer_);
+
+  region::Properties p;
+  p.persistent = true;
+  p.latency = region::LatencyClass::kLow;  // no persistent device is that fast
+  auto r = mgr.Allocate(MakeRequest(MiB(1), p, host_.cpu));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(CountInstants(tracer_, "placement fallback: latency relaxed"), 1u);
+}
+
+TEST_F(AnalyzeTest, ConfidentialityDenialEmitsInstant) {
+  simhw::VirtualClock clock;
+  region::RegionManager mgr(*host_.cluster, {}, 0x5eedULL, &registry_);
+  mgr.BindTrace(&clock, &tracer_);
+
+  region::Properties p;
+  p.confidential = true;
+  auto id = mgr.Allocate(MakeRequest(KiB(64), p, host_.cpu));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_FALSE(mgr.OpenSync(*id, kMallory, host_.cpu).ok());
+  EXPECT_FALSE(mgr.Transfer(*id, kMallory, kAlice, host_.cpu).ok());
+  EXPECT_GE(CountInstants(tracer_, "confidentiality denial"), 2u);
+}
+
+TEST_F(AnalyzeTest, FragmentationFallthroughEmitsInstantAndCounter) {
+  // A one-DIMM cluster so the ranked candidate list is exactly {dram}: after
+  // alternating frees, free bytes pass the capacity check but no contiguous
+  // extent exists, forcing the fragmentation fallthrough path.
+  simhw::Cluster cluster;
+  const simhw::NodeId node = cluster.AddNode("frag-host");
+  const simhw::ComputeDeviceId cpu =
+      cluster.AddCompute(node, simhw::ComputeDeviceKind::kCPU, "cpu");
+  const simhw::MemoryDeviceId dram =
+      cluster.AddMemory(node, simhw::MemoryDeviceKind::kDRAM, MiB(512), "dram");
+  cluster.Link(cluster.VertexOf(cpu), cluster.VertexOf(dram), simhw::LinkKind::kMemBus);
+
+  simhw::VirtualClock clock;
+  region::RegionManager mgr(cluster, {}, 0x5eedULL, &registry_);
+  mgr.BindTrace(&clock, &tracer_);
+
+  std::vector<region::RegionId> slots;
+  for (int i = 0; i < 8; ++i) {
+    auto id = mgr.AllocateOn(dram, MiB(64), {}, kAlice);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    slots.push_back(*id);
+  }
+  for (std::size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(mgr.Release(slots[i], kAlice).ok());
+  }
+
+  // 256 MiB free in non-adjacent 64 MiB holes: ranking admits dram, the
+  // extent allocator refuses, and the only candidate is exhausted.
+  auto r = mgr.Allocate(MakeRequest(MiB(128), {}, cpu));
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(CountInstants(tracer_, "placement fallback: fragmentation"), 1u);
+
+  bool counter_seen = false;
+  for (const auto& family : registry_.Snapshot().families) {
+    if (family.name == "region_fragmentation_fallthroughs_total") {
+      for (const auto& series : family.series) {
+        counter_seen |= series.counter >= 1;
+      }
+    }
+  }
+  EXPECT_TRUE(counter_seen);
+}
+
+// --- doctor / exporter smoke over a real profile -----------------------------
+
+TEST_F(AnalyzeTest, DoctorAndExportersAgreeOnTheProfile) {
+  rts::Runtime rt(*host_.cluster, Options());
+  Job job("export");
+  const TaskId p = job.AddTask("produce", {}, Producer(1024));
+  const TaskId c = job.AddTask("consume", {}, SummingConsumer());
+  ASSERT_TRUE(job.Connect(p, c).ok());
+  const JobProfile profile = RunAndProfile(rt, std::move(job));
+
+  const std::string doctor = RenderJobDoctor(profile, ComputeWhatIfs(profile, &rt));
+  EXPECT_NE(doctor.find("critical path"), std::string::npos);
+  EXPECT_NE(doctor.find("produce"), std::string::npos);
+  EXPECT_NE(doctor.find("consume"), std::string::npos);
+  EXPECT_EQ(doctor.find("WARNING"), std::string::npos);  // nothing dropped
+
+  const std::string json = ExportJobProfileJson(profile);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum_ns\""), std::string::npos);
+
+  // The highlighted trace marks exactly the critical spans.
+  const std::string trace = ExportHighlightedTraceJson(tracer_, profile);
+  std::size_t highlighted = 0;
+  for (std::size_t at = trace.find("\"cname\""); at != std::string::npos;
+       at = trace.find("\"cname\"", at + 1)) {
+    ++highlighted;
+  }
+  // Two critical task spans plus the flow arrow between them.
+  EXPECT_GE(highlighted, profile.critical_path.size());
+
+  // Every placement decision for the job explains itself.
+  const auto& decisions = rt.PlacementLog(dataflow::JobId{profile.job});
+  ASSERT_FALSE(decisions.empty());
+  for (const auto& decision : decisions) {
+    EXPECT_FALSE(decision.explain.candidates.empty());
+    const std::string rendered = RenderPlacementDecision(decision, rt.cluster());
+    EXPECT_NE(rendered.find("placement of"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace memflow::telemetry::analyze

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the bench artifact (BENCH_rts.json).
+
+Compares a freshly generated artifact against the committed baseline
+(BENCH_baseline.json). Only metrics with deterministic units are gated:
+
+  ns    -- virtual-time costs from the simulator (bit-stable run to run);
+           gated within a relative tolerance (default 10%),
+  bool  -- claim checks; must match exactly.
+
+Wall-clock units (tasks/s, MiB/s, x, ...) vary with host load and are
+reported informationally, never gated.
+
+Usage: check_bench.py BASELINE CURRENT [--tolerance 0.10]
+Exit status: 0 = within tolerance, 1 = regression (delta table printed).
+"""
+
+import argparse
+import json
+import sys
+
+GATED_UNITS = {"ns", "bool"}
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = {}
+    for bench in doc.get("benches", []):
+        for result in bench.get("results", []):
+            metrics[result["name"]] = (float(result["value"]), result.get("unit", ""))
+    return metrics
+
+
+def fmt(value, unit):
+    if unit == "bool":
+        return "true" if value else "false"
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative delta for ns metrics (default 0.10)")
+    args = parser.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    rows = []
+    failures = 0
+    for name in sorted(base):
+        bval, unit = base[name]
+        if name not in cur:
+            rows.append((name, unit, fmt(bval, unit), "MISSING", "-", "FAIL"))
+            failures += 1
+            continue
+        cval, cunit = cur[name]
+        if unit not in GATED_UNITS:
+            delta = f"{(cval - bval) / bval:+.1%}" if bval else "-"
+            rows.append((name, unit, fmt(bval, unit), fmt(cval, unit), delta, "info"))
+            continue
+        if cunit != unit:
+            rows.append((name, unit, fmt(bval, unit), f"unit={cunit}", "-", "FAIL"))
+            failures += 1
+            continue
+        if unit == "bool":
+            ok = bval == cval
+        elif bval == 0:
+            ok = cval == 0
+        else:
+            ok = abs(cval - bval) / abs(bval) <= args.tolerance
+        if bval == 0:
+            delta = "0" if cval == 0 else "new-nonzero"
+        else:
+            delta = f"{(cval - bval) / bval:+.1%}"
+        rows.append((name, unit, fmt(bval, unit), fmt(cval, unit), delta,
+                     "ok" if ok else "FAIL"))
+        failures += 0 if ok else 1
+    for name in sorted(set(cur) - set(base)):
+        cval, unit = cur[name]
+        rows.append((name, unit, "-", fmt(cval, unit), "-", "new"))
+
+    widths = [max(len(str(row[i])) for row in rows + [("Metric", "Unit", "Baseline",
+                                                       "Current", "Delta", "Status")])
+              for i in range(6)]
+    header = ("Metric", "Unit", "Baseline", "Current", "Delta", "Status")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+    if failures:
+        print(f"\nFAIL: {failures} gated metric(s) beyond {args.tolerance:.0%} tolerance "
+              f"(units {sorted(GATED_UNITS)} are gated; wall-clock units are informational).")
+        print("If the change is intentional, re-baseline with:")
+        print(f"  cp {args.current} {args.baseline}")
+        return 1
+    print(f"\nOK: all gated metrics within {args.tolerance:.0%} of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
