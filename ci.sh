@@ -20,6 +20,30 @@ cmake --build build -j "$JOBS"
 echo "== test =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== static-analyzer corpus gate =="
+# Verify (ownership + MHP + capacity passes, DESIGN.md §6.1/§12) must accept
+# every shipped app DAG and every generated corpus job with zero errors, and
+# must still flag the deliberately inadmissible negative specs.
+./build/tools/verify_corpus
+
+echo "== clang-tidy gate =="
+# Enforced only where the binary exists (the CI container does not ship it
+# yet). New warnings beyond the committed budget fail; intentional changes:
+# update .clang-tidy-budget to the new count printed here.
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_WARNINGS="$(clang-tidy -p build --quiet $(git ls-files 'src/*.cc') 2>/dev/null \
+    | grep -c 'warning:' || true)"
+  TIDY_BUDGET="$(grep -v '^#' .clang-tidy-budget)"
+  echo "clang-tidy: $TIDY_WARNINGS warning(s), budget $TIDY_BUDGET"
+  if [[ "$TIDY_WARNINGS" -gt "$TIDY_BUDGET" ]]; then
+    echo "clang-tidy gate FAILED: $TIDY_WARNINGS > budget $TIDY_BUDGET" \
+         "(fix the new warnings, or re-baseline .clang-tidy-budget)" >&2
+    exit 1
+  fi
+else
+  echo "clang-tidy not installed; gate skipped"
+fi
+
 echo "== simulation corpus (fixed seeds) =="
 # The sim label covers the deterministic harness: the pinned 20-seed corpus,
 # the fault-injector ordering contract, and the crash-point sweep.

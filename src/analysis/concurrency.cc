@@ -1,0 +1,355 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "analysis/concurrency.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace memflow::analysis {
+
+namespace {
+
+using dataflow::Job;
+using dataflow::TaskId;
+using dataflow::TaskProperties;
+
+// --- min-flow max-weight antichain -------------------------------------------------
+//
+// Dilworth-style reduction: split every element v into v_in -> v_out with a
+// flow lower bound of weight(v); wire s -> v_in, v_out -> t, and
+// u_out -> v_in for u < v. Any feasible flow decomposes into chains, and the
+// minimum feasible flow equals the maximum total weight any antichain can
+// carry (weighted mirror of "minimum chain cover = maximum antichain").
+// Min flow = F0 - maxflow(t -> s over the residual of the trivial feasible
+// flow F0 that routes each weight through its own element.
+
+struct FlowEdge {
+  int to;
+  std::uint64_t cap;  // residual capacity
+  std::size_t rev;    // index of the paired reverse edge in adj[to]
+};
+
+class FlowGraph {
+ public:
+  explicit FlowGraph(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+  void AddEdge(int u, int v, std::uint64_t cap_uv, std::uint64_t cap_vu) {
+    adj_[u].push_back({v, cap_uv, adj_[v].size()});
+    adj_[v].push_back({u, cap_vu, adj_[u].size() - 1});
+  }
+
+  // Edmonds-Karp: BFS augmenting paths, polynomial in nodes/edges regardless
+  // of capacity magnitudes (weights are byte counts).
+  std::uint64_t MaxFlow(int s, int t) {
+    std::uint64_t total = 0;
+    while (true) {
+      std::vector<std::pair<int, std::size_t>> parent(adj_.size(), {-1, 0});
+      parent[s] = {s, 0};
+      std::queue<int> q;
+      q.push(s);
+      while (!q.empty() && parent[t].first < 0) {
+        const int u = q.front();
+        q.pop();
+        for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+          const FlowEdge& e = adj_[u][i];
+          if (e.cap > 0 && parent[e.to].first < 0) {
+            parent[e.to] = {u, i};
+            q.push(e.to);
+          }
+        }
+      }
+      if (parent[t].first < 0) {
+        return total;
+      }
+      std::uint64_t push = ~0ULL;
+      for (int v = t; v != s;) {
+        const auto [u, i] = parent[v];
+        push = std::min(push, adj_[u][i].cap);
+        v = u;
+      }
+      for (int v = t; v != s;) {
+        const auto [u, i] = parent[v];
+        FlowEdge& e = adj_[u][i];
+        e.cap -= push;
+        adj_[e.to][e.rev].cap += push;
+        v = u;
+      }
+      total += push;
+    }
+  }
+
+ private:
+  std::vector<std::vector<FlowEdge>> adj_;
+};
+
+std::uint64_t RoundUpTo(std::uint64_t size, std::uint64_t granularity) {
+  return (size + granularity - 1) / granularity * granularity;
+}
+
+// Permissive candidate test: could the region manager ever place a request
+// with `props` on device `m`? Latency is relaxed to kAny (the manager may
+// spill-relax one step, and after faults tasks re-place onto other
+// observers), every compute device is a potential observer, and failed-ness
+// is ignored (devices recover on the fault timeline). Over-approximating the
+// candidate set only raises the per-device bound, which keeps it sound.
+bool CouldPlaceOn(const simhw::Cluster& cluster, simhw::MemoryDeviceId m,
+                  region::Properties props) {
+  props.latency = region::LatencyClass::kAny;
+  for (const simhw::ComputeDeviceId c : cluster.AllComputeDevices()) {
+    const auto view = cluster.View(c, m);
+    if (view.ok() && Satisfies(*view, props)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool JobParallelSafe(const Job& job) {
+  if (job.options().global_state_bytes > 0 || job.options().global_scratch_bytes > 0) {
+    return false;
+  }
+  for (std::size_t i = 0; i < job.num_tasks(); ++i) {
+    const auto t = TaskId(static_cast<std::uint32_t>(i));
+    for (const TaskId s : job.successors(t)) {
+      if (job.edge_options(t, s).writes_input) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t MhpSummary::UnorderedPairCount() const {
+  std::size_t count = 0;
+  for (std::uint32_t a = 0; a < num_tasks; ++a) {
+    for (std::uint32_t b = a + 1; b < num_tasks; ++b) {
+      if (Unordered(TaskId(a), TaskId(b))) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+MhpSummary ComputeMhp(const Job& job) {
+  MhpSummary mhp;
+  mhp.num_tasks = static_cast<std::uint32_t>(job.num_tasks());
+  mhp.parallel_safe = JobParallelSafe(job);
+  const std::size_t n = job.num_tasks();
+  mhp.reach.assign(n * n, false);
+
+  // Strict transitive closure: walk the topological order backwards; each
+  // task reaches its successors and everything they reach.
+  const std::vector<TaskId> order = job.TopologicalOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId u = *it;
+    const std::size_t row = static_cast<std::size_t>(u.value) * n;
+    for (const TaskId v : job.successors(u)) {
+      mhp.reach[row + v.value] = true;
+      const std::size_t vrow = static_cast<std::size_t>(v.value) * n;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (mhp.reach[vrow + k]) {
+          mhp.reach[row + k] = true;
+        }
+      }
+    }
+  }
+  return mhp;
+}
+
+std::uint64_t EstimatedOutputBytes(const TaskProperties& props, std::uint64_t input_bytes) {
+  return props.output_bytes +
+         static_cast<std::uint64_t>(props.output_bytes_per_input_byte *
+                                    static_cast<double>(input_bytes));
+}
+
+std::uint64_t EstimatedScratchBytes(const TaskProperties& props, std::uint64_t input_bytes) {
+  return props.scratch_bytes +
+         static_cast<std::uint64_t>(props.scratch_bytes_per_input_byte *
+                                    static_cast<double>(input_bytes));
+}
+
+region::Properties ScratchRequestProps(const TaskProperties& props) {
+  region::Properties p = region::Properties::PrivateScratch();
+  if (props.mem_latency != region::LatencyClass::kAny) {
+    p.latency = props.mem_latency;
+  }
+  p.confidential = props.confidential;
+  return p;
+}
+
+region::Properties OutputRequestProps(const TaskProperties& props) {
+  region::Properties p;
+  p.latency = props.persistent ? region::LatencyClass::kAny : props.mem_latency;
+  p.persistent = props.persistent;
+  p.confidential = props.confidential;
+  return p;
+}
+
+std::uint64_t MaxWeightAntichain(const std::vector<std::vector<bool>>& strictly_before,
+                                 const std::vector<std::uint64_t>& weights) {
+  // Elements with zero weight cannot contribute; drop them (they also cannot
+  // help chains, since flow through them has no lower bound).
+  std::vector<int> keep;
+  std::uint64_t f0 = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) {
+      keep.push_back(static_cast<int>(i));
+      f0 += weights[i];
+    }
+  }
+  if (keep.size() <= 1) {
+    return f0;
+  }
+
+  const std::uint64_t inf = ~0ULL / 2;
+  const int m = static_cast<int>(keep.size());
+  const int s = 0;
+  const int t = 1;
+  const auto in_node = [](int i) { return 2 + 2 * i; };
+  const auto out_node = [](int i) { return 3 + 2 * i; };
+  FlowGraph g(2 + 2 * m);
+  for (int i = 0; i < m; ++i) {
+    const std::uint64_t w = weights[static_cast<std::size_t>(keep[i])];
+    // Residuals of the trivial feasible flow (each weight routed through its
+    // own element): backward residuals expose exactly the flow that the
+    // t -> s max-flow below may cancel — except across the lower bound.
+    g.AddEdge(s, in_node(i), inf, w);
+    g.AddEdge(in_node(i), out_node(i), inf, 0);
+    g.AddEdge(out_node(i), t, inf, w);
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i != j && strictly_before[static_cast<std::size_t>(keep[i])]
+                                   [static_cast<std::size_t>(keep[j])]) {
+        g.AddEdge(out_node(i), in_node(j), inf, 0);
+      }
+    }
+  }
+  return f0 - g.MaxFlow(t, s);
+}
+
+CapacityBound ComputeCapacityBound(const Job& job, const simhw::Cluster& cluster,
+                                   const MhpSummary& mhp) {
+  CapacityBound bound;
+  bound.computed = true;
+
+  // Input-size estimates propagate forward exactly like Runtime::Plan.
+  const std::size_t n = job.num_tasks();
+  std::vector<std::uint64_t> est_input(n, 0);
+  for (const TaskId t : job.TopologicalOrder()) {
+    std::uint64_t est = 0;
+    for (const TaskId p : job.DataPredecessors(t)) {
+      est += EstimatedOutputBytes(job.task(p).props, est_input[p.value]);
+    }
+    est_input[t.value] = est;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto t = TaskId(static_cast<std::uint32_t>(i));
+    const TaskProperties& props = job.task(t).props;
+    const std::uint64_t out_bytes = EstimatedOutputBytes(props, est_input[i]);
+    if (out_bytes > 0) {
+      bound.demands.push_back(
+          {RegionDemand::Kind::kOutput, t, out_bytes, OutputRequestProps(props)});
+    }
+    const std::uint64_t scratch_bytes = EstimatedScratchBytes(props, est_input[i]);
+    if (scratch_bytes > 0) {
+      bound.demands.push_back(
+          {RegionDemand::Kind::kScratch, t, scratch_bytes, ScratchRequestProps(props)});
+    }
+  }
+  const dataflow::JobOptions& jopts = job.options();
+  if (jopts.global_state_bytes > 0) {
+    region::Properties p = region::Properties::GlobalState();
+    p.confidential = jopts.confidential;
+    bound.demands.push_back({RegionDemand::Kind::kGlobalState, dataflow::TaskId{},
+                             jopts.global_state_bytes, p});
+  }
+  if (jopts.global_scratch_bytes > 0) {
+    region::Properties p = region::Properties::GlobalScratch();
+    p.confidential = jopts.confidential;
+    bound.demands.push_back({RegionDemand::Kind::kGlobalScratch, dataflow::TaskId{},
+                             jopts.global_scratch_bytes, p});
+  }
+
+  // Lifetime poset over the task-anchored demands. A demand is born when its
+  // task starts; a scratch dies at its task's completion, an output when its
+  // last data consumer completes (a sink output is retained until teardown
+  // and never dies). Inputs are released at the consumer's completion event,
+  // *before* successors are enqueued, so strict happens-before of every
+  // end-task separates two lifetimes under any schedule.
+  const std::size_t d = bound.demands.size();
+  std::vector<std::vector<bool>> before(d, std::vector<bool>(d, false));
+  std::vector<std::vector<TaskId>> ends(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const RegionDemand& dem = bound.demands[i];
+    if (dem.kind == RegionDemand::Kind::kScratch) {
+      ends[i] = {dem.task};
+    } else if (dem.kind == RegionDemand::Kind::kOutput) {
+      ends[i] = job.DataSuccessors(dem.task);  // empty = retained, never dies
+    }
+    // Globals live for the whole job: ends[i] stays empty and they are kept
+    // out of the antichain below (added unconditionally instead).
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    if (ends[i].empty()) {
+      continue;
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      if (i == j || !bound.demands[j].task.valid()) {
+        continue;
+      }
+      bool all = true;
+      for (const TaskId c : ends[i]) {
+        all = all && mhp.Reaches(c, bound.demands[j].task);
+      }
+      before[i][j] = all;
+    }
+  }
+
+  std::uint64_t global_bytes = 0;
+  std::vector<std::uint64_t> weights(d, 0);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (bound.demands[i].task.valid()) {
+      weights[i] = bound.demands[i].bytes;
+    } else {
+      global_bytes += bound.demands[i].bytes;
+    }
+  }
+  bound.peak_concurrent_bytes = MaxWeightAntichain(before, weights) + global_bytes;
+
+  // Per-device bound: weight each demand by its granularity-rounded size on
+  // the devices it could ever be placed on, zero elsewhere.
+  std::uint32_t max_id = 0;
+  for (const simhw::MemoryDeviceId m : cluster.AllMemoryDevices()) {
+    max_id = std::max(max_id, m.value);
+  }
+  bound.peak_device_bytes.assign(cluster.num_memory_devices() == 0 ? 0 : max_id + 1, 0);
+  for (const simhw::MemoryDeviceId m : cluster.AllMemoryDevices()) {
+    const simhw::MemoryDevice& dev = cluster.memory(m);
+    if (!dev.profile().allocatable) {
+      continue;
+    }
+    bound.total_capacity_bytes += dev.capacity();
+    const std::uint64_t gran = dev.profile().granularity;
+    std::uint64_t device_globals = 0;
+    std::vector<std::uint64_t> w(d, 0);
+    for (std::size_t i = 0; i < d; ++i) {
+      if (!CouldPlaceOn(cluster, m, bound.demands[i].props)) {
+        continue;
+      }
+      if (bound.demands[i].task.valid()) {
+        w[i] = RoundUpTo(bound.demands[i].bytes, gran);
+      } else {
+        device_globals += RoundUpTo(bound.demands[i].bytes, gran);
+      }
+    }
+    bound.peak_device_bytes[m.value] = MaxWeightAntichain(before, w) + device_globals;
+  }
+  return bound;
+}
+
+}  // namespace memflow::analysis

@@ -1,0 +1,124 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Static concurrency & capacity models over job DAGs (DESIGN.md §12).
+//
+// May-happen-in-parallel (MHP): the two-phase executor stages every body
+// dispatchable at one virtual-time step and runs the batch concurrently, so
+// two tasks of one job can overlap iff neither happens-before the other *and*
+// the job is parallel-safe (no Global State/Scratch, no writes_input edge —
+// the executor serializes a non-parallel-safe job's same-step bodies into one
+// chain). ComputeMhp() derives that relation from the DAG alone; the verifier
+// turns statically detectable conflicts into mhp-* diagnostics and the
+// sim-mhp oracle invariant checks every *observed* concurrent pair against
+// the prediction.
+//
+// Capacity: each declared allocation (task output, task scratch, job-wide
+// globals) is a poset element whose lifetime interval is bounded by
+// happens-before; allocations whose lifetimes no schedule can separate form
+// an antichain, and the max-weight antichain is a sound upper bound on the
+// bytes simultaneously live — per candidate device and cluster-wide. The
+// verifier turns infeasible bounds into cap-* diagnostics and the sim-mhp
+// invariant checks observed per-device peak bytes against the bound.
+//
+// This header deliberately knows nothing about Report/Diagnostic: the models
+// are plain data so the runtime (parallel_safe predicate, executor
+// cross-check) and the verifier share one source of truth.
+
+#ifndef MEMFLOW_ANALYSIS_CONCURRENCY_H_
+#define MEMFLOW_ANALYSIS_CONCURRENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/job.h"
+#include "region/properties.h"
+#include "simhw/cluster.h"
+
+namespace memflow::analysis {
+
+// Whether a job's task bodies may run concurrently with each other under the
+// executor's dispatch rules: no two bodies may touch the same mutable region,
+// i.e. no job-wide Global State/Scratch and no edge declaring in-place writes
+// to a delivered input. This is the single source of truth for
+// rts::Runtime's per-job serialization decision.
+bool JobParallelSafe(const dataflow::Job& job);
+
+// The may-happen-in-parallel relation of one job, derived statically.
+struct MhpSummary {
+  std::uint32_t num_tasks = 0;
+  bool parallel_safe = true;
+  // Strict happens-before over all edges (data + control), row-major n*n:
+  // reach[a*n + b] == true iff task a is ordered before task b.
+  std::vector<bool> reach;
+
+  bool Reaches(dataflow::TaskId a, dataflow::TaskId b) const {
+    return reach[static_cast<std::size_t>(a.value) * num_tasks + b.value];
+  }
+  // Neither task is ordered before the other (and they are distinct).
+  bool Unordered(dataflow::TaskId a, dataflow::TaskId b) const {
+    return a != b && !Reaches(a, b) && !Reaches(b, a);
+  }
+  // The pair can actually share a parallel batch: unordered *and* the job's
+  // bodies are not serialized into one chain by the executor.
+  bool MayRunConcurrently(dataflow::TaskId a, dataflow::TaskId b) const {
+    return parallel_safe && Unordered(a, b);
+  }
+  std::size_t UnorderedPairCount() const;
+};
+
+// Computes the MHP relation; the job must pass Validate().
+MhpSummary ComputeMhp(const dataflow::Job& job);
+
+// One statically modeled allocation with its lifetime anchor.
+struct RegionDemand {
+  enum class Kind : std::uint8_t { kOutput, kScratch, kGlobalState, kGlobalScratch };
+
+  Kind kind = Kind::kOutput;
+  dataflow::TaskId task;       // producing task; invalid for job-wide globals
+  std::uint64_t bytes = 0;     // estimated size (CostModel's propagation)
+  region::Properties props;    // the allocation request the runtime will make
+};
+
+// Symbolic peak-memory bounds for one job on one cluster.
+struct CapacityBound {
+  bool computed = false;
+  std::vector<RegionDemand> demands;
+  // Sound per-device upper bound on bytes this job can have simultaneously
+  // allocated, indexed by MemoryDeviceId::value. Candidate sets are
+  // permissive (latency relaxed, any compute observer) so the bound stays an
+  // upper bound under re-placement after faults; sizes are rounded up to the
+  // device granularity, matching MemoryDevice::Allocate.
+  std::vector<std::uint64_t> peak_device_bytes;
+  // Cluster-wide peak concurrent footprint (unrounded bytes).
+  std::uint64_t peak_concurrent_bytes = 0;
+  // Total capacity of allocatable memory devices.
+  std::uint64_t total_capacity_bytes = 0;
+};
+
+CapacityBound ComputeCapacityBound(const dataflow::Job& job,
+                                   const simhw::Cluster& cluster,
+                                   const MhpSummary& mhp);
+
+// Maximum total weight over antichains of the strict partial order
+// `strictly_before` (weights[i] == 0 drops element i). Solved exactly as a
+// minimum flow with lower bounds (Dilworth-style), polynomial in the element
+// count regardless of weight magnitudes. Exposed for focused tests.
+std::uint64_t MaxWeightAntichain(const std::vector<std::vector<bool>>& strictly_before,
+                                 const std::vector<std::uint64_t>& weights);
+
+// Size-estimate formulas, kept bit-identical to rts::CostModel::OutputBytes /
+// ScratchBytes (analysis cannot link rts; tests assert the mirror holds).
+std::uint64_t EstimatedOutputBytes(const dataflow::TaskProperties& props,
+                                   std::uint64_t input_bytes);
+std::uint64_t EstimatedScratchBytes(const dataflow::TaskProperties& props,
+                                    std::uint64_t input_bytes);
+
+// The region properties a task's scratch / output allocations will request,
+// mirroring TaskContext::ScratchProperties / OutputProperties so the static
+// models and the executor agree.
+region::Properties ScratchRequestProps(const dataflow::TaskProperties& props);
+region::Properties OutputRequestProps(const dataflow::TaskProperties& props);
+
+}  // namespace memflow::analysis
+
+#endif  // MEMFLOW_ANALYSIS_CONCURRENCY_H_

@@ -23,26 +23,6 @@ bool DeclaresOutput(const TaskProperties& props) {
   return props.output_bytes > 0 || props.output_bytes_per_input_byte > 0.0;
 }
 
-// The region properties the task's private scratch / output allocations will
-// request, mirroring TaskContext::ScratchProperties / OutputProperties so the
-// static feasibility check and the executor agree.
-region::Properties ScratchPropsOf(const TaskProperties& props) {
-  region::Properties p = region::Properties::PrivateScratch();
-  if (props.mem_latency != region::LatencyClass::kAny) {
-    p.latency = props.mem_latency;
-  }
-  p.confidential = props.confidential;
-  return p;
-}
-
-region::Properties OutputPropsOf(const TaskProperties& props) {
-  region::Properties p;
-  p.latency = props.persistent ? region::LatencyClass::kAny : props.mem_latency;
-  p.persistent = props.persistent;
-  p.confidential = props.confidential;
-  return p;
-}
-
 // --- ownership dataflow pass -------------------------------------------------------
 //
 // Abstract interpretation of chunk ownership along the topological order.
@@ -243,7 +223,7 @@ void PlacementPass(const Job& job, const simhw::Cluster& cluster,
     // device at all, from at least one eligible observer? Capacity is a
     // runtime concern; this checks the topology, like the RegionManager's
     // device ranking with infinite free space.
-    for (region::Properties want : {ScratchPropsOf(props), OutputPropsOf(props)}) {
+    for (region::Properties want : {ScratchRequestProps(props), OutputRequestProps(props)}) {
       if (options.allow_latency_relax) {
         want.latency = region::LatencyClass::kAny;  // manager would spill-relax
       }
@@ -256,6 +236,227 @@ void PlacementPass(const Job& job, const simhw::Cluster& cluster,
             "to the cluster"});
         break;  // one diagnostic per task is enough
       }
+    }
+  }
+}
+
+// --- may-happen-in-parallel pass ---------------------------------------------------
+//
+// Conflicts between task pairs the DAG leaves unordered (concurrency.h). The
+// error rules flag accesses to one producer's output whose order the DAG does
+// not fix: even when the executor serializes the bodies (non-parallel-safe
+// jobs), the serialization order is an executor implementation detail, not a
+// declared happens-before — the result is schedule-dependent.
+void MhpPass(const Job& job, const MhpSummary& mhp, Report& report) {
+  for (std::uint32_t i = 0; i < job.num_tasks(); ++i) {
+    const TaskId producer(i);
+    const std::vector<TaskId> data_succs = job.DataSuccessors(producer);
+    if (data_succs.size() < 2) {
+      continue;  // every conflict below needs two consumers of one output
+    }
+    std::vector<TaskId> writers;
+    std::vector<TaskId> movers;
+    for (const TaskId c : data_succs) {
+      const dataflow::EdgeOptions eopts = job.edge_options(producer, c);
+      if (eopts.writes_input) {
+        writers.push_back(c);
+      }
+      if (eopts.mode == EdgeMode::kMove) {
+        movers.push_back(c);
+      }
+    }
+
+    // Two unordered in-place writers of the same delivered region.
+    for (std::size_t a = 0; a < writers.size(); ++a) {
+      for (std::size_t b = a + 1; b < writers.size(); ++b) {
+        if (mhp.Unordered(writers[a], writers[b])) {
+          report.Add(Diagnostic{
+              Severity::kError, kRuleMhpWriteWriteRace, writers[a], writers[b],
+              TaskRef(job, writers[a]) + " and " + TaskRef(job, writers[b]) +
+                  " both write the output of " + TaskRef(job, producer) +
+                  " in place, and no path orders them",
+              "add a control edge between the writers, or keep a single "
+              "writer and copy into scratch elsewhere"});
+        }
+      }
+    }
+
+    // An unordered writer/reader pair on one delivered region.
+    for (const TaskId w : writers) {
+      for (const TaskId r : data_succs) {
+        if (r == w || job.edge_options(producer, r).writes_input) {
+          continue;
+        }
+        if (mhp.Unordered(w, r)) {
+          report.Add(Diagnostic{
+              Severity::kError, kRuleMhpWriteReadRace, w, r,
+              TaskRef(job, w) + " writes the output of " + TaskRef(job, producer) +
+                  " in place while unordered " + TaskRef(job, r) + " reads it",
+              "add a control edge ordering the reader before (or after) the "
+              "writer, or have the writer copy into its own scratch"});
+        }
+      }
+    }
+
+    // A move consumer unordered with a sibling reader: the transfer can
+    // consume the region while the reader still expects it.
+    for (const TaskId m : movers) {
+      for (const TaskId r : data_succs) {
+        if (r == m || job.edge_options(producer, r).mode == EdgeMode::kMove) {
+          continue;
+        }
+        if (mhp.Unordered(m, r)) {
+          report.Add(Diagnostic{
+              Severity::kError, kRuleMhpTransferRace, m, r,
+              "exclusive move of the output of " + TaskRef(job, producer) + " to " +
+                  TaskRef(job, m) + " races unordered reader " + TaskRef(job, r),
+              "add a control edge ordering the reader before the move, or "
+              "share the output (EdgeMode::kShare) instead of moving it"});
+        }
+      }
+    }
+  }
+
+  // A job whose bodies the executor must serialize (global regions or
+  // in-place writes) still *looks* parallel when the DAG leaves pairs
+  // unordered — surface the lost parallelism as a note.
+  if (!mhp.parallel_safe && mhp.num_tasks > 1) {
+    const std::size_t pairs = mhp.UnorderedPairCount();
+    if (pairs > 0) {
+      const bool globals = job.options().global_state_bytes > 0 ||
+                           job.options().global_scratch_bytes > 0;
+      report.Add(Diagnostic{
+          Severity::kNote, kRuleMhpSerialized, TaskId(0), std::nullopt,
+          "job declares " +
+              std::string(globals ? "Global State/Scratch" : "in-place input writes") +
+              ", so the executor serializes its bodies; " + std::to_string(pairs) +
+              " task pair(s) the DAG leaves unordered lose their parallelism",
+          "drop the global regions / writes_input declarations, or accept "
+          "serial execution of same-step bodies"});
+    }
+  }
+}
+
+// --- capacity-feasibility pass -----------------------------------------------------
+
+void CapacityPass(const Job& job, const simhw::Cluster& cluster,
+                  const VerifyOptions& options, const MhpSummary& mhp,
+                  Report& report, CapacityBound& bound) {
+  bound = ComputeCapacityBound(job, cluster, mhp);
+
+  const auto demand_ref = [&job](const RegionDemand& d) -> std::string {
+    switch (d.kind) {
+      case RegionDemand::Kind::kOutput:
+        return "output of " + TaskRef(job, d.task);
+      case RegionDemand::Kind::kScratch:
+        return "scratch of " + TaskRef(job, d.task);
+      case RegionDemand::Kind::kGlobalState:
+        return "Global State";
+      case RegionDemand::Kind::kGlobalScratch:
+        return "Global Scratch";
+    }
+    return "?";
+  };
+
+  // cap-unplaceable: a single declared region larger than every device that
+  // could hold it. The candidate set honors the latency-relax policy the
+  // region manager will actually run with; an empty candidate set is
+  // PlacementPass territory (place-unsatisfiable-memory), not a capacity bug.
+  for (const RegionDemand& d : bound.demands) {
+    std::uint64_t best_capacity = 0;
+    bool any_candidate = false;
+    for (const simhw::MemoryDeviceId m : cluster.AllMemoryDevices()) {
+      const simhw::MemoryDevice& dev = cluster.memory(m);
+      if (!dev.profile().allocatable) {
+        continue;
+      }
+      region::Properties want = d.props;
+      if (options.allow_latency_relax) {
+        want.latency = region::LatencyClass::kAny;
+      }
+      bool satisfiable = false;
+      for (const simhw::ComputeDeviceId c : cluster.AllComputeDevices()) {
+        const auto view = cluster.View(c, m);
+        satisfiable = satisfiable || (view.ok() && Satisfies(*view, want));
+      }
+      if (satisfiable) {
+        any_candidate = true;
+        best_capacity = std::max(best_capacity, dev.capacity());
+      }
+    }
+    if (any_candidate && d.bytes > best_capacity) {
+      report.Add(Diagnostic{
+          Severity::kError, kRuleCapUnplaceable,
+          d.task.valid() ? d.task : TaskId(0), std::nullopt,
+          demand_ref(d) + " needs " + std::to_string(d.bytes) +
+              " bytes, but the largest satisfying device holds only " +
+              std::to_string(best_capacity) + " — no schedule can place it",
+          "shrink the declared size, relax the region's property demands, or "
+          "add a larger satisfying memory device"});
+    }
+  }
+
+  // cap-overcommit: the worst-case concurrent footprint (max-weight antichain
+  // of region lifetimes + job-lifetime globals) exceeds everything the
+  // cluster can allocate at once — under adverse batch interleaving the
+  // allocator runs out even though each region fits individually.
+  if (bound.peak_concurrent_bytes > bound.total_capacity_bytes) {
+    report.Add(Diagnostic{
+        Severity::kWarning, kRuleCapOvercommit, TaskId(0), std::nullopt,
+        "worst-case concurrent footprint is " +
+            std::to_string(bound.peak_concurrent_bytes) +
+            " bytes, but allocatable capacity totals " +
+            std::to_string(bound.total_capacity_bytes),
+        "add control edges to cap how many regions are live at once, shrink "
+        "declared sizes, or grow the cluster's memory"});
+  }
+
+  // cap-fragile: demands pinned to a strict latency class can outgrow the
+  // capacity reachable at that class, so placement silently depends on the
+  // manager's latency-relax / fragmentation-fallthrough paths (or fails when
+  // relaxing is disabled). Checked per strict class.
+  for (const region::LatencyClass lat :
+       {region::LatencyClass::kLow, region::LatencyClass::kMedium}) {
+    std::uint64_t strict_demand = 0;
+    for (const RegionDemand& d : bound.demands) {
+      if (d.props.latency != region::LatencyClass::kAny &&
+          d.props.latency >= lat) {  // enum order: stricter classes compare higher
+        strict_demand += d.bytes;
+      }
+    }
+    if (strict_demand == 0) {
+      continue;
+    }
+    std::uint64_t strict_capacity = 0;
+    region::Properties probe;
+    probe.latency = lat;
+    for (const simhw::MemoryDeviceId m : cluster.AllMemoryDevices()) {
+      const simhw::MemoryDevice& dev = cluster.memory(m);
+      if (!dev.profile().allocatable) {
+        continue;
+      }
+      for (const simhw::ComputeDeviceId c : cluster.AllComputeDevices()) {
+        const auto view = cluster.View(c, m);
+        if (view.ok() && Satisfies(*view, probe)) {
+          strict_capacity += dev.capacity();
+          break;
+        }
+      }
+    }
+    if (strict_demand > strict_capacity) {
+      report.Add(Diagnostic{
+          Severity::kWarning, kRuleCapFragile, TaskId(0), std::nullopt,
+          std::string(region::LatencyClassName(lat)) + "-latency demands total " +
+              std::to_string(strict_demand) + " bytes against " +
+              std::to_string(strict_capacity) + " bytes of capacity at that "
+              "class — placement depends on latency-relax spills or "
+              "fragmentation fallthrough",
+          options.allow_latency_relax
+              ? "shrink the strict-latency demands or accept silent spills to "
+                "slower tiers"
+              : "shrink the strict-latency demands, or enable "
+                "allow_latency_relax so the manager may spill"});
+      break;  // one fragility diagnostic per job is enough
     }
   }
 }
@@ -345,10 +546,51 @@ Report Verify(const dataflow::Job& job, const simhw::Cluster* cluster,
   OwnershipPass(job, report, report.expected_inputs_);
   PropertyPass(job, report);
   GraphPass(job, report);
+  report.mhp_ = ComputeMhp(job);
+  MhpPass(job, report.mhp_, report);
   if (cluster != nullptr) {
     PlacementPass(job, *cluster, options, report);
+    CapacityPass(job, *cluster, options, report.mhp_, report, report.capacity_);
   }
   return report;
+}
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {kRuleUseAfterTransfer, Severity::kError,
+       "a data edge reads an output whose ownership was moved elsewhere"},
+      {kRuleDoubleTransfer, Severity::kError,
+       "two edges demand exclusive ownership of one output"},
+      {kRuleLeakedOutput, Severity::kWarning,
+       "a declared output is never consumed and leaks until teardown"},
+      {kRuleWriteSharedInput, Severity::kError,
+       "an edge declares in-place writes to a shared delivery"},
+      {kRuleConfidentialityDowngrade, Severity::kError,
+       "confidential data flows into a non-confidential task"},
+      {kRulePersistentLatency, Severity::kWarning,
+       "a low-latency consumer reads a persistent producer's output"},
+      {kRuleUnsatisfiableCompute, Severity::kError,
+       "no live compute device matches the task's requirement"},
+      {kRuleUnsatisfiableMemory, Severity::kError,
+       "no memory device satisfies the task's region properties"},
+      {kRuleDeadTask, Severity::kWarning,
+       "a task is disconnected from the rest of the job DAG"},
+      {kRuleMhpWriteWriteRace, Severity::kError,
+       "two unordered tasks write one delivered region in place"},
+      {kRuleMhpWriteReadRace, Severity::kError,
+       "an unordered writer and reader share one delivered region"},
+      {kRuleMhpTransferRace, Severity::kError,
+       "an exclusive move races an unordered sibling reader"},
+      {kRuleMhpSerialized, Severity::kNote,
+       "unordered tasks lose parallelism to executor serialization"},
+      {kRuleCapUnplaceable, Severity::kError,
+       "a declared region exceeds every satisfying device's capacity"},
+      {kRuleCapOvercommit, Severity::kWarning,
+       "worst-case concurrent footprint exceeds total allocatable capacity"},
+      {kRuleCapFragile, Severity::kWarning,
+       "strict-latency demand outgrows that class's capacity"},
+  };
+  return kCatalog;
 }
 
 Report Verify(const dataflow::Job& job, const VerifyOptions& options) {

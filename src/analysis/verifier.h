@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/concurrency.h"
 #include "dataflow/job.h"
 #include "region/region.h"
 #include "simhw/cluster.h"
@@ -51,6 +52,27 @@ inline constexpr std::string_view kRuleUnsatisfiableCompute = "place-unsatisfiab
 inline constexpr std::string_view kRuleUnsatisfiableMemory = "place-unsatisfiable-memory";
 // Graph-shape rules beyond Job::Validate().
 inline constexpr std::string_view kRuleDeadTask = "graph-dead-task";
+// May-happen-in-parallel rules (concurrency.h): conflicts between task pairs
+// the DAG leaves unordered.
+inline constexpr std::string_view kRuleMhpWriteWriteRace = "mhp-write-write-race";
+inline constexpr std::string_view kRuleMhpWriteReadRace = "mhp-write-read-race";
+inline constexpr std::string_view kRuleMhpTransferRace = "mhp-transfer-race";
+inline constexpr std::string_view kRuleMhpSerialized = "mhp-serialized";
+// Capacity-feasibility rules (require a cluster): symbolic peak-bytes bounds
+// cross-checked against device capacities.
+inline constexpr std::string_view kRuleCapUnplaceable = "cap-unplaceable";
+inline constexpr std::string_view kRuleCapOvercommit = "cap-overcommit";
+inline constexpr std::string_view kRuleCapFragile = "cap-fragile";
+
+// One catalog entry: the stable id, the (worst) severity the rule emits, and
+// a one-line summary. The catalog is the source the regression test checks
+// against DESIGN.md §6.1 — adding a rule without docs fails that test.
+struct RuleInfo {
+  std::string_view id;
+  Severity severity;
+  std::string_view summary;
+};
+const std::vector<RuleInfo>& RuleCatalog();
 
 // One finding: severity, stable rule id, location (task, and the edge peer
 // for edge-scoped rules), human message, and a fix-it hint.
@@ -96,12 +118,21 @@ class Report {
   std::optional<region::OwnershipState> ExpectedStateOf(dataflow::TaskId task,
                                                         dataflow::TaskId producer) const;
 
+  // The static MHP relation (num_tasks == 0 for invalid jobs) — the executor
+  // cross-checks every observed concurrent pair against it.
+  const MhpSummary& mhp() const { return mhp_; }
+  // Symbolic peak-memory bounds (computed == false without a cluster) — the
+  // sim-mhp oracle checks observed per-device peaks against them.
+  const CapacityBound& capacity() const { return capacity_; }
+
  private:
   friend Report Verify(const dataflow::Job&, const simhw::Cluster*,
                        const struct VerifyOptions&);
 
   std::vector<Diagnostic> diagnostics_;
   std::vector<ExpectedInput> expected_inputs_;
+  MhpSummary mhp_;
+  CapacityBound capacity_;
 };
 
 struct VerifyOptions {

@@ -3,6 +3,7 @@
 #include "rts/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <utility>
@@ -20,26 +21,6 @@ namespace {
 // Device tracks use the small compute ids; region-manager events use 1000 and
 // checkpoints 1001, so the job lane takes the next synthetic slot.
 constexpr std::uint64_t kJobTrack = 1002;
-
-// A job's same-step bodies may only run concurrently when no two of them can
-// touch the same mutable region: no job-wide Global State/Scratch, and no
-// edge that declares in-place writes to a delivered input. (Cross-job bodies
-// never share regions — confidentiality domains and per-job principals make
-// that impossible by construction — so this is a per-job property.)
-bool BodiesIndependent(const dataflow::Job& job) {
-  if (job.options().global_state_bytes > 0 || job.options().global_scratch_bytes > 0) {
-    return false;
-  }
-  for (std::size_t i = 0; i < job.num_tasks(); ++i) {
-    const auto t = dataflow::TaskId(static_cast<std::uint32_t>(i));
-    for (const dataflow::TaskId s : job.successors(t)) {
-      if (job.edge_options(t, s).writes_input) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -92,6 +73,9 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
   instruments_.task_duration_ns = reg.GetHistogram(
       "rts_task_duration_ns", "Charged simulated task execution time",
       telemetry::HistogramSpec{/*first_bound=*/100.0, /*growth=*/4.0, /*buckets=*/14});
+  instruments_.admission_verify_ns = reg.GetHistogram(
+      "rts_admission_verify_ns", "Wall-clock time of static verification at admission",
+      telemetry::HistogramSpec{/*first_bound=*/1000.0, /*growth=*/4.0, /*buckets=*/14});
 
   // Per-device scheduler state, indexed by id (compute ids are dense from 0).
   // Instrument handles resolve once here; dispatch does zero map lookups.
@@ -121,8 +105,18 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
   if (options_.verify != VerifyMode::kOff) {
     analysis::VerifyOptions vopts;
     vopts.allow_latency_relax = options_.region_config.allow_latency_relax;
+    const auto verify_start = std::chrono::steady_clock::now();
     last_verify_report_ = analysis::Verify(job, cluster_, vopts);
+    const auto verify_elapsed = std::chrono::steady_clock::now() - verify_start;
+    instruments_.admission_verify_ns->Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(verify_elapsed).count()));
     for (const analysis::Diagnostic& d : last_verify_report_.diagnostics()) {
+      // Cold path (one lookup per finding): analyzer verdicts by rule id.
+      registry_
+          ->GetCounter("analysis_rule_findings_total",
+                       "Static verifier findings at admission, by rule",
+                       {{"rule", std::string(d.rule)}})
+          ->Increment();
       if (d.severity == analysis::Severity::kError) {
         MEMFLOW_LOG(kWarn) << "verify(" << job.name() << "): " << d.ToString();
       } else {
@@ -151,7 +145,7 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
   exec->report.submitted = clock_.now();
   exec->tasks.resize(exec->job.num_tasks());
   exec->remaining_tasks = exec->job.num_tasks();
-  exec->parallel_safe = BodiesIndependent(exec->job);
+  exec->parallel_safe = analysis::JobParallelSafe(exec->job);
   stats_.jobs_submitted++;
   instruments_.jobs_submitted->Increment();
 
@@ -470,6 +464,37 @@ void Runtime::RunBody(PendingBody& body) {
 void Runtime::ExecuteBatch() {
   std::vector<PendingBody> batch;
   batch.swap(batch_);  // commits may stage new bodies; keep them separate
+
+  // Record which same-job task pairs share this batch (the dynamic face of
+  // the static MHP relation). Staging is serial and identical at every
+  // worker count, so the recorded pairs are too — they are recorded even
+  // when the batch then runs on one thread. Non-parallel-safe jobs are
+  // skipped: their bodies execute as one serial chain, never concurrently.
+  for (std::size_t a = 0; a < batch.size(); ++a) {
+    for (std::size_t b = a + 1; b < batch.size(); ++b) {
+      if (batch[a].job_index != batch[b].job_index) {
+        continue;
+      }
+      JobExec& exec = *jobs_[batch[a].job_index];
+      if (!exec.parallel_safe) {
+        continue;
+      }
+      const auto pair = std::minmax(batch[a].task, batch[b].task);
+      exec.observed_concurrent.emplace_back(pair.first, pair.second);
+      // Executor/analyzer cross-check: every observed pair must have been
+      // predicted statically. A miss is an analyzer soundness bug.
+      const analysis::MhpSummary& mhp = exec.verify_report.mhp();
+      if (options_.verify != VerifyMode::kOff &&
+          mhp.num_tasks == exec.job.num_tasks() &&
+          !mhp.MayRunConcurrently(pair.first, pair.second)) {
+        stats_.mhp_divergences++;
+        MEMFLOW_LOG(kError) << "mhp cross-check: job '" << exec.job.name()
+                            << "' tasks #" << pair.first.value << " and #"
+                            << pair.second.value
+                            << " share a batch outside the predicted MHP set";
+      }
+    }
+  }
 
   // --- parallel run phase -----------------------------------------------------
   //
@@ -1030,6 +1055,27 @@ const std::vector<PlacementDecision>& Runtime::PlacementLog(dataflow::JobId id) 
   for (const auto& exec : jobs_) {
     if (exec->id == id) {
       return exec->placement_log;
+    }
+  }
+  MEMFLOW_CHECK_MSG(false, "unknown job id");
+  __builtin_unreachable();
+}
+
+const analysis::Report& Runtime::VerifyReportOf(dataflow::JobId id) const {
+  for (const auto& exec : jobs_) {
+    if (exec->id == id) {
+      return exec->verify_report;
+    }
+  }
+  MEMFLOW_CHECK_MSG(false, "unknown job id");
+  __builtin_unreachable();
+}
+
+const std::vector<std::pair<dataflow::TaskId, dataflow::TaskId>>&
+Runtime::ObservedConcurrentPairs(dataflow::JobId id) const {
+  for (const auto& exec : jobs_) {
+    if (exec->id == id) {
+      return exec->observed_concurrent;
     }
   }
   MEMFLOW_CHECK_MSG(false, "unknown job id");

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/verifier.h"
@@ -130,6 +131,9 @@ struct RuntimeStats {
   std::uint64_t task_retries = 0;
   std::uint64_t zero_copy_handovers = 0;
   std::uint64_t copied_handovers = 0;
+  // Observed same-batch task pairs the static MHP analysis did not predict
+  // (executor cross-check; must stay 0 — the sim-mhp invariant asserts it).
+  std::uint64_t mhp_divergences = 0;
 };
 
 class Runtime {
@@ -161,6 +165,16 @@ class Runtime {
   region::Principal JobPrincipal(dataflow::JobId id) const;
   // Verifier findings for the most recent Submit() (admitted or rejected).
   const analysis::Report& last_verify_report() const { return last_verify_report_; }
+  // Verifier findings recorded at admission for a specific admitted job
+  // (empty report when verify was kOff).
+  const analysis::Report& VerifyReportOf(dataflow::JobId id) const;
+  // Task pairs of `id` that actually shared a parallel batch, in commit
+  // order. Recorded for parallel-safe jobs whenever two of their bodies are
+  // staged at one virtual-time step — identically at every worker count —
+  // and cross-checked against the static MHP prediction (stats().
+  // mhp_divergences counts the misses).
+  const std::vector<std::pair<dataflow::TaskId, dataflow::TaskId>>&
+  ObservedConcurrentPairs(dataflow::JobId id) const;
   region::RegionManager& regions() { return regions_; }
   const region::RegionManager& regions() const { return regions_; }
   simhw::VirtualClock& clock() { return clock_; }
@@ -227,6 +241,8 @@ class Runtime {
     bool failed = false;
     // Decision log for PlacementLog(): admission placements, then replans.
     std::vector<PlacementDecision> placement_log;
+    // Task pairs that shared a parallel batch (see ObservedConcurrentPairs).
+    std::vector<std::pair<dataflow::TaskId, dataflow::TaskId>> observed_concurrent;
     // Whether this job's task bodies may run concurrently with each other.
     // False when tasks share mutable regions (Global State/Scratch) or an
     // edge declares writes_input — such a job's same-step bodies execute as
@@ -306,6 +322,7 @@ class Runtime {
     telemetry::Counter* handovers_copied = nullptr;
     telemetry::Histogram* queue_wait_ns = nullptr;
     telemetry::Histogram* task_duration_ns = nullptr;
+    telemetry::Histogram* admission_verify_ns = nullptr;
   };
 
   simhw::Cluster* cluster_;

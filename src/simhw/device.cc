@@ -125,6 +125,7 @@ Result<Extent> MemoryDevice::Allocate(std::uint64_t size) {
       }
       live_.emplace(offset, LiveExtent{rounded, {}});
       used_ += rounded;
+      peak_used_ = std::max(peak_used_, used_);
       return Extent{id_, offset, rounded};
     }
   }

@@ -117,6 +117,11 @@ class MemoryDevice {
   const MemoryDeviceProfile& profile() const { return profile_; }
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t used() const { return used_; }
+  // High-water mark of used() since construction or the last ResetPeakUsed().
+  // The capacity-bound oracle (testing/oracle.h) compares it against the
+  // static per-device peak-bytes bound.
+  std::uint64_t peak_used() const { return peak_used_; }
+  void ResetPeakUsed() { peak_used_ = used_; }
   std::uint64_t free_bytes() const { return capacity_ - used_; }
   double utilization() const {
     return capacity_ == 0 ? 0.0 : static_cast<double>(used_) / static_cast<double>(capacity_);
@@ -176,6 +181,7 @@ class MemoryDevice {
   MemoryDeviceProfile profile_;
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
+  std::uint64_t peak_used_ = 0;
   bool failed_ = false;
 
   // Free list keyed by offset → size. Invariant: ranges are disjoint and

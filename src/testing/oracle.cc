@@ -70,6 +70,12 @@ DeviceUsage CaptureDeviceUsage(const simhw::Cluster& cluster) {
   return usage;
 }
 
+void ResetPeakUsage(simhw::Cluster& cluster) {
+  for (const simhw::MemoryDeviceId id : cluster.AllMemoryDevices()) {
+    cluster.memory(id).ResetPeakUsed();
+  }
+}
+
 std::string Fingerprint(const rts::JobReport& report) {
   // Status *codes*, not messages: error text may embed region ids, which are
   // the one divergence the executor permits across worker counts.
@@ -283,6 +289,72 @@ std::string CheckAttribution(rts::Runtime& rt, const std::vector<dataflow::JobId
     }
   }
   return fingerprint;
+}
+
+void CheckMhp(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
+              const OracleScope& scope, std::vector<Violation>* out) {
+  // --- dynamic ⊆ static: every pair that shared a parallel batch must be in
+  // the predicted MHP set. An empty verify report (kOff runtimes) has
+  // num_tasks == 0 and is skipped — there is no prediction to validate.
+  bool all_bounds_computed = true;
+  for (const dataflow::JobId id : jobs) {
+    const analysis::Report& rep = rt.VerifyReportOf(id);
+    auto job = rt.GetJob(id);
+    if (!job.ok() || rep.mhp().num_tasks != (*job)->num_tasks()) {
+      all_bounds_computed = false;
+      continue;
+    }
+    const analysis::MhpSummary& mhp = rep.mhp();
+    for (const auto& [a, b] : rt.ObservedConcurrentPairs(id)) {
+      if (!mhp.MayRunConcurrently(a, b)) {
+        Add(out, kInvMhp,
+            "job " + rt.report(id).name + ": tasks " + std::to_string(a.value) + " and " +
+                std::to_string(b.value) +
+                " shared a parallel batch outside the predicted MHP set");
+      }
+    }
+    if (!rep.capacity().computed) {
+      all_bounds_computed = false;
+    }
+  }
+  if (rt.stats().mhp_divergences != 0) {
+    Add(out, kInvMhp,
+        "executor MHP cross-check tripped " + std::to_string(rt.stats().mhp_divergences) +
+            " time(s)");
+  }
+
+  // --- observed peak ⊆ static bound: each device's high-water mark above the
+  // leg baseline must fit under the sum of the admitted jobs' per-device
+  // capacity bounds. Only meaningful when every job carries a bound — a
+  // missing bound (kOff, or a topology-free Verify) makes the sum unsound.
+  if (!all_bounds_computed) {
+    return;
+  }
+  const simhw::Cluster& cluster = rt.cluster();
+  for (const simhw::MemoryDeviceId id : cluster.AllMemoryDevices()) {
+    if (scope.exclude_device && id == *scope.exclude_device) {
+      continue;
+    }
+    if (!cluster.memory(id).profile().allocatable) {
+      continue;
+    }
+    std::uint64_t bound = 0;
+    for (const dataflow::JobId jid : jobs) {
+      const analysis::CapacityBound& cap = rt.VerifyReportOf(jid).capacity();
+      if (id.value < cap.peak_device_bytes.size()) {
+        bound += cap.peak_device_bytes[id.value];
+      }
+    }
+    const std::uint64_t baseline =
+        id.value < scope.baseline.size() ? scope.baseline[id.value] : 0;
+    const std::uint64_t peak = cluster.memory(id).peak_used();
+    if (peak > baseline && peak - baseline > bound) {
+      Add(out, kInvMhp,
+          "device " + cluster.memory(id).name() + ": observed peak " +
+              std::to_string(peak - baseline) + " bytes above baseline exceeds static bound " +
+              std::to_string(bound));
+    }
+  }
 }
 
 }  // namespace memflow::testing

@@ -24,9 +24,14 @@
 //                            makespan, a clean job has unattributed time, a
 //                            live region cannot explain its placement, or
 //                            attribution differs across worker counts
+//   sim-mhp                  static-vs-dynamic concurrency contract
+//                            (DESIGN.md §12): a task pair shared a parallel
+//                            batch outside the predicted MHP set, or a
+//                            device's observed peak bytes exceeded the
+//                            static capacity bound
 //
-// The first five and sim-attribution are checked here; the rest are emitted
-// by the differential runner (scenario.h) which owns the cross-run
+// The first five, sim-attribution and sim-mhp are checked here; the rest are
+// emitted by the differential runner (scenario.h) which owns the cross-run
 // comparisons.
 
 #ifndef MEMFLOW_TESTING_ORACLE_H_
@@ -50,6 +55,7 @@ inline constexpr char kInvRestartEquivalence[] = "sim-restart-equivalence";
 inline constexpr char kInvLiveness[] = "sim-liveness";
 inline constexpr char kInvAdmission[] = "sim-admission";
 inline constexpr char kInvAttribution[] = "sim-attribution";
+inline constexpr char kInvMhp[] = "sim-mhp";
 
 struct Violation {
   std::string invariant;  // one of the stable ids above
@@ -62,6 +68,11 @@ struct Violation {
 // extents), so conservation is asserted as a delta against this baseline.
 using DeviceUsage = std::vector<std::uint64_t>;
 DeviceUsage CaptureDeviceUsage(const simhw::Cluster& cluster);
+
+// Rebases every memory device's allocation high-water mark to its current
+// used(); call right after CaptureDeviceUsage so peak_used() - baseline is
+// exactly the leg's own contribution.
+void ResetPeakUsage(simhw::Cluster& cluster);
 
 struct OracleScope {
   DeviceUsage baseline;
@@ -94,6 +105,15 @@ void CheckPostRelease(rts::Runtime& rt, const OracleScope& scope,
 // compares it across worker counts.
 std::string CheckAttribution(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
                              std::vector<Violation>* out);
+
+// Static-vs-dynamic concurrency & capacity contract (DESIGN.md §12):
+// every task pair observed sharing a parallel batch must be in its job's
+// statically predicted MHP set, the executor's own cross-check counter must
+// be zero, and every device's peak_used() - baseline must stay within the
+// sum of the admitted jobs' static per-device capacity bounds. Skipped for
+// runtimes that ran with VerifyMode::kOff (no static prediction exists).
+void CheckMhp(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
+              const OracleScope& scope, std::vector<Violation>* out);
 
 }  // namespace memflow::testing
 

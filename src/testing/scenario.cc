@@ -72,6 +72,7 @@ LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
   const std::optional<simhw::MemoryDeviceId> exclude =
       ckpt ? inst.persistent_device : std::nullopt;
   const DeviceUsage baseline = CaptureDeviceUsage(*inst.cluster);
+  ResetPeakUsage(*inst.cluster);
 
   rts::RuntimeOptions ropts;
   ropts.policy = sc.policy;
@@ -109,6 +110,7 @@ LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
 
   const OracleScope scope{baseline, exclude, sc.max_task_attempts};
   CheckPostRun(rt, ids, scope, out);
+  CheckMhp(rt, ids, scope, out);
   leg.attribution = CheckAttribution(rt, ids, out);
 
   for (const dataflow::JobId id : ids) {

@@ -364,4 +364,38 @@ dataflow::Job WideJob(const std::string& name, int width) {
   return job;
 }
 
+JobSpec MakeRacyJobSpec() {
+  JobSpec spec;
+  spec.name = "racy-fanout";
+  for (const char* name : {"producer", "writer-a", "writer-b"}) {
+    TaskGen t;
+    t.name = name;
+    t.salt = spec.tasks.size() + 1;
+    spec.tasks.push_back(t);
+  }
+  spec.tasks[1].rewrite_exclusive_inputs = true;
+  spec.tasks[2].rewrite_exclusive_inputs = true;
+  spec.edges.push_back({0, 1, dataflow::EdgeMode::kAuto, /*writes_input=*/true});
+  spec.edges.push_back({0, 2, dataflow::EdgeMode::kAuto, /*writes_input=*/true});
+  return spec;
+}
+
+JobSpec MakeOvercommittedJobSpec(std::uint64_t chunk_bytes, int width) {
+  JobSpec spec;
+  spec.name = "overcommitted-fanout";
+  TaskGen src;
+  src.name = "src";
+  src.salt = 1;
+  spec.tasks.push_back(src);
+  for (int i = 0; i < width; ++i) {
+    TaskGen t;
+    t.name = "hog" + std::to_string(i);
+    t.salt = static_cast<std::uint64_t>(i) + 2;
+    t.output_bytes = chunk_bytes;
+    spec.tasks.push_back(t);
+    spec.edges.push_back({0, i + 1, dataflow::EdgeMode::kShare, /*writes_input=*/false});
+  }
+  return spec;
+}
+
 }  // namespace memflow::testing

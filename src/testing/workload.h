@@ -133,6 +133,24 @@ dataflow::TaskFn AsyncSummingConsumer();
 // sink; sink value for AsyncProducer(512) is width * (3 * 511 * 512 / 2).
 dataflow::Job WideJob(const std::string& name, int width);
 
+// --- intentionally inadmissible specs -----------------------------------------
+//
+// Negative fixtures for the static analyzer's self-tests (tools/verify_corpus
+// and tests/analysis_mhp_test.cc): specs GenerateJobSpec can never emit, built
+// here so the "the analyzer must flag this" direction is exercised with the
+// same TaskGen/EdgeGen vocabulary as the admissible corpus.
+
+// A producer fanned out to two unordered consumers that both declare
+// writes_input: Verify must report mhp-write-write-race (and the ownership
+// pass's own-write-shared-input).
+JobSpec MakeRacyJobSpec();
+
+// One source fanned out to `width` unordered consumers each producing
+// `chunk_bytes` (multiple of 8). Pick width * chunk_bytes above the target
+// topology's total capacity to trigger cap-overcommit, or chunk_bytes above
+// every single device to trigger cap-unplaceable.
+JobSpec MakeOvercommittedJobSpec(std::uint64_t chunk_bytes, int width);
+
 }  // namespace memflow::testing
 
 #endif  // MEMFLOW_TESTING_WORKLOAD_H_

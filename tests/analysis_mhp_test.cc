@@ -1,0 +1,420 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the static concurrency & capacity analyzer (DESIGN.md §12): one
+// failing and one passing fixture per mhp-*/cap-* rule id, the MHP relation
+// and max-weight-antichain primitives, the CostModel mirror, and the rule
+// catalog regression against DESIGN.md §6.1.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/verifier.h"
+#include "rts/cost_model.h"
+#include "simhw/presets.h"
+#include "testing/workload.h"
+
+namespace memflow::analysis {
+namespace {
+
+using dataflow::EdgeMode;
+using dataflow::EdgeOptions;
+using dataflow::Job;
+using dataflow::TaskContext;
+using dataflow::TaskFn;
+using dataflow::TaskId;
+using dataflow::TaskProperties;
+
+TaskFn Nop() {
+  return [](TaskContext&) { return OkStatus(); };
+}
+
+TaskProperties WithOutput(std::uint64_t bytes = KiB(4)) {
+  TaskProperties props;
+  props.output_bytes = bytes;
+  return props;
+}
+
+EdgeOptions Writes() {
+  EdgeOptions opts;
+  opts.writes_input = true;
+  return opts;
+}
+
+void ExpectRuleWithHint(const Report& report, std::string_view rule) {
+  int n = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) {
+      ++n;
+      EXPECT_FALSE(d.hint.empty()) << "rule " << rule << " has no fix-it";
+      EXPECT_FALSE(d.message.empty());
+    }
+  }
+  EXPECT_GT(n, 0) << "rule " << rule << " did not fire";
+}
+
+// --- MHP relation primitives --------------------------------------------------------
+
+TEST(Mhp, DiamondReachabilityAndUnorderedPairs) {
+  Job job("diamond");
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", WithOutput(), Nop());
+  const TaskId c = job.AddTask("c", WithOutput(), Nop());
+  const TaskId d = job.AddTask("d", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+  ASSERT_TRUE(job.Connect(b, d).ok());
+  ASSERT_TRUE(job.Connect(c, d).ok());
+
+  const MhpSummary mhp = ComputeMhp(job);
+  EXPECT_EQ(mhp.num_tasks, 4u);
+  EXPECT_TRUE(mhp.parallel_safe);
+  EXPECT_TRUE(mhp.Reaches(a, d));  // transitive through b/c
+  EXPECT_FALSE(mhp.Reaches(d, a));
+  EXPECT_TRUE(mhp.Unordered(b, c));
+  EXPECT_TRUE(mhp.MayRunConcurrently(b, c));
+  EXPECT_FALSE(mhp.MayRunConcurrently(a, b));
+  EXPECT_EQ(mhp.UnorderedPairCount(), 1u);  // exactly {b,c}
+}
+
+TEST(Mhp, GlobalsAndInPlaceWritesSerialize) {
+  dataflow::JobOptions with_state;
+  with_state.global_state_bytes = KiB(1);
+  Job stateful("stateful", with_state);
+  stateful.AddTask("a", {}, Nop());
+  stateful.AddTask("b", {}, Nop());
+  EXPECT_FALSE(JobParallelSafe(stateful));
+  const MhpSummary mhp = ComputeMhp(stateful);
+  EXPECT_TRUE(mhp.Unordered(TaskId(0), TaskId(1)));
+  EXPECT_FALSE(mhp.MayRunConcurrently(TaskId(0), TaskId(1)));
+
+  Job writer("writer");
+  const TaskId p = writer.AddTask("p", WithOutput(), Nop());
+  const TaskId w = writer.AddTask("w", {}, Nop());
+  EdgeOptions opts;
+  opts.mode = EdgeMode::kMove;
+  opts.writes_input = true;
+  ASSERT_TRUE(writer.Connect(p, w, opts).ok());
+  EXPECT_FALSE(JobParallelSafe(writer));
+
+  Job clean("clean");
+  clean.AddTask("a", WithOutput(), Nop());
+  EXPECT_TRUE(JobParallelSafe(clean));
+}
+
+// --- max-weight antichain -----------------------------------------------------------
+
+TEST(Antichain, IncomparableChainAndDiamond) {
+  // Two incomparable elements: both can be live at once.
+  EXPECT_EQ(MaxWeightAntichain({{false, false}, {false, false}}, {3, 5}), 8u);
+  // A chain: only the heavier element.
+  EXPECT_EQ(MaxWeightAntichain({{false, true}, {false, false}}, {3, 5}), 5u);
+  // Diamond a<{b,c}<d, unit weights: the middle pair.
+  const std::vector<std::vector<bool>> diamond = {
+      {false, true, true, true},
+      {false, false, false, true},
+      {false, false, false, true},
+      {false, false, false, false},
+  };
+  EXPECT_EQ(MaxWeightAntichain(diamond, {1, 1, 1, 1}), 2u);
+  // Heavy chain element dominates the antichain of light ones.
+  EXPECT_EQ(MaxWeightAntichain(diamond, {10, 1, 1, 1}), 10u);
+  // Zero weights drop out entirely.
+  EXPECT_EQ(MaxWeightAntichain(diamond, {0, 1, 1, 0}), 2u);
+  EXPECT_EQ(MaxWeightAntichain({}, {}), 0u);
+}
+
+// --- CostModel mirror ---------------------------------------------------------------
+
+TEST(CapacityModel, SizeEstimatesMatchCostModel) {
+  TaskProperties props;
+  props.output_bytes = 4096;
+  props.output_bytes_per_input_byte = 0.75;
+  props.scratch_bytes = 123;
+  props.scratch_bytes_per_input_byte = 1.5;
+  for (const std::uint64_t input : {0ull, 64ull, 4095ull, 1ull << 30}) {
+    EXPECT_EQ(EstimatedOutputBytes(props, input), rts::CostModel::OutputBytes(props, input));
+    EXPECT_EQ(EstimatedScratchBytes(props, input), rts::CostModel::ScratchBytes(props, input));
+  }
+}
+
+// --- mhp-write-write-race -----------------------------------------------------------
+
+TEST(MhpRules, UnorderedInPlaceWritersDetected) {
+  const Job job = testing::BuildJob(testing::MakeRacyJobSpec());
+  const Report report = Verify(job);
+  ExpectRuleWithHint(report, kRuleMhpWriteWriteRace);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(MhpRules, OrderedWritersAreClean) {
+  Job job("ordered-writers");
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b, Writes()).ok());
+  ASSERT_TRUE(job.Connect(a, c, Writes()).ok());
+  ASSERT_TRUE(job.Connect(b, c, {EdgeMode::kControl}).ok());  // orders the writers
+
+  EXPECT_FALSE(Verify(job).HasRule(kRuleMhpWriteWriteRace));
+}
+
+// --- mhp-write-read-race ------------------------------------------------------------
+
+TEST(MhpRules, UnorderedWriterAndReaderDetected) {
+  Job job("wr-race");
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b, Writes()).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());  // plain reader, unordered with b
+
+  const Report report = Verify(job);
+  ExpectRuleWithHint(report, kRuleMhpWriteReadRace);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(MhpRules, ReaderOrderedBeforeWriterIsClean) {
+  Job job("wr-ordered");
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b, Writes()).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+  ASSERT_TRUE(job.Connect(c, b, {EdgeMode::kControl}).ok());  // read fully precedes write
+
+  EXPECT_FALSE(Verify(job).HasRule(kRuleMhpWriteReadRace));
+}
+
+// --- mhp-transfer-race --------------------------------------------------------------
+
+TEST(MhpRules, MoveRacingSiblingReaderDetected) {
+  Job job("move-race");
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b, {EdgeMode::kMove}).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+
+  const Report report = Verify(job);
+  ExpectRuleWithHint(report, kRuleMhpTransferRace);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(MhpRules, ReaderOrderedBeforeMoveIsClean) {
+  Job job("move-ordered");
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b, {EdgeMode::kMove}).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());
+  ASSERT_TRUE(job.Connect(c, b, {EdgeMode::kControl}).ok());
+
+  EXPECT_FALSE(Verify(job).HasRule(kRuleMhpTransferRace));
+}
+
+// --- mhp-serialized -----------------------------------------------------------------
+
+TEST(MhpRules, LostParallelismNoted) {
+  dataflow::JobOptions with_state;
+  with_state.global_state_bytes = KiB(1);
+  Job job("serialized", with_state);
+  const TaskId a = job.AddTask("a", WithOutput(), Nop());
+  const TaskId b = job.AddTask("b", {}, Nop());
+  const TaskId c = job.AddTask("c", {}, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(a, c).ok());  // b,c unordered but serialized
+
+  const Report report = Verify(job);
+  ExpectRuleWithHint(report, kRuleMhpSerialized);
+  EXPECT_TRUE(report.ok());  // note-severity: admissible
+}
+
+TEST(MhpRules, ParallelSafeAndChainJobsNotNoted) {
+  Job par("parallel");
+  const TaskId a = par.AddTask("a", WithOutput(), Nop());
+  const TaskId b = par.AddTask("b", {}, Nop());
+  const TaskId c = par.AddTask("c", {}, Nop());
+  ASSERT_TRUE(par.Connect(a, b).ok());
+  ASSERT_TRUE(par.Connect(a, c).ok());
+  EXPECT_FALSE(Verify(par).HasRule(kRuleMhpSerialized));
+
+  // Serialized but with no parallelism to lose: a pure chain.
+  dataflow::JobOptions with_state;
+  with_state.global_state_bytes = KiB(1);
+  Job chain("chain", with_state);
+  const TaskId x = chain.AddTask("x", WithOutput(), Nop());
+  const TaskId y = chain.AddTask("y", {}, Nop());
+  ASSERT_TRUE(chain.Connect(x, y).ok());
+  EXPECT_FALSE(Verify(chain).HasRule(kRuleMhpSerialized));
+}
+
+// --- capacity fixtures --------------------------------------------------------------
+
+// One CPU with a small DRAM DIMM (1 MiB) and a large but slow far-memory pool
+// behind the NIC — enough texture to separate the three cap-* rules.
+struct TinyRig {
+  simhw::Cluster cluster;
+  simhw::ComputeDeviceId cpu;
+  simhw::MemoryDeviceId dram;
+  simhw::MemoryDeviceId far;
+
+  explicit TinyRig(bool with_far = false) {
+    const simhw::NodeId node = cluster.AddNode("n0");
+    cpu = cluster.AddCompute(node, simhw::ComputeDeviceKind::kCPU, "cpu");
+    dram = cluster.AddMemory(node, simhw::MemoryDeviceKind::kDRAM, MiB(1), "dram");
+    cluster.Link(cluster.VertexOf(cpu), cluster.VertexOf(dram), simhw::LinkKind::kMemBus);
+    if (with_far) {
+      far = cluster.AddMemory(node, simhw::MemoryDeviceKind::kDisaggMem, GiB(1), "far");
+      cluster.Link(cluster.VertexOf(cpu), cluster.VertexOf(far), simhw::LinkKind::kNic);
+    }
+  }
+};
+
+// --- cap-unplaceable ----------------------------------------------------------------
+
+TEST(CapacityRules, OversizedDemandDetected) {
+  TinyRig rig;
+  Job job("huge");
+  job.AddTask("hog", WithOutput(MiB(4)), Nop());
+
+  const Report report = Verify(job, &rig.cluster);
+  ExpectRuleWithHint(report, kRuleCapUnplaceable);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(report.capacity().computed);
+  EXPECT_EQ(report.capacity().peak_concurrent_bytes, MiB(4));
+}
+
+TEST(CapacityRules, FittingDemandIsClean) {
+  TinyRig rig;
+  Job job("fits");
+  job.AddTask("t", WithOutput(KiB(256)), Nop());
+
+  const Report report = Verify(job, &rig.cluster);
+  EXPECT_FALSE(report.HasRule(kRuleCapUnplaceable));
+  EXPECT_TRUE(report.ok());
+  // The bound covers the one device that can hold the region.
+  ASSERT_TRUE(report.capacity().computed);
+  ASSERT_LT(rig.dram.value, report.capacity().peak_device_bytes.size());
+  EXPECT_GE(report.capacity().peak_device_bytes[rig.dram.value], KiB(256));
+}
+
+// --- cap-overcommit -----------------------------------------------------------------
+
+TEST(CapacityRules, ConcurrentFootprintOvercommitWarned) {
+  TinyRig rig;
+  Job job("overcommit");
+  const TaskId src = job.AddTask("src", WithOutput(64), Nop());
+  const TaskId a = job.AddTask("a", WithOutput(KiB(768)), Nop());
+  const TaskId b = job.AddTask("b", WithOutput(KiB(768)), Nop());
+  ASSERT_TRUE(job.Connect(src, a, {EdgeMode::kShare}).ok());
+  ASSERT_TRUE(job.Connect(src, b, {EdgeMode::kShare}).ok());
+
+  const Report report = Verify(job, &rig.cluster);
+  ExpectRuleWithHint(report, kRuleCapOvercommit);
+  EXPECT_FALSE(report.HasRule(kRuleCapUnplaceable));  // each region fits alone
+  EXPECT_TRUE(report.ok());  // warning-severity: admissible
+  EXPECT_GT(report.capacity().peak_concurrent_bytes, MiB(1));
+}
+
+TEST(CapacityRules, ChainedFootprintIsClean) {
+  TinyRig rig;
+  Job job("chained");
+  const TaskId a = job.AddTask("a", WithOutput(KiB(768)), Nop());
+  const TaskId b = job.AddTask("b", WithOutput(KiB(64)), Nop());
+  const TaskId c = job.AddTask("c", WithOutput(KiB(64)), Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+
+  const Report report = Verify(job, &rig.cluster);
+  EXPECT_FALSE(report.HasRule(kRuleCapOvercommit));
+  // a's output cannot overlap c's: a dies when b (its sole consumer) ends,
+  // strictly before c starts — so the peak stays under the sum of all three.
+  EXPECT_LT(report.capacity().peak_concurrent_bytes, KiB(768) + KiB(64) + KiB(64));
+}
+
+// --- cap-fragile --------------------------------------------------------------------
+
+TEST(CapacityRules, StrictLatencyDemandBeyondClassCapacityWarned) {
+  TinyRig rig(/*with_far=*/true);
+  Job job("fragile");
+  TaskProperties fast = WithOutput(KiB(512));
+  fast.mem_latency = region::LatencyClass::kLow;
+  const TaskId a = job.AddTask("a", fast, Nop());
+  const TaskId b = job.AddTask("b", fast, Nop());
+  const TaskId c = job.AddTask("c", fast, Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+
+  const Report report = Verify(job, &rig.cluster);
+  ExpectRuleWithHint(report, kRuleCapFragile);
+  // Individually each 512 KiB region fits DRAM, and the 1 GiB far pool keeps
+  // the total footprint uncontested — only the latency class is oversubscribed.
+  EXPECT_FALSE(report.HasRule(kRuleCapUnplaceable));
+  EXPECT_FALSE(report.HasRule(kRuleCapOvercommit));
+  EXPECT_TRUE(report.ok());  // warning-severity: admissible
+}
+
+TEST(CapacityRules, RelaxedLatencyDemandIsClean) {
+  TinyRig rig(/*with_far=*/true);
+  Job job("relaxed");
+  const TaskId a = job.AddTask("a", WithOutput(KiB(512)), Nop());
+  const TaskId b = job.AddTask("b", WithOutput(KiB(512)), Nop());
+  const TaskId c = job.AddTask("c", WithOutput(KiB(512)), Nop());
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  ASSERT_TRUE(job.Connect(b, c).ok());
+
+  const Report report = Verify(job, &rig.cluster);
+  EXPECT_FALSE(report.HasRule(kRuleCapFragile));
+  EXPECT_TRUE(report.ok());
+}
+
+// --- generator self-tests -----------------------------------------------------------
+
+TEST(NegativeSpecs, RacySpecIsRejectedOvercommittedSpecIsWarned) {
+  const Report racy = Verify(testing::BuildJob(testing::MakeRacyJobSpec()));
+  EXPECT_FALSE(racy.ok());
+  EXPECT_TRUE(racy.HasRule(kRuleMhpWriteWriteRace));
+
+  TinyRig rig;
+  const Report over = Verify(
+      testing::BuildJob(testing::MakeOvercommittedJobSpec(KiB(512), 4)), &rig.cluster);
+  EXPECT_TRUE(over.HasRule(kRuleCapOvercommit));
+}
+
+// --- rule catalog regression --------------------------------------------------------
+
+TEST(RuleCatalog, IdsAreStable) {
+  // Renaming or dropping a published rule id breaks downstream grep/triage
+  // workflows; additions append here and to DESIGN.md §6.1.
+  const std::vector<std::string_view> expected = {
+      "own-use-after-transfer", "own-double-transfer", "own-leaked-output",
+      "own-write-shared-input", "prop-confidential-downgrade", "prop-persistent-latency",
+      "place-unsatisfiable-compute", "place-unsatisfiable-memory", "graph-dead-task",
+      "mhp-write-write-race", "mhp-write-read-race", "mhp-transfer-race", "mhp-serialized",
+      "cap-unplaceable", "cap-overcommit", "cap-fragile",
+  };
+  const std::vector<RuleInfo>& catalog = RuleCatalog();
+  ASSERT_EQ(catalog.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(catalog[i].id, expected[i]);
+    EXPECT_FALSE(catalog[i].summary.empty()) << catalog[i].id;
+  }
+}
+
+TEST(RuleCatalog, EveryRuleIsDocumentedInDesignDoc) {
+  const std::string path = std::string(MEMFLOW_SOURCE_DIR) + "/DESIGN.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string design = buf.str();
+  for (const RuleInfo& rule : RuleCatalog()) {
+    EXPECT_NE(design.find(rule.id), std::string::npos)
+        << "rule " << rule.id << " is not documented in DESIGN.md";
+  }
+}
+
+}  // namespace
+}  // namespace memflow::analysis

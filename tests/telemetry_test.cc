@@ -238,6 +238,37 @@ TEST_F(TelemetryRuntimeTest, JobUpdatesMetricsAcrossLayers) {
   EXPECT_GT(CounterValue("region_alloc_bytes_total"), 0u);
 }
 
+TEST_F(TelemetryRuntimeTest, AdmissionVerifierVerdictsExported) {
+  // A disconnected task trips graph-dead-task (warning: still admitted); the
+  // finding and the verification timing must land in every export format.
+  dataflow::Job job("warned");
+  const dataflow::TaskId a = job.AddTask("a", {}, Worker(1e4));
+  const dataflow::TaskId b = job.AddTask("b", {}, Worker(1e4));
+  ASSERT_TRUE(job.Connect(a, b).ok());
+  job.AddTask("dead", {}, Worker(1e4));
+  ASSERT_TRUE(rt_->Submit(std::move(job)).ok());
+
+  EXPECT_EQ(CounterValue("analysis_rule_findings_total", {{"rule", "graph-dead-task"}}),
+            1u);
+  std::uint64_t verify_count = 0;
+  for (const auto& f : registry_.Snapshot().families) {
+    if (f.name == "rts_admission_verify_ns") {
+      for (const auto& s : f.series) {
+        verify_count += s.count;
+      }
+    }
+  }
+  EXPECT_EQ(verify_count, 1u);  // one Submit, one timed Verify
+
+  const std::string prom = registry_.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("analysis_rule_findings_total{rule=\"graph-dead-task\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("rts_admission_verify_ns_count"), std::string::npos);
+  const std::string json = registry_.Snapshot().ToJson();
+  EXPECT_NE(json.find("analysis_rule_findings_total"), std::string::npos);
+  EXPECT_NE(json.find("rts_admission_verify_ns"), std::string::npos);
+}
+
 TEST_F(TelemetryRuntimeTest, HandoverEmitsFlowArrowWithOrderedEndpoints) {
   dataflow::Job job("flow");
   const dataflow::TaskId a = job.AddTask("producer", {}, Worker(1e5));

@@ -81,7 +81,8 @@ def main():
         rows.append((name, unit, fmt(bval, unit), fmt(cval, unit), delta,
                      "ok" if ok else "FAIL"))
         failures += 0 if ok else 1
-    for name in sorted(set(cur) - set(base)):
+    new_metrics = sorted(set(cur) - set(base))
+    for name in new_metrics:
         cval, unit = cur[name]
         rows.append((name, unit, "-", fmt(cval, unit), "-", "new"))
 
@@ -93,6 +94,13 @@ def main():
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
 
+    if new_metrics:
+        # New metrics are ungated until the baseline learns about them — a
+        # warning, not a failure, so adding a bench metric doesn't brick CI.
+        print(f"\nWARNING: {len(new_metrics)} metric(s) present only in the current "
+              f"artifact (not gated yet): {', '.join(new_metrics)}")
+        print("Pick them up into the baseline with:")
+        print(f"  cp {args.current} {args.baseline}")
     if failures:
         print(f"\nFAIL: {failures} gated metric(s) beyond {args.tolerance:.0%} tolerance "
               f"(units {sorted(GATED_UNITS)} are gated; wall-clock units are informational).")

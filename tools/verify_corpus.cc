@@ -1,0 +1,116 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// CI gate: runs the full static verifier (ownership, property, graph, MHP,
+// placement, capacity — DESIGN.md §6.1/§12) over every DAG the repository
+// ships or generates:
+//
+//   1. the example/bench application jobs (DBMS, hospital, stencil, ML,
+//      streaming) against a topology that can host each of them,
+//   2. every job of the pinned 20-seed simulation corpus against its
+//      scenario's own topology — with ZERO tolerance for errors: the
+//      generator promises admissible-by-construction DAGs, so a single
+//      analyzer error here is either a generator regression or an analyzer
+//      false positive, and both must fail CI,
+//   3. the deliberately inadmissible negative specs, asserting they ARE
+//      flagged — so a change that silently blinds the analyzer also fails.
+//
+// Exit status is the number of failing checks (0 = gate passes).
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/verifier.h"
+#include "apps/dbms.h"
+#include "apps/hospital.h"
+#include "apps/hpc.h"
+#include "apps/ml.h"
+#include "apps/streaming.h"
+#include "simhw/presets.h"
+#include "testing/scenario.h"
+#include "testing/workload.h"
+
+namespace {
+
+int g_failures = 0;
+int g_jobs_checked = 0;
+int g_warnings = 0;
+int g_notes = 0;
+
+void Check(bool ok, const std::string& what, const memflow::analysis::Report& report) {
+  if (!ok) {
+    ++g_failures;
+    std::printf("FAIL  %s\n%s", what.c_str(), report.ToString().c_str());
+  }
+}
+
+// An admissible DAG: no errors allowed, warnings/notes tallied for the log.
+void ExpectClean(const memflow::dataflow::Job& job, const memflow::simhw::Cluster* cluster,
+                 const std::string& what) {
+  const memflow::analysis::Report report =
+      cluster ? memflow::analysis::Verify(job, cluster) : memflow::analysis::Verify(job);
+  ++g_jobs_checked;
+  g_warnings += report.warnings();
+  for (const memflow::analysis::Diagnostic& d : report.diagnostics()) {
+    g_notes += d.severity == memflow::analysis::Severity::kNote ? 1 : 0;
+  }
+  Check(report.ok(), what + ": expected no analyzer errors", report);
+}
+
+}  // namespace
+
+int main() {
+  namespace analysis = memflow::analysis;
+  namespace apps = memflow::apps;
+  namespace testing = memflow::testing;
+
+  // --- 1. shipped application DAGs -------------------------------------------
+  // The CXL expansion host has every media class the app jobs demand
+  // (persistent PMem for the hospital alert log and the trained weights).
+  {
+    memflow::simhw::CxlHostHandles host = memflow::simhw::MakeCxlExpansionHost();
+    ExpectClean(apps::dbms::BuildScanAggregateJob({}, 0.5), host.cluster.get(),
+                "apps/dbms scan-aggregate");
+    ExpectClean(apps::dbms::BuildJoinJob({}, {1000, 16, 2}), host.cluster.get(),
+                "apps/dbms join");
+    ExpectClean(apps::hospital::BuildHospitalJob({}), host.cluster.get(),
+                "apps/hospital pipeline");
+    ExpectClean(apps::hpc::BuildStencilJob({}), host.cluster.get(), "apps/hpc stencil");
+    ExpectClean(apps::ml::BuildTrainingJob({}), host.cluster.get(), "apps/ml training");
+    ExpectClean(apps::streaming::BuildStreamingJob({}), host.cluster.get(),
+                "apps/streaming windows");
+  }
+
+  // --- 2. the pinned 20-seed simulation corpus --------------------------------
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const testing::Scenario scenario = testing::MakeScenario(seed);
+    const testing::TopologyInstance topo = testing::BuildTopology(scenario.topology);
+    for (const testing::JobSpec& spec : scenario.jobs) {
+      ExpectClean(testing::BuildJob(spec), topo.cluster,
+                  "corpus seed " + std::to_string(seed) + " job " + spec.name);
+    }
+  }
+
+  // --- 3. negative specs: the analyzer must still bite ------------------------
+  {
+    const analysis::Report racy = analysis::Verify(testing::BuildJob(testing::MakeRacyJobSpec()));
+    Check(racy.HasRule(analysis::kRuleMhpWriteWriteRace) && !racy.ok(),
+          "negative racy spec: mhp-write-write-race must fire", racy);
+
+    // A 4 x 512 KiB unordered fan-out against the smallest preset would still
+    // fit, so build the probe on a deliberately tiny single-DIMM host.
+    memflow::simhw::Cluster tiny;
+    const memflow::simhw::NodeId node = tiny.AddNode("n0");
+    const auto cpu = tiny.AddCompute(node, memflow::simhw::ComputeDeviceKind::kCPU, "cpu");
+    const auto dram =
+        tiny.AddMemory(node, memflow::simhw::MemoryDeviceKind::kDRAM, memflow::MiB(1), "dram");
+    tiny.Link(tiny.VertexOf(cpu), tiny.VertexOf(dram), memflow::simhw::LinkKind::kMemBus);
+    const analysis::Report over = analysis::Verify(
+        testing::BuildJob(testing::MakeOvercommittedJobSpec(memflow::KiB(512), 4)), &tiny);
+    Check(over.HasRule(analysis::kRuleCapOvercommit),
+          "negative overcommitted spec: cap-overcommit must fire", over);
+  }
+
+  std::printf("verify_corpus: %d job(s) checked, %d warning(s), %d note(s), %d failure(s)\n",
+              g_jobs_checked, g_warnings, g_notes, g_failures);
+  return g_failures;
+}
