@@ -1,0 +1,161 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Observability overhead budget (DESIGN.md §13). Observability only earns its
+// keep if leaving it on is free enough to never think about, so this bench
+// runs the same deterministic batch twice — once with the full telemetry
+// stack (trace buffer attached, control-plane self-profiler enabled, snapshot
+// ring ticking at the default 1 ms virtual interval) and once with the
+// self-profiler disabled and no ring — and gates the wall-clock delta at 5%.
+//
+// The metrics registry itself stays attached in both legs: counters predate
+// the self-profiler and are unconditionally on in every runtime, so the
+// measured delta isolates exactly the machinery this budget covers (phase
+// timers, lock-wait probes, periodic registry snapshots, trace spans).
+//
+// Bodies do real memcpy work with no emulated stall (bench_throughput's
+// sleeps would flatter the ratio by inflating both legs equally), and the
+// comparison takes the min over alternating runs so one scheduler hiccup
+// cannot fail the gate. The gated leg runs single-worker; the 8-worker delta
+// rides along informationally (less wall to amortize against, more noise).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+#include "telemetry/timeseries.h"
+
+namespace memflow::bench {
+namespace {
+
+constexpr std::uint64_t kBodyBytes = MiB(1);
+constexpr int kTasksPerJob = 96;
+constexpr int kPairs = 5;
+constexpr std::uint64_t kScenarioSeed = 42;
+constexpr double kOverheadBudgetPct = 5.0;
+
+Status MemcpyBody(dataflow::TaskContext& ctx) {
+  MEMFLOW_ASSIGN_OR_RETURN(region::RegionId s, ctx.AllocatePrivateScratch(kBodyBytes));
+  MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(s));
+  std::vector<std::uint64_t> buf(kBodyBytes / 8);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = i * 0x9e3779b97f4a7c15ULL;
+  }
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration w, acc.Write(0, buf.data(), kBodyBytes));
+  ctx.Charge(w);
+  std::uint64_t sum = 0;
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration r, acc.Read(0, buf.data(), kBodyBytes));
+  ctx.Charge(r);
+  for (const std::uint64_t v : buf) {
+    sum += v;
+  }
+  benchmark::DoNotOptimize(sum);
+  ctx.ChargeCompute(1e5);
+  return OkStatus();
+}
+
+dataflow::Job IndependentTasksJob(int tasks) {
+  dataflow::Job job("overhead");
+  for (int i = 0; i < tasks; ++i) {
+    job.AddTask("t" + std::to_string(i), {}, MemcpyBody);
+  }
+  return job;
+}
+
+// One full job at `workers` threads; returns the wall seconds of
+// Submit + RunToCompletion.
+double RunOnceSecs(int workers, bool telemetry_on) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 8});
+  telemetry::Registry reg;
+  telemetry::TraceBuffer tracer;
+  telemetry::SnapshotRing ring(&reg, /*capacity=*/256);
+  rts::RuntimeOptions opts;
+  opts.seed = kScenarioSeed;
+  opts.worker_threads = workers;
+  opts.registry = &reg;
+  if (telemetry_on) {
+    opts.tracer = &tracer;
+    opts.self_profile = true;
+    opts.snapshot_ring = &ring;
+    // Default virtual cadence — the configuration the budget is quoted for.
+    opts.snapshot_interval = SimDuration::Millis(1);
+  } else {
+    opts.self_profile = false;
+  }
+  rts::Runtime rt(*rack.cluster, opts);
+  dataflow::Job job = IndependentTasksJob(kTasksPerJob);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = rt.SubmitAndRun(std::move(job));
+  const auto t1 = std::chrono::steady_clock::now();
+  MEMFLOW_CHECK(report.ok() && report->status.ok());
+  MEMFLOW_CHECK(rt.stats().tasks_executed == static_cast<std::uint64_t>(kTasksPerJob));
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Min-of-kPairs for each leg, runs alternating so drift hits both equally.
+std::pair<double, double> MeasureOnOffSecs(int workers) {
+  double on_min = 1e300;
+  double off_min = 1e300;
+  for (int i = 0; i < kPairs; ++i) {
+    off_min = std::min(off_min, RunOnceSecs(workers, /*telemetry_on=*/false));
+    on_min = std::min(on_min, RunOnceSecs(workers, /*telemetry_on=*/true));
+  }
+  return {on_min, off_min};
+}
+
+double OverheadPct(const std::pair<double, double>& on_off) {
+  return 100.0 * (on_off.first - on_off.second) / on_off.second;
+}
+
+void PrintArtifact() {
+  PrintHeader("Telemetry overhead budget",
+              "Wall-clock cost of the full observability stack (self-profiler,\n"
+              "snapshot ring, trace spans) vs the same workload with it off.");
+
+  const std::pair<double, double> w1 = MeasureOnOffSecs(1);
+  const std::pair<double, double> w8 = MeasureOnOffSecs(8);
+  const double pct1 = OverheadPct(w1);
+  const double pct8 = OverheadPct(w8);
+
+  TextTable table({"Workers", "Telemetry off", "Telemetry on", "Overhead"});
+  table.AddRow({"1", FormatDouble(w1.second * 1e3, 2) + " ms",
+                FormatDouble(w1.first * 1e3, 2) + " ms", FormatDouble(pct1, 2) + "%"});
+  table.AddRow({"8", FormatDouble(w8.second * 1e3, 2) + " ms",
+                FormatDouble(w8.first * 1e3, 2) + " ms", FormatDouble(pct8, 2) + "%"});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("check: overhead at 1 worker within %.0f%% budget -> %s\n\n",
+              kOverheadBudgetPct, pct1 <= kOverheadBudgetPct ? "PASS" : "FAIL");
+
+  const auto attrs = [](int workers) {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"scenario_seed", std::to_string(kScenarioSeed)},
+        {"workers", std::to_string(workers)},
+        {"pairs", std::to_string(kPairs)}};
+  };
+  RecordResult("telemetry_overhead_pct_1_worker", pct1, "%", attrs(1));
+  RecordResult("telemetry_overhead_pct_8_workers", pct8, "%", attrs(8));
+  RecordResult("telemetry_off_wall_ns_1_worker", w1.second * 1e9, "wall_ns", attrs(1));
+  RecordResult("telemetry_on_wall_ns_1_worker", w1.first * 1e9, "wall_ns", attrs(1));
+  RecordResult("telemetry_overhead_within_budget",
+               pct1 <= kOverheadBudgetPct ? 1.0 : 0.0, "bool", attrs(1));
+}
+
+void BM_JobWithTelemetry(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOnceSecs(/*workers=*/1, on));
+  }
+  state.SetItemsProcessed(state.iterations() * kTasksPerJob);
+}
+BENCHMARK(BM_JobWithTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace memflow::bench
+
+MEMFLOW_BENCH_MAIN(memflow::bench::PrintArtifact)

@@ -25,6 +25,7 @@
 #include "rts/runtime.h"
 #include "simhw/presets.h"
 #include "telemetry/analyze/doctor.h"
+#include "telemetry/selfprof.h"
 
 namespace memflow::bench {
 namespace {
@@ -150,6 +151,84 @@ void PrintArtifact() {
     RecordResult("attribution_residual_ns", static_cast<double>(attr.unattributed.ns), "ns");
     RecordResult("attribution_sums_to_makespan",
                  attr.Sum().ns == profile->makespan.ns ? 1.0 : 0.0, "bool");
+  }
+
+  // Self-profile leg (DESIGN.md §13): the control-plane profiler's per-phase
+  // exclusive breakdown must telescope to the externally measured dispatch
+  // wall at every worker count (residual < 1%), and the deterministic phase
+  // -call fingerprint must not depend on the worker count. Host phase times
+  // are recorded under the informational "wall_ns" unit (they vary with the
+  // machine); the residual and fingerprint claims are the gated bools.
+  {
+    struct ProfiledRun {
+      telemetry::SelfProfile profile;
+      std::uint64_t fingerprint = 0;
+    };
+    const auto profile_at = [](int workers) {
+      simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 8});
+      telemetry::Registry reg;
+      rts::RuntimeOptions opts;
+      opts.seed = kScenarioSeed;
+      opts.worker_threads = workers;
+      opts.registry = &reg;
+      rts::Runtime rt(*rack.cluster, opts);
+      dataflow::Job job = IndependentTasksJob(kTasksPerJob);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto report = rt.SubmitAndRun(std::move(job));
+      const auto t1 = std::chrono::steady_clock::now();
+      MEMFLOW_CHECK(report.ok() && report->status.ok());
+      const std::int64_t wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+      return ProfiledRun{rt.self_profiler().Report(wall_ns),
+                         rt.self_profiler().Fingerprint()};
+    };
+    const ProfiledRun r1 = profile_at(1);
+    const ProfiledRun r2 = profile_at(2);
+    const ProfiledRun r8 = profile_at(8);
+    std::printf("%s\n", r8.profile.Render().c_str());
+
+    const auto residual_pct = [](const ProfiledRun& r) {
+      return 100.0 * static_cast<double>(r.profile.residual_ns) /
+             static_cast<double>(r.profile.wall_ns);
+    };
+    const std::pair<int, const ProfiledRun*> runs[] = {{1, &r1}, {2, &r2}, {8, &r8}};
+    for (const auto& [workers, run] : runs) {
+      const double pct = residual_pct(*run);
+      const std::string w = std::to_string(workers);
+      std::printf("self-profile @ %d worker(s): wall %s, unprofiled residual %.3f%% -> %s\n",
+                  workers,
+                  HumanDuration(SimDuration{run->profile.wall_ns}).c_str(), pct,
+                  pct < 1.0 ? "PASS" : "FAIL");
+      RecordResult("selfprof_wall_ns_" + w + "_workers",
+                   static_cast<double>(run->profile.wall_ns), "wall_ns", attrs(workers));
+      RecordResult("selfprof_residual_pct_" + w + "_workers", pct, "%", attrs(workers));
+      RecordResult("selfprof_residual_under_1pct_" + w + "_workers",
+                   pct < 1.0 ? 1.0 : 0.0, "bool", attrs(workers));
+    }
+    std::printf("self-profile fingerprint stable across 1/2/8 workers -> %s\n\n",
+                r1.fingerprint == r2.fingerprint && r2.fingerprint == r8.fingerprint
+                    ? "PASS"
+                    : "FAIL");
+    RecordResult("selfprof_fingerprint_stable",
+                 r1.fingerprint == r2.fingerprint && r2.fingerprint == r8.fingerprint
+                     ? 1.0
+                     : 0.0,
+                 "bool");
+
+    // The 8-worker per-phase exclusive breakdown, for the committed artifact.
+    for (const telemetry::PhaseStat& ps : r8.profile.phases) {
+      if (ps.calls == 0) {
+        continue;
+      }
+      std::string name(telemetry::PhaseName(ps.phase));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      RecordResult("selfprof_" + name + "_exclusive_ns",
+                   static_cast<double>(ps.exclusive_ns), "wall_ns", attrs(8));
+    }
   }
 }
 

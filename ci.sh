@@ -61,7 +61,8 @@ echo "== telemetry artifacts =="
 ./build/bench/bench_fig3_mapping --benchmark_filter='^$' --json build/fig3.json >/dev/null
 ./build/bench/bench_fig4_ownership --benchmark_filter='^$' --json build/fig4.json >/dev/null
 ./build/bench/bench_throughput --benchmark_filter='^$' --json build/throughput.json >/dev/null
-python3 - build/fig3.json build/fig4.json build/throughput.json <<'EOF'
+./build/bench/bench_overhead --benchmark_filter='^$' --json build/overhead.json >/dev/null
+python3 - build/fig3.json build/fig4.json build/throughput.json build/overhead.json <<'EOF'
 import json, sys
 merged = {"benches": [json.load(open(p)) for p in sys.argv[1:]]}
 assert all(b["results"] for b in merged["benches"]), "empty bench results"
@@ -73,8 +74,15 @@ test -s BENCH_rts.json
 ./build/examples/observe_runtime build/observe_metrics.json build/observe_trace.json >/dev/null
 # Critical-path analyzer demo: job doctor + placement explanation + what-ifs.
 ./build/examples/explain_job build/explain_profile.json build/explain_trace.json >/dev/null
+# Live-dashboard one-shot: the runtime must stay healthy under its own
+# time-series observation, and the dashboard JSON + Perfetto counter tracks
+# must be machine-readable.
+./build/tools/memflow_top --once --jobs 2 --json build/memflow_top.json \
+  --counters build/memflow_top_counters.json >/dev/null
 # Every exported JSON artifact must parse.
-for artifact in build/fig3.json build/fig4.json build/throughput.json BENCH_rts.json \
+for artifact in build/fig3.json build/fig4.json build/throughput.json \
+                build/overhead.json BENCH_rts.json \
+                build/memflow_top.json build/memflow_top_counters.json \
                 build/observe_metrics.json build/observe_trace.json \
                 build/explain_profile.json build/explain_trace.json; do
   python3 -m json.tool "$artifact" >/dev/null

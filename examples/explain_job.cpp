@@ -23,6 +23,7 @@
 #include "apps/hospital.h"
 #include "simhw/presets.h"
 #include "telemetry/analyze/doctor.h"
+#include "telemetry/export.h"
 
 namespace mf = memflow;
 
@@ -69,6 +70,13 @@ int main(int argc, char** argv) {
   }
   const auto what_ifs = mf::telemetry::analyze::ComputeWhatIfs(*profile, &runtime);
   std::printf("%s\n", mf::telemetry::analyze::RenderJobDoctor(*profile, what_ifs).c_str());
+
+  // --- whole-runtime health (latency quantiles, lock pressure, control-plane
+  // phase shares from the self-profiler) ---------------------------------------
+  runtime.self_profiler().PublishTo(registry);
+  mf::telemetry::PublishTraceHealth(tracer, registry);
+  std::printf("%s\n",
+              mf::telemetry::analyze::RenderRuntimeHealth(registry.Snapshot()).c_str());
 
   if (profile->attribution.Sum().ns != report->Makespan().ns) {
     std::fprintf(stderr, "attribution does not sum to makespan\n");

@@ -127,9 +127,11 @@ int main(int argc, char** argv) {
   }
 
   // --- exports ----------------------------------------------------------------
-  // Trace-ring health (emitted/dropped per track) rides along in the same
-  // snapshot, so a truncated profile is visible in the metrics too.
+  // Trace-ring health (emitted/dropped per track) and the control-plane
+  // self-profile ride along in the same snapshot, so a truncated profile or a
+  // control-bound dispatch loop is visible in the metrics too.
   mf::telemetry::PublishTraceHealth(tracer, registry);
+  runtime.self_profiler().PublishTo(registry);
   const mf::telemetry::MetricsSnapshot snapshot = registry.Snapshot();
   const std::string prometheus = snapshot.ToPrometheus();
   std::printf("---- Prometheus exposition (%zu metric families) ----\n%s\n",
@@ -146,6 +148,8 @@ int main(int argc, char** argv) {
   std::printf("wrote metrics snapshot to %s and Perfetto trace to %s\n\n", metrics_path,
               trace_path);
 
-  std::printf("%s", mf::telemetry::RenderTraceSummary(tracer).c_str());
+  // The overflow-aware overload: cardinality-capped metric families surface
+  // as WARNING lines next to the ring-wrap warning.
+  std::printf("%s", mf::telemetry::RenderTraceSummary(tracer, &snapshot).c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "region/region_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
@@ -137,6 +138,54 @@ RegionManager::RegionManager(simhw::Cluster& cluster, PlacementConfig config,
   instruments_.alloc_size = reg.GetHistogram(
       "region_alloc_size_bytes", "Distribution of region allocation sizes",
       telemetry::HistogramSpec{/*first_bound=*/256.0, /*growth=*/4.0, /*buckets=*/16});
+  const char* lock_modes[2] = {"shared", "exclusive"};
+  for (int m = 0; m < 2; ++m) {
+    const telemetry::Labels labels = {{"mode", lock_modes[m]}};
+    instruments_.lock_acquisitions[m] = reg.GetCounter(
+        "region_lock_acquisitions_total", "RegionManager lock acquisitions", labels);
+    instruments_.lock_contended[m] = reg.GetCounter(
+        "region_lock_contended_total",
+        "RegionManager lock acquisitions that had to block (try-lock failed)", labels);
+    instruments_.lock_wait_ns[m] = reg.GetCounter(
+        "region_lock_wait_ns_total",
+        "Host ns spent blocked acquiring the RegionManager lock", labels);
+  }
+}
+
+std::shared_lock<std::shared_mutex> RegionManager::ReadLock() const {
+  instruments_.lock_acquisitions[0]->Increment();
+  std::shared_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    instruments_.lock_contended[0]->Increment();
+    const auto start = std::chrono::steady_clock::now();
+    lock.lock();
+    const std::int64_t waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+    instruments_.lock_wait_ns[0]->Increment(static_cast<std::uint64_t>(waited));
+    if (profiler_ != nullptr) {
+      profiler_->Charge(telemetry::Phase::kLockWaitShared, waited);
+    }
+  }
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> RegionManager::WriteLock() const {
+  instruments_.lock_acquisitions[1]->Increment();
+  std::unique_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    instruments_.lock_contended[1]->Increment();
+    const auto start = std::chrono::steady_clock::now();
+    lock.lock();
+    const std::int64_t waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+    instruments_.lock_wait_ns[1]->Increment(static_cast<std::uint64_t>(waited));
+    if (profiler_ != nullptr) {
+      profiler_->Charge(telemetry::Phase::kLockWaitExclusive, waited);
+    }
+  }
+  return lock;
 }
 
 void RegionManager::BindTrace(const simhw::VirtualClock* clock,
@@ -165,7 +214,7 @@ void RegionManager::EmitInstant(std::string name, std::string_view category,
 }
 
 void RegionManager::BeginAllocationEpoch() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   epoch_.clear();
   for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
     const simhw::MemoryDevice& device = cluster_->memory(dev);
@@ -175,7 +224,7 @@ void RegionManager::BeginAllocationEpoch() {
 }
 
 void RegionManager::EndAllocationEpoch() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   epoch_active_ = false;
   epoch_.clear();
 }
@@ -257,7 +306,7 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevicesLocked(
 
 std::vector<simhw::MemoryDeviceId> RegionManager::RankDevices(const AllocRequest& request,
                                                               const Properties& props) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   return RankDevicesLocked(request, props);
 }
 
@@ -297,7 +346,7 @@ Result<RegionId> RegionManager::Allocate(const AllocRequest& request) {
   if (request.size == 0) {
     return InvalidArgument("zero-sized region");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   Properties props = request.props;
   std::vector<simhw::MemoryDeviceId> ranked = RankDevicesLocked(request, props);
   bool relaxed = false;
@@ -349,7 +398,7 @@ Result<RegionId> RegionManager::AllocateOn(simhw::MemoryDeviceId device, std::ui
   if (size == 0) {
     return InvalidArgument("zero-sized region");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   MEMFLOW_ASSIGN_OR_RETURN(simhw::Extent extent, cluster_->memory(device).Allocate(size));
   return FinishAllocate(extent, size, props, AccessHint{}, owner,
                         /*observer=*/{}, props.latency, /*latency_relaxed=*/false);
@@ -422,7 +471,7 @@ Status RegionManager::FreeLocked(Record& rec) {
 }
 
 Status RegionManager::Free(RegionId id, const Principal& caller) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
   if (rec->state == OwnershipState::kShared && rec->sharers.size() > 1) {
     return FailedPrecondition("region " + std::to_string(id.value) +
@@ -434,7 +483,7 @@ Status RegionManager::Free(RegionId id, const Principal& caller) {
 Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
                                             const Principal& to,
                                             simhw::ComputeDeviceId new_observer) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, from));
   if (rec->state != OwnershipState::kExclusive) {
     return FailedPrecondition("only exclusively-owned regions can be transferred");
@@ -491,7 +540,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
 
 Status RegionManager::Share(RegionId id, const Principal& owner, const Principal& with,
                             simhw::ComputeDeviceId with_observer, bool require_coherent) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, owner));
   if (rec->enc_key != 0 && with.job != rec->job) {
     stats_.confidentiality_denials++;
@@ -522,7 +571,7 @@ Status RegionManager::Share(RegionId id, const Principal& owner, const Principal
 }
 
 Status RegionManager::Release(RegionId id, const Principal& caller) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
   if (rec->state == OwnershipState::kExclusive) {
     return FreeLocked(*rec);
@@ -537,7 +586,7 @@ Status RegionManager::Release(RegionId id, const Principal& caller) {
 }
 
 Status RegionManager::ForceFree(RegionId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   Record* rec = FindRecord(id);
   if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region " + std::to_string(id.value) + " is not live");
@@ -547,7 +596,7 @@ Status RegionManager::ForceFree(RegionId id) {
 
 Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
                                              simhw::ComputeDeviceId observer) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
                            cluster_->View(observer, rec->extent.device));
@@ -561,7 +610,7 @@ Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
 
 Result<AsyncAccessor> RegionManager::OpenAsync(RegionId id, const Principal& who,
                                                simhw::ComputeDeviceId observer) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
                            cluster_->View(observer, rec->extent.device));
@@ -630,7 +679,7 @@ Result<SimDuration> RegionManager::MoveExtent(Record& rec, simhw::MemoryDeviceId
 }
 
 Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId target) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   Record* rec = FindRecord(id);
   if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region is not live");
@@ -646,7 +695,7 @@ Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId ta
 
 void RegionManager::DecayHotness(double keep_fraction) {
   MEMFLOW_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   for (Record& rec : slab_) {
     const auto current = rec.hotness.load(std::memory_order_relaxed);
     rec.hotness.store(
@@ -660,7 +709,7 @@ std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
   if (cluster_->memory(device).profile().persistent) {
     return lost;  // persistent media keeps its contents across failures
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto lock = WriteLock();
   for (Record& rec : slab_) {
     if (rec.state != OwnershipState::kFreed && rec.extent.device == device && !rec.lost) {
       rec.lost = true;
@@ -671,7 +720,7 @@ std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
 }
 
 Result<RegionInfo> RegionManager::Info(RegionId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   RegionInfo info;
   info.id = rec->id;
@@ -687,7 +736,7 @@ Result<RegionInfo> RegionManager::Info(RegionId id) const {
 }
 
 Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   if (rec->state != expected) {
     return Internal("ownership cross-check failed for region " + std::to_string(id.value) +
@@ -698,7 +747,7 @@ Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const
 }
 
 Result<RegionPlacementExplain> RegionManager::ExplainPlacement(RegionId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   RegionPlacementExplain out;
   out.region = rec->id;
@@ -780,13 +829,13 @@ Result<RegionPlacementExplain> RegionManager::ExplainPlacement(RegionId id) cons
 }
 
 Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   return rec->extent;
 }
 
 std::vector<RegionId> RegionManager::LiveRegions() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   std::vector<RegionId> out;
   for (const Record& rec : slab_) {  // slab order == id order
     if (rec.state != OwnershipState::kFreed) {
@@ -797,7 +846,7 @@ std::vector<RegionId> RegionManager::LiveRegions() const {
 }
 
 std::vector<RegionId> RegionManager::RegionsOn(simhw::MemoryDeviceId device) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   std::vector<RegionId> out;
   for (const Record& rec : slab_) {
     if (rec.state != OwnershipState::kFreed && rec.extent.device == device) {
@@ -811,7 +860,7 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
                                           std::uint64_t offset, void* dst, std::uint64_t size,
                                           const simhw::AccessView& view, bool sequential,
                                           bool charge_latency) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (rec->lost) {
     return DataLoss("region " + std::to_string(id.value) + " lost its backing");
@@ -841,7 +890,7 @@ Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
                                            std::uint64_t offset, const void* src,
                                            std::uint64_t size, const simhw::AccessView& view,
                                            bool sequential, bool charge_latency) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lock = ReadLock();
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (offset + size > rec->size) {
     return InvalidArgument("write beyond region bounds");

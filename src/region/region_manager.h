@@ -35,6 +35,7 @@
 #include "simhw/clock.h"
 #include "simhw/cluster.h"
 #include "telemetry/metrics.h"
+#include "telemetry/selfprof.h"
 #include "telemetry/trace.h"
 
 namespace memflow::region {
@@ -242,6 +243,11 @@ class RegionManager {
   // standalone managers work fine without (events are simply not emitted).
   void BindTrace(const simhw::VirtualClock* clock, telemetry::TraceBuffer* tracer);
 
+  // Attaches the control-plane self-profiler so contended mu_ acquisitions
+  // charge their blocking wait to the lock-wait phases. Called by the
+  // runtime; standalone managers work fine without (counters still tick).
+  void BindProfiler(telemetry::SelfProfiler* profiler) { profiler_ = profiler; }
+
   // Scores all satisfying devices for a request, best (lowest expected cost)
   // first. Exposed for introspection and benchmarking of placement itself.
   std::vector<simhw::MemoryDeviceId> RankDevices(const AllocRequest& request,
@@ -331,7 +337,19 @@ class RegionManager {
     telemetry::Counter* migrated_bytes = nullptr;
     telemetry::Counter* confidentiality_denials = nullptr;
     telemetry::Histogram* alloc_size = nullptr;
+    // Lock probe counters, per mode (see ReadLock/WriteLock).
+    telemetry::Counter* lock_acquisitions[2] = {};  // 0 = shared, 1 = exclusive
+    telemetry::Counter* lock_contended[2] = {};
+    telemetry::Counter* lock_wait_ns[2] = {};
   };
+
+  // Every mu_ acquisition goes through these probes: try-lock first (the
+  // uncontended common case costs one extra atomic), and only a failed try
+  // falls back to blocking — counting the contention and charging the
+  // measured wait to the profiler's lock-wait phases. This is how "the
+  // region lock is (not) a bottleneck" becomes a number.
+  std::shared_lock<std::shared_mutex> ReadLock() const;
+  std::unique_lock<std::shared_mutex> WriteLock() const;
 
   simhw::Cluster* cluster_;
   PlacementConfig config_;
@@ -348,6 +366,7 @@ class RegionManager {
   Instruments instruments_;
   const simhw::VirtualClock* clock_ = nullptr;
   telemetry::TraceBuffer* tracer_ = nullptr;
+  telemetry::SelfProfiler* profiler_ = nullptr;
 
   // Reader/writer lock; see the class comment for the discipline.
   mutable std::shared_mutex mu_;

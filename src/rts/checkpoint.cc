@@ -97,6 +97,8 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
       auto it = catalog_.find(key);
       if (it != catalog_.end()) {
         // Restore: skip execution, rebuild the output from the checkpoint.
+        telemetry::PhaseTimer restore_timer(profiler_,
+                                            telemetry::Phase::kCheckpointRestore);
         SimDuration restore_cost;
         if (it->second.size > 0) {
           std::vector<std::uint8_t> payload(it->second.size);
@@ -140,6 +142,7 @@ dataflow::Job JobCheckpointer::Instrument(dataflow::Job job) {
 
       // Checkpoint the produced output (or an empty marker for outputless
       // tasks, so they are skipped on restart too).
+      telemetry::PhaseTimer encode_timer(profiler_, telemetry::Phase::kCheckpointEncode);
       std::vector<std::uint8_t> payload;
       SimDuration ckpt_cost;
       if (ctx.output().valid()) {

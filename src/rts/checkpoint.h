@@ -29,6 +29,7 @@
 #include "region/region_manager.h"
 #include "simhw/clock.h"
 #include "telemetry/metrics.h"
+#include "telemetry/selfprof.h"
 #include "telemetry/trace.h"
 
 namespace memflow::rts {
@@ -71,6 +72,10 @@ class JobCheckpointer {
   // (pass the runtime's: &runtime.clock() and &runtime.tracer()).
   void BindTrace(const simhw::VirtualClock* clock, telemetry::TraceBuffer* tracer);
 
+  // Attaches the runtime's self-profiler so encode/restore host time shows
+  // up under the checkpoint phases (pass &runtime.self_profiler()).
+  void BindProfiler(telemetry::SelfProfiler* profiler) { profiler_ = profiler; }
+
  private:
   struct Entry {
     simhw::Extent extent;
@@ -95,6 +100,7 @@ class JobCheckpointer {
   telemetry::Counter* restored_bytes_;
   const simhw::VirtualClock* clock_ = nullptr;
   telemetry::TraceBuffer* tracer_ = nullptr;
+  telemetry::SelfProfiler* profiler_ = nullptr;
 };
 
 }  // namespace memflow::rts

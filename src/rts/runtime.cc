@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "telemetry/export.h"
 
 namespace memflow::rts {
 
@@ -32,12 +33,17 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
       owned_tracer_(options.tracer == nullptr ? std::make_unique<telemetry::TraceBuffer>()
                                               : nullptr),
       tracer_(options.tracer != nullptr ? options.tracer : owned_tracer_.get()),
+      owned_profiler_(options.profiler == nullptr
+                          ? std::make_unique<telemetry::SelfProfiler>(options.self_profile)
+                          : nullptr),
+      profiler_(options.profiler != nullptr ? options.profiler : owned_profiler_.get()),
       regions_(cluster, options.region_config, options.seed ^ 0xa11ccULL, registry_),
       model_(cluster),
       policy_(MakePlacementPolicy(options.policy, options.seed, registry_)) {
   MEMFLOW_CHECK(policy_ != nullptr);
   MEMFLOW_CHECK(options_.max_task_attempts >= 1);
   regions_.BindTrace(&clock_, tracer_);
+  regions_.BindProfiler(profiler_);
 
   worker_threads_ = WorkerPool::ResolveThreads(options_.worker_threads);
   if (worker_threads_ > 1) {
@@ -98,6 +104,7 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
 }
 
 Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
+  telemetry::PhaseTimer admission_timer(profiler_, telemetry::Phase::kAdmission);
   MEMFLOW_RETURN_IF_ERROR(job.Validate());
 
   // Static gate: verify ownership/property/placement invariants from the
@@ -106,7 +113,10 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
     analysis::VerifyOptions vopts;
     vopts.allow_latency_relax = options_.region_config.allow_latency_relax;
     const auto verify_start = std::chrono::steady_clock::now();
-    last_verify_report_ = analysis::Verify(job, cluster_, vopts);
+    {
+      telemetry::PhaseTimer verify_timer(profiler_, telemetry::Phase::kAdmissionVerify);
+      last_verify_report_ = analysis::Verify(job, cluster_, vopts);
+    }
     const auto verify_elapsed = std::chrono::steady_clock::now() - verify_start;
     instruments_.admission_verify_ns->Observe(static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(verify_elapsed).count()));
@@ -195,8 +205,11 @@ Status Runtime::Plan(JobExec& exec) {
     decision.task = t;
     decision.task_name = job.task(t).name;
     decision.at = clock_.now();
-    MEMFLOW_ASSIGN_OR_RETURN(
-        te.planned, policy_->Place(job, t, est, *cluster_, model_, &decision.explain));
+    {
+      telemetry::PhaseTimer place_timer(profiler_, telemetry::Phase::kPlacementScore);
+      MEMFLOW_ASSIGN_OR_RETURN(
+          te.planned, policy_->Place(job, t, est, *cluster_, model_, &decision.explain));
+    }
     exec.placement_log.push_back(std::move(decision));
     instruments_.placement_decisions->Increment();
   }
@@ -371,6 +384,7 @@ void Runtime::PumpDevice(simhw::ComputeDeviceId device) {
 }
 
 void Runtime::StageDispatch(JobExec& exec, dataflow::TaskId task) {
+  telemetry::PhaseTimer stage_timer(profiler_, telemetry::Phase::kStage);
   TaskExec& te = exec.tasks[task.value];
   const dataflow::TaskSpec& spec = exec.job.task(task);
   simhw::ComputeDevice& dev = cluster_->compute(te.planned);
@@ -456,6 +470,9 @@ void Runtime::StageDispatch(JobExec& exec, dataflow::TaskId task) {
 }
 
 void Runtime::RunBody(PendingBody& body) {
+  // On the control thread this nests under batch-run; on a pool thread it has
+  // no parent and lands in the profiler's workers tree (overlapping time).
+  telemetry::PhaseTimer body_timer(profiler_, telemetry::Phase::kBody);
   JobExec& exec = *jobs_[body.job_index];
   const dataflow::TaskSpec& spec = exec.job.task(body.task);
   body.result = spec.fn(*body.ctx);
@@ -501,6 +518,7 @@ void Runtime::ExecuteBatch() {
   // Placement scoring is frozen for the whole batch so the ranking each body
   // sees is independent of its siblings' allocation order.
   regions_.BeginAllocationEpoch();
+  telemetry::PhaseTimer run_timer(profiler_, telemetry::Phase::kBatchRun);
   if (pool_ != nullptr && batch.size() > 1) {
     // Bodies of a non-parallel-safe job form one chain and run in staging
     // order (preserving the serial executor's same-step semantics for jobs
@@ -534,6 +552,7 @@ void Runtime::ExecuteBatch() {
       RunBody(body);
     }
   }
+  run_timer.Stop();
   regions_.EndAllocationEpoch();
 
   // --- serial commit phase ----------------------------------------------------
@@ -555,6 +574,7 @@ void Runtime::ExecuteBatch() {
     }
     return x.task < y.task;
   });
+  telemetry::PhaseTimer commit_timer(profiler_, telemetry::Phase::kBatchCommit);
   for (const std::size_t i : order) {
     CommitBody(batch[i]);
   }
@@ -647,8 +667,10 @@ void Runtime::OnAttemptFailed(JobExec& exec, dataflow::TaskId task, const Status
   decision.task_name = exec.job.task(task).name;
   decision.at = clock_.now();
   decision.replan = true;
+  telemetry::PhaseTimer place_timer(profiler_, telemetry::Phase::kPlacementScore);
   auto placed = policy_->Place(exec.job, task, te.est_input_bytes, *cluster_, model_,
                                &decision.explain);
+  place_timer.Stop();
   exec.placement_log.push_back(std::move(decision));
   if (!placed.ok()) {
     te.state = TaskExec::State::kFailed;
@@ -1007,6 +1029,13 @@ void Runtime::AttachFaultInjector(simhw::FaultInjector* injector) {
   fault_events_scheduled_ = false;
 }
 
+void Runtime::TickSnapshotRing() {
+  profiler_->PublishTo(*registry_);
+  telemetry::PublishTraceHealth(*tracer_, *registry_);
+  options_.snapshot_ring->Tick(clock_.now());
+  next_snapshot_ = clock_.now() + options_.snapshot_interval;
+}
+
 Status Runtime::RunToCompletion() {
   if (faults_ != nullptr && !fault_events_scheduled_) {
     for (const SimTime t : faults_->PendingTimes()) {
@@ -1020,11 +1049,22 @@ Status Runtime::RunToCompletion() {
   // (deterministic) event order, never on worker count. Time advances only
   // while no bodies are staged.
   while (!events_.empty() || !batch_.empty()) {
+    // Ring ticks run *between* dispatch scopes, when no control-plane timer
+    // is open, so every snapshot sees fully flushed counters and the
+    // per-phase breakdown telescopes exactly in every ring entry.
+    if (options_.snapshot_ring != nullptr && clock_.now() >= next_snapshot_) {
+      TickSnapshotRing();
+    }
+    telemetry::PhaseTimer dispatch_timer(profiler_, telemetry::Phase::kDispatch);
     if (!batch_.empty() && (events_.empty() || events_.next_time() > clock_.now())) {
       ExecuteBatch();
       continue;
     }
+    telemetry::PhaseTimer drain_timer(profiler_, telemetry::Phase::kEventDrain);
     events_.RunNext(clock_);
+  }
+  if (options_.snapshot_ring != nullptr) {
+    TickSnapshotRing();  // final state, whatever the interval phase
   }
   for (const auto& exec : jobs_) {
     if (!exec->finished) {

@@ -47,6 +47,8 @@
 #include "simhw/cluster.h"
 #include "simhw/fault.h"
 #include "telemetry/metrics.h"
+#include "telemetry/selfprof.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace memflow::rts {
@@ -80,6 +82,18 @@ struct RuntimeOptions {
   // (job ids restart at 1 per runtime, so sharing a process-wide tracer
   // between runtimes would interleave unrelated jobs under the same id).
   telemetry::TraceBuffer* tracer = nullptr;
+  // Control-plane self-profiler (DESIGN.md §13). nullptr + self_profile=true
+  // means the runtime owns one; pass a profiler to share it across runtimes
+  // or read it after the runtime is gone.
+  telemetry::SelfProfiler* profiler = nullptr;
+  // Master switch for the owned profiler; a passed-in `profiler` keeps its
+  // own enabled state.
+  bool self_profile = true;
+  // Time-series ring ticked from the dispatch loop on the *virtual* clock
+  // every `snapshot_interval` (plus once after the loop drains), so snapshot
+  // times are deterministic at every worker count. nullptr disables ticking.
+  telemetry::SnapshotRing* snapshot_ring = nullptr;
+  SimDuration snapshot_interval = SimDuration::Millis(1);
 };
 
 struct TaskReport {
@@ -189,6 +203,9 @@ class Runtime {
   const telemetry::TraceBuffer& tracer() const { return *tracer_; }
   telemetry::Registry& metrics() { return *registry_; }
   const telemetry::Registry& metrics() const { return *registry_; }
+  // Where the runtime itself spends host time, by dispatch-loop phase.
+  telemetry::SelfProfiler& self_profiler() { return *profiler_; }
+  const telemetry::SelfProfiler& self_profiler() const { return *profiler_; }
 
   // Every task-placement decision made for `id` (admission order, then any
   // re-placements), each with its ranked per-device score breakdown.
@@ -309,6 +326,9 @@ class Runtime {
   void ApplyFaultsDue(SimTime now);
   DeviceExec& device_exec(simhw::ComputeDeviceId device);
   void UpdateQueueDepth(DeviceExec& de);
+  // Publishes on-demand gauges (self-profiler, trace health) and takes one
+  // snapshot-ring entry at the current virtual time.
+  void TickSnapshotRing();
 
   struct Instruments {
     telemetry::Counter* jobs_submitted = nullptr;
@@ -330,6 +350,9 @@ class Runtime {
   telemetry::Registry* registry_;
   std::unique_ptr<telemetry::TraceBuffer> owned_tracer_;
   telemetry::TraceBuffer* tracer_;
+  std::unique_ptr<telemetry::SelfProfiler> owned_profiler_;
+  telemetry::SelfProfiler* profiler_;
+  SimTime next_snapshot_;  // next snapshot_ring tick (virtual time)
   region::RegionManager regions_;
   CostModel model_;
   std::unique_ptr<PlacementPolicy> policy_;

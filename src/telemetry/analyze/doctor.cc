@@ -363,4 +363,102 @@ std::string RenderRegionExplain(const region::RegionPlacementExplain& explain,
   return out + table.Render();
 }
 
+std::string RenderRuntimeHealth(const MetricsSnapshot& snapshot) {
+  std::string out = "== runtime health ==\n";
+
+  const auto quantile_row = [&snapshot](TextTable& table, const char* label,
+                                        std::string_view family) {
+    const FamilySnapshot* f = snapshot.FindFamily(family);
+    if (f == nullptr || f->kind != MetricKind::kHistogram) {
+      return;
+    }
+    table.AddRow({label,
+                  HumanDuration(SimDuration(static_cast<std::int64_t>(f->Quantile(0.50)))),
+                  HumanDuration(SimDuration(static_cast<std::int64_t>(f->Quantile(0.99)))),
+                  HumanDuration(SimDuration(static_cast<std::int64_t>(f->Quantile(0.999))))});
+  };
+  TextTable latency({"Latency", "p50", "p99", "p999"});
+  quantile_row(latency, "task queue wait (virtual)", "rts_task_queue_wait_ns");
+  quantile_row(latency, "task duration (virtual)", "rts_task_duration_ns");
+  quantile_row(latency, "admission verify (host)", "rts_admission_verify_ns");
+  out += latency.Render();
+
+  // Region-lock pressure: contended acquisitions and blocked host time, from
+  // the RegionManager's try-lock probes.
+  if (const FamilySnapshot* acq = snapshot.FindFamily("region_lock_acquisitions_total")) {
+    const FamilySnapshot* contended = snapshot.FindFamily("region_lock_contended_total");
+    const FamilySnapshot* waited = snapshot.FindFamily("region_lock_wait_ns_total");
+    TextTable lock({"Region lock", "Acquisitions", "Contended", "Blocked (host)"});
+    for (const char* mode : {"shared", "exclusive"}) {
+      const Labels labels = {{"mode", mode}};
+      const SeriesSnapshot* a = acq->Find(labels);
+      if (a == nullptr) {
+        continue;
+      }
+      const SeriesSnapshot* c =
+          contended != nullptr ? contended->Find(labels) : nullptr;
+      const SeriesSnapshot* w = waited != nullptr ? waited->Find(labels) : nullptr;
+      lock.AddRow({mode, WithThousands(a->counter),
+                   WithThousands(c != nullptr ? c->counter : 0),
+                   HumanDuration(SimDuration(
+                       static_cast<std::int64_t>(w != nullptr ? w->counter : 0)))});
+    }
+    out += "\n" + lock.Render();
+  }
+
+  // Where the control plane itself spends host time (self-profiler gauges).
+  if (const FamilySnapshot* phases = snapshot.FindFamily("selfprof_phase_exclusive_ns")) {
+    double wall = 0;
+    if (const FamilySnapshot* w = snapshot.FindFamily("selfprof_wall_ns")) {
+      for (const SeriesSnapshot& s : w->series) {
+        wall += s.gauge;
+      }
+    }
+    std::vector<std::pair<std::string, double>> shares;
+    for (const SeriesSnapshot& series : phases->series) {
+      std::string phase;
+      bool control = false;
+      for (const auto& [key, value] : series.labels) {
+        if (key == "phase") {
+          phase = value;
+        } else if (key == "scope" && value == "control") {
+          control = true;
+        }
+      }
+      if (control && !phase.empty()) {
+        shares.emplace_back(std::move(phase), series.gauge);
+      }
+    }
+    std::sort(shares.begin(), shares.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (!shares.empty()) {
+      TextTable prof({"Control-plane phase", "Exclusive (host)", "Share"});
+      for (const auto& [phase, ns] : shares) {
+        prof.AddRow({phase, HumanDuration(SimDuration(static_cast<std::int64_t>(ns))),
+                     FormatDouble(100.0 * ns / (wall > 0 ? wall : 1.0), 1) + "%"});
+      }
+      out += "\n" + prof.Render();
+    }
+  }
+
+  if (const FamilySnapshot* dropped =
+          snapshot.FindFamily("trace_buffer_events_dropped_total")) {
+    double total = 0;
+    for (const SeriesSnapshot& s : dropped->series) {
+      total += s.gauge;
+    }
+    if (total > 0) {
+      out += "WARNING: trace ring dropped " +
+             WithThousands(static_cast<std::uint64_t>(total)) +
+             " events; profiles over it are incomplete\n";
+    }
+  }
+  for (const std::string& name : snapshot.OverflowedFamilies()) {
+    out += "WARNING: metric family '" + name +
+           "' hit its series cap; data collapsed into {overflow=\"true\"}\n";
+  }
+  return out;
+}
+
 }  // namespace memflow::telemetry::analyze

@@ -64,6 +64,14 @@ std::string RenderPlacementDecision(const rts::PlacementDecision& decision,
 std::string RenderRegionExplain(const region::RegionPlacementExplain& explain,
                                 const simhw::Cluster& cluster);
 
+// Whole-runtime health check over one metrics snapshot: latency quantiles
+// (task queue wait / duration via the snapshot Quantile helpers), lock
+// contention, control-plane phase shares from the self-profiler gauges, and
+// WARNING lines for dropped trace events and overflowed metric families.
+// Complements RenderJobDoctor: that explains one job, this checks the
+// runtime under it.
+std::string RenderRuntimeHealth(const MetricsSnapshot& snapshot);
+
 }  // namespace memflow::telemetry::analyze
 
 #endif  // MEMFLOW_TELEMETRY_ANALYZE_DOCTOR_H_

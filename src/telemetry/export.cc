@@ -116,6 +116,10 @@ std::string ExportTraceJson(const TraceBuffer& tracer, const TraceExportOptions&
 }
 
 std::string RenderTraceSummary(const TraceBuffer& tracer) {
+  return RenderTraceSummary(tracer, nullptr);
+}
+
+std::string RenderTraceSummary(const TraceBuffer& tracer, const MetricsSnapshot* metrics) {
   const std::vector<TraceEvent> events = tracer.Events();
 
   struct CategoryAgg {
@@ -159,6 +163,12 @@ std::string RenderTraceSummary(const TraceBuffer& tracer) {
   if (tracer.dropped() > 0) {
     out += "WARNING: " + WithThousands(tracer.dropped()) +
            " spans dropped — profile incomplete\n";
+  }
+  if (metrics != nullptr) {
+    for (const std::string& name : metrics->OverflowedFamilies()) {
+      out += "WARNING: metric family '" + name +
+             "' hit its series cap — data collapsed into {overflow=\"true\"}\n";
+    }
   }
   out += "events buffered     " + WithThousands(events.size()) + "\n";
   out += "events emitted      " + WithThousands(tracer.total_emitted()) + "\n";

@@ -44,6 +44,12 @@ std::string ExportTraceJson(const TraceBuffer& tracer, const TraceExportOptions&
 // dropped table instead of silently aggregating a truncated stream.
 std::string RenderTraceSummary(const TraceBuffer& tracer);
 
+// Same summary, plus WARNING lines for metric families that hit their series
+// cap and collapsed into `{overflow="true"}` — the two ways the telemetry
+// substrate silently degrades (ring wrap, cardinality cap) surfaced in one
+// place. Pass the snapshot the caller already took; nullptr skips the check.
+std::string RenderTraceSummary(const TraceBuffer& tracer, const MetricsSnapshot* metrics);
+
 // Publishes ring-buffer health into `registry` as gauges so the Prometheus /
 // JSON metric exports carry it: `trace_buffer_events_dropped` per track
 // (label `track`) plus unlabeled totals for emitted/buffered/dropped. Call

@@ -119,6 +119,89 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return out;
 }
 
+double Histogram::Quantile(double p) const { return HistogramQuantile(bounds_, counts(), p); }
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& bucket_counts, double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) {
+    total += c;
+  }
+  if (total == 0 || bounds.empty()) {
+    return 0.0;
+  }
+  p = std::min(1.0, std::max(0.0, p));
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (cumulative + in_bucket < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: no finite upper edge to interpolate toward; saturate at
+      // the largest finite bound (Prometheus does the same).
+      return bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction = (target - cumulative) / in_bucket;
+    return lower + fraction * (upper - lower);
+  }
+  return bounds.back();
+}
+
+const SeriesSnapshot* FamilySnapshot::Find(const Labels& labels) const {
+  Labels canonical = labels;
+  std::sort(canonical.begin(), canonical.end());
+  for (const SeriesSnapshot& s : series) {
+    if (s.labels == canonical) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+double FamilySnapshot::Quantile(double p) const {
+  if (kind != MetricKind::kHistogram) {
+    return 0.0;
+  }
+  std::vector<std::uint64_t> merged;
+  for (const SeriesSnapshot& s : series) {
+    if (merged.size() < s.bucket_counts.size()) {
+      merged.resize(s.bucket_counts.size(), 0);
+    }
+    for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+      merged[i] += s.bucket_counts[i];
+    }
+  }
+  return HistogramQuantile(bounds, merged, p);
+}
+
+const FamilySnapshot* MetricsSnapshot::FindFamily(std::string_view name) const {
+  for (const FamilySnapshot& family : families) {
+    if (family.name == name) {
+      return &family;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> MetricsSnapshot::OverflowedFamilies() const {
+  const Labels overflow = {{"overflow", "true"}};
+  std::vector<std::string> names;
+  for (const FamilySnapshot& family : families) {
+    for (const SeriesSnapshot& s : family.series) {
+      if (s.labels == overflow) {
+        names.push_back(family.name);
+        break;
+      }
+    }
+  }
+  return names;
+}
+
 Registry::Registry(std::size_t max_series_per_family) : max_series_(max_series_per_family) {
   MEMFLOW_CHECK(max_series_ >= 1);
 }

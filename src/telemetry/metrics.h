@@ -84,6 +84,10 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  // Interpolated p-quantile (p in [0,1]) over the live buckets — see
+  // HistogramQuantile below for the estimation contract.
+  double Quantile(double p) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
@@ -93,6 +97,15 @@ class Histogram {
 
 // --- snapshots ----------------------------------------------------------------
 
+// Interpolated quantile over exponential buckets (Prometheus
+// histogram_quantile semantics): find the bucket holding the p*count-th
+// sample and interpolate linearly inside [previous bound, bound]. Samples in
+// the +Inf bucket report the largest finite bound (the estimate saturates);
+// an empty histogram reports 0. `bucket_counts` is per-bucket with +Inf last,
+// exactly as SeriesSnapshot carries it.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& bucket_counts, double p);
+
 struct SeriesSnapshot {
   Labels labels;
   std::uint64_t counter = 0;                  // kCounter
@@ -100,6 +113,12 @@ struct SeriesSnapshot {
   std::vector<std::uint64_t> bucket_counts;   // kHistogram, per-bucket, +Inf last
   double sum = 0;                             // kHistogram
   std::uint64_t count = 0;                    // kHistogram
+
+  // Interpolated p-quantile of a histogram series; `bounds` come from the
+  // enclosing FamilySnapshot.
+  double Quantile(const std::vector<double>& bounds, double p) const {
+    return HistogramQuantile(bounds, bucket_counts, p);
+  }
 };
 
 struct FamilySnapshot {
@@ -108,12 +127,28 @@ struct FamilySnapshot {
   MetricKind kind = MetricKind::kCounter;
   std::vector<double> bounds;  // kHistogram only
   std::vector<SeriesSnapshot> series;
+
+  // Exact-label-set lookup (labels canonicalized: sorted by key). nullptr
+  // when the series does not exist.
+  const SeriesSnapshot* Find(const Labels& labels) const;
+  // Interpolated p-quantile over all series of a histogram family summed
+  // (element-wise bucket addition). 0 for non-histogram families.
+  double Quantile(double p) const;
 };
 
 // A consistent point-in-time view of every family in a registry. Both
 // renderings are deterministic: families sorted by name, series by label set.
 struct MetricsSnapshot {
   std::vector<FamilySnapshot> families;
+
+  // Family lookup by name (families are sorted; binary search). nullptr when
+  // absent.
+  const FamilySnapshot* FindFamily(std::string_view name) const;
+
+  // Names of families that hit the cardinality cap and collapsed label sets
+  // into the shared `{overflow="true"}` series — data under those labels is
+  // aggregated, not per-series, and dashboards warn about it.
+  std::vector<std::string> OverflowedFamilies() const;
 
   // Stable machine-readable JSON document.
   std::string ToJson() const;

@@ -1,0 +1,321 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/selfprof.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace memflow::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> next_profiler_id{1};
+
+}  // namespace
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kDispatch:
+      return "dispatch";
+    case Phase::kAdmission:
+      return "admission";
+    case Phase::kEventDrain:
+      return "event-drain";
+    case Phase::kStage:
+      return "stage";
+    case Phase::kBatchRun:
+      return "batch-run";
+    case Phase::kBatchCommit:
+      return "batch-commit";
+    case Phase::kBody:
+      return "body";
+    case Phase::kPlacementScore:
+      return "placement-score";
+    case Phase::kAdmissionVerify:
+      return "admission-verify";
+    case Phase::kCheckpointEncode:
+      return "checkpoint-encode";
+    case Phase::kCheckpointRestore:
+      return "checkpoint-restore";
+    case Phase::kLockWaitShared:
+      return "lock-wait-shared";
+    case Phase::kLockWaitExclusive:
+      return "lock-wait-exclusive";
+  }
+  return "?";
+}
+
+bool PhaseCountDeterministic(Phase phase) {
+  // Contention is a host-scheduling accident; everything else fires once per
+  // deterministic schedule step (submit, event, stage, body, batch, ...).
+  return phase != Phase::kLockWaitShared && phase != Phase::kLockWaitExclusive;
+}
+
+SelfProfiler::SelfProfiler(bool enabled)
+    : enabled_(enabled),
+      id_(next_profiler_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+SelfProfiler::ThreadSlot& SelfProfiler::Slot() {
+  static thread_local ThreadSlot slot;
+  return slot;
+}
+
+SelfProfiler::Node* SelfProfiler::ChildOf(Node* base, Phase phase) {
+  const int index = static_cast<int>(phase);
+  Node* child = base->children[index].load(std::memory_order_acquire);
+  if (child != nullptr) {
+    return child;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  child = base->children[index].load(std::memory_order_relaxed);
+  if (child == nullptr) {
+    nodes_.emplace_back();
+    child = &nodes_.back();
+    child->phase = phase;
+    child->parent = base;
+    base->children[index].store(child, std::memory_order_release);
+  }
+  return child;
+}
+
+SelfProfiler::Node* SelfProfiler::Enter(Phase phase) {
+  ThreadSlot& slot = Slot();
+  if (slot.owner != id_) {
+    slot.owner = id_;
+    slot.current = nullptr;
+  }
+  Node* base = slot.current;
+  if (base == nullptr) {
+    // No enclosing scope on this thread: control-plane roots start the
+    // control tree; anything else is a worker-thread stack.
+    const bool control_root = phase == Phase::kDispatch || phase == Phase::kAdmission;
+    base = control_root ? &control_root_ : &workers_root_;
+  }
+  Node* node = ChildOf(base, phase);
+  slot.current = node;
+  return node;
+}
+
+void SelfProfiler::Exit(Node* node, Node* prev, std::int64_t elapsed_ns) {
+  node->ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  node->calls.fetch_add(1, std::memory_order_relaxed);
+  ThreadSlot& slot = Slot();
+  if (slot.owner == id_) {
+    slot.current = prev;
+  }
+}
+
+void SelfProfiler::Charge(Phase phase, std::int64_t ns) {
+  if (!enabled()) {
+    return;
+  }
+  Node* prev = Slot().current;
+  Node* node = Enter(phase);
+  Exit(node, prev, ns);
+}
+
+SelfProfiler::Node* PhaseTimer::CurrentOf(const SelfProfiler* profiler) {
+  SelfProfiler::ThreadSlot& slot = SelfProfiler::Slot();
+  return slot.owner == profiler->id_ ? slot.current : nullptr;
+}
+
+namespace {
+
+// Child-inclusive sums and per-phase aggregation over one tree. Children are
+// read with acquire loads; accumulators with relaxed loads (exact only while
+// no scope is mid-flight, per the header contract).
+struct TreeAgg {
+  std::array<std::uint64_t, kNumPhases> calls{};
+  std::array<std::int64_t, kNumPhases> inclusive{};
+  std::array<std::int64_t, kNumPhases> exclusive{};
+  std::int64_t root_inclusive = 0;  // summed over top-level nodes
+};
+
+}  // namespace
+
+SelfProfile SelfProfiler::Report(std::int64_t measured_wall_ns) const {
+  const auto aggregate = [](const Node& root) {
+    TreeAgg agg;
+    // Manual DFS; the tree is tiny (bounded by distinct stacks).
+    std::function<std::int64_t(const Node&)> walk =
+        [&](const Node& node) -> std::int64_t {
+      std::int64_t children_ns = 0;
+      for (const auto& slot : node.children) {
+        const Node* child = slot.load(std::memory_order_acquire);
+        if (child != nullptr) {
+          children_ns += walk(*child);
+        }
+      }
+      const std::int64_t inc = node.ns.load(std::memory_order_relaxed);
+      const int index = static_cast<int>(node.phase);
+      agg.calls[index] += node.calls.load(std::memory_order_relaxed);
+      agg.inclusive[index] += inc;
+      agg.exclusive[index] += inc - children_ns;
+      return inc;
+    };
+    for (const auto& slot : root.children) {
+      const Node* child = slot.load(std::memory_order_acquire);
+      if (child != nullptr) {
+        agg.root_inclusive += walk(*child);
+      }
+    }
+    return agg;
+  };
+
+  const TreeAgg control = aggregate(control_root_);
+  const TreeAgg workers = aggregate(workers_root_);
+
+  SelfProfile profile;
+  profile.workers_ns = workers.root_inclusive;
+  std::int64_t exclusive_sum = 0;
+  for (int i = 0; i < kNumPhases; ++i) {
+    exclusive_sum += control.exclusive[i];
+    if (control.calls[i] > 0) {
+      profile.phases.push_back({static_cast<Phase>(i), control.calls[i],
+                                control.inclusive[i], control.exclusive[i]});
+    }
+    if (workers.calls[i] > 0) {
+      profile.worker_phases.push_back({static_cast<Phase>(i), workers.calls[i],
+                                       workers.inclusive[i], workers.exclusive[i]});
+    }
+  }
+  profile.wall_ns = measured_wall_ns > 0 ? measured_wall_ns : control.root_inclusive;
+  profile.residual_ns = profile.wall_ns - exclusive_sum;
+  return profile;
+}
+
+std::string SelfProfile::Render() const {
+  TextTable table({"Phase", "Calls", "Inclusive", "Exclusive", "Share"});
+  const double wall = wall_ns > 0 ? static_cast<double>(wall_ns) : 1.0;
+  for (const PhaseStat& stat : phases) {
+    table.AddRow({std::string(PhaseName(stat.phase)), WithThousands(stat.calls),
+                  HumanDuration(SimDuration::Nanos(stat.inclusive_ns)),
+                  HumanDuration(SimDuration::Nanos(stat.exclusive_ns)),
+                  FormatDouble(100.0 * static_cast<double>(stat.exclusive_ns) / wall, 1) +
+                      "%"});
+  }
+  table.AddRow({"(residual)", "-", "-", HumanDuration(SimDuration::Nanos(residual_ns)),
+                FormatDouble(100.0 * static_cast<double>(residual_ns) / wall, 1) + "%"});
+  std::string out = "== control-plane profile (wall " +
+                    HumanDuration(SimDuration::Nanos(wall_ns)) + ") ==\n" + table.Render();
+  if (!worker_phases.empty()) {
+    TextTable wt({"Worker-side phase", "Calls", "Inclusive", "Exclusive"});
+    for (const PhaseStat& stat : worker_phases) {
+      wt.AddRow({std::string(PhaseName(stat.phase)), WithThousands(stat.calls),
+                 HumanDuration(SimDuration::Nanos(stat.inclusive_ns)),
+                 HumanDuration(SimDuration::Nanos(stat.exclusive_ns))});
+    }
+    out += "\nworker-thread time (overlaps the wall above): " +
+           HumanDuration(SimDuration::Nanos(workers_ns)) + "\n" + wt.Render();
+  }
+  return out;
+}
+
+std::string SelfProfiler::CollapsedStacks() const {
+  std::string out;
+  std::function<void(const Node&, const std::string&)> walk =
+      [&](const Node& node, const std::string& prefix) {
+        const std::string frame =
+            prefix.empty() ? std::string(PhaseName(node.phase))
+                           : prefix + ";" + std::string(PhaseName(node.phase));
+        std::int64_t children_ns = 0;
+        for (const auto& slot : node.children) {
+          const Node* child = slot.load(std::memory_order_acquire);
+          if (child != nullptr) {
+            children_ns += child->ns.load(std::memory_order_relaxed);
+            walk(*child, frame);
+          }
+        }
+        const std::int64_t exclusive =
+            node.ns.load(std::memory_order_relaxed) - children_ns;
+        if (exclusive > 0) {
+          out += frame + " " + std::to_string(exclusive) + "\n";
+        }
+      };
+  for (const auto& slot : control_root_.children) {
+    const Node* child = slot.load(std::memory_order_acquire);
+    if (child != nullptr) {
+      walk(*child, "");
+    }
+  }
+  for (const auto& slot : workers_root_.children) {
+    const Node* child = slot.load(std::memory_order_acquire);
+    if (child != nullptr) {
+      walk(*child, "workers");
+    }
+  }
+  return out;
+}
+
+std::uint64_t SelfProfiler::Fingerprint() const {
+  // Sum calls per phase across both trees (the control/workers split of body
+  // scopes depends on which thread happened to run each body; the totals do
+  // not), then fold only the schedule-deterministic phases.
+  std::array<std::uint64_t, kNumPhases> calls{};
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    calls[static_cast<int>(node.phase)] += node.calls.load(std::memory_order_relaxed);
+    for (const auto& slot : node.children) {
+      const Node* child = slot.load(std::memory_order_acquire);
+      if (child != nullptr) {
+        walk(*child);
+      }
+    }
+  };
+  for (const Node* root : {&control_root_, &workers_root_}) {
+    for (const auto& slot : root->children) {
+      const Node* child = slot.load(std::memory_order_acquire);
+      if (child != nullptr) {
+        walk(*child);
+      }
+    }
+  }
+  std::uint64_t h = 0x5e1f9406ULL;
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (!PhaseCountDeterministic(static_cast<Phase>(i))) {
+      continue;
+    }
+    h = HashCombine(h, static_cast<std::uint64_t>(i));
+    h = HashCombine(h, calls[i]);
+  }
+  return h;
+}
+
+void SelfProfiler::PublishTo(Registry& registry) const {
+  const SelfProfile profile = Report();
+  const auto publish = [&registry](const std::vector<PhaseStat>& stats,
+                                   const char* scope) {
+    for (const PhaseStat& stat : stats) {
+      const Labels labels = {{"phase", std::string(PhaseName(stat.phase))},
+                             {"scope", scope}};
+      registry
+          .GetGauge("selfprof_phase_inclusive_ns",
+                    "Control-plane self-profiler: wall ns inside a phase, children "
+                    "included",
+                    labels)
+          ->Set(static_cast<double>(stat.inclusive_ns));
+      registry
+          .GetGauge("selfprof_phase_exclusive_ns",
+                    "Control-plane self-profiler: wall ns inside a phase, children "
+                    "excluded",
+                    labels)
+          ->Set(static_cast<double>(stat.exclusive_ns));
+      registry
+          .GetGauge("selfprof_phase_calls",
+                    "Control-plane self-profiler: scope entries per phase", labels)
+          ->Set(static_cast<double>(stat.calls));
+    }
+  };
+  publish(profile.phases, "control");
+  publish(profile.worker_phases, "workers");
+  registry
+      .GetGauge("selfprof_wall_ns",
+                "Control-plane self-profiler: profiled dispatch+admission wall ns")
+      ->Set(static_cast<double>(profile.wall_ns));
+}
+
+}  // namespace memflow::telemetry

@@ -1,0 +1,229 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Control-plane self-profiler (DESIGN.md §13): where does the *runtime
+// itself* spend wall-clock time? The critical-path analyzer
+// (telemetry/analyze) attributes a job's virtual-time makespan; this profiler
+// attributes the host's real time across the dispatch loop's phases —
+// admission verification, placement scoring, event-queue drain, staging, the
+// parallel run phase, commit, checkpoint encode, and contended RegionManager
+// lock waits — so "the executor is control-path bound" becomes a per-phase
+// number instead of a guess.
+//
+// Design: a calling-context tree (CCT). Each thread tracks its current node;
+// entering a phase walks (or lazily creates, under a mutex — once per novel
+// stack, never on the steady-state path) the child for that phase and
+// accumulates elapsed ns + call counts into relaxed atomics on scope exit.
+// Steady state is two steady_clock reads and two relaxed atomic adds per
+// scope; a disabled profiler costs one relaxed load per scope.
+//
+// Scopes opened on the control thread nest under the dispatch/admission
+// roots; scopes opened on worker-pool threads (task bodies, checkpoint
+// encode inside them, contended lock waits) have no control-plane parent and
+// land in a separate "workers" tree — they overlap the dispatch wall clock,
+// so counting them inside it would double-book.
+//
+// Accounting identity: summed over the control tree,
+//   exclusive(node) = inclusive(node) - sum(inclusive(children))
+// telescopes to wall = sum(inclusive(roots)) — so the per-phase exclusive
+// breakdown sums to the profiled control-plane wall time *exactly*, and the
+// residual against an externally measured wall is only the unprofiled slack
+// (loop glue, report assembly), asserted < 1% in tests and bench artifacts.
+
+#ifndef MEMFLOW_TELEMETRY_SELFPROF_H_
+#define MEMFLOW_TELEMETRY_SELFPROF_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace memflow::telemetry {
+
+// Phase taxonomy (DESIGN.md §13). Stable order: the fingerprint and metric
+// labels depend on it — append, never reorder.
+enum class Phase : int {
+  kDispatch = 0,       // one RunToCompletion loop step (control-plane root);
+                       // scoped per iteration so snapshot-ring ticks between
+                       // steps always see fully flushed counters
+  kAdmission,          // Runtime::Submit (control-plane root)
+  kEventDrain,         // one EventQueue::RunNext (event callback included)
+  kStage,              // StageDispatch: claim slot, build TaskContext
+  kBatchRun,           // parallel run phase of ExecuteBatch
+  kBatchCommit,        // serial commit phase of ExecuteBatch
+  kBody,               // one task body (control thread or worker)
+  kPlacementScore,     // PlacementPolicy::Place / CostModel scoring
+  kAdmissionVerify,    // analysis::Verify at admission
+  kCheckpointEncode,   // checkpoint save: serialize + persist an output
+  kCheckpointRestore,  // checkpoint restore: rebuild an output
+  kLockWaitShared,     // contended RegionManager shared-lock acquisition
+  kLockWaitExclusive,  // contended RegionManager exclusive-lock acquisition
+};
+inline constexpr int kNumPhases = 13;
+
+// Kebab-case phase name, used for flamegraph frames and metric labels.
+std::string_view PhaseName(Phase phase);
+
+// Phases whose *call counts* are functions of the deterministic schedule
+// alone (everything except contended-lock probes, which count host-timing
+// accidents). Only these feed Fingerprint().
+bool PhaseCountDeterministic(Phase phase);
+
+// Aggregated per-phase line of a profile report.
+struct PhaseStat {
+  Phase phase = Phase::kDispatch;
+  std::uint64_t calls = 0;
+  std::int64_t inclusive_ns = 0;  // time inside the phase, children included
+  std::int64_t exclusive_ns = 0;  // inclusive minus children
+};
+
+struct SelfProfile {
+  // Profiled control-plane wall: the externally measured wall when one was
+  // passed to Report(), otherwise the sum of root-scope inclusive time.
+  std::int64_t wall_ns = 0;
+  // wall_ns minus the summed exclusive breakdown: unprofiled slack. Zero by
+  // construction when no external wall was given.
+  std::int64_t residual_ns = 0;
+  // Worker-thread time (bodies and their nested scopes); overlaps the
+  // control-plane wall, reported separately.
+  std::int64_t workers_ns = 0;
+  std::vector<PhaseStat> phases;          // control tree, by phase, enum order
+  std::vector<PhaseStat> worker_phases;   // workers tree, by phase, enum order
+
+  // Text table: phase, calls, inclusive, exclusive, share of wall.
+  std::string Render() const;
+};
+
+class SelfProfiler {
+ public:
+  explicit SelfProfiler(bool enabled = true);
+
+  SelfProfiler(const SelfProfiler&) = delete;
+  SelfProfiler& operator=(const SelfProfiler&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Charges `ns` (and one call) to `phase` under the calling thread's current
+  // scope without opening a timer — for probes that measured the interval
+  // themselves (contended-lock waits). No-op when disabled.
+  void Charge(Phase phase, std::int64_t ns);
+
+  // Aggregates the tree. `measured_wall_ns` > 0 anchors wall_ns/residual_ns
+  // to an externally measured control-plane wall (e.g. around SubmitAndRun).
+  // Safe to call concurrently with scope recording; numbers are only exact
+  // while no scope is mid-flight (serial phases — the runtime snapshots
+  // between event-loop steps).
+  SelfProfile Report(std::int64_t measured_wall_ns = 0) const;
+
+  // Collapsed-stack flamegraph text (one "frame;frame;frame value" line per
+  // stack, value = exclusive ns; feed to flamegraph.pl / speedscope). Worker
+  //-thread stacks are rooted at a synthetic "workers" frame.
+  std::string CollapsedStacks() const;
+
+  // Order-independent digest of the deterministic per-phase call counts.
+  // Identical at every worker count for one workload — asserted by tests and
+  // the bench artifact.
+  std::uint64_t Fingerprint() const;
+
+  // Exports the current aggregate as gauges:
+  //   selfprof_phase_inclusive_ns / selfprof_phase_exclusive_ns /
+  //   selfprof_phase_calls, labels {phase, scope=control|workers},
+  // plus unlabeled selfprof_wall_ns. Gauges overwrite; call repeatedly.
+  void PublishTo(Registry& registry) const;
+
+ private:
+  friend class PhaseTimer;
+
+  struct Node {
+    Phase phase = Phase::kDispatch;
+    const Node* parent = nullptr;  // sentinel roots have nullptr
+    std::atomic<std::int64_t> ns{0};
+    std::atomic<std::uint64_t> calls{0};
+    std::array<std::atomic<Node*>, kNumPhases> children{};
+  };
+
+  // Resolves (lazily creating) the child of the calling thread's current
+  // scope — or of the matching root sentinel when there is none — and makes
+  // it current. Returns nullptr when disabled.
+  Node* Enter(Phase phase);
+  // Accumulates into `node` and restores `prev` as the thread's current.
+  void Exit(Node* node, Node* prev, std::int64_t elapsed_ns);
+
+  Node* ChildOf(Node* base, Phase phase);
+
+  // Per-thread cursor into the tree. `owner` holds the profiler's unique id:
+  // a thread that last recorded into another (possibly destroyed) profiler
+  // sees a mismatch and resets, so stale node pointers are never followed.
+  struct ThreadSlot {
+    std::uint64_t owner = 0;
+    Node* current = nullptr;
+  };
+  static ThreadSlot& Slot();
+
+  std::atomic<bool> enabled_;
+  const std::uint64_t id_;  // process-unique, so stale thread slots never match
+
+  // Sentinel parents: control-plane roots (dispatch/admission scopes opened
+  // with no current node) vs worker-thread stacks. Their ns/calls stay 0.
+  Node control_root_;
+  Node workers_root_;
+
+  // Node storage: deque so addresses are stable under append; guarded by
+  // mu_ for creation only (readers follow atomic child pointers lock-free).
+  mutable std::mutex mu_;
+  std::deque<Node> nodes_;
+};
+
+// RAII phase scope. Cheap to construct against a null or disabled profiler
+// (one branch + relaxed load), so instrumentation sites need no ifdefs.
+class PhaseTimer {
+ public:
+  PhaseTimer(SelfProfiler* profiler, Phase phase) {
+    if (profiler == nullptr || !profiler->enabled()) {
+      return;
+    }
+    profiler_ = profiler;
+    prev_ = CurrentOf(profiler);
+    node_ = profiler->Enter(phase);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() { Stop(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  // Closes the scope early (idempotent). Returns the elapsed ns charged, 0
+  // if the scope never opened.
+  std::int64_t Stop() {
+    if (node_ == nullptr) {
+      return 0;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const std::int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    profiler_->Exit(node_, prev_, ns);
+    node_ = nullptr;
+    return ns;
+  }
+
+ private:
+  // The calling thread's current node in `profiler`'s tree (nullptr at top
+  // level). Defined in selfprof.cc next to the thread-local slot.
+  static SelfProfiler::Node* CurrentOf(const SelfProfiler* profiler);
+
+  SelfProfiler* profiler_ = nullptr;
+  SelfProfiler::Node* node_ = nullptr;
+  SelfProfiler::Node* prev_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace memflow::telemetry
+
+#endif  // MEMFLOW_TELEMETRY_SELFPROF_H_

@@ -1,0 +1,478 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace memflow::telemetry {
+
+namespace {
+
+// Scalar value of one series for delta/rate purposes: counters and histogram
+// counts difference monotonically; gauges difference as signed drift.
+double ScalarOf(const FamilySnapshot& family, const SeriesSnapshot& series) {
+  switch (family.kind) {
+    case MetricKind::kCounter:
+      return static_cast<double>(series.counter);
+    case MetricKind::kGauge:
+      return series.gauge;
+    case MetricKind::kHistogram:
+      return static_cast<double>(series.count);
+  }
+  return 0;
+}
+
+// Sums ScalarOf over the selected series (all when `labels` empty, else the
+// exact series). Returns false when the selection matches nothing.
+bool SumSelected(const FamilySnapshot& family, const Labels& labels, double* out) {
+  if (labels.empty()) {
+    double total = 0;
+    for (const SeriesSnapshot& series : family.series) {
+      total += ScalarOf(family, series);
+    }
+    *out = total;
+    return true;
+  }
+  const SeriesSnapshot* series = family.Find(labels);
+  if (series == nullptr) {
+    return false;
+  }
+  *out = ScalarOf(family, *series);
+  return true;
+}
+
+// Element-wise bucket sum over the selected series of a histogram family.
+// Returns an empty vector when the selection matches nothing.
+std::vector<std::uint64_t> BucketsSelected(const FamilySnapshot& family,
+                                           const Labels& labels) {
+  std::vector<std::uint64_t> merged;
+  const auto add = [&merged](const std::vector<std::uint64_t>& counts) {
+    if (merged.size() < counts.size()) {
+      merged.resize(counts.size(), 0);
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      merged[i] += counts[i];
+    }
+  };
+  if (labels.empty()) {
+    for (const SeriesSnapshot& series : family.series) {
+      add(series.bucket_counts);
+    }
+  } else if (const SeriesSnapshot* series = family.Find(labels)) {
+    add(series->bucket_counts);
+  }
+  return merged;
+}
+
+std::int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SnapshotRing::SnapshotRing(const Registry* registry, std::size_t capacity)
+    : registry_(registry), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SnapshotRing::AddPreTickHook(std::function<void()> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void SnapshotRing::Tick(SimTime now) {
+  for (const auto& hook : hooks_) {
+    hook();
+  }
+  TimedSnapshot entry;
+  entry.sim_time = now;
+  entry.wall_ns = WallNowNs();
+  entry.metrics = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+  ++total_ticks_;
+}
+
+std::size_t SnapshotRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t SnapshotRing::total_ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ticks_;
+}
+
+std::vector<TimedSnapshot> SnapshotRing::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::optional<TimedSnapshot> SnapshotRing::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) {
+    return std::nullopt;
+  }
+  return ring_.back();
+}
+
+bool SnapshotRing::WindowLocked(SimDuration window, const TimedSnapshot** newest,
+                                const TimedSnapshot** baseline) const {
+  if (ring_.size() < 2) {
+    return false;
+  }
+  *newest = &ring_.back();
+  const SimTime cutoff = (*newest)->sim_time + SimDuration::Nanos(-window.ns);
+  // Newest entry at least `window` old; the oldest retained entry when the
+  // ring's history is shorter than the window.
+  *baseline = &ring_.front();
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->sim_time <= cutoff) {
+      *baseline = &*it;
+      break;
+    }
+  }
+  return *baseline != *newest;
+}
+
+std::optional<double> SnapshotRing::DeltaOver(std::string_view family,
+                                              SimDuration window,
+                                              const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimedSnapshot* newest = nullptr;
+  const TimedSnapshot* baseline = nullptr;
+  if (!WindowLocked(window, &newest, &baseline)) {
+    return std::nullopt;
+  }
+  const FamilySnapshot* now_family = newest->metrics.FindFamily(family);
+  if (now_family == nullptr) {
+    return std::nullopt;
+  }
+  double now_value = 0;
+  if (!SumSelected(*now_family, labels, &now_value)) {
+    return std::nullopt;
+  }
+  // A family (or series) absent at the baseline was created inside the
+  // window: everything it counted happened in-window, baseline 0.
+  double then_value = 0;
+  if (const FamilySnapshot* then_family = baseline->metrics.FindFamily(family)) {
+    SumSelected(*then_family, labels, &then_value);
+  }
+  return now_value - then_value;
+}
+
+std::optional<double> SnapshotRing::RateOver(std::string_view family,
+                                             SimDuration window,
+                                             const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimedSnapshot* newest = nullptr;
+  const TimedSnapshot* baseline = nullptr;
+  if (!WindowLocked(window, &newest, &baseline)) {
+    return std::nullopt;
+  }
+  const SimDuration elapsed = newest->sim_time - baseline->sim_time;
+  if (elapsed.ns <= 0) {
+    return std::nullopt;
+  }
+  const FamilySnapshot* now_family = newest->metrics.FindFamily(family);
+  if (now_family == nullptr) {
+    return std::nullopt;
+  }
+  double now_value = 0;
+  if (!SumSelected(*now_family, labels, &now_value)) {
+    return std::nullopt;
+  }
+  double then_value = 0;
+  if (const FamilySnapshot* then_family = baseline->metrics.FindFamily(family)) {
+    SumSelected(*then_family, labels, &then_value);
+  }
+  return (now_value - then_value) / elapsed.ToSeconds();
+}
+
+std::optional<double> SnapshotRing::QuantileOver(std::string_view family,
+                                                 SimDuration window, double p,
+                                                 const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimedSnapshot* newest = nullptr;
+  const TimedSnapshot* baseline = nullptr;
+  if (!WindowLocked(window, &newest, &baseline)) {
+    return std::nullopt;
+  }
+  const FamilySnapshot* now_family = newest->metrics.FindFamily(family);
+  if (now_family == nullptr || now_family->kind != MetricKind::kHistogram) {
+    return std::nullopt;
+  }
+  std::vector<std::uint64_t> now_buckets = BucketsSelected(*now_family, labels);
+  if (now_buckets.empty()) {
+    return std::nullopt;
+  }
+  if (const FamilySnapshot* then_family = baseline->metrics.FindFamily(family)) {
+    const std::vector<std::uint64_t> then_buckets =
+        BucketsSelected(*then_family, labels);
+    for (std::size_t i = 0; i < then_buckets.size() && i < now_buckets.size(); ++i) {
+      // Counts are monotonic per bucket; min() guards a registry Clear()
+      // between ticks from underflowing.
+      now_buckets[i] -= std::min(then_buckets[i], now_buckets[i]);
+    }
+  }
+  return HistogramQuantile(now_family->bounds, now_buckets, p);
+}
+
+// --- dashboard ------------------------------------------------------------------
+
+namespace {
+
+double GaugeSum(const MetricsSnapshot& snapshot, std::string_view family_name) {
+  const FamilySnapshot* family = snapshot.FindFamily(family_name);
+  if (family == nullptr) {
+    return 0;
+  }
+  double total = 0;
+  for (const SeriesSnapshot& series : family->series) {
+    total += ScalarOf(*family, series);
+  }
+  return total;
+}
+
+QuantileTriple QuantilesOver(const SnapshotRing& ring, std::string_view family,
+                             SimDuration window) {
+  QuantileTriple q;
+  q.p50 = ring.QuantileOver(family, window, 0.50).value_or(0);
+  q.p99 = ring.QuantileOver(family, window, 0.99).value_or(0);
+  q.p999 = ring.QuantileOver(family, window, 0.999).value_or(0);
+  return q;
+}
+
+std::string LabelsSuffix(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+DashboardStats ComputeDashboard(const SnapshotRing& ring, SimDuration window) {
+  DashboardStats stats;
+  const std::optional<TimedSnapshot> latest = ring.Latest();
+  if (!latest.has_value()) {
+    stats.warnings.push_back("no snapshots yet (ring never ticked)");
+    return stats;
+  }
+  stats.sim_now = latest->sim_time;
+  stats.wall_ns = latest->wall_ns;
+  stats.ticks = ring.total_ticks();
+
+  stats.jobs_per_sec = ring.RateOver("rts_jobs_total", window).value_or(0);
+  stats.tasks_per_sec =
+      ring.RateOver("rts_tasks_executed_total", window).value_or(0);
+  stats.queue_wait_ns = QuantilesOver(ring, "rts_task_queue_wait_ns", window);
+  stats.task_duration_ns = QuantilesOver(ring, "rts_task_duration_ns", window);
+
+  if (const FamilySnapshot* depths =
+          latest->metrics.FindFamily("rts_device_queue_depth")) {
+    for (const SeriesSnapshot& series : depths->series) {
+      std::string device = LabelsSuffix(series.labels);
+      for (const auto& [key, value] : series.labels) {
+        if (key == "device") {
+          device = value;
+          break;
+        }
+      }
+      stats.queue_depths.emplace_back(std::move(device), series.gauge);
+    }
+  }
+
+  stats.selfprof_wall_ns = GaugeSum(latest->metrics, "selfprof_wall_ns");
+  if (const FamilySnapshot* phases =
+          latest->metrics.FindFamily("selfprof_phase_exclusive_ns")) {
+    const double wall = stats.selfprof_wall_ns > 0 ? stats.selfprof_wall_ns : 1.0;
+    for (const SeriesSnapshot& series : phases->series) {
+      std::string phase;
+      bool control = false;
+      for (const auto& [key, value] : series.labels) {
+        if (key == "phase") {
+          phase = value;
+        } else if (key == "scope" && value == "control") {
+          control = true;
+        }
+      }
+      if (control && !phase.empty()) {
+        stats.phase_share.emplace_back(std::move(phase), series.gauge / wall);
+      }
+    }
+    std::sort(stats.phase_share.begin(), stats.phase_share.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second : a.first < b.first;
+              });
+  }
+
+  stats.trace_dropped =
+      GaugeSum(latest->metrics, "trace_buffer_events_dropped_total");
+  if (stats.trace_dropped > 0) {
+    stats.warnings.push_back(
+        "trace ring dropped " +
+        WithThousands(static_cast<std::uint64_t>(stats.trace_dropped)) +
+        " events; raise TraceBuffer capacity or narrow categories");
+  }
+  stats.overflowed_families = latest->metrics.OverflowedFamilies();
+  for (const std::string& name : stats.overflowed_families) {
+    stats.warnings.push_back("metric family '" + name +
+                             "' hit its series cap; data collapsed into "
+                             "{overflow=\"true\"}");
+  }
+  return stats;
+}
+
+std::string RenderDashboard(const DashboardStats& stats) {
+  std::string out;
+  out += "memflow top — sim " + HumanDuration(stats.sim_now - SimTime()) +
+         ", snapshots " + WithThousands(stats.ticks) + "\n";
+  out += "  jobs/s " + FormatDouble(stats.jobs_per_sec, 2) + "   tasks/s " +
+         FormatDouble(stats.tasks_per_sec, 2) + "\n\n";
+
+  TextTable latency({"Latency (virtual)", "p50", "p99", "p999"});
+  const auto row = [](const char* name, const QuantileTriple& q) {
+    return std::vector<std::string>{
+        name, HumanDuration(SimDuration::Nanos(static_cast<std::int64_t>(q.p50))),
+        HumanDuration(SimDuration::Nanos(static_cast<std::int64_t>(q.p99))),
+        HumanDuration(SimDuration::Nanos(static_cast<std::int64_t>(q.p999)))};
+  };
+  latency.AddRow(row("task queue wait", stats.queue_wait_ns));
+  latency.AddRow(row("task duration", stats.task_duration_ns));
+  out += latency.Render();
+
+  if (!stats.queue_depths.empty()) {
+    TextTable depths({"Device queue", "Depth"});
+    for (const auto& [device, depth] : stats.queue_depths) {
+      depths.AddRow({device, FormatDouble(depth, 0)});
+    }
+    out += "\n" + depths.Render();
+  }
+
+  if (!stats.phase_share.empty()) {
+    TextTable phases({"Control-plane phase", "Share"});
+    for (const auto& [phase, share] : stats.phase_share) {
+      phases.AddRow({phase, FormatDouble(100.0 * share, 1) + "%"});
+    }
+    out += "\n" + phases.Render();
+    out += "control-plane wall " +
+           HumanDuration(SimDuration::Nanos(
+               static_cast<std::int64_t>(stats.selfprof_wall_ns))) +
+           " (host time; shares are exclusive-ns / wall)\n";
+  }
+
+  for (const std::string& warning : stats.warnings) {
+    out += "WARNING: " + warning + "\n";
+  }
+  return out;
+}
+
+std::string DashboardJson(const DashboardStats& stats) {
+  std::string out = "{";
+  out += JsonQuote("sim_now_ns") + ":" + JsonNumber(static_cast<double>(stats.sim_now.ns));
+  out += "," + JsonQuote("snapshots") + ":" + JsonNumber(static_cast<double>(stats.ticks));
+  out += "," + JsonQuote("jobs_per_sec") + ":" + JsonNumber(stats.jobs_per_sec);
+  out += "," + JsonQuote("tasks_per_sec") + ":" + JsonNumber(stats.tasks_per_sec);
+  const auto triple = [](const QuantileTriple& q) {
+    return "{\"p50\":" + JsonNumber(q.p50) + ",\"p99\":" + JsonNumber(q.p99) +
+           ",\"p999\":" + JsonNumber(q.p999) + "}";
+  };
+  out += "," + JsonQuote("queue_wait_ns") + ":" + triple(stats.queue_wait_ns);
+  out += "," + JsonQuote("task_duration_ns") + ":" + triple(stats.task_duration_ns);
+  out += "," + JsonQuote("queue_depths") + ":{";
+  for (std::size_t i = 0; i < stats.queue_depths.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += JsonQuote(stats.queue_depths[i].first) + ":" +
+           JsonNumber(stats.queue_depths[i].second);
+  }
+  out += "}";
+  out += "," + JsonQuote("selfprof_wall_ns") + ":" + JsonNumber(stats.selfprof_wall_ns);
+  out += "," + JsonQuote("phase_share") + ":{";
+  for (std::size_t i = 0; i < stats.phase_share.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += JsonQuote(stats.phase_share[i].first) + ":" +
+           JsonNumber(stats.phase_share[i].second);
+  }
+  out += "}";
+  out += "," + JsonQuote("trace_dropped") + ":" + JsonNumber(stats.trace_dropped);
+  out += "," + JsonQuote("overflowed_families") + ":[";
+  for (std::size_t i = 0; i < stats.overflowed_families.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += JsonQuote(stats.overflowed_families[i]);
+  }
+  out += "]";
+  out += "," + JsonQuote("warnings") + ":[";
+  for (std::size_t i = 0; i < stats.warnings.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += JsonQuote(stats.warnings[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+// --- Perfetto counter tracks ----------------------------------------------------
+
+std::string ExportCounterTracksJson(const SnapshotRing& ring,
+                                    const std::vector<std::string>& families) {
+  const std::vector<TimedSnapshot> entries = ring.Entries();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& json) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += json;
+  };
+  emit(std::string("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",") +
+       "\"args\":{\"name\":" + JsonQuote("memflow metrics") + "}}");
+  for (const TimedSnapshot& entry : entries) {
+    const double ts_us = static_cast<double>(entry.sim_time.ns) / 1e3;
+    for (const FamilySnapshot& family : entry.metrics.families) {
+      if (!families.empty() &&
+          std::find(families.begin(), families.end(), family.name) ==
+              families.end()) {
+        continue;
+      }
+      for (const SeriesSnapshot& series : family.series) {
+        std::string name = family.name;
+        if (family.kind == MetricKind::kHistogram) {
+          name += "_count";
+        }
+        name += LabelsSuffix(series.labels);
+        emit("{\"ph\":\"C\",\"pid\":1,\"ts\":" + JsonNumber(ts_us) +
+             ",\"name\":" + JsonQuote(name) + ",\"args\":{\"value\":" +
+             JsonNumber(ScalarOf(family, series)) + "}}");
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+}  // namespace memflow::telemetry

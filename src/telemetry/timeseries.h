@@ -1,0 +1,158 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Time-series layer over the metrics registry (DESIGN.md §13): a point-in-
+// time Registry::Snapshot() cannot express "jobs per second over the last
+// window" or "p99 queue wait of the tasks that finished recently". The
+// SnapshotRing keeps a bounded ring of periodic snapshots stamped with both
+// virtual and wall time, and answers windowed rate / delta / histogram-
+// quantile queries by differencing the newest snapshot against the one just
+// outside the window.
+//
+// The ring is driven by whoever owns the timeline: the runtime ticks it on
+// the virtual clock (RuntimeOptions::snapshot_ring + snapshot_interval, so
+// tick times — and therefore ring contents' shape — are deterministic at
+// every worker count), a serving loop may tick it on wall time. Pre-tick
+// hooks let publishers that export on demand (self-profiler gauges, trace-
+// ring health) refresh just before each snapshot is taken.
+//
+// On top of the ring: the memflow_top dashboard (text + JSON) and a Perfetto
+// counter-track export that turns the ring into "ph":"C" counter lanes.
+
+#ifndef MEMFLOW_TELEMETRY_TIMESERIES_H_
+#define MEMFLOW_TELEMETRY_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "telemetry/metrics.h"
+
+namespace memflow::telemetry {
+
+// One ring entry: a full registry snapshot stamped with virtual time (the
+// query axis) and wall time (context for humans; never used in queries).
+struct TimedSnapshot {
+  SimTime sim_time;
+  std::int64_t wall_ns = 0;
+  MetricsSnapshot metrics;
+};
+
+class SnapshotRing {
+ public:
+  // Snapshots `registry` (not owned; must outlive the ring) on every Tick,
+  // keeping the most recent `capacity` entries.
+  explicit SnapshotRing(const Registry* registry, std::size_t capacity = 128);
+
+  SnapshotRing(const SnapshotRing&) = delete;
+  SnapshotRing& operator=(const SnapshotRing&) = delete;
+
+  // Runs before every Tick's snapshot — for gauges that are published on
+  // demand (PublishTraceHealth, SelfProfiler::PublishTo). Register at setup;
+  // not thread-safe against concurrent Tick.
+  void AddPreTickHook(std::function<void()> hook);
+
+  // Takes one snapshot at virtual time `now`, evicting the oldest entry when
+  // full. Thread-safe against the query methods.
+  void Tick(SimTime now);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t total_ticks() const;  // including evicted entries
+  std::vector<TimedSnapshot> Entries() const;  // oldest -> newest (copies)
+  std::optional<TimedSnapshot> Latest() const;
+
+  // --- windowed queries ---------------------------------------------------------
+  //
+  // All windows are virtual-time, anchored at the newest snapshot: the
+  // baseline is the newest entry at least `window` old (or the oldest
+  // retained entry when history is shorter). Empty `labels` sums every
+  // series of the family; non-empty labels select exactly that series.
+  // nullopt when the family is missing from the newest snapshot or fewer
+  // than two snapshots overlap the window.
+
+  // Counter/histogram-count/gauge difference across the window.
+  std::optional<double> DeltaOver(std::string_view family, SimDuration window,
+                                  const Labels& labels = {}) const;
+
+  // DeltaOver per elapsed virtual second (elapsed = actual snapshot spacing,
+  // not the requested window, so partial windows do not inflate rates).
+  std::optional<double> RateOver(std::string_view family, SimDuration window,
+                                 const Labels& labels = {}) const;
+
+  // Interpolated p-quantile of the histogram samples *observed inside the
+  // window* (element-wise bucket difference, then HistogramQuantile).
+  std::optional<double> QuantileOver(std::string_view family, SimDuration window,
+                                     double p, const Labels& labels = {}) const;
+
+ private:
+  // Newest entry and the window baseline under mu_. Returns false when the
+  // ring holds fewer than two entries.
+  bool WindowLocked(SimDuration window, const TimedSnapshot** newest,
+                    const TimedSnapshot** baseline) const;
+
+  const Registry* registry_;
+  const std::size_t capacity_;
+  std::vector<std::function<void()>> hooks_;
+  mutable std::mutex mu_;
+  std::deque<TimedSnapshot> ring_;
+  std::uint64_t total_ticks_ = 0;
+};
+
+// --- dashboard ------------------------------------------------------------------
+
+// Quantile triple rendered on the dashboard.
+struct QuantileTriple {
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+// Everything memflow_top shows, computed once so the text and JSON renderings
+// can never disagree.
+struct DashboardStats {
+  SimTime sim_now;
+  std::int64_t wall_ns = 0;
+  std::uint64_t ticks = 0;
+  double jobs_per_sec = 0;   // completed jobs / virtual second over the window
+  double tasks_per_sec = 0;  // executed tasks / virtual second over the window
+  QuantileTriple queue_wait_ns;     // rts_task_queue_wait_ns over the window
+  QuantileTriple task_duration_ns;  // rts_task_duration_ns over the window
+  std::vector<std::pair<std::string, double>> queue_depths;  // device -> depth
+  // Control-plane share per phase: exclusive ns / profiled wall, from the
+  // self-profiler gauges in the newest snapshot. Sorted by share, descending.
+  std::vector<std::pair<std::string, double>> phase_share;
+  double selfprof_wall_ns = 0;
+  double trace_dropped = 0;  // trace_buffer_events_dropped_total gauge
+  std::vector<std::string> overflowed_families;
+  std::vector<std::string> warnings;  // human-readable WARNING lines
+};
+
+DashboardStats ComputeDashboard(const SnapshotRing& ring, SimDuration window);
+
+// Live text dashboard (one screenful; memflow_top redraws it per refresh).
+std::string RenderDashboard(const DashboardStats& stats);
+
+// The same numbers as a stable JSON document (memflow_top --once --json).
+std::string DashboardJson(const DashboardStats& stats);
+
+// --- Perfetto counter tracks ----------------------------------------------------
+
+// Renders the ring as Chrome trace-event JSON counter tracks ("ph":"C"): one
+// counter lane per series of every counter/gauge family (histograms
+// contribute their _count), one sample per retained snapshot, timestamped on
+// the virtual timeline. Load alongside ExportTraceJson output to see metric
+// evolution under the span lanes. `families` filters by family name; empty
+// exports everything.
+std::string ExportCounterTracksJson(const SnapshotRing& ring,
+                                    const std::vector<std::string>& families = {});
+
+}  // namespace memflow::telemetry
+
+#endif  // MEMFLOW_TELEMETRY_TIMESERIES_H_

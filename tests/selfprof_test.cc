@@ -1,0 +1,382 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the control-plane self-profiler (DESIGN.md §13): the telescoping
+// accounting identity (exclusive sums to wall, residual < 1% against an
+// externally measured wall), worker-count-independent phase fingerprints,
+// the RegionManager contended-lock probes, checkpoint phase attribution, and
+// the flamegraph / metrics exports.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rts/checkpoint.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+#include "telemetry/selfprof.h"
+
+namespace memflow {
+namespace {
+
+using dataflow::TaskContext;
+using telemetry::Phase;
+using telemetry::PhaseStat;
+using telemetry::PhaseTimer;
+using telemetry::SelfProfile;
+using telemetry::SelfProfiler;
+
+// Calls charged to `phase`, summed over the control and worker trees (where a
+// phase lands depends on the worker count; the sum does not).
+std::uint64_t CallsOf(const SelfProfile& profile, Phase phase) {
+  std::uint64_t calls = 0;
+  for (const PhaseStat& ps : profile.phases) {
+    if (ps.phase == phase) {
+      calls += ps.calls;
+    }
+  }
+  for (const PhaseStat& ps : profile.worker_phases) {
+    if (ps.phase == phase) {
+      calls += ps.calls;
+    }
+  }
+  return calls;
+}
+
+std::int64_t SumExclusive(const std::vector<PhaseStat>& phases) {
+  std::int64_t sum = 0;
+  for (const PhaseStat& ps : phases) {
+    sum += ps.exclusive_ns;
+  }
+  return sum;
+}
+
+void SpinFor(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+// A task body with real work: a scratch-region write/read plus simulated
+// compute, so profiled runs have non-trivial wall time at every phase.
+Status MemcpyBody(TaskContext& ctx) {
+  constexpr std::uint64_t kBytes = KiB(512);
+  MEMFLOW_ASSIGN_OR_RETURN(region::RegionId s, ctx.AllocatePrivateScratch(kBytes));
+  MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(s));
+  std::vector<std::uint64_t> buf(kBytes / 8, 0x5e1fULL);
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration w, acc.Write(0, buf.data(), kBytes));
+  ctx.Charge(w);
+  MEMFLOW_ASSIGN_OR_RETURN(SimDuration r, acc.Read(0, buf.data(), kBytes));
+  ctx.Charge(r);
+  ctx.ChargeCompute(1e5);
+  return OkStatus();
+}
+
+dataflow::Job FanJob(int tasks) {
+  dataflow::Job job("selfprof");
+  for (int i = 0; i < tasks; ++i) {
+    job.AddTask("t" + std::to_string(i), {}, MemcpyBody);
+  }
+  return job;
+}
+
+// --- accounting identity ------------------------------------------------------
+
+TEST(SelfProfilerTest, NestedScopesTelescopeExactly) {
+  SelfProfiler prof;
+  {
+    PhaseTimer dispatch(&prof, Phase::kDispatch);
+    {
+      PhaseTimer stage(&prof, Phase::kStage);
+      SpinFor(std::chrono::microseconds(200));
+    }
+    {
+      PhaseTimer run(&prof, Phase::kBatchRun);
+      PhaseTimer body(&prof, Phase::kBody);
+      SpinFor(std::chrono::microseconds(200));
+    }
+  }
+  const SelfProfile p = prof.Report();
+
+  // No external wall given: wall is the summed root inclusive time, and the
+  // exclusive breakdown telescopes to it with zero residual by construction.
+  EXPECT_GT(p.wall_ns, 0);
+  EXPECT_EQ(p.residual_ns, 0);
+  EXPECT_EQ(SumExclusive(p.phases), p.wall_ns);
+
+  std::int64_t dispatch_incl = 0;
+  std::int64_t children_incl = 0;
+  for (const PhaseStat& ps : p.phases) {
+    if (ps.phase == Phase::kDispatch) {
+      dispatch_incl = ps.inclusive_ns;
+      EXPECT_EQ(ps.calls, 1u);
+    } else if (ps.phase == Phase::kStage || ps.phase == Phase::kBatchRun) {
+      children_incl += ps.inclusive_ns;
+      EXPECT_GE(ps.inclusive_ns, 200 * 1000);
+    }
+  }
+  // The dispatch root's inclusive time is the whole wall; its exclusive time
+  // is what its direct children did not cover.
+  EXPECT_EQ(dispatch_incl, p.wall_ns);
+  for (const PhaseStat& ps : p.phases) {
+    if (ps.phase == Phase::kDispatch) {
+      EXPECT_EQ(ps.exclusive_ns, dispatch_incl - children_incl);
+    }
+  }
+}
+
+TEST(SelfProfilerTest, StopIsIdempotentAndReturnsElapsed) {
+  SelfProfiler prof;
+  PhaseTimer t(&prof, Phase::kAdmission);
+  SpinFor(std::chrono::microseconds(50));
+  const std::int64_t first = t.Stop();
+  EXPECT_GE(first, 50 * 1000);
+  EXPECT_EQ(t.Stop(), 0);
+  const SelfProfile p = prof.Report();
+  EXPECT_EQ(CallsOf(p, Phase::kAdmission), 1u);
+}
+
+TEST(SelfProfilerTest, ChargeWithoutScopeLandsInWorkerTree) {
+  SelfProfiler prof;
+  // Lock-wait probes measure their own interval and charge it; with no open
+  // scope on this thread they root in the workers tree (they would otherwise
+  // double-book the control-plane wall).
+  prof.Charge(Phase::kLockWaitExclusive, 1234);
+  const SelfProfile p = prof.Report();
+  EXPECT_EQ(p.workers_ns, 1234);
+  bool found = false;
+  for (const PhaseStat& ps : p.worker_phases) {
+    if (ps.phase == Phase::kLockWaitExclusive) {
+      found = true;
+      EXPECT_EQ(ps.calls, 1u);
+      EXPECT_EQ(ps.inclusive_ns, 1234);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SelfProfilerTest, DisabledProfilerRecordsNothing) {
+  SelfProfiler prof(/*enabled=*/false);
+  {
+    PhaseTimer t(&prof, Phase::kDispatch);
+    PhaseTimer u(&prof, Phase::kStage);
+  }
+  prof.Charge(Phase::kLockWaitShared, 999);
+  const SelfProfile p = prof.Report();
+  EXPECT_EQ(p.wall_ns, 0);
+  EXPECT_EQ(p.workers_ns, 0);
+  for (const PhaseStat& ps : p.phases) {
+    EXPECT_EQ(ps.calls, 0u);
+  }
+  // Null profiler pointers are equally inert.
+  PhaseTimer none(nullptr, Phase::kBody);
+  EXPECT_EQ(none.Stop(), 0);
+}
+
+// --- runtime integration ------------------------------------------------------
+
+TEST(SelfProfilerTest, ResidualUnderOnePercentOfMeasuredWall) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  rts::RuntimeOptions opts;
+  opts.worker_threads = 2;
+  opts.registry = &reg;
+  rts::Runtime rt(*rack.cluster, opts);
+  dataflow::Job job = FanJob(48);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = rt.SubmitAndRun(std::move(job));
+  const auto t1 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  const std::int64_t wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+
+  const SelfProfile p = rt.self_profiler().Report(wall_ns);
+  EXPECT_EQ(p.wall_ns, wall_ns);
+  // The unprofiled slack (SubmitAndRun glue, report assembly) must stay under
+  // 1% of the measured wall: the phase breakdown explains the rest.
+  EXPECT_GE(p.residual_ns, 0);
+  EXPECT_LT(static_cast<double>(p.residual_ns), 0.01 * static_cast<double>(wall_ns));
+  EXPECT_EQ(SumExclusive(p.phases) + p.residual_ns, wall_ns);
+
+  // The dispatch loop phases all fired.
+  EXPECT_GT(CallsOf(p, Phase::kDispatch), 0u);
+  EXPECT_EQ(CallsOf(p, Phase::kAdmission), 1u);
+  EXPECT_EQ(CallsOf(p, Phase::kAdmissionVerify), 1u);
+  EXPECT_EQ(CallsOf(p, Phase::kStage), 48u);
+  EXPECT_EQ(CallsOf(p, Phase::kBody), 48u);
+  EXPECT_EQ(CallsOf(p, Phase::kPlacementScore), 48u);
+  EXPECT_GT(CallsOf(p, Phase::kBatchRun), 0u);
+  EXPECT_GT(CallsOf(p, Phase::kBatchCommit), 0u);
+}
+
+TEST(SelfProfilerTest, FingerprintIsWorkerCountInvariant) {
+  const auto fingerprint_at = [](int workers) {
+    simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+    telemetry::Registry reg;
+    rts::RuntimeOptions opts;
+    opts.seed = 7;
+    opts.worker_threads = workers;
+    opts.registry = &reg;
+    rts::Runtime rt(*rack.cluster, opts);
+    auto report = rt.SubmitAndRun(FanJob(24));
+    MEMFLOW_CHECK(report.ok() && report->status.ok());
+    return rt.self_profiler().Fingerprint();
+  };
+  const std::uint64_t f1 = fingerprint_at(1);
+  const std::uint64_t f2 = fingerprint_at(2);
+  const std::uint64_t f8 = fingerprint_at(8);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f2, f8);
+  EXPECT_NE(f1, 0u);
+
+  // A different workload has a different deterministic shape.
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  rts::RuntimeOptions opts;
+  opts.seed = 7;
+  opts.worker_threads = 2;
+  opts.registry = &reg;
+  rts::Runtime rt(*rack.cluster, opts);
+  auto report = rt.SubmitAndRun(FanJob(23));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  EXPECT_NE(rt.self_profiler().Fingerprint(), f1);
+}
+
+TEST(SelfProfilerTest, RegionLockProbesPublishCounters) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  rts::RuntimeOptions opts;
+  opts.worker_threads = 4;
+  opts.registry = &reg;
+  rts::Runtime rt(*rack.cluster, opts);
+  auto report = rt.SubmitAndRun(FanJob(24));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+
+  const telemetry::MetricsSnapshot snap = reg.Snapshot();
+  const telemetry::FamilySnapshot* acq = snap.FindFamily("region_lock_acquisitions_total");
+  ASSERT_NE(acq, nullptr);
+  const telemetry::SeriesSnapshot* shared = acq->Find({{"mode", "shared"}});
+  const telemetry::SeriesSnapshot* exclusive = acq->Find({{"mode", "exclusive"}});
+  ASSERT_NE(shared, nullptr);
+  ASSERT_NE(exclusive, nullptr);
+  EXPECT_GT(shared->counter + exclusive->counter, 0u);
+
+  // Contended acquisitions are a subset of all acquisitions.
+  const telemetry::FamilySnapshot* cont = snap.FindFamily("region_lock_contended_total");
+  ASSERT_NE(cont, nullptr);
+  for (const char* mode : {"shared", "exclusive"}) {
+    const telemetry::SeriesSnapshot* c = cont->Find({{"mode", mode}});
+    const telemetry::SeriesSnapshot* a = acq->Find({{"mode", mode}});
+    if (c != nullptr && a != nullptr) {
+      EXPECT_LE(c->counter, a->counter);
+    }
+  }
+}
+
+TEST(SelfProfilerTest, CheckpointPhasesAreAttributed) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  rts::JobCheckpointer ckpt(*host.cluster, host.pmem);
+
+  dataflow::Job make_outputs("ckpt");
+  for (int i = 0; i < 3; ++i) {
+    make_outputs.AddTask("t" + std::to_string(i), {}, [](TaskContext& ctx) -> Status {
+      MEMFLOW_ASSIGN_OR_RETURN(region::RegionId out, ctx.AllocateOutput(KiB(64)));
+      MEMFLOW_ASSIGN_OR_RETURN(region::SyncAccessor acc, ctx.OpenSync(out));
+      std::vector<std::uint64_t> buf(KiB(64) / 8, 42);
+      MEMFLOW_ASSIGN_OR_RETURN(SimDuration w, acc.Write(0, buf.data(), KiB(64)));
+      ctx.Charge(w);
+      return OkStatus();
+    });
+  }
+
+  // First run: every output is encoded. Single worker, so the checkpoint
+  // scopes nest under the control-plane body phase deterministically.
+  {
+    telemetry::Registry reg;
+    rts::RuntimeOptions opts;
+    opts.worker_threads = 1;
+    opts.registry = &reg;
+    rts::Runtime rt(*host.cluster, opts);
+    ckpt.BindProfiler(&rt.self_profiler());
+    auto report = rt.SubmitAndRun(ckpt.Instrument(make_outputs));
+    ASSERT_TRUE(report.ok() && report->status.ok());
+    const SelfProfile p = rt.self_profiler().Report();
+    EXPECT_EQ(CallsOf(p, Phase::kCheckpointEncode), 3u);
+    EXPECT_EQ(CallsOf(p, Phase::kCheckpointRestore), 0u);
+  }
+
+  // Re-run after the "crash": every task restores instead of executing.
+  {
+    telemetry::Registry reg;
+    rts::RuntimeOptions opts;
+    opts.worker_threads = 1;
+    opts.registry = &reg;
+    rts::Runtime rt(*host.cluster, opts);
+    ckpt.BindProfiler(&rt.self_profiler());
+    auto report = rt.SubmitAndRun(ckpt.Instrument(make_outputs));
+    ASSERT_TRUE(report.ok() && report->status.ok());
+    const SelfProfile p = rt.self_profiler().Report();
+    EXPECT_EQ(CallsOf(p, Phase::kCheckpointRestore), 3u);
+    EXPECT_EQ(CallsOf(p, Phase::kCheckpointEncode), 0u);
+  }
+}
+
+// --- exports ------------------------------------------------------------------
+
+TEST(SelfProfilerTest, CollapsedStacksRenderNestedFrames) {
+  SelfProfiler prof;
+  {
+    PhaseTimer dispatch(&prof, Phase::kDispatch);
+    PhaseTimer stage(&prof, Phase::kStage);
+    SpinFor(std::chrono::microseconds(20));
+  }
+  prof.Charge(Phase::kLockWaitExclusive, 777);
+  const std::string stacks = prof.CollapsedStacks();
+  EXPECT_NE(stacks.find("dispatch;stage "), std::string::npos);
+  EXPECT_NE(stacks.find("workers;lock-wait-exclusive 777"), std::string::npos);
+}
+
+TEST(SelfProfilerTest, PublishToExportsPhaseGauges) {
+  SelfProfiler prof;
+  {
+    PhaseTimer dispatch(&prof, Phase::kDispatch);
+    PhaseTimer drain(&prof, Phase::kEventDrain);
+    SpinFor(std::chrono::microseconds(20));
+  }
+  telemetry::Registry reg;
+  prof.PublishTo(reg);
+  const telemetry::MetricsSnapshot snap = reg.Snapshot();
+
+  const telemetry::FamilySnapshot* wall = snap.FindFamily("selfprof_wall_ns");
+  ASSERT_NE(wall, nullptr);
+  ASSERT_EQ(wall->series.size(), 1u);
+  EXPECT_GT(wall->series[0].gauge, 0.0);
+
+  const telemetry::FamilySnapshot* excl = snap.FindFamily("selfprof_phase_exclusive_ns");
+  ASSERT_NE(excl, nullptr);
+  const telemetry::SeriesSnapshot* drain_series =
+      excl->Find({{"phase", "event-drain"}, {"scope", "control"}});
+  ASSERT_NE(drain_series, nullptr);
+  EXPECT_GT(drain_series->gauge, 0.0);
+
+  const telemetry::FamilySnapshot* calls = snap.FindFamily("selfprof_phase_calls");
+  ASSERT_NE(calls, nullptr);
+  const telemetry::SeriesSnapshot* dispatch_calls =
+      calls->Find({{"phase", "dispatch"}, {"scope", "control"}});
+  ASSERT_NE(dispatch_calls, nullptr);
+  EXPECT_EQ(dispatch_calls->gauge, 1.0);
+
+  // Gauges overwrite on re-publish instead of accumulating.
+  prof.PublishTo(reg);
+  const telemetry::MetricsSnapshot again = reg.Snapshot();
+  EXPECT_EQ(again.FindFamily("selfprof_phase_calls")
+                ->Find({{"phase", "dispatch"}, {"scope", "control"}})
+                ->gauge,
+            1.0);
+}
+
+}  // namespace
+}  // namespace memflow

@@ -7,13 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rts/profiler.h"
 #include "simhw/presets.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
+#include "telemetry/selfprof.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace memflow {
@@ -376,6 +381,217 @@ TEST_F(TelemetryRuntimeTest, TraceSummaryAggregatesAcrossJobs) {
   const std::string summary = telemetry::RenderTraceSummary(tracer_);
   EXPECT_NE(summary.find("task"), std::string::npos);
   EXPECT_NE(summary.find("job"), std::string::npos);
+}
+
+// --- snapshot ring (time-series layer) ----------------------------------------
+
+TEST(SnapshotRingTest, WindowedDeltaAndRate) {
+  Registry reg;
+  telemetry::Counter* jobs = reg.GetCounter("jobs_total", "h");
+  telemetry::SnapshotRing ring(&reg, 8);
+
+  // Fewer than two snapshots: no window to difference over.
+  EXPECT_FALSE(ring.DeltaOver("jobs_total", SimDuration::Millis(1)).has_value());
+  ring.Tick(SimTime{});
+  EXPECT_FALSE(ring.RateOver("jobs_total", SimDuration::Millis(1)).has_value());
+
+  jobs->Increment(5);
+  ring.Tick(SimTime{} + SimDuration::Millis(1));
+  jobs->Increment(5);
+  ring.Tick(SimTime{} + SimDuration::Millis(2));
+
+  // A window covering all history differences newest against the oldest.
+  auto whole = ring.DeltaOver("jobs_total", SimDuration::Millis(10));
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_DOUBLE_EQ(*whole, 10.0);
+  // A 1 ms window anchors the baseline one snapshot back.
+  auto recent = ring.DeltaOver("jobs_total", SimDuration::Millis(1));
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_DOUBLE_EQ(*recent, 5.0);
+  // Rates divide by the *actual* snapshot spacing on the virtual timeline.
+  auto rate = ring.RateOver("jobs_total", SimDuration::Millis(1));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(*rate, 5000.0);
+
+  EXPECT_FALSE(ring.DeltaOver("absent_total", SimDuration::Millis(10)).has_value());
+}
+
+TEST(SnapshotRingTest, LabelsSelectOneSeriesEmptySumsAll) {
+  Registry reg;
+  telemetry::Counter* a = reg.GetCounter("ops_total", "h", {{"device", "a"}});
+  telemetry::Counter* b = reg.GetCounter("ops_total", "h", {{"device", "b"}});
+  telemetry::SnapshotRing ring(&reg, 8);
+  ring.Tick(SimTime{});
+  a->Increment(3);
+  b->Increment(4);
+  ring.Tick(SimTime{} + SimDuration::Millis(1));
+
+  auto all = ring.DeltaOver("ops_total", SimDuration::Millis(10));
+  ASSERT_TRUE(all.has_value());
+  EXPECT_DOUBLE_EQ(*all, 7.0);
+  auto only_a = ring.DeltaOver("ops_total", SimDuration::Millis(10), {{"device", "a"}});
+  ASSERT_TRUE(only_a.has_value());
+  EXPECT_DOUBLE_EQ(*only_a, 3.0);
+  EXPECT_FALSE(
+      ring.DeltaOver("ops_total", SimDuration::Millis(10), {{"device", "c"}}).has_value());
+}
+
+TEST(SnapshotRingTest, QuantileOverSeesOnlyWindowedSamples) {
+  Registry reg;
+  // Bounds 1, 2, 4, 8 (+Inf implicit).
+  telemetry::Histogram* h = reg.GetHistogram("lat", "h", HistogramSpec{1.0, 2.0, 4});
+  telemetry::SnapshotRing ring(&reg, 8);
+  h->Observe(100.0);  // old outlier, before the first snapshot
+  ring.Tick(SimTime{});
+  for (int i = 0; i < 10; ++i) {
+    h->Observe(1.5);  // everything in the window lands in the `le 2` bucket
+  }
+  ring.Tick(SimTime{} + SimDuration::Millis(1));
+
+  // Whole-history window: includes the outlier, so p999 saturates at the
+  // largest finite bound.
+  auto q_narrow = ring.QuantileOver("lat", SimDuration::Millis(1), 0.99);
+  ASSERT_TRUE(q_narrow.has_value());
+  EXPECT_LE(*q_narrow, 2.0);  // the outlier was observed before the baseline
+  // A counter family has no quantiles.
+  reg.GetCounter("c_total", "h")->Increment();
+  ring.Tick(SimTime{} + SimDuration::Millis(2));
+  EXPECT_FALSE(ring.QuantileOver("c_total", SimDuration::Millis(10), 0.5).has_value());
+}
+
+TEST(SnapshotRingTest, CapacityEvictsOldestButKeepsTickCount) {
+  Registry reg;
+  telemetry::SnapshotRing ring(&reg, 2);
+  ring.Tick(SimTime{});
+  ring.Tick(SimTime{} + SimDuration::Millis(1));
+  ring.Tick(SimTime{} + SimDuration::Millis(2));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.total_ticks(), 3u);
+  const std::vector<telemetry::TimedSnapshot> entries = ring.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.front().sim_time, SimTime{} + SimDuration::Millis(1));
+  ASSERT_TRUE(ring.Latest().has_value());
+  EXPECT_EQ(ring.Latest()->sim_time, SimTime{} + SimDuration::Millis(2));
+}
+
+TEST(SnapshotRingTest, PreTickHooksRefreshOnDemandPublishers) {
+  Registry reg;
+  telemetry::SnapshotRing ring(&reg, 4);
+  int fired = 0;
+  ring.AddPreTickHook([&] {
+    ++fired;
+    reg.GetGauge("hooked", "h")->Set(static_cast<double>(fired));
+  });
+  ring.Tick(SimTime{});
+  ring.Tick(SimTime{} + SimDuration::Millis(1));
+  EXPECT_EQ(fired, 2);
+  const std::optional<telemetry::TimedSnapshot> latest = ring.Latest();
+  ASSERT_TRUE(latest.has_value());
+  const telemetry::FamilySnapshot* fam = latest->metrics.FindFamily("hooked");
+  ASSERT_NE(fam, nullptr);
+  EXPECT_DOUBLE_EQ(fam->series[0].gauge, 2.0);
+}
+
+// TSan leg: snapshots and windowed queries race against live recording on
+// instrument atomics and a self-profiler publishing through a pre-tick hook.
+TEST(SnapshotRingTest, ConcurrentRecordingSnapshottingAndQuerying) {
+  Registry reg;
+  telemetry::Counter* c = reg.GetCounter("hammer_total", "h");
+  telemetry::Histogram* h = reg.GetHistogram("hammer_ns", "h", HistogramSpec{1.0, 2.0, 8});
+  telemetry::SelfProfiler prof;
+  telemetry::SnapshotRing ring(&reg, 16);
+  ring.AddPreTickHook([&] { prof.PublishTo(reg); });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Increment();
+        h->Observe(3.0);
+        telemetry::PhaseTimer timer(&prof, telemetry::Phase::kBody);
+      }
+    });
+  }
+  for (int i = 1; i <= 64; ++i) {
+    ring.Tick(SimTime{} + SimDuration::Micros(i));
+    (void)ring.DeltaOver("hammer_total", SimDuration::Micros(8));
+    (void)ring.RateOver("hammer_total", SimDuration::Micros(8));
+    (void)ring.QuantileOver("hammer_ns", SimDuration::Micros(8), 0.99);
+    (void)prof.Report();
+  }
+  stop.store(true);
+  for (std::thread& t : hammers) {
+    t.join();
+  }
+  EXPECT_EQ(ring.size(), 16u);
+  EXPECT_EQ(ring.total_ticks(), 64u);
+  auto delta = ring.DeltaOver("hammer_total", SimDuration::Micros(64));
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_GE(*delta, 0.0);
+}
+
+// --- dashboard + counter tracks -------------------------------------------------
+
+TEST(DashboardTest, RuntimeFedRingRendersAndExports) {
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  Registry registry;
+  TraceBuffer tracer;
+  telemetry::SnapshotRing ring(&registry, 64);
+  rts::RuntimeOptions options;
+  options.registry = &registry;
+  options.tracer = &tracer;
+  options.snapshot_ring = &ring;
+  options.snapshot_interval = SimDuration::Micros(200);
+  rts::Runtime rt(*host.cluster, options);
+
+  dataflow::Job job("dash");
+  for (int i = 0; i < 12; ++i) {
+    job.AddTask("t" + std::to_string(i), {}, [](TaskContext& ctx) {
+      ctx.ChargeCompute(1e6);
+      return OkStatus();
+    });
+  }
+  auto report = rt.SubmitAndRun(std::move(job));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  ASSERT_GE(ring.size(), 2u);
+
+  const telemetry::DashboardStats stats =
+      telemetry::ComputeDashboard(ring, SimDuration::Millis(50));
+  EXPECT_GT(stats.ticks, 0u);
+  EXPECT_GT(stats.selfprof_wall_ns, 0.0);
+  EXPECT_FALSE(stats.phase_share.empty());
+
+  const std::string text = telemetry::RenderDashboard(stats);
+  EXPECT_NE(text.find("tasks/s"), std::string::npos);
+  const std::string json = telemetry::DashboardJson(stats);
+  EXPECT_NE(json.find("\"tasks_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_share\""), std::string::npos);
+
+  const std::string tracks = telemetry::ExportCounterTracksJson(ring);
+  EXPECT_NE(tracks.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(tracks.find("rts_tasks_executed_total"), std::string::npos);
+  // Family filter narrows the export.
+  const std::string only =
+      telemetry::ExportCounterTracksJson(ring, {"rts_jobs_total"});
+  EXPECT_EQ(only.find("rts_tasks_executed_total"), std::string::npos);
+}
+
+TEST(TraceSummaryTest, OverflowedFamiliesSurfaceAsWarnings) {
+  Registry reg(/*max_series_per_family=*/4);
+  for (int i = 0; i < 10; ++i) {
+    reg.GetCounter("wide_total", "h", {{"k", std::to_string(i)}})->Increment();
+  }
+  const telemetry::MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_FALSE(snap.OverflowedFamilies().empty());
+
+  TraceBuffer tracer;
+  const std::string summary = telemetry::RenderTraceSummary(tracer, &snap);
+  EXPECT_NE(summary.find("WARNING"), std::string::npos);
+  EXPECT_NE(summary.find("wide_total"), std::string::npos);
+  // Without the metrics view there is nothing to warn about.
+  const std::string plain = telemetry::RenderTraceSummary(tracer);
+  EXPECT_EQ(plain.find("wide_total"), std::string::npos);
 }
 
 TEST_F(TelemetryRuntimeTest, FailedJobCountsAsFailure) {

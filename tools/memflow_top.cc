@@ -1,0 +1,183 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// memflow_top: live text dashboard over the runtime's time-series layer
+// (DESIGN.md §13). Drives a stream of hospital pipelines (Figure 2) through
+// an in-process runtime whose dispatch loop ticks a SnapshotRing on the
+// virtual clock, and renders windowed throughput (jobs/s, tasks/s), queue
+// depths, latency quantiles (p50/p99/p999 of queue wait and task duration),
+// the control-plane phase breakdown from the self-profiler, and WARNING
+// lines for trace-ring drops and overflowed metric families.
+//
+// Live mode redraws between jobs (ANSI clear). CI runs it one-shot:
+//
+//   memflow_top --once --json top.json
+//
+// writes the DashboardJson document and exits 0 only if the runtime stayed
+// healthy. Optional artifacts: --counters FILE (Perfetto counter tracks over
+// the whole ring), --flamegraph FILE (collapsed stacks of the control-plane
+// self-profile), --health (append the doctor's runtime health report).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/hospital.h"
+#include "simhw/presets.h"
+#include "telemetry/analyze/doctor.h"
+#include "telemetry/export.h"
+#include "telemetry/timeseries.h"
+
+namespace mf = memflow;
+
+namespace {
+
+struct Options {
+  int jobs = 6;
+  bool once = false;
+  bool health = false;
+  std::int64_t interval_us = 200;   // snapshot-ring tick interval (virtual)
+  std::int64_t window_ms = 50;      // dashboard query window (virtual)
+  const char* json_path = nullptr;
+  const char* counters_path = nullptr;
+  const char* flamegraph_path = nullptr;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--once] [--jobs N] [--interval-us N] [--window-ms N]\n"
+               "          [--json FILE|-] [--counters FILE] [--flamegraph FILE]\n"
+               "          [--health]\n",
+               argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--once") == 0) {
+      opts->once = true;
+    } else if (std::strcmp(arg, "--health") == 0) {
+      opts->health = true;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts->jobs = std::atoi(v);
+    } else if (std::strcmp(arg, "--interval-us") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts->interval_us = std::atoll(v);
+    } else if (std::strcmp(arg, "--window-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts->window_ms = std::atoll(v);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      opts->json_path = value();
+      if (opts->json_path == nullptr) return false;
+    } else if (std::strcmp(arg, "--counters") == 0) {
+      opts->counters_path = value();
+      if (opts->counters_path == nullptr) return false;
+    } else if (std::strcmp(arg, "--flamegraph") == 0) {
+      opts->flamegraph_path = value();
+      if (opts->flamegraph_path == nullptr) return false;
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return opts->jobs > 0 && opts->interval_us > 0 && opts->window_ms > 0;
+}
+
+bool WriteFile(const char* path, const std::string& contents) {
+  if (std::strcmp(path, "-") == 0) {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  const bool ok = std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    return 2;
+  }
+
+  mf::simhw::CxlHostHandles host = mf::simhw::MakeCxlExpansionHost();
+  mf::telemetry::Registry registry;
+  mf::telemetry::TraceBuffer tracer;
+  mf::telemetry::SnapshotRing ring(&registry, /*capacity=*/512);
+
+  mf::rts::RuntimeOptions options;
+  options.registry = &registry;
+  options.tracer = &tracer;
+  options.snapshot_ring = &ring;
+  options.snapshot_interval = mf::SimDuration::Micros(opts.interval_us);
+  mf::rts::Runtime runtime(*host.cluster, options);
+
+  const mf::SimDuration window = mf::SimDuration::Millis(opts.window_ms);
+  bool all_ok = true;
+  for (int i = 0; i < opts.jobs; ++i) {
+    mf::apps::hospital::HospitalSpec spec;
+    spec.minutes = 6 * 60;
+    spec.seed = 1337 + static_cast<std::uint64_t>(i);
+    auto report = runtime.SubmitAndRun(mf::apps::hospital::BuildHospitalJob(spec));
+    if (!report.ok() || !report->status.ok()) {
+      std::fprintf(stderr, "job %d failed\n", i);
+      all_ok = false;
+      break;
+    }
+    if (!opts.once) {
+      // Live redraw: clear screen, home cursor, current dashboard.
+      const mf::telemetry::DashboardStats stats =
+          mf::telemetry::ComputeDashboard(ring, window);
+      std::printf("\x1b[2J\x1b[H%s", mf::telemetry::RenderDashboard(stats).c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  const mf::telemetry::DashboardStats stats = mf::telemetry::ComputeDashboard(ring, window);
+  if (opts.once) {
+    std::printf("%s", mf::telemetry::RenderDashboard(stats).c_str());
+  }
+  if (opts.health) {
+    std::printf("\n%s", mf::telemetry::analyze::RenderRuntimeHealth(
+                            ring.Latest() ? ring.Latest()->metrics : registry.Snapshot())
+                            .c_str());
+  }
+
+  if (opts.json_path != nullptr &&
+      !WriteFile(opts.json_path, mf::telemetry::DashboardJson(stats) + "\n")) {
+    return 1;
+  }
+  if (opts.counters_path != nullptr &&
+      !WriteFile(opts.counters_path, mf::telemetry::ExportCounterTracksJson(ring))) {
+    return 1;
+  }
+  if (opts.flamegraph_path != nullptr &&
+      !WriteFile(opts.flamegraph_path, runtime.self_profiler().CollapsedStacks())) {
+    return 1;
+  }
+
+  if (!all_ok) {
+    return 1;
+  }
+  // One-shot health gate for CI: the run itself must not have degraded its
+  // own observability (ring wrap is tolerated and only warned about; a
+  // missing snapshot stream is not).
+  if (ring.size() < 2) {
+    std::fprintf(stderr, "snapshot ring never accumulated history\n");
+    return 1;
+  }
+  return 0;
+}
