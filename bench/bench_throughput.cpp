@@ -6,7 +6,7 @@
 // only thing that changes is how fast the host chews through each
 // virtual-time step's batch.
 //
-// Each body does real memcpy work (1 MiB through the simulated device) and
+// Each body does real memcpy work (256 KiB through the simulated device) and
 // then emulates the wall-clock stall its far-memory traffic would impose by
 // sleeping in proportion to the simulated access cost it charged. A real
 // disaggregated runtime spends most of a task's wall time stalled exactly
@@ -30,16 +30,20 @@
 namespace memflow::bench {
 namespace {
 
-constexpr std::uint64_t kBodyBytes = MiB(1);
+constexpr std::uint64_t kBodyBytes = KiB(256);
 constexpr int kTasksPerJob = 96;
 // Runtime seed for every measured run; recorded in the JSON results so a
 // number in BENCH_rts.json can be replayed against the exact scenario.
 constexpr std::uint64_t kScenarioSeed = 42;
 // Emulated stall: one real microsecond per simulated microsecond charged,
-// clamped to [5ms, 10ms] so every body stalls long enough to dominate its
-// (unscalable on one core) memcpy work without unbounded sleeps.
-constexpr std::int64_t kMinStallUs = 5000;
-constexpr std::int64_t kMaxStallUs = 10000;
+// clamped to [0.5ms, 1ms] so every body stalls long enough for the parallel
+// phase to have something to overlap. The floor was 5 ms before the hot-path
+// overhaul (DESIGN.md §14) — that put ~480 ms of sleep in every 1-worker run
+// and capped tasks/sec near 190 no matter how fast dispatch got; the body
+// was likewise shrunk from 1 MiB so its (serial, unscalable) real memcpy
+// work does not drown the stall overlap on small CI hosts.
+constexpr std::int64_t kMinStallUs = 500;
+constexpr std::int64_t kMaxStallUs = 1000;
 
 Status HeavyBody(dataflow::TaskContext& ctx) {
   MEMFLOW_ASSIGN_OR_RETURN(region::RegionId s, ctx.AllocatePrivateScratch(kBodyBytes));
@@ -64,18 +68,26 @@ Status HeavyBody(dataflow::TaskContext& ctx) {
   return OkStatus();
 }
 
+// Control-plane-only body: charges nothing, touches nothing. Every wall
+// nanosecond of a run built from these is dispatch overhead — stage, place,
+// drain, commit — so ctrl_tasks_per_sec_* measures the control plane alone.
+Status ZeroCostBody(dataflow::TaskContext& ctx) {
+  benchmark::DoNotOptimize(&ctx);
+  return OkStatus();
+}
+
 // Independent tasks, no edges: every task is a source, so each virtual-time
 // step dispatches one maximal batch across all compute nodes.
-dataflow::Job IndependentTasksJob(int tasks) {
+dataflow::Job IndependentTasksJob(int tasks, dataflow::TaskFn body = HeavyBody) {
   dataflow::Job job("throughput");
   for (int i = 0; i < tasks; ++i) {
-    job.AddTask("t" + std::to_string(i), {}, HeavyBody);
+    job.AddTask("t" + std::to_string(i), {}, body);
   }
   return job;
 }
 
 // Runs the workload at `workers` host threads; returns tasks per wall second.
-double MeasureTasksPerSec(int workers) {
+double MeasureTasksPerSec(int workers, dataflow::TaskFn body = HeavyBody) {
   simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 8});
   telemetry::Registry reg;
   rts::RuntimeOptions opts;
@@ -84,7 +96,7 @@ double MeasureTasksPerSec(int workers) {
   opts.registry = &reg;
   rts::Runtime rt(*rack.cluster, opts);
   const auto t0 = std::chrono::steady_clock::now();
-  auto report = rt.SubmitAndRun(IndependentTasksJob(kTasksPerJob));
+  auto report = rt.SubmitAndRun(IndependentTasksJob(kTasksPerJob, body));
   const auto t1 = std::chrono::steady_clock::now();
   MEMFLOW_CHECK(report.ok() && report->status.ok());
   MEMFLOW_CHECK(rt.stats().tasks_executed == static_cast<std::uint64_t>(kTasksPerJob));
@@ -96,6 +108,11 @@ void PrintArtifact() {
   PrintHeader("Executor throughput",
               "Wall-clock tasks/sec of the two-phase deterministic executor at\n"
               "1, 2, and 8 worker threads (identical virtual-time results).");
+
+  // Discarded warmup: the first run in the process otherwise pays every page
+  // fault for body buffers and device backing chunks (hundreds of MiB of
+  // first-touch), which belongs to the allocator, not the executor.
+  MeasureTasksPerSec(1);
 
   const double w1 = MeasureTasksPerSec(1);
   const double w2 = MeasureTasksPerSec(2);
@@ -124,6 +141,21 @@ void PrintArtifact() {
   RecordResult("body_mib_per_sec_8_workers", w8 * body_mib, "MiB/s", attrs(8));
   RecordResult("speedup_2_workers", w2 / w1, "x", attrs(2));
   RecordResult("speedup_8_workers", w8 / w1, "x", attrs(8));
+
+  // Control-plane-only leg: zero-cost bodies, so every wall nanosecond is
+  // dispatch overhead. This is the number the hot-path work (DESIGN.md §14)
+  // moves directly — the heavy legs above dilute it with body time.
+  const double c1 = MeasureTasksPerSec(1, ZeroCostBody);
+  const double c2 = MeasureTasksPerSec(2, ZeroCostBody);
+  const double c8 = MeasureTasksPerSec(8, ZeroCostBody);
+  TextTable ctrl({"Workers", "Ctrl tasks/sec"});
+  ctrl.AddRow({"1", FormatDouble(c1, 1)});
+  ctrl.AddRow({"2", FormatDouble(c2, 1)});
+  ctrl.AddRow({"8", FormatDouble(c8, 1)});
+  std::printf("control-plane only (zero-cost bodies):\n%s\n", ctrl.Render().c_str());
+  RecordResult("ctrl_tasks_per_sec_1_worker", c1, "tasks/s", attrs(1));
+  RecordResult("ctrl_tasks_per_sec_2_workers", c2, "tasks/s", attrs(2));
+  RecordResult("ctrl_tasks_per_sec_8_workers", c8, "tasks/s", attrs(8));
 
   // Attribution leg (DESIGN.md §11): profile one deterministic batch and gate
   // the virtual-time makespan attribution in CI — these are ns metrics, so the
@@ -185,6 +217,7 @@ void PrintArtifact() {
     const ProfiledRun r1 = profile_at(1);
     const ProfiledRun r2 = profile_at(2);
     const ProfiledRun r8 = profile_at(8);
+    std::printf("%s\n", r1.profile.Render().c_str());
     std::printf("%s\n", r8.profile.Render().c_str());
 
     const auto residual_pct = [](const ProfiledRun& r) {
@@ -216,19 +249,32 @@ void PrintArtifact() {
                  "bool");
 
     // The 8-worker per-phase exclusive breakdown, for the committed artifact.
+    // All kNumPhases phases are exported — including zero-call ones — so the
+    // exported exclusives telescope to the profiled wall: by the §13
+    // accounting identity, wall = sum(exclusive) + residual, and the residual
+    // is already gated < 1% above. Skipping zero-call phases (the old
+    // behaviour) silently dropped series and broke that telescoping claim.
+    std::int64_t exported_sum_ns = 0;
     for (const telemetry::PhaseStat& ps : r8.profile.phases) {
-      if (ps.calls == 0) {
-        continue;
-      }
       std::string name(telemetry::PhaseName(ps.phase));
       for (char& c : name) {
         if (c == '-') {
           c = '_';
         }
       }
+      exported_sum_ns += ps.exclusive_ns;
       RecordResult("selfprof_" + name + "_exclusive_ns",
                    static_cast<double>(ps.exclusive_ns), "wall_ns", attrs(8));
     }
+    MEMFLOW_CHECK(r8.profile.phases.size() ==
+                  static_cast<std::size_t>(telemetry::kNumPhases));
+    const double export_gap_pct =
+        100.0 * static_cast<double>(r8.profile.wall_ns - exported_sum_ns) /
+        static_cast<double>(r8.profile.wall_ns);
+    std::printf("exported exclusives sum to wall - %.3f%% -> %s\n\n",
+                export_gap_pct, export_gap_pct < 1.0 ? "PASS" : "FAIL");
+    RecordResult("selfprof_exported_sum_matches_wall",
+                 export_gap_pct < 1.0 ? 1.0 : 0.0, "bool", attrs(8));
   }
 }
 

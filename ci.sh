@@ -92,8 +92,12 @@ echo "BENCH_rts.json + telemetry artifacts ok"
 echo "== perf-regression gate =="
 # Deterministic (virtual-time) bench metrics must stay within tolerance of
 # the committed baseline. Intentional changes: cp BENCH_rts.json BENCH_baseline.json
+# The --min-improvement floor is a throughput ratchet: the hot-path overhaul
+# (DESIGN.md §14) must keep tasks_per_sec_1_worker at >= 2x the PR 7
+# baseline of 168.75 tasks/s, even though tasks/s is otherwise informational.
 python3 tools/check_bench.py BENCH_baseline.json BENCH_rts.json \
-  --tolerance "${MEMFLOW_BENCH_TOLERANCE:-0.10}"
+  --tolerance "${MEMFLOW_BENCH_TOLERANCE:-0.10}" \
+  --min-improvement tasks_per_sec_1_worker:337.5
 # Self-test: the gate must actually fail when a gated metric drifts.
 python3 - <<'EOF'
 import json, subprocess, sys

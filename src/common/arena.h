@@ -1,0 +1,218 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// MonotonicArena: bump-pointer allocation for control-plane scratch whose
+// lifetime is one dispatch-loop iteration (DESIGN.md §14). The dispatch hot
+// path used to pay a malloc/free pair per staged body for chain lists, commit
+// orders, and similar short-lived buffers; the arena turns those into a
+// pointer bump, and Reset() recycles every block in O(#blocks) without
+// returning memory to the OS — steady state allocates nothing.
+//
+// Epochs: every Reset() bumps an epoch counter. Consumers that cache
+// arena-backed structures (e.g. the cost-model memo) key on the epoch so a
+// stale pointer can never be dereferenced: a mismatched epoch *is* the
+// invalidation signal. Under ASan, Reset() poisons the recycled payload so a
+// use-after-reset faults instead of silently reading recycled bytes.
+//
+// Not thread-safe: an arena belongs to one thread (the control thread). Task
+// bodies must not touch it — they run during the parallel phase while the
+// control thread owns the arena.
+
+#ifndef MEMFLOW_COMMON_ARENA_H_
+#define MEMFLOW_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MEMFLOW_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MEMFLOW_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef MEMFLOW_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace memflow {
+
+class MonotonicArena {
+ public:
+  // First block size; subsequent blocks double up to kMaxBlockBytes.
+  static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBlockBytes = 1024 * 1024;
+
+  explicit MonotonicArena(std::size_t first_block_bytes = kDefaultBlockBytes)
+      : next_block_bytes_(first_block_bytes) {
+    MEMFLOW_CHECK(first_block_bytes > 0);
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  // Raw allocation, `align` must be a power of two. Never fails (grows by
+  // appending blocks); memory is uninitialized.
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    MEMFLOW_CHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) {
+      bytes = 1;  // distinct non-null pointers, mirrors operator new
+    }
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + bytes > limit_) {
+      Grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+#ifdef MEMFLOW_ARENA_ASAN
+    __asan_unpoison_memory_region(reinterpret_cast<void*>(p), bytes);
+#endif
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Typed array of default-initialized Ts. T must be trivially destructible:
+  // Reset() never runs destructors.
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    T* out = static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) {
+      ::new (static_cast<void*>(out + i)) T();
+    }
+    return out;
+  }
+
+  // Single object, forwarding constructor arguments.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return ::new (Allocate(sizeof(T), alignof(T))) T(static_cast<Args&&>(args)...);
+  }
+
+  // Recycles every block and bumps the epoch. O(#blocks); frees nothing, so
+  // after warmup a dispatch iteration allocates zero bytes from the OS.
+  void Reset() {
+    ++epoch_;
+    bytes_used_ = 0;
+    block_index_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = limit_ = 0;
+      return;
+    }
+#ifdef MEMFLOW_ARENA_ASAN
+    for (const Block& b : blocks_) {
+      __asan_poison_memory_region(b.data.get(), b.size);
+    }
+#endif
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.front().data.get());
+    limit_ = cursor_ + blocks_.front().size;
+  }
+
+  // Monotonic count of Reset() calls. Anything caching arena-backed data
+  // must revalidate against this.
+  std::uint64_t epoch() const { return epoch_; }
+
+  // Bytes handed out since the last Reset (excludes alignment padding).
+  std::size_t bytes_used() const { return bytes_used_; }
+  // Total bytes held across all blocks (never shrinks).
+  std::size_t bytes_capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) {
+      total += b.size;
+    }
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void Grow(std::size_t min_bytes) {
+    // Reuse an already-owned later block when it fits (post-Reset path).
+    while (block_index_ + 1 < blocks_.size()) {
+      Block& b = blocks_[++block_index_];
+      if (b.size >= min_bytes) {
+        cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+        limit_ = cursor_ + b.size;
+        return;
+      }
+    }
+    std::size_t size = next_block_bytes_;
+    while (size < min_bytes) {
+      size *= 2;
+    }
+    next_block_bytes_ = size < kMaxBlockBytes ? size * 2 : kMaxBlockBytes;
+    Block b{std::make_unique<std::byte[]>(size), size};
+    cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+    limit_ = cursor_ + size;
+    blocks_.push_back(std::move(b));
+    block_index_ = blocks_.size() - 1;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;     // block the cursor currently points into
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+// Minimal vector-like view over arena storage for trivially-copyable Ts.
+// push_back grows by arena re-allocation + memcpy; never frees. Valid only
+// until the owning arena resets — hold one for a single dispatch iteration.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit ArenaVector(MonotonicArena& arena, std::size_t reserve = 0) : arena_(&arena) {
+    if (reserve > 0) {
+      data_ = static_cast<T*>(arena_->Allocate(reserve * sizeof(T), alignof(T)));
+      capacity_ = reserve;
+    }
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) {
+      const std::size_t new_cap = capacity_ == 0 ? 8 : capacity_ * 2;
+      T* grown = static_cast<T*>(arena_->Allocate(new_cap * sizeof(T), alignof(T)));
+      for (std::size_t i = 0; i < size_; ++i) {
+        grown[i] = data_[i];
+      }
+      data_ = grown;
+      capacity_ = new_cap;
+    }
+    data_[size_++] = v;
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  MonotonicArena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace memflow
+
+#endif  // MEMFLOW_COMMON_ARENA_H_

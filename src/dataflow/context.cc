@@ -8,6 +8,16 @@ TaskContext::TaskContext(Init init) : init_(std::move(init)), rng_(init_.rng_see
   MEMFLOW_CHECK(init_.regions != nullptr);
 }
 
+void TaskContext::Reset(Init init) {
+  MEMFLOW_CHECK(init.regions != nullptr);
+  init_ = std::move(init);
+  output_ = region::RegionId{};
+  scratch_.clear();
+  staged_trace_.clear();
+  charged_ = SimDuration{};
+  rng_ = Rng(init_.rng_seed);
+}
+
 simhw::ComputeDeviceKind TaskContext::device_kind() const {
   return init_.regions->cluster().compute(init_.device).kind();
 }

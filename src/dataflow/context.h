@@ -53,6 +53,12 @@ class TaskContext {
   TaskContext(const TaskContext&) = delete;
   TaskContext& operator=(const TaskContext&) = delete;
 
+  // Re-arms a recycled context for a new task attempt (executor context
+  // pool, DESIGN.md §14). Equivalent to destroying and re-constructing with
+  // `init`, except the scratch/trace vectors keep their capacity — that is
+  // the entire point of pooling.
+  void Reset(Init init);
+
   // --- identity ----------------------------------------------------------------
 
   region::Principal self() const { return init_.self; }

@@ -35,7 +35,36 @@ LatencyClass RelaxOneStep(LatencyClass c) {
   return LatencyClass::kAny;
 }
 
+// Probed lock acquisition shared by the global and stripe locks: try-lock
+// first (the uncontended case costs one extra atomic), and only a failed try
+// falls back to blocking, counting the contention and charging the measured
+// wait to the profiler's lock-wait phase.
+template <typename LockT, typename MutexT>
+LockT AcquireProbed(MutexT& mu, telemetry::Counter* acquisitions,
+                    telemetry::Counter* contended, telemetry::Counter* wait_ns,
+                    telemetry::SelfProfiler* profiler, telemetry::Phase phase) {
+  acquisitions->Increment();
+  LockT lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contended->Increment();
+    const auto start = std::chrono::steady_clock::now();
+    lock.lock();
+    const std::int64_t waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+    wait_ns->Increment(static_cast<std::uint64_t>(waited));
+    if (profiler != nullptr) {
+      profiler->Charge(phase, waited);
+    }
+  }
+  return lock;
+}
+
 }  // namespace
+
+struct RegionManager::Chunk {
+  Record records[kChunkSize];
+};
 
 std::string_view RegionClassName(RegionClass c) {
   switch (c) {
@@ -139,53 +168,52 @@ RegionManager::RegionManager(simhw::Cluster& cluster, PlacementConfig config,
       "region_alloc_size_bytes", "Distribution of region allocation sizes",
       telemetry::HistogramSpec{/*first_bound=*/256.0, /*growth=*/4.0, /*buckets=*/16});
   const char* lock_modes[2] = {"shared", "exclusive"};
+  const char* lock_paths[2] = {"data", "control"};
   for (int m = 0; m < 2; ++m) {
-    const telemetry::Labels labels = {{"mode", lock_modes[m]}};
-    instruments_.lock_acquisitions[m] = reg.GetCounter(
-        "region_lock_acquisitions_total", "RegionManager lock acquisitions", labels);
-    instruments_.lock_contended[m] = reg.GetCounter(
-        "region_lock_contended_total",
-        "RegionManager lock acquisitions that had to block (try-lock failed)", labels);
-    instruments_.lock_wait_ns[m] = reg.GetCounter(
-        "region_lock_wait_ns_total",
-        "Host ns spent blocked acquiring the RegionManager lock", labels);
+    for (int p = 0; p < 2; ++p) {
+      const telemetry::Labels labels = {{"mode", lock_modes[m]}, {"path", lock_paths[p]}};
+      instruments_.lock_acquisitions[m][p] = reg.GetCounter(
+          "region_lock_acquisitions_total", "RegionManager lock acquisitions", labels);
+      instruments_.lock_contended[m][p] = reg.GetCounter(
+          "region_lock_contended_total",
+          "RegionManager lock acquisitions that had to block (try-lock failed)", labels);
+      instruments_.lock_wait_ns[m][p] = reg.GetCounter(
+          "region_lock_wait_ns_total",
+          "Host ns spent blocked acquiring a RegionManager lock", labels);
+    }
+  }
+}
+
+RegionManager::~RegionManager() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
   }
 }
 
 std::shared_lock<std::shared_mutex> RegionManager::ReadLock() const {
-  instruments_.lock_acquisitions[0]->Increment();
-  std::shared_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    instruments_.lock_contended[0]->Increment();
-    const auto start = std::chrono::steady_clock::now();
-    lock.lock();
-    const std::int64_t waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count();
-    instruments_.lock_wait_ns[0]->Increment(static_cast<std::uint64_t>(waited));
-    if (profiler_ != nullptr) {
-      profiler_->Charge(telemetry::Phase::kLockWaitShared, waited);
-    }
-  }
-  return lock;
+  return AcquireProbed<std::shared_lock<std::shared_mutex>>(
+      mu_, instruments_.lock_acquisitions[0][1], instruments_.lock_contended[0][1],
+      instruments_.lock_wait_ns[0][1], profiler_, telemetry::Phase::kLockWaitShared);
 }
 
 std::unique_lock<std::shared_mutex> RegionManager::WriteLock() const {
-  instruments_.lock_acquisitions[1]->Increment();
-  std::unique_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    instruments_.lock_contended[1]->Increment();
-    const auto start = std::chrono::steady_clock::now();
-    lock.lock();
-    const std::int64_t waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count();
-    instruments_.lock_wait_ns[1]->Increment(static_cast<std::uint64_t>(waited));
-    if (profiler_ != nullptr) {
-      profiler_->Charge(telemetry::Phase::kLockWaitExclusive, waited);
-    }
-  }
-  return lock;
+  return AcquireProbed<std::unique_lock<std::shared_mutex>>(
+      mu_, instruments_.lock_acquisitions[1][1], instruments_.lock_contended[1][1],
+      instruments_.lock_wait_ns[1][1], profiler_, telemetry::Phase::kLockWaitExclusive);
+}
+
+std::shared_lock<std::shared_mutex> RegionManager::StripeReadLock(RegionId id) const {
+  std::shared_mutex& mu = stripe_mu_[id.value & (kLockStripes - 1)];
+  return AcquireProbed<std::shared_lock<std::shared_mutex>>(
+      mu, instruments_.lock_acquisitions[0][0], instruments_.lock_contended[0][0],
+      instruments_.lock_wait_ns[0][0], profiler_, telemetry::Phase::kLockWaitShared);
+}
+
+std::unique_lock<std::shared_mutex> RegionManager::StripeWriteLock(RegionId id) const {
+  std::shared_mutex& mu = stripe_mu_[id.value & (kLockStripes - 1)];
+  return AcquireProbed<std::unique_lock<std::shared_mutex>>(
+      mu, instruments_.lock_acquisitions[1][0], instruments_.lock_contended[1][0],
+      instruments_.lock_wait_ns[1][0], profiler_, telemetry::Phase::kLockWaitExclusive);
 }
 
 void RegionManager::BindTrace(const simhw::VirtualClock* clock,
@@ -218,7 +246,10 @@ void RegionManager::BeginAllocationEpoch() {
   epoch_.clear();
   for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
     const simhw::MemoryDevice& device = cluster_->memory(dev);
-    epoch_.emplace(dev.value, DeviceCapacity{device.free_bytes(), device.utilization()});
+    if (epoch_.size() <= static_cast<std::size_t>(dev.value)) {
+      epoch_.resize(static_cast<std::size_t>(dev.value) + 1);
+    }
+    epoch_[dev.value] = DeviceCapacity{device.free_bytes(), device.utilization()};
   }
   epoch_active_ = true;
 }
@@ -251,12 +282,9 @@ std::vector<simhw::MemoryDeviceId> RegionManager::RankDevicesLocked(
     // so the ranking is independent of sibling allocations in this batch.
     std::uint64_t free_bytes = device.free_bytes();
     double utilization = device.utilization();
-    if (epoch_active_) {
-      auto it = epoch_.find(dev.value);
-      if (it != epoch_.end()) {
-        free_bytes = it->second.free_bytes;
-        utilization = it->second.utilization;
-      }
+    if (epoch_active_ && static_cast<std::size_t>(dev.value) < epoch_.size()) {
+      free_bytes = epoch_[dev.value].free_bytes;
+      utilization = epoch_[dev.value].utilization;
     }
     if (device.failed()) {
       reject(dev, DeviceVerdict::kDeviceFailed, "device is down");
@@ -317,8 +345,16 @@ Result<RegionId> RegionManager::FinishAllocate(simhw::Extent extent, std::uint64
                                                simhw::ComputeDeviceId observer,
                                                LatencyClass effective_latency,
                                                bool latency_relaxed) {
+  const std::uint32_t index = next_id_ - 1;
+  MEMFLOW_CHECK_MSG(index < kMaxChunks * kChunkSize, "region id space exhausted");
   const auto id = RegionId(next_id_++);
-  Record& rec = slab_.emplace_back();  // atomics make Record immovable
+  const std::uint32_t chunk_index = index >> kChunkShift;
+  Chunk* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();  // records default-construct as kExclusive placeholders,
+    chunks_[chunk_index].store(chunk, std::memory_order_release);  // invisible until published_
+  }
+  Record& rec = chunk->records[index & (kChunkSize - 1)];
   rec.id = id;
   rec.props = props;  // requested (unrelaxed) properties, for audits
   rec.hint = hint;
@@ -339,6 +375,10 @@ Result<RegionId> RegionManager::FinishAllocate(simhw::Extent extent, std::uint64
   instruments_.alloc_bytes[static_cast<int>(rec.klass)]->Increment(size);
   instruments_.alloc_size->Observe(static_cast<double>(size));
   stats_.allocations++;
+  churn_epoch_.fetch_add(1, std::memory_order_release);
+  // Publish: the record is fully constructed, so lock-free readers may now
+  // resolve its id. Release pairs with the acquire in FindRecord.
+  published_.store(id.value, std::memory_order_release);
   return id;
 }
 
@@ -404,18 +444,22 @@ Result<RegionId> RegionManager::AllocateOn(simhw::MemoryDeviceId device, std::ui
                         /*observer=*/{}, props.latency, /*latency_relaxed=*/false);
 }
 
+RegionManager::Record* RegionManager::RecordAt(std::uint32_t index) const {
+  Chunk* chunk = chunks_[index >> kChunkShift].load(std::memory_order_acquire);
+  return &chunk->records[index & (kChunkSize - 1)];
+}
+
 RegionManager::Record* RegionManager::FindRecord(RegionId id) {
-  if (id.value == 0 || id.value >= next_id_) {
+  // Acquire on published_ pairs with FinishAllocate's release: an id at or
+  // below the published count is fully constructed. No lock needed.
+  if (id.value == 0 || id.value > published_.load(std::memory_order_acquire)) {
     return nullptr;
   }
-  return &slab_[id.value - 1];
+  return RecordAt(id.value - 1);
 }
 
 const RegionManager::Record* RegionManager::FindRecord(RegionId id) const {
-  if (id.value == 0 || id.value >= next_id_) {
-    return nullptr;
-  }
-  return &slab_[id.value - 1];
+  return const_cast<RegionManager*>(this)->FindRecord(id);
 }
 
 Result<RegionManager::Record*> RegionManager::GetChecked(RegionId id, const Principal& who) {
@@ -467,11 +511,13 @@ Status RegionManager::FreeLocked(Record& rec) {
   rec.sharers.clear();
   stats_.frees++;
   instruments_.frees->Increment();
+  churn_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
 
 Status RegionManager::Free(RegionId id, const Principal& caller) {
   auto lock = WriteLock();
+  auto stripe = StripeWriteLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
   if (rec->state == OwnershipState::kShared && rec->sharers.size() > 1) {
     return FailedPrecondition("region " + std::to_string(id.value) +
@@ -484,6 +530,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
                                             const Principal& to,
                                             simhw::ComputeDeviceId new_observer) {
   auto lock = WriteLock();
+  auto stripe = StripeWriteLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, from));
   if (rec->state != OwnershipState::kExclusive) {
     return FailedPrecondition("only exclusively-owned regions can be transferred");
@@ -541,6 +588,7 @@ Result<SimDuration> RegionManager::Transfer(RegionId id, const Principal& from,
 Status RegionManager::Share(RegionId id, const Principal& owner, const Principal& with,
                             simhw::ComputeDeviceId with_observer, bool require_coherent) {
   auto lock = WriteLock();
+  auto stripe = StripeWriteLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, owner));
   if (rec->enc_key != 0 && with.job != rec->job) {
     stats_.confidentiality_denials++;
@@ -572,6 +620,7 @@ Status RegionManager::Share(RegionId id, const Principal& owner, const Principal
 
 Status RegionManager::Release(RegionId id, const Principal& caller) {
   auto lock = WriteLock();
+  auto stripe = StripeWriteLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, caller));
   if (rec->state == OwnershipState::kExclusive) {
     return FreeLocked(*rec);
@@ -587,6 +636,7 @@ Status RegionManager::Release(RegionId id, const Principal& caller) {
 
 Status RegionManager::ForceFree(RegionId id) {
   auto lock = WriteLock();
+  auto stripe = StripeWriteLock(id);
   Record* rec = FindRecord(id);
   if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region " + std::to_string(id.value) + " is not live");
@@ -596,7 +646,7 @@ Status RegionManager::ForceFree(RegionId id) {
 
 Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
                                              simhw::ComputeDeviceId observer) {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
                            cluster_->View(observer, rec->extent.device));
@@ -610,7 +660,7 @@ Result<SyncAccessor> RegionManager::OpenSync(RegionId id, const Principal& who,
 
 Result<AsyncAccessor> RegionManager::OpenAsync(RegionId id, const Principal& who,
                                                simhw::ComputeDeviceId observer) {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   MEMFLOW_ASSIGN_OR_RETURN(simhw::AccessView view,
                            cluster_->View(observer, rec->extent.device));
@@ -654,6 +704,7 @@ Result<SimDuration> RegionManager::MoveExtent(Record& rec, simhw::MemoryDeviceId
 
   MEMFLOW_RETURN_IF_ERROR(src_dev.Free(rec.extent));
   rec.extent = dst_extent;
+  churn_epoch_.fetch_add(1, std::memory_order_release);
   stats_.migrations++;
   stats_.bytes_migrated += rec.size;
   instruments_.migrations->Increment();
@@ -680,6 +731,7 @@ Result<SimDuration> RegionManager::MoveExtent(Record& rec, simhw::MemoryDeviceId
 
 Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId target) {
   auto lock = WriteLock();
+  auto stripe = StripeWriteLock(id);
   Record* rec = FindRecord(id);
   if (rec == nullptr || rec->state == OwnershipState::kFreed) {
     return NotFound("region is not live");
@@ -696,7 +748,9 @@ Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId ta
 void RegionManager::DecayHotness(double keep_fraction) {
   MEMFLOW_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
   auto lock = WriteLock();
-  for (Record& rec : slab_) {
+  const std::uint32_t n = published_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Record& rec = *RecordAt(i);
     const auto current = rec.hotness.load(std::memory_order_relaxed);
     rec.hotness.store(
         static_cast<std::uint64_t>(static_cast<double>(current) * keep_fraction),
@@ -705,12 +759,17 @@ void RegionManager::DecayHotness(double keep_fraction) {
 }
 
 std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
+  // Any device failure can change placement/cost answers, whether or not
+  // regions were lost — invalidate the cost-model memo unconditionally.
+  churn_epoch_.fetch_add(1, std::memory_order_release);
   std::vector<RegionId> lost;
   if (cluster_->memory(device).profile().persistent) {
     return lost;  // persistent media keeps its contents across failures
   }
   auto lock = WriteLock();
-  for (Record& rec : slab_) {
+  const std::uint32_t n = published_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Record& rec = *RecordAt(i);
     if (rec.state != OwnershipState::kFreed && rec.extent.device == device && !rec.lost) {
       rec.lost = true;
       lost.push_back(rec.id);
@@ -720,7 +779,7 @@ std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
 }
 
 Result<RegionInfo> RegionManager::Info(RegionId id) const {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   RegionInfo info;
   info.id = rec->id;
@@ -736,7 +795,7 @@ Result<RegionInfo> RegionManager::Info(RegionId id) const {
 }
 
 Status RegionManager::CheckOwnership(RegionId id, OwnershipState expected) const {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   if (rec->state != expected) {
     return Internal("ownership cross-check failed for region " + std::to_string(id.value) +
@@ -829,7 +888,7 @@ Result<RegionPlacementExplain> RegionManager::ExplainPlacement(RegionId id) cons
 }
 
 Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(const Record* rec, GetConst(id));
   return rec->extent;
 }
@@ -837,7 +896,9 @@ Result<simhw::Extent> RegionManager::ExtentOfForTest(RegionId id) const {
 std::vector<RegionId> RegionManager::LiveRegions() const {
   auto lock = ReadLock();
   std::vector<RegionId> out;
-  for (const Record& rec : slab_) {  // slab order == id order
+  const std::uint32_t n = published_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {  // slab order == id order
+    const Record& rec = *RecordAt(i);
     if (rec.state != OwnershipState::kFreed) {
       out.push_back(rec.id);
     }
@@ -848,7 +909,9 @@ std::vector<RegionId> RegionManager::LiveRegions() const {
 std::vector<RegionId> RegionManager::RegionsOn(simhw::MemoryDeviceId device) const {
   auto lock = ReadLock();
   std::vector<RegionId> out;
-  for (const Record& rec : slab_) {
+  const std::uint32_t n = published_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Record& rec = *RecordAt(i);
     if (rec.state != OwnershipState::kFreed && rec.extent.device == device) {
       out.push_back(rec.id);
     }
@@ -860,7 +923,7 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
                                           std::uint64_t offset, void* dst, std::uint64_t size,
                                           const simhw::AccessView& view, bool sequential,
                                           bool charge_latency) {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (rec->lost) {
     return DataLoss("region " + std::to_string(id.value) + " lost its backing");
@@ -890,7 +953,7 @@ Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
                                            std::uint64_t offset, const void* src,
                                            std::uint64_t size, const simhw::AccessView& view,
                                            bool sequential, bool charge_latency) {
-  auto lock = ReadLock();
+  auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (offset + size > rec->size) {
     return InvalidArgument("write beyond region bounds");

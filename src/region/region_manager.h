@@ -7,24 +7,40 @@
 // (Figure 4), enforces confidentiality (at-rest scrambling + job isolation),
 // and maintains the hotness statistics used by the tiering daemon.
 //
-// Thread-safety (DESIGN.md §8): the manager is guarded by one reader/writer
-// lock. The data path (DoRead/DoWrite/Open*/Info/CheckOwnership) takes the
-// lock shared — many task bodies stream bytes concurrently during the
-// runtime's parallel-run phase — and bumps its counters with atomics.
-// Structural mutations (allocate/free/transfer/share/migrate/fault marking)
-// take it exclusive, so they serialize against each other *and* against every
-// in-flight access.
+// Thread-safety (DESIGN.md §8, rewritten in §14): the global reader/writer
+// lock no longer sits on the data path. Locking is split three ways:
+//
+//   * Record lookup is lock-free. Records live in chunked storage that is
+//     never moved or erased; FinishAllocate fully constructs a record and
+//     then release-publishes a new record count, so any reader that can see
+//     an id can dereference it with two acquire loads and zero locks.
+//   * The data path (DoRead/DoWrite/Open*/Info/CheckOwnership) takes only a
+//     *stripe* shared lock — one of kLockStripes reader/writer locks picked
+//     by region id — and bumps its counters with atomics. Task bodies
+//     streaming bytes through different regions never touch a common lock.
+//   * Structural mutations of existing records (free/transfer/share/migrate/
+//     fault marking) hold the global lock exclusive AND the record's stripe
+//     exclusive while mutating, so they exclude both concurrent structural
+//     ops and in-flight accesses to the same stripe. Control-plane read
+//     scans (RankDevices/LiveRegions/ExplainPlacement) take the global lock
+//     shared only. Allocation takes the global lock exclusive (placement
+//     reads cluster-wide capacity) but needs no stripe: the new record is
+//     invisible until published.
+//
+// Lock order is strictly global → stripe; the data path takes stripes only,
+// so it can never deadlock against the control path. Per-device extent and
+// byte state is guarded by each MemoryDevice's own lock (see simhw/device.h),
+// which is what makes dropping the global lock from the data path safe.
 
 #ifndef MEMFLOW_REGION_REGION_MANAGER_H_
 #define MEMFLOW_REGION_REGION_MANAGER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -128,6 +144,7 @@ class RegionManager {
 
   RegionManager(const RegionManager&) = delete;
   RegionManager& operator=(const RegionManager&) = delete;
+  ~RegionManager();
 
   // --- allocation --------------------------------------------------------------
 
@@ -243,10 +260,21 @@ class RegionManager {
   // standalone managers work fine without (events are simply not emitted).
   void BindTrace(const simhw::VirtualClock* clock, telemetry::TraceBuffer* tracer);
 
-  // Attaches the control-plane self-profiler so contended mu_ acquisitions
+  // Attaches the control-plane self-profiler so contended lock acquisitions
   // charge their blocking wait to the lock-wait phases. Called by the
   // runtime; standalone managers work fine without (counters still tick).
   void BindProfiler(telemetry::SelfProfiler* profiler) { profiler_ = profiler; }
+
+  // Monotonic counter bumped on every event that can change a placement or
+  // cost estimate: allocation, free, migration, device loss. The cost model
+  // memoizes Estimate() keyed on this counter (CostModel::
+  // BindInvalidationCounter); any churn invalidates the whole memo on the
+  // next lookup. See DESIGN.md §14.
+  const std::atomic<std::uint64_t>& churn_counter() const { return churn_epoch_; }
+
+  // Invalidation hook for churn the manager cannot observe itself — e.g. the
+  // fault injector failing devices or links directly on the cluster.
+  void NoteExternalChurn() { churn_epoch_.fetch_add(1, std::memory_order_release); }
 
   // Scores all satisfying devices for a request, best (lowest expected cost)
   // first. Exposed for introspection and benchmarking of placement itself.
@@ -287,17 +315,34 @@ class RegionManager {
     simhw::ComputeDeviceId observer;
     LatencyClass effective_latency = LatencyClass::kAny;
     bool latency_relaxed = false;
-    // Touched on the shared-lock data path, hence atomic. Everything else in
-    // the record only changes under the exclusive lock.
+    // Touched on the (stripe-shared) data path, hence atomic. Everything
+    // else in the record only changes while both the global lock and the
+    // record's stripe are held exclusive.
     std::atomic<std::uint64_t> hotness{0};
     RegionClass klass = RegionClass::kOther;
     std::atomic<bool> lost{false};  // a full overwrite clears it (data path)
   };
 
+  // Chunked record storage. Chunks are allocated on demand, never freed or
+  // moved while the manager lives, and a record becomes visible only via the
+  // release-store of published_ after it is fully constructed — which is what
+  // lets FindRecord run without any lock.
+  static constexpr std::uint32_t kChunkShift = 10;                 // 1024 records/chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kMaxChunks = 4096;                // 4M regions max
+  struct Chunk;
+
+  // Stripe locks for the record data path; picked by id so accesses to
+  // different regions rarely share a lock. Must be a power of two.
+  static constexpr std::uint32_t kLockStripes = 16;
+
   // Slab lookup by id; returns nullptr for ids never issued. Callers filter
-  // kFreed themselves. Requires mu_ held (shared suffices).
+  // kFreed themselves. Lock-free: safe from any thread, any time.
   Record* FindRecord(RegionId id);
   const Record* FindRecord(RegionId id) const;
+
+  // Record at slab index (id.value - 1). Index must be < published_.
+  Record* RecordAt(std::uint32_t index) const;
 
   Result<Record*> GetChecked(RegionId id, const Principal& who);
   Result<const Record*> GetConst(RegionId id) const;
@@ -337,30 +382,36 @@ class RegionManager {
     telemetry::Counter* migrated_bytes = nullptr;
     telemetry::Counter* confidentiality_denials = nullptr;
     telemetry::Histogram* alloc_size = nullptr;
-    // Lock probe counters, per mode (see ReadLock/WriteLock).
-    telemetry::Counter* lock_acquisitions[2] = {};  // 0 = shared, 1 = exclusive
-    telemetry::Counter* lock_contended[2] = {};
-    telemetry::Counter* lock_wait_ns[2] = {};
+    // Lock probe counters, [mode][path]: mode 0 = shared / 1 = exclusive,
+    // path 0 = data (stripe locks) / 1 = control (global lock). The split
+    // makes `memflow_top --health` show which path contention lives on.
+    telemetry::Counter* lock_acquisitions[2][2] = {};
+    telemetry::Counter* lock_contended[2][2] = {};
+    telemetry::Counter* lock_wait_ns[2][2] = {};
   };
 
-  // Every mu_ acquisition goes through these probes: try-lock first (the
+  // Every lock acquisition goes through these probes: try-lock first (the
   // uncontended common case costs one extra atomic), and only a failed try
   // falls back to blocking — counting the contention and charging the
   // measured wait to the profiler's lock-wait phases. This is how "the
-  // region lock is (not) a bottleneck" becomes a number.
+  // region lock is (not) a bottleneck" becomes a number. Global-lock waits
+  // count as path=control, stripe-lock waits as path=data.
   std::shared_lock<std::shared_mutex> ReadLock() const;
   std::unique_lock<std::shared_mutex> WriteLock() const;
+  std::shared_lock<std::shared_mutex> StripeReadLock(RegionId id) const;
+  std::unique_lock<std::shared_mutex> StripeWriteLock(RegionId id) const;
 
   simhw::Cluster* cluster_;
   PlacementConfig config_;
   Rng key_rng_;
-  // Dense slab indexed by RegionId::value - 1 (ids issue sequentially from
-  // next_id_ and records are never erased — FreeLocked marks kFreed), so the
-  // hot path resolves a region with one bounds check instead of a hash
-  // lookup. std::deque: appends never move existing records, which the
-  // shared-lock readers and the atomic members require.
-  std::deque<Record> slab_;
-  std::uint32_t next_id_ = 1;
+  // Chunked slab indexed by RegionId::value - 1 (ids issue sequentially and
+  // records are never erased — FreeLocked marks kFreed). Chunk pointers are
+  // published with release stores and never change afterwards; published_ is
+  // the release-published count of fully-constructed records. Together they
+  // make FindRecord safe with no lock at all (see the class comment).
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  std::atomic<std::uint32_t> published_{0};
+  std::uint32_t next_id_ = 1;  // only FinishAllocate (global-exclusive) writes
   ManagerStats stats_;
   telemetry::Registry* registry_;
   Instruments instruments_;
@@ -368,16 +419,22 @@ class RegionManager {
   telemetry::TraceBuffer* tracer_ = nullptr;
   telemetry::SelfProfiler* profiler_ = nullptr;
 
-  // Reader/writer lock; see the class comment for the discipline.
+  // Global control-path lock and per-record stripe locks; see the class
+  // comment for the discipline.
   mutable std::shared_mutex mu_;
+  mutable std::shared_mutex stripe_mu_[kLockStripes];
 
-  // Placement snapshot for the active allocation epoch (empty when inactive).
+  // Cost/placement invalidation counter; see churn_counter().
+  std::atomic<std::uint64_t> churn_epoch_{0};
+
+  // Placement snapshot for the active allocation epoch, dense by device id
+  // (cleared when inactive).
   struct DeviceCapacity {
     std::uint64_t free_bytes = 0;
     double utilization = 0;
   };
   bool epoch_active_ = false;
-  std::unordered_map<std::uint32_t, DeviceCapacity> epoch_;
+  std::vector<DeviceCapacity> epoch_;
 };
 
 }  // namespace memflow::region

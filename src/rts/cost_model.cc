@@ -4,7 +4,40 @@
 
 #include <limits>
 
+#include "common/hash.h"
+
 namespace memflow::rts {
+
+std::uint64_t CostModel::MemoKey(const dataflow::TaskProperties& props,
+                                 std::uint64_t input_bytes, simhw::ComputeDeviceId device,
+                                 simhw::MemoryDeviceId input_device) {
+  // Every field Estimate() reads from `props` must be folded in here; a field
+  // left out would alias distinct tasks onto one cache line of the memo.
+  const auto dbl = [](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  };
+  std::uint64_t h = MixU64(device.value);
+  h = HashCombine(h, input_device.valid() ? input_device.value + 1 : 0);
+  h = HashCombine(h, input_bytes);
+  h = HashCombine(h, props.compute_device.has_value()
+                         ? static_cast<std::uint64_t>(*props.compute_device) + 1
+                         : 0);
+  h = HashCombine(h, (static_cast<std::uint64_t>(props.persistent) << 2) |
+                         (static_cast<std::uint64_t>(props.confidential) << 1) |
+                         static_cast<std::uint64_t>(props.declassifies));
+  h = HashCombine(h, static_cast<std::uint64_t>(props.mem_latency));
+  h = HashCombine(h, dbl(props.base_work));
+  h = HashCombine(h, dbl(props.work_per_byte));
+  h = HashCombine(h, dbl(props.parallel_fraction));
+  h = HashCombine(h, props.output_bytes);
+  h = HashCombine(h, dbl(props.output_bytes_per_input_byte));
+  h = HashCombine(h, props.scratch_bytes);
+  h = HashCombine(h, dbl(props.scratch_bytes_per_input_byte));
+  return h;
+}
 
 std::uint64_t CostModel::ScratchBytes(const dataflow::TaskProperties& props,
                                       std::uint64_t input_bytes) {
@@ -67,6 +100,24 @@ Result<TaskEstimate> CostModel::Estimate(const dataflow::TaskProperties& props,
                               std::string(ComputeDeviceKindName(*props.compute_device)));
   }
 
+  // Memo lookup (after the compute-device checks: those depend on state the
+  // churn counter does not track). A bumped counter flushes the whole memo.
+  std::uint64_t memo_key = 0;
+  if (memo_churn_ != nullptr) {
+    const std::uint64_t churn = memo_churn_->load(std::memory_order_acquire);
+    if (churn != memo_epoch_ || memo_epoch_ == 0) {
+      memo_.clear();
+      memo_epoch_ = churn;
+    }
+    memo_key = MemoKey(props, input_bytes, device, input_device);
+    const auto it = memo_.find(memo_key);
+    if (it != memo_.end()) {
+      ++memo_hits_;
+      return it->second;
+    }
+    ++memo_misses_;
+  }
+
   TaskEstimate est;
   est.compute = compute.ComputeTime(WorkUnits(props, input_bytes), props.parallel_fraction);
 
@@ -117,6 +168,11 @@ Result<TaskEstimate> CostModel::Estimate(const dataflow::TaskProperties& props,
 
   est.memory = memory;
   est.total = est.compute + est.memory;
+  // Only successful estimates are cached: error paths above depend on device
+  // availability, which the churn counter does not always cover.
+  if (memo_churn_ != nullptr) {
+    memo_.emplace(memo_key, est);
+  }
   return est;
 }
 

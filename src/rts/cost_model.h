@@ -10,7 +10,9 @@
 #ifndef MEMFLOW_RTS_COST_MODEL_H_
 #define MEMFLOW_RTS_COST_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "dataflow/task.h"
@@ -47,13 +49,47 @@ class CostModel {
                                    std::uint64_t input_bytes);
   static double WorkUnits(const dataflow::TaskProperties& props, std::uint64_t input_bytes);
 
+  // --- memoization (DESIGN.md §14) ---------------------------------------------
+  //
+  // Estimate() is a pure function of (task properties, input bytes, devices,
+  // cluster capacity/fault state). The runtime scores every eligible device
+  // for every task at admission, and identical tasks dominate real DAGs — so
+  // successful estimates are memoized, keyed on
+  //   (compute device, input device, input bytes, properties hash, churn epoch).
+  // `churn` is a monotonic counter the RegionManager bumps on every event
+  // that can change an estimate: allocation, free, migration, device loss
+  // (see RegionManager::churn_counter()). A bumped counter invalidates the
+  // whole memo on the next lookup — explicit invalidation on region churn.
+  //
+  // Checks that depend on *compute*-device state (failed, kind mismatch) run
+  // before the memo lookup, so compute faults never need an epoch bump.
+  // Failed estimates are never cached (their Status message can depend on
+  // transient state). The memo is control-thread-only, like Estimate itself.
+  void BindInvalidationCounter(const std::atomic<std::uint64_t>* churn) {
+    memo_churn_ = churn;
+  }
+  std::uint64_t memo_hits() const { return memo_hits_; }
+  std::uint64_t memo_misses() const { return memo_misses_; }
+
  private:
   // Cheapest satisfying view from `device`, or an error if none.
   Result<simhw::AccessView> BestView(simhw::ComputeDeviceId device,
                                      const region::Properties& props, std::uint64_t size,
                                      const region::AccessHint& hint) const;
 
+  static std::uint64_t MemoKey(const dataflow::TaskProperties& props,
+                               std::uint64_t input_bytes, simhw::ComputeDeviceId device,
+                               simhw::MemoryDeviceId input_device);
+
   const simhw::Cluster* cluster_;
+
+  // Memo state; mutable because Estimate() is logically const. nullptr churn
+  // counter (standalone cost models, tests) disables memoization entirely.
+  const std::atomic<std::uint64_t>* memo_churn_ = nullptr;
+  mutable std::unordered_map<std::uint64_t, TaskEstimate> memo_;
+  mutable std::uint64_t memo_epoch_ = 0;
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
 };
 
 }  // namespace memflow::rts

@@ -44,6 +44,8 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
   MEMFLOW_CHECK(options_.max_task_attempts >= 1);
   regions_.BindTrace(&clock_, tracer_);
   regions_.BindProfiler(profiler_);
+  // Memoize placement scoring; any region churn invalidates (DESIGN.md §14).
+  model_.BindInvalidationCounter(&regions_.churn_counter());
 
   worker_threads_ = WorkerPool::ResolveThreads(options_.worker_threads);
   if (worker_threads_ > 1) {
@@ -465,7 +467,13 @@ void Runtime::StageDispatch(JobExec& exec, dataflow::TaskId task) {
   body.job_index = exec.index;
   body.task = task;
   body.device = te.planned;
-  body.ctx = std::make_unique<dataflow::TaskContext>(std::move(init));
+  if (options_.hot_path_pools && !ctx_pool_.empty()) {
+    body.ctx = std::move(ctx_pool_.back());
+    ctx_pool_.pop_back();
+    body.ctx->Reset(std::move(init));
+  } else {
+    body.ctx = std::make_unique<dataflow::TaskContext>(std::move(init));
+  }
   batch_.push_back(std::move(body));
 }
 
@@ -479,7 +487,11 @@ void Runtime::RunBody(PendingBody& body) {
 }
 
 void Runtime::ExecuteBatch() {
-  std::vector<PendingBody> batch;
+  // active_batch_ is a member only so its capacity survives across batches;
+  // ExecuteBatch has exactly one call site (RunToCompletion) and never
+  // reenters, so it is always empty here.
+  MEMFLOW_CHECK(active_batch_.empty());
+  std::vector<PendingBody>& batch = active_batch_;
   batch.swap(batch_);  // commits may stage new bodies; keep them separate
 
   // Record which same-job task pairs share this batch (the dynamic face of
@@ -524,24 +536,41 @@ void Runtime::ExecuteBatch() {
     // order (preserving the serial executor's same-step semantics for jobs
     // whose tasks communicate through shared regions); every other body is a
     // chain of its own. Chains execute concurrently on the pool.
-    std::vector<std::vector<std::size_t>> chains;
-    std::unordered_map<std::size_t, std::size_t> chain_of_job;
+    // chain_storage_/chain_of_job_ are pre-sized members reused across
+    // batches: no per-batch map, no per-chain heap allocation in steady state.
+    if (chain_of_job_.size() < jobs_.size()) {
+      chain_of_job_.resize(jobs_.size(), kNoChain);
+    }
+    std::size_t num_chains = 0;
+    const auto new_chain = [this, &num_chains]() -> std::vector<std::size_t>& {
+      if (num_chains == chain_storage_.size()) {
+        chain_storage_.emplace_back();
+      }
+      std::vector<std::size_t>& chain = chain_storage_[num_chains++];
+      chain.clear();
+      return chain;
+    };
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (jobs_[batch[i].job_index]->parallel_safe) {
-        chains.push_back({i});
+      const std::size_t job_index = batch[i].job_index;
+      if (jobs_[job_index]->parallel_safe) {
+        new_chain().push_back(i);
         continue;
       }
-      auto [it, inserted] = chain_of_job.try_emplace(batch[i].job_index, chains.size());
-      if (inserted) {
-        chains.emplace_back();
+      if (chain_of_job_[job_index] == kNoChain) {
+        chain_of_job_[job_index] = static_cast<std::uint32_t>(num_chains);
+        new_chain().push_back(i);
+      } else {
+        chain_storage_[chain_of_job_[job_index]].push_back(i);
       }
-      chains[it->second].push_back(i);
+    }
+    for (const PendingBody& body : batch) {
+      chain_of_job_[body.job_index] = kNoChain;  // reset only touched entries
     }
     std::vector<std::function<void()>> closures;
-    closures.reserve(chains.size());
-    for (std::vector<std::size_t>& chain : chains) {
-      closures.push_back([this, &batch, chain = std::move(chain)] {
-        for (const std::size_t i : chain) {
+    closures.reserve(num_chains);
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      closures.push_back([this, &batch, chain = &chain_storage_[c]] {
+        for (const std::size_t i : *chain) {
           RunBody(batch[i]);
         }
       });
@@ -558,12 +587,13 @@ void Runtime::ExecuteBatch() {
   // --- serial commit phase ----------------------------------------------------
   //
   // Fixed (device id, job, task id) order, independent of both the staging
-  // order and the interleaving of the run phase.
-  std::vector<std::size_t> order(batch.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
+  // order and the interleaving of the run phase. The order array is dispatch
+  // scratch, so it lives on the arena (reset each loop iteration).
+  std::size_t* order = arena_.AllocateArray<std::size_t>(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     order[i] = i;
   }
-  std::sort(order.begin(), order.end(), [&batch](std::size_t a, std::size_t b) {
+  std::sort(order, order + batch.size(), [&batch](std::size_t a, std::size_t b) {
     const PendingBody& x = batch[a];
     const PendingBody& y = batch[b];
     if (x.device != y.device) {
@@ -575,9 +605,21 @@ void Runtime::ExecuteBatch() {
     return x.task < y.task;
   });
   telemetry::PhaseTimer commit_timer(profiler_, telemetry::Phase::kBatchCommit);
-  for (const std::size_t i : order) {
-    CommitBody(batch[i]);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    CommitBody(batch[order[k]]);
   }
+  commit_timer.Stop();
+
+  // Retire the batch: contexts go back to the pool (their vectors keep their
+  // capacity for the next Reset), the batch vector keeps its own.
+  if (options_.hot_path_pools) {
+    for (PendingBody& body : batch) {
+      if (body.ctx != nullptr) {
+        ctx_pool_.push_back(std::move(body.ctx));
+      }
+    }
+  }
+  batch.clear();
 }
 
 void Runtime::CommitBody(PendingBody& body) {
@@ -1012,6 +1054,9 @@ void Runtime::ApplyFaultsDue(SimTime now) {
   if (faults_->ApplyDue(now) == 0) {
     return;
   }
+  // Any applied fault (device or link) can change placement/cost answers the
+  // region manager cannot observe itself — invalidate the cost-model memo.
+  regions_.NoteExternalChurn();
   // Volatile regions on failed devices are gone; record that.
   for (const simhw::MemoryDeviceId dev : cluster_->AllMemoryDevices()) {
     if (cluster_->memory(dev).failed()) {
@@ -1049,6 +1094,9 @@ Status Runtime::RunToCompletion() {
   // (deterministic) event order, never on worker count. Time advances only
   // while no bodies are staged.
   while (!events_.empty() || !batch_.empty()) {
+    // Per-dispatch scratch (commit order and friends) dies here; in steady
+    // state the arena hands the same blocks back without touching the heap.
+    arena_.Reset();
     // Ring ticks run *between* dispatch scopes, when no control-plane timer
     // is open, so every snapshot sees fully flushed counters and the
     // per-phase breakdown telescopes exactly in every ring entry.
@@ -1061,7 +1109,12 @@ Status Runtime::RunToCompletion() {
       continue;
     }
     telemetry::PhaseTimer drain_timer(profiler_, telemetry::Phase::kEventDrain);
-    events_.RunNext(clock_);
+    // Drain the whole same-timestamp cohort in one pass (one clock advance,
+    // one loop dispatch) instead of re-entering per event. Semantically
+    // identical to draining them one RunNext at a time: same-time events the
+    // callbacks schedule carry later seqs, and later-timestamped events stay
+    // queued for the next iteration.
+    events_.RunAllDue(clock_);
   }
   if (options_.snapshot_ring != nullptr) {
     TickSnapshotRing();  // final state, whatever the interval phase

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "analysis/verifier.h"
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/worker_pool.h"
 #include "dataflow/context.h"
@@ -94,6 +95,11 @@ struct RuntimeOptions {
   // times are deterministic at every worker count. nullptr disables ticking.
   telemetry::SnapshotRing* snapshot_ring = nullptr;
   SimDuration snapshot_interval = SimDuration::Millis(1);
+  // Recycle TaskContexts (and their internal vectors) across dispatches
+  // instead of heap-allocating one per staged body (DESIGN.md §14). Purely a
+  // host-side optimization: reports and fingerprints are bit-identical with
+  // pools on or off — the determinism test holds the runtime to that.
+  bool hot_path_pools = true;
 };
 
 struct TaskReport {
@@ -365,6 +371,20 @@ class Runtime {
   std::vector<DeviceExec> device_execs_;  // by ComputeDeviceId::value
   // Bodies staged at the current virtual-time step, awaiting ExecuteBatch.
   std::vector<PendingBody> batch_;
+  // Hot-path recycling (DESIGN.md §14). active_batch_ is the batch currently
+  // executing (swapped from batch_; kept as a member so its capacity
+  // survives); ctx_pool_ holds retired TaskContexts for Reset()-reuse;
+  // chain_storage_/chain_of_job_ are the pre-sized dense replacements for the
+  // per-batch chain map (chain_of_job_ is indexed by job index, kNoChain
+  // meaning unassigned, and only touched entries are reset after each batch).
+  // arena_ backs per-dispatch scratch (commit order) and is reset once per
+  // dispatch-loop iteration.
+  std::vector<PendingBody> active_batch_;
+  std::vector<std::unique_ptr<dataflow::TaskContext>> ctx_pool_;
+  std::vector<std::vector<std::size_t>> chain_storage_;
+  static constexpr std::uint32_t kNoChain = 0xffffffffu;
+  std::vector<std::uint32_t> chain_of_job_;
+  MonotonicArena arena_;
   int worker_threads_ = 1;                // resolved from options
   std::unique_ptr<WorkerPool> pool_;      // nullptr when worker_threads_ == 1
   RuntimeStats stats_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/assert.h"
@@ -68,6 +69,28 @@ class EventQueue {
     heap_.pop();
     clock.AdvanceTo(ev.at);
     ev.cb(ev.at);
+  }
+
+  // Pops and runs every event due at the earliest timestamp in one pass,
+  // advancing `clock` once. Events a callback schedules *at that same
+  // timestamp* are also run (they carry a later seq, preserving the exact
+  // order RunNext would have produced); later-timestamped events stay queued.
+  // One heap pop per event, but a single clock advance and loop dispatch for
+  // the whole timestamp cohort — the dispatch loop's drain phase calls this
+  // instead of re-entering per event. Returns the number of events executed.
+  std::uint64_t RunAllDue(VirtualClock& clock) {
+    MEMFLOW_CHECK(!heap_.empty());
+    const SimTime due = heap_.top().at;
+    clock.AdvanceTo(due);
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().at == due) {
+      // Move out before pop: the callback may schedule new events.
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      ev.cb(due);
+      ++n;
+    }
+    return n;
   }
 
   // Drains the queue. Returns the number of events executed.

@@ -104,6 +104,7 @@ MemoryDevice::MemoryDevice(MemoryDeviceId id, NodeId node, std::string name,
 }
 
 Result<Extent> MemoryDevice::Allocate(std::uint64_t size) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (failed_) {
     return Unavailable(name_ + " is failed");
   }
@@ -134,6 +135,7 @@ Result<Extent> MemoryDevice::Allocate(std::uint64_t size) {
 }
 
 Status MemoryDevice::Free(const Extent& extent) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (extent.device != id_) {
     return InvalidArgument("extent belongs to a different device");
   }
@@ -258,6 +260,7 @@ void MemoryDevice::ChargeStats(bool is_write, std::uint64_t bytes, SimDuration c
 
 Result<SimDuration> MemoryDevice::Read(const Extent& extent, std::uint64_t offset, void* dst,
                                        std::uint64_t size) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   MEMFLOW_RETURN_IF_ERROR(CheckAccess(extent, offset, size));
   CopyOut(live_.at(extent.offset), offset, dst, size);
   const SimDuration cost = AccessCost(size, /*sequential=*/true, /*is_write=*/false);
@@ -267,6 +270,7 @@ Result<SimDuration> MemoryDevice::Read(const Extent& extent, std::uint64_t offse
 
 Result<SimDuration> MemoryDevice::Write(const Extent& extent, std::uint64_t offset,
                                         const void* src, std::uint64_t size) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   MEMFLOW_RETURN_IF_ERROR(CheckAccess(extent, offset, size));
   CopyIn(live_.at(extent.offset), offset, src, size);
   const SimDuration cost = AccessCost(size, /*sequential=*/true, /*is_write=*/true);
@@ -287,6 +291,7 @@ SimDuration MemoryDevice::ChargeWrite(std::uint64_t bytes, bool sequential) {
 }
 
 void MemoryDevice::Fail() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   failed_ = true;
   if (!profile_.persistent) {
     // Volatile media loses its contents: drop all backing stores. The extents
@@ -300,6 +305,9 @@ void MemoryDevice::Fail() {
   }
 }
 
-void MemoryDevice::Recover() { failed_ = false; }
+void MemoryDevice::Recover() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  failed_ = false;
+}
 
 }  // namespace memflow::simhw

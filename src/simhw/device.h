@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -202,9 +203,17 @@ class MemoryDevice {
 
   void ChargeStats(bool is_write, std::uint64_t bytes, SimDuration cost);
 
-  // Guards stats_ only. Structural state (free_list_, live_, used_) is
-  // mutated exclusively under the RegionManager's exclusive lock and so is
-  // never concurrent with the shared-lock data path.
+  // Guards the device's structural state (free_list_, live_, used_, failed_
+  // and the per-extent backing chunks): Allocate/Free/Fail/Recover take it
+  // exclusive, Read/Write take it shared for the whole access. Needed because
+  // the RegionManager data path no longer holds any manager-wide lock, so a
+  // task body streaming bytes can be concurrent with another body allocating
+  // on the same device. Concurrent Read/Write *on the same extent* are still
+  // excluded by the runtime's ownership discipline, exactly as before.
+  mutable std::shared_mutex state_mu_;
+
+  // Guards stats_ only: Read/Write on *different extents* of one device may
+  // run concurrently during the runtime's parallel-run phase.
   mutable std::mutex stats_mu_;
   DeviceStats stats_;
 };

@@ -79,8 +79,11 @@ Result<PathInfo> Topology::Path(VertexId from, VertexId to) const {
     return PathInfo{SimDuration{}, std::numeric_limits<double>::infinity(), true, true, 0};
   }
   const std::uint64_t key = (static_cast<std::uint64_t>(from.value) << 32) | to.value;
-  if (auto it = cache_.find(key); it != cache_.end()) {
-    return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
   }
 
   // Dijkstra on latency; properties are folded along the chosen path.
@@ -141,7 +144,10 @@ Result<PathInfo> Topology::Path(VertexId from, VertexId to) const {
     info.loadstore = info.loadstore && link.desc.loadstore;
     info.hops++;
   }
-  cache_.emplace(key, info);
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    cache_.emplace(key, info);
+  }
   return info;
 }
 

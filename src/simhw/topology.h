@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -91,13 +93,21 @@ class Topology {
     bool failed = false;
   };
 
-  void InvalidateCache() const { cache_.clear(); }
+  void InvalidateCache() const {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    cache_.clear();
+  }
 
   std::vector<std::string> vertex_names_;
   std::vector<bool> transit_;
   std::vector<std::vector<std::uint32_t>> adjacency_;  // vertex -> link indexes
   std::vector<Link> links_;
 
+  // Guards cache_ only. Worker threads reach Path() concurrently through
+  // RegionManager::Allocate (which no longer holds the manager-wide lock on
+  // the data path), so the memo needs its own reader/writer lock; the graph
+  // itself only mutates on the control thread with workers quiesced.
+  mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<std::uint64_t, PathInfo> cache_;
 };
 

@@ -384,24 +384,29 @@ std::string RenderRuntimeHealth(const MetricsSnapshot& snapshot) {
   out += latency.Render();
 
   // Region-lock pressure: contended acquisitions and blocked host time, from
-  // the RegionManager's try-lock probes.
+  // the RegionManager's try-lock probes. Split by path since DESIGN.md §8's
+  // lock split: "data" rows are the striped per-region locks task bodies
+  // take, "control" rows are the manager-wide lock the control thread takes —
+  // sustained data-path blocking means the stripe split is not working.
   if (const FamilySnapshot* acq = snapshot.FindFamily("region_lock_acquisitions_total")) {
     const FamilySnapshot* contended = snapshot.FindFamily("region_lock_contended_total");
     const FamilySnapshot* waited = snapshot.FindFamily("region_lock_wait_ns_total");
     TextTable lock({"Region lock", "Acquisitions", "Contended", "Blocked (host)"});
-    for (const char* mode : {"shared", "exclusive"}) {
-      const Labels labels = {{"mode", mode}};
-      const SeriesSnapshot* a = acq->Find(labels);
-      if (a == nullptr) {
-        continue;
+    for (const char* path : {"data", "control"}) {
+      for (const char* mode : {"shared", "exclusive"}) {
+        const Labels labels = {{"mode", mode}, {"path", path}};
+        const SeriesSnapshot* a = acq->Find(labels);
+        if (a == nullptr) {
+          continue;
+        }
+        const SeriesSnapshot* c =
+            contended != nullptr ? contended->Find(labels) : nullptr;
+        const SeriesSnapshot* w = waited != nullptr ? waited->Find(labels) : nullptr;
+        lock.AddRow({std::string(path) + "/" + mode, WithThousands(a->counter),
+                     WithThousands(c != nullptr ? c->counter : 0),
+                     HumanDuration(SimDuration(
+                         static_cast<std::int64_t>(w != nullptr ? w->counter : 0)))});
       }
-      const SeriesSnapshot* c =
-          contended != nullptr ? contended->Find(labels) : nullptr;
-      const SeriesSnapshot* w = waited != nullptr ? waited->Find(labels) : nullptr;
-      lock.AddRow({mode, WithThousands(a->counter),
-                   WithThousands(c != nullptr ? c->counter : 0),
-                   HumanDuration(SimDuration(
-                       static_cast<std::int64_t>(w != nullptr ? w->counter : 0)))});
     }
     out += "\n" + lock.Render();
   }

@@ -175,10 +175,12 @@ SelfProfile SelfProfiler::Report(std::int64_t measured_wall_ns) const {
   std::int64_t exclusive_sum = 0;
   for (int i = 0; i < kNumPhases; ++i) {
     exclusive_sum += control.exclusive[i];
-    if (control.calls[i] > 0) {
-      profile.phases.push_back({static_cast<Phase>(i), control.calls[i],
-                                control.inclusive[i], control.exclusive[i]});
-    }
+    // The control tree reports every phase, zero-call ones included, so
+    // exporters (bench JSON, PublishTo) emit a complete per-phase series
+    // whose exclusives telescope to the wall. The worker tree stays sparse:
+    // it is informational overlap, not part of the accounting identity.
+    profile.phases.push_back({static_cast<Phase>(i), control.calls[i],
+                              control.inclusive[i], control.exclusive[i]});
     if (workers.calls[i] > 0) {
       profile.worker_phases.push_back({static_cast<Phase>(i), workers.calls[i],
                                        workers.inclusive[i], workers.exclusive[i]});
@@ -193,6 +195,9 @@ std::string SelfProfile::Render() const {
   TextTable table({"Phase", "Calls", "Inclusive", "Exclusive", "Share"});
   const double wall = wall_ns > 0 ? static_cast<double>(wall_ns) : 1.0;
   for (const PhaseStat& stat : phases) {
+    if (stat.calls == 0 && stat.inclusive_ns == 0) {
+      continue;  // every phase is reported; only render the active ones
+    }
     table.AddRow({std::string(PhaseName(stat.phase)), WithThousands(stat.calls),
                   HumanDuration(SimDuration::Nanos(stat.inclusive_ns)),
                   HumanDuration(SimDuration::Nanos(stat.exclusive_ns)),

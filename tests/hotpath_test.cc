@@ -1,0 +1,226 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for the dispatch hot-path machinery (DESIGN.md §14): the monotonic
+// epoch arena, the memoized cost model and its churn invalidation contract,
+// and the pooled-TaskContext path's determinism guarantee (pools on vs. off
+// must be behaviourally invisible).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/arena.h"
+#include "rts/cost_model.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace memflow {
+namespace {
+
+using memflow::testing::Fingerprint;
+using memflow::testing::WideJob;
+
+// --- MonotonicArena ----------------------------------------------------------
+
+TEST(MonotonicArenaTest, AllocationsAreAlignedAndDisjoint) {
+  MonotonicArena arena;
+  char* a = static_cast<char*>(arena.Allocate(13, 1));
+  char* b = static_cast<char*>(arena.Allocate(64, 64));
+  auto* c = arena.AllocateArray<std::uint64_t>(16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(std::uint64_t), 0u);
+  // Writes to one allocation must not alias another.
+  std::memset(a, 0xaa, 13);
+  std::memset(b, 0xbb, 64);
+  for (int i = 0; i < 16; ++i) {
+    c[i] = 0xccccccccccccccccULL;
+  }
+  for (int i = 0; i < 13; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(a[i]), 0xaa);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(b[i]), 0xbb);
+  }
+  EXPECT_GE(arena.bytes_used(), 13u + 64u + 16u * 8u);
+}
+
+TEST(MonotonicArenaTest, GrowsAcrossBlocksAndResetRecyclesThem) {
+  MonotonicArena arena(/*first_block_bytes=*/1024);
+  // Force several block appends, including one larger than the default size.
+  for (int i = 0; i < 64; ++i) {
+    auto* p = arena.AllocateArray<std::uint64_t>(512);  // 4 KiB each
+    p[0] = static_cast<std::uint64_t>(i);
+    p[511] = ~static_cast<std::uint64_t>(i);
+  }
+  const std::size_t warm_capacity = arena.bytes_capacity();
+  const std::uint64_t epoch_before = arena.epoch();
+  EXPECT_GT(warm_capacity, 0u);
+
+  // Steady state: the same allocation pattern after Reset() must be served
+  // entirely from recycled blocks — capacity must not grow again. Under ASan
+  // this also proves Allocate() unpoisons what Reset() poisoned: every byte
+  // handed back out is written and read here.
+  for (int round = 0; round < 3; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 64; ++i) {
+      auto* p = arena.AllocateArray<std::uint64_t>(512);
+      p[0] = static_cast<std::uint64_t>(round * 1000 + i);
+      p[511] = p[0] ^ 0xffffffffffffffffULL;
+      EXPECT_EQ(p[511], p[0] ^ 0xffffffffffffffffULL);
+    }
+    EXPECT_EQ(arena.bytes_capacity(), warm_capacity);
+  }
+  EXPECT_EQ(arena.epoch(), epoch_before + 3);
+}
+
+TEST(MonotonicArenaTest, ZeroByteAllocationsAreDistinct) {
+  MonotonicArena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaVectorTest, PushBackGrowsAndKeepsContents) {
+  MonotonicArena arena;
+  ArenaVector<std::uint32_t> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    v.push_back(i * 3);
+  }
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v[i], i * 3);
+  }
+  std::uint64_t sum = 0;
+  for (const std::uint32_t x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 3ull * 999 * 1000 / 2);
+}
+
+// --- cost-model memo ---------------------------------------------------------
+
+TEST(CostModelMemoTest, RepeatEstimatesHitAndChurnInvalidates) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 2});
+  rts::CostModel model(*rack.cluster);
+  std::atomic<std::uint64_t> churn{1};
+  model.BindInvalidationCounter(&churn);
+
+  dataflow::TaskProperties props;
+  props.base_work = 1e6;
+  const simhw::ComputeDeviceId device = rack.cpus.front();
+
+  auto first = model.Estimate(props, MiB(4), device);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(model.memo_hits(), 0u);
+  EXPECT_EQ(model.memo_misses(), 1u);
+
+  // Identical query: served from the memo, bit-identical answer.
+  auto second = model.Estimate(props, MiB(4), device);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(model.memo_hits(), 1u);
+  EXPECT_EQ(second->total.ns, first->total.ns);
+  EXPECT_EQ(second->compute.ns, first->compute.ns);
+  EXPECT_EQ(second->memory.ns, first->memory.ns);
+  EXPECT_EQ(second->scratch_device.value, first->scratch_device.value);
+
+  // A different query is its own entry, not a collision.
+  auto other = model.Estimate(props, MiB(8), device);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(model.memo_misses(), 2u);
+  EXPECT_GT(other->total.ns, first->total.ns);
+
+  // Region churn (allocation, free, migration, device loss) bumps the
+  // counter; the next lookup must flush the memo and recompute.
+  churn.fetch_add(1, std::memory_order_release);
+  auto after = model.Estimate(props, MiB(4), device);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(model.memo_hits(), 1u);
+  EXPECT_EQ(model.memo_misses(), 3u);
+  EXPECT_EQ(after->total.ns, first->total.ns);
+
+  // With the epoch re-synced, repeats hit again.
+  auto warm = model.Estimate(props, MiB(4), device);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(model.memo_hits(), 2u);
+}
+
+TEST(CostModelMemoTest, UnboundCounterDisablesMemo) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 2});
+  rts::CostModel model(*rack.cluster);
+  dataflow::TaskProperties props;
+  const simhw::ComputeDeviceId device = rack.cpus.front();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(model.Estimate(props, MiB(1), device).ok());
+  }
+  EXPECT_EQ(model.memo_hits(), 0u);
+  EXPECT_EQ(model.memo_misses(), 0u);
+}
+
+TEST(CostModelMemoTest, RuntimeBindsManagerChurnCounter) {
+  // End-to-end: inside a runtime the memo is live (hits accumulate across a
+  // job of identical tasks) and region churn keeps it honest.
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  rts::RuntimeOptions opts;
+  opts.worker_threads = 2;
+  opts.registry = &reg;
+  rts::Runtime rt(*rack.cluster, opts);
+  auto report = rt.SubmitAndRun(WideJob("memo", 12));
+  ASSERT_TRUE(report.ok() && report->status.ok());
+  EXPECT_GT(rt.cost_model().memo_hits() + rt.cost_model().memo_misses(), 0u);
+}
+
+// --- pooled contexts: determinism --------------------------------------------
+
+struct PooledRun {
+  std::string fingerprint;
+  std::uint64_t selfprof_fingerprint = 0;
+  std::uint64_t tasks_executed = 0;
+};
+
+PooledRun RunWidePooled(int workers, bool pools) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  rts::RuntimeOptions opts;
+  opts.worker_threads = workers;
+  opts.registry = &reg;
+  opts.hot_path_pools = pools;
+  rts::Runtime rt(*rack.cluster, opts);
+  PooledRun out;
+  // Two jobs back-to-back so the second actually draws recycled contexts
+  // from the pool the first one filled.
+  for (int j = 0; j < 2; ++j) {
+    auto report = rt.SubmitAndRun(WideJob("pooled" + std::to_string(j), 10));
+    MEMFLOW_CHECK(report.ok() && report->status.ok());
+    out.fingerprint += Fingerprint(*report);
+  }
+  out.selfprof_fingerprint = rt.self_profiler().Fingerprint();
+  out.tasks_executed = rt.stats().tasks_executed;
+  return out;
+}
+
+TEST(HotPathDeterminismTest, PoolsOnAndOffAreIndistinguishable) {
+  const PooledRun base = RunWidePooled(1, /*pools=*/true);
+  EXPECT_GT(base.tasks_executed, 0u);
+  for (const int workers : {1, 2, 8}) {
+    const PooledRun on = RunWidePooled(workers, /*pools=*/true);
+    const PooledRun off = RunWidePooled(workers, /*pools=*/false);
+    EXPECT_EQ(on.fingerprint, off.fingerprint) << "workers=" << workers;
+    EXPECT_EQ(on.selfprof_fingerprint, off.selfprof_fingerprint)
+        << "workers=" << workers;
+    EXPECT_EQ(on.tasks_executed, off.tasks_executed) << "workers=" << workers;
+    // And both match the serial pooled baseline bit-for-bit.
+    EXPECT_EQ(on.fingerprint, base.fingerprint) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace memflow

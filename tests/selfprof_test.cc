@@ -258,20 +258,29 @@ TEST(SelfProfilerTest, RegionLockProbesPublishCounters) {
   const telemetry::MetricsSnapshot snap = reg.Snapshot();
   const telemetry::FamilySnapshot* acq = snap.FindFamily("region_lock_acquisitions_total");
   ASSERT_NE(acq, nullptr);
-  const telemetry::SeriesSnapshot* shared = acq->Find({{"mode", "shared"}});
-  const telemetry::SeriesSnapshot* exclusive = acq->Find({{"mode", "exclusive"}});
-  ASSERT_NE(shared, nullptr);
-  ASSERT_NE(exclusive, nullptr);
-  EXPECT_GT(shared->counter + exclusive->counter, 0u);
+  // The probes split by mode and path (DESIGN.md §8): task bodies take the
+  // striped per-region locks (path=data), the control thread takes the
+  // manager-wide lock (path=control). This workload drives both.
+  const telemetry::SeriesSnapshot* data_shared =
+      acq->Find({{"mode", "shared"}, {"path", "data"}});
+  const telemetry::SeriesSnapshot* ctrl_exclusive =
+      acq->Find({{"mode", "exclusive"}, {"path", "control"}});
+  ASSERT_NE(data_shared, nullptr);
+  ASSERT_NE(ctrl_exclusive, nullptr);
+  EXPECT_GT(data_shared->counter, 0u);
+  EXPECT_GT(ctrl_exclusive->counter, 0u);
 
-  // Contended acquisitions are a subset of all acquisitions.
+  // Contended acquisitions are a subset of all acquisitions, per series.
   const telemetry::FamilySnapshot* cont = snap.FindFamily("region_lock_contended_total");
   ASSERT_NE(cont, nullptr);
-  for (const char* mode : {"shared", "exclusive"}) {
-    const telemetry::SeriesSnapshot* c = cont->Find({{"mode", mode}});
-    const telemetry::SeriesSnapshot* a = acq->Find({{"mode", mode}});
-    if (c != nullptr && a != nullptr) {
-      EXPECT_LE(c->counter, a->counter);
+  for (const char* path : {"data", "control"}) {
+    for (const char* mode : {"shared", "exclusive"}) {
+      const telemetry::Labels labels = {{"mode", mode}, {"path", path}};
+      const telemetry::SeriesSnapshot* c = cont->Find(labels);
+      const telemetry::SeriesSnapshot* a = acq->Find(labels);
+      if (c != nullptr && a != nullptr) {
+        EXPECT_LE(c->counter, a->counter);
+      }
     }
   }
 }

@@ -11,7 +11,14 @@ Compares a freshly generated artifact against the committed baseline
 Wall-clock units (tasks/s, MiB/s, x, ...) vary with host load and are
 reported informationally, never gated.
 
+Wall-clock throughput metrics can additionally be held above an absolute
+floor with --min-improvement NAME:FLOOR (repeatable). Floors are a ratchet:
+they encode "this optimization landed and must not silently un-land" — e.g.
+tasks_per_sec_1_worker:337.5 pins the hot-path overhaul at >= 2x the PR 7
+baseline (168.75) even though tasks/s is otherwise informational.
+
 Usage: check_bench.py BASELINE CURRENT [--tolerance 0.10]
+                      [--min-improvement NAME:FLOOR]...
 Exit status: 0 = within tolerance, 1 = regression (delta table printed).
 """
 
@@ -46,7 +53,21 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative delta for ns metrics (default 0.10)")
+    parser.add_argument("--min-improvement", action="append", default=[],
+                        metavar="NAME:FLOOR",
+                        help="fail unless current metric NAME >= FLOOR "
+                             "(absolute ratchet for wall-clock metrics; repeatable)")
     args = parser.parse_args()
+
+    floors = []
+    for spec in args.min_improvement:
+        name, sep, floor = spec.rpartition(":")
+        if not sep:
+            parser.error(f"--min-improvement needs NAME:FLOOR, got {spec!r}")
+        try:
+            floors.append((name, float(floor)))
+        except ValueError:
+            parser.error(f"--min-improvement floor must be a number, got {spec!r}")
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
@@ -93,6 +114,19 @@ def main():
     print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+    if floors:
+        print("\nMinimum-improvement ratchets:")
+        for name, floor in floors:
+            if name not in cur:
+                print(f"  {name}: MISSING from current artifact (floor {floor:,.1f}) -> FAIL")
+                failures += 1
+                continue
+            cval, unit = cur[name]
+            ok = cval >= floor
+            print(f"  {name}: {cval:,.1f} {unit} vs floor {floor:,.1f} -> "
+                  f"{'ok' if ok else 'FAIL'}")
+            failures += 0 if ok else 1
 
     if new_metrics:
         # New metrics are ungated until the baseline learns about them — a
