@@ -1,0 +1,223 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Open-loop serving under sustained multi-tenant load (DESIGN.md §15). Two
+// tenants stream single-task CPU jobs through the SLO-aware admission layer
+// at offered rates below, near, and above the device's service capacity
+// (one CPU, 4 hardware queues, ~100us per job => ~40k jobs/s). For each
+// rate the artifact reports sustained completions/sec and exact end-to-end
+// latency quantiles (p50/p99/p999 over every served job — virtual time, so
+// bit-stable and gated by the CI perf gate), plus the admission outcome mix.
+//
+// A determinism leg replays the mid-rate sweep at 1, 2, and 8 worker
+// threads and gates that the served-job log is identical — the serving
+// layer inherits the executor's fingerprint promise (DESIGN.md §8).
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rts/runtime.h"
+#include "rts/serving.h"
+#include "simhw/presets.h"
+#include "testing/arrivals.h"
+
+namespace memflow::bench {
+namespace {
+
+constexpr std::uint64_t kArrivalSeed = 0x5e41c0de;
+constexpr std::int64_t kHorizonMs = 50;
+constexpr double kJobWork = 1e5;  // ~100us virtual service per job
+
+// One admitted unit of work: a single CPU-pinned task that charges exactly
+// its declared work, so virtual service time tracks the cost-model estimate.
+dataflow::Job ServeJob(std::size_t tenant, std::size_t index) {
+  dataflow::Job job("serve-t" + std::to_string(tenant) + "-" + std::to_string(index));
+  dataflow::TaskProperties props;
+  props.compute_device = simhw::ComputeDeviceKind::kCPU;
+  props.base_work = kJobWork;
+  job.AddTask("t", props, [](dataflow::TaskContext& ctx) {
+    ctx.ChargeCompute(kJobWork);
+    return OkStatus();
+  });
+  return job;
+}
+
+struct ClassQuantiles {
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t p999_ns = 0;
+};
+
+struct SweepResult {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  // quota + slo + infeasible + shed
+  std::uint64_t completed = 0;
+  double sustained_per_sec = 0;  // completions / virtual second to quiescence
+  ClassQuantiles all;
+  // Per latency class (tenant a = interactive, tenant b = batch).
+  ClassQuantiles interactive;
+  ClassQuantiles batch;
+  // Served-job log digest: (job id, tenant, arrival, finish, ok) per job —
+  // the determinism comparand across worker counts.
+  std::string fingerprint;
+};
+
+// Exact quantile of a sorted sample vector (nearest-rank).
+std::int64_t QuantileNs(const std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+SweepResult RunSweep(double offered_rate_per_sec, int workers) {
+  SweepResult out;
+  simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+  telemetry::Registry registry;
+  rts::RuntimeOptions ropts;
+  ropts.worker_threads = workers;
+  ropts.registry = &registry;
+  rts::Runtime rt(*host.cluster, ropts);
+  rts::ServingLayer serving(rt);
+  (void)serving.AddTenant(
+      {.name = "a", .weight = 1.0, .slo = dataflow::SloClass::kInteractive});
+  (void)serving.AddTenant(
+      {.name = "b", .weight = 2.0, .slo = dataflow::SloClass::kBatch});
+
+  std::vector<testing::ArrivalSpec> specs(2);
+  for (testing::ArrivalSpec& s : specs) {
+    s.kind = testing::ArrivalKind::kPoisson;
+    s.rate_per_sec = offered_rate_per_sec / 2.0;
+  }
+  const auto arrivals = testing::MergeArrivals(
+      specs, kArrivalSeed, SimTime{} + SimDuration::Millis(kHorizonMs));
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    const testing::MergedArrival a = arrivals[k];
+    rt.ScheduleAt(a.at, [&serving, a, k](SimTime) {
+      (void)serving.Offer(a.tenant, ServeJob(a.tenant, k));
+    });
+  }
+  MEMFLOW_CHECK(rt.RunToCompletion().ok());
+
+  for (std::size_t t = 0; t < serving.num_tenants(); ++t) {
+    const rts::TenantStats& stats = serving.stats(t);
+    out.offered += stats.arrived;
+    out.admitted += stats.admitted;
+    out.rejected += stats.Rejections();
+    out.completed += stats.completed;
+  }
+  std::vector<std::int64_t> latencies;
+  std::vector<std::int64_t> per_tenant[2];
+  SimTime quiesced;
+  for (const rts::ServedJob& sj : serving.served()) {
+    quiesced = std::max(quiesced, sj.finished);
+    if (sj.ok) {
+      latencies.push_back((sj.finished - sj.arrival).ns);
+      if (sj.tenant < 2) {
+        per_tenant[sj.tenant].push_back((sj.finished - sj.arrival).ns);
+      }
+    }
+    out.fingerprint += std::to_string(sj.job.value) + ":" +
+                       std::to_string(sj.tenant) + ":" +
+                       std::to_string(sj.arrival.ns) + ":" +
+                       std::to_string(sj.finished.ns) + ":" + (sj.ok ? "1" : "0") +
+                       ";";
+  }
+  const auto quantiles = [](std::vector<std::int64_t>& sample) {
+    std::sort(sample.begin(), sample.end());
+    return ClassQuantiles{QuantileNs(sample, 0.50), QuantileNs(sample, 0.99),
+                          QuantileNs(sample, 0.999)};
+  };
+  out.all = quantiles(latencies);
+  out.interactive = quantiles(per_tenant[0]);
+  out.batch = quantiles(per_tenant[1]);
+  const double secs = (quiesced - SimTime{}).ToSeconds();
+  out.sustained_per_sec = secs > 0 ? static_cast<double>(out.completed) / secs : 0;
+  return out;
+}
+
+void PrintArtifact() {
+  PrintHeader("Open-loop serving",
+              "Sustained completions/sec and end-to-end latency quantiles of\n"
+              "the SLO-aware admission layer under two-tenant Poisson load at\n"
+              "offered rates below, near, and above service capacity.");
+
+  const double rates[] = {10000, 25000, 50000};
+  TextTable table({"Offered/s", "Admitted", "Completed", "Sustained/s", "p50", "p99",
+                   "p999"});
+  for (const double rate : rates) {
+    const SweepResult r = RunSweep(rate, /*workers=*/1);
+    table.AddRow({FormatDouble(rate, 0), std::to_string(r.admitted),
+                  std::to_string(r.completed), FormatDouble(r.sustained_per_sec, 1),
+                  HumanDuration(SimDuration::Nanos(r.all.p50_ns)),
+                  HumanDuration(SimDuration::Nanos(r.all.p99_ns)),
+                  HumanDuration(SimDuration::Nanos(r.all.p999_ns))});
+    const std::string tag = "_rate" + std::to_string(static_cast<int>(rate));
+    const std::vector<std::pair<std::string, std::string>> attrs = {
+        {"arrival_seed", std::to_string(kArrivalSeed)},
+        {"offered_per_sec", FormatDouble(rate, 0)},
+        {"horizon_ms", std::to_string(kHorizonMs)}};
+    // Virtual-time quantiles are bit-stable: gated (ns), overall and per
+    // latency class. Rates and counts ride along informationally.
+    const auto record_class = [&](const char* prefix, const ClassQuantiles& q) {
+      RecordResult(std::string(prefix) + "_p50" + tag,
+                   static_cast<double>(q.p50_ns), "ns", attrs);
+      RecordResult(std::string(prefix) + "_p99" + tag,
+                   static_cast<double>(q.p99_ns), "ns", attrs);
+      RecordResult(std::string(prefix) + "_p999" + tag,
+                   static_cast<double>(q.p999_ns), "ns", attrs);
+    };
+    record_class("serving", r.all);
+    record_class("serving_interactive", r.interactive);
+    record_class("serving_batch", r.batch);
+    RecordResult("serving_sustained_jobs_per_sec" + tag, r.sustained_per_sec,
+                 "jobs/s", attrs);
+    RecordResult("serving_admitted" + tag, static_cast<double>(r.admitted), "count",
+                 attrs);
+    RecordResult("serving_rejected" + tag, static_cast<double>(r.rejected), "count",
+                 attrs);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Determinism leg: the mid-rate sweep must produce an identical served-job
+  // log — same admissions, same virtual finish times — at every worker count.
+  const SweepResult w1 = RunSweep(25000, 1);
+  const SweepResult w2 = RunSweep(25000, 2);
+  const SweepResult w8 = RunSweep(25000, 8);
+  const bool deterministic =
+      w1.fingerprint == w2.fingerprint && w2.fingerprint == w8.fingerprint;
+  std::printf("served-job log identical at 1/2/8 workers -> %s\n\n",
+              deterministic ? "PASS" : "FAIL");
+  RecordResult("serving_deterministic", deterministic ? 1.0 : 0.0, "bool");
+}
+
+// Wall-clock admission overhead: offers against an idle runtime, so each
+// iteration is the Offer hot path (token refill, estimate, WFQ key, submit)
+// plus the executor's dispatch of one short job batch.
+void BM_OfferAndDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    simhw::CxlHostHandles host = simhw::MakeCxlExpansionHost();
+    telemetry::Registry registry;
+    rts::RuntimeOptions ropts;
+    ropts.worker_threads = 1;
+    ropts.registry = &registry;
+    rts::Runtime rt(*host.cluster, ropts);
+    rts::ServingLayer serving(rt);
+    (void)serving.AddTenant({.name = "a"});
+    for (std::size_t k = 0; k < 64; ++k) {
+      MEMFLOW_CHECK(serving.Offer(0, ServeJob(0, k)).admitted);
+    }
+    MEMFLOW_CHECK(rt.RunToCompletion().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_OfferAndDrain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace memflow::bench
+
+MEMFLOW_BENCH_MAIN(memflow::bench::PrintArtifact)

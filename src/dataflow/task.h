@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "region/properties.h"
@@ -25,6 +26,29 @@ using TaskId = simhw::StrongId<TaskTag>;
 
 struct JobTag {};
 using JobId = simhw::StrongId<JobTag>;
+
+// End-to-end latency class of the task's *job* (distinct from mem_latency,
+// which constrains the task's working memory). The serving layer's admission
+// model maps a class to a deadline, and placement weighs queue backlog more
+// heavily for urgent classes — queue wait, not compute, is what breaks an
+// interactive deadline.
+enum class SloClass : std::uint8_t {
+  kBatch = 0,        // throughput-oriented; tolerates queueing
+  kStandard = 1,     // default; backlog priced at face value
+  kInteractive = 2,  // user-facing; backlog is 4x as expensive
+};
+
+constexpr std::string_view SloClassName(SloClass c) {
+  switch (c) {
+    case SloClass::kBatch:
+      return "batch";
+    case SloClass::kStandard:
+      return "standard";
+    case SloClass::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
 
 // The property sheet of Figure 2c, plus the execution profile the cost model
 // needs (how much work, how parallel).
@@ -48,6 +72,10 @@ struct TaskProperties {
 
   // Latency requirement for the task's working memory. kAny = "–" in Fig. 2c.
   region::LatencyClass mem_latency = region::LatencyClass::kAny;
+
+  // End-to-end latency class (see SloClass above). kStandard keeps placement
+  // scoring exactly what it was before classes existed.
+  SloClass slo = SloClass::kStandard;
 
   // --- execution profile (for the scheduler's cost model) --------------------
 

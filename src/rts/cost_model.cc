@@ -13,6 +13,10 @@ std::uint64_t CostModel::MemoKey(const dataflow::TaskProperties& props,
                                  simhw::MemoryDeviceId input_device) {
   // Every field Estimate() reads from `props` must be folded in here; a field
   // left out would alias distinct tasks onto one cache line of the memo.
+  // `slo` is folded too even though Estimate() prices no urgency today: the
+  // placement layer keys its urgency weighting off the same estimate, and an
+  // aliased memo line across latency classes would be a silent trap the day
+  // Estimate() starts reading it.
   const auto dbl = [](double v) {
     std::uint64_t bits = 0;
     static_assert(sizeof(bits) == sizeof(v));
@@ -29,6 +33,7 @@ std::uint64_t CostModel::MemoKey(const dataflow::TaskProperties& props,
                          (static_cast<std::uint64_t>(props.confidential) << 1) |
                          static_cast<std::uint64_t>(props.declassifies));
   h = HashCombine(h, static_cast<std::uint64_t>(props.mem_latency));
+  h = HashCombine(h, static_cast<std::uint64_t>(props.slo));
   h = HashCombine(h, dbl(props.base_work));
   h = HashCombine(h, dbl(props.work_per_byte));
   h = HashCombine(h, dbl(props.parallel_fraction));

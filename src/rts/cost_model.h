@@ -21,6 +21,22 @@
 
 namespace memflow::rts {
 
+// How heavily placement scoring weighs a device's queued backlog for a task
+// of the given latency class. 1.0 for kStandard keeps the pre-SLO scoring
+// bit-identical; batch tasks happily queue behind others, interactive tasks
+// pay a premium to land on idle devices.
+constexpr double SloUrgency(dataflow::SloClass c) {
+  switch (c) {
+    case dataflow::SloClass::kBatch:
+      return 0.5;
+    case dataflow::SloClass::kStandard:
+      return 1.0;
+    case dataflow::SloClass::kInteractive:
+      return 4.0;
+  }
+  return 1.0;
+}
+
 struct TaskEstimate {
   SimDuration compute;   // device execution time for the declared work
   SimDuration memory;    // input read + scratch use + output write

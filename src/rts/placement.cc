@@ -204,9 +204,14 @@ class CostModelPlacement final : public PlacementPolicy {
         continue;  // no satisfying memory from this device
       }
       // Predicted finish time: the device must first drain its committed
-      // backlog (spread over its hardware queues), then run this task.
+      // backlog (spread over its hardware queues), then run this task. The
+      // backlog term is weighted by the task's latency class — an interactive
+      // task treats time queued behind others as 4x as expensive as its own
+      // runtime, a batch task as half (SloUrgency; kStandard is exactly the
+      // pre-SLO score).
       const simhw::ComputeDevice& dev = cluster.compute(id);
-      const double backlog = dev.planned_ns / dev.profile().hw_queues;
+      const double backlog =
+          dev.planned_ns / dev.profile().hw_queues * SloUrgency(props.slo);
       const double score = backlog + static_cast<double>(est->total.ns);
       if (explain != nullptr) {
         explain->candidates.push_back({id, CandidateOutcome::kRankedLoser, backlog,

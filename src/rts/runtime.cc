@@ -106,6 +106,10 @@ Runtime::Runtime(simhw::Cluster& cluster, RuntimeOptions options)
 }
 
 Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
+  return Submit(std::move(job), DispatchHints{});
+}
+
+Result<dataflow::JobId> Runtime::Submit(dataflow::Job job, const DispatchHints& hints) {
   telemetry::PhaseTimer admission_timer(profiler_, telemetry::Phase::kAdmission);
   MEMFLOW_RETURN_IF_ERROR(job.Validate());
 
@@ -158,6 +162,7 @@ Result<dataflow::JobId> Runtime::Submit(dataflow::Job job) {
   exec->tasks.resize(exec->job.num_tasks());
   exec->remaining_tasks = exec->job.num_tasks();
   exec->parallel_safe = analysis::JobParallelSafe(exec->job);
+  exec->hints = hints;
   stats_.jobs_submitted++;
   instruments_.jobs_submitted->Increment();
 
@@ -365,7 +370,10 @@ void Runtime::EnqueueTask(JobExec& exec, dataflow::TaskId task) {
     te.arrival = te.ready;
   }
   DeviceExec& de = device_exec(te.planned);
-  de.queue.emplace_back(exec.index, task);
+  de.queue.push_back(QueueEntry{exec.hints.priority, exec.hints.fair_key, de.next_seq++,
+                                exec.index, task});
+  std::push_heap(de.queue.begin(), de.queue.end(),
+                 [](const QueueEntry& a, const QueueEntry& b) { return PopsBefore(b, a); });
   UpdateQueueDepth(de);
   PumpDevice(te.planned);
 }
@@ -374,13 +382,15 @@ void Runtime::PumpDevice(simhw::ComputeDeviceId device) {
   DeviceExec& de = device_exec(device);
   simhw::ComputeDevice& dev = cluster_->compute(device);
   while (!de.queue.empty() && !dev.failed() && dev.active_tasks < dev.profile().hw_queues) {
-    auto [job_index, task] = de.queue.front();
-    de.queue.pop_front();
-    JobExec& exec = *jobs_[job_index];
-    if (exec.failed || exec.tasks[task.value].state != TaskExec::State::kQueued) {
+    std::pop_heap(de.queue.begin(), de.queue.end(),
+                  [](const QueueEntry& a, const QueueEntry& b) { return PopsBefore(b, a); });
+    const QueueEntry entry = de.queue.back();
+    de.queue.pop_back();
+    JobExec& exec = *jobs_[entry.job_index];
+    if (exec.failed || exec.tasks[entry.task.value].state != TaskExec::State::kQueued) {
       continue;  // job died while queued
     }
-    StageDispatch(exec, task);
+    StageDispatch(exec, entry.task);
   }
   UpdateQueueDepth(de);
 }
@@ -986,6 +996,9 @@ void Runtime::FinishJob(JobExec& exec) {
   }
   MEMFLOW_LOG(kInfo) << "job finished" << Kv("job", exec.report.name)
                      << Kv("makespan", HumanDuration(exec.report.Makespan()));
+  if (job_observer_) {
+    job_observer_(exec.report);
+  }
 }
 
 void Runtime::FailJob(JobExec& exec, const Status& error) {
@@ -1045,6 +1058,9 @@ void Runtime::FailJob(JobExec& exec, const Status& error) {
   }
   MEMFLOW_LOG(kWarn) << "job failed" << Kv("job", exec.report.name)
                      << Kv("error", error.ToString());
+  if (job_observer_) {
+    job_observer_(exec.report);
+  }
 }
 
 void Runtime::ApplyFaultsDue(SimTime now) {
@@ -1072,6 +1088,11 @@ void Runtime::ApplyFaultsDue(SimTime now) {
 void Runtime::AttachFaultInjector(simhw::FaultInjector* injector) {
   faults_ = injector;
   fault_events_scheduled_ = false;
+}
+
+void Runtime::ScheduleAt(SimTime at, std::function<void(SimTime)> fn) {
+  MEMFLOW_CHECK_MSG(at >= clock_.now(), "ScheduleAt into the past");
+  events_.Schedule(at, std::move(fn));
 }
 
 void Runtime::TickSnapshotRing() {

@@ -28,7 +28,7 @@
 #ifndef MEMFLOW_RTS_RUNTIME_H_
 #define MEMFLOW_RTS_RUNTIME_H_
 
-#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -141,6 +141,20 @@ struct PlacementDecision {
   PlacementExplain explain;
 };
 
+// Dispatch-ordering hints for one job, resolved *once* at admission (by the
+// serving layer's quota/fairness machinery, or by any caller) and copied into
+// each queue entry — the per-event hot path never looks anything up. Default
+// hints order every device queue exactly FIFO, so Submit(job) behaves as it
+// always did.
+struct DispatchHints {
+  // Higher dispatches first. Ties fall through to fair_key, then to enqueue
+  // order.
+  int priority = 0;
+  // Weighted-fair virtual finish time (serving.h): among equal priorities the
+  // smallest key dispatches first. 0 for all jobs degrades to FIFO.
+  double fair_key = 0.0;
+};
+
 struct RuntimeStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
@@ -168,8 +182,26 @@ class Runtime {
   // no resources. The job starts once RunToCompletion() is called.
   Result<dataflow::JobId> Submit(dataflow::Job job);
 
+  // Same, with explicit dispatch-ordering hints (priority + weighted-fair
+  // key). Submit(job) is Submit(job, {}) — plain FIFO.
+  Result<dataflow::JobId> Submit(dataflow::Job job, const DispatchHints& hints);
+
   // Drives the event loop until every admitted job finished or failed.
   Status RunToCompletion();
+
+  // Schedules `fn` on the runtime's virtual timeline; it runs serially inside
+  // the dispatch loop at exactly `at` (which must not be in the past). This
+  // is the open-loop front door's entry point: an admission layer schedules
+  // arrival events that Submit() jobs mid-run, and RunToCompletion() drains
+  // them like any other event — deterministically at every worker count.
+  void ScheduleAt(SimTime at, std::function<void(SimTime)> fn);
+
+  // Observer called exactly once per admitted job, right after its report is
+  // final (finished or failed), on the control thread in virtual-time order.
+  // The serving layer uses it for latency histograms and in-flight tracking.
+  void SetJobObserver(std::function<void(const JobReport&)> observer) {
+    job_observer_ = std::move(observer);
+  }
 
   // Convenience: Submit + RunToCompletion + report.
   Result<JobReport> SubmitAndRun(dataflow::Job job);
@@ -272,6 +304,8 @@ class Runtime {
     // one serial chain (still concurrent with *other* jobs' bodies; cross-job
     // region sharing is impossible by construction).
     bool parallel_safe = true;
+    // Dispatch-ordering hints, fixed at admission (see DispatchHints).
+    DispatchHints hints;
 
     explicit JobExec(dataflow::JobId job_id, dataflow::Job j)
         : id(job_id), job(std::move(j)) {}
@@ -287,11 +321,37 @@ class Runtime {
     Status result;
   };
 
+  // One queued task on a device: the job's admission-time hints are copied in
+  // so ordering needs no job lookup, and `seq` (a per-device enqueue counter)
+  // makes equal-hint ordering exactly FIFO — which is why default-hint
+  // workloads keep their pre-serving fingerprints bit-identical.
+  struct QueueEntry {
+    int priority = 0;
+    double fair_key = 0.0;
+    std::uint64_t seq = 0;
+    std::size_t job_index = 0;
+    dataflow::TaskId task;
+  };
+  // True when `a` must dispatch before `b`: priority desc, fair_key asc,
+  // enqueue order asc. A strict weak order on distinct seqs, so the heap pop
+  // sequence is deterministic.
+  static bool PopsBefore(const QueueEntry& a, const QueueEntry& b) {
+    if (a.priority != b.priority) {
+      return a.priority > b.priority;
+    }
+    if (a.fair_key != b.fair_key) {
+      return a.fair_key < b.fair_key;
+    }
+    return a.seq < b.seq;
+  }
+
   // Per compute device scheduler state, indexed by ComputeDeviceId::value
-  // (ids are dense from 0). Holds the run queue plus the pre-resolved
-  // instrument handles, so the dispatch hot path does zero map lookups.
+  // (ids are dense from 0). Holds the run queue (a binary heap in PopsBefore
+  // order) plus the pre-resolved instrument handles, so the dispatch hot path
+  // does zero map lookups.
   struct DeviceExec {
-    std::deque<std::pair<std::size_t, dataflow::TaskId>> queue;
+    std::vector<QueueEntry> queue;
+    std::uint64_t next_seq = 0;
     SimDuration busy;
     telemetry::Counter* tasks_executed = nullptr;
     telemetry::Gauge* queue_depth = nullptr;
@@ -390,6 +450,7 @@ class Runtime {
   RuntimeStats stats_;
   Instruments instruments_;
   analysis::Report last_verify_report_;
+  std::function<void(const JobReport&)> job_observer_;
   std::uint32_t next_job_id_ = 1;
 };
 

@@ -1,0 +1,238 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "rts/serving.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace memflow::rts {
+
+namespace {
+
+constexpr telemetry::HistogramSpec kLatencySpec{/*first_bound=*/1000.0,
+                                               /*growth=*/4.0, /*buckets=*/14};
+
+}  // namespace
+
+ServingLayer::ServingLayer(Runtime& rt, Options opts) : rt_(&rt), opts_(opts) {
+  MEMFLOW_CHECK(opts_.slack > 0.0);
+  rt_->SetJobObserver([this](const JobReport& report) { OnJobTerminal(report); });
+  telemetry::Registry& reg = rt_->metrics();
+  for (int c = 0; c < 3; ++c) {
+    class_latency_[c] = reg.GetHistogram(
+        "serving_class_latency_ns", "Arrival-to-finish job latency by SLO class",
+        kLatencySpec,
+        {{"class", std::string(SloClassName(static_cast<dataflow::SloClass>(c)))}});
+  }
+}
+
+std::size_t ServingLayer::AddTenant(TenantConfig config) {
+  MEMFLOW_CHECK(config.weight > 0.0);
+  MEMFLOW_CHECK(config.tokens_per_sec > 0.0);
+  MEMFLOW_CHECK(config.burst_tokens >= 1.0);
+  Tenant t;
+  t.config = std::move(config);
+  t.tokens = t.config.burst_tokens;  // full bucket at registration
+  t.last_refill = rt_->clock().now();
+  telemetry::Registry& reg = rt_->metrics();
+  const auto outcome = [&](const char* rule) {
+    return reg.GetCounter("serving_jobs_total", "Serving-layer job outcomes by tenant",
+                          {{"tenant", t.config.name}, {"outcome", rule}});
+  };
+  t.admitted = outcome(kServeAdmit);
+  t.rejected_quota = outcome(kServeRejectQuota);
+  t.rejected_slo = outcome(kServeRejectSlo);
+  t.rejected_infeasible = outcome(kServeRejectInfeasible);
+  t.shed = outcome(kServeShedBackpressure);
+  t.completed = outcome("completed");
+  t.failed = outcome("failed");
+  t.latency_ns = reg.GetHistogram("serving_job_latency_ns",
+                                  "Arrival-to-finish job latency by tenant",
+                                  kLatencySpec, {{"tenant", t.config.name}});
+  tenants_.push_back(std::move(t));
+  return tenants_.size() - 1;
+}
+
+void ServingLayer::RefillTokens(Tenant& t, SimTime now) {
+  const SimDuration elapsed = now - t.last_refill;
+  if (elapsed.ns > 0) {
+    t.tokens = std::min(t.config.burst_tokens,
+                        t.tokens + static_cast<double>(elapsed.ns) *
+                                       t.config.tokens_per_sec / 1e9);
+    t.last_refill = now;
+  }
+}
+
+SimDuration ServingLayer::EstimateJobCost(const dataflow::Job& job) const {
+  const CostModel& model = rt_->cost_model();
+  const simhw::Cluster& cluster = rt_->cluster();
+  const std::vector<dataflow::TaskId> order = job.TopologicalOrder();
+  std::vector<std::uint64_t> est_input(job.num_tasks(), 0);
+  SimDuration total;
+  for (const dataflow::TaskId t : order) {
+    std::uint64_t est = 0;
+    for (const dataflow::TaskId p : job.DataPredecessors(t)) {
+      est += CostModel::OutputBytes(job.task(p).props, est_input[p.value]);
+    }
+    est_input[t.value] = est;
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const simhw::ComputeDeviceId id : cluster.AllComputeDevices()) {
+      const auto device_est = model.Estimate(job.task(t).props, est, id);
+      if (device_est.ok()) {
+        best = std::min(best, device_est->total.ns);
+      }
+    }
+    if (best == std::numeric_limits<std::int64_t>::max()) {
+      return SimDuration{};  // no feasible estimate: the SLO model abstains
+    }
+    total += SimDuration::Nanos(best);
+  }
+  return total;
+}
+
+AdmissionDecision ServingLayer::Offer(std::size_t tenant, dataflow::Job job) {
+  MEMFLOW_CHECK(tenant < tenants_.size());
+  Tenant& t = tenants_[tenant];
+  const SimTime now = rt_->clock().now();
+  t.stats.arrived++;
+
+  AdmissionDecision decision;
+
+  // Rule order is part of the catalog contract: quota before backpressure
+  // before the SLO model — a tenant out of tokens is told so even when its
+  // queue is also full.
+  RefillTokens(t, now);
+  if (t.tokens < 1.0) {
+    t.stats.rejected_quota++;
+    t.rejected_quota->Increment();
+    decision.rule = kServeRejectQuota;
+    return decision;
+  }
+
+  if (t.config.max_inflight > 0 && t.inflight >= t.config.max_inflight) {
+    t.stats.shed++;
+    t.shed->Increment();
+    decision.rule = kServeShedBackpressure;
+    return decision;
+  }
+
+  // Stamp the tenant's latency class on every task before estimation, so the
+  // cost model, placement, and the dispatch queue all see the same class.
+  for (std::size_t i = 0; i < job.num_tasks(); ++i) {
+    job.task(dataflow::TaskId(static_cast<std::uint32_t>(i))).props.slo = t.config.slo;
+  }
+
+  const SimDuration est = EstimateJobCost(job);
+  if (t.config.deadline.ns > 0 && est.ns > 0) {
+    // Predicted completion: the least-loaded alive device must drain its
+    // committed backlog, then run the whole job serially (a conservative
+    // critical-path bound), scaled by the slack factor.
+    double backlog_ns = 0.0;
+    bool any_alive = false;
+    double min_backlog = std::numeric_limits<double>::infinity();
+    for (const simhw::ComputeDeviceId id : rt_->cluster().AllComputeDevices()) {
+      const simhw::ComputeDevice& dev = rt_->cluster().compute(id);
+      if (dev.failed()) {
+        continue;
+      }
+      any_alive = true;
+      min_backlog = std::min(min_backlog, dev.planned_ns / dev.profile().hw_queues);
+    }
+    if (any_alive) {
+      backlog_ns = min_backlog;
+    }
+    const double predicted_ns =
+        static_cast<double>(now.ns) + backlog_ns +
+        opts_.slack * static_cast<double>(est.ns);
+    decision.predicted_finish =
+        SimTime{} + SimDuration::Nanos(static_cast<std::int64_t>(predicted_ns));
+    if (decision.predicted_finish > now + t.config.deadline) {
+      t.stats.rejected_slo++;
+      t.rejected_slo->Increment();
+      decision.rule = kServeRejectSlo;
+      return decision;
+    }
+  }
+
+  // Weighted-fair virtual finish time: start no earlier than "now" on the
+  // virtual-time axis (an idle tenant does not bank credit from the past),
+  // no earlier than the tenant's previous finish, and advance by the job's
+  // estimated cost over its weight.
+  const double vstart = std::max(static_cast<double>(now.ns), t.vfinish);
+  const double fair_key = vstart + static_cast<double>(est.ns) / t.config.weight;
+
+  DispatchHints hints;
+  hints.priority = t.config.priority;
+  hints.fair_key = fair_key;
+  auto id = rt_->Submit(std::move(job), hints);
+  if (!id.ok()) {
+    t.stats.rejected_infeasible++;
+    t.rejected_infeasible->Increment();
+    decision.rule = kServeRejectInfeasible;
+    return decision;
+  }
+
+  t.vfinish = fair_key;
+  t.tokens -= 1.0;
+  t.inflight++;
+  t.stats.admitted++;
+  t.admitted->Increment();
+  if (admitted_jobs_.size() <= id->value) {
+    admitted_jobs_.resize(id->value + 1);
+  }
+  admitted_jobs_[id->value] =
+      Admitted{static_cast<std::uint32_t>(tenant), t.config.deadline};
+
+  decision.rule = kServeAdmit;
+  decision.admitted = true;
+  decision.job = *id;
+  return decision;
+}
+
+void ServingLayer::ScheduleArrival(std::size_t tenant, SimTime at,
+                                   std::function<dataflow::Job(std::uint64_t)> factory) {
+  MEMFLOW_CHECK(tenant < tenants_.size());
+  rt_->ScheduleAt(at, [this, tenant, factory = std::move(factory)](SimTime) {
+    (void)Offer(tenant, factory(tenants_[tenant].stats.arrived));
+  });
+}
+
+void ServingLayer::OnJobTerminal(const JobReport& report) {
+  if (report.id.value >= admitted_jobs_.size() ||
+      admitted_jobs_[report.id.value].tenant == kNoTenant) {
+    return;  // not a serving-managed job
+  }
+  const Admitted& adm = admitted_jobs_[report.id.value];
+  Tenant& t = tenants_[adm.tenant];
+  MEMFLOW_CHECK(t.inflight > 0);
+  t.inflight--;
+
+  ServedJob sj;
+  sj.job = report.id;
+  sj.tenant = adm.tenant;
+  sj.arrival = report.submitted;
+  sj.finished = report.finished;
+  sj.ok = report.status.ok();
+  sj.deadline = adm.deadline;
+  for (const TaskReport& tr : report.tasks) {
+    sj.work += tr.duration;
+  }
+  served_.push_back(sj);
+
+  const SimDuration latency = report.finished - report.submitted;
+  t.latency_ns->Observe(static_cast<double>(latency.ns));
+  class_latency_[static_cast<int>(t.config.slo)]->Observe(
+      static_cast<double>(latency.ns));
+  if (sj.ok) {
+    t.stats.completed++;
+    t.completed->Increment();
+  } else {
+    t.stats.failed++;
+    t.failed->Increment();
+  }
+}
+
+}  // namespace memflow::rts

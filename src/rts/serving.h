@@ -1,0 +1,207 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Open-loop multi-tenant serving layer (DESIGN.md §15): the admission front
+// door in front of Runtime::Submit for continuously arriving load. Each
+// tenant gets a token-bucket quota, a weighted-fair share, a dispatch
+// priority, and an SLO (latency class + per-job deadline); every arrival is
+// admitted, rejected, or shed by exactly one rule from a stable catalog:
+//
+//   serve-admit              admitted (token spent, WFQ key assigned)
+//   serve-reject-quota       token bucket empty at arrival
+//   serve-shed-backpressure  tenant already at its in-flight cap
+//   serve-reject-slo         the SLO model predicts a deadline violation
+//                            (device backlog + conservative job estimate)
+//   serve-reject-infeasible  Runtime::Submit itself rejected the job
+//                            (verifier / placement)
+//
+// Admission is decided once, at arrival, on the virtual timeline; the
+// resulting DispatchHints (priority + weighted-fair virtual finish key) are
+// the only trace the decision leaves on the dispatch hot path — per-event
+// queue ordering reads two fields from the queue entry, no maps, no tenant
+// lookups. Everything here runs on the control thread in virtual-time event
+// order, so an arrival-driven run is as deterministic as a closed batch.
+
+#ifndef MEMFLOW_RTS_SERVING_H_
+#define MEMFLOW_RTS_SERVING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rts/runtime.h"
+
+namespace memflow::rts {
+
+// Stable admission rule ids (catalogued in DESIGN.md §15).
+inline constexpr char kServeAdmit[] = "serve-admit";
+inline constexpr char kServeRejectQuota[] = "serve-reject-quota";
+inline constexpr char kServeRejectSlo[] = "serve-reject-slo";
+inline constexpr char kServeRejectInfeasible[] = "serve-reject-infeasible";
+inline constexpr char kServeShedBackpressure[] = "serve-shed-backpressure";
+
+struct TenantConfig {
+  std::string name;
+
+  // Weighted-fair share of dispatch: a tenant with weight 2 drains twice the
+  // work of a weight-1 tenant while both are backlogged. Must be > 0.
+  double weight = 1.0;
+
+  // Dispatch priority (DispatchHints::priority): higher jumps device queues.
+  int priority = 0;
+
+  // Token bucket: one token per admitted job, refilled continuously on the
+  // virtual clock. The bucket starts (and is capped at) `burst_tokens`.
+  double tokens_per_sec = 1e6;
+  double burst_tokens = 1e6;
+
+  // Backpressure: shed arrivals while this many of the tenant's jobs are
+  // still in flight. 0 = no cap.
+  std::size_t max_inflight = 0;
+
+  // Per-job deadline, measured from arrival. 0 disables the SLO model for
+  // this tenant (jobs are still classed for placement and histograms).
+  SimDuration deadline;
+
+  // Latency class stamped onto every task of the tenant's jobs.
+  dataflow::SloClass slo = dataflow::SloClass::kStandard;
+};
+
+// Monotonic per-tenant admission/outcome counts (mirrored into telemetry as
+// serving_jobs_total{tenant, outcome}).
+struct TenantStats {
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_slo = 0;
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+
+  std::uint64_t Rejections() const {
+    return rejected_quota + rejected_slo + rejected_infeasible + shed;
+  }
+};
+
+// One admitted job that reached a terminal state, in completion order. The
+// oracle's sim-slo invariant audits `finished - arrival` against `deadline`;
+// sim-fairness sums `work` per tenant.
+struct ServedJob {
+  dataflow::JobId job;
+  std::size_t tenant = 0;
+  SimTime arrival;            // == JobReport::submitted
+  SimTime finished;
+  bool ok = false;
+  SimDuration deadline;       // 0 = tenant had no deadline
+  SimDuration work;           // sum of charged task durations
+};
+
+struct AdmissionDecision {
+  const char* rule = kServeAdmit;  // one of the catalog ids above
+  bool admitted = false;
+  dataflow::JobId job;             // valid iff admitted
+  // The SLO model's predicted completion time (admitted or rejected-slo;
+  // zero when the tenant has no deadline).
+  SimTime predicted_finish;
+};
+
+struct ServingOptions {
+  // Multiplier on the conservative job estimate inside the deadline
+  // prediction; > 1 rejects earlier.
+  double slack = 1.0;
+};
+
+class ServingLayer {
+ public:
+  using Options = ServingOptions;
+
+  // Installs itself as the runtime's job observer (the runtime supports one;
+  // a serving runtime's completions are owned by its serving layer).
+  explicit ServingLayer(Runtime& rt, Options opts = {});
+
+  ServingLayer(const ServingLayer&) = delete;
+  ServingLayer& operator=(const ServingLayer&) = delete;
+
+  // Registers a tenant; returns its index. All tenants must be added before
+  // the first Offer/ScheduleArrival.
+  std::size_t AddTenant(TenantConfig config);
+
+  // The admission front door: decides the fate of one arriving job at the
+  // current virtual time and, if admitted, submits it with the tenant's
+  // dispatch hints. Tasks are stamped with the tenant's SloClass first, so
+  // the class reaches the cost model and placement.
+  AdmissionDecision Offer(std::size_t tenant, dataflow::Job job);
+
+  // Open-loop driver: schedules an arrival at `at` on the runtime's virtual
+  // timeline; at that instant `factory` builds the job (receiving the
+  // tenant's arrival index) and the result goes through Offer.
+  void ScheduleArrival(std::size_t tenant, SimTime at,
+                       std::function<dataflow::Job(std::uint64_t)> factory);
+
+  // Conservative whole-job cost bound: per task, the cheapest eligible
+  // device's estimate (input sizes forward-propagated as at admission),
+  // summed over all tasks — an overestimate of the critical path. Returns 0
+  // if any task has no feasible estimate (the SLO model then abstains).
+  SimDuration EstimateJobCost(const dataflow::Job& job) const;
+
+  std::size_t num_tenants() const { return tenants_.size(); }
+  const TenantConfig& config(std::size_t tenant) const {
+    return tenants_[tenant].config;
+  }
+  const TenantStats& stats(std::size_t tenant) const {
+    return tenants_[tenant].stats;
+  }
+  // Current token balance (as of the last refill; for tests).
+  double tokens(std::size_t tenant) const { return tenants_[tenant].tokens; }
+  std::size_t inflight(std::size_t tenant) const {
+    return tenants_[tenant].inflight;
+  }
+  // Terminal admitted jobs in completion order.
+  const std::vector<ServedJob>& served() const { return served_; }
+
+ private:
+  struct Tenant {
+    TenantConfig config;
+    TenantStats stats;
+    // Token bucket (virtual-time refill).
+    double tokens = 0.0;
+    SimTime last_refill;
+    // Weighted-fair virtual finish time of the tenant's last admitted job.
+    double vfinish = 0.0;
+    std::size_t inflight = 0;
+    // Pre-resolved instrument handles (one registry lookup per outcome per
+    // tenant, at AddTenant).
+    telemetry::Counter* admitted = nullptr;
+    telemetry::Counter* rejected_quota = nullptr;
+    telemetry::Counter* rejected_slo = nullptr;
+    telemetry::Counter* rejected_infeasible = nullptr;
+    telemetry::Counter* shed = nullptr;
+    telemetry::Counter* completed = nullptr;
+    telemetry::Counter* failed = nullptr;
+    telemetry::Histogram* latency_ns = nullptr;
+  };
+
+  // Admitted-job bookkeeping, dense by JobId::value (ids start at 1 and grow
+  // by one per submit — no map on the completion path).
+  struct Admitted {
+    std::uint32_t tenant = kNoTenant;
+    SimDuration deadline;
+  };
+  static constexpr std::uint32_t kNoTenant = 0xffffffffu;
+
+  void RefillTokens(Tenant& t, SimTime now);
+  void OnJobTerminal(const JobReport& report);
+
+  Runtime* rt_;
+  Options opts_;
+  std::vector<Tenant> tenants_;
+  std::vector<Admitted> admitted_jobs_;  // by JobId::value
+  std::vector<ServedJob> served_;
+  // Per-class latency histograms, resolved once.
+  telemetry::Histogram* class_latency_[3] = {nullptr, nullptr, nullptr};
+};
+
+}  // namespace memflow::rts
+
+#endif  // MEMFLOW_RTS_SERVING_H_

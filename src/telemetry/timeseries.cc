@@ -299,6 +299,41 @@ DashboardStats ComputeDashboard(const SnapshotRing& ring, SimDuration window) {
     }
   }
 
+  // Serving rows: one per tenant label of the serving latency family. The
+  // rate differences serving_jobs_total{tenant,outcome=completed}; the
+  // quantiles difference the tenant's latency histogram over the window.
+  if (const FamilySnapshot* served =
+          latest->metrics.FindFamily("serving_job_latency_ns")) {
+    for (const SeriesSnapshot& series : served->series) {
+      for (const auto& [key, value] : series.labels) {
+        if (key != "tenant") {
+          continue;
+        }
+        TenantDashboardRow row;
+        row.tenant = value;
+        row.completed_per_sec =
+            ring.RateOver("serving_jobs_total", window,
+                          {{"tenant", value}, {"outcome", "completed"}})
+                .value_or(0);
+        const Labels tenant_only = {{"tenant", value}};
+        row.latency_ns.p50 =
+            ring.QuantileOver("serving_job_latency_ns", window, 0.50, tenant_only)
+                .value_or(0);
+        row.latency_ns.p99 =
+            ring.QuantileOver("serving_job_latency_ns", window, 0.99, tenant_only)
+                .value_or(0);
+        row.latency_ns.p999 =
+            ring.QuantileOver("serving_job_latency_ns", window, 0.999, tenant_only)
+                .value_or(0);
+        stats.tenants.push_back(std::move(row));
+      }
+    }
+    std::sort(stats.tenants.begin(), stats.tenants.end(),
+              [](const TenantDashboardRow& a, const TenantDashboardRow& b) {
+                return a.tenant < b.tenant;
+              });
+  }
+
   stats.selfprof_wall_ns = GaugeSum(latest->metrics, "selfprof_wall_ns");
   if (const FamilySnapshot* phases =
           latest->metrics.FindFamily("selfprof_phase_exclusive_ns")) {
@@ -366,6 +401,19 @@ std::string RenderDashboard(const DashboardStats& stats) {
     out += "\n" + depths.Render();
   }
 
+  if (!stats.tenants.empty()) {
+    TextTable tenants({"Tenant", "Jobs/s", "p50", "p99", "p999"});
+    for (const TenantDashboardRow& t : stats.tenants) {
+      tenants.AddRow(
+          {t.tenant, FormatDouble(t.completed_per_sec, 2),
+           HumanDuration(SimDuration::Nanos(static_cast<std::int64_t>(t.latency_ns.p50))),
+           HumanDuration(SimDuration::Nanos(static_cast<std::int64_t>(t.latency_ns.p99))),
+           HumanDuration(
+               SimDuration::Nanos(static_cast<std::int64_t>(t.latency_ns.p999)))});
+    }
+    out += "\n" + tenants.Render();
+  }
+
   if (!stats.phase_share.empty()) {
     TextTable phases({"Control-plane phase", "Share"});
     for (const auto& [phase, share] : stats.phase_share) {
@@ -403,6 +451,17 @@ std::string DashboardJson(const DashboardStats& stats) {
     }
     out += JsonQuote(stats.queue_depths[i].first) + ":" +
            JsonNumber(stats.queue_depths[i].second);
+  }
+  out += "}";
+  out += "," + JsonQuote("tenants") + ":{";
+  for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    const TenantDashboardRow& t = stats.tenants[i];
+    out += JsonQuote(t.tenant) + ":{" + JsonQuote("completed_per_sec") + ":" +
+           JsonNumber(t.completed_per_sec) + "," + JsonQuote("latency_ns") + ":" +
+           triple(t.latency_ns) + "}";
   }
   out += "}";
   out += "," + JsonQuote("selfprof_wall_ns") + ":" + JsonNumber(stats.selfprof_wall_ns);

@@ -114,6 +114,15 @@ struct QuantileTriple {
   double p999 = 0;
 };
 
+// One serving tenant's live view (DESIGN.md §15): completed-jobs rate and
+// end-to-end latency quantiles over the query window, from the serving
+// layer's serving_jobs_total / serving_job_latency_ns families.
+struct TenantDashboardRow {
+  std::string tenant;
+  double completed_per_sec = 0;
+  QuantileTriple latency_ns;
+};
+
 // Everything memflow_top shows, computed once so the text and JSON renderings
 // can never disagree.
 struct DashboardStats {
@@ -125,6 +134,9 @@ struct DashboardStats {
   QuantileTriple queue_wait_ns;     // rts_task_queue_wait_ns over the window
   QuantileTriple task_duration_ns;  // rts_task_duration_ns over the window
   std::vector<std::pair<std::string, double>> queue_depths;  // device -> depth
+  // Per-tenant serving rows, one per tenant label of serving_job_latency_ns;
+  // empty when no serving layer published to the observed registry.
+  std::vector<TenantDashboardRow> tenants;
   // Control-plane share per phase: exclusive ns / profiled wall, from the
   // self-profiler gauges in the newest snapshot. Sorted by share, descending.
   std::vector<std::pair<std::string, double>> phase_share;

@@ -1,0 +1,143 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "testing/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace memflow::testing {
+
+namespace {
+
+// Exponential gap in whole nanoseconds, floored at 1 so streams are strictly
+// increasing (two arrivals at one instant would make the merge order depend
+// on tenant enumeration, not on time).
+std::int64_t ExpGapNs(Rng& rng, double rate_per_sec) {
+  MEMFLOW_CHECK(rate_per_sec > 0.0);
+  const double mean_ns = 1e9 / rate_per_sec;
+  const double gap = rng.Exponential(mean_ns);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(gap)));
+}
+
+}  // namespace
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  if (spec_.kind == ArrivalKind::kTrace) {
+    MEMFLOW_CHECK_MSG(!spec_.trace.empty(), "trace arrivals need offsets");
+    MEMFLOW_CHECK_MSG(spec_.trace.back() < spec_.trace_period,
+                      "trace offsets must fit inside the period");
+    for (std::size_t i = 1; i < spec_.trace.size(); ++i) {
+      MEMFLOW_CHECK_MSG(spec_.trace[i - 1] < spec_.trace[i],
+                        "trace offsets must be strictly increasing");
+    }
+  }
+}
+
+SimTime ArrivalGenerator::NextPoisson(double rate_per_sec) {
+  last_ = last_ + SimDuration::Nanos(ExpGapNs(rng_, rate_per_sec));
+  return last_;
+}
+
+SimTime ArrivalGenerator::NextBursty() {
+  if (!state_initialized_) {
+    state_initialized_ = true;
+    in_burst_ = false;
+    state_until_ =
+        last_ + SimDuration::Nanos(std::max<std::int64_t>(
+                    1, static_cast<std::int64_t>(std::llround(
+                           rng_.Exponential(static_cast<double>(spec_.mean_calm.ns))))));
+  }
+  // Draw gaps from the current state's rate; when a gap would cross the state
+  // boundary, jump to the boundary, flip states, and redraw (memoryless, so
+  // discarding the partial gap preserves the process).
+  for (;;) {
+    const double rate = in_burst_ ? spec_.rate_per_sec * spec_.burst_multiplier
+                                  : spec_.rate_per_sec;
+    const SimTime candidate = last_ + SimDuration::Nanos(ExpGapNs(rng_, rate));
+    if (candidate <= state_until_) {
+      last_ = candidate;
+      return last_;
+    }
+    last_ = state_until_;
+    in_burst_ = !in_burst_;
+    const SimDuration mean_sojourn = in_burst_ ? spec_.mean_burst : spec_.mean_calm;
+    state_until_ =
+        last_ + SimDuration::Nanos(std::max<std::int64_t>(
+                    1, static_cast<std::int64_t>(std::llround(
+                           rng_.Exponential(static_cast<double>(mean_sojourn.ns))))));
+  }
+}
+
+SimTime ArrivalGenerator::NextTrace() {
+  const SimTime at = SimTime{} +
+                     spec_.trace_period * static_cast<std::int64_t>(trace_cycle_) +
+                     spec_.trace[trace_index_];
+  trace_index_++;
+  if (trace_index_ == spec_.trace.size()) {
+    trace_index_ = 0;
+    trace_cycle_++;
+  }
+  last_ = at;
+  return at;
+}
+
+SimTime ArrivalGenerator::Next() {
+  count_++;
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      return NextPoisson(spec_.rate_per_sec);
+    case ArrivalKind::kBursty:
+      return NextBursty();
+    case ArrivalKind::kTrace:
+      return NextTrace();
+  }
+  MEMFLOW_CHECK_MSG(false, "unknown arrival kind");
+  __builtin_unreachable();
+}
+
+std::uint64_t TenantSeed(std::uint64_t seed, std::size_t tenant) {
+  return HashCombine(seed, static_cast<std::uint64_t>(tenant) + 0x7e4a7c15ULL);
+}
+
+std::vector<MergedArrival> MergeArrivals(const std::vector<ArrivalSpec>& specs,
+                                         std::uint64_t seed, SimTime horizon) {
+  std::vector<MergedArrival> merged;
+  for (std::size_t tenant = 0; tenant < specs.size(); ++tenant) {
+    ArrivalGenerator gen(specs[tenant], TenantSeed(seed, tenant));
+    for (;;) {
+      const SimTime at = gen.Next();
+      if (at > horizon) {
+        break;
+      }
+      merged.push_back({at, tenant});
+    }
+  }
+  // Per-tenant streams are strictly increasing, so (time, tenant) is a total
+  // order and the merged stream is independent of enumeration order.
+  std::sort(merged.begin(), merged.end(),
+            [](const MergedArrival& a, const MergedArrival& b) {
+              if (a.at != b.at) {
+                return a.at < b.at;
+              }
+              return a.tenant < b.tenant;
+            });
+  return merged;
+}
+
+}  // namespace memflow::testing

@@ -1,0 +1,108 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Seeded deterministic arrival generators for open-loop serving workloads
+// (DESIGN.md §15). A generator is a pure function of (spec, seed): the k-th
+// arrival time depends on nothing but those two values, never on wall time or
+// on what the runtime did with earlier arrivals — which is what lets the
+// differential harness replay an arrival-driven run bit-identically at every
+// worker count, and lets a failing open-loop scenario be replayed from its
+// seed alone.
+//
+// Three processes cover the serving test space:
+//   * kPoisson — memoryless arrivals at a configured mean rate;
+//   * kBursty  — a 2-state Markov-modulated Poisson process (calm/burst) with
+//     exponential state sojourns, for flash-crowd admission tests;
+//   * kTrace   — cyclic replay of recorded offsets, for exact-schedule
+//     fixtures (deadline boundaries, token-refill edges).
+
+#ifndef MEMFLOW_TESTING_ARRIVALS_H_
+#define MEMFLOW_TESTING_ARRIVALS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace memflow::testing {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,
+  kBursty,
+  kTrace,
+};
+inline constexpr int kNumArrivalKinds = 3;
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+
+  // Mean arrival rate (Poisson), or the calm-state rate (bursty).
+  double rate_per_sec = 1000.0;
+
+  // Bursty (MMPP-2) only: the burst state arrives at rate_per_sec *
+  // burst_multiplier; state sojourns are exponential with these means.
+  double burst_multiplier = 8.0;
+  SimDuration mean_calm = SimDuration::Millis(2);
+  SimDuration mean_burst = SimDuration::Micros(500);
+
+  // Trace only: strictly increasing offsets within one period, replayed
+  // cyclically (arrival k = (k / n) * period + trace[k % n]). The last offset
+  // must be below `trace_period`.
+  std::vector<SimDuration> trace;
+  SimDuration trace_period;
+};
+
+// Strictly increasing arrival-time stream. Consecutive arrivals are always at
+// least 1 ns apart, so an arrival stream is a valid virtual-time event
+// schedule under any interleaving.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(ArrivalSpec spec, std::uint64_t seed);
+
+  // The next arrival instant; the k-th call returns a pure function of
+  // (spec, seed, k).
+  SimTime Next();
+
+  std::uint64_t count() const { return count_; }
+  const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  SimTime NextPoisson(double rate_per_sec);
+  SimTime NextBursty();
+  SimTime NextTrace();
+
+  ArrivalSpec spec_;
+  Rng rng_;
+  SimTime last_;
+  std::uint64_t count_ = 0;
+  // Bursty state machine.
+  bool in_burst_ = false;
+  SimTime state_until_;
+  bool state_initialized_ = false;
+  // Trace cursor.
+  std::size_t trace_index_ = 0;
+  std::uint64_t trace_cycle_ = 0;
+};
+
+// Seed for tenant `tenant` inside a merged multi-tenant stream: a stateless
+// mix, so one scenario seed fans out into independent per-tenant streams.
+std::uint64_t TenantSeed(std::uint64_t seed, std::size_t tenant);
+
+struct MergedArrival {
+  SimTime at;
+  std::size_t tenant = 0;
+};
+
+// All arrivals of `specs` (tenant i seeded with TenantSeed(seed, i)) up to
+// and including `horizon`, merged into one stream ordered by (time, tenant).
+// Equal to sorting the tenant-wise streams' interleaving — the merge property
+// arrivals_test pins down.
+std::vector<MergedArrival> MergeArrivals(const std::vector<ArrivalSpec>& specs,
+                                         std::uint64_t seed, SimTime horizon);
+
+}  // namespace memflow::testing
+
+#endif  // MEMFLOW_TESTING_ARRIVALS_H_

@@ -357,4 +357,116 @@ void CheckMhp(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
   }
 }
 
+void CheckServing(const rts::ServingLayer& serving, rts::Runtime& rt,
+                  std::vector<Violation>* out) {
+  const telemetry::MetricsSnapshot snap = rt.metrics().Snapshot();
+
+  // Per-tenant tallies recomputed from the served-job log, to cross-check
+  // against the layer's own running counters.
+  std::vector<std::uint64_t> log_completed(serving.num_tenants(), 0);
+  std::vector<std::uint64_t> log_failed(serving.num_tenants(), 0);
+  for (const rts::ServedJob& sj : serving.served()) {
+    if (sj.tenant >= serving.num_tenants()) {
+      Add(out, kInvSlo, "served-job log names unknown tenant " +
+                            std::to_string(sj.tenant));
+      continue;
+    }
+    (sj.ok ? log_completed : log_failed)[sj.tenant]++;
+    // The SLO contract: a job the predictor admitted for a deadline-carrying
+    // tenant must not *successfully* finish past its deadline — a late job
+    // should have been rejected or shed at admission instead.
+    if (sj.ok && sj.deadline.ns > 0 && (sj.finished - sj.arrival) > sj.deadline) {
+      Add(out, kInvSlo,
+          "tenant " + serving.config(sj.tenant).name + " job " +
+              std::to_string(sj.job.value) + " admitted but finished " +
+              std::to_string((sj.finished - sj.arrival).ns) +
+              "ns after arrival, deadline was " + std::to_string(sj.deadline.ns) +
+              "ns and no shed/reject was recorded");
+    }
+  }
+
+  for (std::size_t t = 0; t < serving.num_tenants(); ++t) {
+    const rts::TenantStats& stats = serving.stats(t);
+    const std::string& name = serving.config(t).name;
+    const auto slo_eq = [&](std::uint64_t got, std::uint64_t want,
+                            const std::string& what) {
+      if (got != want) {
+        Add(out, kInvSlo,
+            "tenant " + name + " " + what + ": got " + std::to_string(got) +
+                ", want " + std::to_string(want));
+      }
+    };
+    slo_eq(stats.admitted + stats.Rejections(), stats.arrived,
+           "admitted+rejections vs arrived");
+    slo_eq(stats.completed + stats.failed, stats.admitted,
+           "terminal outcomes vs admitted (quiescence)");
+    slo_eq(serving.inflight(t), 0, "inflight at quiescence");
+    slo_eq(log_completed[t], stats.completed, "served-log completions vs stats");
+    slo_eq(log_failed[t], stats.failed, "served-log failures vs stats");
+    // The telemetry mirror (serving_jobs_total{tenant, outcome}) must agree
+    // with the in-memory stats — one story, like the rts_jobs_* families.
+    const auto counter = [&](const char* outcome) {
+      std::uint64_t sum = 0;
+      for (const telemetry::FamilySnapshot& f : snap.families) {
+        if (f.name != "serving_jobs_total") {
+          continue;
+        }
+        for (const telemetry::SeriesSnapshot& s : f.series) {
+          bool tenant_match = false, outcome_match = false;
+          for (const auto& [k, v] : s.labels) {
+            tenant_match = tenant_match || (k == "tenant" && v == name);
+            outcome_match = outcome_match || (k == "outcome" && v == outcome);
+          }
+          if (tenant_match && outcome_match) {
+            sum += s.counter;
+          }
+        }
+      }
+      return sum;
+    };
+    slo_eq(counter(rts::kServeAdmit), stats.admitted, "telemetry admitted");
+    slo_eq(counter(rts::kServeRejectQuota), stats.rejected_quota,
+           "telemetry reject-quota");
+    slo_eq(counter(rts::kServeRejectSlo), stats.rejected_slo, "telemetry reject-slo");
+    slo_eq(counter(rts::kServeRejectInfeasible), stats.rejected_infeasible,
+           "telemetry reject-infeasible");
+    slo_eq(counter(rts::kServeShedBackpressure), stats.shed, "telemetry shed");
+    slo_eq(counter("completed"), stats.completed, "telemetry completed");
+    slo_eq(counter("failed"), stats.failed, "telemetry failed");
+  }
+}
+
+void CheckFairShare(const rts::ServingLayer& serving, SimTime until,
+                    double tolerance, std::vector<Violation>* out) {
+  double total_work = 0.0, total_weight = 0.0;
+  std::vector<double> work(serving.num_tenants(), 0.0);
+  for (const rts::ServedJob& sj : serving.served()) {
+    if (sj.finished > until) {
+      continue;  // outside the saturated window the caller vouches for
+    }
+    if (sj.ok && sj.tenant < work.size()) {
+      work[sj.tenant] += static_cast<double>(sj.work.ns);
+      total_work += static_cast<double>(sj.work.ns);
+    }
+  }
+  for (std::size_t t = 0; t < serving.num_tenants(); ++t) {
+    total_weight += serving.config(t).weight;
+  }
+  if (total_work <= 0.0 || total_weight <= 0.0) {
+    Add(out, kInvFairness, "no completed work to audit fairness over");
+    return;
+  }
+  for (std::size_t t = 0; t < serving.num_tenants(); ++t) {
+    const double share = work[t] / total_work;
+    const double want = serving.config(t).weight / total_weight;
+    if (share < want - tolerance || share > want + tolerance) {
+      Add(out, kInvFairness,
+          "tenant " + serving.config(t).name + " completed-work share " +
+              std::to_string(share) + " strays more than " +
+              std::to_string(tolerance) + " from its weight share " +
+              std::to_string(want));
+    }
+  }
+}
+
 }  // namespace memflow::testing

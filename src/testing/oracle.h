@@ -29,10 +29,18 @@
 //                            batch outside the predicted MHP set, or a
 //                            device's observed peak bytes exceeded the
 //                            static capacity bound
+//   sim-slo                  open-loop serving contract (DESIGN.md §15): an
+//                            admitted job missed its tenant's declared
+//                            deadline without a recorded shed/reject, or the
+//                            serving layer's own counters disagree with its
+//                            telemetry mirror or its served-job log
+//   sim-fairness             under saturation, a tenant's share of completed
+//                            work strays further from its weight share than
+//                            the declared bound
 //
-// The first five, sim-attribution and sim-mhp are checked here; the rest are
-// emitted by the differential runner (scenario.h) which owns the cross-run
-// comparisons.
+// The first five, sim-attribution, sim-mhp, sim-slo and sim-fairness are
+// checked here; the rest are emitted by the differential runner (scenario.h)
+// which owns the cross-run comparisons.
 
 #ifndef MEMFLOW_TESTING_ORACLE_H_
 #define MEMFLOW_TESTING_ORACLE_H_
@@ -42,6 +50,7 @@
 #include <vector>
 
 #include "rts/runtime.h"
+#include "rts/serving.h"
 
 namespace memflow::testing {
 
@@ -56,6 +65,8 @@ inline constexpr char kInvLiveness[] = "sim-liveness";
 inline constexpr char kInvAdmission[] = "sim-admission";
 inline constexpr char kInvAttribution[] = "sim-attribution";
 inline constexpr char kInvMhp[] = "sim-mhp";
+inline constexpr char kInvSlo[] = "sim-slo";
+inline constexpr char kInvFairness[] = "sim-fairness";
 
 struct Violation {
   std::string invariant;  // one of the stable ids above
@@ -114,6 +125,24 @@ std::string CheckAttribution(rts::Runtime& rt, const std::vector<dataflow::JobId
 // runtimes that ran with VerifyMode::kOff (no static prediction exists).
 void CheckMhp(rts::Runtime& rt, const std::vector<dataflow::JobId>& jobs,
               const OracleScope& scope, std::vector<Violation>* out);
+
+// Open-loop serving audit (DESIGN.md §15), run after an arrival-driven leg
+// drained. sim-slo: every admitted job of a deadline-carrying tenant either
+// finished within `arrival + deadline` or failed — a *successful* miss means
+// the admission predictor let through a job it was contracted to reject or
+// shed. Also cross-checks the layer's TenantStats against its served-job log
+// and its serving_jobs_total telemetry mirror, and asserts zero in-flight
+// jobs at quiescence.
+void CheckServing(const rts::ServingLayer& serving, rts::Runtime& rt,
+                  std::vector<Violation>* out);
+
+// sim-fairness: over the window [start, until] — which the caller chooses so
+// every tenant stays backlogged throughout (WFQ only promises proportional
+// service under contention) — each tenant's share of the completed work must
+// lie within `tolerance` (absolute) of its weight share. Tenants with no
+// completed work in the window count as share 0.
+void CheckFairShare(const rts::ServingLayer& serving, SimTime until,
+                    double tolerance, std::vector<Violation>* out);
 
 }  // namespace memflow::testing
 

@@ -131,6 +131,84 @@ LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
   return leg;
 }
 
+// One open-loop runtime lifetime: schedule every merged arrival as a virtual-
+// time event that Offers one of the scenario's generated jobs, drain, audit.
+// Fault-free: the crash-under-load direction is owned by crash_sweep_test.
+LegOutcome RunServingLeg(const Scenario& sc, TopologyInstance& inst, int workers,
+                         std::vector<Violation>* out) {
+  LegOutcome leg;
+  telemetry::Registry registry;
+  const DeviceUsage baseline = CaptureDeviceUsage(*inst.cluster);
+  ResetPeakUsage(*inst.cluster);
+
+  rts::RuntimeOptions ropts;
+  ropts.policy = sc.policy;
+  ropts.max_task_attempts = sc.max_task_attempts;
+  ropts.worker_threads = workers;
+  ropts.registry = &registry;
+  rts::Runtime rt(*inst.cluster, ropts);
+  rts::ServingLayer serving(rt);
+
+  std::vector<ArrivalSpec> specs;
+  for (const ServingTenantGen& tenant : sc.serving.tenants) {
+    serving.AddTenant(tenant.config);
+    specs.push_back(tenant.arrivals);
+  }
+  const std::vector<MergedArrival> merged =
+      MergeArrivals(specs, sc.seed, SimTime{} + sc.serving.horizon);
+
+  // Admission decisions in arrival order: part of the determinism comparand —
+  // a worker count must not change what gets admitted, rejected, or shed.
+  std::vector<dataflow::JobId> ids;
+  std::string rules;
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    const MergedArrival& arrival = merged[k];
+    rt.ScheduleAt(arrival.at, [&, k, arrival](SimTime) {
+      const rts::AdmissionDecision d =
+          serving.Offer(arrival.tenant, BuildJob(sc.jobs[k % sc.jobs.size()]));
+      rules += std::string(d.rule) + ";";
+      if (d.admitted) {
+        ids.push_back(d.job);
+      }
+    });
+  }
+
+  const Status run = rt.RunToCompletion();
+  if (!run.ok()) {
+    out->push_back({kInvLiveness, "open-loop RunToCompletion: " + run.ToString()});
+    return leg;
+  }
+  leg.ran = true;
+
+  const OracleScope scope{baseline, std::nullopt, sc.max_task_attempts};
+  CheckPostRun(rt, ids, scope, out);
+  CheckMhp(rt, ids, scope, out);
+  CheckServing(serving, rt, out);
+  leg.attribution = CheckAttribution(rt, ids, out);
+
+  leg.fingerprint = rules + "\n";
+  for (const dataflow::JobId id : ids) {
+    leg.fingerprint += Fingerprint(rt.report(id));
+    leg.semantic += SemanticOf(rt, id, inst.reader);
+  }
+  for (std::size_t t = 0; t < serving.num_tenants(); ++t) {
+    const rts::TenantStats& ts = serving.stats(t);
+    leg.fingerprint += "tenant " + serving.config(t).name + " arrived=" +
+                       std::to_string(ts.arrived) + " admitted=" +
+                       std::to_string(ts.admitted) + " rejected=" +
+                       std::to_string(ts.Rejections()) + " completed=" +
+                       std::to_string(ts.completed) + " failed=" +
+                       std::to_string(ts.failed) + "\n";
+  }
+  leg.stats = rt.stats();
+
+  for (const dataflow::JobId id : ids) {
+    (void)rt.ReleaseJobOutputs(id);
+  }
+  CheckPostRelease(rt, scope, out);
+  return leg;
+}
+
 std::string DiffStats(const rts::RuntimeStats& a, const rts::RuntimeStats& b) {
   std::string diff;
   auto cmp = [&diff](const char* name, std::uint64_t x, std::uint64_t y) {
@@ -227,8 +305,11 @@ TopologyInstance BuildTopology(TopologyKind kind) {
 
 std::size_t Scenario::CoverageUnits() const {
   // Each (job, topology, fault-schedule, worker-count) tuple is one covered
-  // scenario; the restart check adds its reference, phase-A, and phase-B legs.
-  return jobs.size() * (worker_counts.size() + (restart_check ? 3 : 0));
+  // scenario; the restart check adds its reference, phase-A, and phase-B
+  // legs, and the open-loop plan adds one (tenant, worker-count) unit per
+  // arrival-driven leg.
+  return jobs.size() * (worker_counts.size() + (restart_check ? 3 : 0)) +
+         (serving.enabled ? serving.tenants.size() * worker_counts.size() : 0);
 }
 
 std::size_t Scenario::TotalTasks() const {
@@ -261,6 +342,32 @@ Scenario MakeScenario(std::uint64_t seed, const ScenarioOptions& opts) {
   sc.max_task_attempts = 2 + static_cast<int>(rng.Below(2));
   sc.policy = static_cast<rts::PlacementPolicyKind>(rng.Below(4));
   sc.restart_check = probe.persistent_device.has_value();
+
+  // --- open-loop serving plan. These draws are appended AFTER every
+  // pre-serving draw so existing seeds keep their closed-loop expansions
+  // bit-identical (replay lines stay valid across this change).
+  const int num_tenants = 2 + static_cast<int>(rng.Below(2));
+  for (int i = 0; i < num_tenants; ++i) {
+    ServingTenantGen t;
+    t.config.name = "tenant" + std::to_string(i);
+    t.config.weight = 1.0 + static_cast<double>(rng.Below(3));
+    t.config.priority = static_cast<int>(rng.Below(2));
+    t.config.slo = static_cast<dataflow::SloClass>(rng.Below(3));
+    // Deadlines in the random corpus are generous relative to the horizon:
+    // sim-slo audits them as a starvation bound, not a tight-latency one
+    // (serving_test pins the tight-deadline reject path deterministically).
+    t.config.deadline = rng.Below(2) == 0 ? SimDuration{} : SimDuration::Seconds(5);
+    // A small in-flight cap on some tenants keeps the shed path exercised —
+    // and shed decisions depend on completion timing, which the determinism
+    // invariant then holds identical across worker counts.
+    t.config.max_inflight = rng.Below(2) == 0 ? 0 : 4;
+    t.arrivals.kind =
+        rng.Below(2) == 0 ? ArrivalKind::kPoisson : ArrivalKind::kBursty;
+    t.arrivals.rate_per_sec = 50000.0 * static_cast<double>(1 + rng.Below(4));
+    sc.serving.tenants.push_back(std::move(t));
+  }
+  sc.serving.horizon = SimDuration::Micros(200);
+  sc.serving.enabled = true;
   return sc;
 }
 
@@ -350,6 +457,50 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunHooks& hooks) {
       out->push_back({kInvRestartEquivalence,
                       "restored outputs differ from fault-free run\n" + ref.semantic +
                           "--- vs ---\n" + b.semantic});
+    }
+  }
+
+  // --- open-loop serving differential (fault-free): arrival-driven
+  // admission, WFQ ordering, and shedding must be exactly as deterministic
+  // as the closed batch — same decisions, fingerprints, outputs, and stats
+  // at every worker count.
+  if (scenario.serving.enabled && !scenario.jobs.empty() &&
+      !scenario.serving.tenants.empty()) {
+    std::optional<LegOutcome> sbase;
+    int sbase_workers = 0;
+    for (const int workers : scenario.worker_counts) {
+      TopologyInstance inst = BuildTopology(scenario.topology);
+      std::vector<Violation> leg_violations;
+      const LegOutcome leg = RunServingLeg(scenario, inst, workers, &leg_violations);
+      Annotate(out, std::move(leg_violations),
+               "open-loop workers=" + std::to_string(workers));
+      if (!leg.ran) {
+        continue;
+      }
+      if (!sbase) {
+        sbase = leg;
+        sbase_workers = workers;
+        continue;
+      }
+      const std::string vs = "open-loop workers=" + std::to_string(workers) +
+                             " vs workers=" + std::to_string(sbase_workers);
+      if (leg.fingerprint != sbase->fingerprint) {
+        out->push_back(
+            {kInvDeterminism, vs + ": admission/report fingerprints differ"});
+      }
+      if (leg.semantic != sbase->semantic) {
+        out->push_back({kInvDeterminism, vs + ": output bytes differ\n" +
+                                             sbase->semantic + "--- vs ---\n" +
+                                             leg.semantic});
+      }
+      const std::string stats_diff = DiffStats(sbase->stats, leg.stats);
+      if (!stats_diff.empty()) {
+        out->push_back({kInvDeterminism, vs + ": stats differ: " + stats_diff});
+      }
+      if (leg.attribution != sbase->attribution) {
+        out->push_back({kInvAttribution,
+                        vs + ": critical-path attribution differs"});
+      }
     }
   }
   return result;

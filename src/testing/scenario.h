@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "rts/placement.h"
+#include "rts/serving.h"
 #include "simhw/presets.h"
+#include "testing/arrivals.h"
 #include "testing/fault_plan.h"
 #include "testing/oracle.h"
 #include "testing/workload.h"
@@ -58,6 +60,23 @@ struct TopologyInstance {
 
 TopologyInstance BuildTopology(TopologyKind kind);
 
+// One generated serving tenant: its admission config plus the arrival
+// process that drives it (seeded with TenantSeed(scenario seed, index)).
+struct ServingTenantGen {
+  rts::TenantConfig config;
+  ArrivalSpec arrivals;
+};
+
+// The open-loop extension of a scenario (DESIGN.md §15): tenants offering a
+// continuous stream of the scenario's generated jobs through a ServingLayer,
+// on the runtime's virtual timeline, up to `horizon`. Runs as its own
+// fault-free differential leg set at every worker count.
+struct ServingPlan {
+  bool enabled = false;
+  std::vector<ServingTenantGen> tenants;
+  SimDuration horizon;
+};
+
 struct Scenario {
   std::uint64_t seed = 0;
   TopologyKind topology = TopologyKind::kCxlHost;
@@ -67,6 +86,7 @@ struct Scenario {
   bool restart_check = false;  // only when the topology has persistent media
   int max_task_attempts = 2;
   rts::PlacementPolicyKind policy = rts::PlacementPolicyKind::kCostModel;
+  ServingPlan serving;
 
   // (job, topology, fault-schedule, worker-count) tuples this scenario
   // exercises — what the corpus-size acceptance criterion counts.

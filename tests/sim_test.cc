@@ -11,10 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "testing/minimize.h"
 #include "testing/scenario.h"
+#include "testing/workload.h"
 
 namespace memflow::testing {
 namespace {
@@ -93,6 +95,123 @@ TEST(SimMutationTest, MinimizerShrinksTheFailingScenario) {
   EXPECT_TRUE(LeaksUnderHook(shrunk)) << "minimizer returned a passing scenario";
   EXPECT_LT(shrunk.TotalTasks(), original.TotalTasks());
   EXPECT_LE(shrunk.jobs.size(), original.jobs.size());
+}
+
+// A one-task CPU-pinned job: every dispatch contends on the same device, so
+// WFQ proportions are observable.
+dataflow::Job ServingCpuJob(const std::string& name) {
+  dataflow::Job job(name);
+  dataflow::TaskProperties props;
+  props.compute_device = simhw::ComputeDeviceKind::kCPU;
+  props.base_work = 1e5;
+  job.AddTask("t", props, Producer(64));
+  return job;
+}
+
+// sim-fairness on a constructed saturating phase: two tenants, identical
+// jobs, all arrivals at t=0, weights 1:2. While both stay backlogged the
+// heavier tenant must drain twice the work; once everything eventually
+// completes the whole-run shares converge to the arrival mix instead — the
+// mutation half asserts the invariant can tell those apart.
+TEST(SimServingOracleTest, SaturatedFairShareHoldsAndWholeRunShareDoesNot) {
+  auto host = simhw::MakeCxlExpansionHost();
+  rts::Runtime rt(*host.cluster);
+  rts::ServingLayer serving(rt);
+  const std::size_t a = serving.AddTenant({.name = "a", .weight = 1.0});
+  const std::size_t b = serving.AddTenant({.name = "b", .weight = 2.0});
+  constexpr int kJobsPerTenant = 30;
+  for (int i = 0; i < kJobsPerTenant; ++i) {
+    ASSERT_TRUE(serving.Offer(a, ServingCpuJob("a" + std::to_string(i))).admitted);
+    ASSERT_TRUE(serving.Offer(b, ServingCpuJob("b" + std::to_string(i))).admitted);
+  }
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+
+  // The saturated window ends when the heavier tenant drains: until then both
+  // tenants had continuous backlog, which is the regime WFQ makes promises
+  // about.
+  SimTime b_drained;
+  for (const rts::ServedJob& sj : serving.served()) {
+    if (sj.tenant == b) {
+      b_drained = std::max(b_drained, sj.finished);
+    }
+  }
+  std::vector<Violation> violations;
+  CheckFairShare(serving, b_drained, /*tolerance=*/0.25, &violations);
+  EXPECT_TRUE(violations.empty()) << violations.front().message;
+
+  // Mutation: audited over the *whole* run (both tenants fully drained) the
+  // completed-work split is the 1:1 arrival mix, not the 1:2 weight split —
+  // the invariant must flag that, proving it can fire.
+  std::vector<Violation> whole_run;
+  CheckFairShare(serving, SimTime{} + SimDuration::Seconds(1000), 0.10, &whole_run);
+  bool flagged = false;
+  for (const Violation& v : whole_run) {
+    flagged = flagged || v.invariant == kInvFairness;
+  }
+  EXPECT_TRUE(flagged) << "whole-run share audit should have failed";
+}
+
+// sim-slo mutation: the admission predictor takes the *least-loaded* alive
+// device's backlog, so a CPU-pinned job behind a CPU backlog it cannot see
+// (submitted around the serving layer) is admitted yet finishes late. The
+// oracle must catch the successful-but-late job; the same setup without the
+// hidden backlog is clean.
+TEST(SimServingOracleTest, AdmittedDeadlineMissIsCaught) {
+  auto host = simhw::MakeCxlExpansionHost();
+  telemetry::Registry registry;  // own registry: the control below reuses the
+                                 // tenant name and must not see these counters
+  rts::RuntimeOptions ropts;
+  ropts.registry = &registry;
+  rts::Runtime rt(*host.cluster, ropts);
+  rts::ServingLayer serving(rt);
+  // The conservative estimate for the job below is ~100us; a deadline just
+  // above it admits on an idle cluster.
+  const std::size_t t = serving.AddTenant(
+      {.name = "tight", .deadline = SimDuration::Micros(101)});
+
+  // Hidden backlog: charging submissions the serving layer never sees (and
+  // whose default dispatch hints sort ahead of the serving job's WFQ key),
+  // long enough that the admitted job's *actual* finish slips past the
+  // deadline. Built through BuildJob so ChecksumBody really charges the
+  // declared work onto the virtual clock.
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec;
+    spec.name = "hidden" + std::to_string(i);
+    TaskGen g;
+    g.name = "t";
+    g.base_work = 1e5;
+    g.output_bytes = 64;
+    g.compute_device = simhw::ComputeDeviceKind::kCPU;
+    spec.tasks = {g};
+    ASSERT_TRUE(rt.Submit(BuildJob(spec)).ok());
+  }
+  const rts::AdmissionDecision d = serving.Offer(t, ServingCpuJob("late"));
+  ASSERT_TRUE(d.admitted) << "predictor saw the idle GPU and admitted";
+  ASSERT_TRUE(rt.RunToCompletion().ok());
+
+  std::vector<Violation> violations;
+  CheckServing(serving, rt, &violations);
+  bool caught = false;
+  for (const Violation& v : violations) {
+    caught = caught || v.invariant == kInvSlo;
+  }
+  EXPECT_TRUE(caught) << "late admitted job was not flagged";
+
+  // Control: the same tenant and job on a fresh, idle runtime meets its
+  // deadline and audits clean.
+  auto host2 = simhw::MakeCxlExpansionHost();
+  telemetry::Registry registry2;
+  rts::RuntimeOptions ropts2;
+  ropts2.registry = &registry2;
+  rts::Runtime rt2(*host2.cluster, ropts2);
+  rts::ServingLayer serving2(rt2);
+  const std::size_t t2 = serving2.AddTenant(
+      {.name = "tight", .deadline = SimDuration::Micros(101)});
+  ASSERT_TRUE(serving2.Offer(t2, ServingCpuJob("ontime")).admitted);
+  ASSERT_TRUE(rt2.RunToCompletion().ok());
+  std::vector<Violation> clean;
+  CheckServing(serving2, rt2, &clean);
+  EXPECT_TRUE(clean.empty()) << clean.front().message;
 }
 
 }  // namespace

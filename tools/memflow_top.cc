@@ -21,12 +21,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/hospital.h"
+#include "rts/serving.h"
 #include "simhw/presets.h"
 #include "telemetry/analyze/doctor.h"
 #include "telemetry/export.h"
 #include "telemetry/timeseries.h"
+#include "testing/arrivals.h"
 
 namespace mf = memflow;
 
@@ -34,6 +37,7 @@ namespace {
 
 struct Options {
   int jobs = 6;
+  int tenants = 2;  // open-loop serving tenants after the batch jobs (0: off)
   bool once = false;
   bool health = false;
   std::int64_t interval_us = 200;   // snapshot-ring tick interval (virtual)
@@ -45,9 +49,9 @@ struct Options {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--once] [--jobs N] [--interval-us N] [--window-ms N]\n"
-               "          [--json FILE|-] [--counters FILE] [--flamegraph FILE]\n"
-               "          [--health]\n",
+               "usage: %s [--once] [--jobs N] [--tenants N] [--interval-us N]\n"
+               "          [--window-ms N] [--json FILE|-] [--counters FILE]\n"
+               "          [--flamegraph FILE] [--health]\n",
                argv0);
 }
 
@@ -65,6 +69,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       const char* v = value();
       if (v == nullptr) return false;
       opts->jobs = std::atoi(v);
+    } else if (std::strcmp(arg, "--tenants") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts->tenants = std::atoi(v);
     } else if (std::strcmp(arg, "--interval-us") == 0) {
       const char* v = value();
       if (v == nullptr) return false;
@@ -87,7 +95,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       return false;
     }
   }
-  return opts->jobs > 0 && opts->interval_us > 0 && opts->window_ms > 0;
+  return opts->jobs > 0 && opts->tenants >= 0 && opts->interval_us > 0 &&
+         opts->window_ms > 0;
 }
 
 bool WriteFile(const char* path, const std::string& contents) {
@@ -143,6 +152,47 @@ int main(int argc, char** argv) {
           mf::telemetry::ComputeDashboard(ring, window);
       std::printf("\x1b[2J\x1b[H%s", mf::telemetry::RenderDashboard(stats).c_str());
       std::fflush(stdout);
+    }
+  }
+
+  // Open-loop serving phase (DESIGN.md §15): N tenants stream small CPU jobs
+  // through the admission layer on the same virtual timeline, so the
+  // dashboard's per-tenant rows (completed/s, latency p50/p99/p999) carry
+  // live data. Arrivals are offset to the current clock — the batch phase
+  // above already advanced virtual time.
+  if (all_ok && opts.tenants > 0) {
+    mf::rts::ServingLayer serving(runtime);
+    for (int t = 0; t < opts.tenants; ++t) {
+      mf::rts::TenantConfig cfg;
+      cfg.name = "tenant" + std::to_string(t);
+      cfg.weight = 1.0 + static_cast<double>(t);
+      (void)serving.AddTenant(cfg);
+    }
+    std::vector<mf::testing::ArrivalSpec> specs(
+        static_cast<std::size_t>(opts.tenants));
+    for (mf::testing::ArrivalSpec& s : specs) {
+      s.kind = mf::testing::ArrivalKind::kPoisson;
+      s.rate_per_sec = 20000.0;
+    }
+    const mf::SimTime base = runtime.clock().now();
+    const auto arrivals = mf::testing::MergeArrivals(
+        specs, /*seed=*/0x70BEDA5Dull, mf::SimTime{} + mf::SimDuration::Millis(20));
+    for (const mf::testing::MergedArrival& a : arrivals) {
+      runtime.ScheduleAt(base + (a.at - mf::SimTime{}), [&serving, a](mf::SimTime) {
+        mf::dataflow::Job job("serve-t" + std::to_string(a.tenant));
+        mf::dataflow::TaskProperties props;
+        props.compute_device = mf::simhw::ComputeDeviceKind::kCPU;
+        props.base_work = 50000;
+        job.AddTask("t", props, [](mf::dataflow::TaskContext& ctx) {
+          ctx.ChargeCompute(50000.0);
+          return mf::OkStatus();
+        });
+        (void)serving.Offer(a.tenant, std::move(job));
+      });
+    }
+    if (!runtime.RunToCompletion().ok()) {
+      std::fprintf(stderr, "serving phase failed\n");
+      all_ok = false;
     }
   }
 
