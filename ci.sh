@@ -63,8 +63,9 @@ echo "== telemetry artifacts =="
 ./build/bench/bench_throughput --benchmark_filter='^$' --json build/throughput.json >/dev/null
 ./build/bench/bench_overhead --benchmark_filter='^$' --json build/overhead.json >/dev/null
 ./build/bench/bench_serving --benchmark_filter='^$' --json build/serving.json >/dev/null
+./build/bench/bench_memaccess --benchmark_filter='^$' --json build/memaccess.json >/dev/null
 python3 - build/fig3.json build/fig4.json build/throughput.json build/overhead.json \
-  build/serving.json <<'EOF'
+  build/serving.json build/memaccess.json <<'EOF'
 import json, sys
 merged = {"benches": [json.load(open(p)) for p in sys.argv[1:]]}
 assert all(b["results"] for b in merged["benches"]), "empty bench results"
@@ -83,7 +84,8 @@ test -s BENCH_rts.json
   --counters build/memflow_top_counters.json >/dev/null
 # Every exported JSON artifact must parse.
 for artifact in build/fig3.json build/fig4.json build/throughput.json \
-                build/overhead.json build/serving.json BENCH_rts.json \
+                build/overhead.json build/serving.json build/memaccess.json \
+                BENCH_rts.json \
                 build/memflow_top.json build/memflow_top_counters.json \
                 build/observe_metrics.json build/observe_trace.json \
                 build/explain_profile.json build/explain_trace.json; do
@@ -126,6 +128,10 @@ cmake -B build-asan -S . -DMEMFLOW_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 echo "== test (ASan+UBSan) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+echo "== test (ASan+UBSan: memaccess label) =="
+# The access-profiler suite (DESIGN.md §16) as its own sanitizer gate; it
+# includes the concurrent sample-while-snapshot hammer.
+ctest --test-dir build-asan --output-on-failure -L memaccess
 echo "== test (ASan+UBSan: serving label) =="
 # Redundant with the full run above, but keeps the serving admission/arrival
 # suite visible as its own sanitizer gate (DESIGN.md §15 acceptance).
@@ -134,9 +140,9 @@ ctest --test-dir build-asan --output-on-failure -L serving
 echo "== build (TSan) =="
 cmake -B build-tsan -S . -DMEMFLOW_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target rts_test region_test telemetry_test sim_test \
-  arrivals_test serving_test
-echo "== test (TSan: executor / regions / telemetry / sim corpus / serving) =="
-for t in rts_test region_test telemetry_test sim_test arrivals_test serving_test; do
+  arrivals_test serving_test memaccess_test
+echo "== test (TSan: executor / regions / telemetry / sim corpus / serving / memaccess) =="
+for t in rts_test region_test telemetry_test sim_test arrivals_test serving_test memaccess_test; do
   ./build-tsan/tests/"$t"
 done
 

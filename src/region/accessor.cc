@@ -15,10 +15,10 @@ Result<SimDuration> SyncAccessor::Read(std::uint64_t offset, void* dst, std::uin
   // A single Read is one contiguous burst: one access latency plus the
   // bandwidth-bound transfer. If the call continues exactly where the last
   // one ended, the (modeled) prefetcher hides the latency entirely.
-  const bool continuation = offset == next_sequential_read_;
-  next_sequential_read_ = offset + size;
+  const telemetry::AccessPatternKind pattern = read_pattern_.Classify(offset, size);
+  const bool continuation = pattern == telemetry::AccessPatternKind::kSequential;
   return mgr_->DoRead(id_, who_, offset, dst, size, view_, /*sequential=*/true,
-                      /*charge_latency=*/!continuation);
+                      /*charge_latency=*/!continuation, pattern);
 }
 
 Result<SimDuration> SyncAccessor::Write(std::uint64_t offset, const void* src,
@@ -26,10 +26,10 @@ Result<SimDuration> SyncAccessor::Write(std::uint64_t offset, const void* src,
   if (expected_state_.has_value()) {
     MEMFLOW_RETURN_IF_ERROR(mgr_->CheckOwnership(id_, *expected_state_));
   }
-  const bool continuation = offset == next_sequential_write_;
-  next_sequential_write_ = offset + size;
+  const telemetry::AccessPatternKind pattern = write_pattern_.Classify(offset, size);
+  const bool continuation = pattern == telemetry::AccessPatternKind::kSequential;
   return mgr_->DoWrite(id_, who_, offset, src, size, view_, /*sequential=*/true,
-                       /*charge_latency=*/!continuation);
+                       /*charge_latency=*/!continuation, pattern);
 }
 
 void AsyncAccessor::EnqueueRead(std::uint64_t offset, void* dst, std::uint64_t size) {
@@ -59,11 +59,13 @@ Result<SimDuration> AsyncAccessor::Drain() {
     Result<SimDuration> cost = InvalidArgument("unreached");
     if (op.is_write) {
       cost = mgr_->DoWrite(id_, who_, op.offset, op.src, op.size, view_,
-                           /*sequential=*/true, /*charge_latency=*/false);
+                           /*sequential=*/true, /*charge_latency=*/false,
+                           write_pattern_.Classify(op.offset, op.size));
       max_latency = std::max(max_latency, view_.write_latency);
     } else {
       cost = mgr_->DoRead(id_, who_, op.offset, op.dst, op.size, view_,
-                          /*sequential=*/true, /*charge_latency=*/false);
+                          /*sequential=*/true, /*charge_latency=*/false,
+                          read_pattern_.Classify(op.offset, op.size));
       max_latency = std::max(max_latency, view_.read_latency);
     }
     if (!cost.ok()) {

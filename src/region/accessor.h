@@ -21,6 +21,7 @@
 #include "common/units.h"
 #include "region/region.h"
 #include "simhw/cluster.h"
+#include "telemetry/memaccess.h"
 
 namespace memflow::region {
 
@@ -65,8 +66,11 @@ class SyncAccessor {
   simhw::AccessView view_;
   std::uint64_t size_;
   std::optional<OwnershipState> expected_state_;
-  std::uint64_t next_sequential_read_ = 0;
-  std::uint64_t next_sequential_write_ = 0;
+  // Stride detectors, one per direction. kSequential doubles as the old
+  // "continuation" signal (prefetcher hides the access latency); all verdicts
+  // also feed the access profiler's pattern/prefetch counters.
+  telemetry::PatternTracker read_pattern_;
+  telemetry::PatternTracker write_pattern_;
 };
 
 // Asynchronous queued interface. Operations are enqueued and executed at
@@ -115,6 +119,10 @@ class AsyncAccessor {
   std::optional<OwnershipState> expected_state_;
   int queue_depth_ = kDefaultQueueDepth;
   std::vector<Op> ops_;
+  // Stride detectors persist across Drain() calls: a region streamed in
+  // several batches still classifies as sequential.
+  telemetry::PatternTracker read_pattern_;
+  telemetry::PatternTracker write_pattern_;
 };
 
 }  // namespace memflow::region

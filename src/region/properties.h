@@ -28,6 +28,7 @@ enum class LatencyClass : std::uint8_t {
   kMedium,    // <= 2 us    (far memory acceptable)
   kLow,       // <= 300 ns  (local-memory class)
 };
+inline constexpr int kNumLatencyClasses = 4;
 
 // Lower bound on acceptable sustained bandwidth, observer-relative.
 enum class BandwidthClass : std::uint8_t {

@@ -53,7 +53,8 @@ struct RegionInfo {
   OwnershipState state = OwnershipState::kFreed;
   Principal owner;           // meaningful when exclusive
   int shared_refs = 0;       // meaningful when shared
-  std::uint64_t hotness = 0; // decayed access counter (pointer-tagging model)
+  std::uint64_t hotness = 0; // decayed access counter, read from the access
+                             // profiler (the single hotness source, §16)
   bool lost = false;         // volatile backing lost to a fault
 };
 

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/hash.h"
 #include "common/log.h"
 #include "region/crypto.h"
 
@@ -182,6 +183,24 @@ RegionManager::RegionManager(simhw::Cluster& cluster, PlacementConfig config,
           "Host ns spent blocked acquiring a RegionManager lock", labels);
     }
   }
+
+  // Memory-access observability (DESIGN.md §16). Constructed eagerly and
+  // enabled by default: hotness lives here now, and tiering needs it to tick
+  // even in standalone managers.
+  memprof_ = std::make_unique<telemetry::AccessProfiler>();
+  std::vector<std::string> device_names;
+  for (const simhw::MemoryDeviceId dev : cluster.AllMemoryDevices()) {
+    if (dev.value >= device_names.size()) {
+      device_names.resize(dev.value + 1);
+    }
+    device_names[dev.value] = cluster.memory(dev).name();
+  }
+  std::vector<std::string> latency_names;
+  latency_names.reserve(kNumLatencyClasses);
+  for (int c = 0; c < kNumLatencyClasses; ++c) {
+    latency_names.emplace_back(LatencyClassName(static_cast<LatencyClass>(c)));
+  }
+  memprof_->BindScopeNames(std::move(device_names), std::move(latency_names));
 }
 
 RegionManager::~RegionManager() {
@@ -366,6 +385,11 @@ Result<RegionId> RegionManager::FinishAllocate(simhw::Extent extent, std::uint64
   rec.observer = observer;
   rec.effective_latency = effective_latency;
   rec.latency_relaxed = latency_relaxed;
+  // Worker-count-stable identity for the access profiler: per-owner
+  // allocation order is program order inside a task body, so this sequence —
+  // unlike the raw id — is identical at any worker count.
+  rec.stable_tag = HashCombine(HashCombine(owner.job, owner.actor),
+                               alloc_seq_[{owner.job, owner.actor}]++);
   if (props.confidential) {
     rec.enc_key = key_rng_.Next() | 1;
   }
@@ -747,15 +771,9 @@ Result<SimDuration> RegionManager::Migrate(RegionId id, simhw::MemoryDeviceId ta
 
 void RegionManager::DecayHotness(double keep_fraction) {
   MEMFLOW_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
-  auto lock = WriteLock();
-  const std::uint32_t n = published_.load(std::memory_order_acquire);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    Record& rec = *RecordAt(i);
-    const auto current = rec.hotness.load(std::memory_order_relaxed);
-    rec.hotness.store(
-        static_cast<std::uint64_t>(static_cast<double>(current) * keep_fraction),
-        std::memory_order_relaxed);
-  }
+  // Hotness is owned by the access profiler since DESIGN.md §16; decay runs
+  // from serial control phases (tiering epochs), same as before the move.
+  memprof_->DecayHotness(keep_fraction);
 }
 
 std::vector<RegionId> RegionManager::MarkLostOn(simhw::MemoryDeviceId device) {
@@ -789,7 +807,7 @@ Result<RegionInfo> RegionManager::Info(RegionId id) const {
   info.state = rec->state;
   info.owner = rec->owner;
   info.shared_refs = static_cast<int>(rec->sharers.size());
-  info.hotness = rec->hotness.load(std::memory_order_relaxed);
+  info.hotness = memprof_->RegionHotness(id.value);
   info.lost = rec->lost.load(std::memory_order_relaxed);
   return info;
 }
@@ -922,7 +940,8 @@ std::vector<RegionId> RegionManager::RegionsOn(simhw::MemoryDeviceId device) con
 Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
                                           std::uint64_t offset, void* dst, std::uint64_t size,
                                           const simhw::AccessView& view, bool sequential,
-                                          bool charge_latency) {
+                                          bool charge_latency,
+                                          telemetry::AccessPatternKind pattern) {
   auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (rec->lost) {
@@ -938,7 +957,21 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
   if (rec->enc_key != 0) {
     ApplyKeystream(rec->enc_key, offset, dst, size);
   }
-  rec->hotness.fetch_add(1 + size / 256, std::memory_order_relaxed);
+  if (memprof_->enabled()) {
+    telemetry::AccessSample sample;
+    sample.region = id.value;
+    sample.region_key = rec->stable_tag;
+    sample.offset = offset;
+    sample.size = size;
+    sample.region_size = rec->size;
+    sample.device = rec->extent.device.value;
+    sample.latency_class = static_cast<std::uint32_t>(rec->effective_latency);
+    sample.pattern = pattern;
+    sample.is_write = false;
+    sample.latency_charged = charge_latency;
+    sample.vtime_ns = clock_ != nullptr ? clock_->now().ns : -1;
+    memprof_->Note(sample);
+  }
   stats_.bytes_read_by_class[static_cast<int>(rec->klass)].fetch_add(
       size, std::memory_order_relaxed);
   instruments_.bytes_read[static_cast<int>(rec->klass)]->Increment(size);
@@ -949,10 +982,37 @@ Result<SimDuration> RegionManager::DoRead(RegionId id, const Principal& who,
   return cost;
 }
 
+void RegionManager::NoteCachedAccess(RegionId id, std::uint64_t offset,
+                                     std::uint64_t size,
+                                     telemetry::AccessPatternKind pattern) {
+  if (!memprof_->enabled()) {
+    return;
+  }
+  auto lock = StripeReadLock(id);
+  auto rec = GetConst(id);
+  if (!rec.ok()) {
+    return;
+  }
+  telemetry::AccessSample sample;
+  sample.region = id.value;
+  sample.region_key = (*rec)->stable_tag;
+  sample.offset = offset;
+  sample.size = size;
+  sample.region_size = (*rec)->size;
+  sample.device = (*rec)->extent.device.value;
+  sample.latency_class = static_cast<std::uint32_t>((*rec)->effective_latency);
+  sample.pattern = pattern;
+  sample.is_write = false;
+  sample.latency_charged = false;  // served locally: no latency to hide
+  sample.vtime_ns = clock_ != nullptr ? clock_->now().ns : -1;
+  memprof_->Note(sample);
+}
+
 Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
                                            std::uint64_t offset, const void* src,
                                            std::uint64_t size, const simhw::AccessView& view,
-                                           bool sequential, bool charge_latency) {
+                                           bool sequential, bool charge_latency,
+                                           telemetry::AccessPatternKind pattern) {
   auto lock = StripeReadLock(id);
   MEMFLOW_ASSIGN_OR_RETURN(Record * rec, GetChecked(id, who));
   if (offset + size > rec->size) {
@@ -976,7 +1036,21 @@ Result<SimDuration> RegionManager::DoWrite(RegionId id, const Principal& who,
   if (rec->lost.load(std::memory_order_relaxed) && offset == 0 && size == rec->size) {
     rec->lost.store(false, std::memory_order_relaxed);
   }
-  rec->hotness.fetch_add(1 + size / 256, std::memory_order_relaxed);
+  if (memprof_->enabled()) {
+    telemetry::AccessSample sample;
+    sample.region = id.value;
+    sample.region_key = rec->stable_tag;
+    sample.offset = offset;
+    sample.size = size;
+    sample.region_size = rec->size;
+    sample.device = rec->extent.device.value;
+    sample.latency_class = static_cast<std::uint32_t>(rec->effective_latency);
+    sample.pattern = pattern;
+    sample.is_write = true;
+    sample.latency_charged = charge_latency;
+    sample.vtime_ns = clock_ != nullptr ? clock_->now().ns : -1;
+    memprof_->Note(sample);
+  }
   stats_.bytes_written_by_class[static_cast<int>(rec->klass)].fetch_add(
       size, std::memory_order_relaxed);
   instruments_.bytes_written[static_cast<int>(rec->klass)]->Increment(size);

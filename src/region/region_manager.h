@@ -37,10 +37,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,6 +52,7 @@
 #include "region/region.h"
 #include "simhw/clock.h"
 #include "simhw/cluster.h"
+#include "telemetry/memaccess.h"
 #include "telemetry/metrics.h"
 #include "telemetry/selfprof.h"
 #include "telemetry/trace.h"
@@ -214,6 +217,8 @@ class RegionManager {
   Result<SimDuration> Migrate(RegionId id, simhw::MemoryDeviceId target);
 
   // Exponentially decays all hotness counters (call once per tiering epoch).
+  // Hotness lives in the access profiler (the single source of truth since
+  // DESIGN.md §16); this simply forwards.
   void DecayHotness(double keep_fraction);
 
   // --- faults -------------------------------------------------------------------
@@ -265,6 +270,19 @@ class RegionManager {
   // runtime; standalone managers work fine without (counters still tick).
   void BindProfiler(telemetry::SelfProfiler* profiler) { profiler_ = profiler; }
 
+  // Memory-access observability (DESIGN.md §16): every DoRead/DoWrite feeds
+  // the profiler, which owns hotness, miss-ratio curves, working-set and
+  // pattern telemetry. Always constructed and enabled (tiering needs hotness
+  // even in standalone managers); disable for overhead A/B benches.
+  telemetry::AccessProfiler& access_profiler() { return *memprof_; }
+  const telemetry::AccessProfiler& access_profiler() const { return *memprof_; }
+
+  // Reports an access served by a layer above the data path (e.g. a swizzle
+  // cache hit) to the access profiler, so reuse/WSS telemetry still sees
+  // app-level locality that caches absorb. No cost is charged.
+  void NoteCachedAccess(RegionId id, std::uint64_t offset, std::uint64_t size,
+                        telemetry::AccessPatternKind pattern);
+
   // Monotonic counter bumped on every event that can change a placement or
   // cost estimate: allocation, free, migration, device loss. The cost model
   // memoizes Estimate() keyed on this counter (CostModel::
@@ -289,13 +307,19 @@ class RegionManager {
   Result<RegionPlacementExplain> ExplainPlacement(RegionId id) const;
 
   // Data-path entry points used by accessors (revalidate on every call).
+  // `pattern` is the accessor-side stride verdict for this access, forwarded
+  // to the access profiler.
   Result<SimDuration> DoRead(RegionId id, const Principal& who, std::uint64_t offset,
                              void* dst, std::uint64_t size, const simhw::AccessView& view,
-                             bool sequential, bool charge_latency);
+                             bool sequential, bool charge_latency,
+                             telemetry::AccessPatternKind pattern =
+                                 telemetry::AccessPatternKind::kRandom);
   Result<SimDuration> DoWrite(RegionId id, const Principal& who, std::uint64_t offset,
                               const void* src, std::uint64_t size,
                               const simhw::AccessView& view, bool sequential,
-                              bool charge_latency);
+                              bool charge_latency,
+                              telemetry::AccessPatternKind pattern =
+                                  telemetry::AccessPatternKind::kRandom);
 
  private:
   struct Record {
@@ -315,10 +339,12 @@ class RegionManager {
     simhw::ComputeDeviceId observer;
     LatencyClass effective_latency = LatencyClass::kAny;
     bool latency_relaxed = false;
-    // Touched on the (stripe-shared) data path, hence atomic. Everything
-    // else in the record only changes while both the global lock and the
-    // record's stripe are held exclusive.
-    std::atomic<std::uint64_t> hotness{0};
+    // Worker-count-stable identity: hash of (owner principal, per-owner
+    // allocation sequence). Raw region ids are the one value the executor
+    // lets diverge across worker counts, so everything the access profiler
+    // fingerprints keys off this tag instead. (Hotness lives in the
+    // profiler, keyed by raw id — it is never fingerprinted.)
+    std::uint64_t stable_tag = 0;
     RegionClass klass = RegionClass::kOther;
     std::atomic<bool> lost{false};  // a full overwrite clears it (data path)
   };
@@ -418,6 +444,11 @@ class RegionManager {
   const simhw::VirtualClock* clock_ = nullptr;
   telemetry::TraceBuffer* tracer_ = nullptr;
   telemetry::SelfProfiler* profiler_ = nullptr;
+  std::unique_ptr<telemetry::AccessProfiler> memprof_;
+  // Per-owner allocation sequence numbers backing Record::stable_tag. Only
+  // FinishAllocate (global-exclusive) touches it; task-body allocation order
+  // within one owner is program order, hence worker-count-deterministic.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> alloc_seq_;
 
   // Global control-path lock and per-record stripe locks; see the class
   // comment for the discipline.

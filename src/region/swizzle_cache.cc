@@ -72,6 +72,10 @@ Result<void*> SwizzleCache::PinRange(RegionId region, std::uint64_t offset,
     return InvalidArgument("empty range");
   }
   const Key key{region.value, offset, len};
+  // Classify every pin (hits and misses) so the stride state stays
+  // continuous; only hits are reported here — misses are observed by the
+  // RegionManager tap when the fill drains below.
+  const telemetry::AccessPatternKind pattern = pin_pattern_.Classify(offset, len);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     Entry& entry = it->second;
@@ -81,6 +85,7 @@ Result<void*> SwizzleCache::PinRange(RegionId region, std::uint64_t offset,
     entry.pins++;
     stats_.hits++;
     hits_->Increment();
+    regions_->NoteCachedAccess(region, offset, len, pattern);
     return static_cast<void*>(entry.buffer.data());
   }
 

@@ -103,6 +103,11 @@ class SwizzleCache {
   std::list<Key> lru_;  // front = most recent; only unpinned entries
   SwizzleCacheStats stats_;
   SimDuration total_cost_;
+  // Stride detector over the pin stream. Cache hits never reach DoRead (the
+  // cache serves them locally), so PinRange reports them to the access
+  // profiler itself — otherwise reuse telemetry would only see misses and
+  // under-count exactly the locality a cache exists to exploit.
+  telemetry::PatternTracker pin_pattern_;
 
   telemetry::Counter* hits_;
   telemetry::Counter* misses_;

@@ -14,6 +14,9 @@ namespace {
 // small enough that latency still shows.
 constexpr std::uint64_t kSpeedProbeBytes = 256 * kKiB;
 
+// Migration signal: hotness per KiB. `info.hotness` is sourced from the
+// access profiler (the single per-region access counter since DESIGN.md
+// §16) through RegionManager::Info.
 double HotnessDensity(const RegionInfo& info) {
   return static_cast<double>(info.hotness) /
          (static_cast<double>(info.size) / static_cast<double>(kKiB));

@@ -1097,6 +1097,7 @@ void Runtime::ScheduleAt(SimTime at, std::function<void(SimTime)> fn) {
 
 void Runtime::TickSnapshotRing() {
   profiler_->PublishTo(*registry_);
+  regions_.access_profiler().PublishTo(*registry_);
   telemetry::PublishTraceHealth(*tracer_, *registry_);
   options_.snapshot_ring->Tick(clock_.now());
   next_snapshot_ = clock_.now() + options_.snapshot_interval;

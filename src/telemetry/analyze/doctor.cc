@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <charconv>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "common/json.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/units.h"
 #include "telemetry/export.h"
 
 namespace memflow::telemetry::analyze {
@@ -372,10 +374,15 @@ std::string RenderRuntimeHealth(const MetricsSnapshot& snapshot) {
     if (f == nullptr || f->kind != MetricKind::kHistogram) {
       return;
     }
-    table.AddRow({label,
-                  HumanDuration(SimDuration(static_cast<std::int64_t>(f->Quantile(0.50)))),
-                  HumanDuration(SimDuration(static_cast<std::int64_t>(f->Quantile(0.99)))),
-                  HumanDuration(SimDuration(static_cast<std::int64_t>(f->Quantile(0.999))))});
+    // An empty histogram has no quantiles; render "-" rather than a bogus 0ns.
+    const auto cell = [&f](double p) -> std::string {
+      const std::optional<double> q = f->Quantile(p);
+      if (!q.has_value()) {
+        return "-";
+      }
+      return HumanDuration(SimDuration(static_cast<std::int64_t>(*q)));
+    };
+    table.AddRow({label, cell(0.50), cell(0.99), cell(0.999)});
   };
   TextTable latency({"Latency", "p50", "p99", "p999"});
   quantile_row(latency, "task queue wait (virtual)", "rts_task_queue_wait_ns");
@@ -444,6 +451,47 @@ std::string RenderRuntimeHealth(const MetricsSnapshot& snapshot) {
                      FormatDouble(100.0 * ns / (wall > 0 ? wall : 1.0), 1) + "%"});
       }
       out += "\n" + prof.Render();
+    }
+  }
+
+  // Memory-access observability (DESIGN.md §16): working set + pattern mix
+  // per scope, from the AccessProfiler gauges published at snapshot ticks.
+  if (const FamilySnapshot* wss = snapshot.FindFamily("memaccess_wss_smoothed_bytes")) {
+    const FamilySnapshot* window = snapshot.FindFamily("memaccess_wss_window_bytes");
+    const FamilySnapshot* unique = snapshot.FindFamily("memaccess_wss_unique_bytes");
+    TextTable mem({"Working set", "Smoothed", "Window", "Unique"});
+    for (const SeriesSnapshot& series : wss->series) {
+      std::string scope;
+      for (const auto& [key, value] : series.labels) {
+        if (key == "scope") {
+          scope = value;
+        }
+      }
+      const auto sibling = [&series](const FamilySnapshot* f) -> double {
+        const SeriesSnapshot* s = f != nullptr ? f->Find(series.labels) : nullptr;
+        return s != nullptr ? s->gauge : 0.0;
+      };
+      mem.AddRow({scope, HumanBytes(static_cast<std::uint64_t>(series.gauge)),
+                  HumanBytes(static_cast<std::uint64_t>(sibling(window))),
+                  HumanBytes(static_cast<std::uint64_t>(sibling(unique)))});
+    }
+    out += "\n" + mem.Render();
+  }
+  if (const FamilySnapshot* pattern = snapshot.FindFamily("memaccess_pattern_accesses")) {
+    double total = 0;
+    for (const SeriesSnapshot& s : pattern->series) {
+      total += s.gauge;
+    }
+    if (total > 0) {
+      out += "access pattern mix:";
+      for (const SeriesSnapshot& s : pattern->series) {
+        for (const auto& [key, value] : s.labels) {
+          if (key == "pattern") {
+            out += " " + value + " " + FormatDouble(100.0 * s.gauge / total, 1) + "%";
+          }
+        }
+      }
+      out += "\n";
     }
   }
 

@@ -1,0 +1,888 @@
+// Copyright (c) memflow authors. MIT license.
+
+#include "telemetry/memaccess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace memflow::telemetry {
+
+namespace {
+
+// Smallest i with (1 << i) >= n, for n >= 1.
+int CeilLog2(std::uint64_t n) {
+  int i = 0;
+  while ((std::uint64_t{1} << i) < n) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string_view AccessPatternName(AccessPatternKind k) {
+  switch (k) {
+    case AccessPatternKind::kSequential:
+      return "sequential";
+    case AccessPatternKind::kStrided:
+      return "strided";
+    case AccessPatternKind::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+// --- internal state -----------------------------------------------------------
+
+// One sampled chunk: insert-only open-addressed slot. `key` 0 means empty
+// (real keys hashing to 0 are remapped to 1 before insert). `last_epoch`
+// stores epoch+1 so 0 means never touched; the atomic exchange on it elects
+// exactly one winner per (chunk, epoch), which is what keeps the first-touch
+// counters order-independent.
+struct AccessProfiler::ChunkSlot {
+  std::atomic<std::uint64_t> key{0};
+  std::atomic<std::uint64_t> last_epoch{0};
+  // Global cum_closed at the chunk's previous touch; the reuse distance of a
+  // revisit is the growth of cum_closed since then, minus the chunk's own
+  // first-touch contribution.
+  std::atomic<std::uint64_t> cum_snapshot{0};
+};
+
+// Per-scope aggregate (global, one per device, one per latency class). All
+// counters are in sampled-chunk units; exported values scale by
+// chunk_bytes << sample_shift (the SHARDS correction).
+struct AccessProfiler::GroupState {
+  std::atomic<std::uint64_t> sampled{0};          // sampled accesses
+  std::atomic<std::uint64_t> cold{0};             // first-ever chunk touches
+  std::atomic<std::uint64_t> epoch_revisits{0};   // revisits across epochs
+  std::atomic<std::uint64_t> ladder[kMrcPoints + 1] = {};  // [i] hits at 1<<i
+  std::atomic<std::uint64_t> open_first{0};   // epoch-first touches, open epoch
+  std::atomic<std::uint64_t> cum_closed{0};   // epoch-first touches, closed
+  std::atomic<std::uint64_t> last_window{0};  // firsts in last closed epoch
+  std::atomic<std::uint64_t> windows{0};      // closed epochs observed
+  std::atomic<double> wss_ema{0.0};           // decayed window bytes
+};
+
+struct AccessProfiler::RegionState {
+  std::atomic<std::uint64_t> size{0};
+  std::atomic<std::uint64_t> accesses{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> hotness{0};
+  std::atomic<std::uint64_t> pattern[kNumAccessPatterns] = {};
+  std::atomic<std::uint64_t> prefetch{0};
+  std::atomic<std::uint64_t> heat[kHeatBuckets] = {};
+};
+
+struct AccessProfiler::RegionChunk {
+  RegionState slots[kRegionChunkSize];
+};
+
+// --- construction -------------------------------------------------------------
+
+AccessProfiler::AccessProfiler(AccessProfilerConfig config)
+    : config_(config),
+      sample_threshold_(config.sample_shift <= 0
+                            ? ~std::uint64_t{0}
+                            : (~std::uint64_t{0} >> config.sample_shift)),
+      table_mask_(RoundUpPow2(std::max<std::size_t>(config.max_sampled_chunks, 64)) -
+                  1),
+      chunks_(new ChunkSlot[table_mask_ + 1]),
+      global_(new GroupState) {
+  for (auto& g : latency_) {
+    g.reset(new GroupState);
+  }
+}
+
+AccessProfiler::~AccessProfiler() {
+  for (auto& chunk : region_chunks_) {
+    delete chunk.load(std::memory_order_relaxed);
+  }
+  for (auto& dev : devices_) {
+    delete dev.load(std::memory_order_relaxed);
+  }
+}
+
+void AccessProfiler::BindScopeNames(std::vector<std::string> device_names,
+                                    std::vector<std::string> latency_class_names) {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  device_names_ = std::move(device_names);
+  latency_names_ = std::move(latency_class_names);
+}
+
+// --- slabs and groups ---------------------------------------------------------
+
+AccessProfiler::RegionState* AccessProfiler::RegionSlot(std::uint64_t region,
+                                                        bool create) {
+  const std::uint64_t chunk = region >> kRegionChunkShift;
+  if (chunk >= kMaxRegionChunks) {
+    return nullptr;
+  }
+  RegionChunk* slab = region_chunks_[chunk].load(std::memory_order_acquire);
+  if (slab == nullptr) {
+    if (!create) {
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(region_mu_);
+    slab = region_chunks_[chunk].load(std::memory_order_relaxed);
+    if (slab == nullptr) {
+      slab = new RegionChunk;
+      region_chunks_[chunk].store(slab, std::memory_order_release);
+    }
+  }
+  if (create) {
+    std::uint64_t cur = max_region_.load(std::memory_order_relaxed);
+    while (cur < region &&
+           !max_region_.compare_exchange_weak(cur, region, std::memory_order_relaxed)) {
+    }
+  }
+  return &slab->slots[region & (kRegionChunkSize - 1)];
+}
+
+AccessProfiler::GroupState* AccessProfiler::DeviceGroup(std::uint32_t device,
+                                                        bool create) {
+  if (device >= kMaxDevices) {
+    return nullptr;
+  }
+  GroupState* g = devices_[device].load(std::memory_order_acquire);
+  if (g == nullptr && create) {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    g = devices_[device].load(std::memory_order_relaxed);
+    if (g == nullptr) {
+      g = new GroupState;
+      devices_[device].store(g, std::memory_order_release);
+    }
+  }
+  return g;
+}
+
+AccessProfiler::GroupState* AccessProfiler::LatencyGroup(std::uint32_t latency_class) {
+  return latency_[latency_class < kMaxLatencyClasses ? latency_class : 0].get();
+}
+
+// --- epoch roll ---------------------------------------------------------------
+
+void AccessProfiler::RollTo(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(roll_mu_);
+  const std::uint64_t open = open_epoch_.load(std::memory_order_relaxed);
+  if (epoch <= open) {
+    return;  // another thread rolled first
+  }
+  if (open != 0) {
+    // Close the open epoch (and account the empty epochs between it and the
+    // new one). Safe without synchronizing against Note(): the PDES barrier
+    // guarantees every access of an earlier epoch completed, in host time,
+    // before the first access of a later epoch reaches this roll.
+    const std::uint64_t gap = epoch - open;
+    const double unit =
+        static_cast<double>(config_.chunk_bytes << config_.sample_shift);
+    const auto close = [&](GroupState& g) {
+      const std::uint64_t firsts = g.open_first.exchange(0, std::memory_order_relaxed);
+      g.cum_closed.fetch_add(firsts, std::memory_order_relaxed);
+      g.last_window.store(firsts, std::memory_order_relaxed);
+      g.windows.fetch_add(gap, std::memory_order_relaxed);
+      double ema = g.wss_ema.load(std::memory_order_relaxed);
+      ema = ema * config_.wss_decay +
+            (1.0 - config_.wss_decay) * static_cast<double>(firsts) * unit;
+      if (gap > 1) {  // epochs with zero accesses decay the EMA toward zero
+        ema *= std::pow(config_.wss_decay, static_cast<double>(gap - 1));
+      }
+      g.wss_ema.store(ema, std::memory_order_relaxed);
+    };
+    close(*global_);
+    for (auto& dev : devices_) {
+      if (GroupState* g = dev.load(std::memory_order_relaxed)) {
+        close(*g);
+      }
+    }
+    for (auto& lat : latency_) {
+      close(*lat);
+    }
+  }
+  open_epoch_.store(epoch, std::memory_order_release);
+}
+
+// --- hot path -----------------------------------------------------------------
+
+void AccessProfiler::RecordDistance(GroupState& g, std::uint64_t distance) {
+  const int bucket = std::min(kMrcPoints, CeilLog2(distance + 1));
+  g.ladder[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void AccessProfiler::Note(const AccessSample& sample) {
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    return;
+  }
+
+  // Always-on slice: per-region counters (this is the hotness source of
+  // truth) and pattern aggregates. Relaxed increments only; the spatial
+  // heatmap — the one per-region stat that needs a division — is deferred to
+  // the sampled slice below and SHARDS-corrected there.
+  RegionState* rs = RegionSlot(sample.region, /*create=*/true);
+  if (rs != nullptr) {
+    rs->size.store(sample.region_size, std::memory_order_relaxed);
+    rs->accesses.fetch_add(1, std::memory_order_relaxed);
+    rs->bytes.fetch_add(sample.size, std::memory_order_relaxed);
+    rs->hotness.fetch_add(1 + sample.size / 256, std::memory_order_relaxed);
+    rs->pattern[static_cast<int>(sample.pattern)].fetch_add(1,
+                                                            std::memory_order_relaxed);
+    if (sample.pattern != AccessPatternKind::kRandom && sample.latency_charged) {
+      rs->prefetch.fetch_add(1, std::memory_order_relaxed);
+      prefetch_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  pattern_[static_cast<int>(sample.pattern)].fetch_add(1, std::memory_order_relaxed);
+
+  // Reuse-distance / WSS slice needs virtual time.
+  if (sample.vtime_ns < 0 || config_.epoch_ns <= 0) {
+    return;
+  }
+  const std::uint64_t epoch =
+      static_cast<std::uint64_t>(sample.vtime_ns) /
+          static_cast<std::uint64_t>(config_.epoch_ns) +
+      1;  // +1 so 0 means "no epoch open yet"
+  if (epoch > open_epoch_.load(std::memory_order_acquire)) {
+    RollTo(epoch);
+  }
+
+  // SHARDS spatial sampling: keep the chunk iff its hash clears the
+  // threshold. Keyed on the worker-count-stable region identity, never the
+  // raw region id.
+  std::uint64_t key =
+      HashCombine(sample.region_key, sample.offset / config_.chunk_bytes);
+  if (key == 0) {
+    key = 1;
+  }
+  const std::uint64_t hash = MixU64(key);
+  if (hash > sample_threshold_) {
+    return;
+  }
+
+  // Find-or-insert the chunk slot (lock-free linear probing, insert-only).
+  ChunkSlot* slot = nullptr;
+  std::size_t idx = hash & table_mask_;
+  for (std::size_t probe = 0; probe <= table_mask_; ++probe) {
+    std::uint64_t cur = chunks_[idx].key.load(std::memory_order_acquire);
+    if (cur == key) {
+      slot = &chunks_[idx];
+      break;
+    }
+    if (cur == 0) {
+      std::uint64_t expected = 0;
+      if (chunks_[idx].key.compare_exchange_strong(expected, key,
+                                                   std::memory_order_acq_rel) ||
+          expected == key) {
+        slot = &chunks_[idx];
+        break;
+      }
+    }
+    idx = (idx + 1) & table_mask_;
+  }
+  if (slot == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  GroupState* groups[3] = {global_.get(), DeviceGroup(sample.device, /*create=*/true),
+                           LatencyGroup(sample.latency_class)};
+  for (GroupState* g : groups) {
+    if (g != nullptr) {
+      g->sampled.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Spatial heat, sampled and SHARDS-corrected back to bytes.
+  if (rs != nullptr) {
+    const std::uint64_t span = std::max<std::uint64_t>(sample.region_size, 1);
+    const int heat = static_cast<int>(std::min<std::uint64_t>(
+        kHeatBuckets - 1, sample.offset * kHeatBuckets / span));
+    rs->heat[heat].fetch_add(sample.size << config_.sample_shift,
+                             std::memory_order_relaxed);
+  }
+
+  // cum_closed is constant for the duration of an epoch (only RollTo, which
+  // the PDES barrier serializes against all earlier accesses, advances it),
+  // so every thread in this epoch reads the same value.
+  const std::uint64_t cum_now = global_->cum_closed.load(std::memory_order_relaxed);
+  const std::uint64_t prev = slot->last_epoch.exchange(epoch, std::memory_order_acq_rel);
+  if (prev == epoch) {
+    // Same-epoch re-touch: reuse distance 0, a hit at every capacity.
+    for (GroupState* g : groups) {
+      if (g != nullptr) {
+        RecordDistance(*g, 0);
+      }
+    }
+  } else if (prev == 0) {
+    // First-ever touch: a miss at every capacity.
+    slot->cum_snapshot.store(cum_now, std::memory_order_relaxed);
+    for (GroupState* g : groups) {
+      if (g != nullptr) {
+        g->cold.fetch_add(1, std::memory_order_relaxed);
+        g->open_first.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else {
+    // Revisit across epochs: the distance is the number of *other* sampled
+    // chunks whose epoch-first touches closed between the two accesses
+    // (cum_closed growth minus this chunk's own first-touch from `prev`).
+    const std::uint64_t prev_cum =
+        slot->cum_snapshot.exchange(cum_now, std::memory_order_relaxed);
+    const std::uint64_t distance = cum_now - prev_cum - 1;
+    for (GroupState* g : groups) {
+      if (g != nullptr) {
+        g->epoch_revisits.fetch_add(1, std::memory_order_relaxed);
+        g->open_first.fetch_add(1, std::memory_order_relaxed);
+        RecordDistance(*g, distance);
+      }
+    }
+  }
+
+  if (recording_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    if (trace_.size() < trace_cap_) {
+      trace_.push_back(key);
+    } else {
+      trace_truncated_ = true;
+    }
+  }
+}
+
+// --- hotness ------------------------------------------------------------------
+
+std::uint64_t AccessProfiler::RegionHotness(std::uint64_t region) const {
+  RegionState* rs =
+      const_cast<AccessProfiler*>(this)->RegionSlot(region, /*create=*/false);
+  return rs == nullptr ? 0 : rs->hotness.load(std::memory_order_relaxed);
+}
+
+void AccessProfiler::DecayHotness(double keep_fraction) {
+  const std::uint64_t max_region = max_region_.load(std::memory_order_relaxed);
+  for (std::uint64_t chunk = 0; chunk <= (max_region >> kRegionChunkShift) &&
+                                chunk < kMaxRegionChunks;
+       ++chunk) {
+    RegionChunk* slab = region_chunks_[chunk].load(std::memory_order_acquire);
+    if (slab == nullptr) {
+      continue;
+    }
+    for (RegionState& rs : slab->slots) {
+      const std::uint64_t h = rs.hotness.load(std::memory_order_relaxed);
+      if (h != 0) {
+        rs.hotness.store(
+            static_cast<std::uint64_t>(static_cast<double>(h) * keep_fraction),
+            std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+// --- estimates ----------------------------------------------------------------
+
+std::string AccessProfiler::DeviceScopeName(std::uint32_t device) const {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  if (device < device_names_.size() && !device_names_[device].empty()) {
+    return "device:" + device_names_[device];
+  }
+  return "device:" + std::to_string(device);
+}
+
+std::string AccessProfiler::LatencyScopeName(std::uint32_t latency_class) const {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  if (latency_class < latency_names_.size() && !latency_names_[latency_class].empty()) {
+    return "latency:" + latency_names_[latency_class];
+  }
+  return "latency:" + std::to_string(latency_class);
+}
+
+MissRatioCurve AccessProfiler::CurveOf(const GroupState& g, std::string scope) const {
+  MissRatioCurve curve;
+  curve.scope = std::move(scope);
+  curve.sampled = g.sampled.load(std::memory_order_relaxed);
+  curve.cold = g.cold.load(std::memory_order_relaxed);
+  std::uint64_t ladder[kMrcPoints + 1];
+  for (int i = 0; i <= kMrcPoints; ++i) {
+    ladder[i] = g.ladder[i].load(std::memory_order_relaxed);
+  }
+  curve.sizes.reserve(kMrcPoints);
+  curve.miss_ratio.reserve(kMrcPoints);
+  // misses at capacity 1<<i = cold + every reuse that needed a larger stack.
+  std::uint64_t misses = curve.cold;
+  for (int i = kMrcPoints; i >= 1; --i) {
+    misses += ladder[i];
+  }
+  for (int i = 0; i < kMrcPoints; ++i) {
+    curve.sizes.push_back(config_.chunk_bytes << (i + config_.sample_shift));
+    curve.miss_ratio.push_back(
+        curve.sampled == 0
+            ? 1.0
+            : static_cast<double>(misses) / static_cast<double>(curve.sampled));
+    misses -= ladder[i + 1];  // capacity doubled: ladder[i+1] hits now fit
+  }
+  return curve;
+}
+
+WssStats AccessProfiler::WssOf(const GroupState& g, std::string scope) const {
+  const std::uint64_t unit = config_.chunk_bytes << config_.sample_shift;
+  WssStats w;
+  w.scope = std::move(scope);
+  w.window_bytes = g.last_window.load(std::memory_order_relaxed) * unit;
+  w.smoothed_bytes = g.wss_ema.load(std::memory_order_relaxed);
+  w.unique_bytes = g.cold.load(std::memory_order_relaxed) * unit;
+  w.windows = g.windows.load(std::memory_order_relaxed);
+  return w;
+}
+
+MissRatioCurve AccessProfiler::GlobalCurve() const {
+  return CurveOf(*global_, "global");
+}
+
+std::vector<MissRatioCurve> AccessProfiler::Curves() const {
+  std::vector<MissRatioCurve> out;
+  out.push_back(CurveOf(*global_, "global"));
+  for (std::uint32_t d = 0; d < kMaxDevices; ++d) {
+    if (const GroupState* g = devices_[d].load(std::memory_order_acquire)) {
+      out.push_back(CurveOf(*g, DeviceScopeName(d)));
+    }
+  }
+  for (std::uint32_t c = 0; c < kMaxLatencyClasses; ++c) {
+    if (latency_[c]->sampled.load(std::memory_order_relaxed) != 0) {
+      out.push_back(CurveOf(*latency_[c], LatencyScopeName(c)));
+    }
+  }
+  return out;
+}
+
+WssStats AccessProfiler::GlobalWss() const { return WssOf(*global_, "global"); }
+
+std::vector<WssStats> AccessProfiler::Wss() const {
+  std::vector<WssStats> out;
+  out.push_back(WssOf(*global_, "global"));
+  for (std::uint32_t d = 0; d < kMaxDevices; ++d) {
+    if (const GroupState* g = devices_[d].load(std::memory_order_acquire)) {
+      out.push_back(WssOf(*g, DeviceScopeName(d)));
+    }
+  }
+  return out;
+}
+
+std::vector<RegionAccessStats> AccessProfiler::RegionStats() const {
+  std::vector<RegionAccessStats> out;
+  const std::uint64_t max_region = max_region_.load(std::memory_order_relaxed);
+  for (std::uint64_t region = 0; region <= max_region; ++region) {
+    RegionState* rs =
+        const_cast<AccessProfiler*>(this)->RegionSlot(region, /*create=*/false);
+    if (rs == nullptr || rs->accesses.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    RegionAccessStats stats;
+    stats.region = region;
+    stats.size = rs->size.load(std::memory_order_relaxed);
+    stats.accesses = rs->accesses.load(std::memory_order_relaxed);
+    stats.bytes = rs->bytes.load(std::memory_order_relaxed);
+    stats.hotness = rs->hotness.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumAccessPatterns; ++i) {
+      stats.pattern[i] = rs->pattern[i].load(std::memory_order_relaxed);
+    }
+    stats.prefetch_candidates = rs->prefetch.load(std::memory_order_relaxed);
+    for (int i = 0; i < kHeatBuckets; ++i) {
+      stats.heat[i] = rs->heat[i].load(std::memory_order_relaxed);
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+std::uint64_t AccessProfiler::sampled_accesses() const {
+  return global_->sampled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AccessProfiler::dropped_samples() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+// --- recording ----------------------------------------------------------------
+
+void AccessProfiler::StartRecording(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_cap_ = cap;
+  trace_.clear();
+  trace_.reserve(std::min<std::size_t>(cap, 4096));
+  trace_truncated_ = false;
+  recording_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> AccessProfiler::RecordedChunkKeys() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_;
+}
+
+bool AccessProfiler::recording_truncated() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_truncated_;
+}
+
+// --- exact reference ----------------------------------------------------------
+
+std::vector<double> ExactMissRatios(const std::vector<std::uint64_t>& chunk_keys,
+                                    int points) {
+  std::vector<std::uint64_t> misses(static_cast<std::size_t>(points), 0);
+  std::vector<std::uint64_t> stack;  // most recent first
+  stack.reserve(1024);
+  for (const std::uint64_t key : chunk_keys) {
+    const auto it = std::find(stack.begin(), stack.end(), key);
+    if (it == stack.end()) {
+      for (auto& m : misses) {
+        ++m;  // cold: a miss at every capacity
+      }
+      stack.insert(stack.begin(), key);
+    } else {
+      const auto depth = static_cast<std::uint64_t>(it - stack.begin());
+      for (int i = 0; i < points; ++i) {
+        if ((std::uint64_t{1} << i) < depth + 1) {
+          ++misses[static_cast<std::size_t>(i)];
+        }
+      }
+      stack.erase(it);
+      stack.insert(stack.begin(), key);
+    }
+  }
+  std::vector<double> out(static_cast<std::size_t>(points), 1.0);
+  if (!chunk_keys.empty()) {
+    for (int i = 0; i < points; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          static_cast<double>(misses[static_cast<std::size_t>(i)]) /
+          static_cast<double>(chunk_keys.size());
+    }
+  }
+  return out;
+}
+
+// --- export -------------------------------------------------------------------
+
+std::string AccessProfiler::Fingerprint() const {
+  // Deterministic digest over every order-independent integer aggregate.
+  // Excluded on purpose: anything keyed by raw region ids (heatmaps,
+  // per-region stats, hotness) — region ids are the one value the executor
+  // lets diverge across worker counts — plus the float WSS EMA and the
+  // dropped-sample counter.
+  std::string out;
+  const auto group = [&out](const GroupState& g, const std::string& scope) {
+    out += scope;
+    out += "|s=" + std::to_string(g.sampled.load(std::memory_order_relaxed));
+    out += ",c=" + std::to_string(g.cold.load(std::memory_order_relaxed));
+    out += ",r=" + std::to_string(g.epoch_revisits.load(std::memory_order_relaxed));
+    out += ",f=" + std::to_string(g.cum_closed.load(std::memory_order_relaxed) +
+                                  g.open_first.load(std::memory_order_relaxed));
+    out += ",w=" + std::to_string(g.windows.load(std::memory_order_relaxed));
+    out += ",lw=" + std::to_string(g.last_window.load(std::memory_order_relaxed));
+    out += ",L=";
+    for (int i = 0; i <= kMrcPoints; ++i) {
+      if (i != 0) {
+        out += ":";
+      }
+      out += std::to_string(g.ladder[i].load(std::memory_order_relaxed));
+    }
+    out += "\n";
+  };
+  group(*global_, "global");
+  for (std::uint32_t d = 0; d < kMaxDevices; ++d) {
+    if (const GroupState* g = devices_[d].load(std::memory_order_acquire)) {
+      group(*g, DeviceScopeName(d));
+    }
+  }
+  for (std::uint32_t c = 0; c < kMaxLatencyClasses; ++c) {
+    group(*latency_[c], LatencyScopeName(c));
+  }
+  out += "pattern=";
+  for (int i = 0; i < kNumAccessPatterns; ++i) {
+    if (i != 0) {
+      out += ":";
+    }
+    out += std::to_string(pattern_[i].load(std::memory_order_relaxed));
+  }
+  out += ",prefetch=" + std::to_string(prefetch_.load(std::memory_order_relaxed));
+  out += "\n";
+  return out;
+}
+
+std::vector<std::string> AccessProfiler::SelfCheck() const {
+  std::vector<std::string> problems;
+  struct Sums {
+    std::uint64_t sampled = 0;
+    std::uint64_t cold = 0;
+    std::uint64_t revisits = 0;
+  };
+  Sums device_sum;
+  Sums latency_sum;
+  const auto audit = [&problems](const GroupState& g, const std::string& scope,
+                                 Sums* sums) {
+    const std::uint64_t sampled = g.sampled.load(std::memory_order_relaxed);
+    const std::uint64_t cold = g.cold.load(std::memory_order_relaxed);
+    const std::uint64_t revisits = g.epoch_revisits.load(std::memory_order_relaxed);
+    std::uint64_t ladder_sum = 0;
+    for (int i = 0; i <= kMrcPoints; ++i) {
+      ladder_sum += g.ladder[i].load(std::memory_order_relaxed);
+    }
+    // Every sampled access lands in exactly one bucket: cold, or one ladder
+    // entry (same-epoch retouch at distance 0, or a cross-epoch revisit).
+    if (ladder_sum + cold != sampled) {
+      problems.push_back(scope + ": ladder(" + std::to_string(ladder_sum) +
+                         ") + cold(" + std::to_string(cold) + ") != sampled(" +
+                         std::to_string(sampled) + ")");
+    }
+    // Every epoch-first touch is either the chunk's first ever (cold) or a
+    // cross-epoch revisit, and lives in exactly one of open/closed.
+    const std::uint64_t firsts = g.cum_closed.load(std::memory_order_relaxed) +
+                                 g.open_first.load(std::memory_order_relaxed);
+    if (cold + revisits != firsts) {
+      problems.push_back(scope + ": cold(" + std::to_string(cold) + ") + revisits(" +
+                         std::to_string(revisits) + ") != epoch-firsts(" +
+                         std::to_string(firsts) + ")");
+    }
+    if (sums != nullptr) {
+      sums->sampled += sampled;
+      sums->cold += cold;
+      sums->revisits += revisits;
+    }
+  };
+  audit(*global_, "global", nullptr);
+  for (std::uint32_t d = 0; d < kMaxDevices; ++d) {
+    if (const GroupState* g = devices_[d].load(std::memory_order_acquire)) {
+      audit(*g, DeviceScopeName(d), &device_sum);
+    }
+  }
+  for (std::uint32_t c = 0; c < kMaxLatencyClasses; ++c) {
+    audit(*latency_[c], LatencyScopeName(c), &latency_sum);
+  }
+  const std::uint64_t global_sampled = global_->sampled.load(std::memory_order_relaxed);
+  const std::uint64_t global_cold = global_->cold.load(std::memory_order_relaxed);
+  const std::uint64_t global_revisits =
+      global_->epoch_revisits.load(std::memory_order_relaxed);
+  const auto partition = [&problems, global_sampled, global_cold,
+                          global_revisits](const Sums& s, const char* kind) {
+    if (s.sampled != global_sampled || s.cold != global_cold ||
+        s.revisits != global_revisits) {
+      problems.push_back(std::string(kind) + " scopes do not partition global: " +
+                         std::to_string(s.sampled) + "/" + std::to_string(s.cold) +
+                         "/" + std::to_string(s.revisits) + " vs " +
+                         std::to_string(global_sampled) + "/" +
+                         std::to_string(global_cold) + "/" +
+                         std::to_string(global_revisits));
+    }
+  };
+  partition(device_sum, "device");
+  partition(latency_sum, "latency");
+  for (const MissRatioCurve& curve : Curves()) {
+    if (curve.cold > curve.sampled) {
+      problems.push_back(curve.scope + ": cold(" + std::to_string(curve.cold) +
+                         ") > sampled(" + std::to_string(curve.sampled) + ")");
+    }
+    for (std::size_t i = 0; i < curve.miss_ratio.size(); ++i) {
+      const double r = curve.miss_ratio[i];
+      if (r < 0.0 || r > 1.0 ||
+          (i > 0 && r > curve.miss_ratio[i - 1] + 1e-12)) {
+        problems.push_back(curve.scope + ": miss ratio not in [0,1] or not "
+                           "monotone non-increasing at point " + std::to_string(i));
+        break;
+      }
+    }
+  }
+  return problems;
+}
+
+void AccessProfiler::PublishTo(Registry& registry) const {
+  static constexpr int kLadderPoints[] = {4, 8, 12, 16};
+  for (const MissRatioCurve& curve : Curves()) {
+    if (HasPrefix(curve.scope, "latency:")) {
+      continue;  // bounded cardinality: miss ratios per global + device only
+    }
+    registry
+        .GetGauge("memaccess_sampled_accesses",
+                  "Access profiler: spatially sampled accesses per scope",
+                  {{"scope", curve.scope}})
+        ->Set(static_cast<double>(curve.sampled));
+    for (const int i : kLadderPoints) {
+      registry
+          .GetGauge("memaccess_miss_ratio",
+                    "Access profiler: estimated miss ratio for a hypothetical "
+                    "hot buffer of `size` bytes",
+                    {{"scope", curve.scope},
+                     {"size", std::to_string(curve.sizes[static_cast<std::size_t>(i)])}})
+          ->Set(curve.miss_ratio[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (const WssStats& w : Wss()) {
+    registry
+        .GetGauge("memaccess_wss_window_bytes",
+                  "Access profiler: unique bytes touched in the last closed "
+                  "virtual-time window (SHARDS-scaled)",
+                  {{"scope", w.scope}})
+        ->Set(static_cast<double>(w.window_bytes));
+    registry
+        .GetGauge("memaccess_wss_smoothed_bytes",
+                  "Access profiler: decayed working-set-size estimate",
+                  {{"scope", w.scope}})
+        ->Set(w.smoothed_bytes);
+    registry
+        .GetGauge("memaccess_wss_unique_bytes",
+                  "Access profiler: distinct sampled footprint ever touched "
+                  "(SHARDS-scaled)",
+                  {{"scope", w.scope}})
+        ->Set(static_cast<double>(w.unique_bytes));
+  }
+  for (int i = 0; i < kNumAccessPatterns; ++i) {
+    registry
+        .GetGauge("memaccess_pattern_accesses",
+                  "Access profiler: accesses per detected pattern class",
+                  {{"pattern",
+                    std::string(AccessPatternName(static_cast<AccessPatternKind>(i)))}})
+        ->Set(static_cast<double>(pattern_[i].load(std::memory_order_relaxed)));
+  }
+  registry
+      .GetGauge("memaccess_prefetch_candidates",
+                "Access profiler: predictable (sequential/strided) accesses "
+                "that still paid full latency")
+      ->Set(static_cast<double>(prefetch_.load(std::memory_order_relaxed)));
+  registry
+      .GetGauge("memaccess_dropped_samples",
+                "Access profiler: sampled accesses dropped on chunk-table "
+                "overflow (should be 0)")
+      ->Set(static_cast<double>(dropped_.load(std::memory_order_relaxed)));
+
+  // Spatial heat lanes for the three hottest regions (bounded cardinality:
+  // 3 regions x kHeatBuckets series).
+  std::vector<RegionAccessStats> regions = RegionStats();
+  std::sort(regions.begin(), regions.end(),
+            [](const RegionAccessStats& a, const RegionAccessStats& b) {
+              if (a.hotness != b.hotness) {
+                return a.hotness > b.hotness;
+              }
+              return a.region < b.region;
+            });
+  for (std::size_t r = 0; r < regions.size() && r < 3; ++r) {
+    for (int b = 0; b < kHeatBuckets; ++b) {
+      registry
+          .GetGauge("memaccess_region_heat",
+                    "Access profiler: bytes touched per 1/16th of a hot region",
+                    {{"region", std::to_string(regions[r].region)},
+                     {"bucket", std::to_string(b)}})
+          ->Set(static_cast<double>(regions[r].heat[b]));
+    }
+  }
+}
+
+std::string AccessProfiler::RenderPanel() const {
+  using memflow::FormatDouble;
+  using memflow::HumanBytes;
+  using memflow::TextTable;
+  using memflow::WithThousands;
+
+  std::string out = "== memory access profile ==\n";
+  const std::uint64_t sampled = sampled_accesses();
+  std::uint64_t total_pattern = 0;
+  std::uint64_t pattern[kNumAccessPatterns];
+  for (int i = 0; i < kNumAccessPatterns; ++i) {
+    pattern[i] = pattern_[i].load(std::memory_order_relaxed);
+    total_pattern += pattern[i];
+  }
+  out += "accesses " + WithThousands(total_pattern) + ", sampled " +
+         WithThousands(sampled) + " (rate 1/" +
+         std::to_string(std::uint64_t{1} << config_.sample_shift) + ", chunk " +
+         HumanBytes(config_.chunk_bytes) + ", dropped " +
+         WithThousands(dropped_samples()) + ")\n";
+  out += "pattern mix:";
+  for (int i = 0; i < kNumAccessPatterns; ++i) {
+    const double share =
+        total_pattern == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(pattern[i]) / static_cast<double>(total_pattern);
+    out += " " + std::string(AccessPatternName(static_cast<AccessPatternKind>(i))) +
+           " " + FormatDouble(share, 1) + "%";
+  }
+  out += "  prefetch candidates " + WithThousands(prefetch_.load(std::memory_order_relaxed)) +
+         "\n";
+
+  {
+    TextTable table({"Working set", "Window", "Smoothed", "Unique", "Windows"});
+    for (const WssStats& w : Wss()) {
+      table.AddRow({w.scope, HumanBytes(w.window_bytes),
+                    HumanBytes(static_cast<std::uint64_t>(w.smoothed_bytes)),
+                    HumanBytes(w.unique_bytes), WithThousands(w.windows)});
+    }
+    out += table.Render();
+  }
+
+  {
+    static constexpr int kPanelPoints[] = {4, 8, 12, 16};
+    std::vector<std::string> headers = {"Miss ratio", "Sampled"};
+    const MissRatioCurve global = GlobalCurve();
+    for (const int i : kPanelPoints) {
+      headers.push_back(HumanBytes(global.sizes[static_cast<std::size_t>(i)]));
+    }
+    TextTable table(headers);
+    for (const MissRatioCurve& curve : Curves()) {
+      std::vector<std::string> row = {curve.scope, WithThousands(curve.sampled)};
+      for (const int i : kPanelPoints) {
+        row.push_back(curve.sampled == 0
+                          ? "-"
+                          : FormatDouble(
+                                100.0 * curve.miss_ratio[static_cast<std::size_t>(i)],
+                                1) + "%");
+      }
+      table.AddRow(row);
+    }
+    out += table.Render();
+  }
+
+  {
+    std::vector<RegionAccessStats> regions = RegionStats();
+    std::sort(regions.begin(), regions.end(),
+              [](const RegionAccessStats& a, const RegionAccessStats& b) {
+                if (a.hotness != b.hotness) {
+                  return a.hotness > b.hotness;
+                }
+                return a.region < b.region;
+              });
+    TextTable table({"Region", "Size", "Accesses", "Bytes", "Hotness", "Pattern",
+                     "Heat (16 buckets)"});
+    static constexpr char kShades[] = " .:-=+*#%@";
+    for (std::size_t r = 0; r < regions.size() && r < 8; ++r) {
+      const RegionAccessStats& stats = regions[r];
+      std::uint64_t peak = 1;
+      for (const std::uint64_t h : stats.heat) {
+        peak = std::max(peak, h);
+      }
+      std::string heat(kHeatBuckets, ' ');
+      for (int b = 0; b < kHeatBuckets; ++b) {
+        heat[static_cast<std::size_t>(b)] =
+            kShades[stats.heat[b] * 9 / peak];
+      }
+      int dominant = 0;
+      for (int i = 1; i < kNumAccessPatterns; ++i) {
+        if (stats.pattern[i] > stats.pattern[dominant]) {
+          dominant = i;
+        }
+      }
+      table.AddRow({"r" + std::to_string(stats.region), HumanBytes(stats.size),
+                    WithThousands(stats.accesses), HumanBytes(stats.bytes),
+                    WithThousands(stats.hotness),
+                    std::string(AccessPatternName(static_cast<AccessPatternKind>(dominant))),
+                    "[" + heat + "]"});
+    }
+    out += table.Render();
+  }
+  return out;
+}
+
+}  // namespace memflow::telemetry

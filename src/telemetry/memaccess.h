@@ -1,0 +1,303 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Memory-access observability (DESIGN.md §16): a low-overhead sampled view of
+// the region data path that answers the three questions a paging/eviction
+// policy needs answered before it exists (ROADMAP item 3):
+//
+//   * "What miss ratio would an N-byte hot buffer see?"  — SHARDS-style
+//     spatially-hashed reuse-distance sampling, folded into miss-ratio
+//     curves (MRC) per device and per latency class.
+//   * "What is the working set right now?"  — unique bytes touched per
+//     virtual-time window, with exponential decay across windows.
+//   * "Which regions stream and which re-reference?"  — a per-accessor
+//     stride/sequential/random classifier whose verdicts aggregate into
+//     per-region pattern counters, prefetch-opportunity counters, and
+//     per-region spatial heatmaps.
+//
+// Overhead discipline (same as SelfProfiler): when disabled, Note() is one
+// relaxed load and a branch. When enabled, the always-on slice is a handful
+// of relaxed atomic increments (it *replaces* the RegionManager's old
+// hotness counter — this module is now the single source of truth for
+// hotness), and the reuse-distance slice runs only for the spatially
+// sampled subset of chunks.
+//
+// Determinism contract (enforced by the sim-wss oracle invariant): every
+// aggregate this module fingerprints is a pure function of the deterministic
+// access multiset {(region key, chunk, virtual time)} — never of the host
+// interleaving of task bodies inside one virtual-time step:
+//
+//   * whether a chunk is sampled is a pure hash of (region key, chunk index),
+//     where the region key is the worker-count-stable allocation identity
+//     (owner principal + per-owner allocation sequence), not the raw region
+//     id (the one value the executor permits to diverge across worker
+//     counts);
+//   * reuse distances are quantized to virtual-time epochs: the distance of
+//     a revisit is the number of epoch-first chunk touches between the two
+//     accesses' epochs, a quantity independent of intra-epoch ordering
+//     (the conservative-PDES barrier guarantees all accesses of epoch e
+//     complete, in host time, before any access of epoch e+1 starts);
+//   * per-region/pattern/heatmap counters are order-independent sums of
+//     per-accessor deterministic streams.
+
+#ifndef MEMFLOW_TELEMETRY_MEMACCESS_H_
+#define MEMFLOW_TELEMETRY_MEMACCESS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace memflow::telemetry {
+
+// Verdict of the per-accessor stride detector for one access.
+enum class AccessPatternKind : std::uint8_t {
+  kSequential = 0,  // continues exactly where the previous access ended
+  kStrided = 1,     // constant nonzero delta from the previous offset
+  kRandom = 2,      // anything else
+};
+inline constexpr int kNumAccessPatterns = 3;
+
+std::string_view AccessPatternName(AccessPatternKind k);
+
+// Per-accessor pattern state machine. Lives inside each accessor (which is
+// single-threaded by construction), so classification is deterministic in
+// the accessor's program order; only the resulting per-kind counts are
+// aggregated across threads.
+struct PatternTracker {
+  std::uint64_t next_sequential = 0;
+  std::uint64_t last_offset = 0;
+  std::int64_t last_delta = 0;
+
+  AccessPatternKind Classify(std::uint64_t offset, std::uint64_t size) {
+    const bool sequential = offset == next_sequential;
+    const auto delta =
+        static_cast<std::int64_t>(offset) - static_cast<std::int64_t>(last_offset);
+    const bool strided = !sequential && delta != 0 && delta == last_delta;
+    next_sequential = offset + size;
+    last_delta = delta;
+    last_offset = offset;
+    if (sequential) {
+      return AccessPatternKind::kSequential;
+    }
+    return strided ? AccessPatternKind::kStrided : AccessPatternKind::kRandom;
+  }
+};
+
+// One observed access, delivered by the RegionManager's data-path tap.
+struct AccessSample {
+  std::uint64_t region = 0;       // raw region id value (export/hotness key)
+  std::uint64_t region_key = 0;   // worker-count-stable identity (sampling key)
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t region_size = 0;
+  std::uint32_t device = 0;       // memory device id value
+  std::uint32_t latency_class = 0;
+  AccessPatternKind pattern = AccessPatternKind::kRandom;
+  bool is_write = false;
+  bool latency_charged = false;   // paid the full access latency (not hidden)
+  std::int64_t vtime_ns = -1;     // virtual time; < 0 disables reuse/WSS sampling
+};
+
+struct AccessProfilerConfig {
+  // Spatial sampling rate is 2^-sample_shift of all chunks (SHARDS: the kept
+  // subset is decided by a hash threshold, and every estimate is corrected
+  // by the reciprocal rate). Shift 0 samples everything.
+  int sample_shift = 3;
+  std::uint64_t chunk_bytes = 4096;
+  // Virtual-time window = epoch both for WSS windows and for reuse-distance
+  // quantization.
+  std::int64_t epoch_ns = 10'000;
+  // EMA keep fraction applied to the smoothed WSS at every closed window.
+  double wss_decay = 0.5;
+  // Capacity of the sampled-chunk table (rounded up to a power of two).
+  // Overflow drops samples (counted; the oracle skips fingerprints then).
+  std::size_t max_sampled_chunks = std::size_t{1} << 16;
+};
+
+// Number of ladder points of every miss-ratio curve: hypothetical hot-buffer
+// capacities of 1<<i *sampled* chunks, i in [0, kMrcPoints). In real bytes
+// that is chunk_bytes << (i + sample_shift).
+inline constexpr int kMrcPoints = 20;
+// Spatial heatmap resolution: bytes touched per 1/16th of each region,
+// estimated from the sampled chunk subset (SHARDS-corrected) so the hot path
+// pays the bucket division only for sampled accesses.
+inline constexpr int kHeatBuckets = 16;
+
+struct MissRatioCurve {
+  std::string scope;                 // "global", "device:<name>", "latency:<name>"
+  std::vector<std::uint64_t> sizes;  // hypothetical hot-buffer bytes (ladder)
+  std::vector<double> miss_ratio;    // same length as sizes
+  std::uint64_t sampled = 0;         // sampled accesses attributed to the scope
+  std::uint64_t cold = 0;            // first-ever touches (miss at every size)
+};
+
+struct WssStats {
+  std::string scope;
+  std::uint64_t window_bytes = 0;  // unique bytes in the last active window
+  double smoothed_bytes = 0;       // decayed EMA over closed windows
+  std::uint64_t unique_bytes = 0;  // distinct sampled footprint ever, scaled
+  std::uint64_t windows = 0;       // closed virtual-time windows observed
+};
+
+struct RegionAccessStats {
+  std::uint64_t region = 0;
+  std::uint64_t size = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hotness = 0;  // decayed weighted access counter
+  std::array<std::uint64_t, kNumAccessPatterns> pattern = {};
+  std::uint64_t prefetch_candidates = 0;  // predictable accesses that stalled
+  // Estimated bytes per region 1/16th, from sampled chunks (SHARDS-corrected).
+  std::array<std::uint64_t, kHeatBuckets> heat = {};
+};
+
+// Exact LRU stack-distance miss ratios over an explicit chunk-key trace,
+// evaluated at capacities of 1<<i chunks for i in [0, points). The reference
+// the oracle and tests hold the sampled estimator against. O(n * unique) —
+// small corpora only.
+std::vector<double> ExactMissRatios(const std::vector<std::uint64_t>& chunk_keys,
+                                    int points);
+
+class AccessProfiler {
+ public:
+  explicit AccessProfiler(AccessProfilerConfig config = {});
+  AccessProfiler(const AccessProfiler&) = delete;
+  AccessProfiler& operator=(const AccessProfiler&) = delete;
+  ~AccessProfiler();
+
+  // One relaxed load; when false, Note() is a no-op (and hotness freezes).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  const AccessProfilerConfig& config() const { return config_; }
+
+  // Human names for the device / latency-class indices arriving in samples;
+  // used in scope labels. Unnamed indices render as "device-<i>" / "class-<i>".
+  void BindScopeNames(std::vector<std::string> device_names,
+                      std::vector<std::string> latency_class_names);
+
+  // Hot path. Thread-safe; relaxed atomics only (plus a mutex on the first
+  // access of a new virtual-time epoch and on first-visit slab growth).
+  void Note(const AccessSample& sample);
+
+  // --- hotness (single source of truth for RegionManager/tiering) ---------------
+
+  std::uint64_t RegionHotness(std::uint64_t region) const;
+  // Multiplies every region's hotness by keep_fraction (tiering epochs).
+  void DecayHotness(double keep_fraction);
+
+  // --- estimates (read from serial phases; safe but racy mid-batch) -------------
+
+  MissRatioCurve GlobalCurve() const;
+  std::vector<MissRatioCurve> Curves() const;  // global + devices + classes
+  WssStats GlobalWss() const;
+  std::vector<WssStats> Wss() const;           // global + devices
+  // Touched regions in id order.
+  std::vector<RegionAccessStats> RegionStats() const;
+
+  std::uint64_t sampled_accesses() const;
+  std::uint64_t dropped_samples() const;  // chunk-table overflow
+
+  // --- recording (oracle cross-check) -------------------------------------------
+
+  // Records the chunk key of every sampled access (up to `cap`) so the exact
+  // reference can replay the same stream. Off by default: the hot path then
+  // never takes the trace mutex.
+  void StartRecording(std::size_t cap);
+  std::vector<std::uint64_t> RecordedChunkKeys() const;
+  bool recording_truncated() const;
+
+  // --- export --------------------------------------------------------------------
+
+  // Deterministic digest of every fingerprint-safe aggregate (MRC ladders,
+  // WSS, pattern totals). Bit-identical across worker counts; the sim-wss
+  // oracle invariant compares it across differential legs.
+  std::string Fingerprint() const;
+
+  // Internal counter-algebra audit (read from a serial phase): per scope,
+  // ladder-sum + cold == sampled and first-touches == cold + revisits; device
+  // and latency scopes each sum to the global scope; every MRC is monotone
+  // non-increasing. Returns human-readable problems (empty when consistent);
+  // the sim-wss oracle turns them into violations.
+  std::vector<std::string> SelfCheck() const;
+
+  // Gauges for SnapshotRing ticks: WSS per scope, miss ratios at four ladder
+  // sizes, pattern mix, sampler health, and heat lanes for the three hottest
+  // regions (bounded so the family never hits the cardinality cap).
+  void PublishTo(Registry& registry) const;
+
+  // memflow_top --memory: MRC table, WSS, pattern mix, hottest regions.
+  std::string RenderPanel() const;
+
+ private:
+  struct RegionState;
+  struct RegionChunk;
+  struct GroupState;
+  struct ChunkSlot;
+
+  RegionState* RegionSlot(std::uint64_t region, bool create);
+  GroupState* DeviceGroup(std::uint32_t device, bool create);
+  GroupState* LatencyGroup(std::uint32_t latency_class);
+  // Closes every epoch < epoch under roll_mu_ (WSS windows + cum counters).
+  void RollTo(std::uint64_t epoch);
+  void RecordDistance(GroupState& g, std::uint64_t distance);
+
+  MissRatioCurve CurveOf(const GroupState& g, std::string scope) const;
+  WssStats WssOf(const GroupState& g, std::string scope) const;
+  std::string DeviceScopeName(std::uint32_t device) const;
+  std::string LatencyScopeName(std::uint32_t latency_class) const;
+
+  static constexpr std::uint32_t kRegionChunkShift = 9;  // 512 regions/chunk
+  static constexpr std::uint32_t kRegionChunkSize = 1u << kRegionChunkShift;
+  static constexpr std::uint32_t kMaxRegionChunks = 8192;  // 4M regions
+  static constexpr std::uint32_t kMaxDevices = 256;
+  static constexpr std::uint32_t kMaxLatencyClasses = 4;
+
+  const AccessProfilerConfig config_;
+  const std::uint64_t sample_threshold_;  // keep iff MixU64(key) <= threshold
+  const std::size_t table_mask_;          // chunk-table capacity - 1
+
+  std::atomic<bool> enabled_{true};
+
+  // Sampled-chunk table: open-addressed, insert-only, lock-free.
+  std::unique_ptr<ChunkSlot[]> chunks_;
+  std::atomic<std::uint64_t> dropped_{0};
+
+  // Region slabs (always-on stats), chunked like RegionManager's records.
+  std::atomic<RegionChunk*> region_chunks_[kMaxRegionChunks] = {};
+  std::atomic<std::uint64_t> max_region_{0};  // highest region id seen
+  std::mutex region_mu_;                      // slab growth only
+
+  // Scope groups: global always, devices lazily, latency classes eagerly.
+  std::unique_ptr<GroupState> global_;
+  std::atomic<GroupState*> devices_[kMaxDevices] = {};
+  std::unique_ptr<GroupState> latency_[kMaxLatencyClasses];
+  mutable std::mutex group_mu_;  // group creation + scope names
+  std::vector<std::string> device_names_;
+  std::vector<std::string> latency_names_;
+
+  // Epoch machinery. open_epoch_ stores epoch+1 (0 = nothing open yet).
+  std::atomic<std::uint64_t> open_epoch_{0};
+  std::mutex roll_mu_;
+
+  // Order-independent pattern aggregates (also kept per region).
+  std::atomic<std::uint64_t> pattern_[kNumAccessPatterns] = {};
+  std::atomic<std::uint64_t> prefetch_{0};
+
+  // Recording (oracle cross-check).
+  mutable std::mutex trace_mu_;
+  std::atomic<bool> recording_{false};
+  std::size_t trace_cap_ = 0;
+  bool trace_truncated_ = false;
+  std::vector<std::uint64_t> trace_;
+};
+
+}  // namespace memflow::telemetry
+
+#endif  // MEMFLOW_TELEMETRY_MEMACCESS_H_

@@ -119,7 +119,12 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return out;
 }
 
-double Histogram::Quantile(double p) const { return HistogramQuantile(bounds_, counts(), p); }
+std::optional<double> Histogram::Quantile(double p) const {
+  if (count() == 0) {
+    return std::nullopt;
+  }
+  return HistogramQuantile(bounds_, counts(), p);
+}
 
 double HistogramQuantile(const std::vector<double>& bounds,
                          const std::vector<std::uint64_t>& bucket_counts, double p) {
@@ -163,18 +168,23 @@ const SeriesSnapshot* FamilySnapshot::Find(const Labels& labels) const {
   return nullptr;
 }
 
-double FamilySnapshot::Quantile(double p) const {
+std::optional<double> FamilySnapshot::Quantile(double p) const {
   if (kind != MetricKind::kHistogram) {
-    return 0.0;
+    return std::nullopt;
   }
   std::vector<std::uint64_t> merged;
+  std::uint64_t mass = 0;
   for (const SeriesSnapshot& s : series) {
     if (merged.size() < s.bucket_counts.size()) {
       merged.resize(s.bucket_counts.size(), 0);
     }
     for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
       merged[i] += s.bucket_counts[i];
+      mass += s.bucket_counts[i];
     }
+  }
+  if (mass == 0) {
+    return std::nullopt;  // no samples: nothing to interpolate off
   }
   return HistogramQuantile(bounds, merged, p);
 }

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -85,8 +86,9 @@ class Histogram {
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
   // Interpolated p-quantile (p in [0,1]) over the live buckets — see
-  // HistogramQuantile below for the estimation contract.
-  double Quantile(double p) const;
+  // HistogramQuantile below for the estimation contract. nullopt when the
+  // histogram holds no samples (there is no mass to interpolate off).
+  std::optional<double> Quantile(double p) const;
 
  private:
   std::vector<double> bounds_;
@@ -115,8 +117,11 @@ struct SeriesSnapshot {
   std::uint64_t count = 0;                    // kHistogram
 
   // Interpolated p-quantile of a histogram series; `bounds` come from the
-  // enclosing FamilySnapshot.
-  double Quantile(const std::vector<double>& bounds, double p) const {
+  // enclosing FamilySnapshot. nullopt when the series holds no samples.
+  std::optional<double> Quantile(const std::vector<double>& bounds, double p) const {
+    if (count == 0) {
+      return std::nullopt;
+    }
     return HistogramQuantile(bounds, bucket_counts, p);
   }
 };
@@ -132,8 +137,9 @@ struct FamilySnapshot {
   // when the series does not exist.
   const SeriesSnapshot* Find(const Labels& labels) const;
   // Interpolated p-quantile over all series of a histogram family summed
-  // (element-wise bucket addition). 0 for non-histogram families.
-  double Quantile(double p) const;
+  // (element-wise bucket addition). nullopt for non-histogram families and
+  // for histogram families holding no samples.
+  std::optional<double> Quantile(double p) const;
 };
 
 // A consistent point-in-time view of every family in a registry. Both

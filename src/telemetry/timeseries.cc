@@ -223,6 +223,13 @@ std::optional<double> SnapshotRing::QuantileOver(std::string_view family,
       now_buckets[i] -= std::min(then_buckets[i], now_buckets[i]);
     }
   }
+  std::uint64_t mass = 0;
+  for (const std::uint64_t c : now_buckets) {
+    mass += c;
+  }
+  if (mass == 0) {
+    return std::nullopt;  // no samples landed inside the window
+  }
   return HistogramQuantile(now_family->bounds, now_buckets, p);
 }
 

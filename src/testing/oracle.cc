@@ -2,6 +2,7 @@
 
 #include "testing/oracle.h"
 
+#include <cmath>
 #include <string>
 
 #include "telemetry/analyze/analyzer.h"
@@ -467,6 +468,52 @@ void CheckFairShare(const rts::ServingLayer& serving, SimTime until,
               std::to_string(want));
     }
   }
+}
+
+std::string CheckWss(rts::Runtime& rt, std::vector<Violation>* out) {
+  const telemetry::AccessProfiler& prof = rt.regions().access_profiler();
+
+  // Counter algebra (ladder + cold == sampled, device/latency scopes
+  // partition global, MRC monotone non-increasing) — computed by the
+  // profiler itself so the audit stays next to the data structures it reads.
+  for (const std::string& problem : prof.SelfCheck()) {
+    Add(out, kInvWss, "access profiler self-check: " + problem);
+  }
+
+  // Cross-check the sampled, epoch-quantized MRC against an exact LRU replay
+  // over the recorded chunk trace. Only meaningful when the trace covers
+  // every sampled access: an untruncated recording with zero drops.
+  const std::vector<std::uint64_t> trace = prof.RecordedChunkKeys();
+  if (!trace.empty() && !prof.recording_truncated() && prof.dropped_samples() == 0 &&
+      trace.size() >= 64) {
+    if (trace.size() != prof.sampled_accesses()) {
+      Add(out, kInvWss,
+          "recorded trace length " + std::to_string(trace.size()) +
+              " != sampled accesses " + std::to_string(prof.sampled_accesses()));
+    }
+    const std::vector<double> exact =
+        telemetry::ExactMissRatios(trace, telemetry::kMrcPoints);
+    const telemetry::MissRatioCurve curve = prof.GlobalCurve();
+    double mae = 0.0;
+    for (int i = 0; i < telemetry::kMrcPoints; ++i) {
+      mae += std::abs(curve.miss_ratio[static_cast<std::size_t>(i)] -
+                      exact[static_cast<std::size_t>(i)]);
+    }
+    mae /= telemetry::kMrcPoints;
+    if (mae > kWssMrcTolerance) {
+      Add(out, kInvWss,
+          "sampled MRC strays from exact LRU reference: MAE " +
+              std::to_string(mae) + " > " + std::to_string(kWssMrcTolerance) +
+              " over " + std::to_string(trace.size()) + " sampled accesses");
+    }
+  }
+
+  // Samples dropped on table overflow make the aggregates depend on arrival
+  // order, so the fingerprint is no longer comparable across worker counts.
+  if (prof.dropped_samples() > 0) {
+    return "wss:overflow";
+  }
+  return prof.Fingerprint();
 }
 
 }  // namespace memflow::testing

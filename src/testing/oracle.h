@@ -37,10 +37,18 @@
 //   sim-fairness             under saturation, a tenant's share of completed
 //                            work strays further from its weight share than
 //                            the declared bound
+//   sim-wss                  memory-access observability contract (DESIGN.md
+//                            §16): the access profiler's internal counters
+//                            disagree with each other (ladder/cold/sampled,
+//                            per-device vs global, non-monotone MRC), the
+//                            sampled MRC strays beyond tolerance from the
+//                            exact LRU reference over the recorded trace, or
+//                            the MRC/WSS fingerprint differs across worker
+//                            counts
 //
-// The first five, sim-attribution, sim-mhp, sim-slo and sim-fairness are
-// checked here; the rest are emitted by the differential runner (scenario.h)
-// which owns the cross-run comparisons.
+// The first five, sim-attribution, sim-mhp, sim-slo, sim-fairness and the
+// sim-wss self-checks are checked here; the rest are emitted by the
+// differential runner (scenario.h) which owns the cross-run comparisons.
 
 #ifndef MEMFLOW_TESTING_ORACLE_H_
 #define MEMFLOW_TESTING_ORACLE_H_
@@ -67,6 +75,7 @@ inline constexpr char kInvAttribution[] = "sim-attribution";
 inline constexpr char kInvMhp[] = "sim-mhp";
 inline constexpr char kInvSlo[] = "sim-slo";
 inline constexpr char kInvFairness[] = "sim-fairness";
+inline constexpr char kInvWss[] = "sim-wss";
 
 struct Violation {
   std::string invariant;  // one of the stable ids above
@@ -143,6 +152,24 @@ void CheckServing(const rts::ServingLayer& serving, rts::Runtime& rt,
 // completed work in the window count as share 0.
 void CheckFairShare(const rts::ServingLayer& serving, SimTime until,
                     double tolerance, std::vector<Violation>* out);
+
+// Maximum mean absolute error allowed between the access profiler's sampled
+// miss-ratio curve and the exact LRU reference replayed over the recorded
+// chunk trace. The sampled estimator quantizes reuse distances to virtual-
+// time epochs (the determinism trade: intra-epoch order is not observable),
+// so it is systematically optimistic for reuse within an epoch — the bound
+// absorbs that quantization plus SHARDS sampling noise.
+inline constexpr double kWssMrcTolerance = 0.20;
+
+// Memory-access observability audit (DESIGN.md §16), run after a leg
+// completes and before outputs are re-read. Self-checks the profiler's
+// counter algebra (ladder+cold == sampled, device/latency scopes sum to
+// global, MRC monotone non-increasing) and — when a recorded trace is
+// available, untruncated, and no samples were dropped — cross-checks the
+// sampled MRC against ExactMissRatios within kWssMrcTolerance. Returns the
+// profiler fingerprint (or a sentinel when samples were dropped); the
+// differential runner compares it across worker counts as sim-wss.
+std::string CheckWss(rts::Runtime& rt, std::vector<Violation>* out);
 
 }  // namespace memflow::testing
 

@@ -19,6 +19,8 @@ struct LegOutcome {
   // Critical-path attribution digest (oracle.h CheckAttribution): must be
   // identical at every worker count, like the JobReport fingerprint.
   std::string attribution;
+  // Access-profiler MRC/WSS digest (oracle.h CheckWss): same contract.
+  std::string wss;
   rts::RuntimeStats stats;
 };
 
@@ -80,6 +82,10 @@ LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
   ropts.worker_threads = workers;
   ropts.registry = &registry;
   rts::Runtime rt(*inst.cluster, ropts);
+  // Record the sampled chunk stream so CheckWss can replay it through the
+  // exact LRU reference; started before any submission so it covers every
+  // sampled access.
+  rt.regions().access_profiler().StartRecording(std::size_t{1} << 16);
   if (with_faults) {
     ApplyPlan(sc.faults, EligibleTargets(*inst.cluster, exclude), injector);
     rt.AttachFaultInjector(&injector);
@@ -112,6 +118,8 @@ LegOutcome RunLeg(const Scenario& sc, TopologyInstance& inst, int workers,
   CheckPostRun(rt, ids, scope, out);
   CheckMhp(rt, ids, scope, out);
   leg.attribution = CheckAttribution(rt, ids, out);
+  // Snapshot before SemanticOf: reading outputs back taps the profiler too.
+  leg.wss = CheckWss(rt, out);
 
   for (const dataflow::JobId id : ids) {
     leg.fingerprint += Fingerprint(rt.report(id));
@@ -147,6 +155,7 @@ LegOutcome RunServingLeg(const Scenario& sc, TopologyInstance& inst, int workers
   ropts.worker_threads = workers;
   ropts.registry = &registry;
   rts::Runtime rt(*inst.cluster, ropts);
+  rt.regions().access_profiler().StartRecording(std::size_t{1} << 16);
   rts::ServingLayer serving(rt);
 
   std::vector<ArrivalSpec> specs;
@@ -185,6 +194,7 @@ LegOutcome RunServingLeg(const Scenario& sc, TopologyInstance& inst, int workers
   CheckMhp(rt, ids, scope, out);
   CheckServing(serving, rt, out);
   leg.attribution = CheckAttribution(rt, ids, out);
+  leg.wss = CheckWss(rt, out);
 
   leg.fingerprint = rules + "\n";
   for (const dataflow::JobId id : ids) {
@@ -425,6 +435,10 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunHooks& hooks) {
                       vs + ": critical-path attribution differs\n" + base->attribution +
                           "--- vs ---\n" + leg.attribution});
     }
+    if (leg.wss != base->wss) {
+      out->push_back({kInvWss, vs + ": MRC/WSS fingerprints differ\n" + base->wss +
+                                   "--- vs ---\n" + leg.wss});
+    }
   }
 
   // --- fault-free vs. fault + checkpoint-restart (topologies with
@@ -500,6 +514,9 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunHooks& hooks) {
       if (leg.attribution != sbase->attribution) {
         out->push_back({kInvAttribution,
                         vs + ": critical-path attribution differs"});
+      }
+      if (leg.wss != sbase->wss) {
+        out->push_back({kInvWss, vs + ": MRC/WSS fingerprints differ"});
       }
     }
   }

@@ -364,6 +364,47 @@ dataflow::Job WideJob(const std::string& name, int width) {
   return job;
 }
 
+std::vector<std::uint64_t> SequentialTrace(std::uint64_t bytes, std::uint64_t step,
+                                           int passes) {
+  std::vector<std::uint64_t> trace;
+  for (int p = 0; p < passes; ++p) {
+    for (std::uint64_t off = 0; off < bytes; off += step) {
+      trace.push_back(off);
+    }
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> ZipfTrace(Rng& rng, std::uint64_t chunks,
+                                     std::uint64_t chunk_bytes, double theta,
+                                     std::size_t n) {
+  const ZipfGenerator zipf(chunks, theta);
+  std::vector<std::uint64_t> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.push_back(zipf.Sample(rng) * chunk_bytes);
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> ScanWithReuseTrace(Rng& rng, std::uint64_t scan_chunks,
+                                              std::uint64_t hot_chunks,
+                                              std::uint64_t chunk_bytes,
+                                              double reuse_p, std::size_t n) {
+  std::vector<std::uint64_t> trace;
+  trace.reserve(n);
+  std::uint64_t cursor = hot_chunks;  // scan region sits above the hot set
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Chance(reuse_p)) {
+      trace.push_back(rng.Below(hot_chunks) * chunk_bytes);
+    } else {
+      trace.push_back(cursor * chunk_bytes);
+      cursor = hot_chunks + (cursor + 1 - hot_chunks) % scan_chunks;
+    }
+  }
+  return trace;
+}
+
 JobSpec MakeRacyJobSpec() {
   JobSpec spec;
   spec.name = "racy-fanout";

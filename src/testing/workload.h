@@ -133,6 +133,32 @@ dataflow::TaskFn AsyncSummingConsumer();
 // sink; sink value for AsyncProducer(512) is width * (3 * 511 * 512 / 2).
 dataflow::Job WideJob(const std::string& name, int width);
 
+// --- synthetic access traces --------------------------------------------------
+//
+// Offset streams over one logical region, for driving the access profiler
+// (telemetry::AccessProfiler::Note) directly — no runtime needed. Used by
+// tests/memaccess_test.cc and bench/bench_memaccess.cpp to compare the
+// sampled miss-ratio curve against the exact LRU reference on workloads whose
+// shape is known in closed form.
+
+// `passes` full sweeps over [0, bytes) in `step`-byte strides.
+std::vector<std::uint64_t> SequentialTrace(std::uint64_t bytes, std::uint64_t step,
+                                           int passes);
+
+// `n` Zipf(theta)-distributed chunk picks over `chunks` chunks of
+// `chunk_bytes` each; rank 0 is the hottest chunk.
+std::vector<std::uint64_t> ZipfTrace(Rng& rng, std::uint64_t chunks,
+                                     std::uint64_t chunk_bytes, double theta,
+                                     std::size_t n);
+
+// A streaming scan polluted with a hot reuse set: each step advances the scan
+// cursor one chunk and, with probability `reuse_p`, interleaves a uniform
+// touch of the first `hot_chunks` chunks.
+std::vector<std::uint64_t> ScanWithReuseTrace(Rng& rng, std::uint64_t scan_chunks,
+                                              std::uint64_t hot_chunks,
+                                              std::uint64_t chunk_bytes,
+                                              double reuse_p, std::size_t n);
+
 // --- intentionally inadmissible specs -----------------------------------------
 //
 // Negative fixtures for the static analyzer's self-tests (tools/verify_corpus

@@ -433,5 +433,16 @@ TEST_F(AnalyzeTest, DoctorAndExportersAgreeOnTheProfile) {
   }
 }
 
+TEST(DoctorHealthTest, EmptyHistogramsRenderDashNotNan) {
+  // A registered-but-never-observed latency histogram must render "-" cells,
+  // never a bogus 0ns or a nan (metrics.h Quantile returns nullopt on empty).
+  Registry reg;
+  (void)reg.GetHistogram("rts_task_queue_wait_ns", "h", HistogramSpec{1.0, 2.0, 4});
+  const std::string health = RenderRuntimeHealth(reg.Snapshot());
+  EXPECT_NE(health.find("task queue wait"), std::string::npos);
+  EXPECT_EQ(health.find("nan"), std::string::npos);
+  EXPECT_NE(health.find("-"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace memflow::telemetry::analyze

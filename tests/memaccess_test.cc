@@ -1,0 +1,313 @@
+// Copyright (c) memflow authors. MIT license.
+//
+// Tests for memory-access observability (DESIGN.md §16): the per-accessor
+// pattern classifier, exact-vs-sampled miss-ratio curves on traces whose
+// shape is known in closed form, WSS window decay, the counter-algebra
+// self-check, fingerprint determinism across worker counts, and a
+// sample-while-snapshot hammer for the sanitizer legs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "rts/runtime.h"
+#include "simhw/presets.h"
+#include "telemetry/memaccess.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace memflow {
+namespace {
+
+using telemetry::AccessPatternKind;
+using telemetry::AccessProfiler;
+using telemetry::AccessProfilerConfig;
+using telemetry::AccessSample;
+using telemetry::ExactMissRatios;
+using telemetry::kMrcPoints;
+using telemetry::MissRatioCurve;
+using telemetry::PatternTracker;
+using telemetry::WssStats;
+
+// --- pattern classifier -------------------------------------------------------
+
+TEST(PatternTrackerTest, SequentialStreamIsSequential) {
+  PatternTracker t;
+  for (std::uint64_t off = 0; off < 10 * 64; off += 64) {
+    EXPECT_EQ(t.Classify(off, 64), AccessPatternKind::kSequential) << off;
+  }
+}
+
+TEST(PatternTrackerTest, ConstantStrideIsStridedAfterWarmup) {
+  PatternTracker t;
+  // Stride 256 with 64-byte accesses: never contiguous, constant delta.
+  (void)t.Classify(0, 64);    // no history: random
+  (void)t.Classify(256, 64);  // first delta observation
+  for (std::uint64_t off = 512; off < 4096; off += 256) {
+    EXPECT_EQ(t.Classify(off, 64), AccessPatternKind::kStrided) << off;
+  }
+}
+
+TEST(PatternTrackerTest, IrregularOffsetsAreRandom) {
+  PatternTracker t;
+  const std::uint64_t offsets[] = {0, 1000, 64, 9000, 128, 5};
+  int random = 0;
+  for (const std::uint64_t off : offsets) {
+    random += t.Classify(off, 64) == AccessPatternKind::kRandom ? 1 : 0;
+  }
+  EXPECT_GE(random, 4);  // everything after the first two must be random
+}
+
+// --- exact vs sampled MRC -----------------------------------------------------
+
+// Feeds an offset trace as one access per virtual-time epoch, the regime
+// where epoch quantization is exact (every sampled access is an epoch-first
+// touch, so cum_closed growth equals the number of intervening accesses).
+void Feed(AccessProfiler& prof, const std::vector<std::uint64_t>& offsets,
+          std::uint64_t region_size) {
+  std::int64_t vt = 0;
+  for (const std::uint64_t off : offsets) {
+    AccessSample s;
+    s.region = 1;
+    s.region_key = 0x9e3779b97f4a7c15ULL;
+    s.offset = off;
+    s.size = 64;
+    s.region_size = region_size;
+    s.pattern = AccessPatternKind::kRandom;
+    s.latency_charged = true;
+    s.vtime_ns = vt;
+    prof.Note(s);
+    vt += prof.config().epoch_ns;
+  }
+}
+
+double MrcMae(const MissRatioCurve& curve, const std::vector<double>& exact) {
+  double mae = 0.0;
+  for (int i = 0; i < kMrcPoints; ++i) {
+    mae += std::abs(curve.miss_ratio[static_cast<std::size_t>(i)] -
+                    exact[static_cast<std::size_t>(i)]);
+  }
+  return mae / kMrcPoints;
+}
+
+// Runs a trace through an unsampled (shift 0) profiler and returns the MAE
+// between its global curve and the exact LRU replay of the recorded stream.
+double UnsampledMae(const std::vector<std::uint64_t>& offsets) {
+  AccessProfilerConfig config;
+  config.sample_shift = 0;  // sample everything: isolates the epoch estimator
+  AccessProfiler prof(config);
+  prof.StartRecording(offsets.size() + 1);
+  Feed(prof, offsets, 256 * 4096);
+  EXPECT_FALSE(prof.recording_truncated());
+  EXPECT_EQ(prof.dropped_samples(), 0u);
+  EXPECT_EQ(prof.sampled_accesses(), offsets.size());
+  return MrcMae(prof.GlobalCurve(),
+                ExactMissRatios(prof.RecordedChunkKeys(), kMrcPoints));
+}
+
+TEST(MissRatioCurveTest, SequentialScanMatchesExactReference) {
+  // A cyclic scan's reuse distance is exactly the footprint; the epoch
+  // estimator reproduces it with no error at all.
+  EXPECT_LE(UnsampledMae(testing::SequentialTrace(64 * 4096, 4096, 3)), 1e-9);
+}
+
+TEST(MissRatioCurveTest, ZipfianTraceWithinTolerance) {
+  Rng rng(42);
+  EXPECT_LE(UnsampledMae(testing::ZipfTrace(rng, 64, 4096, 0.99, 4000)),
+            testing::kWssMrcTolerance);
+}
+
+TEST(MissRatioCurveTest, ScanWithReuseWithinTolerance) {
+  Rng rng(7);
+  EXPECT_LE(UnsampledMae(testing::ScanWithReuseTrace(rng, 128, 8, 4096, 0.5, 4000)),
+            testing::kWssMrcTolerance);
+}
+
+TEST(MissRatioCurveTest, SpatialSamplingTracksTheFullTrace) {
+  // At shift 3 only ~1/8th of the chunks are kept, but the SHARDS-corrected
+  // curve must still track the exact curve of the *full* trace.
+  Rng rng(11);
+  const std::vector<std::uint64_t> offsets =
+      testing::ZipfTrace(rng, 512, 4096, 0.9, 20000);
+  AccessProfilerConfig config;
+  config.sample_shift = 3;
+  AccessProfiler prof(config);
+  Feed(prof, offsets, 512 * 4096);
+  EXPECT_EQ(prof.dropped_samples(), 0u);
+  const MissRatioCurve curve = prof.GlobalCurve();
+  EXPECT_GT(curve.sampled, 0u);
+  EXPECT_LT(curve.sampled, offsets.size());  // it really did sample
+  // Exact reference over the full (unsampled) chunk stream. The sampled
+  // curve's size axis is already SHARDS-corrected (chunk_bytes << shift), so
+  // point i of the sampled curve estimates point i + shift of the exact one.
+  std::vector<std::uint64_t> chunks;
+  chunks.reserve(offsets.size());
+  for (const std::uint64_t off : offsets) {
+    chunks.push_back(off / config.chunk_bytes);
+  }
+  const std::vector<double> exact =
+      ExactMissRatios(chunks, kMrcPoints + config.sample_shift);
+  double mae = 0.0;
+  for (int i = 0; i < kMrcPoints; ++i) {
+    mae += std::abs(curve.miss_ratio[static_cast<std::size_t>(i)] -
+                    exact[static_cast<std::size_t>(i + config.sample_shift)]);
+  }
+  mae /= kMrcPoints;
+  EXPECT_LE(mae, testing::kWssMrcTolerance);
+}
+
+TEST(MissRatioCurveTest, CurveIsMonotoneAndSelfCheckClean) {
+  Rng rng(3);
+  AccessProfiler prof;
+  prof.StartRecording(1 << 14);
+  Feed(prof, testing::ScanWithReuseTrace(rng, 200, 16, 4096, 0.3, 8000),
+       200 * 4096);
+  const std::vector<std::string> problems = prof.SelfCheck();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  for (const MissRatioCurve& curve : prof.Curves()) {
+    for (std::size_t i = 1; i < curve.miss_ratio.size(); ++i) {
+      EXPECT_LE(curve.miss_ratio[i], curve.miss_ratio[i - 1] + 1e-12)
+          << curve.scope << " point " << i;
+    }
+  }
+}
+
+// --- WSS windows --------------------------------------------------------------
+
+TEST(WssTest, WindowCountsUniqueChunksAndEmaDecays) {
+  AccessProfilerConfig config;
+  config.sample_shift = 0;
+  config.chunk_bytes = 4096;
+  config.epoch_ns = 1000;
+  config.wss_decay = 0.5;
+  AccessProfiler prof(config);
+  const auto touch = [&prof](std::uint64_t chunk, std::int64_t vt) {
+    AccessSample s;
+    s.region = 1;
+    s.region_key = 77;
+    s.offset = chunk * 4096;
+    s.size = 64;
+    s.region_size = 1 << 20;
+    s.vtime_ns = vt;
+    prof.Note(s);
+  };
+  // Epoch 1: four distinct chunks (one touched twice — still 4 unique).
+  touch(0, 0);
+  touch(1, 100);
+  touch(2, 200);
+  touch(3, 300);
+  touch(0, 400);
+  // First access of epoch 2 closes epoch 1.
+  touch(0, 1000);
+  WssStats w = prof.GlobalWss();
+  EXPECT_EQ(w.window_bytes, 4u * 4096u);
+  EXPECT_DOUBLE_EQ(w.smoothed_bytes, 0.5 * 4 * 4096);
+  EXPECT_EQ(w.windows, 1u);
+  // Jump to epoch 6: closes epoch 2 (1 unique chunk) and decays across the
+  // three empty epochs in between.
+  touch(0, 5000);
+  w = prof.GlobalWss();
+  EXPECT_EQ(w.window_bytes, 1u * 4096u);
+  EXPECT_EQ(w.windows, 5u);
+  const double after_two = 0.5 * (0.5 * 4 * 4096) + 0.5 * 4096;
+  EXPECT_DOUBLE_EQ(w.smoothed_bytes, after_two * 0.5 * 0.5 * 0.5);
+  EXPECT_EQ(w.unique_bytes, 4u * 4096u);  // footprint never decays
+}
+
+// --- enable/disable -----------------------------------------------------------
+
+TEST(AccessProfilerTest, DisabledProfilerObservesNothing) {
+  AccessProfiler prof;
+  prof.set_enabled(false);
+  Feed(prof, testing::SequentialTrace(16 * 4096, 4096, 2), 16 * 4096);
+  EXPECT_EQ(prof.sampled_accesses(), 0u);
+  EXPECT_TRUE(prof.RegionStats().empty());
+  EXPECT_EQ(prof.RegionHotness(1), 0u);
+  prof.set_enabled(true);
+  Feed(prof, testing::SequentialTrace(16 * 4096, 4096, 1), 16 * 4096);
+  EXPECT_GT(prof.sampled_accesses(), 0u);
+  EXPECT_GT(prof.RegionHotness(1), 0u);
+}
+
+// --- end-to-end determinism ---------------------------------------------------
+
+std::string RunWorkloadFingerprint(int workers) {
+  simhw::DisaggHandles rack = simhw::MakeDisaggRack({.compute_nodes = 4});
+  telemetry::Registry reg;
+  rts::RuntimeOptions opts;
+  opts.worker_threads = workers;
+  opts.registry = &reg;
+  rts::Runtime rt(*rack.cluster, opts);
+  for (int j = 0; j < 3; ++j) {
+    auto report = rt.SubmitAndRun(testing::WideJob("mrc" + std::to_string(j), 8));
+    MEMFLOW_CHECK(report.ok() && report->status.ok());
+  }
+  EXPECT_TRUE(rt.regions().access_profiler().SelfCheck().empty());
+  return rt.regions().access_profiler().Fingerprint();
+}
+
+TEST(AccessProfilerDeterminismTest, FingerprintIdenticalAtWorkers128) {
+  const std::string base = RunWorkloadFingerprint(1);
+  EXPECT_NE(base.find("global|"), std::string::npos);
+  EXPECT_GT(base.size(), 0u);
+  for (const int workers : {2, 8}) {
+    EXPECT_EQ(RunWorkloadFingerprint(workers), base) << "workers=" << workers;
+  }
+}
+
+// --- concurrency hammer (ASan/TSan legs run this under `ctest -L memaccess`) --
+
+TEST(AccessProfilerHammerTest, ConcurrentNotesAndSnapshotsStayConsistent) {
+  AccessProfilerConfig config;
+  config.sample_shift = 1;
+  AccessProfiler prof(config);
+  prof.BindScopeNames({"dram", "cxl"}, {"local", "pool"});
+  std::atomic<int> running{4};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&prof, &running, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      // All writers stay inside one virtual-time epoch, matching the PDES
+      // barrier contract under which Note() is called concurrently.
+      for (int i = 0; i < 20000; ++i) {
+        AccessSample s;
+        s.region = rng.Below(8);
+        s.region_key = s.region + 1;
+        s.offset = rng.Below(1 << 16) * 64;
+        s.size = 64;
+        s.region_size = 1 << 22;
+        s.device = static_cast<std::uint32_t>(rng.Below(2));
+        s.latency_class = static_cast<std::uint32_t>(rng.Below(2));
+        s.latency_charged = true;
+        s.vtime_ns = 500;
+        prof.Note(s);
+      }
+      running.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  // Snapshot continuously while the writers hammer Note().
+  telemetry::Registry reg;
+  while (running.load(std::memory_order_relaxed) > 0) {
+    (void)prof.Curves();
+    (void)prof.Wss();
+    (void)prof.RegionStats();
+    (void)prof.Fingerprint();
+    (void)prof.RenderPanel();
+    prof.PublishTo(reg);
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  const std::vector<std::string> problems = prof.SelfCheck();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_GT(prof.sampled_accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace memflow

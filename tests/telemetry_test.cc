@@ -459,6 +459,31 @@ TEST(SnapshotRingTest, QuantileOverSeesOnlyWindowedSamples) {
   EXPECT_FALSE(ring.QuantileOver("c_total", SimDuration::Millis(10), 0.5).has_value());
 }
 
+TEST(HistogramQuantileTest, EmptyHistogramHasNoQuantiles) {
+  Registry reg;
+  telemetry::Histogram* h = reg.GetHistogram("empty", "h", HistogramSpec{1.0, 2.0, 4});
+  EXPECT_FALSE(h->Quantile(0.5).has_value());
+  EXPECT_FALSE(h->Quantile(0.999).has_value());
+  const telemetry::MetricsSnapshot snap = reg.Snapshot();
+  const telemetry::FamilySnapshot* f = snap.FindFamily("empty");
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->Quantile(0.5).has_value());
+  h->Observe(1.5);
+  ASSERT_TRUE(h->Quantile(0.5).has_value());
+  EXPECT_TRUE(reg.Snapshot().FindFamily("empty")->Quantile(0.5).has_value());
+}
+
+TEST(SnapshotRingTest, QuantileOverEmptyWindowIsNullopt) {
+  Registry reg;
+  telemetry::Histogram* h = reg.GetHistogram("lat2", "h", HistogramSpec{1.0, 2.0, 4});
+  telemetry::SnapshotRing ring(&reg, 8);
+  h->Observe(1.5);
+  ring.Tick(SimTime{});
+  ring.Tick(SimTime{} + SimDuration::Millis(1));
+  // The only observation predates the window baseline: zero mass, no value.
+  EXPECT_FALSE(ring.QuantileOver("lat2", SimDuration::Millis(1), 0.99).has_value());
+}
+
 TEST(SnapshotRingTest, CapacityEvictsOldestButKeepsTickCount) {
   Registry reg;
   telemetry::SnapshotRing ring(&reg, 2);

@@ -15,7 +15,8 @@
 // writes the DashboardJson document and exits 0 only if the runtime stayed
 // healthy. Optional artifacts: --counters FILE (Perfetto counter tracks over
 // the whole ring), --flamegraph FILE (collapsed stacks of the control-plane
-// self-profile), --health (append the doctor's runtime health report).
+// self-profile), --health (append the doctor's runtime health report),
+// --memory (append the access profiler's MRC/WSS/heatmap panel, §16).
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,7 @@ struct Options {
   int tenants = 2;  // open-loop serving tenants after the batch jobs (0: off)
   bool once = false;
   bool health = false;
+  bool memory = false;  // append the access profiler's MRC/WSS/heatmap panel
   std::int64_t interval_us = 200;   // snapshot-ring tick interval (virtual)
   std::int64_t window_ms = 50;      // dashboard query window (virtual)
   const char* json_path = nullptr;
@@ -51,7 +53,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--once] [--jobs N] [--tenants N] [--interval-us N]\n"
                "          [--window-ms N] [--json FILE|-] [--counters FILE]\n"
-               "          [--flamegraph FILE] [--health]\n",
+               "          [--flamegraph FILE] [--health] [--memory]\n",
                argv0);
 }
 
@@ -65,6 +67,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->once = true;
     } else if (std::strcmp(arg, "--health") == 0) {
       opts->health = true;
+    } else if (std::strcmp(arg, "--memory") == 0) {
+      opts->memory = true;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       const char* v = value();
       if (v == nullptr) return false;
@@ -204,6 +208,9 @@ int main(int argc, char** argv) {
     std::printf("\n%s", mf::telemetry::analyze::RenderRuntimeHealth(
                             ring.Latest() ? ring.Latest()->metrics : registry.Snapshot())
                             .c_str());
+  }
+  if (opts.memory) {
+    std::printf("\n%s", runtime.regions().access_profiler().RenderPanel().c_str());
   }
 
   if (opts.json_path != nullptr &&
